@@ -1,0 +1,77 @@
+"""Ablation: the Intel ``retries_before_fallback`` pause loop (§III-C).
+
+Sweeps ``rbf`` on a contended workload (8 callers, 1 worker, long calls).
+With the SDK default of 20,000 retries a caller can burn ~2.8M cycles —
+~200x the transition it was trying to avoid — before falling back; tiny
+``rbf`` values turn the same workload into cheap immediate fallbacks.
+This is the pathology ZC-SWITCHLESS removes by design (§IV-C).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, paper_machine
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+
+RBF_SWEEP = (0, 100, 2_000, 20_000)
+N_CALLERS = 8
+CALLS_PER_CALLER = 60
+HOST_WORK = 150_000.0  # a long call: ~11x the transition cost
+
+
+def run_rbf(rbf: int) -> dict[str, float]:
+    kernel = Kernel(paper_machine())
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+
+    def handler():
+        yield Compute(HOST_WORK, tag="host-long")
+        return None
+
+    urts.register("long_call", handler)
+    backend = IntelSwitchlessBackend(
+        SwitchlessConfig(
+            switchless_ocalls=frozenset({"long_call"}),
+            num_uworkers=1,
+            retries_before_fallback=rbf,
+        )
+    )
+    enclave.set_backend(backend)
+
+    def caller():
+        for _ in range(CALLS_PER_CALLER):
+            yield from enclave.ocall("long_call")
+
+    threads = [kernel.spawn(caller(), name=f"caller-{i}") for i in range(N_CALLERS)]
+    kernel.join(*threads)
+    kernel.flush_accounting()
+    spin = sum(t.cycles_by.get("spin", 0.0) for t in threads)
+    elapsed = kernel.seconds(kernel.now)
+    backend.stop()
+    return {
+        "rbf": rbf,
+        "elapsed_s": elapsed,
+        "caller_spin_Mcycles": spin / 1e6,
+        "fallbacks": backend.fallback_count,
+        "switchless": backend.switchless_count,
+    }
+
+
+def test_rbf_pause_loop_waste(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_rbf(rbf) for rbf in RBF_SWEEP], rounds=1, iterations=1
+    )
+    emit(
+        "Ablation: retries_before_fallback sweep (8 callers / 1 worker / long calls)",
+        format_table(
+            ["rbf", "elapsed_s", "caller_spin_Mcycles", "fallbacks", "switchless"],
+            [[r["rbf"], r["elapsed_s"], r["caller_spin_Mcycles"], r["fallbacks"], r["switchless"]] for r in rows],
+        ),
+    )
+    by_rbf = {r["rbf"]: r for r in rows}
+    # The SDK default burns far more caller spin than rbf=0.
+    assert by_rbf[20_000]["caller_spin_Mcycles"] > 5 * max(
+        by_rbf[0]["caller_spin_Mcycles"], 1.0
+    )
+    # With rbf=0 almost everything falls back immediately.
+    assert by_rbf[0]["fallbacks"] > by_rbf[20_000]["fallbacks"]

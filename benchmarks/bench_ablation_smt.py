@@ -1,0 +1,45 @@
+"""Ablation: hyperthreading contention.
+
+The evaluation machine has 4 physical cores / 8 hardware threads; busy-
+waiting switchless workers share physical cores with enclave threads.
+This bench re-runs the §III synthetic benchmark with the SMT slowdown
+model disabled (``smt_factor = 1.0``) to quantify how much of the
+switchless-worker cost is hyperthread interference.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.sim import paper_machine
+from repro.workloads.synthetic import SyntheticSpec, run_synthetic
+
+SPEC = SyntheticSpec(total_calls=8_000, g_pauses=300)
+
+
+def run_smt(smt_factor: float) -> dict[str, float]:
+    machine = paper_machine(smt_factor=smt_factor)
+    c1 = run_synthetic("C1", 2, SPEC, machine)
+    c4 = run_synthetic("C4", 4, SPEC, machine)
+    return {
+        "smt_factor": smt_factor,
+        "C1_s": c1.elapsed_seconds,
+        "C4_s": c4.elapsed_seconds,
+    }
+
+
+def test_smt_contention_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_smt(f) for f in (1.0, 0.62)], rounds=1, iterations=1
+    )
+    emit(
+        "Ablation: SMT contention (synthetic benchmark)",
+        format_table(
+            ["smt_factor", "C1_s", "C4_s"],
+            [[r["smt_factor"], r["C1_s"], r["C4_s"]] for r in rows],
+            precision=4,
+        ),
+    )
+    ideal = rows[0]
+    real = rows[1]
+    # Hyperthread contention slows both configurations measurably.
+    assert real["C1_s"] > ideal["C1_s"] * 1.1
+    assert real["C4_s"] > ideal["C4_s"] * 1.1

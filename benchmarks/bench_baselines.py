@@ -1,0 +1,102 @@
+"""Bench: the switchless design space — HotCalls vs Intel vs zc vs no_sl.
+
+Positions the paper's contribution against both its baselines on the same
+kissdb workload (related-work §VI):
+
+- **HotCalls** [33]: dedicated always-spinning responders — the latency
+  floor, at one permanently-burnt CPU per responder;
+- **Intel switchless**: static workers, pause-loop fallback;
+- **ZC-SWITCHLESS**: adaptive workers, immediate fallback;
+- **no_sl**: every call transitions.
+
+Expected shape: latency HotCalls <= Intel(all) ≈ zc < no_sl, while idle
+CPU cost ranks HotCalls >= Intel-static > zc (which releases workers).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.apps import KissDB
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.hostos import HostFileSystem, PosixHost, ProcStat
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Kernel, Sleep, paper_machine
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless.hotcalls import HotCallsBackend, HotCallsConfig
+
+STDIO = frozenset({"fseeko", "fread", "fwrite", "ftell"})
+N_KEYS = 3000  # long enough for several zc scheduler quanta
+N_CLIENTS = 2
+IDLE_TAIL_S = 0.04  # idle period after the workload: adaptive CPU shows here
+
+
+def make_backend(mode: str):
+    if mode == "hotcalls":
+        return HotCallsBackend(HotCallsConfig(STDIO, n_responders=2))
+    if mode == "intel":
+        return IntelSwitchlessBackend(
+            SwitchlessConfig(switchless_ocalls=STDIO, num_uworkers=2)
+        )
+    if mode == "zc":
+        return ZcSwitchlessBackend(ZcConfig())
+    return None
+
+
+def run_mode(mode: str) -> dict[str, float]:
+    kernel = Kernel(paper_machine())
+    fs = HostFileSystem()
+    urts = UntrustedRuntime()
+    PosixHost(fs).install(urts)
+    enclave = Enclave(kernel, urts)
+    backend = make_backend(mode)
+    if backend is not None:
+        enclave.set_backend(backend)
+
+    stat = ProcStat(kernel)
+    start_sample = stat.sample()
+
+    def client(index):
+        db = KissDB(enclave, f"/db-{index}", hash_table_size=256)
+        yield from db.open()
+        for i in range(N_KEYS // N_CLIENTS):
+            yield from db.put(i.to_bytes(8, "big"), i.to_bytes(8, "little"))
+        yield from db.close()
+        yield Sleep(kernel.cycles(IDLE_TAIL_S))  # idle tail
+
+    threads = [kernel.spawn(client(i), name=f"client-{i}") for i in range(N_CLIENTS)]
+    kernel.join(*threads)
+    cpu = stat.usage_between(start_sample, stat.sample()).usage_pct
+    elapsed_ms = kernel.seconds(kernel.now) * 1e3 - IDLE_TAIL_S * 1e3
+    switchless_frac = enclave.stats.switchless_fraction()
+    enclave.stop_backend()
+    kernel.run()
+    return {
+        "mode": mode,
+        "workload_ms": elapsed_ms,
+        "cpu_pct_incl_idle_tail": cpu,
+        "switchless_frac": switchless_frac,
+    }
+
+
+def test_switchless_design_space(benchmark):
+    modes = ("no_sl", "hotcalls", "intel", "zc")
+    rows = benchmark.pedantic(
+        lambda: [run_mode(m) for m in modes], rounds=1, iterations=1
+    )
+    emit(
+        "Baselines: HotCalls vs Intel switchless vs ZC-SWITCHLESS (kissdb)",
+        format_table(
+            ["mode", "workload_ms", "cpu_pct_incl_idle_tail", "switchless_frac"],
+            [[r["mode"], r["workload_ms"], r["cpu_pct_incl_idle_tail"], r["switchless_frac"]] for r in rows],
+            precision=2,
+        ),
+    )
+    by_mode = {r["mode"]: r for r in rows}
+    # Latency: every switchless design beats no_sl.
+    for mode in ("hotcalls", "intel", "zc"):
+        assert by_mode[mode]["workload_ms"] < by_mode["no_sl"]["workload_ms"]
+    # HotCalls never falls back: every hot call is served switchlessly
+    # (only the non-hot fopen/fclose pair per client transitions).
+    assert by_mode["hotcalls"]["switchless_frac"] > 0.99
+    # CPU including the idle tail: HotCalls burns responders forever,
+    # zc releases its workers — the adaptive-waste story.
+    assert by_mode["zc"]["cpu_pct_incl_idle_tail"] < by_mode["hotcalls"]["cpu_pct_incl_idle_tail"]

@@ -1,0 +1,100 @@
+"""Bench: transition-avoidance techniques — batching vs switchless.
+
+sgx-perf [32] recommends batching calls; the paper's approach is
+switchless execution.  This bench runs a write-heavy loop under four
+strategies and reports per-op cost and the latency each strategy imposes
+on the *first* operation of a burst (batching trades latency for
+throughput; switchless keeps per-op latency flat):
+
+- regular ocalls (one transition per op);
+- batched ocalls (one transition per 16 ops);
+- zc switchless (no transitions, immediate per-op completion);
+- batched + zc (one switchless call per 16 ops — the techniques compose).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.hostos import DevNull, HostFileSystem, PosixHost
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sgx.batching import OcallBatcher
+from repro.sim import Kernel, paper_machine
+
+N_OPS = 4_000
+BATCH = 16
+
+
+def build(use_zc: bool):
+    kernel = Kernel(paper_machine())
+    fs = HostFileSystem()
+    fs.mount_device("/dev/null", DevNull())
+    urts = UntrustedRuntime()
+    PosixHost(fs).install(urts)
+    enclave = Enclave(kernel, urts)
+    if use_zc:
+        enclave.set_backend(ZcSwitchlessBackend(ZcConfig()))
+    return kernel, enclave
+
+
+def run_strategy(batched: bool, use_zc: bool) -> dict[str, float]:
+    kernel, enclave = build(use_zc)
+
+    def app():
+        fd = yield from enclave.ocall("open", "/dev/null", "w")
+        if batched:
+            batcher = OcallBatcher(enclave, max_batch=BATCH)
+            for _ in range(N_OPS):
+                yield from batcher.add("write", fd, bytes(8), in_bytes=8)
+            yield from batcher.flush()
+        else:
+            for _ in range(N_OPS):
+                yield from enclave.ocall("write", fd, bytes(8), in_bytes=8)
+        yield from enclave.ocall("close", fd)
+
+    thread = kernel.spawn(app(), name="writer")
+    kernel.join(thread)
+    per_op_cycles = kernel.now / N_OPS
+    label = ("batched+" if batched else "") + ("zc" if use_zc else "regular")
+    enclave.stop_backend()
+    kernel.run()
+    return {
+        "strategy": label,
+        "per_op_cycles": per_op_cycles,
+        # Worst-case added latency before an op's effect is visible.
+        "op_latency_bound_cycles": per_op_cycles * (BATCH if batched else 1),
+    }
+
+
+def test_batching_vs_switchless(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [
+            run_strategy(batched, use_zc)
+            for batched in (False, True)
+            for use_zc in (False, True)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Transition avoidance: batching vs switchless (one-word writes)",
+        format_table(
+            ["strategy", "per_op_cycles", "op_latency_bound_cycles"],
+            [[r["strategy"], r["per_op_cycles"], r["op_latency_bound_cycles"]] for r in rows],
+            precision=0,
+        ),
+    )
+    by_label = {r["strategy"]: r for r in rows}
+    regular = by_label["regular"]["per_op_cycles"]
+    # Both techniques cut per-op cost by several-fold.
+    assert by_label["batched+regular"]["per_op_cycles"] < regular / 3
+    assert by_label["zc"]["per_op_cycles"] < regular / 3
+    # They compose: batched switchless calls are the cheapest per op.
+    assert (
+        by_label["batched+zc"]["per_op_cycles"]
+        <= by_label["batched+regular"]["per_op_cycles"]
+    )
+    # But batching pays in visibility latency; switchless does not.
+    assert (
+        by_label["zc"]["op_latency_bound_cycles"]
+        < by_label["batched+regular"]["op_latency_bound_cycles"]
+    )

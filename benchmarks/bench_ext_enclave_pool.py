@@ -1,0 +1,77 @@
+"""Extension bench: enclave pooling for serverless-style invocations.
+
+The paper's §V-D context is confidential serverless [14], and its related
+work cites SGXPool [13] for the cost of enclave *creation*.  This bench
+quantifies that story: N function invocations, each needing an enclave
+for a short burst of work — cold-created per invocation vs. taken from a
+pre-created pool.  Creation (ECREATE + per-page EADD/EEXTEND + EINIT)
+dominates small invocations by orders of magnitude.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sgx.lifecycle import create_enclave, destroy_enclave, pooled_acquire_cycles
+from repro.sim import Compute, Kernel, paper_machine
+
+N_INVOCATIONS = 30
+HEAP_BYTES = 8 * 1024 * 1024
+FUNCTION_WORK_CYCLES = 500_000.0  # ~130 us of enclave compute per call
+
+
+def run_mode(pooled: bool) -> dict[str, float]:
+    kernel = Kernel(paper_machine())
+    urts = UntrustedRuntime()
+
+    def serverless_host():
+        if pooled:
+            # One warm-up creation, then every invocation reuses the pool.
+            enclave = Enclave(kernel, urts, heap_bytes=HEAP_BYTES, name="pooled")
+            yield from create_enclave(enclave)
+            for _ in range(N_INVOCATIONS):
+                yield Compute(pooled_acquire_cycles(), tag="pool-acquire")
+                yield from enclave.ecall(_function(kernel))
+            yield from destroy_enclave(enclave)
+        else:
+            for i in range(N_INVOCATIONS):
+                enclave = Enclave(
+                    kernel, urts, heap_bytes=HEAP_BYTES, name=f"cold-{i}"
+                )
+                yield from create_enclave(enclave)
+                yield from enclave.ecall(_function(kernel))
+                yield from destroy_enclave(enclave)
+
+    kernel.join(kernel.spawn(serverless_host(), name="host"))
+    elapsed_ms = kernel.seconds(kernel.now) * 1e3
+    return {
+        "mode": "pooled" if pooled else "cold-per-invocation",
+        "total_ms": elapsed_ms,
+        "ms_per_invocation": elapsed_ms / N_INVOCATIONS,
+    }
+
+
+def _function(kernel):
+    def body():
+        yield Compute(FUNCTION_WORK_CYCLES, tag="function")
+        return None
+
+    return body()
+
+
+def test_enclave_pooling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_mode(False), run_mode(True)], rounds=1, iterations=1
+    )
+    emit(
+        "Extension: serverless invocations — cold enclave creation vs pooling "
+        f"({N_INVOCATIONS} invocations, {HEAP_BYTES // (1024 * 1024)} MB heap)",
+        format_table(
+            ["mode", "total_ms", "ms_per_invocation"],
+            [[r["mode"], r["total_ms"], r["ms_per_invocation"]] for r in rows],
+            precision=3,
+        ),
+    )
+    cold, pooled = rows
+    # SGXPool's [13] raison d'etre: pooling amortises creation to near
+    # the pure function cost — at least 10x per invocation here.
+    assert pooled["ms_per_invocation"] < cold["ms_per_invocation"] / 10

@@ -1,0 +1,41 @@
+"""Extension bench: zc on the paper's own motivating benchmark.
+
+§III-A shows that choosing the wrong static configuration (C2) costs
+~1.8x versus the right one (C1).  The paper's remedy is to stop choosing:
+this bench runs ZC-SWITCHLESS on the identical f/g workload with *no*
+configuration at all and places it among C1–C5 — the whole pitch in one
+table.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.report import format_table
+from repro.workloads.synthetic import SyntheticSpec, run_synthetic
+
+SPEC = SyntheticSpec(total_calls=12_000, g_pauses=500)
+CONFIGS = ("C1", "C2", "C3", "C4", "C5", "zc")
+
+
+def test_zc_on_the_motivating_benchmark(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_synthetic(config, 2, SPEC) for config in CONFIGS],
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Extension: zc vs the C1-C5 static configurations (no config needed)",
+        format_table(
+            ["config", "elapsed_s", "switchless", "fallback", "regular"],
+            [
+                [r.config, r.elapsed_seconds, r.switchless_calls, r.fallback_calls, r.regular_calls]
+                for r in rows
+            ],
+            precision=4,
+        ),
+    )
+    by_config = {r.config: r.elapsed_seconds for r in rows}
+    # zc avoids the misconfiguration cliff entirely: it beats the worst
+    # static configurations without anyone choosing anything.
+    assert by_config["zc"] < by_config["C2"]
+    assert by_config["zc"] < by_config["C4"]
+    # And it lands in the neighbourhood of the best static choice.
+    assert by_config["zc"] < 1.6 * by_config["C1"]

@@ -1,0 +1,10 @@
+"""Bench: Fig. 10 — OpenSSL-style pipeline latency and CPU."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig10
+
+
+def test_fig10_crypto_pipeline(benchmark):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    emit("Fig. 10 OpenSSL-style pipeline", fig10.report(result))
+    assert fig10.check_shape(result) == []

@@ -1,0 +1,11 @@
+"""Bench: Fig. 11 — lmbench dynamic throughput."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig11
+
+
+def test_fig11_dynamic_throughput(benchmark, shared_results):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    shared_results["fig11"] = result
+    emit("Fig. 11 lmbench dynamic throughput", fig11.report(result))
+    assert fig11.check_shape(result) == []

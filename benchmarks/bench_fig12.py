@@ -1,0 +1,13 @@
+"""Bench: Fig. 12 — lmbench dynamic CPU usage (same runs as Fig. 11)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig12
+
+
+def test_fig12_dynamic_cpu(benchmark, shared_results):
+    base = shared_results.get("fig11")
+    result = benchmark.pedantic(
+        fig12.run, kwargs={"base": base}, rounds=1, iterations=1
+    )
+    emit("Fig. 12 lmbench dynamic CPU usage", fig12.report(result))
+    assert fig12.check_shape(result) == []

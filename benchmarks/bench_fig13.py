@@ -1,0 +1,10 @@
+"""Bench: Fig. 13 — improved memcpy (vanilla vs zc) write throughput."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig13
+
+
+def test_fig13_memcpy_speedup(benchmark):
+    result = benchmark.pedantic(fig13.run, kwargs={"ops": 300}, rounds=1, iterations=1)
+    emit("Fig. 13 memcpy comparison", fig13.report(result))
+    assert fig13.check_shape(result) == []

@@ -1,0 +1,10 @@
+"""Bench: Fig. 7 — write-ocall throughput, vanilla memcpy."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig7
+
+
+def test_fig7_alignment_throughput(benchmark):
+    result = benchmark.pedantic(fig7.run, kwargs={"ops": 300}, rounds=1, iterations=1)
+    emit("Fig. 7 vanilla memcpy write throughput", fig7.report(result))
+    assert fig7.check_shape(result) == []

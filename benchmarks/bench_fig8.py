@@ -1,0 +1,16 @@
+"""Bench: Fig. 8 — kissdb SET latency across all configurations."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig8
+
+
+def test_fig8_kissdb_latency(benchmark, shared_results):
+    result = benchmark.pedantic(
+        fig8.run,
+        kwargs={"n_keys_sweep": (1000, 2000, 3000), "worker_counts": (2, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    shared_results["fig8"] = result
+    emit("Fig. 8 kissdb SET latency", fig8.report(result))
+    assert fig8.check_shape(result) == []

@@ -1,0 +1,13 @@
+"""Bench: Fig. 9 — kissdb CPU usage (same runs as Fig. 8)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig9
+
+
+def test_fig9_kissdb_cpu(benchmark, shared_results):
+    base = shared_results.get("fig8")
+    result = benchmark.pedantic(
+        fig9.run, kwargs={"base": base}, rounds=1, iterations=1
+    )
+    emit("Fig. 9 kissdb CPU usage", fig9.report(result))
+    assert fig9.check_shape(result) == []

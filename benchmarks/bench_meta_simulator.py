@@ -1,0 +1,52 @@
+"""Meta-bench: host-side throughput of the simulator itself.
+
+Unlike the figure benches (whose *simulated* times are deterministic and
+measured in cycles), this one times the simulator's host performance —
+how many ocalls and scheduler events per wall-clock second the DES kernel
+sustains.  It guards against performance regressions in the kernel's hot
+paths (dispatch, spin interrupts, accounting), which directly bound how
+large a workload the figure benches can afford.
+"""
+
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, paper_machine
+
+N_OCALLS = 3_000
+
+
+def simulate_ocall_storm(use_zc: bool) -> int:
+    kernel = Kernel(paper_machine())
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+    if use_zc:
+        enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+
+    def handler():
+        yield Compute(500)
+        return None
+
+    urts.register("f", handler)
+
+    def app():
+        for _ in range(N_OCALLS // 2):
+            yield from enclave.ocall("f")
+
+    threads = [kernel.spawn(app(), name=f"a{i}") for i in range(2)]
+    kernel.join(*threads)
+    enclave.stop_backend()
+    kernel.run()
+    return kernel.events_processed
+
+
+def test_regular_path_throughput(benchmark):
+    events = benchmark(simulate_ocall_storm, False)
+    # The regular path is O(1) simulator events per ocall.
+    assert events < 12 * N_OCALLS
+
+
+def test_switchless_path_throughput(benchmark):
+    events = benchmark(simulate_ocall_storm, True)
+    # The switchless handshake costs a few more events per call but must
+    # stay O(1): no per-pause event explosions.
+    assert events < 25 * N_OCALLS

@@ -1,0 +1,10 @@
+"""Bench: §V-D — zc-memcpy impact on inter-enclave SSL transfers."""
+
+from benchmarks.conftest import emit
+from repro.experiments import sec5d
+
+
+def test_sec5d_interenclave_transfers(benchmark):
+    result = benchmark.pedantic(sec5d.run, rounds=1, iterations=1)
+    emit("§V-D inter-enclave SSL transfers", sec5d.report(result))
+    assert sec5d.check_shape(result) == []

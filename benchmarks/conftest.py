@@ -1,0 +1,25 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each ``bench_*`` module reproduces one table/figure of the paper: it runs
+the corresponding experiment at benchmark scale under pytest-benchmark,
+prints the series the figure plots, and asserts the paper's qualitative
+shape via the experiment's ``check_shape``.
+
+Figure pairs that share runs (Fig. 8/9 and Fig. 11/12) communicate
+through the session-scoped ``shared_results`` cache so the expensive runs
+execute once.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def shared_results():
+    """Session-wide cache for experiment results shared across benches."""
+    return {}
+
+
+def emit(title: str, body: str) -> None:
+    """Print a report block that survives pytest's capture (-s not needed
+    for failures; use -s to always see it)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Watch the ZC scheduler adapt the worker pool to a changing load.
+
+Drives a square-wave workload (bursts of hot ocalls separated by idle
+gaps) and prints the scheduler's worker-count decisions and the fraction
+of the program's lifetime spent at each count — the §V-B analysis the
+paper reports as "0,1,2,3,4 workers for x% of the lifetime".
+
+Run:  python examples/adaptive_workers.py
+"""
+
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.hostos import DevNull, HostFileSystem, PosixHost
+from repro.profiler import CallTracer
+from repro.profiler.timeline import bucket_events, render_timeline
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, Sleep, paper_machine
+
+BURST_S = 0.03
+GAP_S = 0.03
+BURSTS = 3
+
+
+def main():
+    kernel = Kernel(paper_machine())
+    fs = HostFileSystem()
+    fs.mount_device("/dev/null", DevNull())
+    urts = UntrustedRuntime()
+    PosixHost(fs).install(urts)
+    enclave = Enclave(kernel, urts)
+    backend = ZcSwitchlessBackend(ZcConfig())
+    enclave.set_backend(backend)
+    tracer = CallTracer().install(enclave)
+
+    def caller():
+        fd = yield from enclave.ocall("open", "/dev/null", "w")
+        for _ in range(BURSTS):
+            burst_end = kernel.now + kernel.cycles(BURST_S)
+            while kernel.now < burst_end:
+                yield Compute(1_000, tag="app-work")
+                yield from enclave.ocall("write", fd, bytes(8), in_bytes=8)
+            yield Sleep(kernel.cycles(GAP_S))
+        yield from enclave.ocall("close", fd)
+
+    threads = [kernel.spawn(caller(), name=f"app-{i}") for i in range(2)]
+    kernel.join(*threads)
+
+    print("scheduler decisions (time ms -> active workers):")
+    assert backend.scheduler is not None
+    for t_cycles, _, chosen in backend.scheduler.decisions:
+        print(f"  {kernel.seconds(t_cycles) * 1e3:7.1f} ms -> {chosen} workers")
+
+    print("\nlifetime share per worker count (paper §V-B style):")
+    for count, frac in backend.stats.worker_count_histogram(kernel.now).items():
+        print(f"  {count} workers: {frac * 100:5.1f}%")
+
+    stats = backend.stats
+    print(
+        f"\ncalls: {stats.total_calls}  switchless: {stats.switchless_count} "
+        f"({stats.switchless_fraction() * 100:.1f}%)  fallbacks: {stats.fallback_count}"
+    )
+
+    print("\ntraced timeline (the square wave, as the profiler sees it):")
+    buckets = bucket_events(
+        tracer.events, interval_cycles=kernel.cycles(0.004), t_end_cycles=kernel.now
+    )
+    print(render_timeline(buckets, kernel.spec.freq_hz))
+    backend.stop()
+    kernel.run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Secure file encryption: the paper's OpenSSL-style pipeline, end to end.
+
+Encrypts a file with *real* AES-256-CBC inside the simulated enclave and
+verifies the plaintext round-trips bit-exactly.  Then runs the paper's
+two-thread pipeline (one encryptor, one decryptor) long enough for the
+ZC scheduler to reach steady state, and compares simulated runtime
+against regular ocalls — the Fig. 10 effect in miniature, combining
+switchless execution with the ``rep movsb`` memcpy on the misaligned
+ciphertext stream.
+
+Run:  python examples/file_encryption.py
+"""
+
+from repro.apps import CryptoFileApp
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.crypto import RealAesCbcEngine
+from repro.hostos import HostFileSystem, PosixHost
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Kernel, paper_machine
+
+KEY = bytes.fromhex(
+    "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+)
+IV = bytes(range(16))
+PLAINTEXT = (b"The quick brown fox jumps over the lazy dog. " * 2000)[: 16 * 4096]
+PASSES = 8  # pipeline passes per thread, so the run spans several quanta
+#: A shorter scheduler quantum than the paper's 10 ms default keeps this
+#: demo quick while still reaching the scheduler's steady state (2
+#: workers for 2 caller threads) within the first millisecond or two.
+ZC_CONFIG = ZcConfig(quantum_seconds=0.002)
+
+
+def build(mode: str):
+    kernel = Kernel(paper_machine())
+    fs = HostFileSystem()
+    fs.create("/secret.txt", PLAINTEXT)
+    urts = UntrustedRuntime()
+    PosixHost(fs).install(urts)
+    enclave = Enclave(kernel, urts)
+    if mode == "zc":
+        enclave.set_backend(ZcSwitchlessBackend(ZC_CONFIG))
+    return kernel, fs, enclave
+
+
+def verify_round_trip():
+    """Correctness pass: real AES, bitwise round-trip, no plaintext leak."""
+    kernel, fs, enclave = build("no_sl")
+    app = CryptoFileApp(enclave, lambda: RealAesCbcEngine(KEY, IV), chunk_bytes=4096)
+
+    def pipeline():
+        yield from app.encrypt_file("/secret.txt", "/secret.enc", IV)
+        yield from app.decrypt_file("/secret.enc", "/roundtrip.txt")
+
+    kernel.join(kernel.spawn(pipeline(), name="verify"))
+    assert fs.contents("/roundtrip.txt") == PLAINTEXT, "round-trip mismatch!"
+    assert PLAINTEXT[:64] not in fs.contents("/secret.enc"), "plaintext leak!"
+    print(f"verified: {len(PLAINTEXT)} B AES-256-CBC round-trip is bit-exact\n")
+
+
+def run_mode(mode: str) -> float:
+    kernel, fs, enclave = build(mode)
+    app = CryptoFileApp(enclave, lambda: RealAesCbcEngine(KEY, IV), chunk_bytes=4096)
+
+    def prepare():
+        yield from app.encrypt_file("/secret.txt", "/pre.enc", IV)
+
+    kernel.join(kernel.spawn(prepare(), name="prepare"))
+    start = kernel.now
+
+    def encryptor():
+        for i in range(PASSES):
+            yield from app.encrypt_file("/secret.txt", f"/out-{i}.enc", IV)
+
+    def decryptor():
+        for _ in range(PASSES):
+            yield from app.decrypt_file("/pre.enc")
+
+    enc = kernel.spawn(encryptor(), name="encryptor")
+    dec = kernel.spawn(decryptor(), name="decryptor")
+    kernel.join(enc, dec)
+    elapsed_ms = kernel.seconds(kernel.now - start) * 1e3
+    print(
+        f"{mode:>6}: {PASSES}x{len(PLAINTEXT)} B per thread in "
+        f"{elapsed_ms:7.2f} ms simulated "
+        f"(memcpy: {type(enclave.memcpy_model).__name__}, "
+        f"switchless {enclave.stats.switchless_fraction() * 100:.0f}%)"
+    )
+    enclave.stop_backend()
+    kernel.run()
+    return elapsed_ms
+
+
+def main():
+    print("AES-256-CBC file pipeline (real cipher, simulated enclave I/O)\n")
+    verify_round_trip()
+    no_sl = run_mode("no_sl")
+    zc = run_mode("zc")
+    print(
+        f"\nzc (switchless + rep-movsb memcpy) is {no_sl / zc:.2f}x faster "
+        f"than regular ocalls with the SDK memcpy"
+    )
+
+
+if __name__ == "__main__":
+    main()

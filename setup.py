@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs on environments without
+the `wheel` package (pip falls back to `setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Reproduction of *SGX Switchless Calls Made Configless* (DSN 2023).
+
+This library rebuilds the paper's entire system stack in Python:
+
+- :mod:`repro.sim` — a deterministic discrete-event simulator of the
+  paper's 4-core/8-thread SGX machine (cores, SMT, preemptive scheduling,
+  cycle accounting).
+- :mod:`repro.sgx` — the SGX substrate: enclaves, ecall/ocall transition
+  costs, and the trusted-libc ``memcpy`` cost models (Intel's software
+  copy vs. the paper's ``rep movsb`` version).
+- :mod:`repro.hostos` — untrusted host OS: an in-memory file system,
+  character devices, the syscall cost model and a ``/proc/stat``-style
+  CPU meter.
+- :mod:`repro.switchless` — a faithful reimplementation of the Intel SGX
+  SDK switchless-call mechanism (task pool, static worker pool,
+  ``retries_before_fallback`` / ``retries_before_sleep``).
+- :mod:`repro.core` — **ZC-SWITCHLESS**, the paper's contribution: the
+  worker state machine and the wasted-cycle-minimising scheduler.
+- :mod:`repro.crypto`, :mod:`repro.apps` — the evaluation applications
+  (kissdb, an OpenSSL-style AES-256-CBC file pipeline, lmbench).
+- :mod:`repro.workloads`, :mod:`repro.experiments` — workload generators
+  and one runner per paper figure/table.
+"""
+
+__version__ = "1.0.0"

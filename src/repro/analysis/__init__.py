@@ -1,0 +1,13 @@
+"""Measurement and reporting utilities for the experiments."""
+
+from repro.analysis.metrics import LatencyRecorder, PeriodResult, summarize
+from repro.analysis.report import format_series, format_table, to_csv
+
+__all__ = [
+    "LatencyRecorder",
+    "PeriodResult",
+    "format_series",
+    "format_table",
+    "summarize",
+    "to_csv",
+]

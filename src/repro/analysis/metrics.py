@@ -1,0 +1,83 @@
+"""Latency and throughput measurement helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-operation latencies (in cycles) from workload threads."""
+
+    samples_cycles: list[float] = field(default_factory=list)
+
+    def record(self, latency_cycles: float) -> None:
+        """Record one sample/event."""
+        if latency_cycles < 0:
+            raise ValueError("latency must be >= 0")
+        self.samples_cycles.append(latency_cycles)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded entries."""
+        return len(self.samples_cycles)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded samples."""
+        if not self.samples_cycles:
+            return 0.0
+        return sum(self.samples_cycles) / len(self.samples_cycles)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, q in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self.samples_cycles:
+            return 0.0
+        ordered = sorted(self.samples_cycles)
+        rank = max(1, math.ceil(q / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    def max(self) -> float:
+        """Largest recorded sample."""
+        return max(self.samples_cycles) if self.samples_cycles else 0.0
+
+
+@dataclass(frozen=True)
+class PeriodResult:
+    """Outcome of one paced workload period."""
+
+    t_end_cycles: float
+    target_ops: int
+    completed_ops: int
+    duration_cycles: float
+
+    def throughput_ops_per_s(self, freq_hz: float) -> float:
+        """Burst throughput over the time actually spent (ops/s)."""
+        if self.duration_cycles <= 0:
+            return 0.0
+        return self.completed_ops / (self.duration_cycles / freq_hz)
+
+    def sustained_ops_per_s(self, freq_hz: float, tau_cycles: float) -> float:
+        """Throughput normalised over at least one full period.
+
+        For saturated periods (the batch spilling past τ) this equals the
+        burst rate; for unsaturated periods it is the offered load — i.e.
+        what an external observer sampling every τ would measure.
+        """
+        denominator = max(self.duration_cycles, tau_cycles)
+        if denominator <= 0:
+            return 0.0
+        return self.completed_ops / (denominator / freq_hz)
+
+
+def summarize(values: list[float]) -> dict[str, float]:
+    """Mean/min/max summary of a numeric series."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }

@@ -1,0 +1,78 @@
+"""Plain-text table/series formatting for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot, in aligned monospace tables that read well in CI logs and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table."""
+    rendered = [[_fmt(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    points: Sequence[tuple[Any, Any]],
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 3,
+) -> str:
+    """Render one figure series as an x/y table."""
+    return format_table(
+        [x_label, y_label],
+        [list(p) for p in points],
+        title=name,
+        precision=precision,
+    )
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as RFC-4180-ish CSV (for external plotting tools).
+
+    Cells containing commas, quotes or newlines are quoted; floats keep
+    full precision (plotting tools do their own rounding).
+    """
+
+    def cell(value: Any) -> str:
+        text = repr(value) if isinstance(value, float) else str(value)
+        if any(ch in text for ch in ',"\n'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        lines.append(",".join(cell(c) for c in row))
+    return "\n".join(lines) + "\n"

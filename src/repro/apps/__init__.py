@@ -1,0 +1,28 @@
+"""Evaluation applications (the paper's §V benchmarks).
+
+Each application runs *inside* the simulated enclave and performs all its
+I/O through ocalls, exactly as the paper's SGX ports do:
+
+- :mod:`repro.apps.kissdb` — a faithful reimplementation of the KISSDB
+  key/value store (hash-table pages + append log) whose SET path produces
+  the paper's ocall mix: fseeko most frequent, fread/fwrite shorter
+  tails (§V-A).
+- :mod:`repro.apps.cryptofile` — the OpenSSL-style two-thread file
+  encryption/decryption pipeline (AES-256-CBC, §V-B).
+- :mod:`repro.apps.lmbench` — the lmbench read/write syscall benchmarks
+  over ``/dev/zero`` and ``/dev/null`` (§V-C).
+"""
+
+from repro.apps.cryptofile import CryptoFileApp
+from repro.apps.kissdb import KissDB, KissDBError
+from repro.apps.kvserver import KvClient, KvServerEnclave
+from repro.apps.lmbench import LmbenchSyscalls
+
+__all__ = [
+    "CryptoFileApp",
+    "KissDB",
+    "KissDBError",
+    "KvClient",
+    "KvServerEnclave",
+    "LmbenchSyscalls",
+]

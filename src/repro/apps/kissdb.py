@@ -1,0 +1,271 @@
+"""KISSDB — "keep it simple, stupid" database — reimplemented on ocalls.
+
+This follows the on-disk design of the original C library the paper
+benchmarks (a header, then a chain of fixed-size hash tables interleaved
+with appended key/value entries):
+
+- the file starts with a 32-byte header (magic, version, geometry);
+- a *hash table page* is ``(hash_table_size + 1)`` 8-byte little-endian
+  file offsets; slot ``h`` points at the entry for a key hashing to ``h``
+  (0 = empty) and the final slot points at the next hash-table page
+  (0 = none);
+- an *entry* is ``key_size`` key bytes followed by ``value_size`` value
+  bytes, appended at end-of-file.
+
+Like the original, hash-table pages are cached in (enclave) memory, so a
+PUT of a fresh key costs: ``fseeko``(EOF) + ``ftell`` + ``fwrite``(entry)
++ ``fseeko``(slot) + ``fwrite``(offset) — and each collision adds an
+``fseeko`` + ``fread`` to compare keys.  This is exactly the short-call,
+seek-heavy ocall mix of the paper's Fig. 8 benchmark.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from repro.hostos.filesystem import SEEK_END, SEEK_SET
+from repro.sim.instructions import Compute
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave
+
+_MAGIC = b"KdB2"
+_HEADER = struct.Struct("<4sIQQQ")  # magic, version, table size, key, value
+_VERSION = 2
+
+#: Enclave-side cycle costs of the tiny in-enclave compute steps.
+_HASH_CYCLES = 120.0
+_COMPARE_CYCLES = 50.0
+
+
+class KissDBError(Exception):
+    """Raised on malformed databases or geometry mismatches."""
+
+
+def djb2(data: bytes) -> int:
+    """The original KISSDB hash (djb2, 64-bit)."""
+    value = 5381
+    for byte in data:
+        value = ((value * 33) + byte) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class KissDB:
+    """A KISSDB database accessed from inside the enclave via ocalls.
+
+    All public operations are simulated programs (``yield from`` them in a
+    thread).  The store moves real bytes: what you put is what you get.
+
+    Args:
+        enclave: The enclave whose ocall path performs the stdio calls.
+        path: Host filesystem path of the database file.
+        hash_table_size: Slots per hash-table page.
+        key_size / value_size: Fixed entry geometry (the paper uses 8/8).
+    """
+
+    def __init__(
+        self,
+        enclave: "Enclave",
+        path: str,
+        hash_table_size: int = 512,
+        key_size: int = 8,
+        value_size: int = 8,
+    ) -> None:
+        if hash_table_size < 1:
+            raise ValueError("hash_table_size must be >= 1")
+        if key_size < 1 or value_size < 1:
+            raise ValueError("key and value sizes must be >= 1")
+        self.enclave = enclave
+        self.path = path
+        self.hash_table_size = hash_table_size
+        self.key_size = key_size
+        self.value_size = value_size
+        self._fd: int | None = None
+        #: In-memory copy of all hash-table pages (enclave heap), as in
+        #: the original implementation.
+        self._tables: list[list[int]] = []
+        self._table_offsets: list[int] = []
+        self._end_offset = 0
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    @property
+    def _table_bytes(self) -> int:
+        return 8 * (self.hash_table_size + 1)
+
+    @property
+    def _entry_bytes(self) -> int:
+        return self.key_size + self.value_size
+
+    def _check_key(self, key: bytes) -> None:
+        if len(key) != self.key_size:
+            raise KissDBError(f"key must be {self.key_size} bytes, got {len(key)}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> Program:
+        """Open (or create) the database file and load hash-table pages."""
+        enclave = self.enclave
+        exists_mode = "r+"
+        try_create = False
+        try:
+            self._fd = yield from enclave.ocall("fopen", self.path, exists_mode)
+        except FileNotFoundError:
+            try_create = True
+        if try_create:
+            self._fd = yield from enclave.ocall("fopen", self.path, "w+")
+            header = _HEADER.pack(
+                _MAGIC, _VERSION, self.hash_table_size, self.key_size, self.value_size
+            )
+            yield from enclave.ocall("fwrite", self._fd, header, in_bytes=len(header))
+            first_table = bytes(self._table_bytes)
+            yield from enclave.ocall(
+                "fwrite", self._fd, first_table, in_bytes=len(first_table)
+            )
+            self._tables = [[0] * (self.hash_table_size + 1)]
+            self._table_offsets = [_HEADER.size]
+            self._end_offset = _HEADER.size + self._table_bytes
+            return None
+
+        raw = yield from enclave.ocall(
+            "fread", self._fd, _HEADER.size, out_bytes=_HEADER.size
+        )
+        if len(raw) != _HEADER.size:
+            raise KissDBError("truncated header")
+        magic, version, hts, ks, vs = _HEADER.unpack(raw)
+        if magic != _MAGIC or version != _VERSION:
+            raise KissDBError("not a KISSDB v2 file")
+        if (hts, ks, vs) != (self.hash_table_size, self.key_size, self.value_size):
+            raise KissDBError(
+                f"geometry mismatch: file has ({hts},{ks},{vs}), "
+                f"expected ({self.hash_table_size},{self.key_size},{self.value_size})"
+            )
+        # Walk and cache the hash-table chain.
+        self._tables = []
+        self._table_offsets = []
+        offset = _HEADER.size
+        while offset:
+            yield from enclave.ocall("fseeko", self._fd, offset, SEEK_SET)
+            raw = yield from enclave.ocall(
+                "fread", self._fd, self._table_bytes, out_bytes=self._table_bytes
+            )
+            if len(raw) != self._table_bytes:
+                raise KissDBError("truncated hash table page")
+            table = list(struct.unpack(f"<{self.hash_table_size + 1}Q", raw))
+            self._tables.append(table)
+            self._table_offsets.append(offset)
+            offset = table[self.hash_table_size]
+        yield from enclave.ocall("fseeko", self._fd, 0, SEEK_END)
+        self._end_offset = yield from enclave.ocall("ftell", self._fd)
+        return None
+
+    def close(self) -> Program:
+        """Close the database file."""
+        if self._fd is not None:
+            yield from self.enclave.ocall("fclose", self._fd)
+            self._fd = None
+        return None
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the handle/database is currently open."""
+        return self._fd is not None
+
+    @property
+    def table_count(self) -> int:
+        """Number of hash-table pages (grows with collisions)."""
+        return len(self._tables)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> Program:
+        """Insert or overwrite ``key`` with ``value`` (both fixed-size)."""
+        self._check_key(key)
+        if len(value) != self.value_size:
+            raise KissDBError(f"value must be {self.value_size} bytes")
+        if self._fd is None:
+            raise KissDBError("database not open")
+        enclave = self.enclave
+        yield Compute(_HASH_CYCLES, tag="kissdb-hash")
+        slot = djb2(key) % self.hash_table_size
+
+        for index, table in enumerate(self._tables):
+            entry_offset = table[slot]
+            if entry_offset == 0:
+                # Free slot in this page: append the entry, link the slot.
+                yield from enclave.ocall("fseeko", self._fd, 0, SEEK_END)
+                eof = yield from enclave.ocall("ftell", self._fd)
+                entry = key + value
+                yield from enclave.ocall("fwrite", self._fd, entry, in_bytes=len(entry))
+                slot_offset = self._table_offsets[index] + 8 * slot
+                yield from enclave.ocall("fseeko", self._fd, slot_offset, SEEK_SET)
+                yield from enclave.ocall(
+                    "fwrite", self._fd, struct.pack("<Q", eof), in_bytes=8
+                )
+                table[slot] = eof
+                self._end_offset = eof + len(entry)
+                return None
+            # Occupied: read the entry's key and compare.
+            yield from enclave.ocall("fseeko", self._fd, entry_offset, SEEK_SET)
+            existing = yield from enclave.ocall(
+                "fread", self._fd, self.key_size, out_bytes=self.key_size
+            )
+            yield Compute(_COMPARE_CYCLES, tag="kissdb-cmp")
+            if existing == key:
+                # Same key: overwrite the value in place.
+                yield from enclave.ocall(
+                    "fseeko", self._fd, entry_offset + self.key_size, SEEK_SET
+                )
+                yield from enclave.ocall(
+                    "fwrite", self._fd, value, in_bytes=len(value)
+                )
+                return None
+            # Collision: continue into the next page (create if missing).
+            if index == len(self._tables) - 1:
+                yield from self._append_table(index)
+
+        raise KissDBError("unreachable: table chain ended without a free slot")
+
+    def get(self, key: bytes) -> Program:
+        """Look up ``key``; returns the value bytes or ``None``."""
+        self._check_key(key)
+        if self._fd is None:
+            raise KissDBError("database not open")
+        enclave = self.enclave
+        yield Compute(_HASH_CYCLES, tag="kissdb-hash")
+        slot = djb2(key) % self.hash_table_size
+
+        for table in self._tables:
+            entry_offset = table[slot]
+            if entry_offset == 0:
+                return None
+            yield from enclave.ocall("fseeko", self._fd, entry_offset, SEEK_SET)
+            entry = yield from enclave.ocall(
+                "fread", self._fd, self._entry_bytes, out_bytes=self._entry_bytes
+            )
+            yield Compute(_COMPARE_CYCLES, tag="kissdb-cmp")
+            if entry[: self.key_size] == key:
+                return entry[self.key_size :]
+        return None
+
+    def _append_table(self, last_index: int) -> Program:
+        """Append a fresh hash-table page and link it into the chain."""
+        enclave = self.enclave
+        yield from enclave.ocall("fseeko", self._fd, 0, SEEK_END)
+        eof = yield from enclave.ocall("ftell", self._fd)
+        page = bytes(self._table_bytes)
+        yield from enclave.ocall("fwrite", self._fd, page, in_bytes=len(page))
+        # Link from the previous page's chain slot.
+        chain_offset = self._table_offsets[last_index] + 8 * self.hash_table_size
+        yield from enclave.ocall("fseeko", self._fd, chain_offset, SEEK_SET)
+        yield from enclave.ocall("fwrite", self._fd, struct.pack("<Q", eof), in_bytes=8)
+        self._tables[last_index][self.hash_table_size] = eof
+        self._tables.append([0] * (self.hash_table_size + 1))
+        self._table_offsets.append(eof)
+        self._end_offset = eof + self._table_bytes
+        return None

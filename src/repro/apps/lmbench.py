@@ -1,0 +1,124 @@
+"""lmbench-style read/write syscall microbenchmarks (§V-C).
+
+The paper's dynamic benchmark drives lmbench's two simplest syscall
+benchmarks from enclave threads: ``read`` of one word from ``/dev/zero``
+and ``write`` of one word to ``/dev/null``.  Each operation is exactly one
+ocall — the canonical *short* call where switchless execution shines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.instructions import Compute
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave
+
+WORD_BYTES = 8
+
+#: Enclave-side loop overhead per operation (lmbench's BENCH macro body).
+_LOOP_CYCLES = 150.0
+
+
+class LmbenchSyscalls:
+    """Bare read/write syscall benchmarks bound to one enclave."""
+
+    def __init__(self, enclave: "Enclave") -> None:
+        self.enclave = enclave
+        self._zero_fd: int | None = None
+        self._null_fd: int | None = None
+        self.reads_done = 0
+        self.writes_done = 0
+
+    def setup(self) -> Program:
+        """Open ``/dev/zero`` and ``/dev/null`` (one-time, via ocalls)."""
+        self._zero_fd = yield from self.enclave.ocall("open", "/dev/zero", "r")
+        self._null_fd = yield from self.enclave.ocall("open", "/dev/null", "w")
+        return None
+
+    def teardown(self) -> Program:
+        """Close both device descriptors."""
+        if self._zero_fd is not None:
+            yield from self.enclave.ocall("close", self._zero_fd)
+            self._zero_fd = None
+        if self._null_fd is not None:
+            yield from self.enclave.ocall("close", self._null_fd)
+            self._null_fd = None
+        return None
+
+    def read_op(self) -> Program:
+        """One lmbench read: one word from /dev/zero."""
+        if self._zero_fd is None:
+            raise RuntimeError("setup() not run")
+        yield Compute(_LOOP_CYCLES, tag="lmbench-loop")
+        word = yield from self.enclave.ocall(
+            "read", self._zero_fd, WORD_BYTES, out_bytes=WORD_BYTES
+        )
+        if len(word) != WORD_BYTES:
+            raise RuntimeError("/dev/zero returned a short read")
+        self.reads_done += 1
+        return word
+
+    def write_op(self) -> Program:
+        """One lmbench write: one word to /dev/null."""
+        if self._null_fd is None:
+            raise RuntimeError("setup() not run")
+        yield Compute(_LOOP_CYCLES, tag="lmbench-loop")
+        written = yield from self.enclave.ocall(
+            "write", self._null_fd, bytes(WORD_BYTES), in_bytes=WORD_BYTES
+        )
+        if written != WORD_BYTES:
+            raise RuntimeError("/dev/null short write")
+        self.writes_done += 1
+        return written
+
+    def run_reads(self, count: int) -> Program:
+        """Issue ``count`` read operations back to back."""
+        for _ in range(count):
+            yield from self.read_op()
+        return count
+
+    def run_writes(self, count: int) -> Program:
+        """Issue ``count`` write operations back to back."""
+        for _ in range(count):
+            yield from self.write_op()
+        return count
+
+    # ------------------------------------------------------------------
+    # The lat_syscall family (lmbench's latency microbenchmarks)
+    # ------------------------------------------------------------------
+    def null_op(self) -> Program:
+        """lat_syscall null: the cheapest possible syscall (getppid)."""
+        yield Compute(_LOOP_CYCLES, tag="lmbench-loop")
+        result = yield from self.enclave.ocall("getppid")
+        return result
+
+    def stat_op(self, path: str = "/dev/zero") -> Program:
+        """lat_syscall stat."""
+        yield Compute(_LOOP_CYCLES, tag="lmbench-loop")
+        result = yield from self.enclave.ocall("stat", path, out_bytes=64)
+        return result
+
+    def fstat_op(self) -> Program:
+        """lat_syscall fstat (on the /dev/zero descriptor)."""
+        if self._zero_fd is None:
+            raise RuntimeError("setup() not run")
+        yield Compute(_LOOP_CYCLES, tag="lmbench-loop")
+        result = yield from self.enclave.ocall("fstat", self._zero_fd, out_bytes=64)
+        return result
+
+    def open_close_op(self, path: str = "/dev/zero") -> Program:
+        """lat_syscall open+close."""
+        yield Compute(_LOOP_CYCLES, tag="lmbench-loop")
+        fd = yield from self.enclave.ocall("open", path, "r")
+        yield from self.enclave.ocall("close", fd)
+        return fd
+
+    def measure_latency(self, op_factory, count: int = 200) -> Program:
+        """Run ``count`` ops; returns mean latency in cycles."""
+        start = self.enclave.kernel.now
+        for _ in range(count):
+            yield from op_factory()
+        return (self.enclave.kernel.now - start) / count

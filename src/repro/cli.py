@@ -1,0 +1,132 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig8            # full benchmark-scale run
+    python -m repro run fig8 --quick    # scaled-down smoke run
+    python -m repro run all --quick
+
+Each run prints the series the paper's figure plots and the result of the
+shape check; the exit code is non-zero if any shape expectation is
+violated.  ``--csv DIR`` additionally writes each figure's data table as
+``<experiment>.csv`` for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Any
+
+from repro.analysis.report import to_csv
+from repro.experiments import EXPERIMENTS
+
+#: Reduced parameter sets for --quick runs (seconds instead of minutes).
+QUICK_KWARGS: dict[str, dict[str, Any]] = {
+    "sec3a": {"total_calls": 4_000},
+    "fig2": {"total_calls": 4_000, "workers": (1, 3, 5)},
+    "fig3": {"total_calls": 3_000, "workers": (1, 5), "g_sweep": (0, 500)},
+    "fig7": {"ops": 100},
+    "fig8": {"n_keys_sweep": (600,), "worker_counts": (2, 4)},
+    "fig9": {"n_keys_sweep": (600,), "worker_counts": (2, 4)},
+    "fig10": {"chunks_per_file": 96, "files_per_thread": 4},
+    "fig11": {"worker_counts": (2,)},
+    "fig12": {"worker_counts": (2,)},
+    "fig13": {"ops": 100},
+    "sec5d": {"record_sizes": (4_096, 16_384), "records": 60},
+}
+
+
+def run_experiment(exp_id: str, quick: bool, csv_dir: str | None = None) -> int:
+    """Run one experiment; returns the number of shape violations."""
+    module = EXPERIMENTS[exp_id]
+    kwargs = QUICK_KWARGS.get(exp_id, {}) if quick else {}
+    started = time.monotonic()
+    result = module.run(**kwargs)
+    elapsed = time.monotonic() - started
+    print(module.report(result))
+    if csv_dir is not None:
+        headers, rows = module.table(result)
+        path = os.path.join(csv_dir, f"{exp_id}.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(to_csv(headers, rows))
+        print(f"[csv written to {path}]")
+    violations = module.check_shape(result)
+    if violations:
+        print(f"\nshape check: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  - {violation}")
+    else:
+        print("\nshape check: OK (matches the paper)")
+    print(f"[{exp_id}: {elapsed:.1f}s wall]")
+    return len(violations)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures of 'SGX Switchless Calls Made Configless'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run_parser.add_argument(
+        "--quick", action="store_true", help="scaled-down parameters"
+    )
+    run_parser.add_argument(
+        "--csv", metavar="DIR", help="also write <experiment>.csv into DIR"
+    )
+    report_parser = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report_parser.add_argument("--out", default="report.md", help="output file")
+    report_parser.add_argument(
+        "--quick", action="store_true", help="scaled-down parameters"
+    )
+    report_parser.add_argument(
+        "--csv", metavar="DIR", help="also write each experiment's CSV into DIR"
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id, module in EXPERIMENTS.items():
+            first_line = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:8s} {first_line}")
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.suite import render_markdown, run_suite
+
+        overrides = QUICK_KWARGS if args.quick else {}
+        outcomes = run_suite(overrides=overrides)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_markdown(outcomes))
+        if args.csv is not None:
+            os.makedirs(args.csv, exist_ok=True)
+            for outcome in outcomes:
+                path = os.path.join(args.csv, f"{outcome.exp_id}.csv")
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(to_csv(outcome.headers, outcome.rows))
+        failed = [o.exp_id for o in outcomes if not o.ok]
+        print(f"report written to {args.out}")
+        if failed:
+            print(f"shape violations in: {', '.join(failed)}")
+        return 1 if failed else 0
+
+    if args.csv is not None:
+        os.makedirs(args.csv, exist_ok=True)
+    targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    total_violations = 0
+    for exp_id in targets:
+        print(f"\n### {exp_id} " + "#" * 50)
+        total_violations += run_experiment(exp_id, args.quick, args.csv)
+    return 1 if total_violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""The ZC-SWITCHLESS call backend (§IV).
+
+The caller-side protocol for *every* ocall (there is no static selection):
+
+1. Scan the worker pool for an ``UNUSED`` worker and claim it with an
+   atomic ``UNUSED → RESERVED`` transition.
+2. No idle worker?  Fall back to a regular ocall **immediately** — zero
+   busy-waiting, the key difference from the Intel SDK's
+   ``retries_before_fallback`` pause loop (§IV-C).
+3. Allocate the request frame from the worker's preallocated untrusted
+   memory pool; if the pool is full, free + reallocate it via a regular
+   ocall first (§IV-B).
+4. Publish the request (``RESERVED → PROCESSING``), busy-wait for
+   ``WAITING``, copy results, release the worker (``→ UNUSED``).
+
+Installing the backend also swaps the enclave's tlibc ``memcpy`` for the
+optimised ``rep movsb`` version (§IV-F) and spawns the scheduler thread.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import ZcConfig
+from repro.core.scheduler import ZcScheduler
+from repro.core.stats import ZcStats
+from repro.core.worker import WorkerStatus, ZcWorker
+from repro.sgx.backend import CallBackend
+from repro.sgx.memcpy import ZcMemcpy
+from repro.sim.instructions import Compute, Spin
+from repro.sim.kernel import Kernel, Program, SimThread
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave, OcallRequest
+
+#: Ocall name registered for memory-pool reallocation.
+POOL_REALLOC_OCALL = "zc_pool_realloc"
+
+
+class ZcSwitchlessBackend(CallBackend):
+    """Configless switchless calls driven by the wasted-cycle scheduler."""
+
+    name = "zc-switchless"
+
+    def __init__(self, config: ZcConfig | None = None) -> None:
+        self.config = config if config is not None else ZcConfig()
+        self.stats = ZcStats()
+        self.workers: list[ZcWorker] = []
+        self.worker_threads: list[SimThread] = []
+        self.scheduler: ZcScheduler | None = None
+        self.scheduler_thread: SimThread | None = None
+        self._enclave: "Enclave | None" = None
+        self._active_count = 0
+        self.initial_workers = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> Kernel:
+        """The simulation kernel this component is attached to."""
+        enclave = self._enclave
+        if enclave is None:
+            raise RuntimeError("backend not attached to an enclave")
+        return enclave.kernel
+
+    @property
+    def enclave(self) -> "Enclave":
+        """The enclave this component is attached to."""
+        if self._enclave is None:
+            raise RuntimeError("backend not attached to an enclave")
+        return self._enclave
+
+    def attach(self, enclave: "Enclave") -> None:
+        """Install this backend on ``enclave`` (spawns its threads)."""
+        self._enclave = enclave
+        kernel = enclave.kernel
+        if self.config.use_zc_memcpy:
+            enclave.memcpy_model = ZcMemcpy()
+        enclave.urts.register(POOL_REALLOC_OCALL, self._pool_realloc_handler)
+
+        cap = self.config.worker_cap(kernel.spec)
+        self.initial_workers = self.config.initial_worker_count(kernel.spec)
+        for i in range(cap):
+            worker = ZcWorker(kernel, i, self.config)
+            if i >= self.initial_workers:
+                worker.pause_requested = True
+            self.workers.append(worker)
+            affinity = (
+                frozenset(self.config.worker_affinity)
+                if self.config.worker_affinity is not None
+                else None
+            )
+            thread = kernel.spawn(
+                worker.run(enclave),
+                name=f"zc-worker-{i}",
+                kind="zc-worker",
+                daemon=True,
+                affinity=affinity,
+            )
+            self.worker_threads.append(thread)
+        self._active_count = self.initial_workers
+        self.stats.record_worker_count(kernel.now, self.initial_workers)
+
+        if self.config.enable_scheduler:
+            self.scheduler = ZcScheduler(self, self.config)
+            self.scheduler_thread = kernel.spawn(
+                self.scheduler.run(),
+                name="zc-scheduler",
+                kind="zc-scheduler",
+                daemon=True,
+            )
+
+    def stop(self) -> None:
+        """Program termination (§IV-B): flag workers to EXIT, stop the
+        scheduler."""
+        if self.scheduler is not None:
+            self.scheduler.stop()
+        for worker in self.workers:
+            worker.request_exit()
+
+    # ------------------------------------------------------------------
+    # Scheduler interface
+    # ------------------------------------------------------------------
+    def set_active_workers(self, count: int) -> None:
+        """(Scheduler) keep the first ``count`` workers active, pause the
+        rest.  Reserved/processing workers pause once released."""
+        count = max(0, min(count, len(self.workers)))
+        for worker in self.workers[:count]:
+            if worker.pause_requested or worker.is_paused:
+                worker.request_unpause()
+        for worker in self.workers[count:]:
+            if not worker.pause_requested:
+                worker.request_pause()
+        if count != self._active_count:
+            self._active_count = count
+            self.stats.record_worker_count(self.kernel.now, count)
+
+    @property
+    def active_worker_target(self) -> int:
+        """Worker count most recently requested by the scheduler."""
+        return self._active_count
+
+    def worker_idle_spin_cycles(self) -> float:
+        """Cumulative busy-wait cycles across all worker threads.
+
+        Workers only ever spin while *idle* (request execution is compute),
+        so this is exactly the wasted-worker-cycle measure the IDLE_WASTE
+        scheduler policy prices.
+        """
+        self.kernel.flush_accounting()
+        return sum(t.cycles_by.get("spin", 0.0) for t in self.worker_threads)
+
+    # ------------------------------------------------------------------
+    # Call path
+    # ------------------------------------------------------------------
+    def invoke(self, request: "OcallRequest") -> Program:
+        """Execute one call request (simulated program on the caller thread)."""
+        enclave = self.enclave
+        cost = enclave.cost
+        worker = self._find_unused()
+        if worker is None:
+            # §IV-C: immediate fallback, no busy-waiting at all.
+            self.stats.record_fallback()
+            result = yield from self._regular(request)
+            request.mode = "fallback"
+            return result
+
+        reserved = worker.try_reserve()
+        assert reserved, "scan returned a worker that was not UNUSED"
+        yield Compute(cost.switchless_dispatch_cycles, tag="zc-dispatch")
+
+        # Allocate the request frame from the worker's untrusted pool.
+        frame_bytes = self.config.request_header_bytes + request.in_bytes + request.out_bytes
+        if not worker.pool.try_alloc(frame_bytes):
+            # Pool exhausted: free + reallocate it via a regular ocall.
+            yield from enclave.regular_ocall(POOL_REALLOC_OCALL, worker.index)
+            worker.pool.reset()
+            self.stats.record_pool_realloc()
+            allocated = worker.pool.try_alloc(frame_bytes)
+            assert allocated, "fresh pool rejected an allocation"
+
+        worker.request = request
+        worker.set_status(WorkerStatus.PROCESSING)
+
+        # Busy-wait for the worker to publish results (WAITING).
+        while worker.status is not WorkerStatus.WAITING:
+            yield Spin(
+                worker.status_gate.wait_value(WorkerStatus.WAITING),
+                self.config.completion_spin_chunk_cycles,
+                tag="zc-wait-done",
+            )
+        result = worker.result
+        worker.request = None
+        worker.set_status(WorkerStatus.UNUSED)
+        self.stats.record_switchless()
+        request.mode = "switchless"
+        return result
+
+    def _find_unused(self) -> ZcWorker | None:
+        """Scan for an idle worker (lowest index first, deterministic)."""
+        for worker in self.workers:
+            if worker.status is WorkerStatus.UNUSED and not worker.pause_requested:
+                return worker
+        return None
+
+    def _regular(self, request: "OcallRequest") -> Program:
+        enclave = self.enclave
+        cost = enclave.cost
+        yield Compute(cost.eexit_cycles, tag="eexit")
+        result = yield from enclave.urts.execute(request)
+        yield Compute(cost.eenter_cycles, tag="eenter")
+        return result
+
+    def _pool_realloc_handler(self, worker_index: int) -> Program:
+        """Host side of the pool reallocation ocall (free + malloc)."""
+        enclave = self.enclave
+        yield Compute(enclave.cost.pool_realloc_host_cycles, tag="zc-pool-realloc")
+        return None

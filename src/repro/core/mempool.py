@@ -1,0 +1,56 @@
+"""Preallocated untrusted memory pools for switchless requests (§IV-B).
+
+Callers bump-allocate request frames from the reserved worker's pool.
+Nothing is freed individually: when the pool cannot satisfy an allocation,
+the caller performs a *regular* ocall that frees and reallocates the whole
+pool.  Preallocation is what keeps the hot path ocall-free; the occasional
+reallocation ocall is the cause of the latency spikes the paper points out
+in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MemoryPool:
+    """One worker's untrusted request pool (bump allocator)."""
+
+    capacity_bytes: int
+    used_bytes: int = 0
+    reallocs: int = 0
+    allocations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1")
+
+    def try_alloc(self, nbytes: int) -> bool:
+        """Reserve ``nbytes``; False means the pool must be reallocated.
+
+        A request larger than the whole pool is admitted only into an
+        empty pool (it then occupies a dedicated pool generation).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self.used_bytes + nbytes <= self.capacity_bytes:
+            self.used_bytes += nbytes
+            self.allocations += 1
+            return True
+        if self.used_bytes == 0:
+            # Oversized request: let it through, pool is "full" after it.
+            self.used_bytes = self.capacity_bytes
+            self.allocations += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Free + reallocate (the effect of the reallocation ocall)."""
+        self.used_bytes = 0
+        self.reallocs += 1
+
+    @property
+    def fill_fraction(self) -> float:
+        """Occupied fraction of the pool's capacity."""
+        return self.used_bytes / self.capacity_bytes

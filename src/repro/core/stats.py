@@ -1,0 +1,71 @@
+"""Runtime statistics of ZC-SWITCHLESS.
+
+The fallback counter doubles as the scheduler's measurement input: the
+configuration phase reads it before and after each micro-quantum to obtain
+``F_i``, the number of calls not handled switchlessly (§IV-A).
+The worker-count timeline reproduces the paper's "the scheduler set the
+number of workers to 0,1,2,3,4 for x% of the program's lifetime" analysis
+(§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ZcStats:
+    """Counters and timelines for one ZC-SWITCHLESS runtime."""
+
+    fallback_count: int = 0
+    switchless_count: int = 0
+    pool_reallocs: int = 0
+    scheduler_decisions: int = 0
+    worker_count_timeline: list[tuple[float, int]] = field(default_factory=list)
+
+    def record_fallback(self) -> None:
+        """Count one call that fell back to a regular transition."""
+        self.fallback_count += 1
+
+    def record_switchless(self) -> None:
+        """Count one call executed switchlessly."""
+        self.switchless_count += 1
+
+    def record_pool_realloc(self) -> None:
+        """Count one memory-pool reallocation."""
+        self.pool_reallocs += 1
+
+    def record_worker_count(self, t_cycles: float, count: int) -> None:
+        """Log that ``count`` workers are active from ``t_cycles`` on."""
+        self.worker_count_timeline.append((t_cycles, count))
+
+    @property
+    def total_calls(self) -> int:
+        """Total calls recorded."""
+        return self.fallback_count + self.switchless_count
+
+    def switchless_fraction(self) -> float:
+        """Fraction of calls executed switchlessly."""
+        total = self.total_calls
+        return self.switchless_count / total if total else 0.0
+
+    def worker_count_histogram(self, t_end_cycles: float) -> dict[int, float]:
+        """Fraction of lifetime spent at each worker count (paper §V-B)."""
+        if not self.worker_count_timeline:
+            return {}
+        histogram: dict[int, float] = {}
+        timeline = self.worker_count_timeline
+        for (t0, count), (t1, _) in zip(timeline, timeline[1:]):
+            histogram[count] = histogram.get(count, 0.0) + (t1 - t0)
+        last_t, last_count = timeline[-1]
+        if t_end_cycles > last_t:
+            histogram[last_count] = histogram.get(last_count, 0.0) + (t_end_cycles - last_t)
+        total = sum(histogram.values())
+        if total <= 0:
+            return {}
+        return {count: duration / total for count, duration in sorted(histogram.items())}
+
+    def mean_worker_count(self, t_end_cycles: float) -> float:
+        """Time-weighted average active worker count."""
+        histogram = self.worker_count_histogram(t_end_cycles)
+        return sum(count * frac for count, frac in histogram.items())

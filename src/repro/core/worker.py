@@ -1,0 +1,169 @@
+"""The ZC-SWITCHLESS worker state machine (paper Fig. 6).
+
+Each worker owns a buffer structure with the four fields of §IV-B: the
+preallocated untrusted memory pool, the most recent switchless request, a
+status field, and a scheduler-communication field (the pause/exit flags).
+
+State transitions:
+
+- caller: ``UNUSED → RESERVED`` (atomic claim), ``RESERVED → PROCESSING``
+  (request published), ``WAITING → UNUSED`` (results consumed);
+- worker: ``PROCESSING → WAITING`` (results published), ``UNUSED →
+  PAUSED`` (scheduler asked, worker idle), ``PAUSED → UNUSED`` (scheduler
+  woke it), ``UNUSED → EXIT`` (termination).
+
+An *active* (non-paused) worker always occupies a CPU: it is either
+executing a request or busy-waiting for one — the ``M`` cost term in the
+scheduler's wasted-cycle model.  A paused worker blocks and costs nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.core.config import ZcConfig
+from repro.core.mempool import MemoryPool
+from repro.sim.instructions import Block, Compute, Spin
+from repro.sim.kernel import Kernel, Program
+from repro.sim.primitives import Event, Gate
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave, OcallRequest
+
+
+class WorkerStatus(enum.Enum):
+    """Worker buffer status field (Fig. 6)."""
+
+    UNUSED = "unused"
+    RESERVED = "reserved"
+    PROCESSING = "processing"
+    WAITING = "waiting"
+    PAUSED = "paused"
+    EXIT = "exit"
+
+
+class ZcWorker:
+    """One switchless worker thread's shared buffer and state machine."""
+
+    def __init__(self, kernel: Kernel, index: int, config: ZcConfig) -> None:
+        self.kernel = kernel
+        self.index = index
+        self.config = config
+        self.status_gate: Gate = kernel.gate(WorkerStatus.UNUSED, name=f"zcw{index}")
+        self.pool = MemoryPool(config.pool_capacity_bytes)
+        self.request: "OcallRequest | None" = None
+        self.result: object = None
+        # Scheduler-communication field.
+        self.pause_requested = False
+        self.exit_requested = False
+        self._kick_event: Event | None = None
+        self._unpause_event: Event | None = None
+        self.tasks_executed = 0
+        self.pauses = 0
+
+    # ------------------------------------------------------------------
+    # Status helpers (atomic within one simulated step)
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> WorkerStatus:
+        """The worker's current status field."""
+        return self.status_gate.value  # type: ignore[return-value]
+
+    def set_status(self, status: WorkerStatus) -> None:
+        """Atomic status store; also wakes the worker's busy-wait loop."""
+        self.status_gate.set(status)
+        self.kick()
+
+    def try_reserve(self) -> bool:
+        """Caller-side CAS ``UNUSED -> RESERVED``; the claim step of §IV-B."""
+        if self.status is not WorkerStatus.UNUSED:
+            return False
+        self.set_status(WorkerStatus.RESERVED)
+        return True
+
+    @property
+    def is_paused(self) -> bool:
+        """Whether the worker is currently in the PAUSED state."""
+        return self.status is WorkerStatus.PAUSED
+
+    @property
+    def active(self) -> bool:
+        """Whether the worker currently consumes a CPU when idle."""
+        return self.status not in (WorkerStatus.PAUSED, WorkerStatus.EXIT)
+
+    # ------------------------------------------------------------------
+    # Scheduler-communication field
+    # ------------------------------------------------------------------
+    def request_pause(self) -> None:
+        """Scheduler: deactivate this worker once it is unreserved."""
+        self.pause_requested = True
+        self.kick()
+
+    def request_unpause(self) -> None:
+        """Scheduler: reactivate a paused worker (the §IV-A signal)."""
+        self.pause_requested = False
+        if self._unpause_event is not None:
+            event, self._unpause_event = self._unpause_event, None
+            event.fire_if_unfired()
+
+    def request_exit(self) -> None:
+        """Runtime teardown: ask the worker to clean up and terminate."""
+        self.exit_requested = True
+        self.kick()
+        self.request_unpause()
+
+    def kick(self) -> None:
+        """Wake the worker's poll loop if it is busy-waiting."""
+        if self._kick_event is not None:
+            event, self._kick_event = self._kick_event, None
+            event.fire_if_unfired()
+
+    # ------------------------------------------------------------------
+    # Worker thread program
+    # ------------------------------------------------------------------
+    def run(self, enclave: "Enclave", executor=None) -> Program:
+        """Simulated program of this worker thread.
+
+        ``executor`` selects the handler table: the untrusted runtime for
+        ocall workers (default) or the trusted runtime when the same
+        machinery serves switchless ecalls (§IV-D symmetry).
+        """
+        cost = enclave.cost
+        if executor is None:
+            executor = enclave.urts.execute
+        while True:
+            status = self.status
+            if status is WorkerStatus.PROCESSING:
+                yield Compute(cost.worker_pickup_cycles, tag="zc-pickup")
+                request = self.request
+                assert request is not None, "PROCESSING with no request"
+                result = yield from executor(request)
+                yield Compute(cost.worker_complete_cycles, tag="zc-complete")
+                self.result = result
+                self.tasks_executed += 1
+                self.status_gate.set(WorkerStatus.WAITING)  # caller observes
+                continue
+            if self.exit_requested and status in (WorkerStatus.UNUSED, WorkerStatus.PAUSED):
+                # Final cleanup (free pool memory), then terminate.
+                yield Compute(cost.worker_complete_cycles, tag="zc-exit-cleanup")
+                self.status_gate.set(WorkerStatus.EXIT)
+                return
+            if self.pause_requested and status is WorkerStatus.UNUSED:
+                # Nobody reserved us: release the CPU until the scheduler
+                # sends the wake signal.
+                self.pauses += 1
+                self.status_gate.set(WorkerStatus.PAUSED)
+                unpause = self.kernel.event(f"zcw{self.index}-unpause")
+                self._unpause_event = unpause
+                yield Block(unpause)
+                yield Compute(cost.worker_wake_cycles, tag="zc-unpause")
+                if not self.exit_requested:
+                    self.status_gate.set(WorkerStatus.UNUSED)
+                continue
+            # UNUSED / RESERVED / WAITING: busy-wait for a state change.
+            # This spin is the worker-side CPU cost of keeping a worker
+            # active (the M*T term of the wasted-cycle model).
+            kick = self.kernel.event(f"zcw{self.index}-kick")
+            self._kick_event = kick
+            yield Spin(kick, self.config.idle_spin_chunk_cycles, tag="zc-idle")

@@ -1,0 +1,33 @@
+"""Pure-Python cryptography for the OpenSSL evaluation substrate.
+
+The paper's second static benchmark encrypts/decrypts files with
+AES-256-CBC through an SGX port of OpenSSL (§V-B).  This package provides
+the equivalent primitives, implemented from scratch and verified against
+the FIPS-197 and NIST SP 800-38A test vectors:
+
+- :mod:`repro.crypto.aes` — the AES block cipher (128/192/256-bit keys);
+- :mod:`repro.crypto.cbc` — CBC mode with PKCS#7 padding;
+- :mod:`repro.crypto.engine` — cipher engines for the simulated pipeline:
+  the real cipher for correctness-focused runs, and a fast length- and
+  padding-faithful stand-in for large benchmark runs, both priced by the
+  same cycle-cost model.
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.cbc import cbc_decrypt, cbc_encrypt, pkcs7_pad, pkcs7_unpad
+from repro.crypto.engine import (
+    CryptoCostModel,
+    FastXorEngine,
+    RealAesCbcEngine,
+)
+
+__all__ = [
+    "AES",
+    "CryptoCostModel",
+    "FastXorEngine",
+    "RealAesCbcEngine",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "pkcs7_pad",
+    "pkcs7_unpad",
+]

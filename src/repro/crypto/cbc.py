@@ -1,0 +1,67 @@
+"""CBC mode with PKCS#7 padding (NIST SP 800-38A / RFC 5652)."""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+
+
+class PaddingError(ValueError):
+    """Raised when PKCS#7 unpadding encounters malformed padding."""
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding (always adds 1..block_size bytes)."""
+    if not 1 <= block_size <= 255:
+        raise ValueError("block_size must be in 1..255")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise PaddingError("data length is not a multiple of the block size")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size:
+        raise PaddingError(f"invalid padding length {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_len]
+
+
+def cbc_encrypt(key: bytes, iv: bytes, plaintext: bytes, pad: bool = True) -> bytes:
+    """AES-CBC encrypt ``plaintext``; pads with PKCS#7 unless ``pad=False``
+    (in which case the input must be block-aligned, as in the NIST
+    vectors)."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("iv must be 16 bytes")
+    cipher = AES(key)
+    data = pkcs7_pad(plaintext) if pad else plaintext
+    if len(data) % BLOCK_SIZE:
+        raise ValueError("unpadded input must be a multiple of 16 bytes")
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(data), BLOCK_SIZE):
+        block = bytes(a ^ b for a, b in zip(data[offset : offset + BLOCK_SIZE], previous))
+        encrypted = cipher.encrypt_block(block)
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_decrypt(key: bytes, iv: bytes, ciphertext: bytes, pad: bool = True) -> bytes:
+    """AES-CBC decrypt ``ciphertext``; strips PKCS#7 unless ``pad=False``."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("iv must be 16 bytes")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE:
+        raise ValueError("ciphertext must be a non-empty multiple of 16 bytes")
+    cipher = AES(key)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset : offset + BLOCK_SIZE]
+        decrypted = cipher.decrypt_block(block)
+        out.extend(a ^ b for a, b in zip(decrypted, previous))
+        previous = block
+    data = bytes(out)
+    return pkcs7_unpad(data) if pad else data

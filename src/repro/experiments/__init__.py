@@ -1,0 +1,47 @@
+"""One runner per paper figure/table.
+
+Every module exposes:
+
+- ``run(...) -> <Figure>Result`` — executes the experiment (accepting
+  scaled-down parameters for quick runs) and returns structured rows;
+- ``report(result) -> str`` — the rows/series the paper's figure plots,
+  as an aligned text table;
+- ``check_shape(result) -> list[str]`` — the qualitative expectations the
+  paper's figure encodes (who wins, by roughly what factor, where the
+  crossovers fall); returns the list of violated expectations, empty when
+  the reproduction matches the paper's shape.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for measured
+paper-vs-reproduction numbers.
+"""
+
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    sec3a,
+    sec5d,
+)
+
+#: Registry of experiment id -> module, used by the benchmark harness.
+EXPERIMENTS = {
+    "sec3a": sec3a,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "sec5d": sec5d,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,148 @@
+"""Shared system-under-test builders for the experiments.
+
+An experiment run builds one full simulated machine per (configuration,
+parameter) cell: kernel, host filesystem with devices, POSIX ocall
+handlers, one enclave, and the call backend named by a
+:class:`BackendSpec` — exactly the three modes the paper evaluates
+(``no_sl``, Intel switchless with a static configuration, and zc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.hostos import (
+    CpuUsageMonitor,
+    DevNull,
+    DevZero,
+    HostFileSystem,
+    PosixHost,
+    ProcStat,
+    SyscallCostModel,
+)
+from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime
+from repro.sim import Kernel, MachineSpec, paper_machine
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Names one of the paper's execution modes.
+
+    ``label`` follows the paper's legend conventions, e.g. ``no_sl``,
+    ``zc``, ``i-fseeko-2``, ``i-frwoc-4``.
+    """
+
+    label: str
+    kind: str  # "no_sl" | "intel" | "zc"
+    switchless: frozenset[str] = frozenset()
+    workers: int = 2
+    zc_config: ZcConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("no_sl", "intel", "zc"):
+            raise ValueError(f"unknown backend kind {self.kind!r}")
+
+
+def no_sl_spec() -> BackendSpec:
+    """The paper's ``no_sl`` mode: every ocall transitions."""
+    return BackendSpec(label="no_sl", kind="no_sl")
+
+
+def intel_spec(tag: str, names: frozenset[str] | set[str], workers: int) -> BackendSpec:
+    """An Intel switchless configuration, labelled ``i-<tag>-<workers>``."""
+    return BackendSpec(
+        label=f"i-{tag}-{workers}",
+        kind="intel",
+        switchless=frozenset(names),
+        workers=workers,
+    )
+
+
+def zc_spec(config: ZcConfig | None = None) -> BackendSpec:
+    """ZC-SWITCHLESS with its default (configless) runtime parameters."""
+    return BackendSpec(label="zc", kind="zc", zc_config=config)
+
+
+@dataclass
+class Stack:
+    """One fully-built system under test."""
+
+    spec: BackendSpec
+    kernel: Kernel
+    fs: HostFileSystem
+    enclave: Enclave
+    procstat: ProcStat
+    monitor: CpuUsageMonitor | None = None
+    _start_sample: object = None
+
+    def start_measuring(self) -> None:
+        """Snapshot CPU counters; usage is measured from here."""
+        self._start_sample = self.procstat.sample()
+
+    def cpu_usage_pct(self) -> float:
+        """Mean CPU usage since :meth:`start_measuring`."""
+        if self._start_sample is None:
+            raise RuntimeError("start_measuring() was not called")
+        end = self.procstat.sample()
+        return self.procstat.usage_between(self._start_sample, end).usage_pct
+
+    def finish(self) -> None:
+        """Stop backend threads and the monitor, drain remaining events."""
+        if self.monitor is not None:
+            self.monitor.stop()
+        self.enclave.stop_backend()
+        self.kernel.run()
+
+
+def build_stack(
+    spec: BackendSpec,
+    machine: MachineSpec | None = None,
+    cost: SgxCostModel | None = None,
+    syscall_costs: SyscallCostModel | None = None,
+    files: dict[str, bytes] | None = None,
+    monitor_interval_s: float | None = None,
+    memcpy_model: object | None = None,
+) -> Stack:
+    """Build a machine + enclave + backend for one experiment cell.
+
+    ``memcpy_model`` overrides the enclave's marshalling memcpy (used by
+    the Fig. 7 / Fig. 13 experiments); note the zc backend installs its
+    own ``rep movsb`` model on attach regardless.
+    """
+    machine = machine if machine is not None else paper_machine()
+    kernel = Kernel(machine)
+    fs = HostFileSystem()
+    fs.mount_device("/dev/null", DevNull())
+    fs.mount_device("/dev/zero", DevZero())
+    if files:
+        for path, data in files.items():
+            fs.create(path, data)
+    urts = UntrustedRuntime()
+    PosixHost(fs, syscall_costs).install(urts)
+    enclave = Enclave(kernel, urts, cost=cost, memcpy_model=memcpy_model)
+
+    if spec.kind == "intel":
+        backend = IntelSwitchlessBackend(
+            SwitchlessConfig(
+                switchless_ocalls=spec.switchless, num_uworkers=spec.workers
+            )
+        )
+        enclave.set_backend(backend)
+    elif spec.kind == "zc":
+        config = spec.zc_config if spec.zc_config is not None else ZcConfig()
+        enclave.set_backend(ZcSwitchlessBackend(config))
+    # "no_sl" keeps the default RegularBackend.
+
+    monitor = None
+    if monitor_interval_s is not None:
+        monitor = CpuUsageMonitor(kernel, kernel.cycles(monitor_interval_s)).start()
+    return Stack(
+        spec=spec,
+        kernel=kernel,
+        fs=fs,
+        enclave=enclave,
+        procstat=ProcStat(kernel),
+        monitor=monitor,
+    )

@@ -1,0 +1,101 @@
+"""Run experiment suites and render a combined markdown report.
+
+``python -m repro report --quick --out report.md`` regenerates an
+EXPERIMENTS.md-style document from live runs: one section per experiment
+with its data table (as markdown) and its shape-check verdict.  Useful
+for verifying a changed cost model or scheduler against every figure at
+once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.experiments import EXPERIMENTS
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's run, table and verdict."""
+
+    exp_id: str
+    headers: list[str]
+    rows: list[list[Any]]
+    violations: list[str]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the shape check passed."""
+        return not self.violations
+
+
+def run_suite(
+    experiment_ids: Sequence[str] | None = None,
+    overrides: dict[str, dict[str, Any]] | None = None,
+) -> list[ExperimentOutcome]:
+    """Run the given experiments (all by default) and collect outcomes.
+
+    ``overrides`` maps experiment id to run() kwargs (e.g. the CLI's
+    quick presets).
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    overrides = overrides or {}
+    outcomes = []
+    for exp_id in ids:
+        module = EXPERIMENTS[exp_id]
+        started = time.monotonic()
+        result = module.run(**overrides.get(exp_id, {}))
+        wall = time.monotonic() - started
+        headers, rows = module.table(result)
+        outcomes.append(
+            ExperimentOutcome(
+                exp_id=exp_id,
+                headers=headers,
+                rows=rows,
+                violations=module.check_shape(result),
+                wall_seconds=wall,
+            )
+        )
+    return outcomes
+
+
+def _markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "---|" * len(headers))
+    for row in rows:
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown(outcomes: list[ExperimentOutcome]) -> str:
+    """Render a combined markdown report."""
+    passed = sum(1 for outcome in outcomes if outcome.ok)
+    lines = [
+        "# Reproduction report",
+        "",
+        f"{passed}/{len(outcomes)} experiments match the paper's shape.",
+        "",
+    ]
+    for outcome in outcomes:
+        module = EXPERIMENTS[outcome.exp_id]
+        first_doc_line = (module.__doc__ or "").strip().splitlines()[0]
+        verdict = "OK" if outcome.ok else f"{len(outcome.violations)} violation(s)"
+        lines.append(f"## {outcome.exp_id} — {first_doc_line}")
+        lines.append("")
+        lines.append(f"Shape check: **{verdict}** ({outcome.wall_seconds:.1f}s wall)")
+        lines.append("")
+        lines.append(_markdown_table(outcome.headers, outcome.rows))
+        lines.append("")
+        for violation in outcome.violations:
+            lines.append(f"- VIOLATION: {violation}")
+        if outcome.violations:
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Untrusted host operating system substrate.
+
+The evaluation applications perform their I/O through ocalls into this
+package:
+
+- :mod:`repro.hostos.filesystem` — an in-memory file system with POSIX
+  open/read/write/seek semantics (real data, fully unit-testable).
+- :mod:`repro.hostos.devices` — character devices ``/dev/null`` and
+  ``/dev/zero`` used by the lmbench benchmarks.
+- :mod:`repro.hostos.syscalls` — the cycle-cost model of host syscalls and
+  stdio operations.
+- :mod:`repro.hostos.posix` — ocall handlers (generator coroutines) that
+  combine the cost model with the file system, registered into the
+  untrusted runtime.
+- :mod:`repro.hostos.procstat` — ``/proc/stat``-style CPU usage sampling
+  of the simulated machine, used by the paper's CPU-utilisation figures.
+"""
+
+from repro.hostos.devices import DevNull, DevZero
+from repro.hostos.filesystem import HostFileSystem
+from repro.hostos.posix import PosixHost
+from repro.hostos.procstat import CpuUsageMonitor, ProcStat
+from repro.hostos.syscalls import SyscallCostModel
+
+__all__ = [
+    "CpuUsageMonitor",
+    "DevNull",
+    "DevZero",
+    "HostFileSystem",
+    "PosixHost",
+    "ProcStat",
+    "SyscallCostModel",
+]

@@ -1,0 +1,56 @@
+"""Character devices: ``/dev/null`` and ``/dev/zero``.
+
+The lmbench dynamic benchmark (§V-C) iteratively reads one word from
+``/dev/zero`` and writes one word to ``/dev/null``; these devices implement
+the corresponding data semantics.
+"""
+
+from __future__ import annotations
+
+
+class Device:
+    """Base class for character devices mountable in the host filesystem."""
+
+    def read(self, nbytes: int) -> bytes:
+        """Read up to ``nbytes``; returns the bytes read."""
+        raise NotImplementedError
+
+    def write(self, data: bytes) -> int:
+        """Write ``data``; returns the byte count written."""
+        raise NotImplementedError
+
+
+class DevNull(Device):
+    """``/dev/null``: discards writes, reads return EOF."""
+
+    def __init__(self) -> None:
+        self.bytes_discarded = 0
+
+    def read(self, nbytes: int) -> bytes:
+        """Read up to ``nbytes``; returns the bytes read."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return b""
+
+    def write(self, data: bytes) -> int:
+        """Write ``data``; returns the byte count written."""
+        self.bytes_discarded += len(data)
+        return len(data)
+
+
+class DevZero(Device):
+    """``/dev/zero``: reads return zero bytes, writes are discarded."""
+
+    def __init__(self) -> None:
+        self.bytes_read = 0
+
+    def read(self, nbytes: int) -> bytes:
+        """Read up to ``nbytes``; returns the bytes read."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.bytes_read += nbytes
+        return bytes(nbytes)
+
+    def write(self, data: bytes) -> int:
+        """Write ``data``; returns the byte count written."""
+        return len(data)

@@ -1,0 +1,232 @@
+"""In-memory POSIX-style file system.
+
+This is a pure data structure (no simulated time): handlers in
+:mod:`repro.hostos.posix` charge cycle costs separately.  Semantics follow
+POSIX closely enough for the kissdb and crypto pipelines to run unmodified:
+
+- ``open`` modes ``r``, ``r+``, ``w``, ``w+``, ``a``, ``a+`` (binary
+  implied — everything is bytes);
+- sparse writes: seeking past EOF and writing zero-fills the gap;
+- per-handle file positions; append handles always write at EOF;
+- device nodes (``/dev/null``, ``/dev/zero``) dispatch to
+  :class:`repro.hostos.devices.Device` objects and ignore seeks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.hostos.devices import Device
+
+SEEK_SET = os.SEEK_SET
+SEEK_CUR = os.SEEK_CUR
+SEEK_END = os.SEEK_END
+
+_MODES = {"r", "r+", "w", "w+", "a", "a+"}
+
+
+class FileSystemError(OSError):
+    """Base error for host filesystem failures."""
+
+
+class BadFileDescriptor(FileSystemError):
+    """Operation on a closed or unknown file descriptor."""
+
+
+@dataclass
+class _OpenFile:
+    """State of one open file descriptor."""
+
+    path: str
+    pos: int = 0
+    readable: bool = True
+    writable: bool = True
+    append: bool = False
+    device: Device | None = None
+
+
+@dataclass
+class _RegularFile:
+    data: bytearray = field(default_factory=bytearray)
+
+
+class HostFileSystem:
+    """An in-memory file system with POSIX open/read/write/seek semantics."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, _RegularFile] = {}
+        self._devices: dict[str, Device] = {}
+        self._handles: dict[int, _OpenFile] = {}
+        self._next_fd = 3  # 0-2 reserved, as on a real host
+        self.op_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Namespace management
+    # ------------------------------------------------------------------
+    def mount_device(self, path: str, device: Device) -> None:
+        """Expose ``device`` at ``path`` (e.g. ``/dev/null``)."""
+        self._devices[path] = device
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create (or truncate) a regular file with ``data``."""
+        self._files[path] = _RegularFile(bytearray(data))
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` names a file or device."""
+        return path in self._files or path in self._devices
+
+    def size(self, path: str) -> int:
+        """Size in bytes of a regular file."""
+        try:
+            return len(self._files[path].data)
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def contents(self, path: str) -> bytes:
+        """Full contents of a regular file (testing/verification hook)."""
+        try:
+            return bytes(self._files[path].data)
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def unlink(self, path: str) -> None:
+        """Delete a regular file."""
+        try:
+            del self._files[path]
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def stat(self, path: str) -> dict[str, int]:
+        """Minimal stat: size and a device flag (st_mode stand-in)."""
+        if path in self._devices:
+            return {"st_size": 0, "is_device": 1}
+        try:
+            return {"st_size": len(self._files[path].data), "is_device": 0}
+        except KeyError:
+            raise FileNotFoundError(path) from None
+
+    def fstat(self, fd: int) -> dict[str, int]:
+        """stat by descriptor."""
+        handle = self._handle(fd)
+        if handle.device is not None:
+            return {"st_size": 0, "is_device": 1}
+        return {"st_size": len(self._files[handle.path].data), "is_device": 0}
+
+    # ------------------------------------------------------------------
+    # Handle lifecycle
+    # ------------------------------------------------------------------
+    def open(self, path: str, mode: str = "r") -> int:
+        """Open ``path``; returns a file descriptor."""
+        if mode not in _MODES:
+            raise ValueError(f"unsupported mode {mode!r}")
+        self._count("open")
+        device = self._devices.get(path)
+        if device is not None:
+            handle = _OpenFile(path=path, device=device)
+        else:
+            exists = path in self._files
+            if mode in ("r", "r+") and not exists:
+                raise FileNotFoundError(path)
+            if mode in ("w", "w+") or (mode in ("a", "a+") and not exists):
+                if mode in ("w", "w+"):
+                    self._files[path] = _RegularFile()
+                else:
+                    self._files.setdefault(path, _RegularFile())
+            handle = _OpenFile(
+                path=path,
+                readable=mode not in ("w", "a"),
+                writable=mode != "r",
+                append=mode in ("a", "a+"),
+            )
+            if mode in ("a", "a+"):
+                handle.pos = len(self._files[path].data)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._handles[fd] = handle
+        return fd
+
+    def close(self, fd: int) -> None:
+        """Close the descriptor."""
+        self._count("close")
+        try:
+            del self._handles[fd]
+        except KeyError:
+            raise BadFileDescriptor(fd) from None
+
+    def is_open(self, fd: int) -> bool:
+        """Whether the handle/database is currently open."""
+        return fd in self._handles
+
+    def open_fd_count(self) -> int:
+        """Number of currently open descriptors."""
+        return len(self._handles)
+
+    def _handle(self, fd: int) -> _OpenFile:
+        try:
+            return self._handles[fd]
+        except KeyError:
+            raise BadFileDescriptor(fd) from None
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def read(self, fd: int, nbytes: int) -> bytes:
+        """Read up to ``nbytes`` from the handle's position."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self._count("read")
+        handle = self._handle(fd)
+        if not handle.readable:
+            raise FileSystemError(f"fd {fd} not open for reading")
+        if handle.device is not None:
+            return handle.device.read(nbytes)
+        data = self._files[handle.path].data
+        chunk = bytes(data[handle.pos : handle.pos + nbytes])
+        handle.pos += len(chunk)
+        return chunk
+
+    def write(self, fd: int, payload: bytes) -> int:
+        """Write ``payload`` at the handle's position (EOF if append)."""
+        self._count("write")
+        handle = self._handle(fd)
+        if not handle.writable:
+            raise FileSystemError(f"fd {fd} not open for writing")
+        if handle.device is not None:
+            return handle.device.write(payload)
+        data = self._files[handle.path].data
+        if handle.append:
+            handle.pos = len(data)
+        end = handle.pos + len(payload)
+        if handle.pos > len(data):
+            data.extend(bytes(handle.pos - len(data)))  # sparse zero-fill
+        data[handle.pos : end] = payload
+        handle.pos = end
+        return len(payload)
+
+    def seek(self, fd: int, offset: int, whence: int = SEEK_SET) -> int:
+        """Reposition the handle; returns the new offset."""
+        self._count("seek")
+        handle = self._handle(fd)
+        if handle.device is not None:
+            return 0  # seeks on character devices are no-ops
+        size = len(self._files[handle.path].data)
+        if whence == SEEK_SET:
+            new_pos = offset
+        elif whence == SEEK_CUR:
+            new_pos = handle.pos + offset
+        elif whence == SEEK_END:
+            new_pos = size + offset
+        else:
+            raise ValueError(f"bad whence {whence}")
+        if new_pos < 0:
+            raise FileSystemError("negative seek position")
+        handle.pos = new_pos
+        return new_pos
+
+    def tell(self, fd: int) -> int:
+        """Current position of the handle."""
+        return self._handle(fd).pos
+
+    def _count(self, op: str) -> None:
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1

@@ -1,0 +1,132 @@
+"""Ocall handlers: the untrusted POSIX surface the enclave apps call.
+
+``PosixHost`` binds the in-memory file system to the syscall cost model and
+exposes each operation as a generator coroutine suitable for registration
+in :class:`repro.sgx.urts.UntrustedRuntime`.  These handlers execute either
+on the caller thread (regular ocalls) or on switchless worker threads —
+identically, as in the SDK.
+"""
+
+from __future__ import annotations
+
+from repro.hostos.filesystem import SEEK_SET, HostFileSystem
+from repro.hostos.syscalls import SyscallCostModel
+from repro.sgx.urts import UntrustedRuntime
+from repro.sim.instructions import Compute
+from repro.sim.kernel import Program
+
+
+class PosixHost:
+    """Host-side implementation of the POSIX ocalls used by the apps.
+
+    The ocall names mirror the paper's benchmarks: ``fopen``, ``fclose``,
+    ``fseeko``, ``fread``, ``fwrite`` (stdio, used by kissdb and the crypto
+    pipeline) and ``read``, ``write`` (bare syscalls, used by lmbench).
+    """
+
+    def __init__(
+        self,
+        fs: HostFileSystem,
+        costs: SyscallCostModel | None = None,
+    ) -> None:
+        self.fs = fs
+        self.costs = costs if costs is not None else SyscallCostModel()
+
+    # ------------------------------------------------------------------
+    # stdio surface
+    # ------------------------------------------------------------------
+    def fopen(self, path: str, mode: str) -> Program:
+        """Open a stdio stream; returns the file descriptor."""
+        yield Compute(self.costs.fopen_cycles, tag="host-fopen")
+        return self.fs.open(path, mode)
+
+    def fclose(self, fd: int) -> Program:
+        """Flush and close a stdio stream; returns 0."""
+        yield Compute(self.costs.fclose_cycles, tag="host-fclose")
+        self.fs.close(fd)
+        return 0
+
+    def fseeko(self, fd: int, offset: int, whence: int = SEEK_SET) -> Program:
+        """Reposition a stream; returns 0 on success (like fseeko)."""
+        yield Compute(self.costs.fseek_cycles, tag="host-fseeko")
+        self.fs.seek(fd, offset, whence)
+        return 0
+
+    def fread(self, fd: int, nbytes: int) -> Program:
+        """Read up to ``nbytes``; returns the bytes actually read."""
+        yield Compute(self.costs.fread_cycles(nbytes), tag="host-fread")
+        return self.fs.read(fd, nbytes)
+
+    def fwrite(self, fd: int, payload: bytes) -> Program:
+        """Write ``payload``; returns the number of bytes written."""
+        yield Compute(self.costs.fwrite_cycles(len(payload)), tag="host-fwrite")
+        return self.fs.write(fd, payload)
+
+    def ftell(self, fd: int) -> Program:
+        """Return the stream position."""
+        yield Compute(self.costs.fseek_cycles, tag="host-ftell")
+        return self.fs.tell(fd)
+
+    # ------------------------------------------------------------------
+    # Bare syscall surface (lmbench, write-throughput benchmarks)
+    # ------------------------------------------------------------------
+    def sys_open(self, path: str, mode: str = "r") -> Program:
+        """``open`` syscall; returns a file descriptor."""
+        yield Compute(self.costs.syscall_cycles + self.costs.fopen_cycles / 2, tag="host-open")
+        return self.fs.open(path, mode)
+
+    def sys_close(self, fd: int) -> Program:
+        """``close`` syscall."""
+        yield Compute(self.costs.syscall_cycles, tag="host-close")
+        self.fs.close(fd)
+        return 0
+
+    def sys_read(self, fd: int, nbytes: int) -> Program:
+        """``read`` syscall; returns the bytes read."""
+        yield Compute(self.costs.dev_read_cycles(nbytes), tag="host-read")
+        return self.fs.read(fd, nbytes)
+
+    def sys_write(self, fd: int, payload: bytes) -> Program:
+        """``write`` syscall; returns the byte count written."""
+        yield Compute(self.costs.dev_write_cycles(len(payload)), tag="host-write")
+        return self.fs.write(fd, payload)
+
+    def sys_stat(self, path: str) -> Program:
+        """``stat`` syscall; returns a minimal stat dict."""
+        yield Compute(self.costs.stat_cycles, tag="host-stat")
+        return self.fs.stat(path)
+
+    def sys_fstat(self, fd: int) -> Program:
+        """``fstat`` syscall; returns a minimal stat dict."""
+        yield Compute(self.costs.fstat_cycles, tag="host-fstat")
+        return self.fs.fstat(fd)
+
+    def sys_getppid(self) -> Program:
+        """The lmbench "null" syscall: pure kernel entry/exit."""
+        yield Compute(self.costs.syscall_cycles, tag="host-null")
+        return 1
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def handlers(self) -> dict[str, object]:
+        """Handler table keyed by ocall name."""
+        return {
+            "fopen": self.fopen,
+            "fclose": self.fclose,
+            "fseeko": self.fseeko,
+            "fread": self.fread,
+            "fwrite": self.fwrite,
+            "ftell": self.ftell,
+            "open": self.sys_open,
+            "close": self.sys_close,
+            "read": self.sys_read,
+            "write": self.sys_write,
+            "stat": self.sys_stat,
+            "fstat": self.sys_fstat,
+            "getppid": self.sys_getppid,
+        }
+
+    def install(self, urts: UntrustedRuntime) -> None:
+        """Register every handler into ``urts``."""
+        urts.register_many(self.handlers())  # type: ignore[arg-type]

@@ -1,0 +1,126 @@
+"""``/proc/stat``-style CPU usage sampling of the simulated machine.
+
+The paper computes CPU utilisation as
+``(user + nice + system) / (user + nice + system + idle)`` sampled from
+``/proc/stat`` (§V-A2).  On the simulated machine every busy cycle is
+"user + system" and everything else is idle, so the same formula reduces
+to busy / capacity over a sampling window.
+
+Two interfaces are provided:
+
+- :class:`ProcStat` — pull-style cumulative counters plus windowed deltas
+  (what a monitoring script reading ``/proc/stat`` twice would compute);
+- :class:`CpuUsageMonitor` — a daemon thread sampling at a fixed interval
+  and retaining the full time series, used for the CPU-usage-over-time
+  figures (Fig. 9, 10, 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.instructions import Sleep
+from repro.sim.kernel import Kernel, Program, SimThread
+
+
+@dataclass(frozen=True)
+class CpuSample:
+    """Cumulative CPU accounting at one instant."""
+
+    t_cycles: float
+    busy_cycles: float
+    by_kind: dict[str, float]
+
+
+@dataclass(frozen=True)
+class UsageWindow:
+    """CPU usage between two samples."""
+
+    t_start_cycles: float
+    t_end_cycles: float
+    usage_pct: float
+    by_kind_pct: dict[str, float]
+
+
+class ProcStat:
+    """Cumulative and windowed CPU usage of a simulated machine."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    def sample(self) -> CpuSample:
+        """Take a cumulative sample (equivalent to reading /proc/stat)."""
+        snap = self.kernel.cpu_snapshot()
+        return CpuSample(
+            t_cycles=snap["now"],
+            busy_cycles=snap["busy_total"],
+            by_kind=dict(snap["by_kind"]),
+        )
+
+    def usage_between(self, first: CpuSample, second: CpuSample) -> UsageWindow:
+        """Percentage CPU usage over the window between two samples."""
+        dt = second.t_cycles - first.t_cycles
+        if dt <= 0:
+            raise ValueError("samples must be strictly ordered in time")
+        capacity = dt * len(self.kernel.cpus)
+        busy = second.busy_cycles - first.busy_cycles
+        kinds = set(first.by_kind) | set(second.by_kind)
+        by_kind = {
+            kind: 100.0
+            * (second.by_kind.get(kind, 0.0) - first.by_kind.get(kind, 0.0))
+            / capacity
+            for kind in kinds
+        }
+        return UsageWindow(
+            t_start_cycles=first.t_cycles,
+            t_end_cycles=second.t_cycles,
+            usage_pct=100.0 * busy / capacity,
+            by_kind_pct=by_kind,
+        )
+
+
+@dataclass
+class CpuUsageMonitor:
+    """Daemon thread sampling CPU usage at a fixed interval.
+
+    Attributes:
+        windows: One :class:`UsageWindow` per elapsed interval.
+    """
+
+    kernel: Kernel
+    interval_cycles: float
+    windows: list[UsageWindow] = field(default_factory=list)
+    _stopped: bool = False
+    thread: SimThread | None = None
+
+    def start(self) -> "CpuUsageMonitor":
+        """Spawn the sampling thread (idle: it only sleeps and samples)."""
+        self.thread = self.kernel.spawn(
+            self._run(), name="cpu-monitor", kind="monitor", daemon=True
+        )
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling after the current interval."""
+        self._stopped = True
+
+    def _run(self) -> Program:
+        stat = ProcStat(self.kernel)
+        previous = stat.sample()
+        while not self._stopped:
+            yield Sleep(self.interval_cycles)
+            current = stat.sample()
+            self.windows.append(stat.usage_between(previous, current))
+            previous = current
+
+    def mean_usage_pct(self) -> float:
+        """Average CPU usage over all recorded windows."""
+        if not self.windows:
+            return 0.0
+        return sum(w.usage_pct for w in self.windows) / len(self.windows)
+
+    def series(self) -> list[tuple[float, float]]:
+        """(window end time in seconds, usage %) pairs."""
+        return [
+            (self.kernel.seconds(w.t_end_cycles), w.usage_pct) for w in self.windows
+        ]

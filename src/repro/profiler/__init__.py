@@ -1,0 +1,42 @@
+"""Enclave call profiling and switchless-configuration advice.
+
+The paper's §VI names profiler integration as future work, and its §III-A
+motivation is precisely that developers *cannot know* call frequency and
+duration at build time.  This package closes that loop, in the spirit of
+sgx-perf [32]:
+
+- :mod:`repro.profiler.tracer` — a :class:`CallTracer` that installs onto
+  an enclave and records one event per ocall (issue/complete time, host
+  handler duration, execution mode, marshalled bytes);
+- :mod:`repro.profiler.profile` — aggregation into per-callsite profiles
+  (rate, duration percentiles, transition share);
+- :mod:`repro.profiler.advisor` — a :class:`SwitchlessAdvisor` that turns
+  a profile into a static Intel switchless configuration using the SDK's
+  own guidance ("short and frequently called"), with estimated cycle
+  savings — i.e. what a developer would have had to guess, derived from
+  measurements.
+
+ZC-SWITCHLESS makes this advice unnecessary at runtime; the advisor is
+still useful to *explain* workloads and to configure the Intel baseline
+fairly.
+"""
+
+from repro.profiler.advisor import Recommendation, SwitchlessAdvisor
+from repro.profiler.profile import (
+    CallProfile,
+    ProfileDelta,
+    build_profiles,
+    compare_profiles,
+)
+from repro.profiler.tracer import CallEvent, CallTracer
+
+__all__ = [
+    "CallEvent",
+    "CallProfile",
+    "CallTracer",
+    "ProfileDelta",
+    "Recommendation",
+    "SwitchlessAdvisor",
+    "build_profiles",
+    "compare_profiles",
+]

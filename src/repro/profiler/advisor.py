@@ -1,0 +1,132 @@
+"""Switchless-configuration advice from measured profiles.
+
+Implements the Intel SDK guidance the paper quotes (§III-A): configure a
+routine as switchless if it is *short* in duration and *frequently
+called*.  The advisor quantifies both via the tracing profile and
+estimates the cycles a switchless execution would save per call — the
+transition cost minus the switchless handshake — weighted by the call
+rate, so recommendations are ranked by expected benefit.
+
+This is exactly the judgement an SGX developer is asked to make at build
+time from intuition; the paper's point is that zc makes it unnecessary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.profiler.profile import CallProfile
+from repro.sgx.costmodel import SgxCostModel
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One advisory verdict for an ocall site."""
+
+    name: str
+    switchless: bool
+    reason: str
+    estimated_saving_cycles_per_s: float
+
+
+class SwitchlessAdvisor:
+    """Turns profiles into a static switchless configuration.
+
+    Args:
+        cost: Transition cost model used for the benefit estimate.
+        short_call_factor: A call is "short" if its mean host duration is
+            below ``short_call_factor * T_es``.
+        min_rate_per_s: A call is "frequent" above this rate.
+    """
+
+    def __init__(
+        self,
+        cost: SgxCostModel | None = None,
+        short_call_factor: float = 1.0,
+        min_rate_per_s: float = 1_000.0,
+    ) -> None:
+        if short_call_factor <= 0:
+            raise ValueError("short_call_factor must be positive")
+        if min_rate_per_s < 0:
+            raise ValueError("min_rate_per_s must be >= 0")
+        self.cost = cost if cost is not None else SgxCostModel()
+        self.short_call_factor = short_call_factor
+        self.min_rate_per_s = min_rate_per_s
+
+    def _per_call_saving(self) -> float:
+        """Cycles saved by one switchless execution vs a transition."""
+        handshake = (
+            self.cost.switchless_enqueue_cycles
+            + self.cost.worker_pickup_cycles
+            + self.cost.worker_complete_cycles
+        )
+        return max(self.cost.t_es - handshake, 0.0)
+
+    def advise(self, profiles: dict[str, CallProfile]) -> list[Recommendation]:
+        """One recommendation per profiled ocall, best savings first."""
+        recommendations = []
+        threshold = self.short_call_factor * self.cost.t_es
+        saving = self._per_call_saving()
+        for profile in profiles.values():
+            short = profile.mean_host_cycles < threshold
+            frequent = profile.rate_per_s >= self.min_rate_per_s
+            if short and frequent:
+                recommendations.append(
+                    Recommendation(
+                        name=profile.name,
+                        switchless=True,
+                        reason=(
+                            f"short ({profile.mean_host_cycles:.0f} < "
+                            f"{threshold:.0f} cycles) and frequent "
+                            f"({profile.rate_per_s:.0f}/s)"
+                        ),
+                        estimated_saving_cycles_per_s=saving * profile.rate_per_s,
+                    )
+                )
+            else:
+                why = []
+                if not short:
+                    why.append(
+                        f"long ({profile.mean_host_cycles:.0f} >= {threshold:.0f} cycles)"
+                    )
+                if not frequent:
+                    why.append(
+                        f"infrequent ({profile.rate_per_s:.0f}/s < "
+                        f"{self.min_rate_per_s:.0f}/s)"
+                    )
+                recommendations.append(
+                    Recommendation(
+                        name=profile.name,
+                        switchless=False,
+                        reason=" and ".join(why),
+                        estimated_saving_cycles_per_s=0.0,
+                    )
+                )
+        recommendations.sort(key=lambda r: -r.estimated_saving_cycles_per_s)
+        return recommendations
+
+    def switchless_set(self, profiles: dict[str, CallProfile]) -> frozenset[str]:
+        """The static EDL configuration the advisor would generate."""
+        return frozenset(
+            r.name for r in self.advise(profiles) if r.switchless
+        )
+
+
+def format_recommendations(recommendations: list[Recommendation]) -> str:
+    """Text report of advisor recommendations."""
+    rows = [
+        [
+            r.name,
+            "switchless" if r.switchless else "regular",
+            r.estimated_saving_cycles_per_s / 1e6,
+            r.reason,
+        ]
+        for r in recommendations
+    ]
+    return format_table(
+        ["ocall", "verdict", "saving_Mcyc/s", "reason"],
+        rows,
+        title="switchless configuration advice",
+        precision=1,
+    )

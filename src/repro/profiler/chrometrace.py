@@ -1,0 +1,107 @@
+"""Export traces in Chrome trace-event format (``chrome://tracing``).
+
+Both trace sources the library produces can be exported:
+
+- :class:`repro.sim.kernel.SchedTrace` entries become per-CPU duration
+  slices (dispatch→preempt/park/finish), one track per logical CPU — a
+  visual of exactly which threads occupied which hyperthreads when;
+- :class:`repro.profiler.tracer.CallTracer` events become per-thread
+  async-style slices named after the ocall, coloured by execution mode.
+
+The output is the JSON array flavour of the trace-event format, loadable
+in ``chrome://tracing`` or Perfetto.  Times are exported in microseconds
+of *simulated* time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.profiler.tracer import CallEvent
+    from repro.sim.kernel import SchedTrace
+
+#: chrome://tracing colour names per execution mode.
+_MODE_COLOURS = {
+    "switchless": "good",
+    "regular": "bad",
+    "fallback": "terrible",
+}
+
+
+def _us(cycles: float, freq_hz: float) -> float:
+    return cycles / freq_hz * 1e6
+
+
+def sched_trace_events(trace: "SchedTrace", freq_hz: float = 3.8e9) -> list[dict]:
+    """Duration events (one per on-CPU interval) from a SchedTrace."""
+    events: list[dict] = []
+    running: dict[str, tuple[float, int]] = {}  # thread -> (start, cpu)
+    for when, event, thread, cpu in trace.entries:
+        if event == "dispatch":
+            running[thread] = (when, cpu)
+            continue
+        started = running.pop(thread, None)
+        if started is None:
+            continue  # dispatch fell off the ring buffer
+        start_cycles, start_cpu = started
+        events.append(
+            {
+                "name": thread,
+                "ph": "X",
+                "ts": _us(start_cycles, freq_hz),
+                "dur": _us(when - start_cycles, freq_hz),
+                "pid": 0,
+                "tid": start_cpu,
+                "args": {"end": event},
+            }
+        )
+    return events
+
+
+def call_trace_events(
+    calls: list["CallEvent"], freq_hz: float = 3.8e9
+) -> list[dict]:
+    """Duration events (one per ocall) from CallTracer events."""
+    return [
+        {
+            "name": event.name,
+            "ph": "X",
+            "ts": _us(event.issued_at_cycles, freq_hz),
+            "dur": _us(event.latency_cycles, freq_hz),
+            "pid": 1,
+            "tid": 0,
+            "cname": _MODE_COLOURS.get(event.mode, "grey"),
+            "args": {
+                "mode": event.mode,
+                "host_cycles": event.host_cycles,
+                "bytes": event.in_bytes + event.out_bytes,
+            },
+        }
+        for event in calls
+    ]
+
+
+def export_chrome_trace(
+    path: str,
+    sched: "SchedTrace | None" = None,
+    calls: list["CallEvent"] | None = None,
+    freq_hz: float = 3.8e9,
+) -> int:
+    """Write a combined trace JSON to ``path``; returns the event count.
+
+    Metadata events name the tracks: pid 0 is "CPUs" (one tid per logical
+    CPU), pid 1 is "ocalls".
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "args": {"name": "CPUs"}},
+        {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "ocalls"}},
+    ]
+    if sched is not None:
+        events.extend(sched_trace_events(sched, freq_hz))
+    if calls is not None:
+        events.extend(call_trace_events(calls, freq_hz))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(events, handle)
+    return len(events)

@@ -1,0 +1,158 @@
+"""Aggregation of call events into per-callsite profiles."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.profiler.tracer import CallEvent
+
+
+@dataclass(frozen=True)
+class CallProfile:
+    """Measured behaviour of one ocall site over a tracing window.
+
+    ``host_cycles`` statistics cover the handler alone (the "duration" of
+    the SDK's switchless guidance); ``latency`` covers the full caller-
+    observed round trip including marshalling and transition/handshake.
+    """
+
+    name: str
+    calls: int
+    rate_per_s: float
+    mean_host_cycles: float
+    p95_host_cycles: float
+    mean_latency_cycles: float
+    mean_bytes: float
+    switchless_fraction: float
+
+    @property
+    def is_short(self) -> bool:
+        """Short relative to an enclave transition (T_es = 13,500)?"""
+        return self.mean_host_cycles < 13_500.0
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def build_profiles(
+    events: list[CallEvent],
+    window_cycles: float,
+    freq_hz: float = 3.8e9,
+) -> dict[str, CallProfile]:
+    """Aggregate raw events into one profile per ocall name."""
+    if window_cycles <= 0:
+        window_cycles = max(
+            (e.completed_at_cycles for e in events), default=1.0
+        ) or 1.0
+    by_name: dict[str, list[CallEvent]] = {}
+    for event in events:
+        by_name.setdefault(event.name, []).append(event)
+    window_s = window_cycles / freq_hz
+    profiles: dict[str, CallProfile] = {}
+    for name, site_events in sorted(by_name.items()):
+        host = [e.host_cycles for e in site_events]
+        latency = [e.latency_cycles for e in site_events]
+        transferred = [e.in_bytes + e.out_bytes for e in site_events]
+        switchless = sum(1 for e in site_events if e.mode == "switchless")
+        profiles[name] = CallProfile(
+            name=name,
+            calls=len(site_events),
+            rate_per_s=len(site_events) / window_s,
+            mean_host_cycles=sum(host) / len(host),
+            p95_host_cycles=_percentile(host, 95),
+            mean_latency_cycles=sum(latency) / len(latency),
+            mean_bytes=sum(transferred) / len(transferred),
+            switchless_fraction=switchless / len(site_events),
+        )
+    return profiles
+
+
+@dataclass(frozen=True)
+class ProfileDelta:
+    """Latency change of one ocall site between two profiles."""
+
+    name: str
+    before_latency_cycles: float
+    after_latency_cycles: float
+    before_switchless: float
+    after_switchless: float
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of the improved variant over the baseline."""
+        if self.after_latency_cycles <= 0:
+            return float("inf")
+        return self.before_latency_cycles / self.after_latency_cycles
+
+
+def compare_profiles(
+    before: dict[str, CallProfile], after: dict[str, CallProfile]
+) -> list[ProfileDelta]:
+    """Per-callsite latency deltas between two profiling runs.
+
+    The canonical use: profile a workload under ``no_sl``, again under a
+    switchless backend, and see exactly which call sites the mechanism
+    helped.  Only sites present in both profiles are compared; ordered by
+    speedup, best first.
+    """
+    deltas = [
+        ProfileDelta(
+            name=name,
+            before_latency_cycles=before[name].mean_latency_cycles,
+            after_latency_cycles=after[name].mean_latency_cycles,
+            before_switchless=before[name].switchless_fraction,
+            after_switchless=after[name].switchless_fraction,
+        )
+        for name in sorted(set(before) & set(after))
+    ]
+    deltas.sort(key=lambda d: -d.speedup)
+    return deltas
+
+
+def format_deltas(deltas: list[ProfileDelta]) -> str:
+    """Text report of a profile comparison."""
+    rows = [
+        [
+            d.name,
+            d.before_latency_cycles,
+            d.after_latency_cycles,
+            d.speedup,
+            d.after_switchless,
+        ]
+        for d in deltas
+    ]
+    return format_table(
+        ["ocall", "before_cyc", "after_cyc", "speedup", "switchless_frac"],
+        rows,
+        title="profile comparison (before vs after)",
+        precision=2,
+    )
+
+
+def format_profiles(profiles: dict[str, CallProfile]) -> str:
+    """A text report in descending call-count order."""
+    rows = [
+        [
+            p.name,
+            p.calls,
+            p.rate_per_s,
+            p.mean_host_cycles,
+            p.mean_latency_cycles,
+            p.mean_bytes,
+            "short" if p.is_short else "long",
+        ]
+        for p in sorted(profiles.values(), key=lambda p: -p.calls)
+    ]
+    return format_table(
+        ["ocall", "calls", "rate/s", "host_cyc", "latency_cyc", "bytes", "class"],
+        rows,
+        title="ocall profile (tracing window)",
+        precision=0,
+    )

@@ -1,0 +1,109 @@
+"""Interval time series over a call trace.
+
+Buckets a :class:`repro.profiler.tracer.CallTracer`'s events into fixed
+intervals and derives the series a performance dashboard would plot:
+call rate, switchless fraction, and mean latency per interval.  A compact
+unicode sparkline renderer makes the series readable in terminal reports
+(the paper's Fig. 11/12-style time axes, in text form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiler.tracer import CallEvent
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class IntervalStats:
+    """Aggregates over one time bucket."""
+
+    t_start_cycles: float
+    t_end_cycles: float
+    calls: int
+    switchless: int
+    mean_latency_cycles: float
+
+    @property
+    def switchless_fraction(self) -> float:
+        """Fraction of calls executed switchlessly."""
+        return self.switchless / self.calls if self.calls else 0.0
+
+    def rate_per_s(self, freq_hz: float) -> float:
+        """Calls per second over this interval."""
+        window_s = (self.t_end_cycles - self.t_start_cycles) / freq_hz
+        return self.calls / window_s if window_s > 0 else 0.0
+
+
+def bucket_events(
+    events: list[CallEvent],
+    interval_cycles: float,
+    t_end_cycles: float | None = None,
+) -> list[IntervalStats]:
+    """Bucket events by completion time into fixed intervals."""
+    if interval_cycles <= 0:
+        raise ValueError("interval_cycles must be positive")
+    if not events:
+        return []
+    horizon = t_end_cycles
+    if horizon is None:
+        horizon = max(e.completed_at_cycles for e in events)
+    n_buckets = max(1, int(horizon // interval_cycles) + 1)
+    counts = [0] * n_buckets
+    switchless = [0] * n_buckets
+    latency_sums = [0.0] * n_buckets
+    for event in events:
+        index = min(int(event.completed_at_cycles // interval_cycles), n_buckets - 1)
+        counts[index] += 1
+        if event.mode == "switchless":
+            switchless[index] += 1
+        latency_sums[index] += event.latency_cycles
+    return [
+        IntervalStats(
+            t_start_cycles=i * interval_cycles,
+            t_end_cycles=(i + 1) * interval_cycles,
+            calls=counts[i],
+            switchless=switchless[i],
+            mean_latency_cycles=latency_sums[i] / counts[i] if counts[i] else 0.0,
+        )
+        for i in range(n_buckets)
+    ]
+
+
+def sparkline(values: list[float]) -> str:
+    """Render values as a unicode sparkline (empty input -> empty str)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high <= low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    return "".join(
+        _SPARK_LEVELS[
+            min(int((v - low) / span * len(_SPARK_LEVELS)), len(_SPARK_LEVELS) - 1)
+        ]
+        for v in values
+    )
+
+
+def render_timeline(
+    buckets: list[IntervalStats], freq_hz: float = 3.8e9
+) -> str:
+    """A three-line dashboard: rate, switchless share, latency."""
+    if not buckets:
+        return "(no events)"
+    rates = [b.rate_per_s(freq_hz) for b in buckets]
+    fractions = [b.switchless_fraction for b in buckets]
+    latencies = [b.mean_latency_cycles for b in buckets]
+    window_ms = (buckets[0].t_end_cycles - buckets[0].t_start_cycles) / freq_hz * 1e3
+    return "\n".join(
+        [
+            f"interval = {window_ms:.2f} ms, {len(buckets)} intervals",
+            f"call rate    {sparkline(rates)}  peak {max(rates):,.0f}/s",
+            f"switchless   {sparkline(fractions)}  mean {sum(fractions) / len(fractions):.0%}",
+            f"mean latency {sparkline(latencies)}  worst {max(latencies):,.0f} cyc",
+        ]
+    )

@@ -1,0 +1,135 @@
+"""Call tracing: one event per ocall, including host handler duration.
+
+The tracer hooks an enclave at two points:
+
+- it wraps the untrusted runtime's ``execute`` to time the *host handler*
+  in isolation (what the SDK guidance calls the call's "duration");
+- it registers as the enclave's completion hook to capture end-to-end
+  latency and the execution mode the backend chose.
+
+Installation is reversible and does not perturb the simulation: tracing
+adds no simulated cycles (a real tracer would; sgx-perf reports ~2-5%
+overhead, which could be modelled by passing ``probe_cycles``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave, OcallRequest
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One completed ocall."""
+
+    name: str
+    issued_at_cycles: float
+    completed_at_cycles: float
+    host_cycles: float
+    mode: str
+    in_bytes: int
+    out_bytes: int
+
+    @property
+    def latency_cycles(self) -> float:
+        """End-to-end latency of this call, in cycles."""
+        return self.completed_at_cycles - self.issued_at_cycles
+
+
+@dataclass
+class CallTracer:
+    """Records every ocall completing on one enclave.
+
+    Args:
+        max_events: Ring-buffer bound; the oldest events are dropped once
+            exceeded (0 means unbounded).
+        probe_cycles: Simulated tracing overhead charged per call on the
+            host side (0 by default — an ideal tracer).
+    """
+
+    max_events: int = 0
+    probe_cycles: float = 0.0
+    events: list[CallEvent] = field(default_factory=list)
+    dropped: int = 0
+    _enclave: "Enclave | None" = None
+    _original_execute: object = None
+    _host_cycles_by_request: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, enclave: "Enclave") -> "CallTracer":
+        """Attach to ``enclave``; returns self for chaining."""
+        if self._enclave is not None:
+            raise RuntimeError("tracer already installed")
+        self._enclave = enclave
+        urts = enclave.urts
+        original = urts.execute
+        self._original_execute = original
+        tracer = self
+
+        def traced_execute(request: "OcallRequest") -> Program:
+            from repro.sim.instructions import Compute
+
+            start = enclave.kernel.now
+            if tracer.probe_cycles:
+                yield Compute(tracer.probe_cycles, tag="tracer-probe")
+            result = yield from original(request)
+            tracer._host_cycles_by_request[id(request)] = enclave.kernel.now - start
+            return result
+
+        urts.execute = traced_execute  # type: ignore[method-assign]
+        enclave.completion_hooks.append(self._on_complete)
+        return self
+
+    def uninstall(self) -> None:
+        """Detach, restoring the enclave's original execute path."""
+        if self._enclave is None:
+            return
+        self._enclave.urts.execute = self._original_execute  # type: ignore[method-assign]
+        self._enclave.completion_hooks.remove(self._on_complete)
+        self._enclave = None
+
+    # ------------------------------------------------------------------
+    # Hook
+    # ------------------------------------------------------------------
+    def _on_complete(self, request: "OcallRequest", completed_at: float) -> None:
+        host_cycles = self._host_cycles_by_request.pop(id(request), 0.0)
+        event = CallEvent(
+            name=request.name,
+            issued_at_cycles=request.issued_at,
+            completed_at_cycles=completed_at,
+            host_cycles=host_cycles,
+            mode=request.mode,
+            in_bytes=request.in_bytes,
+            out_bytes=request.out_bytes,
+        )
+        self.events.append(event)
+        if self.max_events and len(self.events) > self.max_events:
+            self.events.pop(0)
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of recorded entries."""
+        return len(self.events)
+
+    def events_for(self, name: str) -> list[CallEvent]:
+        """Recorded events for the named ocall."""
+        return [e for e in self.events if e.name == name]
+
+    def window_cycles(self) -> float:
+        """Span from the first issue to the last completion."""
+        if not self.events:
+            return 0.0
+        start = min(e.issued_at_cycles for e in self.events)
+        end = max(e.completed_at_cycles for e in self.events)
+        return end - start

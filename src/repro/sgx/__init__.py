@@ -1,0 +1,47 @@
+"""SGX substrate: enclaves, transition costs and trusted-libc models.
+
+This package models the SGX-specific machinery the paper's systems sit on:
+
+- :mod:`repro.sgx.costmodel` — every cycle constant of the SGX runtime
+  (transition costs, pause latency, switchless handshake costs), calibrated
+  to the numbers the paper reports for its Xeon E3-1275 v6.
+- :mod:`repro.sgx.memcpy` — cost models for the trusted libc ``memcpy``:
+  Intel's software word/byte copy and the paper's ``rep movsb`` version.
+- :mod:`repro.sgx.enclave` — the enclave object and the ocall invocation
+  path (argument marshalling, backend dispatch, per-call statistics).
+- :mod:`repro.sgx.urts` — the untrusted runtime holding registered ocall
+  handlers.
+- :mod:`repro.sgx.backend` — the pluggable call-execution backend
+  interface; the regular (always-transition) backend lives here, the Intel
+  switchless backend in :mod:`repro.switchless` and ZC-SWITCHLESS in
+  :mod:`repro.core`.
+- :mod:`repro.sgx.epc` — enclave page cache bookkeeping.
+"""
+
+from repro.sgx.backend import CallBackend, RegularBackend
+from repro.sgx.batching import OcallBatcher
+from repro.sgx.costmodel import SgxCostModel
+from repro.sgx.edl import EnclaveInterface
+from repro.sgx.enclave import CallStats, Enclave, OcallRequest
+from repro.sgx.epc import EpcModel
+from repro.sgx.memcpy import MemcpyModel, VanillaMemcpy, ZcMemcpy
+from repro.sgx.trts import TrustedRuntime
+from repro.sgx.urts import HostFault, UntrustedRuntime
+
+__all__ = [
+    "CallBackend",
+    "CallStats",
+    "Enclave",
+    "EnclaveInterface",
+    "EpcModel",
+    "HostFault",
+    "MemcpyModel",
+    "OcallBatcher",
+    "OcallRequest",
+    "RegularBackend",
+    "SgxCostModel",
+    "TrustedRuntime",
+    "UntrustedRuntime",
+    "VanillaMemcpy",
+    "ZcMemcpy",
+]

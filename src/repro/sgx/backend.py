@@ -1,0 +1,71 @@
+"""Pluggable ocall-execution backends.
+
+An SGX application's ocalls can be executed three ways in this library:
+
+- :class:`RegularBackend` — every ocall performs a full enclave transition
+  (the ``no_sl`` mode of the paper's evaluation);
+- :class:`repro.switchless.IntelSwitchlessBackend` — the Intel SGX SDK's
+  statically-configured switchless mechanism;
+- :class:`repro.core.ZcSwitchlessBackend` — ZC-SWITCHLESS.
+
+A backend receives fully-marshalled :class:`repro.sgx.enclave.OcallRequest`
+objects from the enclave and must set ``request.mode`` to how the call was
+ultimately executed (``"regular"``, ``"switchless"`` or ``"fallback"``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.sim.instructions import Compute
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave, OcallRequest
+
+
+class CallBackend(abc.ABC):
+    """Executes ocall requests on behalf of an enclave."""
+
+    #: Human-readable backend name used in experiment reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def invoke(self, request: "OcallRequest") -> Program:
+        """Simulated program (run on the caller thread) executing the call."""
+
+    def attach(self, enclave: "Enclave") -> None:
+        """Called when the backend is installed on an enclave.
+
+        Backends that need threads (worker pools, schedulers) spawn them
+        here.  The default does nothing.
+        """
+
+    def stop(self) -> None:
+        """Request shutdown of any backend threads (workers, scheduler)."""
+
+
+class RegularBackend(CallBackend):
+    """Every ocall pays a full EEXIT + host execution + EENTER transition."""
+
+    name = "regular"
+
+    def __init__(self) -> None:
+        self._enclave: "Enclave | None" = None
+
+    def attach(self, enclave: "Enclave") -> None:
+        """Install this backend on ``enclave`` (spawns its threads)."""
+        self._enclave = enclave
+
+    def invoke(self, request: "OcallRequest") -> Program:
+        """Execute one call request (simulated program on the caller thread)."""
+        enclave = self._enclave
+        if enclave is None:
+            raise RuntimeError("backend not attached to an enclave")
+        cost = enclave.cost
+        yield Compute(cost.eexit_cycles, tag="eexit")
+        result = yield from enclave.urts.execute(request)
+        yield Compute(cost.eenter_cycles, tag="eenter")
+        request.mode = "regular"
+        return result

@@ -1,0 +1,133 @@
+"""Ocall batching: amortising transitions over multiple calls.
+
+The paper's related work (§VI) notes that sgx-perf [32] recommends
+*batching* calls as an alternative way to reduce enclave-transition
+overhead: instead of one ocall per operation, the enclave queues several
+operations and crosses the boundary once, executing them back-to-back on
+the host side.
+
+Batching is complementary to switchless calls — a batched ocall still
+goes through whatever backend is installed, so a batch can itself execute
+switchlessly.  Its costs are different, though: batching adds *latency*
+(operations wait for the batch to fill) and only helps when operations
+have no data dependencies; switchless calls keep per-operation latency
+but burn worker CPU.  ``bench_batching`` quantifies the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave
+
+#: Ocall name under which batches are dispatched.
+BATCH_OCALL = "ocall_batch"
+
+#: Host-side dispatch overhead per batched operation (argument decode +
+#: indirect call), on top of each operation's own handler cost.
+PER_OP_DISPATCH_CYCLES = 120.0
+
+
+@dataclass
+class _QueuedOp:
+    name: str
+    args: tuple[Any, ...]
+    in_bytes: int
+    out_bytes: int
+
+
+@dataclass
+class OcallBatcher:
+    """Queues ocalls inside the enclave and flushes them as one ocall.
+
+    Args:
+        enclave: The enclave whose backend dispatches the batch.
+        max_batch: Flush automatically once this many operations queue.
+
+    Usage (inside a simulated enclave thread)::
+
+        batcher = OcallBatcher(enclave, max_batch=16)
+        yield from batcher.add("fwrite", fd, data, in_bytes=len(data))
+        ...
+        results = yield from batcher.flush()
+
+    Results are returned in queue order.  Faults raised by individual
+    handlers are re-raised at flush time, after the whole batch executed —
+    the semantics real batching frameworks provide.
+    """
+
+    enclave: "Enclave"
+    max_batch: int = 16
+    _queue: list[_QueuedOp] = field(default_factory=list)
+    batches_flushed: int = 0
+    ops_batched: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        urts = self.enclave.urts
+        if not urts.registered(BATCH_OCALL):
+            urts.register(BATCH_OCALL, self._host_execute_batch)
+
+    @property
+    def pending(self) -> int:
+        """Operations currently queued for the next flush."""
+        return len(self._queue)
+
+    def add(
+        self,
+        name: str,
+        *args: Any,
+        in_bytes: int = 0,
+        out_bytes: int = 0,
+    ) -> Program:
+        """Queue one operation; flushes automatically at ``max_batch``.
+
+        Returns the batch's results when it triggered a flush, else None.
+        """
+        self._queue.append(_QueuedOp(name, args, in_bytes, out_bytes))
+        if len(self._queue) >= self.max_batch:
+            results = yield from self.flush()
+            return results
+        return None
+
+    def flush(self) -> Program:
+        """Dispatch the queued operations as a single ocall."""
+        if not self._queue:
+            return []
+        batch, self._queue = self._queue, []
+        in_bytes = sum(op.in_bytes for op in batch)
+        out_bytes = sum(op.out_bytes for op in batch)
+        results = yield from self.enclave.ocall(
+            BATCH_OCALL,
+            tuple((op.name, op.args) for op in batch),
+            in_bytes=in_bytes,
+            out_bytes=out_bytes,
+        )
+        self.batches_flushed += 1
+        self.ops_batched += len(batch)
+        # Re-raise the first captured per-op fault, preserving batch
+        # completion semantics.
+        from repro.sgx.urts import HostFault
+
+        for result in results:
+            if isinstance(result, HostFault):
+                raise result.exception
+        return results
+
+    def _host_execute_batch(self, ops: tuple[tuple[str, tuple], ...]) -> Program:
+        """Host side: run every queued handler back-to-back."""
+        from repro.sgx.enclave import OcallRequest
+        from repro.sim.instructions import Compute
+
+        results = []
+        for name, args in ops:
+            yield Compute(PER_OP_DISPATCH_CYCLES, tag="batch-dispatch")
+            sub_request = OcallRequest(name=name, args=args)
+            result = yield from self.enclave.urts.execute(sub_request)
+            results.append(result)
+        return results

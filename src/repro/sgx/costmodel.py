@@ -1,0 +1,76 @@
+"""Cycle-cost constants of the simulated SGX runtime.
+
+All constants are calibrated against the paper's own measurements on a
+Xeon E3-1275 v6 @ 3.8 GHz with SGX SDK v2.14:
+
+- a full enclave round trip (EEXIT + EENTER) costs ~13,500 cycles (§IV-A);
+- one ``asm("pause")`` costs ~140 cycles on Skylake (§III-C);
+- a regular syscall costs ~250 cycles (§I);
+- the Intel SDK defaults both ``retries_before_fallback`` and
+  ``retries_before_sleep`` to 20,000 retries (§III-C), i.e. a worst-case
+  busy wait of 2.8 M cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SgxCostModel:
+    """Cycle costs of SGX transitions and switchless-call plumbing.
+
+    Attributes:
+        eexit_cycles / eenter_cycles: One-way enclave crossing costs; the
+            sum is the paper's ``T_es`` (~13,500 cycles for a full regular
+            ocall round trip).
+        pause_cycles: Latency of one ``asm("pause")`` retry.
+        ocall_bookkeeping_cycles: Trusted-runtime argument setup performed
+            on every ocall regardless of execution path (edger8r glue).
+        switchless_enqueue_cycles: Caller-side cost to publish a request
+            into the Intel SDK task pool (atomic slot claim + store).
+        switchless_dispatch_cycles: Caller-side cost of ZC-SWITCHLESS's
+            worker reservation (scan + CAS + request copy into the worker
+            buffer).
+        worker_pickup_cycles: Worker-side cost to claim and decode one
+            switchless request.
+        worker_complete_cycles: Worker-side cost to publish results and
+            return the slot.
+        worker_wake_cycles: Latency for a sleeping worker to be woken
+            (futex wake + scheduling), charged to the woken worker.
+        pool_realloc_host_cycles: Host-side work to free and reallocate a
+            full untrusted memory pool (ZC §IV-B); charged on top of a full
+            regular-ocall transition.
+        ecall_entry_cycles / ecall_exit_cycles: Enclave entry/exit for
+            ecalls (same hardware path as ocall returns).
+    """
+
+    eexit_cycles: float = 6_750.0
+    eenter_cycles: float = 6_750.0
+    pause_cycles: float = 140.0
+    syscall_cycles: float = 250.0
+    ocall_bookkeeping_cycles: float = 300.0
+    switchless_enqueue_cycles: float = 300.0
+    switchless_dispatch_cycles: float = 250.0
+    worker_pickup_cycles: float = 200.0
+    worker_complete_cycles: float = 150.0
+    worker_wake_cycles: float = 20_000.0
+    pool_realloc_host_cycles: float = 4_000.0
+    ecall_entry_cycles: float = 6_750.0
+    ecall_exit_cycles: float = 6_750.0
+
+    def __post_init__(self) -> None:
+        for field_name in self.__dataclass_fields__:
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be >= 0")
+
+    @property
+    def t_es(self) -> float:
+        """The paper's ``T_es``: cycles wasted by one full enclave switch."""
+        return self.eexit_cycles + self.eenter_cycles
+
+    def pause_loop_cycles(self, retries: int) -> float:
+        """Cycles burnt by a busy-wait loop of ``retries`` pause retries."""
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        return retries * self.pause_cycles

@@ -1,0 +1,71 @@
+"""Enclave page cache (EPC) bookkeeping.
+
+The paper's platform has a 128 MB EPC of which 93.5 MB is usable by
+enclaves; enclaves exceeding it trigger expensive paging.  The evaluation
+workloads stay well inside the EPC, so this model only tracks usage and
+charges a paging penalty if a simulated enclave ever oversteps — enough to
+keep the substrate honest without a full paging simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PAGE_SIZE = 4096
+
+
+@dataclass
+class EpcModel:
+    """Tracks EPC page allocation for one machine.
+
+    Attributes:
+        usable_bytes: EPC capacity available to enclaves (93.5 MB on the
+            paper's machine).
+        page_fault_cycles: Cost of evicting+loading one EPC page once the
+            working set exceeds the EPC.
+    """
+
+    usable_bytes: int = int(93.5 * 1024 * 1024)
+    page_fault_cycles: float = 40_000.0
+    allocated_bytes: int = 0
+    peak_bytes: int = 0
+    faults: int = 0
+    _allocations: dict[str, int] = field(default_factory=dict)
+
+    def allocate(self, owner: str, nbytes: int) -> float:
+        """Allocate ``nbytes`` for ``owner``; returns extra paging cycles.
+
+        Allocation is rounded up to whole EPC pages.  If the allocation
+        pushes usage past the usable EPC, each overflowing page costs
+        ``page_fault_cycles`` (a coarse paging penalty).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        rounded = ((nbytes + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
+        before = self.allocated_bytes
+        self.allocated_bytes += rounded
+        self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+        self._allocations[owner] = self._allocations.get(owner, 0) + rounded
+        overflow = max(self.allocated_bytes - self.usable_bytes, 0) - max(
+            before - self.usable_bytes, 0
+        )
+        if overflow > 0:
+            pages = overflow // PAGE_SIZE
+            self.faults += pages
+            return pages * self.page_fault_cycles
+        return 0.0
+
+    def free(self, owner: str, nbytes: int) -> None:
+        """Release ``nbytes`` previously allocated by ``owner``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        rounded = ((nbytes + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
+        held = self._allocations.get(owner, 0)
+        if rounded > held:
+            raise ValueError(f"{owner} frees {rounded} B but holds {held} B")
+        self._allocations[owner] = held - rounded
+        self.allocated_bytes -= rounded
+
+    def usage_fraction(self) -> float:
+        """Current EPC occupancy as a fraction of usable capacity."""
+        return self.allocated_bytes / self.usable_bytes

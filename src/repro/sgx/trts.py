@@ -1,0 +1,58 @@
+"""The trusted runtime: the enclave-side ecall dispatch table.
+
+Mirror of :class:`repro.sgx.urts.UntrustedRuntime` for the opposite call
+direction: *untrusted* application threads invoke named functions that
+execute *inside* the enclave.  Handlers are generator coroutines; their
+exceptions are captured into :class:`repro.sgx.urts.HostFault` results
+(the class is direction-agnostic: a fault transported across the boundary)
+so that trusted switchless workers survive failing calls.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.sgx.urts import HostFault, UnknownOcallError
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import OcallRequest
+
+EcallHandler = Callable[..., Program]
+
+
+class UnknownEcallError(UnknownOcallError):
+    """Raised when an ecall targets a name with no registered handler."""
+
+
+class TrustedRuntime:
+    """Holds the registered ecall handlers of one enclave."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, EcallHandler] = {}
+
+    def register(self, name: str, handler: EcallHandler) -> None:
+        """Register ``handler`` for ecalls named ``name``."""
+        self._handlers[name] = handler
+
+    def register_many(self, handlers: dict[str, EcallHandler]) -> None:
+        """Register a batch of handlers."""
+        for name, handler in handlers.items():
+            self.register(name, handler)
+
+    def registered(self, name: str) -> bool:
+        """Whether a handler exists for ``name``."""
+        return name in self._handlers
+
+    def execute(self, request: "OcallRequest") -> Program:
+        """Run the trusted handler for ``request``; faults are captured."""
+        handler = self._handlers.get(request.name)
+        if handler is None:
+            return HostFault(
+                UnknownEcallError(f"no handler registered for ecall {request.name!r}")
+            )
+        try:
+            result = yield from handler(*request.args)
+        except Exception as exc:  # noqa: BLE001 - transported to the caller
+            return HostFault(exc)
+        return result

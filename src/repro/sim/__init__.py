@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate for the ZC-SWITCHLESS reproduction.
+
+This package implements a deterministic, cycle-granularity simulator of a
+multicore (SMT-capable) machine:
+
+- :mod:`repro.sim.machine` — the hardware description (:class:`MachineSpec`).
+- :mod:`repro.sim.instructions` — the instruction objects simulated threads
+  yield (``Compute``, ``Spin``, ``Block``, ``Sleep``, ``YieldCPU``).
+- :mod:`repro.sim.primitives` — synchronisation primitives (``Event``,
+  ``Gate``) usable from simulated threads.
+- :mod:`repro.sim.kernel` — the event loop, the OS-style preemptive
+  scheduler, logical CPUs with an SMT sibling-speed model, and per-core
+  CPU-cycle accounting.
+
+Simulated threads are plain Python generators that yield instruction
+objects; ``yield from`` composes sub-programs.  Code between two yields
+executes atomically with respect to other simulated threads, which models
+the atomic built-ins the paper relies on for its worker state machine.
+"""
+
+from repro.sim.errors import DeadlockError, SimulationError
+from repro.sim.instructions import Block, Compute, Sleep, Spin, YieldCPU
+from repro.sim.kernel import Kernel, SchedTrace, SimThread, ThreadState
+from repro.sim.machine import MachineSpec, paper_machine, server_machine
+from repro.sim.primitives import Event, Gate
+
+__all__ = [
+    "Block",
+    "Compute",
+    "DeadlockError",
+    "Event",
+    "Gate",
+    "Kernel",
+    "MachineSpec",
+    "SchedTrace",
+    "SimThread",
+    "SimulationError",
+    "Sleep",
+    "Spin",
+    "ThreadState",
+    "YieldCPU",
+    "paper_machine",
+    "server_machine",
+]

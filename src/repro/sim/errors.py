@@ -1,0 +1,28 @@
+"""Exception types raised by the simulation substrate."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while joined threads are parked.
+
+    A deadlock in the simulated program (e.g. a thread blocked on an event
+    nobody will ever fire) manifests as an empty timer heap with live,
+    non-daemon threads still blocked.  Surfacing this loudly is far more
+    useful than returning control silently.
+    """
+
+
+class EventAlreadyFired(SimulationError):
+    """Raised when ``Event.fire`` is called twice on a one-shot event."""
+
+
+class LivelockError(SimulationError):
+    """Raised when a thread executes too many zero-time steps in a row.
+
+    This catches simulated-program bugs such as a loop that blocks on an
+    already-fired event forever: simulated time would never advance, so the
+    kernel bounds the number of consecutive zero-duration generator steps.
+    """

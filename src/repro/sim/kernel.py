@@ -1,0 +1,719 @@
+"""The discrete-event kernel: event loop, OS scheduler and CPU accounting.
+
+The kernel advances simulated time in CPU cycles and multiplexes simulated
+threads (generator coroutines) over the machine's logical CPUs:
+
+- a global FIFO ready queue with round-robin preemption (one timeslice per
+  dispatch, renewed for free when nobody else is runnable);
+- an SMT model in which a logical CPU runs at full speed when its sibling
+  is idle and at ``MachineSpec.smt_factor`` when the sibling is busy;
+- exact busy/idle cycle accounting per core, per thread, and per activity
+  kind (compute vs. spin), which is what the paper's wasted-cycle
+  scheduler and the CPU-usage figures consume.
+
+Event wake-ups are delivered through a microtask queue processed between
+timer callbacks, so generator stepping never re-enters: a thread that fires
+an event keeps running until its next yield, and the woken thread is
+stepped afterwards at the same simulated timestamp.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from collections import deque
+from functools import partial
+from typing import Any, Callable, Generator
+
+from repro.sim.errors import DeadlockError, LivelockError, SimulationError
+from repro.sim.instructions import Block, Compute, Instruction, Sleep, Spin, YieldCPU
+from repro.sim.machine import MachineSpec
+from repro.sim.primitives import Event, Gate
+
+Program = Generator[Instruction, Any, Any]
+
+#: Upper bound on consecutive zero-duration generator steps of one thread.
+_LIVELOCK_LIMIT = 100_000
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a simulated thread."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    DONE = "done"
+
+
+class _Timer:
+    """A cancellable entry in the kernel's timer heap."""
+
+    __slots__ = ("when", "seq", "fn", "cancelled")
+
+    def __init__(self, when: float, seq: int, fn: Callable[[], None]) -> None:
+        self.when = when
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel this timer (lazily skipped by the event loop)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "_Timer") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class _Activity:
+    """Work currently occupying a logical CPU (a Compute or a Spin)."""
+
+    __slots__ = ("kind", "work_total", "work_done", "last_update", "speed", "timer", "spin_event")
+
+    def __init__(
+        self,
+        kind: str,
+        work_total: float,
+        speed: float,
+        now: float,
+        spin_event: Event | None = None,
+    ) -> None:
+        self.kind = kind  # "compute" or "spin"
+        self.work_total = work_total
+        self.work_done = 0.0
+        self.last_update = now
+        self.speed = speed
+        self.timer: _Timer | None = None
+        self.spin_event = spin_event
+
+
+class SimThread:
+    """A simulated OS thread wrapping a generator coroutine.
+
+    Attributes:
+        name: Human-readable identifier (unique suffix added by the kernel).
+        kind: Accounting bucket, e.g. ``"app"``, ``"worker"``,
+            ``"scheduler"``; CPU usage can be broken down per kind.
+        daemon: Daemon threads (worker pools) are allowed to be still
+            parked when :meth:`Kernel.join` returns.
+        state: Current :class:`ThreadState`.
+        result: Return value of the generator once ``DONE``.
+        done_event: Fires (with ``result``) when the thread finishes.
+        cpu_cycles: Wall cycles spent on a core.
+        cycles_by: Wall cycles split by activity kind (compute/spin).
+    """
+
+    __slots__ = (
+        "name",
+        "kind",
+        "daemon",
+        "affinity",
+        "gen",
+        "state",
+        "result",
+        "done_event",
+        "core",
+        "slice_end",
+        "cpu_cycles",
+        "cycles_by",
+        "_pending",
+        "_resume_value",
+        "_spin_result",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        daemon: bool,
+        gen: Program,
+        done_event: Event,
+        affinity: frozenset[int] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.daemon = daemon
+        #: Logical CPUs this thread may run on (None = any), as set by
+        #: sched_setaffinity; switchless deployments pin worker threads.
+        self.affinity = affinity
+        self.gen = gen
+        self.state = ThreadState.NEW
+        self.result: Any = None
+        self.done_event = done_event
+        self.core: "LogicalCPU | None" = None
+        self.slice_end = 0.0
+        self.cpu_cycles = 0.0
+        self.cycles_by: dict[str, float] = {"compute": 0.0, "spin": 0.0}
+        self._pending: Compute | Spin | None = None
+        self._resume_value: Any = None
+        self._spin_result: bool | None = None
+
+    def allowed_on(self, cpu_index: int) -> bool:
+        """Whether the affinity mask admits ``cpu_index``."""
+        return self.affinity is None or cpu_index in self.affinity
+
+    @property
+    def done(self) -> bool:
+        """Whether the thread has finished."""
+        return self.state is ThreadState.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimThread {self.name!r} {self.state.value}>"
+
+
+class LogicalCPU:
+    """One logical CPU (hardware thread) of the simulated machine."""
+
+    __slots__ = ("index", "kernel", "sibling", "thread", "activity", "busy_cycles", "busy_by_kind")
+
+    def __init__(self, index: int, kernel: "Kernel") -> None:
+        self.index = index
+        self.kernel = kernel
+        self.sibling: LogicalCPU | None = None
+        self.thread: SimThread | None = None
+        self.activity: _Activity | None = None
+        self.busy_cycles = 0.0
+        self.busy_by_kind: dict[str, float] = {}
+
+    @property
+    def idle(self) -> bool:
+        """Whether no thread occupies this CPU."""
+        return self.thread is None
+
+    def speed(self) -> float:
+        """Current execution speed given SMT sibling occupancy."""
+        if self.sibling is not None and self.sibling.thread is not None:
+            return self.kernel.spec.smt_factor
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        who = self.thread.name if self.thread else "idle"
+        return f"<cpu{self.index} {who}>"
+
+
+class SchedTrace:
+    """Optional ring buffer of scheduling events, for debugging.
+
+    Entries are ``(time_cycles, event, thread_name, cpu_index)`` tuples;
+    ``event`` is one of ``dispatch``, ``preempt``, ``park``, ``finish``.
+    Enable with ``Kernel(..., trace=SchedTrace())`` — tracing costs host
+    time only, never simulated cycles.
+    """
+
+    __slots__ = ("max_entries", "entries", "dropped")
+
+    def __init__(self, max_entries: int = 10_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.entries: deque[tuple[float, str, str, int]] = deque(maxlen=max_entries)
+        self.dropped = 0
+
+    def record(self, when: float, event: str, thread: str, cpu: int) -> None:
+        """Record one sample/event."""
+        if len(self.entries) == self.max_entries:
+            self.dropped += 1
+        self.entries.append((when, event, thread, cpu))
+
+    def for_thread(self, name: str) -> list[tuple[float, str, str, int]]:
+        """Entries belonging to the named thread."""
+        return [e for e in self.entries if e[2] == name]
+
+    def render(self, limit: int = 50) -> str:
+        """The most recent entries as readable lines."""
+        lines = [
+            f"{when:>14.0f}  cpu{cpu}  {event:<9s} {thread}"
+            for when, event, thread, cpu in list(self.entries)[-limit:]
+        ]
+        return "\n".join(lines)
+
+
+class Kernel:
+    """Deterministic discrete-event kernel for one simulated machine."""
+
+    def __init__(
+        self, spec: MachineSpec | None = None, trace: "SchedTrace | None" = None
+    ) -> None:
+        self.spec = spec if spec is not None else MachineSpec()
+        self.now = 0.0
+        self.trace = trace
+        self._seq = itertools.count()
+        self._heap: list[_Timer] = []
+        self._micro: deque[Callable[[], None]] = deque()
+        self._ready: deque[SimThread] = deque()
+        self.threads: list[SimThread] = []
+        self.cpus = [LogicalCPU(i, self) for i in range(self.spec.n_logical)]
+        for cpu in self.cpus:
+            sib = self.spec.sibling_of(cpu.index)
+            if sib is not None:
+                cpu.sibling = self.cpus[sib]
+        self._name_counts: dict[str, int] = {}
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot :class:`Event`."""
+        return Event(self, name)
+
+    def gate(self, value: Any = None, name: str = "") -> Gate:
+        """Create a level-triggered :class:`Gate` holding ``value``."""
+        return Gate(self, value, name)
+
+    def spawn(
+        self,
+        program: Program,
+        name: str = "thread",
+        kind: str = "app",
+        daemon: bool = False,
+        affinity: frozenset[int] | set[int] | None = None,
+    ) -> SimThread:
+        """Create a thread running ``program`` and place it on the ready queue.
+
+        ``affinity`` restricts the thread to the given logical CPUs
+        (sched_setaffinity-style); None means any CPU.
+        """
+        if affinity is not None:
+            affinity = frozenset(affinity)
+            invalid = [c for c in affinity if not 0 <= c < len(self.cpus)]
+            if invalid or not affinity:
+                raise ValueError(f"invalid affinity mask {sorted(affinity)}")
+        count = self._name_counts.get(name, 0)
+        self._name_counts[name] = count + 1
+        unique = name if count == 0 else f"{name}#{count}"
+        thread = SimThread(
+            unique, kind, daemon, program, self.event(f"done:{unique}"), affinity
+        )
+        self.threads.append(thread)
+        self._make_ready(thread)
+        return thread
+
+    # ------------------------------------------------------------------
+    # Time helpers
+    # ------------------------------------------------------------------
+    def cycles(self, seconds: float) -> float:
+        """Convert seconds to cycles using the machine frequency."""
+        return self.spec.cycles(seconds)
+
+    def seconds(self, cycles: float) -> float:
+        """Convert cycles to seconds using the machine frequency."""
+        return self.spec.seconds(cycles)
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return self.spec.seconds(self.now)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until_time: float | None = None,
+        stop_when: Callable[[], bool] | None = None,
+        max_events: int | None = None,
+    ) -> None:
+        """Process events until the queue drains or a stop condition holds.
+
+        Args:
+            until_time: Stop once the next timer lies beyond this absolute
+                cycle count; ``kernel.now`` is advanced to ``until_time``.
+            stop_when: Callable checked after each processed timer and
+                microtask batch; return True to stop.
+            max_events: Safety bound on processed timers.
+        """
+        processed = 0
+        while True:
+            while self._micro:
+                task = self._micro.popleft()
+                task()
+            if stop_when is not None and stop_when():
+                return
+            timer = self._pop_timer()
+            if timer is None:
+                if self._micro:
+                    continue
+                break
+            if until_time is not None and timer.when > until_time:
+                heapq.heappush(self._heap, timer)
+                self.now = max(self.now, until_time)
+                return
+            if timer.when < self.now:
+                raise SimulationError("timer scheduled in the past")
+            self.now = timer.when
+            timer.fn()
+            self.events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+
+    def join(self, *threads: SimThread, max_events: int | None = None) -> None:
+        """Run until every given thread is done.
+
+        Raises :class:`DeadlockError` if the event queue drains while some
+        of the joined threads are still parked.
+        """
+        targets = list(threads)
+        self.run(stop_when=lambda: all(t.done for t in targets), max_events=max_events)
+        stuck = [t for t in targets if not t.done]
+        if stuck:
+            states = ", ".join(f"{t.name}={t.state.value}" for t in stuck)
+            raise DeadlockError(f"event queue drained with threads parked: {states}")
+
+    def run_until_idle(self) -> None:
+        """Run until no timers or microtasks remain."""
+        self.run()
+
+    def _pop_timer(self) -> _Timer | None:
+        while self._heap:
+            timer = heapq.heappop(self._heap)
+            if not timer.cancelled:
+                return timer
+        return None
+
+    def _at(self, delay: float, fn: Callable[[], None]) -> _Timer:
+        if delay < 0:
+            raise SimulationError("cannot schedule a timer in the past")
+        timer = _Timer(self.now + delay, next(self._seq), fn)
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> _Timer:
+        """Schedule ``fn`` at absolute cycle ``when`` (driver-side hook)."""
+        return self._at(when - self.now, fn)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _make_ready(self, thread: SimThread) -> None:
+        thread.state = ThreadState.READY
+        self._ready.append(thread)
+        self._micro.append(self._try_dispatch)
+
+    def _idle_core_for(self, thread: SimThread) -> LogicalCPU | None:
+        """Pick an idle logical CPU the thread's affinity admits.
+
+        Like Linux, the dispatcher prefers an idle CPU whose SMT sibling is
+        also idle, so hyperthread contention only appears once every
+        physical core has work.
+        """
+        fallback: LogicalCPU | None = None
+        for cpu in self.cpus:
+            if not cpu.idle or not thread.allowed_on(cpu.index):
+                continue
+            if cpu.sibling is None or cpu.sibling.idle:
+                return cpu
+            if fallback is None:
+                fallback = cpu
+        return fallback
+
+    def _try_dispatch(self) -> None:
+        """Place ready threads on idle cores, FIFO, respecting affinity.
+
+        Threads whose allowed CPUs are all busy stay queued (in order)
+        without blocking later, compatible threads.
+        """
+        if not self._ready:
+            return
+        deferred: deque[SimThread] = deque()
+        while self._ready:
+            thread = self._ready.popleft()
+            if thread.state is not ThreadState.READY:
+                continue
+            core = self._idle_core_for(thread)
+            if core is None:
+                deferred.append(thread)
+                continue
+            self._run_on(core, thread)
+        self._ready = deferred
+
+    def _run_on(self, core: LogicalCPU, thread: SimThread) -> None:
+        thread.state = ThreadState.RUNNING
+        thread.core = core
+        core.thread = thread
+        thread.slice_end = self.now + self.spec.timeslice_cycles
+        if self.trace is not None:
+            self.trace.record(self.now, "dispatch", thread.name, core.index)
+        self._sibling_changed(core)
+        pending = thread._pending
+        thread._pending = None
+        if pending is None:
+            value = thread._resume_value
+            thread._resume_value = None
+            self._step(thread, value)
+        elif isinstance(pending, Spin):
+            if thread._spin_result is not None or pending.event.fired:
+                thread._spin_result = None
+                self._step(thread, True)
+            else:
+                self._start_work(core, thread, "spin", pending.timeout, pending.event)
+        else:
+            self._start_work(core, thread, "compute", pending.cycles)
+
+    def _release_core(self, thread: SimThread) -> None:
+        core = thread.core
+        if core is None:
+            return
+        if self.trace is not None and thread.state is not ThreadState.DONE:
+            event = "preempt" if thread.state is ThreadState.RUNNING else "park"
+            self.trace.record(self.now, event, thread.name, core.index)
+        thread.core = None
+        core.thread = None
+        core.activity = None
+        self._sibling_changed(core)
+        self._micro.append(self._try_dispatch)
+
+    def _sibling_changed(self, core: LogicalCPU) -> None:
+        """Re-time the sibling's running activity after occupancy changed."""
+        sib = core.sibling
+        if sib is None or sib.activity is None:
+            return
+        self._apply_progress(sib)
+        activity = sib.activity
+        if activity.timer is not None:
+            activity.timer.cancel()
+        activity.speed = sib.speed()
+        self._schedule_activity_timer(sib)
+
+    # ------------------------------------------------------------------
+    # Generator stepping
+    # ------------------------------------------------------------------
+    def _step(self, thread: SimThread, value: Any) -> None:
+        """Advance ``thread`` until it parks on an instruction or finishes."""
+        core = thread.core
+        if core is None:
+            raise SimulationError(f"stepping off-core thread {thread.name}")
+        steps = 0
+        while True:
+            steps += 1
+            if steps > _LIVELOCK_LIMIT:
+                raise LivelockError(
+                    f"thread {thread.name!r} executed {steps} zero-time steps"
+                )
+            try:
+                instr = thread.gen.send(value)
+            except StopIteration as stop:
+                self._finish_thread(thread, stop.value)
+                return
+            if isinstance(instr, Compute):
+                if instr.cycles <= 0:
+                    value = None
+                    continue
+                self._start_work(core, thread, "compute", instr.cycles)
+                return
+            if isinstance(instr, Spin):
+                if instr.event.fired:
+                    value = True
+                    continue
+                if instr.timeout <= 0:
+                    value = False
+                    continue
+                instr.event._spinners.append(thread)
+                self._start_work(core, thread, "spin", instr.timeout, instr.event)
+                return
+            if isinstance(instr, Block):
+                if instr.event.fired:
+                    value = instr.event.value
+                    continue
+                thread.state = ThreadState.BLOCKED
+                instr.event._blocked.append(thread)
+                self._release_core(thread)
+                return
+            if isinstance(instr, Sleep):
+                if instr.cycles <= 0:
+                    value = None
+                    continue
+                thread.state = ThreadState.SLEEPING
+                self._release_core(thread)
+                self._at(instr.cycles, partial(self._wake_sleeper, thread))
+                return
+            if isinstance(instr, YieldCPU):
+                if self._ready:
+                    self._release_core(thread)
+                    self._make_ready(thread)
+                    return
+                value = None
+                continue
+            raise SimulationError(f"unknown instruction yielded: {instr!r}")
+
+    def _finish_thread(self, thread: SimThread, result: Any) -> None:
+        thread.state = ThreadState.DONE
+        thread.result = result
+        if self.trace is not None:
+            cpu = thread.core.index if thread.core is not None else -1
+            self.trace.record(self.now, "finish", thread.name, cpu)
+        if thread.core is not None:
+            self._release_core(thread)
+        thread.done_event.fire(result)
+
+    def _wake_sleeper(self, thread: SimThread) -> None:
+        if thread.state is ThreadState.SLEEPING:
+            thread._resume_value = None
+            self._make_ready(thread)
+
+    # ------------------------------------------------------------------
+    # Activities (on-core work)
+    # ------------------------------------------------------------------
+    def _start_work(
+        self,
+        core: LogicalCPU,
+        thread: SimThread,
+        kind: str,
+        work: float,
+        spin_event: Event | None = None,
+    ) -> None:
+        activity = _Activity(kind, work, core.speed(), self.now, spin_event)
+        core.activity = activity
+        self._schedule_activity_timer(core)
+
+    def _schedule_activity_timer(self, core: LogicalCPU) -> None:
+        activity = core.activity
+        thread = core.thread
+        if activity is None or thread is None:
+            raise SimulationError("scheduling timer on idle core")
+        # Clamp: floating-point progress accounting can leave a remainder
+        # of ~1 ulp below zero after an SMT speed change.
+        work_left = max(activity.work_total - activity.work_done, 0.0)
+        wall_remaining = work_left / activity.speed
+        t_complete = self.now + wall_remaining
+        if t_complete <= thread.slice_end:
+            activity.timer = self._at(wall_remaining, partial(self._on_work_complete, core))
+        else:
+            activity.timer = self._at(
+                thread.slice_end - self.now, partial(self._on_slice_end, core)
+            )
+
+    def _apply_progress(self, core: LogicalCPU) -> None:
+        activity = core.activity
+        thread = core.thread
+        if activity is None or thread is None:
+            return
+        dt = self.now - activity.last_update
+        if dt <= 0:
+            return
+        activity.work_done += dt * activity.speed
+        activity.last_update = self.now
+        core.busy_cycles += dt
+        core.busy_by_kind[thread.kind] = core.busy_by_kind.get(thread.kind, 0.0) + dt
+        thread.cpu_cycles += dt
+        thread.cycles_by[activity.kind] = thread.cycles_by.get(activity.kind, 0.0) + dt
+
+    def _on_work_complete(self, core: LogicalCPU) -> None:
+        activity = core.activity
+        thread = core.thread
+        if activity is None or thread is None:
+            return
+        self._apply_progress(core)
+        core.activity = None
+        if activity.kind == "spin":
+            event = activity.spin_event
+            if event is not None and thread in event._spinners:
+                event._spinners.remove(thread)
+            result: Any = thread._spin_result if thread._spin_result is not None else False
+            thread._spin_result = None
+            self._step(thread, result)
+        else:
+            self._step(thread, None)
+
+    def _on_slice_end(self, core: LogicalCPU) -> None:
+        activity = core.activity
+        thread = core.thread
+        if activity is None or thread is None:
+            return
+        self._apply_progress(core)
+        if not self._ready:
+            thread.slice_end = self.now + self.spec.timeslice_cycles
+            self._schedule_activity_timer(core)
+            return
+        remaining = max(activity.work_total - activity.work_done, 0.0)
+        if activity.kind == "spin":
+            assert activity.spin_event is not None
+            thread._pending = Spin(activity.spin_event, remaining)
+        else:
+            thread._pending = Compute(remaining)
+        core.activity = None
+        self._release_core(thread)
+        self._make_ready(thread)
+
+    # ------------------------------------------------------------------
+    # Event delivery
+    # ------------------------------------------------------------------
+    def _on_event_fired(self, event: Event) -> None:
+        for thread in event._blocked:
+            thread._resume_value = event.value
+            self._make_ready(thread)
+        event._blocked.clear()
+        for thread in event._spinners:
+            thread._spin_result = True
+            if (
+                thread.state is ThreadState.RUNNING
+                and thread.core is not None
+                and thread.core.activity is not None
+                and thread.core.activity.spin_event is event
+            ):
+                self._micro.append(partial(self._interrupt_spin, thread.core, thread))
+        event._spinners.clear()
+
+    def _interrupt_spin(self, core: LogicalCPU, thread: SimThread) -> None:
+        if core.thread is not thread or thread.state is not ThreadState.RUNNING:
+            return
+        activity = core.activity
+        if activity is None or activity.kind != "spin":
+            return
+        if thread._spin_result is None:
+            return
+        self._apply_progress(core)
+        if activity.timer is not None:
+            activity.timer.cancel()
+        core.activity = None
+        thread._spin_result = None
+        self._step(thread, True)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def flush_accounting(self) -> None:
+        """Credit all in-progress activities up to ``now``.
+
+        Call before reading per-thread or per-core cycle counters so that
+        work in flight is included.
+        """
+        for core in self.cpus:
+            self._apply_progress(core)
+
+    def cpu_snapshot(self) -> dict[str, Any]:
+        """Return cumulative CPU accounting up to the current instant.
+
+        The snapshot includes work in progress: running activities are
+        credited up to ``now`` before totals are read.
+        """
+        self.flush_accounting()
+        per_core = [core.busy_cycles for core in self.cpus]
+        by_kind: dict[str, float] = {}
+        for core in self.cpus:
+            for kind, cycles in core.busy_by_kind.items():
+                by_kind[kind] = by_kind.get(kind, 0.0) + cycles
+        busy_total = sum(per_core)
+        capacity = self.now * len(self.cpus)
+        return {
+            "now": self.now,
+            "busy_total": busy_total,
+            "idle_total": max(capacity - busy_total, 0.0),
+            "per_core": per_core,
+            "by_kind": by_kind,
+        }
+
+    def cpu_utilisation(self) -> float:
+        """Overall fraction of CPU capacity used since time zero."""
+        snap = self.cpu_snapshot()
+        capacity = snap["now"] * len(self.cpus)
+        if capacity <= 0:
+            return 0.0
+        return snap["busy_total"] / capacity
+
+    def ready_queue_length(self) -> int:
+        """Number of threads waiting in the ready queue."""
+        return sum(1 for t in self._ready if t.state is ThreadState.READY)

@@ -1,0 +1,98 @@
+"""Hardware description of the simulated machine.
+
+The defaults model the paper's experimental platform: a 4-core Intel Xeon
+E3-1275 v6 at 3.8 GHz with hyperthreading (8 logical CPUs).  All costs are
+expressed in CPU cycles so the simulator never deals in wall-clock units;
+``MachineSpec.cycles`` / ``MachineSpec.seconds`` convert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of the simulated machine.
+
+    Attributes:
+        n_cores: Number of physical cores.
+        smt: Hardware threads per core (1 disables hyperthreading).
+        freq_hz: Core frequency in Hz; used to convert cycles to seconds.
+        smt_factor: Relative execution speed of a logical CPU whose SMT
+            sibling is busy.  1.0 means perfect scaling (no interference);
+            the default 0.62 reflects the throughput loss two active
+            hyperthreads typically see on Skylake-class cores.
+        timeslice_cycles: Preemption quantum of the simulated OS scheduler.
+            The default corresponds to 1 ms at 3.8 GHz.
+        dispatch_overhead_cycles: Cycles charged when a thread is dispatched
+            from the ready queue (context-switch cost).
+    """
+
+    n_cores: int = 4
+    smt: int = 2
+    freq_hz: float = 3.8e9
+    smt_factor: float = 0.62
+    timeslice_cycles: float = 3.8e6
+    dispatch_overhead_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if self.smt not in (1, 2):
+            raise ValueError("smt must be 1 or 2")
+        if not 0.0 < self.smt_factor <= 1.0:
+            raise ValueError("smt_factor must be in (0, 1]")
+        if self.freq_hz <= 0:
+            raise ValueError("freq_hz must be positive")
+        if self.timeslice_cycles <= 0:
+            raise ValueError("timeslice_cycles must be positive")
+        if self.dispatch_overhead_cycles < 0:
+            raise ValueError("dispatch_overhead_cycles must be >= 0")
+
+    @property
+    def n_logical(self) -> int:
+        """Number of logical CPUs (physical cores x SMT ways)."""
+        return self.n_cores * self.smt
+
+    def cycles(self, seconds: float) -> float:
+        """Convert a duration in seconds to CPU cycles."""
+        return seconds * self.freq_hz
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a duration in CPU cycles to seconds."""
+        return cycles / self.freq_hz
+
+    def sibling_of(self, logical_cpu: int) -> int | None:
+        """Return the SMT sibling of ``logical_cpu``, or None without SMT."""
+        if self.smt == 1:
+            return None
+        return logical_cpu ^ 1
+
+
+def paper_machine(**overrides: object) -> MachineSpec:
+    """The evaluation machine of the paper (Xeon E3-1275 v6, 4C/8T, 3.8 GHz)."""
+    defaults: dict[str, object] = {
+        "n_cores": 4,
+        "smt": 2,
+        "freq_hz": 3.8e9,
+    }
+    defaults.update(overrides)
+    return MachineSpec(**defaults)  # type: ignore[arg-type]
+
+
+def server_machine(**overrides: object) -> MachineSpec:
+    """A modern SGX2 server (Ice-Lake-SP class): 16C/32T @ 2.6 GHz.
+
+    Useful for what-if studies: with 32 logical CPUs the zc worker cap
+    (`N/2`) rises to 16 and spinning workers are a much smaller fraction
+    of the machine — the switchless trade-offs shift accordingly (see
+    ``bench_ext_bigserver``).
+    """
+    defaults: dict[str, object] = {
+        "n_cores": 16,
+        "smt": 2,
+        "freq_hz": 2.6e9,
+    }
+    defaults.update(overrides)
+    return MachineSpec(**defaults)  # type: ignore[arg-type]

@@ -1,0 +1,120 @@
+"""Synchronisation primitives for simulated threads.
+
+``Event`` is the one-shot building block the kernel understands natively
+(threads ``Block`` or ``Spin`` on events).  ``Gate`` builds a level-
+triggered condition variable on top of events; it is what the switchless
+worker state machines use to model fields written with atomic stores and
+polled by other threads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.errors import EventAlreadyFired
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Kernel
+
+
+class Event:
+    """A one-shot event that simulated threads can block or spin on.
+
+    Created via :meth:`repro.sim.kernel.Kernel.event`.  Firing an event a
+    second time raises :class:`EventAlreadyFired`; level-triggered state
+    belongs in :class:`Gate`.
+    """
+
+    __slots__ = ("_kernel", "name", "fired", "value", "_blocked", "_spinners")
+
+    def __init__(self, kernel: "Kernel", name: str = "") -> None:
+        self._kernel = kernel
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._blocked: list[Any] = []  # SimThread instances parked in Block
+        self._spinners: list[Any] = []  # SimThread instances in Spin
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event, waking every blocked or spinning waiter.
+
+        Waiters are woken at the current simulated time; the wake-ups are
+        processed by the kernel's microtask queue so that generator stepping
+        never re-enters.
+        """
+        if self.fired:
+            raise EventAlreadyFired(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        self._kernel._on_event_fired(self)
+
+    def fire_if_unfired(self, value: Any = None) -> bool:
+        """Fire the event unless it already fired; returns whether it fired now."""
+        if self.fired:
+            return False
+        self.fire(value)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Gate:
+    """A level-triggered condition on a value.
+
+    ``Gate`` holds a current value; threads obtain one-shot events that fire
+    when the value satisfies a predicate (or equals a target).  This is the
+    simulation analogue of a shared variable written with an atomic store
+    and polled by another thread: the waiter spins or blocks on the event,
+    the writer calls :meth:`set`.
+    """
+
+    __slots__ = ("_kernel", "name", "_value", "_waiters")
+
+    def __init__(self, kernel: "Kernel", value: Any = None, name: str = "") -> None:
+        self._kernel = kernel
+        self.name = name
+        self._value = value
+        self._waiters: list[tuple[Callable[[Any], bool], Event]] = []
+
+    @property
+    def value(self) -> Any:
+        """The gate's current value."""
+        return self._value
+
+    def set(self, value: Any) -> None:
+        """Store a new value and fire any waiter whose predicate now holds."""
+        self._value = value
+        if not self._waiters:
+            return
+        remaining: list[tuple[Callable[[Any], bool], Event]] = []
+        for predicate, event in self._waiters:
+            if event.fired:
+                continue
+            if predicate(value):
+                event.fire(value)
+            else:
+                remaining.append((predicate, event))
+        self._waiters = remaining
+
+    def wait_for(self, predicate: Callable[[Any], bool]) -> Event:
+        """Return a one-shot event that fires once ``predicate(value)`` holds.
+
+        If the predicate already holds the event is returned pre-fired, so
+        ``Block``/``Spin`` on it complete immediately.
+        """
+        event = self._kernel.event(name=f"gate:{self.name}")
+        if predicate(self._value):
+            event.fired = True
+            event.value = self._value
+        else:
+            self._waiters.append((predicate, event))
+        return event
+
+    def wait_value(self, target: Any) -> Event:
+        """Shorthand for :meth:`wait_for` with an equality predicate."""
+        return self.wait_for(lambda v: v == target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gate {self.name!r} value={self._value!r}>"

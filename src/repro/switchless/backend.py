@@ -1,0 +1,202 @@
+"""The Intel SDK switchless call backend.
+
+Caller-side protocol (matching ``sgx_uswitchless``):
+
+1. If the ocall is not statically marked switchless → regular transition.
+2. Publish a task into the untrusted pool; a full pool → immediate
+   fallback.
+3. Busy-wait up to ``retries_before_fallback`` pause instructions for a
+   worker to *claim* the task.  On timeout, withdraw the task and fall
+   back to a regular ocall (the retry cycles are burnt either way — this
+   is the waste Take-away 7 is about).
+4. Once claimed, busy-wait for completion (the caller thread has nothing
+   else to do; this pins one logical CPU per in-flight switchless call,
+   the "exactly one thread busy-waiting per active worker" of §IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sgx.backend import CallBackend
+from repro.sim.instructions import Compute, Spin
+from repro.sim.kernel import Program, SimThread
+from repro.switchless.config import SwitchlessConfig
+from repro.switchless.taskpool import SwitchlessTask, TaskPool
+from repro.switchless.worker import IntelWorkerStats, intel_worker_loop
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave, OcallRequest
+
+#: Chunk size (cycles) for the unbounded wait-for-completion spin.
+_COMPLETION_SPIN_CHUNK = 5_000_000.0
+
+
+class IntelSwitchlessBackend(CallBackend):
+    """Statically-configured switchless calls, as shipped in the SDK."""
+
+    name = "intel-switchless"
+
+    def __init__(self, config: SwitchlessConfig) -> None:
+        self.config = config
+        self._enclave: "Enclave | None" = None
+        self.pool: TaskPool | None = None
+        self.ecall_pool: TaskPool | None = None
+        self.worker_threads: list[SimThread] = []
+        self.worker_stats: list[IntelWorkerStats] = []
+        self.tworker_threads: list[SimThread] = []
+        self.tworker_stats: list[IntelWorkerStats] = []
+        self._stop_flag = [False]
+        self.fallback_count = 0
+        self.switchless_count = 0
+        self.ecall_fallback_count = 0
+        self.ecall_switchless_count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, enclave: "Enclave") -> None:
+        """Install this backend on ``enclave`` (spawns its threads)."""
+        self._enclave = enclave
+        self.pool = TaskPool(enclave.kernel, self.config.effective_pool_capacity)
+        for i in range(self.config.num_uworkers):
+            stats = IntelWorkerStats()
+            self.worker_stats.append(stats)
+            thread = enclave.kernel.spawn(
+                intel_worker_loop(enclave, self.pool, self.config, stats, self._stop_flag),
+                name=f"intel-worker-{i}",
+                kind="intel-worker",
+                daemon=True,
+            )
+            self.worker_threads.append(thread)
+        if self.config.switchless_ecalls:
+            # Trusted worker threads serving switchless ecalls.
+            self.ecall_pool = TaskPool(
+                enclave.kernel, 2 * self.config.num_tworkers
+            )
+            for i in range(self.config.num_tworkers):
+                stats = IntelWorkerStats()
+                self.tworker_stats.append(stats)
+                thread = enclave.kernel.spawn(
+                    intel_worker_loop(
+                        enclave,
+                        self.ecall_pool,
+                        self.config,
+                        stats,
+                        self._stop_flag,
+                        executor=enclave.trts.execute,
+                    ),
+                    name=f"intel-tworker-{i}",
+                    kind="intel-tworker",
+                    daemon=True,
+                )
+                self.tworker_threads.append(thread)
+            enclave.ecall_dispatcher = self
+
+    def stop(self) -> None:
+        """Terminate the worker pools (process teardown)."""
+        self._stop_flag[0] = True
+        if self.pool is not None:
+            self.pool.wake_all()
+        if self.ecall_pool is not None:
+            self.ecall_pool.wake_all()
+
+    # ------------------------------------------------------------------
+    # Call path
+    # ------------------------------------------------------------------
+    def invoke(self, request: "OcallRequest") -> Program:
+        """Execute one call request (simulated program on the caller thread)."""
+        enclave = self._enclave
+        pool = self.pool
+        if enclave is None or pool is None:
+            raise RuntimeError("backend not attached to an enclave")
+        cost = enclave.cost
+        if not self.config.is_switchless(request.name):
+            result = yield from self._regular(request)
+            request.mode = "regular"
+            return result
+
+        yield Compute(cost.switchless_enqueue_cycles, tag="sl-enqueue")
+        task = SwitchlessTask(enclave.kernel, request)
+        if not pool.try_enqueue(task):
+            self.fallback_count += 1
+            result = yield from self._regular(request)
+            request.mode = "fallback"
+            return result
+
+        rbf_budget = cost.pause_loop_cycles(self.config.retries_before_fallback)
+        picked = yield Spin(task.picked, rbf_budget, tag="sl-wait-pickup")
+        if not picked and pool.try_cancel(task):
+            # Retry budget exhausted and nobody claimed the task.
+            self.fallback_count += 1
+            result = yield from self._regular(request)
+            request.mode = "fallback"
+            return result
+
+        # Claimed (possibly at the last instant): busy-wait for completion.
+        while not task.done.fired:
+            yield Spin(task.done, _COMPLETION_SPIN_CHUNK, tag="sl-wait-done")
+        self.switchless_count += 1
+        request.mode = "switchless"
+        return task.done.value
+
+    def _regular(self, request: "OcallRequest") -> Program:
+        enclave = self._enclave
+        assert enclave is not None
+        cost = enclave.cost
+        yield Compute(cost.eexit_cycles, tag="eexit")
+        result = yield from enclave.urts.execute(request)
+        yield Compute(cost.eenter_cycles, tag="eenter")
+        return result
+
+    # ------------------------------------------------------------------
+    # Ecall path (installed as the enclave's ecall dispatcher when the
+    # configuration marks any ecall switchless)
+    # ------------------------------------------------------------------
+    def invoke_ecall(self, request: "OcallRequest") -> Program:
+        """Switchless-or-fallback execution of a named ecall.
+
+        Same protocol as the ocall path, with the directions flipped: the
+        untrusted caller publishes into the trusted pool and trusted
+        workers execute; the fallback is a regular EENTER/EEXIT ecall.
+        """
+        enclave = self._enclave
+        pool = self.ecall_pool
+        if enclave is None or pool is None:
+            raise RuntimeError("ecall dispatch not configured")
+        cost = enclave.cost
+        if not self.config.is_switchless_ecall(request.name):
+            result = yield from self._regular_ecall(request)
+            request.mode = "regular"
+            return result
+
+        yield Compute(cost.switchless_enqueue_cycles, tag="sl-ecall-enqueue")
+        task = SwitchlessTask(enclave.kernel, request)
+        if not pool.try_enqueue(task):
+            self.ecall_fallback_count += 1
+            result = yield from self._regular_ecall(request)
+            request.mode = "fallback"
+            return result
+
+        rbf_budget = cost.pause_loop_cycles(self.config.retries_before_fallback)
+        picked = yield Spin(task.picked, rbf_budget, tag="sl-ecall-wait-pickup")
+        if not picked and pool.try_cancel(task):
+            self.ecall_fallback_count += 1
+            result = yield from self._regular_ecall(request)
+            request.mode = "fallback"
+            return result
+
+        while not task.done.fired:
+            yield Spin(task.done, _COMPLETION_SPIN_CHUNK, tag="sl-ecall-wait-done")
+        self.ecall_switchless_count += 1
+        request.mode = "switchless"
+        return task.done.value
+
+    def _regular_ecall(self, request: "OcallRequest") -> Program:
+        enclave = self._enclave
+        assert enclave is not None
+        cost = enclave.cost
+        yield Compute(cost.ecall_entry_cycles, tag="eenter")
+        result = yield from enclave.trts.execute(request)
+        yield Compute(cost.ecall_exit_cycles, tag="eexit")
+        return result

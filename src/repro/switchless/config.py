@@ -1,0 +1,75 @@
+"""Static build-time configuration of the Intel switchless mechanism.
+
+This mirrors ``sgx_uswitchless_config_t`` of the SDK: the worker counts and
+retry parameters are fixed when the enclave is created, and the set of
+switchless routines is fixed when the EDL file is compiled — the core
+inflexibility ZC-SWITCHLESS removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: SDK default for both retry knobs (Intel SGX SDK v2.14).
+SDK_DEFAULT_RETRIES = 20_000
+
+
+@dataclass(frozen=True)
+class SwitchlessConfig:
+    """Build-time configuration of the SDK switchless-call library.
+
+    Attributes:
+        switchless_ocalls: Names of the ocalls marked ``transition_using_
+            threads`` in the EDL file.  Only these may execute
+            switchlessly.
+        switchless_ecalls: Names of the ecalls marked switchless; served
+            by *trusted* worker threads inside the enclave.
+        num_uworkers: Untrusted worker threads serving switchless ocalls.
+        num_tworkers: Trusted worker threads serving switchless ecalls.
+        retries_before_fallback: Pause retries a caller performs waiting
+            for a worker to *start* its request before falling back to a
+            regular call.
+        retries_before_sleep: Pause retries an idle worker performs
+            waiting for a request before going to sleep.
+        pool_capacity: Task-pool slots; a full pool causes immediate
+            fallback.  Defaults to twice the worker count.
+    """
+
+    switchless_ocalls: frozenset[str] = field(default_factory=frozenset)
+    switchless_ecalls: frozenset[str] = field(default_factory=frozenset)
+    num_uworkers: int = 2
+    num_tworkers: int = 2
+    retries_before_fallback: int = SDK_DEFAULT_RETRIES
+    retries_before_sleep: int = SDK_DEFAULT_RETRIES
+    pool_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_uworkers < 1:
+            raise ValueError("num_uworkers must be >= 1")
+        if self.num_tworkers < 1:
+            raise ValueError("num_tworkers must be >= 1")
+        if self.retries_before_fallback < 0:
+            raise ValueError("retries_before_fallback must be >= 0")
+        if self.retries_before_sleep < 0:
+            raise ValueError("retries_before_sleep must be >= 0")
+        if self.pool_capacity is not None and self.pool_capacity < 1:
+            raise ValueError("pool_capacity must be >= 1")
+        if not isinstance(self.switchless_ocalls, frozenset):
+            object.__setattr__(self, "switchless_ocalls", frozenset(self.switchless_ocalls))
+        if not isinstance(self.switchless_ecalls, frozenset):
+            object.__setattr__(self, "switchless_ecalls", frozenset(self.switchless_ecalls))
+
+    @property
+    def effective_pool_capacity(self) -> int:
+        """Task-pool slots actually allocated."""
+        if self.pool_capacity is not None:
+            return self.pool_capacity
+        return 2 * self.num_uworkers
+
+    def is_switchless(self, ocall_name: str) -> bool:
+        """Whether ``ocall_name`` was statically marked switchless."""
+        return ocall_name in self.switchless_ocalls
+
+    def is_switchless_ecall(self, ecall_name: str) -> bool:
+        """Whether ``ecall_name`` was statically marked switchless."""
+        return ecall_name in self.switchless_ecalls

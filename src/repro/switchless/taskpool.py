@@ -1,0 +1,133 @@
+"""The untrusted task pool shared by callers and Intel switchless workers.
+
+In the SDK, in-enclave callers publish switchless requests into a lock-free
+pool in untrusted memory and worker threads race to claim them (Fig. 1 of
+the paper).  In the simulation, code between two yields is atomic, so the
+pool can use plain Python structures while modelling exactly the SDK's
+claim/cancel semantics:
+
+- a caller may *cancel* a still-pending task when its retry budget runs
+  out (falling back to a regular ocall);
+- a worker may *claim* a pending task, after which cancellation fails and
+  the caller must wait for completion;
+- a full pool rejects new tasks (immediate fallback).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.sim.kernel import Kernel
+from repro.sim.primitives import Event
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import OcallRequest
+
+
+class SwitchlessTask:
+    """One switchless ocall request published to the pool."""
+
+    __slots__ = ("request", "picked", "done", "cancelled")
+
+    def __init__(self, kernel: Kernel, request: "OcallRequest") -> None:
+        self.request = request
+        #: Fired by the worker that claims the task.
+        self.picked: Event = kernel.event(f"picked:{request.name}")
+        #: Fired (with the handler's result) when execution completes.
+        self.done: Event = kernel.event(f"done:{request.name}")
+        self.cancelled = False
+
+
+class TaskPool:
+    """Bounded FIFO pool of pending switchless tasks."""
+
+    def __init__(self, kernel: Kernel, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._pending: deque[SwitchlessTask] = deque()
+        self._task_signals: list[Event] = []
+        self._sleeping: deque[Event] = deque()
+        self.enqueued_total = 0
+        self.rejected_full = 0
+        self.cancelled_total = 0
+
+    # ------------------------------------------------------------------
+    # Caller side
+    # ------------------------------------------------------------------
+    def try_enqueue(self, task: SwitchlessTask) -> bool:
+        """Publish ``task``; returns False (fallback) when the pool is full.
+
+        Enqueueing signals every armed worker and wakes one sleeping worker,
+        matching the SDK's submit path.
+        """
+        if len(self._pending) >= self.capacity:
+            self.rejected_full += 1
+            return False
+        self._pending.append(task)
+        self.enqueued_total += 1
+        signals, self._task_signals = self._task_signals, []
+        for signal in signals:
+            signal.fire_if_unfired()
+        self._wake_one()
+        return True
+
+    def try_cancel(self, task: SwitchlessTask) -> bool:
+        """Withdraw a still-pending task (caller retry budget exhausted).
+
+        Returns False if a worker already claimed it, in which case the
+        caller must wait for completion instead.
+        """
+        try:
+            self._pending.remove(task)
+        except ValueError:
+            return False
+        task.cancelled = True
+        self.cancelled_total += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def try_claim(self) -> SwitchlessTask | None:
+        """Claim the oldest pending task, or None when the pool is empty."""
+        if not self._pending:
+            return None
+        return self._pending.popleft()
+
+    def has_pending(self) -> bool:
+        """Whether any task is waiting in the pool."""
+        return bool(self._pending)
+
+    def arm_task_signal(self) -> Event:
+        """One-shot event fired at the next enqueue (worker idle wait)."""
+        signal = self.kernel.event("taskpool-signal")
+        if self._pending:
+            signal.fire()
+            return signal
+        self._task_signals.append(signal)
+        return signal
+
+    def register_sleeper(self) -> Event:
+        """Park a worker; returns the wake event the pool will fire."""
+        wake = self.kernel.event("worker-wake")
+        self._sleeping.append(wake)
+        return wake
+
+    def sleeping_count(self) -> int:
+        """Number of workers currently parked asleep."""
+        return len(self._sleeping)
+
+    def wake_all(self) -> None:
+        """Wake every sleeping worker (used at shutdown)."""
+        while self._sleeping:
+            self._sleeping.popleft().fire_if_unfired()
+        signals, self._task_signals = self._task_signals, []
+        for signal in signals:
+            signal.fire_if_unfired()
+
+    def _wake_one(self) -> None:
+        if self._sleeping:
+            self._sleeping.popleft().fire_if_unfired()

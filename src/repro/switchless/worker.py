@@ -1,0 +1,76 @@
+"""Intel switchless worker threads.
+
+Each untrusted worker loops forever: claim a task, execute the host
+handler, publish the result; when the pool is empty, busy-wait up to
+``retries_before_sleep`` pause instructions for new work, then go to sleep
+until the submit path wakes it (with a futex-wake latency).
+
+Workers are daemon threads with accounting kind ``"intel-worker"`` so the
+CPU-usage figures can attribute their (considerable) busy-wait time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.instructions import Block, Compute, Spin
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave
+    from repro.switchless.config import SwitchlessConfig
+    from repro.switchless.taskpool import TaskPool
+
+
+class IntelWorkerStats:
+    """Counters one worker accumulates over its lifetime."""
+
+    __slots__ = ("tasks_executed", "sleeps", "wakes")
+
+    def __init__(self) -> None:
+        self.tasks_executed = 0
+        self.sleeps = 0
+        self.wakes = 0
+
+
+def intel_worker_loop(
+    enclave: "Enclave",
+    pool: "TaskPool",
+    config: "SwitchlessConfig",
+    stats: IntelWorkerStats,
+    stop_flag: list[bool],
+    executor=None,
+) -> Program:
+    """Simulated program of one switchless worker thread.
+
+    ``executor`` selects the handler table: the untrusted runtime for
+    ocall workers (default) or the trusted runtime for ecall workers —
+    the loop itself is identical in both directions, as in the SDK.
+    """
+    cost = enclave.cost
+    if executor is None:
+        executor = enclave.urts.execute
+    rbs_budget = cost.pause_loop_cycles(config.retries_before_sleep)
+    while not stop_flag[0]:
+        task = pool.try_claim()
+        if task is not None:
+            yield Compute(cost.worker_pickup_cycles, tag="worker-pickup")
+            task.picked.fire()
+            result = yield from executor(task.request)
+            yield Compute(cost.worker_complete_cycles, tag="worker-complete")
+            stats.tasks_executed += 1
+            task.done.fire(result)
+            continue
+        # Idle: busy-wait for new work before sleeping (retries_before_sleep).
+        signal = pool.arm_task_signal()
+        got_work = yield Spin(signal, rbs_budget, tag="worker-idle-spin")
+        if got_work:
+            continue
+        # Retry budget exhausted: sleep until the submit path wakes us.
+        stats.sleeps += 1
+        wake = pool.register_sleeper()
+        yield Block(wake)
+        if stop_flag[0]:
+            break
+        stats.wakes += 1
+        yield Compute(cost.worker_wake_cycles, tag="worker-wake")

@@ -1,0 +1,26 @@
+"""Stochastic auto-tuning of static switchless configurations.
+
+The paper's related work (§VI) cites SGXTuner [18], which tunes SGX
+application parameters by stochastic optimisation.  This package provides
+the equivalent for the Intel switchless configuration space — the very
+space ZC-SWITCHLESS removes the need to search:
+
+- :mod:`repro.tuner.space` — the configuration genome (switchless ocall
+  subset, worker count, retry budgets) and its seeded mutations;
+- :mod:`repro.tuner.anneal` — a deterministic simulated-annealing loop
+  over any ``config -> cost`` evaluator, with memoisation.
+
+The ``bench_tuner`` benchmark uses the simulator itself as the evaluator
+and contrasts the tuned configuration (after N evaluations, each a full
+workload run) with zc's out-of-the-box behaviour.
+"""
+
+from repro.tuner.anneal import AnnealingResult, SimulatedAnnealingTuner
+from repro.tuner.space import ConfigGenome, TuningSpace
+
+__all__ = [
+    "AnnealingResult",
+    "ConfigGenome",
+    "SimulatedAnnealingTuner",
+    "TuningSpace",
+]

@@ -1,0 +1,100 @@
+"""The Intel switchless configuration search space."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.switchless.config import SwitchlessConfig
+
+#: Retry budgets explored (log-spaced; 20,000 is the SDK default).
+RETRY_CHOICES = (0, 100, 1_000, 5_000, 20_000)
+
+
+@dataclass(frozen=True)
+class ConfigGenome:
+    """One point in the search space (hashable for memoisation)."""
+
+    switchless: frozenset[str]
+    workers: int
+    retries_before_fallback: int
+
+    def to_config(self) -> SwitchlessConfig:
+        """Materialise this genome as a SwitchlessConfig."""
+        return SwitchlessConfig(
+            switchless_ocalls=self.switchless,
+            num_uworkers=self.workers,
+            retries_before_fallback=self.retries_before_fallback,
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable rendering."""
+        names = ",".join(sorted(self.switchless)) or "(none)"
+        return f"[{names}] workers={self.workers} rbf={self.retries_before_fallback}"
+
+
+class TuningSpace:
+    """Candidate ocalls plus bounds, with seeded mutation/sampling.
+
+    Args:
+        candidate_ocalls: Names eligible for switchless selection.
+        max_workers: Upper bound on the worker count.
+        rng: Seeded random source (determinism is on the caller).
+    """
+
+    def __init__(
+        self,
+        candidate_ocalls: frozenset[str] | set[str],
+        max_workers: int = 4,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not candidate_ocalls:
+            raise ValueError("candidate_ocalls must be non-empty")
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.candidates = sorted(candidate_ocalls)
+        self.max_workers = max_workers
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def random_genome(self) -> ConfigGenome:
+        """A uniformly random point (annealing start)."""
+        chosen = frozenset(
+            name for name in self.candidates if self.rng.random() < 0.5
+        )
+        return ConfigGenome(
+            switchless=chosen,
+            workers=self.rng.randint(1, self.max_workers),
+            retries_before_fallback=self.rng.choice(RETRY_CHOICES),
+        )
+
+    def default_genome(self) -> ConfigGenome:
+        """What a developer gets without tuning: everything switchless,
+        2 workers, SDK-default retries."""
+        return ConfigGenome(
+            switchless=frozenset(self.candidates),
+            workers=2,
+            retries_before_fallback=20_000,
+        )
+
+    def mutate(self, genome: ConfigGenome) -> ConfigGenome:
+        """One local move: flip an ocall, step workers, or jump rbf."""
+        move = self.rng.randrange(3)
+        if move == 0:
+            name = self.rng.choice(self.candidates)
+            switchless = set(genome.switchless)
+            if name in switchless:
+                switchless.remove(name)
+            else:
+                switchless.add(name)
+            return ConfigGenome(
+                frozenset(switchless), genome.workers, genome.retries_before_fallback
+            )
+        if move == 1:
+            step = self.rng.choice((-1, 1))
+            workers = min(max(genome.workers + step, 1), self.max_workers)
+            return ConfigGenome(
+                genome.switchless, workers, genome.retries_before_fallback
+            )
+        return ConfigGenome(
+            genome.switchless, genome.workers, self.rng.choice(RETRY_CHOICES)
+        )

@@ -1,0 +1,31 @@
+"""Workload generators for the evaluation.
+
+- :mod:`repro.workloads.synthetic` — the §III motivation benchmark:
+  ``n`` ocalls split between an empty function ``f`` and a pause-loop
+  function ``g``, issued by 8 in-enclave threads, under the C1–C5
+  switchless configurations.
+- :mod:`repro.workloads.dynamic` — the §V-C 3-phase (increase / constant /
+  decrease) paced load driver used by the lmbench dynamic benchmark.
+"""
+
+from repro.workloads.dynamic import DynamicSpec, build_schedule, paced_thread
+from repro.workloads.keydist import SequentialKeys, UniformKeys, ZipfKeys
+from repro.workloads.synthetic import (
+    SYNTHETIC_CONFIGS,
+    SyntheticResult,
+    SyntheticSpec,
+    run_synthetic,
+)
+
+__all__ = [
+    "DynamicSpec",
+    "SYNTHETIC_CONFIGS",
+    "SequentialKeys",
+    "SyntheticResult",
+    "SyntheticSpec",
+    "UniformKeys",
+    "ZipfKeys",
+    "build_schedule",
+    "paced_thread",
+    "run_synthetic",
+]

@@ -1,0 +1,98 @@
+"""The §V-C dynamic (3-phase) paced workload driver.
+
+Every ``τ`` the driver issues a batch of operations; the batch size is
+doubled each period during the *increasing* phase, held at the peak during
+the *constant* phase, and halved each period during the *decreasing*
+phase.  A thread that finishes its batch early sleeps out the period; a
+saturated thread stops its batch at the period boundary, so its *achieved*
+ops fall short of the offered load — the achieved throughput is what the
+figure reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.metrics import PeriodResult
+from repro.sim.instructions import Sleep
+from repro.sim.kernel import Kernel, Program
+
+
+@dataclass(frozen=True)
+class DynamicSpec:
+    """Shape of the 3-phase load (the paper: τ=0.5 s, 3 phases of 20 s).
+
+    Attributes:
+        tau_seconds: Period length.
+        periods_per_phase: Periods in each of the three phases.
+        base_ops: Batch size of the first period.
+        peak_ops: Cap on the batch size (the phase-1 doubling saturates
+            here; the paper's phase 2 holds "the peak value from phase 1").
+    """
+
+    tau_seconds: float = 0.5
+    periods_per_phase: int = 40
+    base_ops: int = 64
+    peak_ops: int = 65_536
+
+    def __post_init__(self) -> None:
+        if self.tau_seconds <= 0:
+            raise ValueError("tau_seconds must be positive")
+        if self.periods_per_phase < 1:
+            raise ValueError("periods_per_phase must be >= 1")
+        if self.base_ops < 1:
+            raise ValueError("base_ops must be >= 1")
+        if self.peak_ops < self.base_ops:
+            raise ValueError("peak_ops must be >= base_ops")
+
+
+def build_schedule(spec: DynamicSpec) -> list[int]:
+    """Target ops per period across the three phases."""
+    increasing: list[int] = []
+    ops = spec.base_ops
+    for _ in range(spec.periods_per_phase):
+        increasing.append(ops)
+        ops = min(ops * 2, spec.peak_ops)
+    peak = increasing[-1]
+    constant = [peak] * spec.periods_per_phase
+    decreasing: list[int] = []
+    ops = peak
+    for _ in range(spec.periods_per_phase):
+        decreasing.append(ops)
+        ops = max(ops // 2, spec.base_ops)
+    return increasing + constant + decreasing
+
+
+def paced_thread(
+    kernel: Kernel,
+    op_factory: Callable[[], Program],
+    schedule: list[int],
+    tau_cycles: float,
+    results: list[PeriodResult],
+) -> Program:
+    """Simulated program issuing up to ``schedule[i]`` ops in period ``i``.
+
+    Appends one :class:`PeriodResult` per period to ``results``.  When the
+    op rate cannot sustain the target, the batch is cut off at the period
+    boundary (completed < target).
+    """
+    for target in schedule:
+        period_start = kernel.now
+        period_end = period_start + tau_cycles
+        completed = 0
+        while completed < target and kernel.now < period_end:
+            yield from op_factory()
+            completed += 1
+        duration = max(kernel.now - period_start, 1.0)
+        results.append(
+            PeriodResult(
+                t_end_cycles=kernel.now,
+                target_ops=target,
+                completed_ops=completed,
+                duration_cycles=duration,
+            )
+        )
+        if kernel.now < period_end:
+            yield Sleep(period_end - kernel.now)
+    return len(results)

@@ -1,0 +1,99 @@
+"""Key-distribution generators for key/value workloads.
+
+The paper's kissdb benchmark writes sequential keys; real KV workloads
+are skewed.  These seeded generators provide the standard YCSB-style
+distributions so the kissdb benchmarks can exercise hot-key behaviour
+(which changes the collision profile and therefore the ocall mix):
+
+- :class:`UniformKeys` — uniform over the keyspace;
+- :class:`ZipfKeys` — Zipf(s) via an inverse-CDF table (a small keyspace
+  is expected; the table is O(n));
+- :class:`SequentialKeys` — the paper's original pattern.
+
+All generators are deterministic per seed and yield fixed-width
+big-endian byte keys suitable for :class:`repro.apps.kissdb.KissDB`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+
+class SequentialKeys:
+    """0, 1, 2, ... as fixed-width keys (the paper's SET pattern)."""
+
+    def __init__(self, key_size: int = 8) -> None:
+        if key_size < 1:
+            raise ValueError("key_size must be >= 1")
+        self.key_size = key_size
+        self._counter = itertools.count()
+
+    def next_key(self) -> bytes:
+        """The next key from this distribution, as fixed-width bytes."""
+        return next(self._counter).to_bytes(self.key_size, "big")
+
+
+class UniformKeys:
+    """Uniformly random keys over ``[0, keyspace)``."""
+
+    def __init__(self, keyspace: int, seed: int = 0, key_size: int = 8) -> None:
+        if keyspace < 1:
+            raise ValueError("keyspace must be >= 1")
+        if key_size < 1:
+            raise ValueError("key_size must be >= 1")
+        self.keyspace = keyspace
+        self.key_size = key_size
+        self._rng = random.Random(seed)
+
+    def next_key(self) -> bytes:
+        """The next key from this distribution, as fixed-width bytes."""
+        return self._rng.randrange(self.keyspace).to_bytes(self.key_size, "big")
+
+
+class ZipfKeys:
+    """Zipf-distributed keys: rank ``k`` has probability ∝ 1/k^s.
+
+    Args:
+        keyspace: Number of distinct keys (ranks 1..keyspace).
+        s: Skew exponent; YCSB's default hot-spot workloads use ~0.99.
+        seed: RNG seed (determinism).
+        key_size: Byte width of emitted keys.
+    """
+
+    def __init__(
+        self, keyspace: int, s: float = 0.99, seed: int = 0, key_size: int = 8
+    ) -> None:
+        if keyspace < 1:
+            raise ValueError("keyspace must be >= 1")
+        if s < 0:
+            raise ValueError("s must be >= 0")
+        if key_size < 1:
+            raise ValueError("key_size must be >= 1")
+        self.keyspace = keyspace
+        self.s = s
+        self.key_size = key_size
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank**s) for rank in range(1, keyspace + 1)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: list[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def next_rank(self) -> int:
+        """Sample a 0-based key rank (0 is the hottest)."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def next_key(self) -> bytes:
+        """The next key from this distribution, as fixed-width bytes."""
+        return self.next_rank().to_bytes(self.key_size, "big")
+
+    def hot_fraction(self, top_k: int) -> float:
+        """Probability mass on the ``top_k`` hottest keys (analytic)."""
+        if not 1 <= top_k <= self.keyspace:
+            raise ValueError("top_k must be in [1, keyspace]")
+        return self._cdf[top_k - 1]

@@ -1,0 +1,62 @@
+"""Tests for the measurement helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import LatencyRecorder, summarize
+from repro.analysis.metrics import PeriodResult
+
+
+class TestLatencyRecorder:
+    def test_mean(self):
+        recorder = LatencyRecorder()
+        for v in (10, 20, 30):
+            recorder.record(v)
+        assert recorder.mean() == pytest.approx(20)
+        assert recorder.count == 3
+
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        for v in range(1, 101):
+            recorder.record(v)
+        assert recorder.percentile(50) == 50
+        assert recorder.percentile(99) == 99
+        assert recorder.percentile(100) == 100
+
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean() == 0.0
+        assert recorder.percentile(99) == 0.0
+        assert recorder.max() == 0.0
+
+    def test_invalid_inputs(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(-1)
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e9), min_size=1))
+    def test_percentile_bounds_property(self, values):
+        recorder = LatencyRecorder()
+        for v in values:
+            recorder.record(v)
+        assert min(values) <= recorder.percentile(50) <= max(values)
+        assert recorder.percentile(100) == max(values)
+
+
+class TestPeriodResult:
+    def test_zero_duration_is_zero_throughput(self):
+        p = PeriodResult(0, 10, 0, 0)
+        assert p.throughput_ops_per_s(1e9) == 0.0
+        assert p.sustained_ops_per_s(1e9, 0) == 0.0
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s == {"mean": 2.0, "min": 1.0, "max": 3.0}
+
+    def test_empty(self):
+        assert summarize([]) == {"mean": 0.0, "min": 0.0, "max": 0.0}

@@ -1,0 +1,69 @@
+"""Tests for the report formatting helpers."""
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["config", "latency"],
+            [["no_sl", 1.234567], ["zc", 0.9]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "config" in lines[1]
+        assert "1.235" in text  # default 3-digit precision
+        assert "0.900" in text
+
+    def test_precision(self):
+        text = format_table(["x"], [[1.23456]], precision=1)
+        assert "1.2" in text
+
+    def test_integers_not_float_formatted(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+        assert "42.000" not in text
+
+    def test_column_width_covers_longest_cell(self):
+        text = format_table(["a"], [["very-long-cell-content"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("very-long-cell-content")
+
+
+class TestToCsv:
+    def test_basic_csv(self):
+        from repro.analysis import to_csv
+
+        csv = to_csv(["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert csv == "a,b\n1,2.5\nx,y\n"
+
+    def test_quoting(self):
+        from repro.analysis import to_csv
+
+        csv = to_csv(["v"], [['he said "hi", twice']])
+        assert '"he said ""hi"", twice"' in csv
+
+    def test_row_width_mismatch_rejected(self):
+        import pytest
+
+        from repro.analysis import to_csv
+
+        with pytest.raises(ValueError):
+            to_csv(["a", "b"], [[1]])
+
+    def test_float_precision_preserved(self):
+        from repro.analysis import to_csv
+
+        csv = to_csv(["x"], [[0.1234567890123]])
+        assert "0.1234567890123" in csv
+
+
+class TestFormatSeries:
+    def test_series_layout(self):
+        text = format_series(
+            "fig", [(1, 2.0), (2, 4.0)], x_label="workers", y_label="runtime"
+        )
+        assert text.splitlines()[0] == "fig"
+        assert "workers" in text
+        assert "4.000" in text

@@ -1,0 +1,17 @@
+"""Shared builders for application-level tests."""
+
+from repro.hostos import DevNull, DevZero, HostFileSystem, PosixHost
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Kernel, MachineSpec
+
+
+def build_system(n_cores=4, smt=2):
+    """A full machine: kernel + host fs + posix ocalls + one enclave."""
+    kernel = Kernel(MachineSpec(n_cores=n_cores, smt=smt))
+    fs = HostFileSystem()
+    fs.mount_device("/dev/null", DevNull())
+    fs.mount_device("/dev/zero", DevZero())
+    urts = UntrustedRuntime()
+    PosixHost(fs).install(urts)
+    enclave = Enclave(kernel, urts)
+    return kernel, fs, enclave

@@ -1,0 +1,189 @@
+"""Tests for the in-enclave KV server (ecalls in, WAL ocalls out)."""
+
+import pytest
+
+from repro.apps import KvClient, KvServerEnclave
+from repro.core import ZcConfig, ZcEcallRuntime, ZcSwitchlessBackend
+from tests.apps.support import build_system
+
+
+def build(switchless=False):
+    kernel, fs, enclave = build_system()
+    if switchless:
+        # One worker per direction: enough for the single-caller tests
+        # without drowning the 8-CPU machine in spinning workers.
+        config = ZcConfig(enable_scheduler=False, max_workers=1, initial_workers=1)
+        enclave.set_backend(ZcSwitchlessBackend(config))
+        ZcEcallRuntime(config).attach(enclave)
+    server = KvServerEnclave(enclave)
+    client = KvClient(enclave)
+    return kernel, fs, enclave, server, client
+
+
+def run(kernel, program):
+    thread = kernel.spawn(program)
+    kernel.join(thread)
+    return thread.result
+
+
+class TestKvOperations:
+    def test_set_get_delete_round_trip(self):
+        kernel, fs, enclave, server, client = build()
+
+        def scenario():
+            yield from server.start()
+            yield from client.set(b"alpha", b"1")
+            yield from client.set(b"beta", b"2")
+            a = yield from client.get(b"alpha")
+            missing = yield from client.get(b"gamma")
+            deleted = yield from client.delete(b"alpha")
+            a_after = yield from client.get(b"alpha")
+            size = yield from client.size()
+            yield from server.stop()
+            return a, missing, deleted, a_after, size
+
+        a, missing, deleted, a_after, size = run(kernel, scenario())
+        assert a == b"1"
+        assert missing is None
+        assert deleted is True
+        assert a_after is None
+        assert size == 1
+
+    def test_delete_missing_key(self):
+        kernel, fs, enclave, server, client = build()
+
+        def scenario():
+            yield from server.start()
+            existed = yield from client.delete(b"nope")
+            yield from server.stop()
+            return existed
+
+        assert run(kernel, scenario()) is False
+
+    def test_empty_key_rejected_across_boundary(self):
+        kernel, fs, enclave, server, client = build()
+
+        def scenario():
+            yield from server.start()
+            try:
+                yield from client.set(b"", b"x")
+            except ValueError as exc:
+                return str(exc)
+
+        assert run(kernel, scenario()) == "empty key"
+
+    def test_overwrite_updates_value(self):
+        kernel, fs, enclave, server, client = build()
+
+        def scenario():
+            yield from server.start()
+            yield from client.set(b"k", b"v1")
+            yield from client.set(b"k", b"v2")
+            value = yield from client.get(b"k")
+            yield from server.stop()
+            return value
+
+        assert run(kernel, scenario()) == b"v2"
+
+
+class TestWalRecovery:
+    def test_recovery_replays_mutations(self):
+        kernel, fs, enclave, server, client = build()
+
+        def phase_one():
+            yield from server.start()
+            yield from client.set(b"a", b"1")
+            yield from client.set(b"b", b"2")
+            yield from client.delete(b"a")
+            yield from client.set(b"c", b"3")
+            yield from server.stop()
+
+        run(kernel, phase_one())
+
+        # Fresh enclave state (simulating restart), same host filesystem.
+        server2 = KvServerEnclave.__new__(KvServerEnclave)
+        server2.__init__(enclave)  # re-registers the ecalls
+        client2 = KvClient(enclave)
+
+        def phase_two():
+            replayed = yield from server2.start()
+            b = yield from client2.get(b"b")
+            a = yield from client2.get(b"a")
+            c = yield from client2.get(b"c")
+            size = yield from client2.size()
+            yield from server2.stop()
+            return replayed, a, b, c, size
+
+        replayed, a, b, c, size = run(kernel, phase_two())
+        assert replayed == 4  # 3 sets + 1 delete
+        assert (a, b, c) == (None, b"2", b"3")
+        assert size == 2
+
+    def test_fresh_start_without_wal(self):
+        kernel, fs, enclave, server, client = build()
+
+        def scenario():
+            replayed = yield from server.start()
+            yield from server.stop()
+            return replayed
+
+        assert run(kernel, scenario()) == 0
+
+    def test_corrupt_wal_detected(self):
+        kernel, fs, enclave, server, client = build()
+        fs.create("/kv.wal", b"\x09\x02\x00\x01\x00\x00\x00kkv")  # bad op 9
+
+        def scenario():
+            yield from server.start()
+
+        with pytest.raises(ValueError):
+            run(kernel, scenario())
+
+
+class TestSwitchlessService:
+    def test_results_identical_with_switchless_boundaries(self):
+        def scenario(client, server):
+            def program():
+                yield from server.start()
+                for i in range(30):
+                    yield from client.set(f"k{i}".encode(), f"v{i}".encode())
+                values = []
+                for i in range(30):
+                    value = yield from client.get(f"k{i}".encode())
+                    values.append(value)
+                yield from server.stop()
+                return values
+
+            return program()
+
+        kernel_a, fs_a, _, server_a, client_a = build(switchless=False)
+        baseline = run(kernel_a, scenario(client_a, server_a))
+        kernel_b, fs_b, _, server_b, client_b = build(switchless=True)
+        switchless = run(kernel_b, scenario(client_b, server_b))
+        assert baseline == switchless
+        assert fs_a.contents("/kv.wal") == fs_b.contents("/kv.wal")
+        # And the switchless run is faster.
+        assert kernel_b.now < kernel_a.now
+
+    def test_concurrent_clients(self):
+        kernel, fs, enclave, server, client = build(switchless=True)
+
+        def starter():
+            yield from server.start()
+
+        run(kernel, starter())
+
+        def worker(base):
+            for i in range(20):
+                yield from client.set(f"{base}-{i}".encode(), b"x")
+
+        threads = [kernel.spawn(worker(f"t{i}"), name=f"t{i}") for i in range(3)]
+        kernel.join(*threads)
+
+        def finisher():
+            size = yield from client.size()
+            yield from server.stop()
+            return size
+
+        assert run(kernel, finisher()) == 60
+        assert server.mutations == 60

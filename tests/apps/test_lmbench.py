@@ -1,0 +1,129 @@
+"""Tests for the lmbench syscall microbenchmarks."""
+
+import pytest
+
+from repro.apps import LmbenchSyscalls
+from tests.apps.support import build_system
+
+
+def run(kernel, program):
+    thread = kernel.spawn(program)
+    kernel.join(thread)
+    return thread.result
+
+
+class TestLmbenchOps:
+    def test_read_returns_zero_words(self):
+        kernel, fs, enclave = build_system()
+        bench = LmbenchSyscalls(enclave)
+
+        def app():
+            yield from bench.setup()
+            word = yield from bench.read_op()
+            yield from bench.teardown()
+            return word
+
+        assert run(kernel, app()) == bytes(8)
+
+    def test_write_counts_bytes(self):
+        kernel, fs, enclave = build_system()
+        bench = LmbenchSyscalls(enclave)
+
+        def app():
+            yield from bench.setup()
+            written = yield from bench.write_op()
+            yield from bench.teardown()
+            return written
+
+        assert run(kernel, app()) == 8
+
+    def test_op_counters(self):
+        kernel, fs, enclave = build_system()
+        bench = LmbenchSyscalls(enclave)
+
+        def app():
+            yield from bench.setup()
+            yield from bench.run_reads(10)
+            yield from bench.run_writes(7)
+            yield from bench.teardown()
+
+        run(kernel, app())
+        assert bench.reads_done == 10
+        assert bench.writes_done == 7
+        assert enclave.stats.by_name["read"].calls == 10
+        assert enclave.stats.by_name["write"].calls == 7
+
+    def test_ops_require_setup(self):
+        kernel, fs, enclave = build_system()
+        bench = LmbenchSyscalls(enclave)
+
+        def app():
+            yield from bench.read_op()
+
+        with pytest.raises(RuntimeError):
+            run(kernel, app())
+
+    def test_op_is_a_short_call(self):
+        """One-word device I/O is the paper's canonical short ocall: the
+        host work is a tiny fraction of the transition cost."""
+        kernel, fs, enclave = build_system()
+        bench = LmbenchSyscalls(enclave)
+
+        def app():
+            yield from bench.setup()
+            yield from bench.run_reads(100)
+
+        run(kernel, app())
+        latency = enclave.stats.by_name["read"].mean_latency_cycles
+        # Regular path: ~ bookkeeping + T_es + ~750 host cycles.
+        assert latency == pytest.approx(14_600, rel=0.1)
+        host_work = latency - enclave.cost.t_es
+        assert host_work < 0.15 * enclave.cost.t_es
+
+    def test_lat_syscall_family(self):
+        kernel, fs, enclave = build_system()
+        bench = LmbenchSyscalls(enclave)
+
+        def app():
+            yield from bench.setup()
+            null = yield from bench.null_op()
+            st = yield from bench.stat_op()
+            fst = yield from bench.fstat_op()
+            fd = yield from bench.open_close_op()
+            yield from bench.teardown()
+            return null, st, fst, fd
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        null, st, fst, fd = t.result
+        assert null == 1
+        assert st["is_device"] == 1  # /dev/zero
+        assert fst["is_device"] == 1
+        assert isinstance(fd, int)
+        assert fs.open_fd_count() == 0
+
+    def test_measure_latency_returns_mean_cycles(self):
+        kernel, fs, enclave = build_system()
+        bench = LmbenchSyscalls(enclave)
+
+        def app():
+            yield from bench.setup()
+            latency = yield from bench.measure_latency(bench.null_op, count=20)
+            yield from bench.teardown()
+            return latency
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        # Regular path: loop + bookkeeping + transition + 250-cycle null.
+        assert 13_000 < t.result < 16_000
+
+    def test_teardown_closes_devices(self):
+        kernel, fs, enclave = build_system()
+        bench = LmbenchSyscalls(enclave)
+
+        def app():
+            yield from bench.setup()
+            yield from bench.teardown()
+
+        run(kernel, app())
+        assert fs.open_fd_count() == 0

@@ -1,0 +1,65 @@
+"""Tests for the preallocated untrusted memory pools."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import MemoryPool
+
+
+class TestMemoryPool:
+    def test_bump_allocation(self):
+        pool = MemoryPool(100)
+        assert pool.try_alloc(40)
+        assert pool.try_alloc(60)
+        assert pool.used_bytes == 100
+
+    def test_full_pool_rejects(self):
+        pool = MemoryPool(100)
+        assert pool.try_alloc(80)
+        assert not pool.try_alloc(30)
+        assert pool.used_bytes == 80
+
+    def test_reset_reclaims_everything(self):
+        pool = MemoryPool(100)
+        pool.try_alloc(100)
+        pool.reset()
+        assert pool.used_bytes == 0
+        assert pool.reallocs == 1
+        assert pool.try_alloc(100)
+
+    def test_oversized_request_admitted_into_empty_pool(self):
+        pool = MemoryPool(100)
+        assert pool.try_alloc(500)
+        assert pool.used_bytes == 100  # pool generation fully consumed
+        assert not pool.try_alloc(1)
+
+    def test_zero_byte_alloc(self):
+        pool = MemoryPool(10)
+        assert pool.try_alloc(0)
+        assert pool.used_bytes == 0
+
+    def test_negative_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(10).try_alloc(-1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+
+    def test_fill_fraction(self):
+        pool = MemoryPool(200)
+        pool.try_alloc(50)
+        assert pool.fill_fraction == pytest.approx(0.25)
+
+
+@given(sizes=st.lists(st.integers(min_value=0, max_value=64), max_size=200))
+def test_pool_invariants_under_any_sequence(sizes):
+    """used_bytes never exceeds capacity; reallocs only grow; every
+    allocation eventually succeeds after at most one reset."""
+    pool = MemoryPool(256)
+    for size in sizes:
+        if not pool.try_alloc(size):
+            pool.reset()
+            assert pool.try_alloc(size)
+        assert 0 <= pool.used_bytes <= pool.capacity_bytes

@@ -1,0 +1,55 @@
+"""Tests for ZC runtime statistics."""
+
+import pytest
+
+from repro.core import ZcStats
+
+
+class TestZcStats:
+    def test_counters(self):
+        stats = ZcStats()
+        stats.record_switchless()
+        stats.record_switchless()
+        stats.record_fallback()
+        stats.record_pool_realloc()
+        assert stats.total_calls == 3
+        assert stats.switchless_fraction() == pytest.approx(2 / 3)
+        assert stats.pool_reallocs == 1
+
+    def test_empty_fraction(self):
+        assert ZcStats().switchless_fraction() == 0.0
+
+    def test_histogram_over_timeline(self):
+        stats = ZcStats()
+        stats.record_worker_count(0.0, 4)
+        stats.record_worker_count(100.0, 2)
+        stats.record_worker_count(300.0, 0)
+        histogram = stats.worker_count_histogram(400.0)
+        assert histogram[4] == pytest.approx(0.25)
+        assert histogram[2] == pytest.approx(0.50)
+        assert histogram[0] == pytest.approx(0.25)
+        assert sum(histogram.values()) == pytest.approx(1.0)
+
+    def test_histogram_merges_repeated_counts(self):
+        stats = ZcStats()
+        stats.record_worker_count(0.0, 1)
+        stats.record_worker_count(50.0, 2)
+        stats.record_worker_count(100.0, 1)
+        histogram = stats.worker_count_histogram(200.0)
+        assert histogram[1] == pytest.approx(0.75)
+        assert histogram[2] == pytest.approx(0.25)
+
+    def test_empty_timeline(self):
+        assert ZcStats().worker_count_histogram(100.0) == {}
+        assert ZcStats().mean_worker_count(100.0) == 0.0
+
+    def test_mean_worker_count(self):
+        stats = ZcStats()
+        stats.record_worker_count(0.0, 4)
+        stats.record_worker_count(100.0, 0)
+        assert stats.mean_worker_count(200.0) == pytest.approx(2.0)
+
+    def test_histogram_before_any_elapsed_time(self):
+        stats = ZcStats()
+        stats.record_worker_count(100.0, 3)
+        assert stats.worker_count_histogram(100.0) == {}

@@ -1,0 +1,100 @@
+"""Tests for the TrustZone profile (§IV-D: ZC beyond SGX)."""
+
+import pytest
+
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.core.trustzone import TRUSTZONE_WORLD_SWITCH_CYCLES, trustzone_cost_model
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec
+
+
+def build(cost):
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts, cost=cost)
+    return kernel, urts, enclave
+
+
+class TestTrustZoneCostModel:
+    def test_world_switch_an_order_cheaper_than_sgx(self):
+        tz = trustzone_cost_model()
+        assert tz.t_es == pytest.approx(TRUSTZONE_WORLD_SWITCH_CYCLES)
+        from repro.sgx import SgxCostModel
+
+        assert SgxCostModel().t_es / tz.t_es > 8
+
+    def test_overrides(self):
+        tz = trustzone_cost_model(pause_cycles=100.0)
+        assert tz.pause_cycles == 100.0
+
+    def test_regular_call_pays_world_switch(self):
+        kernel, urts, enclave = build(trustzone_cost_model())
+
+        def handler():
+            yield Compute(500)
+            return None
+
+        urts.register("svc", handler)
+
+        def app():
+            yield from enclave.ocall("svc")
+
+        kernel.join(kernel.spawn(app()))
+        expected = enclave.cost.ocall_bookkeeping_cycles + TRUSTZONE_WORLD_SWITCH_CYCLES + 500
+        assert kernel.now == pytest.approx(expected)
+
+
+class TestZcOnTrustZone:
+    def test_zc_backend_is_tee_agnostic(self):
+        """The full ZC runtime (workers + scheduler) drives world-switchless
+        calls unchanged on the TrustZone cost model."""
+        kernel, urts, enclave = build(trustzone_cost_model())
+        backend = ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+        enclave.set_backend(backend)
+
+        def handler():
+            yield Compute(200)
+            return "secure"
+
+        urts.register("svc", handler)
+
+        def app():
+            result = yield from enclave.ocall("svc")
+            return result
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        assert t.result == "secure"
+        assert backend.stats.switchless_count == 1
+
+    def test_cheaper_transitions_shrink_the_worker_pool(self):
+        """With a ~10x cheaper transition, fallbacks waste far less, so
+        the waste-minimising scheduler keeps fewer workers than on SGX
+        for the same workload — the quantitative §IV-D story."""
+
+        def mean_workers(cost):
+            kernel, urts, enclave = build(cost)
+            backend = ZcSwitchlessBackend(ZcConfig(quantum_seconds=0.002))
+            enclave.set_backend(backend)
+
+            def handler():
+                yield Compute(600)
+                return None
+
+            urts.register("svc", handler)
+            horizon = kernel.cycles(0.03)
+
+            def app():
+                while kernel.now < horizon:
+                    yield Compute(6_000, tag="app")
+                    yield from enclave.ocall("svc")
+
+            threads = [kernel.spawn(app(), name=f"a{i}") for i in range(2)]
+            kernel.join(*threads)
+            return backend.stats.mean_worker_count(kernel.now)
+
+        from repro.sgx import SgxCostModel
+
+        sgx_workers = mean_workers(SgxCostModel())
+        tz_workers = mean_workers(trustzone_cost_model())
+        assert tz_workers <= sgx_workers

@@ -1,0 +1,144 @@
+"""Stateful property test of the ZC worker state machine (Fig. 6).
+
+Hypothesis drives random legal sequences of caller/scheduler operations
+against one worker and checks the machine's invariants after every step:
+the status stays in the legal set, completed work is counted exactly
+once, pause only happens when unreserved, and the worker always comes
+back.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import WorkerStatus, ZcConfig, ZcWorker
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sgx.enclave import OcallRequest
+from repro.sim import Compute, Kernel, MachineSpec
+
+SETTLE_CYCLES = 200_000.0
+
+
+class WorkerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.kernel = Kernel(MachineSpec(n_cores=4, smt=1))
+        urts = UntrustedRuntime()
+        self.enclave = Enclave(self.kernel, urts)
+
+        def echo(value):
+            yield Compute(1_000, tag="host-echo")
+            return value
+
+        urts.register("echo", echo)
+        self.worker = ZcWorker(self.kernel, 0, ZcConfig(enable_scheduler=False))
+        self.thread = self.kernel.spawn(
+            self.worker.run(self.enclave), name="w", kind="zc-worker", daemon=True
+        )
+        self.reserved_by_us = False
+        self.submitted = 0
+        self.completed = 0
+        self.next_token = 0
+
+    def settle(self):
+        """Give the worker simulated time to observe state changes."""
+        self.kernel.run(until_time=self.kernel.now + SETTLE_CYCLES)
+
+    # ------------------------------------------------------------------
+    # Caller-side rules
+    # ------------------------------------------------------------------
+    @precondition(lambda self: not self.reserved_by_us)
+    @rule()
+    def reserve_if_unused(self):
+        self.settle()
+        if self.worker.status is WorkerStatus.UNUSED and not self.worker.pause_requested:
+            assert self.worker.try_reserve()
+            self.reserved_by_us = True
+        elif self.worker.status is not WorkerStatus.UNUSED:
+            # Reservation must fail in any non-UNUSED state (and must
+            # not have side effects).
+            assert not self.worker.try_reserve()
+
+    @precondition(lambda self: self.reserved_by_us)
+    @rule()
+    def submit_and_complete(self):
+        token = self.next_token
+        self.next_token += 1
+        self.worker.request = OcallRequest(name="echo", args=(token,))
+        self.worker.set_status(WorkerStatus.PROCESSING)
+        self.submitted += 1
+
+        done = [False]
+
+        def waiter():
+            while self.worker.status is not WorkerStatus.WAITING:
+                from repro.sim import Sleep
+
+                yield Sleep(1_000)
+            done[0] = True
+            return self.worker.result
+
+        thread = self.kernel.spawn(waiter(), name="waiter")
+        self.kernel.join(thread)
+        assert done[0]
+        assert thread.result == token  # the right request's result
+        self.worker.request = None
+        self.worker.set_status(WorkerStatus.UNUSED)
+        self.completed += 1
+        self.reserved_by_us = False
+
+    # ------------------------------------------------------------------
+    # Scheduler-side rules
+    # ------------------------------------------------------------------
+    @rule()
+    def ask_pause(self):
+        self.worker.request_pause()
+
+    @rule()
+    def ask_unpause(self):
+        self.worker.request_unpause()
+
+    @rule()
+    def let_time_pass(self):
+        self.settle()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def status_is_legal(self):
+        assert self.worker.status in (
+            WorkerStatus.UNUSED,
+            WorkerStatus.RESERVED,
+            WorkerStatus.PROCESSING,
+            WorkerStatus.WAITING,
+            WorkerStatus.PAUSED,
+        )
+
+    @invariant()
+    def work_is_counted_exactly_once(self):
+        assert self.worker.tasks_executed == self.completed == self.submitted
+
+    @invariant()
+    def paused_only_when_unreserved(self):
+        if self.worker.status is WorkerStatus.PAUSED:
+            assert not self.reserved_by_us
+
+    @invariant()
+    def worker_thread_alive(self):
+        assert not self.thread.done
+
+    def teardown(self):
+        if self.reserved_by_us:
+            # Return the reservation so the worker can observe the exit.
+            self.worker.set_status(WorkerStatus.UNUSED)
+            self.reserved_by_us = False
+        self.worker.request_exit()
+        self.kernel.run()
+        assert self.worker.status is WorkerStatus.EXIT
+        assert self.thread.done
+
+
+WorkerMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+TestWorkerStateMachine = WorkerMachine.TestCase

@@ -1,0 +1,79 @@
+"""Tests for the suite runner and markdown report generator."""
+
+from repro.experiments.suite import (
+    ExperimentOutcome,
+    _markdown_table,
+    render_markdown,
+    run_suite,
+)
+
+
+class TestRunSuite:
+    def test_subset_with_overrides(self):
+        outcomes = run_suite(
+            ["fig7", "sec5d"],
+            overrides={
+                "fig7": {"sizes": (512, 32_768), "ops": 40},
+                "sec5d": {"record_sizes": (4096,), "records": 30},
+            },
+        )
+        assert [o.exp_id for o in outcomes] == ["fig7", "sec5d"]
+        assert all(o.ok for o in outcomes)
+        assert all(o.rows for o in outcomes)
+
+
+class TestRenderMarkdown:
+    def make_outcome(self, ok=True):
+        return ExperimentOutcome(
+            exp_id="fig7",
+            headers=["x", "y"],
+            rows=[[1, 2.34567], ["a", "b"]],
+            violations=[] if ok else ["expected something"],
+            wall_seconds=1.5,
+        )
+
+    def test_markdown_structure(self):
+        text = render_markdown([self.make_outcome()])
+        assert text.startswith("# Reproduction report")
+        assert "1/1 experiments match" in text
+        assert "## fig7" in text
+        assert "Shape check: **OK**" in text
+        assert "| x | y |" in text
+        assert "2.346" in text  # 4 significant digits
+
+    def test_violations_listed(self):
+        text = render_markdown([self.make_outcome(ok=False)])
+        assert "0/1 experiments match" in text
+        assert "VIOLATION: expected something" in text
+
+    def test_markdown_table_shapes(self):
+        table = _markdown_table(["a"], [[1], [2]])
+        lines = table.splitlines()
+        assert lines[0] == "| a |"
+        assert lines[1] == "|---|"
+        assert len(lines) == 4
+
+
+class TestCliReport:
+    def test_report_command_writes_file(self, tmp_path, capsys, monkeypatch):
+        from repro import cli
+
+        # Shrink to two fast experiments for the test.
+        monkeypatch.setattr(
+            cli,
+            "QUICK_KWARGS",
+            {"fig7": {"sizes": (512, 32_768), "ops": 40}},
+        )
+        from repro import experiments
+
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS", {"fig7": experiments.EXPERIMENTS["fig7"]}
+        )
+        monkeypatch.setattr(
+            "repro.experiments.suite.EXPERIMENTS",
+            {"fig7": experiments.EXPERIMENTS["fig7"]},
+        )
+        out = tmp_path / "report.md"
+        assert cli.main(["report", "--quick", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "# Reproduction report" in out.read_text()

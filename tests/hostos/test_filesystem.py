@@ -1,0 +1,167 @@
+"""Tests for the in-memory host filesystem."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hostos import DevNull, DevZero, HostFileSystem
+from repro.hostos.filesystem import (
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    BadFileDescriptor,
+    FileSystemError,
+)
+
+
+@pytest.fixture
+def fs():
+    return HostFileSystem()
+
+
+class TestOpenModes:
+    def test_read_missing_file_raises(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.open("/missing", "r")
+
+    def test_write_mode_truncates(self, fs):
+        fs.create("/f", b"old-contents")
+        fd = fs.open("/f", "w")
+        fs.write(fd, b"new")
+        fs.close(fd)
+        assert fs.contents("/f") == b"new"
+
+    def test_append_mode_positions_at_eof(self, fs):
+        fs.create("/f", b"abc")
+        fd = fs.open("/f", "a")
+        fs.write(fd, b"def")
+        fs.close(fd)
+        assert fs.contents("/f") == b"abcdef"
+
+    def test_read_plus_allows_read_and_write(self, fs):
+        fs.create("/f", b"hello")
+        fd = fs.open("/f", "r+")
+        assert fs.read(fd, 2) == b"he"
+        fs.write(fd, b"LLO")
+        fs.close(fd)
+        assert fs.contents("/f") == b"heLLO"
+
+    def test_write_only_handle_rejects_read(self, fs):
+        fd = fs.open("/f", "w")
+        with pytest.raises(FileSystemError):
+            fs.read(fd, 1)
+
+    def test_read_only_handle_rejects_write(self, fs):
+        fs.create("/f", b"x")
+        fd = fs.open("/f", "r")
+        with pytest.raises(FileSystemError):
+            fs.write(fd, b"y")
+
+    def test_unsupported_mode_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.open("/f", "rb+")
+
+    def test_bad_fd_raises(self, fs):
+        with pytest.raises(BadFileDescriptor):
+            fs.read(999, 1)
+        with pytest.raises(BadFileDescriptor):
+            fs.close(999)
+
+
+class TestReadWriteSeek:
+    def test_sequential_read(self, fs):
+        fs.create("/f", b"0123456789")
+        fd = fs.open("/f", "r")
+        assert fs.read(fd, 4) == b"0123"
+        assert fs.read(fd, 4) == b"4567"
+        assert fs.read(fd, 4) == b"89"
+        assert fs.read(fd, 4) == b""
+
+    def test_seek_set_cur_end(self, fs):
+        fs.create("/f", b"0123456789")
+        fd = fs.open("/f", "r+")
+        assert fs.seek(fd, 4, SEEK_SET) == 4
+        assert fs.read(fd, 1) == b"4"
+        assert fs.seek(fd, 2, SEEK_CUR) == 7
+        assert fs.read(fd, 1) == b"7"
+        assert fs.seek(fd, -1, SEEK_END) == 9
+        assert fs.read(fd, 1) == b"9"
+
+    def test_sparse_write_zero_fills(self, fs):
+        fd = fs.open("/f", "w")
+        fs.seek(fd, 5, SEEK_SET)
+        fs.write(fd, b"x")
+        assert fs.contents("/f") == b"\x00\x00\x00\x00\x00x"
+
+    def test_overwrite_middle(self, fs):
+        fs.create("/f", b"aaaaaa")
+        fd = fs.open("/f", "r+")
+        fs.seek(fd, 2, SEEK_SET)
+        fs.write(fd, b"XY")
+        assert fs.contents("/f") == b"aaXYaa"
+
+    def test_negative_seek_rejected(self, fs):
+        fs.create("/f", b"abc")
+        fd = fs.open("/f", "r")
+        with pytest.raises(FileSystemError):
+            fs.seek(fd, -10, SEEK_SET)
+
+    def test_independent_handle_positions(self, fs):
+        fs.create("/f", b"0123456789")
+        fd1 = fs.open("/f", "r")
+        fd2 = fs.open("/f", "r")
+        assert fs.read(fd1, 3) == b"012"
+        assert fs.read(fd2, 3) == b"012"
+
+    def test_unlink(self, fs):
+        fs.create("/f", b"x")
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        with pytest.raises(FileNotFoundError):
+            fs.unlink("/f")
+
+
+class TestDevices:
+    def test_dev_null_discards(self, fs):
+        null = DevNull()
+        fs.mount_device("/dev/null", null)
+        fd = fs.open("/dev/null", "w")
+        assert fs.write(fd, b"data") == 4
+        assert fs.read(fs.open("/dev/null", "r"), 8) == b""
+        assert null.bytes_discarded == 4
+
+    def test_dev_zero_reads_zeroes(self, fs):
+        fs.mount_device("/dev/zero", DevZero())
+        fd = fs.open("/dev/zero", "r")
+        assert fs.read(fd, 8) == bytes(8)
+
+    def test_device_seek_is_noop(self, fs):
+        fs.mount_device("/dev/zero", DevZero())
+        fd = fs.open("/dev/zero", "r")
+        assert fs.seek(fd, 100, SEEK_SET) == 0
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=64),  # seek target
+            st.binary(min_size=0, max_size=32),  # payload
+        ),
+        max_size=30,
+    )
+)
+def test_write_read_matches_reference_bytearray(ops):
+    """Property: our FS behaves exactly like a seek/write on a bytearray."""
+    fs = HostFileSystem()
+    fd = fs.open("/f", "w+")
+    reference = bytearray()
+    for target, payload in ops:
+        fs.seek(fd, target, SEEK_SET)
+        fs.write(fd, payload)
+        if target > len(reference):
+            reference.extend(bytes(target - len(reference)))
+        end = target + len(payload)
+        if end > len(reference):
+            reference.extend(bytes(end - len(reference)))
+        reference[target:end] = payload
+    assert fs.contents("/f") == bytes(reference)

@@ -1,0 +1,116 @@
+"""Tests for the PosixHost ocall handlers (cost + semantics)."""
+
+import pytest
+
+from repro.hostos import DevNull, DevZero, HostFileSystem, PosixHost, SyscallCostModel
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Kernel, MachineSpec
+
+
+def build():
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    fs = HostFileSystem()
+    fs.mount_device("/dev/null", DevNull())
+    fs.mount_device("/dev/zero", DevZero())
+    host = PosixHost(fs)
+    urts = UntrustedRuntime()
+    host.install(urts)
+    enclave = Enclave(kernel, urts)
+    return kernel, fs, host, enclave
+
+
+class TestStdioHandlers:
+    def test_full_stdio_round_trip_through_ocalls(self):
+        kernel, fs, host, enclave = build()
+
+        def app():
+            fd = yield from enclave.ocall("fopen", "/data.bin", "w+")
+            yield from enclave.ocall("fwrite", fd, b"hello world", in_bytes=11)
+            yield from enclave.ocall("fseeko", fd, 0, 0)
+            data = yield from enclave.ocall("fread", fd, 5, out_bytes=5)
+            yield from enclave.ocall("fclose", fd)
+            return data
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        assert t.result == b"hello"
+        assert fs.contents("/data.bin") == b"hello world"
+        assert fs.open_fd_count() == 0
+
+    def test_handler_costs_scale_with_size(self):
+        costs = SyscallCostModel()
+        small = costs.fwrite_cycles(8)
+        large = costs.fwrite_cycles(4096)
+        assert large > small
+        # kissdb-style 8-byte ops must be short relative to a transition.
+        assert small < 13_500
+
+    def test_crypto_chunks_are_about_6x_kissdb_calls(self):
+        """§V-B: the crypto pipeline's fread/fwrite are ~6x longer than
+        kissdb's 8-byte stdio calls."""
+        costs = SyscallCostModel()
+        kissdb_call = costs.fread_cycles(8)
+        crypto_call = costs.fread_cycles(4096)
+        assert 4 < crypto_call / kissdb_call < 9
+
+
+class TestSyscallHandlers:
+    def test_lmbench_style_word_io(self):
+        kernel, fs, host, enclave = build()
+
+        def app():
+            zero_fd = yield from enclave.ocall("open", "/dev/zero", "r")
+            null_fd = yield from enclave.ocall("open", "/dev/null", "w")
+            word = yield from enclave.ocall("read", zero_fd, 8, out_bytes=8)
+            written = yield from enclave.ocall("write", null_fd, word, in_bytes=8)
+            yield from enclave.ocall("close", zero_fd)
+            yield from enclave.ocall("close", null_fd)
+            return word, written
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        word, written = t.result
+        assert word == bytes(8)
+        assert written == 8
+
+    def test_word_syscall_is_short_call(self):
+        """lmbench read/write are the canonical short ocalls: much cheaper
+        than the enclave transition, hence good switchless candidates."""
+        costs = SyscallCostModel()
+        assert costs.dev_read_cycles(8) < 2000
+        assert costs.dev_write_cycles(8) < 2000
+
+    def test_stat_family(self):
+        kernel, fs, host, enclave = build()
+        fs.create("/some-file", b"0123456789")
+
+        def app():
+            st = yield from enclave.ocall("stat", "/some-file", out_bytes=64)
+            fd = yield from enclave.ocall("open", "/some-file", "r")
+            fst = yield from enclave.ocall("fstat", fd, out_bytes=64)
+            yield from enclave.ocall("close", fd)
+            dev = yield from enclave.ocall("stat", "/dev/zero", out_bytes=64)
+            return st, fst, dev
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        st, fst, dev = t.result
+        assert st == {"st_size": 10, "is_device": 0}
+        assert fst == {"st_size": 10, "is_device": 0}
+        assert dev == {"st_size": 0, "is_device": 1}
+
+    def test_stat_missing_file_faults(self):
+        kernel, fs, host, enclave = build()
+
+        def app():
+            yield from enclave.ocall("stat", "/missing")
+
+        kernel.spawn(app())
+        import pytest as _pytest
+
+        with _pytest.raises(FileNotFoundError):
+            kernel.run()
+
+    def test_null_syscall_is_cheapest(self):
+        costs = SyscallCostModel()
+        assert costs.syscall_cycles < costs.fstat_cycles < costs.stat_cycles

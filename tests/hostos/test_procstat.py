@@ -1,0 +1,79 @@
+"""Tests for /proc/stat-style CPU accounting."""
+
+import pytest
+
+from repro.hostos import CpuUsageMonitor, ProcStat
+from repro.sim import Compute, Kernel, MachineSpec, Sleep
+
+
+class TestProcStat:
+    def test_usage_between_samples(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        stat = ProcStat(kernel)
+
+        def busy():
+            yield Compute(10_000)
+
+        s0 = stat.sample()
+        kernel.spawn(busy())
+        kernel.run()
+        s1 = stat.sample()
+        window = stat.usage_between(s0, s1)
+        # One of two cores busy for the whole window.
+        assert window.usage_pct == pytest.approx(50.0)
+
+    def test_by_kind_breakdown_percentages(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        stat = ProcStat(kernel)
+
+        def prog():
+            yield Compute(1000)
+
+        s0 = stat.sample()
+        kernel.spawn(prog(), kind="app")
+        kernel.spawn(prog(), kind="worker")
+        kernel.run()
+        window = stat.usage_between(s0, stat.sample())
+        assert window.by_kind_pct["app"] == pytest.approx(50.0)
+        assert window.by_kind_pct["worker"] == pytest.approx(50.0)
+
+    def test_unordered_samples_rejected(self):
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1))
+        stat = ProcStat(kernel)
+        s = stat.sample()
+        with pytest.raises(ValueError):
+            stat.usage_between(s, s)
+
+
+class TestCpuUsageMonitor:
+    def test_monitor_records_time_series(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        monitor = CpuUsageMonitor(kernel, interval_cycles=1000).start()
+
+        def duty_cycle():
+            # 50% duty: busy 500, idle 500, repeated.
+            for _ in range(8):
+                yield Compute(500)
+                yield Sleep(500)
+
+        t = kernel.spawn(duty_cycle())
+        kernel.join(t)
+        monitor.stop()
+        kernel.run(until_time=kernel.now + 2000)
+        assert len(monitor.windows) >= 7
+        # One thread at 50% duty on a 2-core machine -> ~25% usage.
+        assert monitor.mean_usage_pct() == pytest.approx(25.0, abs=3.0)
+
+    def test_series_is_time_ordered_seconds(self):
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1, freq_hz=1e9))
+        monitor = CpuUsageMonitor(kernel, interval_cycles=1e6).start()
+
+        def prog():
+            yield Compute(5e6)
+
+        kernel.join(kernel.spawn(prog()))
+        monitor.stop()
+        series = monitor.series()
+        times = [t for t, _ in series]
+        assert times == sorted(times)
+        assert all(0 <= pct <= 100 for _, pct in series)

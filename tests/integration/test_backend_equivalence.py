@@ -1,0 +1,162 @@
+"""Cross-backend equivalence: results must not depend on the call path.
+
+The three execution modes (regular, Intel switchless, ZC-SWITCHLESS) only
+change *where and when* a host handler runs — never its result.  These
+tests run identical workloads under all three backends and require
+bit-identical outcomes, while timing and CPU usage are allowed (and
+expected) to differ.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import KissDB
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.hostos import DevNull, DevZero, HostFileSystem, PosixHost
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Kernel, MachineSpec
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+
+ALL_STDIO = frozenset({"fopen", "fclose", "fseeko", "fread", "fwrite", "ftell"})
+
+
+def build(mode: str):
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    fs = HostFileSystem()
+    fs.mount_device("/dev/null", DevNull())
+    fs.mount_device("/dev/zero", DevZero())
+    urts = UntrustedRuntime()
+    PosixHost(fs).install(urts)
+    enclave = Enclave(kernel, urts)
+    if mode == "intel":
+        enclave.set_backend(
+            IntelSwitchlessBackend(
+                SwitchlessConfig(switchless_ocalls=ALL_STDIO, num_uworkers=2)
+            )
+        )
+    elif mode == "zc":
+        enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+    return kernel, fs, enclave
+
+
+MODES = ("regular", "intel", "zc")
+
+
+class TestKissdbEquivalence:
+    def run_workload(self, mode, operations):
+        kernel, fs, enclave = build(mode)
+        db = KissDB(enclave, "/db", hash_table_size=8)
+
+        def app():
+            yield from db.open()
+            reads = []
+            for op, key_i, value_i in operations:
+                key = key_i.to_bytes(8, "big")
+                if op == "put":
+                    yield from db.put(key, value_i.to_bytes(8, "big"))
+                else:
+                    value = yield from db.get(key)
+                    reads.append(value)
+            yield from db.close()
+            return reads
+
+        thread = kernel.spawn(app())
+        kernel.join(thread)
+        contents = fs.contents("/db")
+        enclave.stop_backend()
+        kernel.run()
+        return thread.result, contents
+
+    def test_fixed_workload_identical_across_backends(self):
+        operations = [
+            ("put", 1, 11),
+            ("put", 2, 22),
+            ("get", 1, 0),
+            ("put", 1, 111),
+            ("get", 1, 0),
+            ("get", 3, 0),
+            ("put", 9, 99),
+            ("get", 9, 0),
+        ]
+        results = {mode: self.run_workload(mode, operations) for mode in MODES}
+        baseline_reads, baseline_file = results["regular"]
+        for mode in ("intel", "zc"):
+            reads, file_bytes = results[mode]
+            assert reads == baseline_reads, f"{mode} returned different values"
+            assert file_bytes == baseline_file, f"{mode} produced a different file"
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get"]),
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_random_workloads_equivalent(self, operations):
+        baseline = self.run_workload("regular", operations)
+        for mode in ("intel", "zc"):
+            assert self.run_workload(mode, operations) == baseline
+
+
+class TestCryptoPipelineEquivalence:
+    def run_pipeline(self, mode):
+        from repro.apps import CryptoFileApp
+        from repro.crypto import FastXorEngine
+
+        kernel, fs, enclave = build(mode)
+        plaintext = bytes(i % 253 for i in range(6 * 4096 + 99))
+        fs.create("/plain", plaintext)
+        app = CryptoFileApp(
+            enclave, lambda: FastXorEngine(bytes(32), bytes(16)), chunk_bytes=4096
+        )
+
+        def pipeline():
+            yield from app.encrypt_file("/plain", "/cipher")
+            yield from app.decrypt_file("/cipher", "/round")
+
+        kernel.join(kernel.spawn(pipeline()))
+        cipher = fs.contents("/cipher")
+        round_trip = fs.contents("/round")
+        enclave.stop_backend()
+        kernel.run()
+        return cipher, round_trip, plaintext
+
+    def test_ciphertext_identical_across_backends(self):
+        baseline = self.run_pipeline("regular")
+        for mode in ("intel", "zc"):
+            assert self.run_pipeline(mode) == baseline
+        cipher, round_trip, plaintext = baseline
+        assert round_trip == plaintext
+        assert plaintext[:64] not in cipher
+
+
+class TestTimingDiffers:
+    def test_switchless_modes_are_faster_but_equivalent(self):
+        """Same bytes, different clocks: the whole point of the paper."""
+
+        def run(mode):
+            kernel, fs, enclave = build(mode)
+            db = KissDB(enclave, "/db", hash_table_size=64)
+
+            def app():
+                yield from db.open()
+                for i in range(200):
+                    yield from db.put(i.to_bytes(8, "big"), i.to_bytes(8, "little"))
+                yield from db.close()
+
+            kernel.join(kernel.spawn(app()))
+            contents = fs.contents("/db")
+            enclave.stop_backend()
+            kernel.run()
+            return kernel.now, contents
+
+        regular_time, regular_file = run("regular")
+        zc_time, zc_file = run("zc")
+        assert zc_file == regular_file
+        assert zc_time < regular_time

@@ -1,0 +1,132 @@
+"""Failure-injection tests: errors crossing the enclave boundary.
+
+Host handlers can fail (missing files, bad descriptors, injected faults).
+On real SGX the error crosses the boundary as a return value; here the
+``HostFault`` mechanism must (1) re-raise on the *calling* thread for
+every backend, and (2) leave worker threads alive and reusable.
+"""
+
+import pytest
+
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sgx.urts import UnknownOcallError
+from repro.sim import Compute, Kernel, MachineSpec, ThreadState
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+
+
+class InjectedFault(RuntimeError):
+    pass
+
+
+def build(backend=None):
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+    if backend is not None:
+        enclave.set_backend(backend)
+
+    calls = {"count": 0}
+
+    def flaky(fail: bool):
+        yield Compute(500, tag="host-flaky")
+        calls["count"] += 1
+        if fail:
+            raise InjectedFault("boom")
+        return "ok"
+
+    urts.register("flaky", flaky)
+    return kernel, enclave, calls
+
+
+BACKENDS = {
+    "regular": lambda: None,
+    "intel": lambda: IntelSwitchlessBackend(
+        SwitchlessConfig(switchless_ocalls=frozenset({"flaky"}), num_uworkers=2)
+    ),
+    "zc": lambda: ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)),
+}
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestFaultPropagation:
+    def test_fault_reraised_on_calling_thread(self, backend_name):
+        kernel, enclave, calls = build(BACKENDS[backend_name]())
+        caught = []
+
+        def app():
+            try:
+                yield from enclave.ocall("flaky", True)
+            except InjectedFault as exc:
+                caught.append(str(exc))
+            result = yield from enclave.ocall("flaky", False)
+            return result
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        assert caught == ["boom"]
+        assert t.result == "ok"
+        assert calls["count"] == 2
+
+    def test_workers_survive_faulting_calls(self, backend_name):
+        backend = BACKENDS[backend_name]()
+        kernel, enclave, calls = build(backend)
+
+        def app():
+            for i in range(10):
+                try:
+                    yield from enclave.ocall("flaky", i % 2 == 0)
+                except InjectedFault:
+                    pass
+
+        kernel.join(kernel.spawn(app()))
+        assert calls["count"] == 10
+        if backend is not None:
+            workers = getattr(backend, "worker_threads", [])
+            assert all(w.state is not ThreadState.DONE for w in workers)
+
+    def test_unknown_ocall_fault(self, backend_name):
+        kernel, enclave, _ = build(BACKENDS[backend_name]())
+
+        def app():
+            yield from enclave.ocall("does_not_exist")
+
+        kernel.spawn(app())
+        with pytest.raises(UnknownOcallError):
+            kernel.run()
+
+
+class TestFaultAccounting:
+    def test_faulting_calls_still_recorded_in_stats(self):
+        kernel, enclave, _ = build(
+            ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+        )
+
+        def app():
+            try:
+                yield from enclave.ocall("flaky", True)
+            except InjectedFault:
+                pass
+
+        kernel.join(kernel.spawn(app()))
+        site = enclave.stats.by_name["flaky"]
+        assert site.calls == 1
+        assert site.switchless == 1  # executed switchlessly, then faulted
+
+    def test_fault_during_regular_fallback(self):
+        """A fault on the fallback path (no idle worker) also propagates."""
+        backend = ZcSwitchlessBackend(
+            ZcConfig(enable_scheduler=False, initial_workers=0)
+        )
+        kernel, enclave, _ = build(backend)
+        caught = []
+
+        def app():
+            try:
+                yield from enclave.ocall("flaky", True)
+            except InjectedFault:
+                caught.append(True)
+
+        kernel.join(kernel.spawn(app()))
+        assert caught == [True]
+        assert backend.stats.fallback_count == 1

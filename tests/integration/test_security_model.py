@@ -1,0 +1,131 @@
+"""§IV-E security analysis, as executable tests.
+
+The paper argues the ZC scheduler lives in the *untrusted* runtime, so a
+malicious host can tamper with it — but the worst it can achieve is
+denial of service (fewer/no switchless workers); enclave data integrity
+and the correctness of results are unaffected, because every call falls
+back to a regular (transitioned) ocall.
+
+These tests play the malicious host: killing workers mid-run, pausing
+everything, and injecting absurd scheduler decisions — and assert the
+application's *results* stay bit-identical while only performance
+degrades.
+"""
+
+import pytest
+
+from repro.apps import KissDB
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.hostos import HostFileSystem, PosixHost
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Kernel, MachineSpec
+
+
+def build(config=None):
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    fs = HostFileSystem()
+    urts = UntrustedRuntime()
+    PosixHost(fs).install(urts)
+    enclave = Enclave(kernel, urts)
+    backend = ZcSwitchlessBackend(config or ZcConfig(enable_scheduler=False))
+    enclave.set_backend(backend)
+    return kernel, fs, enclave, backend
+
+
+def kissdb_workload(kernel, enclave, n_keys=300, attack=None, attack_at=None):
+    db = KissDB(enclave, "/db", hash_table_size=32)
+
+    def client():
+        yield from db.open()
+        for i in range(n_keys):
+            if attack is not None and i == attack_at:
+                attack()
+            yield from db.put(i.to_bytes(8, "big"), (i * 3).to_bytes(8, "little"))
+        values = []
+        for i in range(n_keys):
+            value = yield from db.get(i.to_bytes(8, "big"))
+            values.append(value)
+        yield from db.close()
+        return values
+
+    thread = kernel.spawn(client())
+    kernel.join(thread)
+    return thread.result, kernel.now
+
+
+EXPECTED = [(i * 3).to_bytes(8, "little") for i in range(300)]
+
+
+class TestSchedulerTamperingIsOnlyDoS:
+    def test_killing_all_workers_mid_run_preserves_results(self):
+        kernel, fs, enclave, backend = build()
+
+        def kill_workers():
+            # Malicious untrusted scheduler: terminate every worker.
+            for worker in backend.workers:
+                worker.request_exit()
+
+        values, _ = kissdb_workload(
+            kernel, enclave, attack=kill_workers, attack_at=100
+        )
+        assert values == EXPECTED
+        # After the attack, calls degrade to regular/fallback, not errors.
+        assert enclave.stats.total_fallback > 0
+
+    def test_pausing_all_workers_degrades_performance_only(self):
+        baseline_kernel, _, baseline_enclave, _ = build()
+        baseline_values, baseline_time = kissdb_workload(
+            baseline_kernel, baseline_enclave
+        )
+
+        kernel, fs, enclave, backend = build()
+
+        def pause_everything():
+            backend.set_active_workers(0)
+
+        values, attacked_time = kissdb_workload(
+            kernel, enclave, attack=pause_everything, attack_at=0
+        )
+        assert values == baseline_values == EXPECTED
+        # Pure DoS: same results, more time.
+        assert attacked_time > baseline_time
+
+    def test_flapping_scheduler_decisions_preserve_results(self):
+        kernel, fs, enclave, backend = build()
+        flip = [0]
+
+        def flap():
+            flip[0] = (flip[0] + 1) % 2
+            backend.set_active_workers(4 * flip[0])
+
+        db_values = []
+        db = KissDB(enclave, "/db", hash_table_size=32)
+
+        def client():
+            yield from db.open()
+            for i in range(200):
+                if i % 10 == 0:
+                    flap()
+                yield from db.put(i.to_bytes(8, "big"), bytes(8))
+            for i in range(200):
+                value = yield from db.get(i.to_bytes(8, "big"))
+                db_values.append(value)
+            yield from db.close()
+
+        kernel.join(kernel.spawn(client()))
+        assert db_values == [bytes(8)] * 200
+
+    def test_killed_workers_cannot_corrupt_file_contents(self):
+        """The integrity claim: attack or not, the database file bytes
+        are identical."""
+        kernel_a, fs_a, enclave_a, _ = build()
+        kissdb_workload(kernel_a, enclave_a)
+
+        kernel_b, fs_b, enclave_b, backend_b = build()
+
+        def kill_half():
+            for worker in backend_b.workers[::2]:
+                worker.request_exit()
+
+        kissdb_workload(kernel_b, enclave_b, attack=kill_half, attack_at=50)
+        assert fs_a.contents("/db") == fs_b.contents("/db")

@@ -1,0 +1,130 @@
+"""Tests for profile aggregation and the switchless advisor."""
+
+import pytest
+
+from repro.profiler import CallTracer, SwitchlessAdvisor, build_profiles
+from repro.profiler.advisor import format_recommendations
+from repro.profiler.profile import format_profiles
+from repro.profiler.tracer import CallEvent
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec
+
+
+def make_event(name, host, issued=0.0, completed=None, mode="regular", nbytes=8):
+    return CallEvent(
+        name=name,
+        issued_at_cycles=issued,
+        completed_at_cycles=completed if completed is not None else issued + host + 14_000,
+        host_cycles=host,
+        mode=mode,
+        in_bytes=nbytes,
+        out_bytes=0,
+    )
+
+
+class TestBuildProfiles:
+    def test_aggregates_per_name(self):
+        events = [
+            make_event("f", 100, issued=i * 1000.0) for i in range(10)
+        ] + [make_event("g", 50_000, issued=5000.0)]
+        profiles = build_profiles(events, window_cycles=3.8e9)  # 1 second
+        assert profiles["f"].calls == 10
+        assert profiles["f"].rate_per_s == pytest.approx(10.0)
+        assert profiles["f"].mean_host_cycles == pytest.approx(100)
+        assert profiles["f"].is_short
+        assert not profiles["g"].is_short
+
+    def test_percentile_and_bytes(self):
+        events = [make_event("f", host, nbytes=16) for host in range(100)]
+        profiles = build_profiles(events, window_cycles=3.8e9)
+        assert profiles["f"].p95_host_cycles == 94
+        assert profiles["f"].mean_bytes == 16
+
+    def test_switchless_fraction(self):
+        events = [make_event("f", 10, mode="switchless"), make_event("f", 10)]
+        profiles = build_profiles(events, window_cycles=3.8e9)
+        assert profiles["f"].switchless_fraction == pytest.approx(0.5)
+
+    def test_format(self):
+        events = [make_event("f", 100)]
+        text = format_profiles(build_profiles(events, 3.8e9))
+        assert "ocall" in text and "f" in text and "short" in text
+
+
+class TestAdvisor:
+    def test_short_frequent_call_recommended(self):
+        events = [make_event("f", 500, issued=i * 100_000.0) for i in range(1000)]
+        profiles = build_profiles(events, window_cycles=3.8e7)  # 10 ms window
+        advisor = SwitchlessAdvisor()
+        assert advisor.switchless_set(profiles) == {"f"}
+        top = advisor.advise(profiles)[0]
+        assert top.switchless
+        assert top.estimated_saving_cycles_per_s > 0
+
+    def test_long_call_rejected(self):
+        events = [make_event("g", 70_000, issued=i * 100_000.0) for i in range(1000)]
+        profiles = build_profiles(events, window_cycles=3.8e7)
+        advisor = SwitchlessAdvisor()
+        recommendations = advisor.advise(profiles)
+        assert not recommendations[0].switchless
+        assert "long" in recommendations[0].reason
+
+    def test_infrequent_call_rejected(self):
+        events = [make_event("rare", 100)]
+        profiles = build_profiles(events, window_cycles=3.8e9)  # 1/s
+        advisor = SwitchlessAdvisor(min_rate_per_s=1000)
+        recommendations = advisor.advise(profiles)
+        assert not recommendations[0].switchless
+        assert "infrequent" in recommendations[0].reason
+
+    def test_recommendations_ranked_by_saving(self):
+        events = [make_event("hot", 100, issued=i * 10_000.0) for i in range(2000)]
+        events += [make_event("warm", 100, issued=i * 100_000.0) for i in range(200)]
+        profiles = build_profiles(events, window_cycles=3.8e7)
+        ranked = SwitchlessAdvisor().advise(profiles)
+        assert ranked[0].name == "hot"
+        assert ranked[0].estimated_saving_cycles_per_s > ranked[1].estimated_saving_cycles_per_s
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SwitchlessAdvisor(short_call_factor=0)
+        with pytest.raises(ValueError):
+            SwitchlessAdvisor(min_rate_per_s=-1)
+
+    def test_format(self):
+        events = [make_event("f", 100, issued=i * 10_000.0) for i in range(100)]
+        profiles = build_profiles(events, window_cycles=3.8e6)
+        text = format_recommendations(SwitchlessAdvisor().advise(profiles))
+        assert "verdict" in text
+
+
+class TestEndToEndAdvice:
+    def test_advisor_reconstructs_the_papers_kissdb_insight(self):
+        """Profile the kissdb workload, then check the advisor recommends
+        exactly the calls the paper's i-all configuration selects: the
+        short, frequent fseeko/fread/fwrite/ftell — i.e. measurement
+        replaces the developer guesswork of §III-A."""
+        from repro.apps import KissDB
+        from repro.hostos import HostFileSystem, PosixHost
+
+        kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+        fs = HostFileSystem()
+        urts = UntrustedRuntime()
+        PosixHost(fs).install(urts)
+        enclave = Enclave(kernel, urts)
+        tracer = CallTracer().install(enclave)
+        db = KissDB(enclave, "/db", hash_table_size=64)
+
+        def app():
+            yield from db.open()
+            for i in range(400):
+                yield from db.put(i.to_bytes(8, "big"), bytes(8))
+            yield from db.close()
+
+        kernel.join(kernel.spawn(app()))
+        profiles = build_profiles(tracer.events, tracer.window_cycles())
+        chosen = SwitchlessAdvisor(min_rate_per_s=10_000).switchless_set(profiles)
+        assert {"fseeko", "fwrite", "ftell"} <= chosen
+        # The one-shot fopen/fclose must not be selected.
+        assert "fopen" not in chosen
+        assert "fclose" not in chosen

@@ -1,0 +1,61 @@
+"""Tests for profile comparison (before/after a mechanism change)."""
+
+import pytest
+
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.profiler import CallTracer, build_profiles
+from repro.profiler.profile import compare_profiles, format_deltas
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec
+
+
+def profile_workload(use_zc: bool):
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+    if use_zc:
+        enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+
+    def handler():
+        yield Compute(800)
+        return None
+
+    urts.register("hot", handler)
+    tracer = CallTracer().install(enclave)
+
+    def app():
+        for _ in range(50):
+            yield from enclave.ocall("hot")
+
+    kernel.join(kernel.spawn(app()))
+    return build_profiles(tracer.events, tracer.window_cycles())
+
+
+class TestCompareProfiles:
+    def test_switchless_speedup_visible_per_site(self):
+        before = profile_workload(use_zc=False)
+        after = profile_workload(use_zc=True)
+        deltas = compare_profiles(before, after)
+        assert len(deltas) == 1
+        delta = deltas[0]
+        assert delta.name == "hot"
+        assert delta.speedup > 3  # transition removed from a short call
+        assert delta.before_switchless == 0.0
+        assert delta.after_switchless == 1.0
+
+    def test_only_common_sites_compared(self):
+        before = profile_workload(use_zc=False)
+        after = {}
+        assert compare_profiles(before, after) == []
+
+    def test_format(self):
+        before = profile_workload(use_zc=False)
+        after = profile_workload(use_zc=True)
+        text = format_deltas(compare_profiles(before, after))
+        assert "speedup" in text and "hot" in text
+
+    def test_zero_after_latency_is_infinite_speedup(self):
+        from repro.profiler.profile import CallProfile, ProfileDelta
+
+        delta = ProfileDelta("x", 100.0, 0.0, 0.0, 1.0)
+        assert delta.speedup == float("inf")

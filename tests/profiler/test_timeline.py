@@ -1,0 +1,87 @@
+"""Tests for the trace timeline and sparkline rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.profiler.timeline import bucket_events, render_timeline, sparkline
+from repro.profiler.tracer import CallEvent
+
+
+def make_event(completed, latency=1000.0, mode="regular"):
+    return CallEvent(
+        name="f",
+        issued_at_cycles=completed - latency,
+        completed_at_cycles=completed,
+        host_cycles=latency / 2,
+        mode=mode,
+        in_bytes=0,
+        out_bytes=0,
+    )
+
+
+class TestBucketing:
+    def test_events_land_in_their_interval(self):
+        events = [make_event(500), make_event(1500), make_event(1600)]
+        buckets = bucket_events(events, interval_cycles=1000)
+        assert [b.calls for b in buckets] == [1, 2]
+
+    def test_switchless_fraction_per_interval(self):
+        events = [
+            make_event(100, mode="switchless"),
+            make_event(200, mode="regular"),
+        ]
+        buckets = bucket_events(events, interval_cycles=1000)
+        assert buckets[0].switchless_fraction == pytest.approx(0.5)
+
+    def test_mean_latency(self):
+        events = [make_event(100, latency=100), make_event(200, latency=300)]
+        buckets = bucket_events(events, interval_cycles=1000)
+        assert buckets[0].mean_latency_cycles == pytest.approx(200)
+
+    def test_horizon_pads_empty_intervals(self):
+        events = [make_event(100)]
+        buckets = bucket_events(events, interval_cycles=1000, t_end_cycles=3500)
+        assert len(buckets) == 4
+        assert [b.calls for b in buckets] == [1, 0, 0, 0]
+
+    def test_empty_and_invalid(self):
+        assert bucket_events([], 1000) == []
+        with pytest.raises(ValueError):
+            bucket_events([make_event(1)], 0)
+
+    def test_rate_per_s(self):
+        events = [make_event(100), make_event(200)]
+        buckets = bucket_events(events, interval_cycles=1e6)
+        # 2 calls in 1M cycles at 1 GHz = 2000/s.
+        assert buckets[0].rate_per_s(1e9) == pytest.approx(2000)
+
+
+class TestSparkline:
+    def test_monotone_values_use_increasing_levels(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_length_preserved(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestRenderTimeline:
+    def test_renders_three_series(self):
+        events = [make_event(i * 1000.0 + 500, mode="switchless") for i in range(20)]
+        buckets = bucket_events(events, interval_cycles=5000)
+        text = render_timeline(buckets)
+        assert "call rate" in text
+        assert "switchless" in text
+        assert "mean latency" in text
+
+    def test_no_events(self):
+        assert render_timeline([]) == "(no events)"

@@ -1,0 +1,126 @@
+"""Tests for the call tracer."""
+
+import pytest
+
+from repro.profiler import CallTracer
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec
+
+
+def build():
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+
+    def handler(duration):
+        yield Compute(duration, tag="host")
+        return duration
+
+    urts.register("work", handler)
+    return kernel, enclave
+
+
+class TestCallTracer:
+    def test_records_one_event_per_call(self):
+        kernel, enclave = build()
+        tracer = CallTracer().install(enclave)
+
+        def app():
+            for duration in (100, 200, 300):
+                yield from enclave.ocall("work", duration)
+
+        kernel.join(kernel.spawn(app()))
+        assert tracer.count == 3
+        assert [e.host_cycles for e in tracer.events] == [100, 200, 300]
+        assert all(e.mode == "regular" for e in tracer.events)
+
+    def test_host_cycles_exclude_transition(self):
+        kernel, enclave = build()
+        tracer = CallTracer().install(enclave)
+
+        def app():
+            yield from enclave.ocall("work", 1000, in_bytes=64)
+
+        kernel.join(kernel.spawn(app()))
+        event = tracer.events[0]
+        assert event.host_cycles == pytest.approx(1000)
+        # End-to-end latency includes transition + marshalling + handler.
+        assert event.latency_cycles > 1000 + enclave.cost.t_es
+
+    def test_ring_buffer_drops_oldest(self):
+        kernel, enclave = build()
+        tracer = CallTracer(max_events=2).install(enclave)
+
+        def app():
+            for duration in (10, 20, 30):
+                yield from enclave.ocall("work", duration)
+
+        kernel.join(kernel.spawn(app()))
+        assert tracer.count == 2
+        assert tracer.dropped == 1
+        assert [e.host_cycles for e in tracer.events] == [20, 30]
+
+    def test_probe_overhead_charged(self):
+        kernel, enclave = build()
+        CallTracer(probe_cycles=500).install(enclave)
+
+        def app():
+            yield from enclave.ocall("work", 1000)
+
+        kernel.join(kernel.spawn(app()))
+        expected = enclave.cost.ocall_bookkeeping_cycles + enclave.cost.t_es + 1500
+        assert kernel.now == pytest.approx(expected)
+
+    def test_uninstall_restores_enclave(self):
+        kernel, enclave = build()
+        tracer = CallTracer().install(enclave)
+        tracer.uninstall()
+
+        def app():
+            yield from enclave.ocall("work", 100)
+
+        kernel.join(kernel.spawn(app()))
+        assert tracer.count == 0
+        assert enclave.completion_hooks == []
+
+    def test_double_install_rejected(self):
+        kernel, enclave = build()
+        tracer = CallTracer().install(enclave)
+        with pytest.raises(RuntimeError):
+            tracer.install(enclave)
+
+    def test_events_for_and_window(self):
+        kernel, enclave = build()
+        tracer = CallTracer().install(enclave)
+
+        def handler2():
+            yield Compute(50)
+            return None
+
+        enclave.urts.register("other", handler2)
+
+        def app():
+            yield from enclave.ocall("work", 100)
+            yield from enclave.ocall("other")
+
+        kernel.join(kernel.spawn(app()))
+        assert len(tracer.events_for("work")) == 1
+        assert len(tracer.events_for("other")) == 1
+        assert tracer.window_cycles() > 0
+
+    def test_traces_switchless_modes(self):
+        from repro.core import ZcConfig, ZcSwitchlessBackend
+
+        kernel, enclave = build()
+        enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+        tracer = CallTracer().install(enclave)
+
+        def app():
+            yield from enclave.ocall("work", 400)
+
+        kernel.join(kernel.spawn(app()))
+        event = tracer.events[0]
+        assert event.mode == "switchless"
+        # The handler ran on a worker thread; host wall time is the 400
+        # nominal cycles, stretched at most by SMT contention (1/0.62).
+        assert 400 <= event.host_cycles < 700

@@ -1,0 +1,35 @@
+"""Tests for the SGX cycle-cost model."""
+
+import pytest
+
+from repro.sgx import SgxCostModel
+
+
+class TestSgxCostModel:
+    def test_t_es_matches_paper_calibration(self):
+        cost = SgxCostModel()
+        # The paper measures ~13,500 cycles for a full enclave switch.
+        assert cost.t_es == pytest.approx(13_500)
+
+    def test_pause_loop_reproduces_rbf_worst_case(self):
+        cost = SgxCostModel()
+        # 20,000 retries at 140 cycles each: the 2.8M-cycle wait of §III-C.
+        assert cost.pause_loop_cycles(20_000) == pytest.approx(2.8e6)
+
+    def test_rbf_wait_dwarfs_transition(self):
+        """The paper's headline: the default rbf busy-wait is ~200x the
+        cost of just doing the regular ocall transition."""
+        cost = SgxCostModel()
+        assert cost.pause_loop_cycles(20_000) / cost.t_es > 200
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            SgxCostModel().pause_loop_cycles(-1)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            SgxCostModel(eexit_cycles=-1)
+
+    def test_custom_transition_cost(self):
+        cost = SgxCostModel(eexit_cycles=5000, eenter_cycles=5000)
+        assert cost.t_es == pytest.approx(10_000)

@@ -1,0 +1,107 @@
+"""Tests for the EDL-style interface builder."""
+
+import pytest
+
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sgx.edl import EdlError, EnclaveInterface
+from repro.sim import Compute, Kernel, MachineSpec
+from repro.switchless import IntelSwitchlessBackend
+
+
+def handler_returning(value):
+    def handler():
+        yield Compute(100)
+        return value
+
+    return handler
+
+
+class TestDeclaration:
+    def test_chaining_and_names(self):
+        interface = (
+            EnclaveInterface(name="demo")
+            .untrusted("fwrite", handler_returning(1), switchless=True)
+            .untrusted("fopen", handler_returning(2))
+            .trusted("seal", handler_returning(3), switchless=True)
+        )
+        assert interface.names() == {"fwrite", "fopen", "seal"}
+
+    def test_duplicate_rejected_across_directions(self):
+        interface = EnclaveInterface(name="demo")
+        interface.untrusted("f", handler_returning(1))
+        with pytest.raises(EdlError):
+            interface.trusted("f", handler_returning(2))
+
+    def test_invalid_identifier_rejected(self):
+        interface = EnclaveInterface(name="demo")
+        with pytest.raises(EdlError):
+            interface.untrusted("not a name", handler_returning(1))
+        with pytest.raises(EdlError):
+            interface.untrusted("", handler_returning(1))
+
+    def test_describe_renders_edl_syntax(self):
+        interface = (
+            EnclaveInterface(name="storage")
+            .untrusted("fwrite", handler_returning(1), switchless=True)
+            .trusted("seal", handler_returning(2))
+        )
+        text = interface.describe()
+        assert "enclave storage {" in text
+        assert "void fwrite() transition_using_threads;" in text
+        assert "public void seal();" in text
+
+
+class TestBridgeGeneration:
+    def test_bind_registers_both_directions(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        urts = UntrustedRuntime()
+        enclave = Enclave(kernel, urts)
+        (
+            EnclaveInterface(name="demo")
+            .untrusted("host_fn", handler_returning("host"))
+            .trusted("enclave_fn", handler_returning("enclave"))
+            .bind(enclave)
+        )
+
+        def app():
+            a = yield from enclave.ocall("host_fn")
+            b = yield from enclave.ecall_named("enclave_fn")
+            return a, b
+
+        thread = kernel.spawn(app())
+        kernel.join(thread)
+        assert thread.result == ("host", "enclave")
+
+    def test_switchless_config_derivation(self):
+        interface = (
+            EnclaveInterface(name="demo")
+            .untrusted("hot", handler_returning(1), switchless=True)
+            .untrusted("cold", handler_returning(2))
+            .trusted("hot_ecall", handler_returning(3), switchless=True)
+        )
+        config = interface.switchless_config(num_uworkers=3)
+        assert config.is_switchless("hot")
+        assert not config.is_switchless("cold")
+        assert config.is_switchless_ecall("hot_ecall")
+        assert config.num_uworkers == 3
+
+    def test_full_stack_from_interface(self):
+        """The whole SDK workflow: declare, bind, configure, run."""
+        kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+        urts = UntrustedRuntime()
+        enclave = Enclave(kernel, urts)
+        interface = (
+            EnclaveInterface(name="demo")
+            .untrusted("hot", handler_returning("fast"), switchless=True)
+            .bind(enclave)
+        )
+        enclave.set_backend(IntelSwitchlessBackend(interface.switchless_config()))
+
+        def app():
+            result = yield from enclave.ocall("hot")
+            return result
+
+        thread = kernel.spawn(app())
+        kernel.join(thread)
+        assert thread.result == "fast"
+        assert enclave.stats.by_name["hot"].switchless == 1

@@ -1,0 +1,153 @@
+"""Tests for the enclave ocall path with the regular backend."""
+
+import pytest
+
+from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime, VanillaMemcpy, ZcMemcpy
+from repro.sgx.urts import UnknownOcallError
+from repro.sim import Compute, Kernel, MachineSpec
+
+
+def build(memcpy_model=None):
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts, memcpy_model=memcpy_model)
+    return kernel, urts, enclave
+
+
+def echo_handler(value):
+    yield Compute(1000, tag="host-echo")
+    return value
+
+
+class TestRegularOcall:
+    def test_ocall_returns_handler_result(self):
+        kernel, urts, enclave = build()
+        urts.register("echo", echo_handler)
+
+        def app():
+            result = yield from enclave.ocall("echo", "hello")
+            return result
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        assert t.result == "hello"
+
+    def test_regular_ocall_costs_transition_plus_work(self):
+        kernel, urts, enclave = build()
+        urts.register("echo", echo_handler)
+
+        def app():
+            yield from enclave.ocall("echo", 1)
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        cost = enclave.cost
+        expected = cost.ocall_bookkeeping_cycles + cost.t_es + 1000
+        assert kernel.now == pytest.approx(expected)
+
+    def test_marshalling_charged_with_memcpy_model(self):
+        kernel, urts, enclave = build()
+        urts.register("echo", echo_handler)
+        memcpy = VanillaMemcpy()
+
+        def app():
+            yield from enclave.ocall("echo", 2, in_bytes=4096, out_bytes=512)
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        cost = enclave.cost
+        expected = (
+            cost.ocall_bookkeeping_cycles
+            + memcpy.cycles(4096, True)
+            + cost.t_es
+            + 1000
+            + memcpy.cycles(512, True)
+        )
+        assert kernel.now == pytest.approx(expected)
+
+    def test_zc_memcpy_makes_large_marshalling_cheaper(self):
+        def run(model):
+            kernel, urts, enclave = build(memcpy_model=model)
+            urts.register("echo", echo_handler)
+
+            def app():
+                yield from enclave.ocall("echo", 0, in_bytes=32 * 1024, aligned=False)
+
+            kernel.join(kernel.spawn(app()))
+            return kernel.now
+
+        assert run(ZcMemcpy()) < run(VanillaMemcpy()) / 3
+
+    def test_unknown_ocall_raises(self):
+        kernel, urts, enclave = build()
+
+        def app():
+            yield from enclave.ocall("nope")
+
+        kernel.spawn(app())
+        with pytest.raises(UnknownOcallError):
+            kernel.run()
+
+    def test_stats_record_mode_and_latency(self):
+        kernel, urts, enclave = build()
+        urts.register("echo", echo_handler)
+
+        def app():
+            for _ in range(5):
+                yield from enclave.ocall("echo", 0)
+
+        kernel.join(kernel.spawn(app()))
+        site = enclave.stats.by_name["echo"]
+        assert site.calls == 5
+        assert site.regular == 5
+        assert site.switchless == 0
+        assert site.mean_latency_cycles > enclave.cost.t_es
+
+    def test_ecall_charges_entry_and_exit(self):
+        kernel, urts, enclave = build()
+
+        def trusted():
+            yield Compute(100)
+            return "inside"
+
+        def app():
+            result = yield from enclave.ecall(trusted())
+            return result
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        assert t.result == "inside"
+        cost = enclave.cost
+        assert kernel.now == pytest.approx(
+            cost.ecall_entry_cycles + 100 + cost.ecall_exit_cycles
+        )
+
+    def test_replacing_a_backend_stops_its_workers(self):
+        from repro.core import ZcConfig, ZcSwitchlessBackend
+
+        kernel, urts, enclave = build()
+        first = ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+        enclave.set_backend(first)
+        kernel.run(until_time=100_000)
+        second = ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+        enclave.set_backend(second)
+        kernel.run(until_time=kernel.now + 1_000_000)
+        assert all(t.done for t in first.worker_threads)
+        assert not any(t.done for t in second.worker_threads)
+
+    def test_concurrent_callers_issue_independent_ocalls(self):
+        kernel, urts, enclave = build()
+        urts.register("echo", echo_handler)
+
+        def app(n):
+            total = 0
+            for i in range(n):
+                result = yield from enclave.ocall("echo", i)
+                total += result
+            return total
+
+        threads = [kernel.spawn(app(10)) for _ in range(4)]
+        kernel.join(*threads)
+        assert all(t.result == sum(range(10)) for t in threads)
+        assert enclave.stats.total_calls == 40
+        assert enclave.stats.total_regular == 40

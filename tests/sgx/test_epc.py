@@ -1,0 +1,77 @@
+"""Tests for EPC bookkeeping."""
+
+import pytest
+
+from repro.sgx import EpcModel
+from repro.sgx.epc import PAGE_SIZE
+
+
+class TestEpcModel:
+    def test_allocation_rounds_to_pages(self):
+        epc = EpcModel()
+        epc.allocate("e1", 1)
+        assert epc.allocated_bytes == PAGE_SIZE
+
+    def test_no_fault_within_capacity(self):
+        epc = EpcModel(usable_bytes=10 * PAGE_SIZE)
+        penalty = epc.allocate("e1", 5 * PAGE_SIZE)
+        assert penalty == 0.0
+        assert epc.faults == 0
+
+    def test_overflow_charges_page_faults(self):
+        epc = EpcModel(usable_bytes=4 * PAGE_SIZE, page_fault_cycles=1000)
+        epc.allocate("e1", 4 * PAGE_SIZE)
+        penalty = epc.allocate("e1", 2 * PAGE_SIZE)
+        assert penalty == pytest.approx(2000)
+        assert epc.faults == 2
+
+    def test_free_restores_capacity(self):
+        epc = EpcModel(usable_bytes=4 * PAGE_SIZE)
+        epc.allocate("e1", 3 * PAGE_SIZE)
+        epc.free("e1", 2 * PAGE_SIZE)
+        assert epc.allocated_bytes == PAGE_SIZE
+
+    def test_cannot_free_more_than_held(self):
+        epc = EpcModel()
+        epc.allocate("e1", PAGE_SIZE)
+        with pytest.raises(ValueError):
+            epc.free("e1", 2 * PAGE_SIZE)
+
+    def test_usage_fraction(self):
+        epc = EpcModel(usable_bytes=10 * PAGE_SIZE)
+        epc.allocate("e1", 5 * PAGE_SIZE)
+        assert epc.usage_fraction() == pytest.approx(0.5)
+
+    def test_peak_tracking(self):
+        epc = EpcModel()
+        epc.allocate("e1", 4 * PAGE_SIZE)
+        epc.free("e1", 4 * PAGE_SIZE)
+        assert epc.peak_bytes == 4 * PAGE_SIZE
+        assert epc.allocated_bytes == 0
+
+
+class TestEnclaveEpcIntegration:
+    def test_enclave_heap_reserved_in_epc(self):
+        from repro.sgx import Enclave, UntrustedRuntime
+        from repro.sim import Kernel, MachineSpec
+
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        epc = EpcModel()
+        Enclave(kernel, UntrustedRuntime(), epc=epc, heap_bytes=16 * 1024 * 1024)
+        assert epc.allocated_bytes == 16 * 1024 * 1024
+
+    def test_multiple_enclaves_share_the_epc(self):
+        from repro.sgx import Enclave, UntrustedRuntime
+        from repro.sim import Kernel, MachineSpec
+
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        epc = EpcModel(usable_bytes=16 * PAGE_SIZE)
+        Enclave(
+            kernel, UntrustedRuntime(), epc=epc, heap_bytes=10 * PAGE_SIZE, name="a"
+        )
+        second = Enclave(
+            kernel, UntrustedRuntime(), epc=epc, heap_bytes=10 * PAGE_SIZE, name="b"
+        )
+        # The second enclave overflowed the shared EPC: paging penalty.
+        assert epc.faults == 4
+        assert second._epc_penalty_cycles > 0

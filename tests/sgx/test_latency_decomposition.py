@@ -1,0 +1,95 @@
+"""Property test: regular-ocall latency decomposes analytically.
+
+For the regular (always-transition) path, a call's latency must equal
+exactly::
+
+    bookkeeping + memcpy(in) + T_es + host_work + memcpy(out)
+
+for any sizes, alignment and handler duration — no hidden costs, no lost
+cycles.  This pins the whole marshalling/transition pipeline against the
+cost model it claims to implement.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime, VanillaMemcpy, ZcMemcpy
+from repro.sim import Compute, Kernel, MachineSpec
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    in_bytes=st.integers(min_value=0, max_value=64 * 1024),
+    out_bytes=st.integers(min_value=0, max_value=64 * 1024),
+    aligned=st.booleans(),
+    host_work=st.floats(min_value=0, max_value=1e6),
+    use_zc_memcpy=st.booleans(),
+)
+def test_regular_ocall_latency_is_exactly_the_model(
+    in_bytes, out_bytes, aligned, host_work, use_zc_memcpy
+):
+    memcpy = ZcMemcpy() if use_zc_memcpy else VanillaMemcpy()
+    kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+    urts = UntrustedRuntime()
+    cost = SgxCostModel()
+    enclave = Enclave(kernel, urts, cost=cost, memcpy_model=memcpy)
+
+    def handler():
+        if host_work > 0:
+            yield Compute(host_work)
+        return None
+        yield  # pragma: no cover
+
+    urts.register("f", handler)
+
+    def app():
+        yield from enclave.ocall(
+            "f", in_bytes=in_bytes, out_bytes=out_bytes, aligned=aligned
+        )
+
+    kernel.join(kernel.spawn(app()))
+    expected = (
+        cost.ocall_bookkeeping_cycles
+        + (memcpy.cycles(in_bytes, aligned) if in_bytes else 0.0)
+        + cost.t_es
+        + host_work
+        + (memcpy.cycles(out_bytes, aligned) if out_bytes else 0.0)
+    )
+    latency = enclave.stats.by_name["f"].mean_latency_cycles
+    assert latency == pytest.approx(expected, rel=1e-12, abs=1e-6)
+    assert kernel.now == pytest.approx(expected, rel=1e-12, abs=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(host_work=st.floats(min_value=0, max_value=1e5))
+def test_uncontended_switchless_latency_bounds(host_work):
+    """A switchless call with a free worker costs strictly less than the
+    regular path whenever the handler is shorter than the transition
+    saving, and always at least the handler duration."""
+    from repro.core import ZcConfig, ZcSwitchlessBackend
+
+    kernel = Kernel(MachineSpec(n_cores=4, smt=1))
+    urts = UntrustedRuntime()
+    cost = SgxCostModel()
+    enclave = Enclave(kernel, urts, cost=cost)
+    enclave.set_backend(
+        ZcSwitchlessBackend(ZcConfig(enable_scheduler=False, max_workers=1))
+    )
+
+    def handler():
+        if host_work > 0:
+            yield Compute(host_work)
+        return None
+        yield  # pragma: no cover
+
+    urts.register("f", handler)
+
+    def app():
+        yield from enclave.ocall("f")
+
+    kernel.join(kernel.spawn(app()))
+    latency = enclave.stats.by_name["f"].mean_latency_cycles
+    regular_path = cost.ocall_bookkeeping_cycles + cost.t_es + host_work
+    assert latency >= host_work
+    assert latency < regular_path

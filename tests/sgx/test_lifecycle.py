@@ -1,0 +1,81 @@
+"""Tests for the enclave lifecycle cost model."""
+
+import pytest
+
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sgx.epc import PAGE_SIZE, EpcModel
+from repro.sgx.lifecycle import (
+    create_enclave,
+    creation_cycles,
+    destroy_enclave,
+    destruction_cycles,
+    pooled_acquire_cycles,
+)
+from repro.sim import Kernel, MachineSpec
+
+
+class TestCostModel:
+    def test_creation_scales_with_heap(self):
+        small = creation_cycles(1 * 1024 * 1024)
+        large = creation_cycles(64 * 1024 * 1024)
+        assert large > 50 * small / 2  # roughly linear in pages
+
+    def test_creation_is_milliseconds_scale(self):
+        """[13]'s motivation: creating a 64 MB enclave takes tens of ms."""
+        cycles = creation_cycles(64 * 1024 * 1024)
+        seconds = cycles / 3.8e9
+        assert 0.01 < seconds < 0.2
+
+    def test_pooled_acquire_is_orders_cheaper(self):
+        assert pooled_acquire_cycles() < creation_cycles(1024) / 10
+
+    def test_destruction_cheaper_than_creation(self):
+        heap = 8 * 1024 * 1024
+        assert destruction_cycles(heap) < creation_cycles(heap) / 2
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            creation_cycles(-1)
+        with pytest.raises(ValueError):
+            destruction_cycles(-1)
+
+
+class TestLifecyclePrograms:
+    def test_create_charges_time(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        enclave = Enclave(kernel, UntrustedRuntime(), heap_bytes=4 * PAGE_SIZE)
+
+        def launcher():
+            yield from create_enclave(enclave)
+
+        kernel.join(kernel.spawn(launcher()))
+        assert kernel.now == pytest.approx(creation_cycles(4 * PAGE_SIZE))
+
+    def test_destroy_frees_epc(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        epc = EpcModel()
+        enclave = Enclave(
+            kernel, UntrustedRuntime(), epc=epc, heap_bytes=8 * PAGE_SIZE
+        )
+        assert epc.allocated_bytes == 8 * PAGE_SIZE
+
+        def teardown():
+            yield from destroy_enclave(enclave)
+
+        kernel.join(kernel.spawn(teardown()))
+        assert epc.allocated_bytes == 0
+
+    def test_create_includes_paging_penalty(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        epc = EpcModel(usable_bytes=2 * PAGE_SIZE, page_fault_cycles=50_000)
+        enclave = Enclave(
+            kernel, UntrustedRuntime(), epc=epc, heap_bytes=4 * PAGE_SIZE
+        )
+
+        def launcher():
+            yield from create_enclave(enclave)
+
+        kernel.join(kernel.spawn(launcher()))
+        assert kernel.now == pytest.approx(
+            creation_cycles(4 * PAGE_SIZE) + 2 * 50_000
+        )

@@ -1,0 +1,96 @@
+"""Tests for the tlibc memcpy cost models (vanilla vs zc)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sgx import SgxCostModel, VanillaMemcpy, ZcMemcpy
+from repro.sgx.memcpy import speedup
+
+
+class TestVanillaMemcpy:
+    def test_zero_bytes_is_free(self):
+        assert VanillaMemcpy().cycles(0) == 0.0
+        assert VanillaMemcpy().cycles(0, aligned=False) == 0.0
+
+    def test_unaligned_copy_is_slower(self):
+        model = VanillaMemcpy()
+        assert model.cycles(4096, aligned=False) > model.cycles(4096, aligned=True)
+
+    def test_unaligned_is_byte_by_byte(self):
+        """The byte loop is ~5x the word loop per byte, per the SDK source."""
+        model = VanillaMemcpy()
+        ratio = model.cycles_per_byte_unaligned / model.cycles_per_byte_aligned
+        assert ratio > 4
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            VanillaMemcpy().cycles(-1)
+
+
+class TestZcMemcpy:
+    def test_alignment_insensitive_within_penalty(self):
+        model = ZcMemcpy()
+        aligned = model.cycles(32 * 1024, aligned=True)
+        unaligned = model.cycles(32 * 1024, aligned=False)
+        assert unaligned / aligned < 1.3  # mild penalty only
+
+    def test_higher_startup_than_software_loop(self):
+        """rep movsb pays microcode startup: for tiny copies the software
+        loop can win, as Intel's optimisation manual warns."""
+        assert ZcMemcpy().startup_cycles > VanillaMemcpy().startup_cycles
+
+
+class TestCalibration:
+    """The constants must reproduce the paper's Fig. 7 / Fig. 13 shape."""
+
+    def test_unaligned_vanilla_write_plateaus_near_04_gbps(self):
+        """Fig. 7: unaligned write throughput plateaus around 0.4 GB/s."""
+        cost = SgxCostModel()
+        model = VanillaMemcpy()
+        size = 32 * 1024
+        per_op = cost.t_es + cost.syscall_cycles + model.cycles(size, aligned=False)
+        gbps = size * 3.8e9 / per_op / 1e9
+        assert 0.3 < gbps < 0.5
+
+    def test_aligned_speedup_near_paper_3_6x(self):
+        """Fig. 13: zc-memcpy speeds aligned 32 kB writes up ~3.6x."""
+        overhead = SgxCostModel().t_es + SgxCostModel().syscall_cycles
+        s = speedup(VanillaMemcpy(), ZcMemcpy(), 32 * 1024, True, overhead)
+        assert 3.0 < s < 4.2
+
+    def test_unaligned_speedup_near_paper_15x(self):
+        """Fig. 13: zc-memcpy speeds unaligned 32 kB writes up ~15.1x."""
+        overhead = SgxCostModel().t_es + SgxCostModel().syscall_cycles
+        s = speedup(VanillaMemcpy(), ZcMemcpy(), 32 * 1024, False, overhead)
+        assert 12.0 < s < 18.0
+
+    def test_speedup_grows_with_buffer_size(self):
+        overhead = SgxCostModel().t_es
+        sizes = [512, 2048, 8192, 32 * 1024]
+        speedups = [
+            speedup(VanillaMemcpy(), ZcMemcpy(), n, False, overhead) for n in sizes
+        ]
+        assert speedups == sorted(speedups)
+
+
+@given(nbytes=st.integers(min_value=1, max_value=1 << 20))
+def test_zc_always_beats_vanilla_above_startup_crossover(nbytes):
+    """For any non-trivial size, rep movsb is at least as fast as the byte
+    loop; for sizes past the startup crossover it also beats the word loop."""
+    vanilla = VanillaMemcpy()
+    zc = ZcMemcpy()
+    assert zc.cycles(nbytes, aligned=False) <= vanilla.cycles(nbytes, aligned=False) or nbytes < 8
+    if nbytes >= 64:
+        assert zc.cycles(nbytes, aligned=True) < vanilla.cycles(nbytes, aligned=True)
+
+
+@given(
+    nbytes=st.integers(min_value=0, max_value=1 << 20),
+    aligned=st.booleans(),
+)
+def test_costs_are_monotone_in_size(nbytes, aligned):
+    vanilla = VanillaMemcpy()
+    zc = ZcMemcpy()
+    assert vanilla.cycles(nbytes + 1, aligned) > vanilla.cycles(nbytes, aligned) or nbytes == 0
+    assert zc.cycles(nbytes + 8, aligned) > zc.cycles(nbytes, aligned)

@@ -1,0 +1,132 @@
+"""Tests for CPU affinity (sched_setaffinity-style pinning)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Compute, Kernel, MachineSpec, SchedTrace
+
+
+def make_kernel(n_cores=2, smt=1, timeslice=1e9):
+    return Kernel(MachineSpec(n_cores=n_cores, smt=smt, timeslice_cycles=timeslice))
+
+
+class TestAffinity:
+    def test_pinned_threads_serialise_on_their_core(self):
+        kernel = make_kernel(n_cores=4, timeslice=100)
+
+        def program():
+            yield Compute(1000)
+
+        a = kernel.spawn(program(), affinity={0})
+        b = kernel.spawn(program(), affinity={0})
+        kernel.join(a, b)
+        # Both restricted to cpu0: serialised despite 3 idle cores.
+        assert kernel.now == pytest.approx(2000)
+        assert kernel.cpus[0].busy_cycles == pytest.approx(2000)
+        assert all(c.busy_cycles == 0 for c in kernel.cpus[1:])
+
+    def test_unpinned_threads_use_other_cores(self):
+        kernel = make_kernel(n_cores=2)
+
+        def program():
+            yield Compute(1000)
+
+        pinned = kernel.spawn(program(), affinity={0})
+        free = kernel.spawn(program())
+        kernel.join(pinned, free)
+        assert kernel.now == pytest.approx(1000)  # ran in parallel
+
+    def test_blocked_pinned_thread_does_not_block_compatible_ones(self):
+        """A queued thread whose allowed CPU is busy must not starve
+        later threads that can run elsewhere."""
+        kernel = make_kernel(n_cores=2, timeslice=1e9)
+        order = []
+
+        def program(label, work):
+            yield Compute(work)
+            order.append((label, kernel.now))
+
+        long_on_0 = kernel.spawn(program("long", 10_000), affinity={0})
+        waiting_on_0 = kernel.spawn(program("waits", 100), affinity={0})
+        free = kernel.spawn(program("free", 100))
+        kernel.join(long_on_0, waiting_on_0, free)
+        by_label = dict(order)
+        assert by_label["free"] == pytest.approx(100)  # cpu1, immediately
+        assert by_label["waits"] == pytest.approx(10_100)  # after the hog
+
+    def test_affinity_respects_smt_preference_within_mask(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=2, smt_factor=0.5))
+
+        def program():
+            yield Compute(1000)
+
+        # Mask allows cpu1 (sibling of 0) and cpu2 (own physical core):
+        # the dispatcher must pick cpu2 once cpu0 is busy.
+        a = kernel.spawn(program(), affinity={0})
+        b = kernel.spawn(program(), affinity={1, 2})
+        kernel.join(a, b)
+        assert kernel.now == pytest.approx(1000)  # no SMT contention
+
+    def test_invalid_masks_rejected(self):
+        kernel = make_kernel(n_cores=2)
+
+        def program():
+            yield Compute(1)
+
+        with pytest.raises(ValueError):
+            kernel.spawn(program(), affinity={5})
+        with pytest.raises(ValueError):
+            kernel.spawn(program(), affinity=set())
+
+    def test_preemption_still_works_with_mixed_affinity(self):
+        kernel = make_kernel(n_cores=1, timeslice=100)
+
+        def program(work):
+            yield Compute(work)
+
+        a = kernel.spawn(program(500), affinity={0})
+        b = kernel.spawn(program(500))
+        kernel.join(a, b)
+        assert kernel.now == pytest.approx(1000)
+        assert a.cpu_cycles == pytest.approx(500)
+        assert b.cpu_cycles == pytest.approx(500)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    masks=st.lists(
+        st.one_of(
+            st.none(),
+            st.sets(st.integers(min_value=0, max_value=3), min_size=1, max_size=4),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    works=st.lists(st.floats(min_value=10, max_value=5_000), min_size=1, max_size=6),
+)
+def test_affinity_is_never_violated(masks, works):
+    """Property: no thread is ever dispatched outside its mask, and all
+    work completes regardless of mask combinations."""
+    trace = SchedTrace(max_entries=100_000)
+    kernel = Kernel(
+        MachineSpec(n_cores=4, smt=1, timeslice_cycles=100), trace=trace
+    )
+    threads = []
+    for i, work in enumerate(works):
+        mask = masks[i % len(masks)]
+        affinity = frozenset(mask) if mask is not None else None
+
+        def program(w=work):
+            yield Compute(w)
+
+        threads.append(kernel.spawn(program(), name=f"t{i}", affinity=affinity))
+    kernel.join(*threads)
+    assert all(t.done for t in threads)
+    for i, thread in enumerate(threads):
+        mask = masks[i % len(masks)]
+        if mask is None:
+            continue
+        for _, event, name, cpu in trace.for_thread(thread.name):
+            if event == "dispatch":
+                assert cpu in mask, f"{name} dispatched on cpu{cpu}, mask {mask}"

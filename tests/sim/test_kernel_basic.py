@@ -1,0 +1,285 @@
+"""Basic kernel behaviour: compute timing, sleep, block, spin, results."""
+
+import pytest
+
+from repro.sim import (
+    Block,
+    Compute,
+    DeadlockError,
+    Kernel,
+    MachineSpec,
+    Sleep,
+    Spin,
+    ThreadState,
+)
+from repro.sim.errors import EventAlreadyFired, LivelockError, SimulationError
+
+
+def single_core() -> Kernel:
+    return Kernel(MachineSpec(n_cores=1, smt=1))
+
+
+def many_core(n: int = 8) -> Kernel:
+    return Kernel(MachineSpec(n_cores=n, smt=1))
+
+
+class TestCompute:
+    def test_single_compute_advances_time_exactly(self):
+        kernel = single_core()
+
+        def program():
+            yield Compute(1000)
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert kernel.now == pytest.approx(1000)
+        assert t.cpu_cycles == pytest.approx(1000)
+
+    def test_sequential_computes_accumulate(self):
+        kernel = single_core()
+
+        def program():
+            yield Compute(100)
+            yield Compute(250)
+            yield Compute(0)  # zero-cost, should not error or advance time
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert kernel.now == pytest.approx(350)
+
+    def test_thread_result_is_generator_return_value(self):
+        kernel = single_core()
+
+        def program():
+            yield Compute(10)
+            return "the-answer"
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert t.result == "the-answer"
+        assert t.done_event.fired
+        assert t.done_event.value == "the-answer"
+
+    def test_parallel_threads_on_separate_cores(self):
+        kernel = many_core(4)
+
+        def program():
+            yield Compute(1000)
+
+        threads = [kernel.spawn(program()) for _ in range(4)]
+        kernel.join(*threads)
+        # All four fit on distinct cores, so the makespan is one compute.
+        assert kernel.now == pytest.approx(1000)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+
+class TestSleep:
+    def test_sleep_releases_cpu(self):
+        kernel = single_core()
+
+        def sleeper():
+            yield Sleep(5000)
+
+        def worker():
+            yield Compute(5000)
+
+        s = kernel.spawn(sleeper())
+        w = kernel.spawn(worker())
+        kernel.join(s, w)
+        # Both finish at 5000: the sleeper does not occupy the single core.
+        assert kernel.now == pytest.approx(5000)
+        assert s.cpu_cycles == pytest.approx(0)
+        assert w.cpu_cycles == pytest.approx(5000)
+
+    def test_sleep_wakes_at_exact_time(self):
+        kernel = single_core()
+        wake_times = []
+
+        def sleeper():
+            yield Sleep(123)
+            wake_times.append(kernel.now)
+
+        kernel.join(kernel.spawn(sleeper()))
+        assert wake_times == [pytest.approx(123)]
+
+
+class TestBlockAndEvents:
+    def test_block_resumes_with_fire_value(self):
+        kernel = many_core(2)
+        seen = []
+
+        def waiter(event):
+            value = yield Block(event)
+            seen.append((kernel.now, value))
+
+        def firer(event):
+            yield Compute(700)
+            event.fire("payload")
+
+        ev = kernel.event("test")
+        w = kernel.spawn(waiter(ev))
+        f = kernel.spawn(firer(ev))
+        kernel.join(w, f)
+        assert seen == [(pytest.approx(700), "payload")]
+        assert w.cpu_cycles == pytest.approx(0)  # blocked, not spinning
+
+    def test_block_on_fired_event_continues_immediately(self):
+        kernel = single_core()
+        ev = kernel.event()
+        ev.fire(42)
+
+        def program():
+            value = yield Block(ev)
+            return value
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert t.result == 42
+        assert kernel.now == pytest.approx(0)
+
+    def test_event_fires_only_once(self):
+        kernel = single_core()
+        ev = kernel.event("once")
+        ev.fire()
+        with pytest.raises(EventAlreadyFired):
+            ev.fire()
+        assert ev.fire_if_unfired() is False
+
+    def test_join_blocked_forever_raises_deadlock(self):
+        kernel = single_core()
+        ev = kernel.event("never")
+
+        def program():
+            yield Block(ev)
+
+        t = kernel.spawn(program())
+        with pytest.raises(DeadlockError):
+            kernel.join(t)
+
+    def test_livelock_detection(self):
+        kernel = single_core()
+        ev = kernel.event()
+        ev.fire()
+
+        def spin_forever():
+            while True:
+                yield Block(ev)  # already fired: zero-time step each turn
+
+        t = kernel.spawn(spin_forever())
+        with pytest.raises(LivelockError):
+            kernel.join(t)
+
+
+class TestSpin:
+    def test_spin_times_out_and_charges_cpu(self):
+        kernel = single_core()
+        ev = kernel.event("never")
+        outcome = []
+
+        def program():
+            fired = yield Spin(ev, 2000)
+            outcome.append(fired)
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert outcome == [False]
+        assert kernel.now == pytest.approx(2000)
+        assert t.cycles_by["spin"] == pytest.approx(2000)
+
+    def test_spin_wakes_early_on_fire(self):
+        kernel = many_core(2)
+        ev = kernel.event()
+        outcome = []
+
+        def spinner():
+            fired = yield Spin(ev, 100_000)
+            outcome.append((kernel.now, fired))
+
+        def firer():
+            yield Compute(300)
+            ev.fire()
+
+        s = kernel.spawn(spinner())
+        f = kernel.spawn(firer())
+        kernel.join(s, f)
+        assert outcome == [(pytest.approx(300), True)]
+        assert s.cycles_by["spin"] == pytest.approx(300)
+
+    def test_spin_on_fired_event_returns_true_instantly(self):
+        kernel = single_core()
+        ev = kernel.event()
+        ev.fire()
+
+        def program():
+            fired = yield Spin(ev, 1_000_000)
+            return fired
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert t.result is True
+        assert kernel.now == pytest.approx(0)
+
+    def test_spin_zero_timeout_returns_false(self):
+        kernel = single_core()
+        ev = kernel.event()
+
+        def program():
+            fired = yield Spin(ev, 0)
+            return fired
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert t.result is False
+
+
+class TestRunControls:
+    def test_run_until_time_stops_clock(self):
+        kernel = single_core()
+
+        def program():
+            yield Compute(10_000)
+
+        kernel.spawn(program())
+        kernel.run(until_time=4000)
+        assert kernel.now == pytest.approx(4000)
+        kernel.run()
+        assert kernel.now == pytest.approx(10_000)
+
+    def test_max_events_guard(self):
+        kernel = single_core()
+
+        def program():
+            for _ in range(100):
+                yield Sleep(10)
+
+        kernel.spawn(program())
+        with pytest.raises(SimulationError):
+            kernel.run(max_events=5)
+
+    def test_thread_states_progression(self):
+        kernel = single_core()
+        ev = kernel.event()
+
+        def program():
+            yield Block(ev)
+
+        t = kernel.spawn(program())
+        assert t.state is ThreadState.READY
+        kernel.run(until_time=0)
+        assert t.state is ThreadState.BLOCKED
+        ev.fire()
+        kernel.run()
+        assert t.state is ThreadState.DONE
+
+    def test_thread_names_are_unique(self):
+        kernel = single_core()
+
+        def program():
+            yield Compute(1)
+
+        t1 = kernel.spawn(program(), name="w")
+        t2 = kernel.spawn(program(), name="w")
+        assert t1.name != t2.name

@@ -1,0 +1,132 @@
+"""Property-based tests for kernel invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Block, Compute, Kernel, MachineSpec, Sleep, Spin
+
+works = st.lists(st.floats(min_value=1, max_value=50_000), min_size=1, max_size=12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(works=works, n_cores=st.integers(min_value=1, max_value=8))
+def test_total_busy_equals_total_work(works, n_cores):
+    """Conservation: busy cycles across cores equals work requested."""
+    kernel = Kernel(MachineSpec(n_cores=n_cores, smt=1, timeslice_cycles=1000))
+
+    def program(w):
+        yield Compute(w)
+
+    threads = [kernel.spawn(program(w)) for w in works]
+    kernel.join(*threads)
+    snap = kernel.cpu_snapshot()
+    assert snap["busy_total"] == pytest.approx(sum(works), rel=1e-9)
+    for thread, w in zip(threads, works):
+        assert thread.cpu_cycles == pytest.approx(w, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(works=works, n_cores=st.integers(min_value=1, max_value=8))
+def test_makespan_bounds(works, n_cores):
+    """Makespan is at least max(work) and at least total/cores, and never
+    exceeds total work (single-core worst case, no SMT)."""
+    kernel = Kernel(MachineSpec(n_cores=n_cores, smt=1, timeslice_cycles=500))
+
+    def program(w):
+        yield Compute(w)
+
+    threads = [kernel.spawn(program(w)) for w in works]
+    kernel.join(*threads)
+    lower = max(max(works), sum(works) / n_cores)
+    assert kernel.now >= lower - 1e-6
+    assert kernel.now <= sum(works) + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    works=works,
+    smt_factor=st.floats(min_value=0.3, max_value=1.0),
+)
+def test_smt_busy_conservation(works, smt_factor):
+    """With SMT, wall busy-time may exceed nominal work but work completes."""
+    kernel = Kernel(MachineSpec(n_cores=2, smt=2, smt_factor=smt_factor))
+
+    def program(w):
+        yield Compute(w)
+
+    threads = [kernel.spawn(program(w)) for w in works]
+    kernel.join(*threads)
+    snap = kernel.cpu_snapshot()
+    # Wall busy cycles >= nominal work (slowdown only ever stretches it).
+    assert snap["busy_total"] >= sum(works) - 1e-6
+    # And bounded by work / smt_factor (max slowdown).
+    assert snap["busy_total"] <= sum(works) / smt_factor + 1e-6
+    assert all(t.done for t in threads)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fire_at=st.floats(min_value=0, max_value=20_000),
+    timeout=st.floats(min_value=1, max_value=20_000),
+)
+def test_spin_charges_min_of_timeout_and_fire(fire_at, timeout):
+    """A spinner burns exactly min(timeout, fire time) cycles."""
+    kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+    ev = kernel.event()
+
+    def spinner():
+        fired = yield Spin(ev, timeout)
+        return fired
+
+    def firer():
+        yield Sleep(fire_at)
+        ev.fire()
+
+    s = kernel.spawn(spinner())
+    f = kernel.spawn(firer())
+    kernel.join(s, f)
+    expected = min(timeout, fire_at)
+    assert s.cycles_by["spin"] == pytest.approx(expected, rel=1e-9, abs=1e-6)
+    assert s.result is (fire_at < timeout or fire_at == 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sleeps=st.lists(st.floats(min_value=1, max_value=10_000), min_size=1, max_size=8)
+)
+def test_sleep_only_threads_never_use_cpu(sleeps):
+    kernel = Kernel(MachineSpec(n_cores=1, smt=1))
+
+    def program(duration):
+        yield Sleep(duration)
+
+    threads = [kernel.spawn(program(s)) for s in sleeps]
+    kernel.join(*threads)
+    assert kernel.now == pytest.approx(max(sleeps))
+    snap = kernel.cpu_snapshot()
+    assert snap["busy_total"] == pytest.approx(0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_waiters=st.integers(min_value=1, max_value=10),
+    fire_at=st.floats(min_value=1, max_value=5_000),
+)
+def test_event_wakes_all_blockers(n_waiters, fire_at):
+    kernel = Kernel(MachineSpec(n_cores=4, smt=1))
+    ev = kernel.event()
+    woken = []
+
+    def waiter(i):
+        yield Block(ev)
+        woken.append(i)
+
+    def firer():
+        yield Sleep(fire_at)
+        ev.fire()
+
+    threads = [kernel.spawn(waiter(i)) for i in range(n_waiters)]
+    threads.append(kernel.spawn(firer()))
+    kernel.join(*threads)
+    assert sorted(woken) == list(range(n_waiters))

@@ -1,0 +1,233 @@
+"""Scheduling-level kernel tests: preemption, SMT model, accounting."""
+
+import pytest
+
+from repro.sim import Compute, Kernel, MachineSpec, Sleep, Spin, YieldCPU
+
+
+class TestPreemption:
+    def test_oversubscription_shares_single_core(self):
+        """Two CPU-bound threads on one core each get half the machine."""
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1, timeslice_cycles=100))
+
+        def program():
+            yield Compute(1000)
+
+        a = kernel.spawn(program(), name="a")
+        b = kernel.spawn(program(), name="b")
+        kernel.join(a, b)
+        # Total work is 2000 cycles on one core.
+        assert kernel.now == pytest.approx(2000)
+        assert a.cpu_cycles == pytest.approx(1000)
+        assert b.cpu_cycles == pytest.approx(1000)
+        # With round-robin at 100-cycle slices both finish near the end.
+        assert abs(a.cpu_cycles - b.cpu_cycles) <= 100
+
+    def test_timeslice_not_charged_when_alone(self):
+        """A lone thread is never preempted, only slice-renewed."""
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1, timeslice_cycles=64))
+
+        def program():
+            yield Compute(1000)
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert kernel.now == pytest.approx(1000)
+
+    def test_yield_cpu_round_robins(self):
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1))
+        order = []
+
+        def program(label):
+            for _ in range(3):
+                order.append(label)
+                yield Compute(10)
+                yield YieldCPU()
+
+        a = kernel.spawn(program("a"))
+        b = kernel.spawn(program("b"))
+        kernel.join(a, b)
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_yield_cpu_noop_when_alone(self):
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1))
+
+        def program():
+            yield Compute(10)
+            yield YieldCPU()
+            yield Compute(10)
+
+        t = kernel.spawn(program())
+        kernel.join(t)
+        assert kernel.now == pytest.approx(20)
+
+    def test_spinner_is_preempted_like_computation(self):
+        """A spinning thread must not starve a compute-bound one."""
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1, timeslice_cycles=100))
+        ev = kernel.event("never")
+
+        def spinner():
+            yield Spin(ev, 1000)
+
+        def worker():
+            yield Compute(1000)
+
+        s = kernel.spawn(spinner())
+        w = kernel.spawn(worker())
+        kernel.join(s, w)
+        assert kernel.now == pytest.approx(2000)
+        assert s.cycles_by["spin"] == pytest.approx(1000)
+        assert w.cycles_by["compute"] == pytest.approx(1000)
+
+
+class TestSmtModel:
+    def test_sibling_contention_slows_both(self):
+        factor = 0.5
+        kernel = Kernel(MachineSpec(n_cores=1, smt=2, smt_factor=factor))
+
+        def program():
+            yield Compute(1000)
+
+        a = kernel.spawn(program())
+        b = kernel.spawn(program())
+        kernel.join(a, b)
+        # Both hyperthreads run at half speed the whole time.
+        assert kernel.now == pytest.approx(1000 / factor)
+
+    def test_sibling_speed_recovers_when_one_finishes(self):
+        factor = 0.5
+        kernel = Kernel(MachineSpec(n_cores=1, smt=2, smt_factor=factor))
+
+        def short():
+            yield Compute(100)
+
+        def long():
+            yield Compute(1000)
+
+        s = kernel.spawn(short())
+        lg = kernel.spawn(long())
+        kernel.join(s, lg)
+        # Short thread: 100 work at 0.5 speed -> done at wall 200.
+        # Long thread: 200 wall * 0.5 = 100 work done, 900 left at full
+        # speed -> finishes at 200 + 900 = 1100.
+        assert s.done and lg.done
+        assert kernel.now == pytest.approx(1100)
+
+    def test_threads_spread_across_physical_cores_first(self):
+        """Two threads on a 2-core/4-thread machine use distinct physical
+        cores (Linux-style spreading), so they do not contend."""
+        kernel = Kernel(MachineSpec(n_cores=2, smt=2, smt_factor=0.5))
+
+        def program():
+            yield Compute(1000)
+
+        a = kernel.spawn(program())
+        b = kernel.spawn(program())
+        kernel.join(a, b)
+        assert kernel.now == pytest.approx(1000)
+
+    def test_third_thread_lands_on_busy_sibling(self):
+        """Once both physical cores have work, SMT siblings get used."""
+        kernel = Kernel(MachineSpec(n_cores=2, smt=2, smt_factor=0.5))
+
+        def program():
+            yield Compute(1000)
+
+        threads = [kernel.spawn(program()) for _ in range(3)]
+        kernel.join(*threads)
+        # Threads 0 and 2 share a physical core at half speed; thread 1
+        # runs alone until thread 0/2 finish.
+        assert kernel.now == pytest.approx(2000)
+
+    def test_smt_disabled_runs_full_speed(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1, smt_factor=0.5))
+
+        def program():
+            yield Compute(1000)
+
+        a = kernel.spawn(program())
+        b = kernel.spawn(program())
+        kernel.join(a, b)
+        assert kernel.now == pytest.approx(1000)
+
+
+class TestAccounting:
+    def test_busy_plus_idle_equals_capacity(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+
+        def program(work):
+            yield Compute(work)
+
+        kernel.spawn(program(500))
+        kernel.spawn(program(1500))
+        kernel.run()
+        snap = kernel.cpu_snapshot()
+        capacity = snap["now"] * len(kernel.cpus)
+        assert snap["busy_total"] + snap["idle_total"] == pytest.approx(capacity)
+        assert snap["busy_total"] == pytest.approx(2000)
+
+    def test_by_kind_breakdown(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+
+        def app():
+            yield Compute(300)
+
+        def worker():
+            yield Compute(700)
+
+        kernel.spawn(app(), kind="app")
+        kernel.spawn(worker(), kind="worker")
+        kernel.run()
+        snap = kernel.cpu_snapshot()
+        assert snap["by_kind"]["app"] == pytest.approx(300)
+        assert snap["by_kind"]["worker"] == pytest.approx(700)
+
+    def test_snapshot_includes_in_progress_work(self):
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1))
+
+        def program():
+            yield Compute(10_000)
+
+        kernel.spawn(program())
+        kernel.run(until_time=4000)
+        snap = kernel.cpu_snapshot()
+        assert snap["busy_total"] == pytest.approx(4000)
+
+    def test_utilisation_fraction(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+
+        def program():
+            yield Compute(1000)
+
+        kernel.spawn(program())
+        kernel.run()
+        # One of two cores busy the whole time.
+        assert kernel.cpu_utilisation() == pytest.approx(0.5)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            kernel = Kernel(MachineSpec(n_cores=2, smt=2, timeslice_cycles=500))
+            ev = kernel.event()
+            finish_times = {}
+
+            def spinner(name):
+                yield Spin(ev, 5000)
+                yield Compute(100)
+                finish_times[name] = kernel.now
+
+            def firer():
+                yield Compute(1234)
+                ev.fire()
+                yield Compute(10)
+                finish_times["firer"] = kernel.now
+
+            threads = [kernel.spawn(spinner(f"s{i}"), name=f"s{i}") for i in range(4)]
+            threads.append(kernel.spawn(firer(), name="firer"))
+            kernel.join(*threads)
+            return kernel.now, kernel.events_processed, finish_times
+
+        first = build()
+        second = build()
+        assert first == second

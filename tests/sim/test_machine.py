@@ -1,0 +1,59 @@
+"""Unit tests for the machine specification."""
+
+import pytest
+
+from repro.sim import MachineSpec, paper_machine
+
+
+class TestMachineSpec:
+    def test_defaults_match_paper_platform(self):
+        spec = paper_machine()
+        assert spec.n_cores == 4
+        assert spec.smt == 2
+        assert spec.n_logical == 8
+        assert spec.freq_hz == pytest.approx(3.8e9)
+
+    def test_cycle_second_roundtrip(self):
+        spec = MachineSpec(freq_hz=2.0e9)
+        assert spec.cycles(1.0) == pytest.approx(2.0e9)
+        assert spec.seconds(spec.cycles(0.25)) == pytest.approx(0.25)
+
+    def test_sibling_pairs(self):
+        spec = MachineSpec(n_cores=2, smt=2)
+        assert spec.sibling_of(0) == 1
+        assert spec.sibling_of(1) == 0
+        assert spec.sibling_of(2) == 3
+        assert spec.sibling_of(3) == 2
+
+    def test_no_sibling_without_smt(self):
+        spec = MachineSpec(n_cores=4, smt=1)
+        assert spec.sibling_of(0) is None
+        assert spec.n_logical == 4
+
+    def test_paper_machine_accepts_overrides(self):
+        spec = paper_machine(smt=1)
+        assert spec.n_logical == 4
+
+    def test_server_machine_preset(self):
+        from repro.sim import server_machine
+
+        spec = server_machine()
+        assert spec.n_logical == 32
+        assert spec.freq_hz == pytest.approx(2.6e9)
+        assert server_machine(n_cores=8).n_logical == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_cores": 0},
+            {"smt": 3},
+            {"smt_factor": 0.0},
+            {"smt_factor": 1.5},
+            {"freq_hz": 0},
+            {"timeslice_cycles": 0},
+            {"dispatch_overhead_cycles": -1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MachineSpec(**kwargs)

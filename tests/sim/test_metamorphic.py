@@ -1,0 +1,74 @@
+"""Metamorphic properties of the simulator.
+
+These check relations that must hold between *pairs* of simulations —
+e.g. changing the CPU frequency must rescale wall-clock seconds without
+changing any cycle count — catching unit bugs no single run can reveal.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec
+
+
+def run_ocall_workload(freq_hz=3.8e9, cost_scale=1.0, n_calls=20):
+    """A small enclave workload; returns (cycles, seconds, latency)."""
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2, freq_hz=freq_hz))
+    urts = UntrustedRuntime()
+    base = SgxCostModel()
+    cost = SgxCostModel(
+        eexit_cycles=base.eexit_cycles * cost_scale,
+        eenter_cycles=base.eenter_cycles * cost_scale,
+    )
+    enclave = Enclave(kernel, urts, cost=cost)
+
+    def handler():
+        yield Compute(700)
+        return None
+
+    urts.register("f", handler)
+
+    def app():
+        for _ in range(n_calls):
+            yield from enclave.ocall("f")
+
+    kernel.join(kernel.spawn(app()))
+    latency = enclave.stats.by_name["f"].mean_latency_cycles
+    return kernel.now, kernel.now_seconds, latency
+
+
+class TestFrequencyScaling:
+    @settings(max_examples=10, deadline=None)
+    @given(factor=st.sampled_from([0.5, 2.0, 10.0]))
+    def test_frequency_rescales_seconds_not_cycles(self, factor):
+        base_cycles, base_seconds, base_latency = run_ocall_workload(freq_hz=3.8e9)
+        cycles, seconds, latency = run_ocall_workload(freq_hz=3.8e9 * factor)
+        assert cycles == pytest.approx(base_cycles)
+        assert latency == pytest.approx(base_latency)
+        assert seconds == pytest.approx(base_seconds / factor)
+
+
+class TestCostScaling:
+    def test_transition_cost_moves_latency_linearly(self):
+        """Doubling T_es adds exactly one extra T_es to each regular
+        ocall's latency — nothing else in the path depends on it."""
+        _, _, latency_1x = run_ocall_workload(cost_scale=1.0)
+        _, _, latency_2x = run_ocall_workload(cost_scale=2.0)
+        t_es = SgxCostModel().t_es
+        assert latency_2x - latency_1x == pytest.approx(t_es)
+
+    def test_zero_transition_cost_leaves_only_work(self):
+        _, _, latency = run_ocall_workload(cost_scale=0.0)
+        cost = SgxCostModel()
+        assert latency == pytest.approx(cost.ocall_bookkeeping_cycles + 700)
+
+
+class TestWorkloadScaling:
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=40))
+    def test_single_thread_runtime_linear_in_call_count(self, n):
+        cycles_n, _, _ = run_ocall_workload(n_calls=n)
+        cycles_1, _, _ = run_ocall_workload(n_calls=1)
+        assert cycles_n == pytest.approx(cycles_1 * n, rel=1e-9)

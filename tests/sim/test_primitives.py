@@ -1,0 +1,148 @@
+"""Tests for Event and Gate synchronisation primitives."""
+
+import pytest
+
+from repro.sim import Block, Compute, Kernel, MachineSpec, Spin
+
+
+def make_kernel() -> Kernel:
+    return Kernel(MachineSpec(n_cores=4, smt=1))
+
+
+class TestGate:
+    def test_wait_value_fires_on_matching_set(self):
+        kernel = make_kernel()
+        gate = kernel.gate("idle", name="status")
+        seen = []
+
+        def waiter():
+            value = yield Block(gate.wait_value("busy"))
+            seen.append((kernel.now, value))
+
+        def setter():
+            yield Compute(500)
+            gate.set("busy")
+
+        kernel.join(kernel.spawn(waiter()), kernel.spawn(setter()))
+        assert seen == [(pytest.approx(500), "busy")]
+
+    def test_wait_value_prefired_when_already_satisfied(self):
+        kernel = make_kernel()
+        gate = kernel.gate(7)
+        ev = gate.wait_for(lambda v: v >= 5)
+        assert ev.fired
+        assert ev.value == 7
+
+    def test_non_matching_set_keeps_waiter_parked(self):
+        kernel = make_kernel()
+        gate = kernel.gate(0)
+        resumed = []
+
+        def waiter():
+            yield Block(gate.wait_value(3))
+            resumed.append(kernel.now)
+
+        t = kernel.spawn(waiter())
+
+        def setter():
+            yield Compute(10)
+            gate.set(1)
+            yield Compute(10)
+            gate.set(2)
+            yield Compute(10)
+            gate.set(3)
+
+        kernel.join(t, kernel.spawn(setter()))
+        assert resumed == [pytest.approx(30)]
+        assert gate.value == 3
+
+    def test_multiple_waiters_with_distinct_predicates(self):
+        kernel = make_kernel()
+        gate = kernel.gate(0)
+        log = []
+
+        def waiter(label, target):
+            yield Block(gate.wait_value(target))
+            log.append(label)
+
+        t1 = kernel.spawn(waiter("one", 1))
+        t2 = kernel.spawn(waiter("two", 2))
+
+        def setter():
+            yield Compute(5)
+            gate.set(1)
+            yield Compute(5)
+            gate.set(2)
+
+        kernel.join(t1, t2, kernel.spawn(setter()))
+        assert log == ["one", "two"]
+
+    def test_spin_on_gate_event(self):
+        kernel = make_kernel()
+        gate = kernel.gate("unused")
+
+        def spinner():
+            fired = yield Spin(gate.wait_value("processing"), 10_000)
+            return fired
+
+        def setter():
+            yield Compute(400)
+            gate.set("processing")
+
+        s = kernel.spawn(spinner())
+        kernel.join(s, kernel.spawn(setter()))
+        assert s.result is True
+        assert s.cycles_by["spin"] == pytest.approx(400)
+
+    def test_stale_waiters_are_pruned_after_fire(self):
+        kernel = make_kernel()
+        gate = kernel.gate(0)
+        ev = gate.wait_value(1)
+        gate.set(1)
+        assert ev.fired
+        # A second set must not attempt to re-fire the one-shot event.
+        gate.set(1)
+        gate.set(2)
+
+
+class TestEventWaiterMix:
+    def test_event_wakes_blockers_and_spinners_together(self):
+        kernel = make_kernel()
+        ev = kernel.event()
+        wake_times = []
+
+        def blocker():
+            yield Block(ev)
+            wake_times.append(("block", kernel.now))
+
+        def spinner():
+            yield Spin(ev, 1_000_000)
+            wake_times.append(("spin", kernel.now))
+
+        def firer():
+            yield Compute(250)
+            ev.fire()
+
+        threads = [
+            kernel.spawn(blocker()),
+            kernel.spawn(spinner()),
+            kernel.spawn(firer()),
+        ]
+        kernel.join(*threads)
+        assert sorted(wake_times) == [
+            ("block", pytest.approx(250)),
+            ("spin", pytest.approx(250)),
+        ]
+
+    def test_fire_before_run_processed_at_start(self):
+        kernel = make_kernel()
+        ev = kernel.event()
+
+        def waiter():
+            value = yield Block(ev)
+            return value
+
+        t = kernel.spawn(waiter())
+        ev.fire("early")
+        kernel.join(t)
+        assert t.result == "early"

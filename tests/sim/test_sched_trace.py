@@ -1,0 +1,103 @@
+"""Tests for the optional scheduling trace."""
+
+import pytest
+
+from repro.sim import Block, Compute, Kernel, MachineSpec, SchedTrace
+
+
+def make_kernel(trace, **spec_kwargs):
+    defaults = {"n_cores": 1, "smt": 1, "timeslice_cycles": 100}
+    defaults.update(spec_kwargs)
+    return Kernel(MachineSpec(**defaults), trace=trace)
+
+
+class TestSchedTrace:
+    def test_dispatch_and_finish_recorded(self):
+        trace = SchedTrace()
+        kernel = make_kernel(trace)
+
+        def program():
+            yield Compute(50)
+
+        kernel.join(kernel.spawn(program(), name="t"))
+        events = [e[1] for e in trace.for_thread("t")]
+        assert events == ["dispatch", "finish"]
+
+    def test_preemption_recorded(self):
+        trace = SchedTrace()
+        kernel = make_kernel(trace)
+
+        def program():
+            yield Compute(300)
+
+        a = kernel.spawn(program(), name="a")
+        b = kernel.spawn(program(), name="b")
+        kernel.join(a, b)
+        a_events = [e[1] for e in trace.for_thread("a")]
+        assert "preempt" in a_events
+        assert a_events.count("dispatch") >= 2  # redispatched after preempt
+
+    def test_park_recorded_for_blocking(self):
+        trace = SchedTrace()
+        kernel = make_kernel(trace, n_cores=2)
+        ev = kernel.event()
+
+        def waiter():
+            yield Block(ev)
+
+        def firer():
+            yield Compute(100)
+            ev.fire()
+
+        kernel.join(kernel.spawn(waiter(), name="w"), kernel.spawn(firer(), name="f"))
+        w_events = [e[1] for e in trace.for_thread("w")]
+        assert w_events == ["dispatch", "park", "dispatch", "finish"]
+
+    def test_ring_buffer_caps_and_counts_drops(self):
+        trace = SchedTrace(max_entries=4)
+        kernel = make_kernel(trace)
+
+        def program():
+            yield Compute(1000)  # many 100-cycle slices -> many preemptions
+
+        a = kernel.spawn(program(), name="a")
+        b = kernel.spawn(program(), name="b")
+        kernel.join(a, b)
+        assert len(trace.entries) == 4
+        assert trace.dropped > 0
+
+    def test_render(self):
+        trace = SchedTrace()
+        kernel = make_kernel(trace)
+
+        def program():
+            yield Compute(10)
+
+        kernel.join(kernel.spawn(program(), name="demo"))
+        text = trace.render()
+        assert "dispatch" in text and "demo" in text and "cpu0" in text
+
+    def test_no_trace_means_no_overhead_object(self):
+        kernel = make_kernel(None)
+
+        def program():
+            yield Compute(10)
+
+        kernel.join(kernel.spawn(program()))
+        assert kernel.trace is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SchedTrace(max_entries=0)
+
+    def test_tracing_does_not_change_timing(self):
+        def run(trace):
+            kernel = make_kernel(trace)
+
+            def program():
+                yield Compute(1234)
+
+            kernel.join(kernel.spawn(program()))
+            return kernel.now
+
+        assert run(None) == run(SchedTrace())

@@ -1,0 +1,214 @@
+"""Integration tests for the Intel switchless backend."""
+
+import pytest
+
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec, Sleep
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+
+
+def build(config, n_cores=4, smt=2):
+    kernel = Kernel(MachineSpec(n_cores=n_cores, smt=smt))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+    backend = IntelSwitchlessBackend(config)
+    enclave.set_backend(backend)
+    return kernel, urts, enclave, backend
+
+
+def work_handler(duration):
+    def handler(value):
+        yield Compute(duration, tag="host-work")
+        return value
+
+    return handler
+
+
+class TestSwitchlessExecution:
+    def test_switchless_call_avoids_transition(self):
+        config = SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=1)
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work_handler(1000))
+
+        def app():
+            result = yield from enclave.ocall("f", "ok")
+            return result
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        assert t.result == "ok"
+        assert backend.switchless_count == 1
+        assert backend.fallback_count == 0
+        site = enclave.stats.by_name["f"]
+        assert site.switchless == 1
+        # Caller latency is far below a regular ocall (~14,800 cycles).
+        assert site.mean_latency_cycles < 4000
+
+    def test_non_selected_ocall_always_transitions(self):
+        config = SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=1)
+        kernel, urts, enclave, backend = build(config)
+        urts.register("g", work_handler(500))
+
+        def app():
+            yield from enclave.ocall("g", None)
+
+        kernel.join(kernel.spawn(app()))
+        assert backend.switchless_count == 0
+        assert enclave.stats.by_name["g"].regular == 1
+
+    def test_worker_executes_on_separate_thread(self):
+        """While the worker runs the handler, the caller busy-waits: both
+        burn CPU, which is the M*T waste term of the paper's model."""
+        config = SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=1)
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work_handler(50_000))
+
+        def app():
+            yield from enclave.ocall("f", None)
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        worker = backend.worker_threads[0]
+        assert worker.cycles_by["compute"] >= 50_000
+        assert t.cycles_by["spin"] >= 50_000  # caller busy-waited throughout
+
+    def test_two_workers_serve_two_callers_concurrently(self):
+        config = SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=2)
+        kernel, urts, enclave, backend = build(config, n_cores=8, smt=1)
+        urts.register("f", work_handler(100_000))
+
+        def app():
+            yield from enclave.ocall("f", None)
+
+        threads = [kernel.spawn(app()) for _ in range(2)]
+        kernel.join(*threads)
+        assert backend.switchless_count == 2
+        # Concurrent service: total elapsed well below 2 sequential calls.
+        assert kernel.now < 180_000
+
+
+class TestFallback:
+    def test_pool_full_falls_back_immediately(self):
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=1,
+            pool_capacity=1,
+            retries_before_fallback=100,
+        )
+        kernel, urts, enclave, backend = build(config, n_cores=8, smt=1)
+        urts.register("f", work_handler(500_000))
+
+        def app():
+            yield from enclave.ocall("f", None)
+
+        threads = [kernel.spawn(app()) for _ in range(4)]
+        kernel.join(*threads)
+        assert backend.fallback_count >= 1
+        assert backend.switchless_count >= 1
+        assert enclave.stats.total_calls == 4
+
+    def test_busy_worker_causes_rbf_fallback(self):
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=1,
+            retries_before_fallback=10,
+        )
+        kernel, urts, enclave, backend = build(config, n_cores=8, smt=1)
+        urts.register("f", work_handler(1_000_000))
+
+        def app():
+            yield from enclave.ocall("f", None)
+
+        a = kernel.spawn(app())
+        b = kernel.spawn(app())
+        kernel.join(a, b)
+        # The second caller's task is never picked up within 10 retries.
+        assert backend.fallback_count == 1
+        assert backend.switchless_count == 1
+
+    def test_default_rbf_burns_millions_of_cycles_before_fallback(self):
+        """The §III-C pathology: with the 20,000-retry default, a caller
+        waits ~2.8M cycles for a busy worker before falling back — ~200x
+        the cost of the transition it was trying to avoid."""
+        config = SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=1)
+        kernel, urts, enclave, backend = build(config, n_cores=8, smt=1)
+        urts.register("f", work_handler(10_000_000))  # worker busy a long time
+
+        def app():
+            yield from enclave.ocall("f", None)
+
+        a = kernel.spawn(app())
+        b = kernel.spawn(app())
+        kernel.join(a, b)
+        assert backend.fallback_count == 1
+        # The falling-back caller burnt about rbf * pause cycles spinning
+        # (total spin minus the successful caller's completion wait).
+        spin = (a.cycles_by["spin"] + b.cycles_by["spin"]) - 10_000_000
+        assert spin >= 2.7e6
+
+    def test_rbf_zero_disables_waiting(self):
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=1,
+            retries_before_fallback=0,
+        )
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work_handler(100))
+
+        def app():
+            yield from enclave.ocall("f", None)
+
+        kernel.join(kernel.spawn(app()))
+        # With zero retries the task is withdrawn before any pickup.
+        assert backend.fallback_count == 1
+
+
+class TestWorkerSleep:
+    def test_idle_worker_sleeps_after_rbs_then_wakes_on_submit(self):
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=1,
+            retries_before_sleep=100,  # sleep after 14,000 idle cycles
+        )
+        kernel, urts, enclave, backend = build(config, n_cores=8, smt=1)
+        urts.register("f", work_handler(1000))
+
+        def app():
+            yield Sleep(1_000_000)  # let the worker exhaust rbs and sleep
+            result = yield from enclave.ocall("f", "late")
+            return result
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        assert t.result == "late"
+        stats = backend.worker_stats[0]
+        assert stats.sleeps >= 1
+        assert stats.wakes >= 1
+        assert backend.switchless_count == 1
+
+    def test_sleeping_worker_wake_latency_charged(self):
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=1,
+            retries_before_sleep=0,  # sleep immediately when idle
+        )
+        kernel, urts, enclave, backend = build(config, n_cores=8, smt=1)
+        urts.register("f", work_handler(1000))
+
+        def app():
+            yield Sleep(10_000)
+            yield from enclave.ocall("f", None)
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        site = enclave.stats.by_name["f"]
+        # Pickup had to wait for the futex wake (~20k cycles).
+        assert site.mean_latency_cycles > enclave.cost.worker_wake_cycles
+
+    def test_stop_terminates_all_workers(self):
+        config = SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=3)
+        kernel, urts, enclave, backend = build(config)
+        kernel.run(until_time=1_000_000)
+        backend.stop()
+        kernel.run()
+        assert all(w.done for w in backend.worker_threads)

@@ -1,0 +1,132 @@
+"""Edge cases of the Intel switchless protocol."""
+
+import pytest
+
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec, Sleep
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+
+
+def build(config, n_cores=8, smt=1):
+    kernel = Kernel(MachineSpec(n_cores=n_cores, smt=smt))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+    backend = IntelSwitchlessBackend(config)
+    enclave.set_backend(backend)
+    return kernel, urts, enclave, backend
+
+
+def work(duration):
+    def handler(value=None):
+        yield Compute(duration)
+        return value
+
+    return handler
+
+
+class TestPoolPressure:
+    def test_pool_capacity_bounds_concurrent_pending_tasks(self):
+        """With capacity 2 and a single slow worker, burst arrivals split
+        into: served, pool-queued, and pool-full fallbacks."""
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=1,
+            pool_capacity=2,
+            retries_before_fallback=20_000,
+        )
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work(3_000_000))
+
+        def app():
+            yield from enclave.ocall("f")
+
+        threads = [kernel.spawn(app()) for _ in range(6)]
+        kernel.join(*threads)
+        assert backend.pool is not None
+        assert backend.pool.rejected_full > 0
+        assert enclave.stats.total_calls == 6
+        assert (
+            enclave.stats.total_switchless + enclave.stats.total_fallback == 6
+        )
+
+    def test_cancelled_tasks_leave_pool_consistent(self):
+        """Callers that give up (rbf) withdraw their tasks; the worker
+        must never observe them, and later calls still work."""
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=1,
+            retries_before_fallback=5,
+        )
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work(2_000_000))
+
+        def app():
+            yield from enclave.ocall("f")
+
+        first_wave = [kernel.spawn(app()) for _ in range(4)]
+        kernel.join(*first_wave)
+        executed_before = sum(s.tasks_executed for s in backend.worker_stats)
+
+        late = kernel.spawn(app())
+        kernel.join(late)
+        executed_after = sum(s.tasks_executed for s in backend.worker_stats)
+        # The worker only executed claimed (never cancelled) tasks.
+        assert executed_after == executed_before + 1
+        assert backend.pool.cancelled_total >= 1
+
+
+class TestSleepWakeOrdering:
+    def test_multiple_sleepers_wake_fifo(self):
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=3,
+            retries_before_sleep=0,  # sleep immediately when idle
+        )
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work(1_000))
+
+        def app():
+            yield Sleep(100_000)  # let all three workers fall asleep
+            yield from enclave.ocall("f")
+
+        kernel.join(kernel.spawn(app()))
+        # Exactly one worker was woken for the single task; with rbs=0 it
+        # re-slept immediately after serving, so all three end asleep.
+        wakes = [s.wakes for s in backend.worker_stats]
+        assert sum(wakes) == 1
+        woken_index = wakes.index(1)
+        assert backend.worker_stats[woken_index].sleeps == 2
+        assert backend.pool.sleeping_count() == 3
+
+    def test_rbs_zero_still_serves_back_to_back_load(self):
+        """Aggressive sleeping must not lose tasks under streaming load."""
+        config = SwitchlessConfig(
+            switchless_ocalls=frozenset({"f"}),
+            num_uworkers=2,
+            retries_before_sleep=0,
+        )
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work(500))
+
+        def app():
+            for _ in range(50):
+                yield from enclave.ocall("f")
+
+        threads = [kernel.spawn(app()) for _ in range(2)]
+        kernel.join(*threads)
+        assert enclave.stats.total_calls == 100
+        assert enclave.stats.total_switchless + enclave.stats.total_fallback == 100
+
+
+class TestWorkerAccountingKinds:
+    def test_worker_cpu_attributed_to_intel_worker_kind(self):
+        config = SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=2)
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work(10_000))
+
+        def app():
+            yield from enclave.ocall("f")
+
+        kernel.join(kernel.spawn(app()))
+        snap = kernel.cpu_snapshot()
+        assert snap["by_kind"].get("intel-worker", 0) >= 10_000

@@ -1,0 +1,42 @@
+"""Tests for the static Intel switchless configuration."""
+
+import pytest
+
+from repro.switchless import SwitchlessConfig
+from repro.switchless.config import SDK_DEFAULT_RETRIES
+
+
+class TestSwitchlessConfig:
+    def test_sdk_defaults(self):
+        config = SwitchlessConfig()
+        assert config.retries_before_fallback == SDK_DEFAULT_RETRIES == 20_000
+        assert config.retries_before_sleep == 20_000
+        assert config.num_uworkers == 2
+
+    def test_switchless_selection_is_static(self):
+        config = SwitchlessConfig(switchless_ocalls=frozenset({"fread", "fwrite"}))
+        assert config.is_switchless("fread")
+        assert config.is_switchless("fwrite")
+        assert not config.is_switchless("fseeko")
+
+    def test_iterable_selection_coerced_to_frozenset(self):
+        config = SwitchlessConfig(switchless_ocalls={"read"})  # type: ignore[arg-type]
+        assert isinstance(config.switchless_ocalls, frozenset)
+        assert config.is_switchless("read")
+
+    def test_default_pool_capacity_tracks_workers(self):
+        assert SwitchlessConfig(num_uworkers=3).effective_pool_capacity == 6
+        assert SwitchlessConfig(pool_capacity=5).effective_pool_capacity == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_uworkers": 0},
+            {"retries_before_fallback": -1},
+            {"retries_before_sleep": -1},
+            {"pool_capacity": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SwitchlessConfig(**kwargs)

@@ -1,0 +1,111 @@
+"""Tests for the HotCalls baseline backend."""
+
+import pytest
+
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec, Sleep
+from repro.switchless.hotcalls import HotCallsBackend, HotCallsConfig
+
+
+def build(config, n_cores=8, smt=1):
+    kernel = Kernel(MachineSpec(n_cores=n_cores, smt=smt))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+    backend = HotCallsBackend(config)
+    enclave.set_backend(backend)
+    return kernel, urts, enclave, backend
+
+
+def work_handler(duration):
+    def handler(value=None):
+        yield Compute(duration, tag="host")
+        return value
+
+    return handler
+
+
+class TestHotCalls:
+    def test_hot_call_executes_without_transition(self):
+        config = HotCallsConfig({"f"}, n_responders=1)
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work_handler(1000))
+
+        def app():
+            result = yield from enclave.ocall("f", "x")
+            return result
+
+        t = kernel.spawn(app())
+        kernel.join(t)
+        assert t.result == "x"
+        assert backend.hot_count == 1
+        site = enclave.stats.by_name["f"]
+        assert site.switchless == 1
+        assert site.mean_latency_cycles < 4000
+
+    def test_cold_call_transitions(self):
+        config = HotCallsConfig({"f"})
+        kernel, urts, enclave, backend = build(config)
+        urts.register("g", work_handler(500))
+
+        def app():
+            yield from enclave.ocall("g")
+
+        kernel.join(kernel.spawn(app()))
+        assert backend.regular_count == 1
+        assert enclave.stats.by_name["g"].regular == 1
+
+    def test_no_fallback_ever_caller_waits(self):
+        """The defining difference from Intel/zc: a hot call with all
+        responders busy waits instead of falling back."""
+        config = HotCallsConfig({"f"}, n_responders=1)
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work_handler(500_000))
+
+        def app():
+            yield from enclave.ocall("f")
+
+        a = kernel.spawn(app())
+        b = kernel.spawn(app())
+        kernel.join(a, b)
+        assert backend.hot_count == 2
+        assert enclave.stats.total_fallback == 0
+        assert enclave.stats.total_regular == 0
+        # Serialised on the single responder: ~2x the single-call time.
+        assert kernel.now > 1_000_000
+
+    def test_responders_burn_cpu_while_idle(self):
+        """Responders never sleep — one full CPU per responder, always."""
+        config = HotCallsConfig({"f"}, n_responders=2)
+        kernel, urts, enclave, backend = build(config)
+
+        def app():
+            yield Sleep(1_000_000)  # no calls at all
+
+        kernel.join(kernel.spawn(app()))
+        kernel.flush_accounting()
+        for responder in backend.responder_threads:
+            assert responder.cycles_by["spin"] == pytest.approx(1_000_000, rel=0.01)
+
+    def test_stop_terminates_responders(self):
+        config = HotCallsConfig({"f"}, n_responders=3)
+        kernel, urts, enclave, backend = build(config)
+        kernel.run(until_time=100_000)
+        backend.stop()
+        kernel.run()
+        assert all(t.done for t in backend.responder_threads)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            HotCallsConfig({"f"}, n_responders=0)
+
+    def test_concurrent_responders_serve_in_parallel(self):
+        config = HotCallsConfig({"f"}, n_responders=2)
+        kernel, urts, enclave, backend = build(config)
+        urts.register("f", work_handler(100_000))
+
+        def app():
+            yield from enclave.ocall("f")
+
+        threads = [kernel.spawn(app()) for _ in range(2)]
+        kernel.join(*threads)
+        assert kernel.now < 180_000  # parallel, not serialised

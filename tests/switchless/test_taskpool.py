@@ -1,0 +1,77 @@
+"""Tests for the switchless task pool claim/cancel semantics."""
+
+from repro.sgx.enclave import OcallRequest
+from repro.sim import Kernel, MachineSpec
+from repro.switchless import SwitchlessTask, TaskPool
+
+
+def make_pool(capacity=2):
+    kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+    return kernel, TaskPool(kernel, capacity)
+
+
+def make_task(kernel, name="f"):
+    return SwitchlessTask(kernel, OcallRequest(name=name))
+
+
+class TestTaskPool:
+    def test_enqueue_then_claim_fifo(self):
+        kernel, pool = make_pool()
+        t1 = make_task(kernel, "a")
+        t2 = make_task(kernel, "b")
+        assert pool.try_enqueue(t1)
+        assert pool.try_enqueue(t2)
+        assert pool.try_claim() is t1
+        assert pool.try_claim() is t2
+        assert pool.try_claim() is None
+
+    def test_full_pool_rejects(self):
+        kernel, pool = make_pool(capacity=1)
+        assert pool.try_enqueue(make_task(kernel))
+        assert not pool.try_enqueue(make_task(kernel))
+        assert pool.rejected_full == 1
+
+    def test_cancel_pending_succeeds(self):
+        kernel, pool = make_pool()
+        task = make_task(kernel)
+        pool.try_enqueue(task)
+        assert pool.try_cancel(task)
+        assert task.cancelled
+        assert pool.try_claim() is None
+
+    def test_cancel_after_claim_fails(self):
+        kernel, pool = make_pool()
+        task = make_task(kernel)
+        pool.try_enqueue(task)
+        assert pool.try_claim() is task
+        assert not pool.try_cancel(task)
+
+    def test_enqueue_fires_armed_signals(self):
+        kernel, pool = make_pool()
+        signal = pool.arm_task_signal()
+        assert not signal.fired
+        pool.try_enqueue(make_task(kernel))
+        assert signal.fired
+
+    def test_arm_signal_prefired_when_work_pending(self):
+        kernel, pool = make_pool()
+        pool.try_enqueue(make_task(kernel))
+        assert pool.arm_task_signal().fired
+
+    def test_enqueue_wakes_one_sleeper(self):
+        kernel, pool = make_pool()
+        wake1 = pool.register_sleeper()
+        wake2 = pool.register_sleeper()
+        pool.try_enqueue(make_task(kernel))
+        assert wake1.fired
+        assert not wake2.fired
+        assert pool.sleeping_count() == 1
+
+    def test_wake_all_clears_sleepers_and_signals(self):
+        kernel, pool = make_pool()
+        wake = pool.register_sleeper()
+        signal = pool.arm_task_signal()
+        pool.wake_all()
+        assert wake.fired
+        assert signal.fired
+        assert pool.sleeping_count() == 0

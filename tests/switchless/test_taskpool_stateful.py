@@ -1,0 +1,87 @@
+"""Stateful property test of the Intel task pool's claim/cancel protocol.
+
+Hypothesis drives random interleavings of enqueue / claim / cancel and
+checks the protocol's invariants: a task is executed at most once, a
+cancelled task is never observed by a worker, capacity is never exceeded,
+and accounting identities hold throughout.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.strategies import integers
+
+from repro.sgx.enclave import OcallRequest
+from repro.sim import Kernel, MachineSpec
+from repro.switchless import SwitchlessTask, TaskPool
+
+CAPACITY = 3
+
+
+class TaskPoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.kernel = Kernel(MachineSpec(n_cores=1, smt=1))
+        self.pool = TaskPool(self.kernel, CAPACITY)
+        self.pending: list[SwitchlessTask] = []
+        self.claimed: list[SwitchlessTask] = []
+        self.cancelled: list[SwitchlessTask] = []
+        self.rejected = 0
+        self.counter = 0
+
+    @rule()
+    def enqueue(self):
+        task = SwitchlessTask(self.kernel, OcallRequest(name=f"t{self.counter}"))
+        self.counter += 1
+        if self.pool.try_enqueue(task):
+            self.pending.append(task)
+        else:
+            self.rejected += 1
+
+    @rule()
+    def claim(self):
+        task = self.pool.try_claim()
+        if task is None:
+            assert not self.pending, "pool said empty while tasks pend"
+            return
+        expected = self.pending.pop(0)
+        assert task is expected, "claims must be FIFO"
+        assert not task.cancelled, "worker observed a cancelled task"
+        task.picked.fire()
+        self.claimed.append(task)
+
+    @precondition(lambda self: self.pending)
+    @rule(index=integers(min_value=0, max_value=10))
+    def cancel_some_pending(self, index):
+        task = self.pending[index % len(self.pending)]
+        assert self.pool.try_cancel(task)
+        self.pending.remove(task)
+        self.cancelled.append(task)
+
+    @precondition(lambda self: self.claimed)
+    @rule(index=integers(min_value=0, max_value=10))
+    def cancel_after_claim_fails(self, index):
+        task = self.claimed[index % len(self.claimed)]
+        assert not self.pool.try_cancel(task)
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        assert len(self.pending) <= CAPACITY
+
+    @invariant()
+    def accounting_identities(self):
+        assert self.pool.enqueued_total == (
+            len(self.pending) + len(self.claimed) + len(self.cancelled)
+        )
+        assert self.pool.rejected_full == self.rejected
+        assert self.pool.cancelled_total == len(self.cancelled)
+
+    @invariant()
+    def claimed_tasks_are_picked_exactly_once(self):
+        assert all(task.picked.fired for task in self.claimed)
+        assert all(not task.picked.fired for task in self.pending)
+
+
+TaskPoolMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestTaskPoolProtocol = TaskPoolMachine.TestCase

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import QUICK_KWARGS, main, run_experiment
+from repro.experiments import EXPERIMENTS
+
+
+class TestCli:
+    def test_list_names_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_quick_kwargs_cover_every_experiment(self):
+        assert set(QUICK_KWARGS) == set(EXPERIMENTS)
+
+    def test_run_quick_fig7(self, capsys):
+        assert main(["run", "fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "unaligned_GBps" in out
+        assert "shape check: OK" in out
+
+    def test_run_quick_sec3a(self, capsys):
+        assert main(["run", "sec3a", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_scaled_s" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_run_experiment_returns_violation_count(self, capsys):
+        assert run_experiment("fig13", quick=True) == 0
+
+    def test_csv_export(self, capsys, tmp_path):
+        assert main(["run", "fig7", "--quick", "--csv", str(tmp_path)]) == 0
+        csv_file = tmp_path / "fig7.csv"
+        assert csv_file.exists()
+        lines = csv_file.read_text().splitlines()
+        assert lines[0] == "size_B,aligned_GBps,unaligned_GBps"
+        assert len(lines) >= 3
+
+    def test_every_experiment_has_a_table(self):
+        for module in EXPERIMENTS.values():
+            assert hasattr(module, "table"), module.__name__

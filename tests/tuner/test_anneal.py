@@ -1,0 +1,80 @@
+"""Tests for the simulated-annealing tuner."""
+
+import random
+
+import pytest
+
+from repro.tuner import SimulatedAnnealingTuner, TuningSpace
+from repro.tuner.space import ConfigGenome
+
+
+def synthetic_cost(genome: ConfigGenome) -> float:
+    """An analytic stand-in for a workload: the optimum is known.
+
+    Best at switchless={'hot1','hot2'}, workers=2, rbf=0; each deviation
+    adds cost.
+    """
+    cost = 1.0
+    cost += 0.5 * len({"hot1", "hot2"} - genome.switchless)  # missing hot calls
+    cost += 0.8 * len(genome.switchless & {"cold"})  # selecting the long call
+    cost += 0.2 * abs(genome.workers - 2)
+    cost += 0.3 * (genome.retries_before_fallback / 20_000)
+    return cost
+
+
+CANDIDATES = {"hot1", "hot2", "cold"}
+
+
+class TestSimulatedAnnealing:
+    def make_tuner(self, seed=11):
+        space = TuningSpace(CANDIDATES, max_workers=4, rng=random.Random(seed))
+        return SimulatedAnnealingTuner(space, rng=random.Random(seed + 1))
+
+    def test_finds_the_known_optimum(self):
+        result = self.make_tuner().tune(synthetic_cost, budget=120)
+        assert result.best.switchless == {"hot1", "hot2"}
+        assert result.best.workers == 2
+        assert result.best.retries_before_fallback == 0
+        assert result.best_cost == pytest.approx(1.0)
+
+    def test_never_worse_than_default(self):
+        tuner = self.make_tuner()
+        default_cost = synthetic_cost(tuner.space.default_genome())
+        result = tuner.tune(synthetic_cost, budget=40)
+        assert result.best_cost <= default_cost
+
+    def test_deterministic_given_seeds(self):
+        a = self.make_tuner(seed=5).tune(synthetic_cost, budget=50)
+        b = self.make_tuner(seed=5).tune(synthetic_cost, budget=50)
+        assert a.best == b.best
+        assert a.history == b.history
+
+    def test_memoisation_counts_cache_hits(self):
+        tuner = self.make_tuner()
+        result = tuner.tune(synthetic_cost, budget=100)
+        # The 3-ocall space has only 8 * 4 * 5 = 160 points; with local
+        # moves, revisits are inevitable well before 100 evaluations.
+        assert result.cache_hits > 0
+
+    def test_history_is_monotonically_improving(self):
+        result = self.make_tuner().tune(synthetic_cost, budget=80)
+        costs = [cost for _, cost in result.history]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_improvement_metric(self):
+        result = self.make_tuner().tune(synthetic_cost, budget=120)
+        assert result.improvement_over(2.0) == pytest.approx(2.0 / result.best_cost)
+
+    def test_invalid_parameters(self):
+        space = TuningSpace({"a"})
+        with pytest.raises(ValueError):
+            SimulatedAnnealingTuner(space, cooling=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingTuner(space, initial_temperature=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingTuner(space).tune(synthetic_cost, budget=0)
+
+    def test_rejects_non_positive_costs(self):
+        tuner = self.make_tuner()
+        with pytest.raises(ValueError):
+            tuner.tune(lambda genome: 0.0, budget=5)

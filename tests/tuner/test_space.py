@@ -1,0 +1,61 @@
+"""Tests for the tuning search space."""
+
+import random
+
+import pytest
+
+from repro.tuner import ConfigGenome, TuningSpace
+from repro.tuner.space import RETRY_CHOICES
+
+
+class TestTuningSpace:
+    def test_default_genome_is_the_naive_config(self):
+        space = TuningSpace({"fread", "fwrite"})
+        default = space.default_genome()
+        assert default.switchless == {"fread", "fwrite"}
+        assert default.workers == 2
+        assert default.retries_before_fallback == 20_000
+
+    def test_mutation_changes_exactly_one_axis(self):
+        space = TuningSpace({"a", "b", "c"}, rng=random.Random(7))
+        genome = space.default_genome()
+        for _ in range(50):
+            mutated = space.mutate(genome)
+            differences = sum(
+                (
+                    mutated.switchless != genome.switchless,
+                    mutated.workers != genome.workers,
+                    mutated.retries_before_fallback != genome.retries_before_fallback,
+                )
+            )
+            assert differences <= 1
+
+    def test_workers_stay_in_bounds(self):
+        space = TuningSpace({"a"}, max_workers=3, rng=random.Random(3))
+        genome = space.default_genome()
+        for _ in range(200):
+            genome = space.mutate(genome)
+            assert 1 <= genome.workers <= 3
+            assert genome.retries_before_fallback in RETRY_CHOICES
+
+    def test_random_genome_is_seed_deterministic(self):
+        a = TuningSpace({"x", "y", "z"}, rng=random.Random(42)).random_genome()
+        b = TuningSpace({"x", "y", "z"}, rng=random.Random(42)).random_genome()
+        assert a == b
+
+    def test_to_config_round_trip(self):
+        genome = ConfigGenome(frozenset({"f"}), workers=3, retries_before_fallback=100)
+        config = genome.to_config()
+        assert config.is_switchless("f")
+        assert config.num_uworkers == 3
+        assert config.retries_before_fallback == 100
+
+    def test_invalid_space_rejected(self):
+        with pytest.raises(ValueError):
+            TuningSpace(set())
+        with pytest.raises(ValueError):
+            TuningSpace({"a"}, max_workers=0)
+
+    def test_describe(self):
+        genome = ConfigGenome(frozenset({"b", "a"}), 2, 0)
+        assert genome.describe() == "[a,b] workers=2 rbf=0"

@@ -1,0 +1,83 @@
+"""Tests for the 3-phase dynamic workload driver."""
+
+import pytest
+
+from repro.sim import Compute, Kernel, MachineSpec
+from repro.workloads.dynamic import DynamicSpec, build_schedule, paced_thread
+
+
+class TestSchedule:
+    def test_three_phases(self):
+        spec = DynamicSpec(tau_seconds=0.5, periods_per_phase=4, base_ops=10, peak_ops=80)
+        schedule = build_schedule(spec)
+        assert len(schedule) == 12
+        assert schedule[:4] == [10, 20, 40, 80]  # doubling
+        assert schedule[4:8] == [80] * 4  # constant at peak
+        assert schedule[8:] == [80, 40, 20, 10]  # halving
+
+    def test_peak_cap(self):
+        spec = DynamicSpec(periods_per_phase=10, base_ops=64, peak_ops=256)
+        schedule = build_schedule(spec)
+        assert max(schedule) == 256
+        assert schedule[3] == 256  # saturates and stays
+
+    def test_decreasing_floor(self):
+        spec = DynamicSpec(periods_per_phase=10, base_ops=64, peak_ops=256)
+        schedule = build_schedule(spec)
+        assert schedule[-1] == 64
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DynamicSpec(tau_seconds=0)
+        with pytest.raises(ValueError):
+            DynamicSpec(base_ops=0)
+        with pytest.raises(ValueError):
+            DynamicSpec(base_ops=100, peak_ops=50)
+
+
+class TestPacedThread:
+    def test_unsaturated_thread_completes_targets_and_sleeps(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        results = []
+
+        def op():
+            yield Compute(100)
+
+        schedule = [5, 10]
+        tau = 10_000.0
+        t = kernel.spawn(paced_thread(kernel, op, schedule, tau, results))
+        kernel.join(t)
+        assert [r.completed_ops for r in results] == [5, 10]
+        assert [r.target_ops for r in results] == [5, 10]
+        # Two full periods elapsed (thread slept out the slack).
+        assert kernel.now == pytest.approx(2 * tau)
+
+    def test_saturated_thread_truncates_at_period_boundary(self):
+        kernel = Kernel(MachineSpec(n_cores=2, smt=1))
+        results = []
+
+        def op():
+            yield Compute(5_000)
+
+        schedule = [10]  # 50k cycles of offered work in a 10k-cycle period
+        t = kernel.spawn(paced_thread(kernel, op, schedule, 10_000.0, results))
+        kernel.join(t)
+        # Only 2 of the 10 offered ops fit: achieved < offered.
+        assert results[0].completed_ops == 2
+        assert results[0].target_ops == 10
+        assert results[0].duration_cycles == pytest.approx(10_000)
+
+    def test_throughput_metrics(self):
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1, freq_hz=1e9))
+        results = []
+
+        def op():
+            yield Compute(1_000)
+
+        t = kernel.spawn(paced_thread(kernel, op, [100], 1e6, results))
+        kernel.join(t)
+        period = results[0]
+        # 100 ops in 100k cycles of work: burst rate 1M ops/s at 1 GHz.
+        assert period.throughput_ops_per_s(1e9) == pytest.approx(1e6)
+        # Sustained over the full 1 ms period: 100 ops / 1 ms = 100k/s.
+        assert period.sustained_ops_per_s(1e9, 1e6) == pytest.approx(1e5)

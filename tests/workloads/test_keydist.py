@@ -1,0 +1,91 @@
+"""Tests for the key-distribution generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.keydist import SequentialKeys, UniformKeys, ZipfKeys
+
+
+class TestSequentialKeys:
+    def test_counts_up(self):
+        gen = SequentialKeys()
+        assert [gen.next_key() for _ in range(3)] == [
+            (0).to_bytes(8, "big"),
+            (1).to_bytes(8, "big"),
+            (2).to_bytes(8, "big"),
+        ]
+
+    def test_key_width(self):
+        gen = SequentialKeys(key_size=4)
+        assert len(gen.next_key()) == 4
+
+
+class TestUniformKeys:
+    def test_seed_determinism(self):
+        a = UniformKeys(1000, seed=7)
+        b = UniformKeys(1000, seed=7)
+        assert [a.next_key() for _ in range(50)] == [b.next_key() for _ in range(50)]
+
+    def test_keys_within_keyspace(self):
+        gen = UniformKeys(16, seed=1)
+        for _ in range(200):
+            assert int.from_bytes(gen.next_key(), "big") < 16
+
+    def test_roughly_uniform(self):
+        gen = UniformKeys(4, seed=3)
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[int.from_bytes(gen.next_key(), "big")] += 1
+        assert min(counts) > 800  # each bucket near 1000
+
+
+class TestZipfKeys:
+    def test_hottest_key_dominates(self):
+        gen = ZipfKeys(1000, s=0.99, seed=5)
+        counts = {}
+        for _ in range(5000):
+            rank = gen.next_rank()
+            counts[rank] = counts.get(rank, 0) + 1
+        # Rank 0 must be the most frequent by a wide margin.
+        assert counts.get(0, 0) == max(counts.values())
+        assert counts.get(0, 0) > 5000 / 1000 * 20
+
+    def test_hot_fraction_analytics(self):
+        gen = ZipfKeys(100, s=1.0)
+        assert gen.hot_fraction(100) == pytest.approx(1.0)
+        assert 0.15 < gen.hot_fraction(1) < 0.25  # 1/H_100 ~ 0.19
+        with pytest.raises(ValueError):
+            gen.hot_fraction(0)
+
+    def test_s_zero_is_uniform(self):
+        gen = ZipfKeys(10, s=0.0, seed=2)
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[gen.next_rank()] += 1
+        assert min(counts) > 5000 / 10 * 0.7
+
+    def test_seed_determinism(self):
+        a = ZipfKeys(50, seed=9)
+        b = ZipfKeys(50, seed=9)
+        assert [a.next_rank() for _ in range(100)] == [
+            b.next_rank() for _ in range(100)
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        keyspace=st.integers(min_value=1, max_value=200),
+        s=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_ranks_always_in_range(self, keyspace, s):
+        gen = ZipfKeys(keyspace, s=s, seed=0)
+        for _ in range(50):
+            assert 0 <= gen.next_rank() < keyspace
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfKeys(0)
+        with pytest.raises(ValueError):
+            ZipfKeys(10, s=-1)
+        with pytest.raises(ValueError):
+            UniformKeys(0)
