@@ -6,21 +6,33 @@ how many ocalls and scheduler events per wall-clock second the DES kernel
 sustains.  It guards against performance regressions in the kernel's hot
 paths (dispatch, spin interrupts, accounting), which directly bound how
 large a workload the figure benches can afford.
+
+The telemetry guards at the bottom are plain tests (no ``benchmark``
+fixture) so they also run under a bare ``pytest`` invocation: attaching a
+:class:`~repro.telemetry.TelemetrySession` must not perturb the simulated
+outcome, and must cost less than 10% extra host time.
 """
+
+import gc
+import time
 
 from repro.core import ZcConfig, ZcSwitchlessBackend
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, paper_machine
+from repro.telemetry import TelemetrySession
 
 N_OCALLS = 3_000
 
 
-def simulate_ocall_storm(use_zc: bool) -> int:
+def simulate_ocall_storm(use_zc: bool, session: TelemetrySession | None = None) -> Kernel:
     kernel = Kernel(paper_machine())
+    capture = session.attach(kernel, label="storm") if session is not None else None
     urts = UntrustedRuntime()
     enclave = Enclave(kernel, urts)
     if use_zc:
         enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+    if capture is not None:
+        capture.bind_enclave(enclave)
 
     def handler():
         yield Compute(500)
@@ -36,17 +48,88 @@ def simulate_ocall_storm(use_zc: bool) -> int:
     kernel.join(*threads)
     enclave.stop_backend()
     kernel.run()
-    return kernel.events_processed
+    if capture is not None:
+        capture.finalize()
+    return kernel
 
 
 def test_regular_path_throughput(benchmark):
-    events = benchmark(simulate_ocall_storm, False)
+    kernel = benchmark(simulate_ocall_storm, False)
     # The regular path is O(1) simulator events per ocall.
-    assert events < 12 * N_OCALLS
+    assert kernel.events_processed < 12 * N_OCALLS
 
 
 def test_switchless_path_throughput(benchmark):
-    events = benchmark(simulate_ocall_storm, True)
+    kernel = benchmark(simulate_ocall_storm, True)
     # The switchless handshake costs a few more events per call but must
     # stay O(1): no per-pause event explosions.
-    assert events < 25 * N_OCALLS
+    assert kernel.events_processed < 25 * N_OCALLS
+
+
+# ----------------------------------------------------------------------
+# Telemetry guards (plain tests, no benchmark fixture)
+# ----------------------------------------------------------------------
+def test_disabled_runs_carry_no_instrumentation():
+    # With no session, the hot path pays a single ``is None`` check: no
+    # bus, no ledger, nothing recorded — a disabled run executes the same
+    # code the seed did, so its host time stays within noise of the seed.
+    kernel = simulate_ocall_storm(True)
+    assert kernel.bus is None
+    assert kernel.sched_bus is None
+    assert kernel.ledger is None
+    assert all(thread.ledger_cells is None for thread in kernel.threads)
+
+
+def test_telemetry_preserves_simulation():
+    baseline = simulate_ocall_storm(True)
+    with TelemetrySession() as session:
+        instrumented = simulate_ocall_storm(True, session=session)
+    # Observation must not perturb the simulated outcome.
+    assert instrumented.now == baseline.now
+    assert instrumented.events_processed == baseline.events_processed
+    capture = session.captures[0]
+    capture.assert_balanced()
+    assert len(capture.events) > 0
+
+
+def test_telemetry_host_overhead_under_ten_percent():
+    # Compare minima of interleaved runs: CPU time is one-sided noise
+    # (contention only ever adds), so min-of-N approximates the
+    # uncontended cost of each arm, and interleaving keeps slow drift of
+    # the host from landing on one arm only.
+    def disabled() -> None:
+        simulate_ocall_storm(True)
+
+    def enabled() -> None:
+        with TelemetrySession() as session:
+            simulate_ocall_storm(True, session=session)
+
+    disabled()
+    enabled()  # warm up allocators / code paths
+    disabled_s = enabled_s = float("inf")
+    # Freeze the cyclic GC while timing: collections land on whichever
+    # arm happens to cross the allocation threshold, adding variance but
+    # no signal (the enabled/disabled ratio is unchanged with GC off —
+    # telemetry's recorders hold scalars, not cycles).
+    gc.collect()
+    gc.disable()
+    try:
+        # One round rarely gives both arms a contention-free run on a busy
+        # host; keep accumulating minima (one-sided noise only shrinks
+        # them) and only fail once extra rounds no longer help.
+        for _ in range(3):
+            for _ in range(9):
+                t0 = time.process_time()
+                disabled()
+                disabled_s = min(disabled_s, time.process_time() - t0)
+                t0 = time.process_time()
+                enabled()
+                enabled_s = min(enabled_s, time.process_time() - t0)
+            if enabled_s < 1.10 * disabled_s:
+                break
+    finally:
+        gc.enable()
+    assert enabled_s < 1.10 * disabled_s, (
+        f"telemetry overhead {enabled_s / disabled_s - 1:.1%} exceeds 10% "
+        f"({enabled_s * 1e3:.1f}ms vs {disabled_s * 1e3:.1f}ms)"
+    )

@@ -18,6 +18,12 @@ class LatencyRecorder:
             raise ValueError("latency must be >= 0")
         self.samples_cycles.append(latency_cycles)
 
+    def record_many(self, latencies_cycles: list[float]) -> None:
+        """Bulk-record samples (one validation pass, one extend)."""
+        if latencies_cycles and min(latencies_cycles) < 0:
+            raise ValueError("latency must be >= 0")
+        self.samples_cycles.extend(latencies_cycles)
+
     @property
     def count(self) -> int:
         """Number of recorded entries."""
@@ -42,6 +48,17 @@ class LatencyRecorder:
     def max(self) -> float:
         """Largest recorded sample."""
         return max(self.samples_cycles) if self.samples_cycles else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """count/mean/p50/p95/p99/max convenience summary."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max(),
+        }
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,28 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_cycle_budget(
+    rows: Sequence[tuple[str, dict[str, float]]],
+    categories: Sequence[str],
+    title: str = "Cycle budget (Mcycles)",
+    scale: float = 1e-6,
+    precision: int = 2,
+) -> str:
+    """Render per-cell cycle totals as one table row per configuration.
+
+    ``rows`` pairs a cell label with its category → cycles mapping (e.g.
+    a :class:`repro.telemetry.ledger.LedgerSnapshot`'s
+    ``wall_by_category``); a trailing ``total`` column sums the listed
+    categories so conservation can be eyeballed against capacity.
+    """
+    headers = ["cell", *categories, "total"]
+    table_rows = []
+    for label, by_category in rows:
+        cells = [by_category.get(cat, 0.0) * scale for cat in categories]
+        table_rows.append([label, *cells, sum(cells)])
+    return format_table(headers, table_rows, title=title, precision=precision)
+
+
 def format_series(
     name: str,
     points: Sequence[tuple[Any, Any]],

@@ -11,6 +11,13 @@ Each run prints the series the paper's figure plots and the result of the
 shape check; the exit code is non-zero if any shape expectation is
 violated.  ``--csv DIR`` additionally writes each figure's data table as
 ``<experiment>.csv`` for external plotting.
+
+Observability (see ``docs/observability.md``):
+
+- ``--telemetry DIR`` captures the full telemetry suite per experiment —
+  JSONL event log, Chrome trace, Prometheus-style metrics and a
+  cycle-budget table (also printed after the report);
+- ``--trace DIR`` writes just the Chrome trace (scheduler lanes + ocalls).
 """
 
 from __future__ import annotations
@@ -40,14 +47,37 @@ QUICK_KWARGS: dict[str, dict[str, Any]] = {
 }
 
 
-def run_experiment(exp_id: str, quick: bool, csv_dir: str | None = None) -> int:
+def run_experiment(
+    exp_id: str,
+    quick: bool,
+    csv_dir: str | None = None,
+    telemetry_dir: str | None = None,
+    trace_dir: str | None = None,
+) -> int:
     """Run one experiment; returns the number of shape violations."""
     module = EXPERIMENTS[exp_id]
     kwargs = QUICK_KWARGS.get(exp_id, {}) if quick else {}
     started = time.monotonic()
-    result = module.run(**kwargs)
+    session = None
+    if telemetry_dir is not None or trace_dir is not None:
+        from repro.telemetry import TelemetrySession
+
+        session = TelemetrySession()
+    if session is not None:
+        with session:
+            result = module.run(**kwargs)
+    else:
+        result = module.run(**kwargs)
     elapsed = time.monotonic() - started
     print(module.report(result))
+    if session is not None:
+        if telemetry_dir is not None:
+            paths = session.export(telemetry_dir, exp_id)
+            print(f"\n{session.render_cycle_budget()}")
+            print(f"[telemetry written to {', '.join(sorted(paths.values()))}]")
+        if trace_dir is not None:
+            path = session.export_trace(trace_dir, exp_id)
+            print(f"[trace written to {path}]")
     if csv_dir is not None:
         headers, rows = module.table(result)
         path = os.path.join(csv_dir, f"{exp_id}.csv")
@@ -80,6 +110,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     run_parser.add_argument(
         "--csv", metavar="DIR", help="also write <experiment>.csv into DIR"
+    )
+    run_parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="capture telemetry (events/trace/metrics/cycle budget) into DIR",
+    )
+    run_parser.add_argument(
+        "--trace", metavar="DIR", help="write a Chrome trace per experiment into DIR"
     )
     report_parser = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -124,7 +162,9 @@ def main(argv: list[str] | None = None) -> int:
     total_violations = 0
     for exp_id in targets:
         print(f"\n### {exp_id} " + "#" * 50)
-        total_violations += run_experiment(exp_id, args.quick, args.csv)
+        total_violations += run_experiment(
+            exp_id, args.quick, args.csv, args.telemetry, args.trace
+        )
     return 1 if total_violations else 0
 
 

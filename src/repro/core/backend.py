@@ -101,6 +101,8 @@ class ZcSwitchlessBackend(CallBackend):
             self.worker_threads.append(thread)
         self._active_count = self.initial_workers
         self.stats.record_worker_count(kernel.now, self.initial_workers)
+        if kernel.bus is not None:
+            kernel.bus.emit("zc.workers", count=self.initial_workers)
 
         if self.config.enable_scheduler:
             self.scheduler = ZcScheduler(self, self.config)
@@ -135,6 +137,9 @@ class ZcSwitchlessBackend(CallBackend):
         if count != self._active_count:
             self._active_count = count
             self.stats.record_worker_count(self.kernel.now, count)
+            bus = self.kernel.bus
+            if bus is not None:
+                bus.emit("zc.workers", count=count)
 
     @property
     def active_worker_target(self) -> int:
@@ -158,10 +163,13 @@ class ZcSwitchlessBackend(CallBackend):
         """Execute one call request (simulated program on the caller thread)."""
         enclave = self.enclave
         cost = enclave.cost
+        bus = enclave.kernel.bus
         worker = self._find_unused()
         if worker is None:
             # §IV-C: immediate fallback, no busy-waiting at all.
             self.stats.record_fallback()
+            if bus is not None:
+                bus.emit("zc.fallback", name=request.name)
             result = yield from self._regular(request)
             request.mode = "fallback"
             return result
@@ -177,6 +185,8 @@ class ZcSwitchlessBackend(CallBackend):
             yield from enclave.regular_ocall(POOL_REALLOC_OCALL, worker.index)
             worker.pool.reset()
             self.stats.record_pool_realloc()
+            if bus is not None:
+                bus.emit("zc.pool_realloc", worker=worker.index, frame_bytes=frame_bytes)
             allocated = worker.pool.try_alloc(frame_bytes)
             assert allocated, "fresh pool rejected an allocation"
 
@@ -193,6 +203,9 @@ class ZcSwitchlessBackend(CallBackend):
         result = worker.result
         worker.request = None
         worker.set_status(WorkerStatus.UNUSED)
+        # No per-success emit: ``ocall.complete`` (published by the enclave)
+        # already carries mode="switchless"; only exceptional paths
+        # (fallback, pool realloc) are bus events.
         self.stats.record_switchless()
         request.mode = "switchless"
         return result

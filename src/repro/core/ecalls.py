@@ -142,9 +142,12 @@ class ZcEcallRuntime:
         """Execute one ecall request (simulated program on the caller thread)."""
         enclave = self.enclave
         cost = enclave.cost
+        bus = enclave.kernel.bus
         worker = self._find_unused()
         if worker is None:
             self.stats.record_fallback()
+            if bus is not None:
+                bus.emit("zc.fallback", name=request.name, path="ecall")
             result = yield from self._regular_ecall(request)
             request.mode = "fallback"
             return result

@@ -98,6 +98,9 @@ class ZcScheduler:
                 else:
                     u_i = wasted_cycles(f_i, t_es, i, micro)
                 utilities.append(u_i)
+                bus = kernel.bus
+                if bus is not None:
+                    bus.emit("zc.sched.probe", workers=i, fallbacks=f_i, u_cycles=u_i)
                 if u_i < best_u:
                     best_u = u_i
                     best_m = i
@@ -106,4 +109,7 @@ class ZcScheduler:
             backend.set_active_workers(best_m)
             backend.stats.scheduler_decisions += 1
             self.decisions.append((kernel.now, utilities, best_m))
+            bus = kernel.bus
+            if bus is not None:
+                bus.emit("zc.sched.decision", utilities=list(utilities), chosen=best_m)
             yield Sleep(quantum)

@@ -36,8 +36,16 @@ class ZcStats:
         self.pool_reallocs += 1
 
     def record_worker_count(self, t_cycles: float, count: int) -> None:
-        """Log that ``count`` workers are active from ``t_cycles`` on."""
-        self.worker_count_timeline.append((t_cycles, count))
+        """Log that ``count`` workers are active from ``t_cycles`` on.
+
+        Consecutive entries with the same count coalesce (the earliest
+        timestamp wins): the scheduler re-logs unchanged decisions every
+        quantum, which would otherwise bloat the timeline for nothing.
+        """
+        timeline = self.worker_count_timeline
+        if timeline and timeline[-1][1] == count:
+            return
+        timeline.append((t_cycles, count))
 
     @property
     def total_calls(self) -> int:

@@ -24,6 +24,7 @@ from repro.hostos import (
 from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime
 from repro.sim import Kernel, MachineSpec, paper_machine
 from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.telemetry.session import CellCapture, active_session
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,7 @@ class Stack:
     enclave: Enclave
     procstat: ProcStat
     monitor: CpuUsageMonitor | None = None
+    telemetry: CellCapture | None = None
     _start_sample: object = None
 
     def start_measuring(self) -> None:
@@ -94,6 +96,9 @@ class Stack:
             self.monitor.stop()
         self.enclave.stop_backend()
         self.kernel.run()
+        if self.telemetry is not None:
+            # After the drain, so worker exit-cleanup cycles are attributed.
+            self.telemetry.finalize()
 
 
 def build_stack(
@@ -113,6 +118,8 @@ def build_stack(
     """
     machine = machine if machine is not None else paper_machine()
     kernel = Kernel(machine)
+    session = active_session()
+    capture = session.attach(kernel, label=spec.label) if session is not None else None
     fs = HostFileSystem()
     fs.mount_device("/dev/null", DevNull())
     fs.mount_device("/dev/zero", DevZero())
@@ -120,7 +127,7 @@ def build_stack(
         for path, data in files.items():
             fs.create(path, data)
     urts = UntrustedRuntime()
-    PosixHost(fs, syscall_costs).install(urts)
+    PosixHost(fs, syscall_costs, kernel=kernel).install(urts)
     enclave = Enclave(kernel, urts, cost=cost, memcpy_model=memcpy_model)
 
     if spec.kind == "intel":
@@ -138,6 +145,8 @@ def build_stack(
     monitor = None
     if monitor_interval_s is not None:
         monitor = CpuUsageMonitor(kernel, kernel.cycles(monitor_interval_s)).start()
+    if capture is not None:
+        capture.bind_enclave(enclave)
     return Stack(
         spec=spec,
         kernel=kernel,
@@ -145,4 +154,5 @@ def build_stack(
         enclave=enclave,
         procstat=ProcStat(kernel),
         monitor=monitor,
+        telemetry=capture,
     )

@@ -28,9 +28,13 @@ class PosixHost:
         self,
         fs: HostFileSystem,
         costs: SyscallCostModel | None = None,
+        kernel: object | None = None,
     ) -> None:
         self.fs = fs
         self.costs = costs if costs is not None else SyscallCostModel()
+        #: Optional simulation kernel; when it carries a telemetry bus at
+        #: install time, handlers are wrapped to publish ``syscall`` events.
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     # stdio surface
@@ -128,5 +132,32 @@ class PosixHost:
         }
 
     def install(self, urts: UntrustedRuntime) -> None:
-        """Register every handler into ``urts``."""
-        urts.register_many(self.handlers())  # type: ignore[arg-type]
+        """Register every handler into ``urts``.
+
+        The wrap-or-not decision is taken once here, so runs without
+        telemetry pay nothing per call.
+        """
+        kernel = self.kernel
+        if kernel is None or getattr(kernel, "bus", None) is None:
+            urts.register_many(self.handlers())  # type: ignore[arg-type]
+            return
+        urts.register_many(
+            {
+                name: self._published(name, handler, kernel)
+                for name, handler in self.handlers().items()
+            }  # type: ignore[arg-type]
+        )
+
+    @staticmethod
+    def _published(name: str, handler, kernel) -> object:
+        """Wrap ``handler`` to emit one ``syscall`` event per invocation."""
+
+        def wrapped(*args: object) -> Program:
+            t0 = kernel.now
+            result = yield from handler(*args)
+            bus = kernel.bus  # may have been detached at capture finalize
+            if bus is not None:
+                bus.emit("syscall", name=name, host_cycles=kernel.now - t0)
+            return result
+
+        return wrapped

@@ -83,16 +83,66 @@ def call_trace_events(
     ]
 
 
+def counter_events(
+    name: str,
+    samples: list[tuple[float, float]],
+    freq_hz: float = 3.8e9,
+    pid: int = 0,
+) -> list[dict]:
+    """Counter-track ("ph": "C") events from a (t_cycles, value) timeline.
+
+    Renders as a stepped area chart in the trace viewer — used for the ZC
+    backend's active-worker count over time.
+    """
+    return [
+        {
+            "name": name,
+            "ph": "C",
+            "ts": _us(t_cycles, freq_hz),
+            "pid": pid,
+            "args": {name: value},
+        }
+        for t_cycles, value in samples
+    ]
+
+
+def instant_events(
+    items: list[tuple[float, str, dict]],
+    freq_hz: float = 3.8e9,
+    pid: int = 0,
+    tid: int = 0,
+) -> list[dict]:
+    """Instant ("ph": "i") events from (t_cycles, name, args) tuples.
+
+    Used for point-in-time markers: scheduler decisions, fallbacks, pool
+    reallocations, worker sleep/wake edges.
+    """
+    return [
+        {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": _us(t_cycles, freq_hz),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+        for t_cycles, name, args in items
+    ]
+
+
 def export_chrome_trace(
     path: str,
     sched: "SchedTrace | None" = None,
     calls: list["CallEvent"] | None = None,
     freq_hz: float = 3.8e9,
+    extra: list[dict] | None = None,
 ) -> int:
     """Write a combined trace JSON to ``path``; returns the event count.
 
     Metadata events name the tracks: pid 0 is "CPUs" (one tid per logical
-    CPU), pid 1 is "ocalls".
+    CPU), pid 1 is "ocalls".  ``extra`` appends pre-built trace events
+    (counters, instants) verbatim.
     """
     events: list[dict] = [
         {"name": "process_name", "ph": "M", "pid": 0, "args": {"name": "CPUs"}},
@@ -102,6 +152,8 @@ def export_chrome_trace(
         events.extend(sched_trace_events(sched, freq_hz))
     if calls is not None:
         events.extend(call_trace_events(calls, freq_hz))
+    if extra:
+        events.extend(extra)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(events, handle)
     return len(events)

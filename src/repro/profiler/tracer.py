@@ -15,17 +15,23 @@ overhead, which could be modelled by passing ``probe_cycles``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from functools import partial
+from typing import TYPE_CHECKING, NamedTuple
 
+from repro.sim.instructions import Compute
 from repro.sim.kernel import Program
 
 if TYPE_CHECKING:
     from repro.sgx.enclave import Enclave, OcallRequest
 
 
-@dataclass(frozen=True)
-class CallEvent:
-    """One completed ocall."""
+class CallEvent(NamedTuple):
+    """One completed ocall.
+
+    A ``NamedTuple`` for cheap bulk construction: the tracer records raw
+    ``(request, completed_at)`` pairs on the hot path and materializes
+    ``CallEvent`` objects lazily when :attr:`CallTracer.events` is read.
+    """
 
     name: str
     issued_at_cycles: float
@@ -54,11 +60,12 @@ class CallTracer:
 
     max_events: int = 0
     probe_cycles: float = 0.0
-    events: list[CallEvent] = field(default_factory=list)
     dropped: int = 0
     _enclave: "Enclave | None" = None
     _original_execute: object = None
-    _host_cycles_by_request: dict[int, float] = field(default_factory=dict)
+    #: CallEvent-shaped plain tuples not yet wrapped as CallEvents.
+    _pending: list = field(default_factory=list)
+    _events: list[CallEvent] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Installation
@@ -73,17 +80,24 @@ class CallTracer:
         self._original_execute = original
         tracer = self
 
-        def traced_execute(request: "OcallRequest") -> Program:
-            from repro.sim.instructions import Compute
+        kernel = enclave.kernel
+        probe_cycles = self.probe_cycles
 
-            start = enclave.kernel.now
-            if tracer.probe_cycles:
-                yield Compute(tracer.probe_cycles, tag="tracer-probe")
-            result = yield from original(request)
-            tracer._host_cycles_by_request[id(request)] = enclave.kernel.now - start
-            return result
+        if probe_cycles:
 
-        urts.execute = traced_execute  # type: ignore[method-assign]
+            def traced_execute(request: "OcallRequest") -> Program:
+                start = kernel.now
+                yield Compute(probe_cycles, tag="tracer-probe")
+                result = yield from original(request)
+                request.host_cycles = kernel.now - start
+                return result
+
+            urts.execute = traced_execute  # type: ignore[method-assign]
+        else:
+            # The common case avoids a wrapper generator entirely: a
+            # delegating wrapper costs one extra frame traversal per
+            # instruction the handler yields.
+            urts.execute = partial(urts.execute_timed, kernel=kernel)  # type: ignore[method-assign]
         enclave.completion_hooks.append(self._on_complete)
         return self
 
@@ -99,28 +113,56 @@ class CallTracer:
     # Hook
     # ------------------------------------------------------------------
     def _on_complete(self, request: "OcallRequest", completed_at: float) -> None:
-        host_cycles = self._host_cycles_by_request.pop(id(request), 0.0)
-        event = CallEvent(
-            name=request.name,
-            issued_at_cycles=request.issued_at,
-            completed_at_cycles=completed_at,
-            host_cycles=host_cycles,
-            mode=request.mode,
-            in_bytes=request.in_bytes,
-            out_bytes=request.out_bytes,
+        # Hot path: one per ocall.  Record a CallEvent-shaped plain tuple:
+        # cheaper to build than the NamedTuple (wrapped lazily by the
+        # events property), and it retains only scalars — holding the
+        # request itself alive until finalize would feed every completed
+        # call's object graph to the garbage collector.
+        pending = self._pending
+        pending.append(
+            (
+                request.name,
+                request.issued_at,
+                completed_at,
+                request.host_cycles,
+                request.mode,
+                request.in_bytes,
+                request.out_bytes,
+            )
         )
-        self.events.append(event)
-        if self.max_events and len(self.events) > self.max_events:
-            self.events.pop(0)
+        if self.max_events and len(pending) + len(self._events) > self.max_events:
+            if self._events:
+                self._events.pop(0)
+            else:
+                pending.pop(0)
             self.dropped += 1
 
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
     @property
+    def events(self) -> list[CallEvent]:
+        """The recorded events, materializing any deferred entries."""
+        pending = self._pending
+        if pending:
+            self._events.extend(map(CallEvent._make, pending))
+            pending.clear()
+        return self._events
+
+    @property
     def count(self) -> int:
         """Number of recorded entries."""
-        return len(self.events)
+        return len(self._pending) + len(self._events)
+
+    def latency_samples(self) -> list[float]:
+        """End-to-end latency (cycles) per call, without materializing."""
+        return [e.latency_cycles for e in self._events] + [
+            entry[2] - entry[1] for entry in self._pending
+        ]
+
+    def host_samples(self) -> list[float]:
+        """Host-handler duration (cycles) per call, without materializing."""
+        return [e.host_cycles for e in self._events] + [entry[3] for entry in self._pending]
 
     def events_for(self, name: str) -> list[CallEvent]:
         """Recorded events for the named ocall."""

@@ -46,6 +46,9 @@ class OcallRequest:
         issued_at: Simulated cycle at which the caller issued the call.
         mode: How the call was eventually executed; set by the backend to
             ``"regular"``, ``"switchless"`` or ``"fallback"``.
+        host_cycles: Simulated cycles the host handler took in isolation;
+            written by :class:`repro.profiler.tracer.CallTracer` when one
+            is installed, 0.0 otherwise.
     """
 
     name: str
@@ -55,6 +58,7 @@ class OcallRequest:
     aligned: bool = True
     issued_at: float = 0.0
     mode: str = "unset"
+    host_cycles: float = 0.0
 
 
 @dataclass
@@ -230,6 +234,19 @@ class Enclave:
         self.stats.record(request, self.kernel.now)
         for hook in self.completion_hooks:
             hook(request, self.kernel.now)
+        # Per-call completions go on the bus only when explicitly asked
+        # for: the call tracer records every call anyway, and an emit per
+        # ocall is the single largest host-time cost of telemetry.
+        bus = self.kernel.bus
+        if bus is not None and bus.capture_calls:
+            bus.emit(
+                "ocall.complete",
+                name=request.name,
+                mode=request.mode,
+                latency_cycles=self.kernel.now - request.issued_at,
+                in_bytes=request.in_bytes,
+                out_bytes=request.out_bytes,
+            )
         if isinstance(result, HostFault):
             raise result.exception
         return result
@@ -267,6 +284,17 @@ class Enclave:
         self.stats.record(request, self.kernel.now)
         for hook in self.completion_hooks:
             hook(request, self.kernel.now)
+        # See ocall(): per-call bus events are opt-in via capture_calls.
+        bus = self.kernel.bus
+        if bus is not None and bus.capture_calls:
+            bus.emit(
+                "ocall.complete",
+                name=request.name,
+                mode=request.mode,
+                latency_cycles=self.kernel.now - request.issued_at,
+                in_bytes=request.in_bytes,
+                out_bytes=request.out_bytes,
+            )
         if isinstance(result, HostFault):
             raise result.exception
         return result
@@ -318,6 +346,14 @@ class Enclave:
         if out_bytes:
             yield Compute(self.memcpy_model.cycles(out_bytes, aligned), tag="marshal-out")
         self.ecall_stats.record(request, self.kernel.now)
+        bus = self.kernel.bus
+        if bus is not None:
+            bus.emit(
+                "ecall.complete",
+                name=request.name,
+                mode=request.mode,
+                latency_cycles=self.kernel.now - request.issued_at,
+            )
         if isinstance(result, HostFault):
             raise result.exception
         return result

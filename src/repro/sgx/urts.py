@@ -85,3 +85,25 @@ class UntrustedRuntime:
         except Exception as exc:  # noqa: BLE001 - transported to the caller
             return HostFault(exc)
         return result
+
+    def execute_timed(self, request: "OcallRequest", kernel) -> Program:
+        """:meth:`execute` that also stamps ``request.host_cycles``.
+
+        A mirror rather than a wrapper: the call tracer substitutes this
+        for ``execute`` directly, because a delegating wrapper generator
+        would add a frame traversal to every instruction the handler
+        yields.  Keep the dispatch logic in sync with :meth:`execute`.
+        """
+        start = kernel.now
+        handler = self._handlers.get(request.name)
+        if handler is None:
+            return HostFault(
+                UnknownOcallError(f"no handler registered for ocall {request.name!r}")
+            )
+        try:
+            result = yield from handler(*request.args)
+        except Exception as exc:  # noqa: BLE001 - transported to the caller
+            request.host_cycles = kernel.now - start
+            return HostFault(exc)
+        request.host_cycles = kernel.now - start
+        return result

@@ -70,7 +70,16 @@ class _Timer:
 class _Activity:
     """Work currently occupying a logical CPU (a Compute or a Spin)."""
 
-    __slots__ = ("kind", "work_total", "work_done", "last_update", "speed", "timer", "spin_event")
+    __slots__ = (
+        "kind",
+        "work_total",
+        "work_done",
+        "last_update",
+        "speed",
+        "timer",
+        "spin_event",
+        "tag",
+    )
 
     def __init__(
         self,
@@ -79,6 +88,7 @@ class _Activity:
         speed: float,
         now: float,
         spin_event: Event | None = None,
+        tag: str | None = None,
     ) -> None:
         self.kind = kind  # "compute" or "spin"
         self.work_total = work_total
@@ -87,6 +97,7 @@ class _Activity:
         self.speed = speed
         self.timer: _Timer | None = None
         self.spin_event = spin_event
+        self.tag = tag
 
 
 class SimThread:
@@ -118,6 +129,7 @@ class SimThread:
         "slice_end",
         "cpu_cycles",
         "cycles_by",
+        "ledger_cells",
         "_pending",
         "_resume_value",
         "_spin_result",
@@ -146,6 +158,10 @@ class SimThread:
         self.slice_end = 0.0
         self.cpu_cycles = 0.0
         self.cycles_by: dict[str, float] = {"compute": 0.0, "spin": 0.0}
+        #: Lazily created by the kernel when a telemetry ledger is
+        #: attached: {activity_kind: {tag: [wall, work]}}, folded into the
+        #: ledger's table at snapshot time (see CycleLedger).
+        self.ledger_cells: dict[str, dict[str | None, list[float]]] | None = None
         self._pending: Compute | Spin | None = None
         self._resume_value: Any = None
         self._spin_result: bool | None = None
@@ -239,6 +255,14 @@ class Kernel:
         self.spec = spec if spec is not None else MachineSpec()
         self.now = 0.0
         self.trace = trace
+        #: Optional telemetry hooks (see :mod:`repro.telemetry`); all stay
+        #: None unless a TelemetrySession attaches, costing one attribute
+        #: check on the accounting path.  ``sched_bus`` is the bus again
+        #: iff ``bus.capture_sched`` — pre-resolved by whoever attaches,
+        #: so the dispatch path pays a single check per event.
+        self.bus: Any = None
+        self.sched_bus: Any = None
+        self.ledger: Any = None
         self._seq = itertools.count()
         self._heap: list[_Timer] = []
         self._micro: deque[Callable[[], None]] = deque()
@@ -437,6 +461,9 @@ class Kernel:
         thread.slice_end = self.now + self.spec.timeslice_cycles
         if self.trace is not None:
             self.trace.record(self.now, "dispatch", thread.name, core.index)
+        bus = self.sched_bus
+        if bus is not None:
+            bus.emit("sched.dispatch", thread=thread.name, cpu=core.index)
         self._sibling_changed(core)
         pending = thread._pending
         thread._pending = None
@@ -449,17 +476,23 @@ class Kernel:
                 thread._spin_result = None
                 self._step(thread, True)
             else:
-                self._start_work(core, thread, "spin", pending.timeout, pending.event)
+                self._start_work(
+                    core, thread, "spin", pending.timeout, pending.event, tag=pending.tag
+                )
         else:
-            self._start_work(core, thread, "compute", pending.cycles)
+            self._start_work(core, thread, "compute", pending.cycles, tag=pending.tag)
 
     def _release_core(self, thread: SimThread) -> None:
         core = thread.core
         if core is None:
             return
-        if self.trace is not None and thread.state is not ThreadState.DONE:
+        if thread.state is not ThreadState.DONE:
             event = "preempt" if thread.state is ThreadState.RUNNING else "park"
-            self.trace.record(self.now, event, thread.name, core.index)
+            if self.trace is not None:
+                self.trace.record(self.now, event, thread.name, core.index)
+            bus = self.sched_bus
+            if bus is not None:
+                bus.emit(f"sched.{event}", thread=thread.name, cpu=core.index)
         thread.core = None
         core.thread = None
         core.activity = None
@@ -502,7 +535,7 @@ class Kernel:
                 if instr.cycles <= 0:
                     value = None
                     continue
-                self._start_work(core, thread, "compute", instr.cycles)
+                self._start_work(core, thread, "compute", instr.cycles, tag=instr.tag)
                 return
             if isinstance(instr, Spin):
                 if instr.event.fired:
@@ -512,7 +545,9 @@ class Kernel:
                     value = False
                     continue
                 instr.event._spinners.append(thread)
-                self._start_work(core, thread, "spin", instr.timeout, instr.event)
+                self._start_work(
+                    core, thread, "spin", instr.timeout, instr.event, tag=instr.tag
+                )
                 return
             if isinstance(instr, Block):
                 if instr.event.fired:
@@ -545,6 +580,9 @@ class Kernel:
         if self.trace is not None:
             cpu = thread.core.index if thread.core is not None else -1
             self.trace.record(self.now, "finish", thread.name, cpu)
+        bus = self.sched_bus
+        if bus is not None:
+            bus.emit("sched.finish", thread=thread.name)
         if thread.core is not None:
             self._release_core(thread)
         thread.done_event.fire(result)
@@ -564,8 +602,9 @@ class Kernel:
         kind: str,
         work: float,
         spin_event: Event | None = None,
+        tag: str | None = None,
     ) -> None:
-        activity = _Activity(kind, work, core.speed(), self.now, spin_event)
+        activity = _Activity(kind, work, core.speed(), self.now, spin_event, tag)
         core.activity = activity
         self._schedule_activity_timer(core)
 
@@ -594,12 +633,31 @@ class Kernel:
         dt = self.now - activity.last_update
         if dt <= 0:
             return
-        activity.work_done += dt * activity.speed
+        work = dt * activity.speed
+        activity.work_done += work
         activity.last_update = self.now
         core.busy_cycles += dt
         core.busy_by_kind[thread.kind] = core.busy_by_kind.get(thread.kind, 0.0) + dt
         thread.cpu_cycles += dt
         thread.cycles_by[activity.kind] = thread.cycles_by.get(activity.kind, 0.0) + dt
+        if self.ledger is not None:
+            # Charge into per-thread nested dicts rather than the ledger's
+            # (thread.kind, activity.kind, tag) table: this runs once per
+            # accounting interval, and two cached-hash subscripts (with a
+            # zero-cost try/except for the rare first miss) are measurably
+            # cheaper than building and hashing a key tuple.
+            # CycleLedger.snapshot folds these into the table.
+            try:
+                cell = thread.ledger_cells[activity.kind][activity.tag]
+            except (KeyError, TypeError):
+                cells = thread.ledger_cells
+                if cells is None:
+                    cells = thread.ledger_cells = {}
+                cell = cells.setdefault(activity.kind, {}).setdefault(
+                    activity.tag, [0.0, 0.0]
+                )
+            cell[0] += dt
+            cell[1] += work
 
     def _on_work_complete(self, core: LogicalCPU) -> None:
         activity = core.activity
@@ -631,9 +689,9 @@ class Kernel:
         remaining = max(activity.work_total - activity.work_done, 0.0)
         if activity.kind == "spin":
             assert activity.spin_event is not None
-            thread._pending = Spin(activity.spin_event, remaining)
+            thread._pending = Spin(activity.spin_event, remaining, tag=activity.tag)
         else:
-            thread._pending = Compute(remaining)
+            thread._pending = Compute(remaining, tag=activity.tag)
         core.activity = None
         self._release_core(thread)
         self._make_ready(thread)

@@ -116,10 +116,13 @@ class IntelSwitchlessBackend(CallBackend):
             request.mode = "regular"
             return result
 
+        bus = enclave.kernel.bus
         yield Compute(cost.switchless_enqueue_cycles, tag="sl-enqueue")
         task = SwitchlessTask(enclave.kernel, request)
         if not pool.try_enqueue(task):
             self.fallback_count += 1
+            if bus is not None:
+                bus.emit("intel.fallback", name=request.name, reason="pool-full")
             result = yield from self._regular(request)
             request.mode = "fallback"
             return result
@@ -129,6 +132,8 @@ class IntelSwitchlessBackend(CallBackend):
         if not picked and pool.try_cancel(task):
             # Retry budget exhausted and nobody claimed the task.
             self.fallback_count += 1
+            if bus is not None:
+                bus.emit("intel.fallback", name=request.name, reason="retry-timeout")
             result = yield from self._regular(request)
             request.mode = "fallback"
             return result
@@ -137,6 +142,8 @@ class IntelSwitchlessBackend(CallBackend):
         while not task.done.fired:
             yield Spin(task.done, _COMPLETION_SPIN_CHUNK, tag="sl-wait-done")
         self.switchless_count += 1
+        # No per-success emit — ``ocall.complete`` carries the chosen mode;
+        # only fallbacks (the exceptional path) are bus events.
         request.mode = "switchless"
         return task.done.value
 
@@ -170,10 +177,15 @@ class IntelSwitchlessBackend(CallBackend):
             request.mode = "regular"
             return result
 
+        bus = enclave.kernel.bus
         yield Compute(cost.switchless_enqueue_cycles, tag="sl-ecall-enqueue")
         task = SwitchlessTask(enclave.kernel, request)
         if not pool.try_enqueue(task):
             self.ecall_fallback_count += 1
+            if bus is not None:
+                bus.emit(
+                    "intel.fallback", name=request.name, reason="pool-full", path="ecall"
+                )
             result = yield from self._regular_ecall(request)
             request.mode = "fallback"
             return result
@@ -182,6 +194,10 @@ class IntelSwitchlessBackend(CallBackend):
         picked = yield Spin(task.picked, rbf_budget, tag="sl-ecall-wait-pickup")
         if not picked and pool.try_cancel(task):
             self.ecall_fallback_count += 1
+            if bus is not None:
+                bus.emit(
+                    "intel.fallback", name=request.name, reason="retry-timeout", path="ecall"
+                )
             result = yield from self._regular_ecall(request)
             request.mode = "fallback"
             return result

@@ -68,9 +68,14 @@ def intel_worker_loop(
             continue
         # Retry budget exhausted: sleep until the submit path wakes us.
         stats.sleeps += 1
+        bus = enclave.kernel.bus
+        if bus is not None:
+            bus.emit("intel.worker.sleep", sleeps=stats.sleeps)
         wake = pool.register_sleeper()
         yield Block(wake)
         if stop_flag[0]:
             break
         stats.wakes += 1
+        if bus is not None:
+            bus.emit("intel.worker.wake", wakes=stats.wakes)
         yield Compute(cost.worker_wake_cycles, tag="worker-wake")

@@ -1,0 +1,257 @@
+"""Run-artifact exporters for telemetry captures.
+
+Four formats, one file each per experiment run:
+
+- **JSONL event log** — one JSON object per bus event, tagged with the
+  cell (configuration) it came from;
+- **Chrome trace** — loadable in ``chrome://tracing`` / Perfetto; one
+  process per cell with per-CPU scheduler lanes, an ocall lane, a
+  worker-count counter track and instant markers for scheduler decisions
+  and fallbacks (this extends :mod:`repro.profiler.chrometrace` beyond
+  ocalls);
+- **Prometheus-style text** — counters/gauges/histogram quantiles from
+  the session's :class:`repro.telemetry.registry.MetricsRegistry`;
+- **cycle-budget table** — the human-readable conservation report
+  rendered through :func:`repro.analysis.report.format_cycle_budget`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.analysis.report import format_cycle_budget
+from repro.profiler.chrometrace import (
+    call_trace_events,
+    counter_events,
+    instant_events,
+    sched_trace_events,
+)
+from repro.telemetry.ledger import CATEGORIES
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.telemetry.session import CellCapture
+
+#: Bus events rendered as instant markers in the Chrome trace.
+_INSTANT_EVENTS = frozenset(
+    {
+        "zc.sched.decision",
+        "zc.pool_realloc",
+        "zc.fallback",
+        "intel.fallback",
+        "intel.worker.sleep",
+        "intel.worker.wake",
+    }
+)
+
+#: Synthetic tids for the non-CPU lanes of each cell's trace process.
+_OCALL_TID = 100
+_EVENT_TID = 101
+
+
+# ----------------------------------------------------------------------
+# JSONL event log
+# ----------------------------------------------------------------------
+def _synthesized_ocall_records(capture: "CellCapture") -> list[tuple[float, dict]]:
+    """Per-ocall ``ocall.complete`` records built from the call tracer.
+
+    The enclave only publishes ``ocall.complete`` on the bus when
+    ``capture_calls`` is set (an emit per call is telemetry's dominant
+    host-time cost); the tracer records every call regardless, so the
+    JSONL artifact carries the same lines either way.
+    """
+    if not capture.call_events or (capture.bus is not None and capture.bus.capture_calls):
+        return []
+    label = capture.label
+    return [
+        (
+            event.completed_at_cycles,
+            {
+                "t_cycles": event.completed_at_cycles,
+                "cell": label,
+                "event": "ocall.complete",
+                "name": event.name,
+                "mode": event.mode,
+                "latency_cycles": event.latency_cycles,
+                "in_bytes": event.in_bytes,
+                "out_bytes": event.out_bytes,
+            },
+        )
+        for event in capture.call_events
+    ]
+
+
+def write_events_jsonl(path: str, captures: Sequence["CellCapture"]) -> int:
+    """Write every captured bus event as one JSON line; returns the count.
+
+    Line schema: ``{"t_cycles": ..., "cell": ..., "event": ..., <fields>}``.
+    Per-call ``ocall.complete`` lines are synthesized from the call tracer
+    when the bus did not capture them itself (the default).  A trailing
+    ``meta`` line per cell records drop counters so truncated captures are
+    visible in the artifact itself.
+    """
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for capture in captures:
+            bus_records = (
+                (event.t_cycles, dict({"t_cycles": event.t_cycles, "cell": capture.label, "event": event.name}, **event.fields))
+                for event in capture.events
+            )
+            call_records = _synthesized_ocall_records(capture)
+            for _, record in heapq.merge(bus_records, call_records, key=lambda item: item[0]):
+                handle.write(json.dumps(record, default=str) + "\n")
+                written += 1
+            handle.write(
+                json.dumps(
+                    {
+                        "t_cycles": capture.now_cycles,
+                        "cell": capture.label,
+                        "event": "telemetry.meta",
+                        "events_stored": len(capture.events),
+                        "events_dropped": capture.events_dropped,
+                        "event_counts": capture.event_counts,
+                        "call_events": len(capture.call_events),
+                    }
+                )
+                + "\n"
+            )
+            written += 1
+    return written
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+def build_chrome_trace(captures: Sequence["CellCapture"]) -> list[dict]:
+    """Trace-event list with one process (pid) per capture."""
+    events: list[dict] = []
+    for pid, capture in enumerate(captures):
+        freq = capture.freq_hz
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": capture.label}}
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _OCALL_TID,
+                "args": {"name": "ocalls"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _EVENT_TID,
+                "args": {"name": "events"},
+            }
+        )
+        if capture.sched_trace is not None:
+            for entry in sched_trace_events(capture.sched_trace, freq):
+                entry["pid"] = pid
+                events.append(entry)
+        for entry in call_trace_events(capture.call_events, freq):
+            entry["pid"] = pid
+            entry["tid"] = _OCALL_TID
+            events.append(entry)
+        if capture.worker_timeline:
+            events.extend(
+                counter_events("active workers", capture.worker_timeline, freq, pid=pid)
+            )
+        markers = [
+            (event.t_cycles, event.name, event.fields)
+            for event in capture.events
+            if event.name in _INSTANT_EVENTS
+        ]
+        events.extend(instant_events(markers, freq, pid=pid, tid=_EVENT_TID))
+    return events
+
+
+def write_chrome_trace(path: str, captures: Sequence["CellCapture"]) -> int:
+    """Write the combined trace JSON; returns the event count."""
+    events = build_chrome_trace(captures)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(events, handle)
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text
+# ----------------------------------------------------------------------
+def _labels_text(labels: Iterable[tuple[str, str]], extra: dict[str, str] | None = None) -> str:
+    pairs = list(labels) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _families(metrics: Iterable[Any]) -> dict[str, list[Any]]:
+    """Group metrics by name, preserving registration order.
+
+    The exposition format requires all series of a family to sit together
+    under one TYPE header.
+    """
+    grouped: dict[str, list[Any]] = {}
+    for metric in metrics:
+        grouped.setdefault(metric.name, []).append(metric)
+    return grouped
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Histograms are rendered summary-style (``quantile`` labels from the
+    recorder's p50/p95/p99) plus ``_count`` and ``_sum`` series.
+    """
+    lines: list[str] = []
+    for name, counters in _families(registry.counters).items():
+        lines.append(f"# TYPE {name} counter")
+        for counter in counters:
+            lines.append(f"{name}{_labels_text(counter.labels)} {counter.value:g}")
+    for name, gauges in _families(registry.gauges).items():
+        lines.append(f"# TYPE {name} gauge")
+        for gauge in gauges:
+            lines.append(f"{name}{_labels_text(gauge.labels)} {gauge.value:g}")
+    for name, histograms in _families(registry.histograms).items():
+        lines.append(f"# TYPE {name} summary")
+        for histogram in histograms:
+            summary = histogram.summary()
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                labels = _labels_text(histogram.labels, {"quantile": quantile})
+                lines.append(f"{name}{labels} {summary[key]:g}")
+            lines.append(f"{name}_count{_labels_text(histogram.labels)} {summary['count']:g}")
+            lines.append(
+                f"{name}_sum{_labels_text(histogram.labels)} "
+                f"{summary['count'] * summary['mean']:g}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str, registry: MetricsRegistry) -> None:
+    """Write :func:`render_prometheus` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(registry))
+
+
+# ----------------------------------------------------------------------
+# Cycle-budget table
+# ----------------------------------------------------------------------
+def render_cycle_budget(captures: Sequence["CellCapture"]) -> str:
+    """The per-cell cycle-budget table (wall Mcycles per category)."""
+    rows = [
+        (capture.label, capture.snapshot.wall_by_category)
+        for capture in captures
+        if capture.snapshot is not None
+    ]
+    return format_cycle_budget(rows, CATEGORIES)
+
+
+def write_cycle_budget(path: str, captures: Sequence["CellCapture"]) -> None:
+    """Write :func:`render_cycle_budget` output to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_cycle_budget(captures) + "\n")

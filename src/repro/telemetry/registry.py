@@ -1,0 +1,125 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+A thin Prometheus-style metrics surface over the measurement helpers in
+:mod:`repro.analysis.metrics`: histograms delegate to
+:class:`repro.analysis.metrics.LatencyRecorder` (whose ``summary()``
+provides the p50/p95/p99 quantiles the exporters publish), and gauge time
+series are summarised with :func:`repro.analysis.metrics.summarize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.metrics import LatencyRecorder, summarize
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing value."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value with an optional sampled time series."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+    series: list[tuple[float, float]] = field(default_factory=list)
+
+    def set(self, value: float, t_cycles: float | None = None) -> None:
+        """Set the gauge; with ``t_cycles`` also appends to the series."""
+        self.value = value
+        if t_cycles is not None:
+            self.series.append((t_cycles, value))
+
+    def summary(self) -> dict[str, float]:
+        """Mean/min/max over the sampled series (or the current value)."""
+        values = [v for _, v in self.series] if self.series else [self.value]
+        return summarize(values)
+
+
+@dataclass
+class Histogram:
+    """Distribution metric backed by a :class:`LatencyRecorder`."""
+
+    name: str
+    labels: LabelKey = ()
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def observe(self, value: float) -> None:
+        """Record one sample/event."""
+        self.recorder.record(value)
+
+    def observe_many(self, values: list[float]) -> None:
+        """Bulk-record samples."""
+        self.recorder.record_many(values)
+
+    def summary(self) -> dict[str, float]:
+        """count/mean/p50/p95/p99/max of the observed samples."""
+        return self.recorder.summary()
+
+
+class MetricsRegistry:
+    """Keyed store of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """Get or create the counter with this name and label set."""
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter(name, key[1])
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """Get or create the gauge with this name and label set."""
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge(name, key[1])
+        return metric
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """Get or create the histogram with this name and label set."""
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(name, key[1])
+        return metric
+
+    @property
+    def counters(self) -> list[Counter]:
+        """All counters, in registration order."""
+        return list(self._counters.values())
+
+    @property
+    def gauges(self) -> list[Gauge]:
+        """All gauges, in registration order."""
+        return list(self._gauges.values())
+
+    @property
+    def histograms(self) -> list[Histogram]:
+        """All histograms, in registration order."""
+        return list(self._histograms.values())

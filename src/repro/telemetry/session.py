@@ -1,0 +1,314 @@
+"""Telemetry sessions: attach instrumentation to every stack in a run.
+
+A :class:`TelemetrySession` is a context manager an experiment runner (or
+the CLI's ``--telemetry`` / ``--trace`` flags) wraps around
+``module.run(...)``.  While active, :func:`repro.experiments.common.
+build_stack` attaches a :class:`CellCapture` to every kernel it creates:
+an :class:`~repro.telemetry.events.EventBus`, a
+:class:`~repro.telemetry.ledger.CycleLedger`, a scheduler trace and a
+:class:`~repro.profiler.tracer.CallTracer`.  ``Stack.finish()`` finalizes
+the capture — snapshotting the ledger, backend statistics and metrics and
+releasing the simulation objects — so a session accumulates one compact
+capture per experiment cell, exported together at the end.
+
+Telemetry is opt-in: with no active session, nothing is installed and the
+instrumented code paths stay on their single ``is None`` check.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.metrics import LatencyRecorder
+from repro.profiler.tracer import CallTracer
+from repro.sim.kernel import Kernel, SchedTrace
+from repro.telemetry.events import EventBus, TelemetryEvent
+from repro.telemetry.exporters import (
+    render_cycle_budget,
+    write_chrome_trace,
+    write_cycle_budget,
+    write_events_jsonl,
+    write_prometheus,
+)
+from repro.telemetry.ledger import BUSY_CATEGORIES, CycleLedger, LedgerSnapshot
+from repro.telemetry.registry import MetricsRegistry
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave
+
+#: Stack of active sessions; the innermost wins (supports nesting in tests).
+_ACTIVE: list["TelemetrySession"] = []
+
+
+def active_session() -> "TelemetrySession | None":
+    """The innermost active session, or None when telemetry is off."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+class CellCapture:
+    """Telemetry attached to one experiment cell (one kernel + enclave).
+
+    Live phase: holds references to the kernel, bus, ledger and tracer.
+    After :meth:`finalize` only plain data remains — events, the sched
+    trace, call events, the ledger snapshot and backend counters — sized
+    for a whole session of cells to be kept in memory.
+    """
+
+    def __init__(self, session: "TelemetrySession", kernel: Kernel, label: str) -> None:
+        # Copy what we need from the session rather than keeping a
+        # reference: the session holds its captures, and a backref would
+        # make every capture cyclic garbage (collector-only reclaim).
+        self._registry = session.registry
+        self._tracer_max_events = session.tracer_max_events
+        self.label = label
+        self.kernel: Kernel | None = kernel
+        self.freq_hz = kernel.spec.freq_hz
+        self.bus = EventBus(
+            clock=lambda: kernel.now,
+            max_events=session.max_events_per_cell,
+            capture_sched=session.capture_sched,
+            capture_calls=session.capture_calls,
+        )
+        self.ledger = CycleLedger()
+        kernel.bus = self.bus
+        # The kernel's dispatch path reads the pre-resolved ``sched_bus``
+        # instead of checking ``bus.capture_sched`` per dispatch.
+        kernel.sched_bus = self.bus if session.capture_sched else None
+        kernel.ledger = self.ledger
+        if kernel.trace is None:
+            kernel.trace = SchedTrace(session.sched_trace_entries)
+        self.sched_trace: SchedTrace | None = kernel.trace
+        self.tracer: CallTracer | None = None
+        self._enclave: "Enclave | None" = None
+        # Populated by finalize().
+        self.snapshot: LedgerSnapshot | None = None
+        self.events: list[TelemetryEvent] = []
+        self.events_dropped = 0
+        self.event_counts: dict[str, int] = {}
+        self.now_cycles = 0.0
+        #: The detached tracer, kept so call_events can materialize lazily.
+        self._done_tracer: CallTracer | None = None
+        self.worker_timeline: list[tuple[float, float]] = []
+        self.backend_stats: dict[str, Any] = {}
+        self.finalized = False
+
+    def bind_enclave(self, enclave: "Enclave") -> None:
+        """Install the call tracer on the cell's enclave."""
+        self._enclave = enclave
+        self.tracer = CallTracer(max_events=self._tracer_max_events).install(enclave)
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Snapshot everything and release the simulation objects.
+
+        Idempotent; called by ``Stack.finish()`` after the kernel drains
+        (so worker exit-cleanup cycles are attributed) and defensively by
+        the session's exporters.
+        """
+        if self.finalized:
+            return
+        self.finalized = True
+        kernel = self.kernel
+        assert kernel is not None
+        self.snapshot = self.ledger.snapshot(kernel)
+        self.now_cycles = kernel.now
+        self.events = self.bus.events
+        self.events_dropped = self.bus.dropped
+        self.event_counts = dict(self.bus.counts)
+        if self.tracer is not None:
+            self.tracer.uninstall()
+            self._done_tracer = self.tracer
+            self.tracer = None
+        self._snapshot_metrics(kernel)
+        kernel.bus = None
+        kernel.sched_bus = None
+        kernel.ledger = None
+        self.kernel = None
+        self._enclave = None
+
+    def _snapshot_metrics(self, kernel: Kernel) -> None:
+        registry = self._registry
+        label = self.label
+        snapshot = self.snapshot
+        assert snapshot is not None
+        for category in BUSY_CATEGORIES:
+            registry.counter("repro_cycles_total", cell=label, category=category).inc(
+                snapshot.wall_by_category.get(category, 0.0)
+            )
+        registry.counter("repro_cycles_total", cell=label, category="idle").inc(
+            snapshot.idle_cycles
+        )
+        registry.gauge("repro_sim_time_cycles", cell=label).set(kernel.now)
+        registry.gauge("repro_cpu_utilisation", cell=label).set(
+            snapshot.busy_cycles / snapshot.capacity_cycles if snapshot.capacity_cycles else 0.0
+        )
+
+        enclave = self._enclave
+        if enclave is not None:
+            for mode in ("regular", "switchless", "fallback"):
+                count = getattr(enclave.stats, f"total_{mode}")
+                if count:
+                    registry.counter("repro_ocalls_total", cell=label, mode=mode).inc(count)
+            backend = enclave.backend
+            stats = getattr(backend, "stats", None)
+            if stats is not None and hasattr(stats, "worker_count_timeline"):
+                self.backend_stats = {
+                    "backend": backend.name,
+                    "fallbacks": stats.fallback_count,
+                    "switchless": stats.switchless_count,
+                    "pool_reallocs": stats.pool_reallocs,
+                    "scheduler_decisions": stats.scheduler_decisions,
+                    "mean_workers": stats.mean_worker_count(kernel.now),
+                }
+                self.worker_timeline = [
+                    (t, float(count)) for t, count in stats.worker_count_timeline
+                ]
+                registry.counter("repro_zc_fallbacks_total", cell=label).inc(
+                    stats.fallback_count
+                )
+                registry.counter("repro_zc_pool_reallocs_total", cell=label).inc(
+                    stats.pool_reallocs
+                )
+                workers = registry.gauge("repro_zc_active_workers", cell=label)
+                for t_cycles, count in self.worker_timeline:
+                    workers.set(count, t_cycles=t_cycles)
+            elif hasattr(backend, "fallback_count"):
+                self.backend_stats = {
+                    "backend": backend.name,
+                    "fallbacks": backend.fallback_count,
+                    "switchless": backend.switchless_count,
+                }
+                registry.counter("repro_intel_fallbacks_total", cell=label).inc(
+                    backend.fallback_count
+                )
+            else:
+                self.backend_stats = {"backend": backend.name}
+
+        tracer = self._done_tracer
+        if tracer is not None and tracer.count:
+            registry.histogram("repro_ocall_latency_cycles", cell=label).observe_many(
+                tracer.latency_samples()
+            )
+            registry.histogram("repro_ocall_host_cycles", cell=label).observe_many(
+                tracer.host_samples()
+            )
+
+    # ------------------------------------------------------------------
+    # Assertions / summaries
+    # ------------------------------------------------------------------
+    def assert_balanced(self, rel_tol: float = 1e-6) -> None:
+        """Assert cycle conservation (finalizing first if needed)."""
+        if not self.finalized:
+            self.finalize()
+        assert self.snapshot is not None
+        self.snapshot.assert_balanced(rel_tol)
+
+    @property
+    def call_events(self) -> list[Any]:
+        """Per-ocall events from the call tracer, materialized lazily.
+
+        CallEvent construction is deferred until an exporter asks — it
+        costs host time proportional to the call count, and finalize runs
+        inside the window the overhead guard measures.
+        """
+        return self._done_tracer.events if self._done_tracer is not None else []
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99 summary of the captured end-to-end call latencies."""
+        recorder = LatencyRecorder()
+        if self._done_tracer is not None:
+            recorder.record_many(self._done_tracer.latency_samples())
+        return recorder.summary()
+
+
+class TelemetrySession:
+    """Context manager collecting one :class:`CellCapture` per stack.
+
+    Args:
+        capture_sched: Also publish per-dispatch scheduler events on the
+            bus (high volume; the sched trace covers the Chrome trace's
+            needs without it).
+        capture_calls: Also publish per-call ``ocall.complete`` events on
+            the bus (high volume; the call tracer records every call
+            anyway and the JSONL exporter synthesizes the same lines).
+        max_events_per_cell: Event-bus retention bound per cell.
+        sched_trace_entries: Ring size of the per-kernel scheduler trace.
+        tracer_max_events: Ring size of the per-enclave call tracer.
+    """
+
+    def __init__(
+        self,
+        capture_sched: bool = False,
+        capture_calls: bool = False,
+        max_events_per_cell: int = 200_000,
+        sched_trace_entries: int = 100_000,
+        tracer_max_events: int = 100_000,
+    ) -> None:
+        self.capture_sched = capture_sched
+        self.capture_calls = capture_calls
+        self.max_events_per_cell = max_events_per_cell
+        self.sched_trace_entries = sched_trace_entries
+        self.tracer_max_events = tracer_max_events
+        self.captures: list[CellCapture] = []
+        self.registry = MetricsRegistry()
+        self._label_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TelemetrySession":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _ACTIVE.remove(self)
+
+    def attach(self, kernel: Kernel, label: str) -> CellCapture:
+        """Instrument ``kernel`` as a new cell; labels are made unique."""
+        count = self._label_counts.get(label, 0)
+        self._label_counts[label] = count + 1
+        unique = label if count == 0 else f"{label}#{count}"
+        capture = CellCapture(self, kernel, unique)
+        self.captures.append(capture)
+        return capture
+
+    def finalize_all(self) -> None:
+        """Finalize any capture whose stack never called ``finish()``."""
+        for capture in self.captures:
+            if not capture.finalized and capture.kernel is not None:
+                capture.finalize()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self, directory: str, name: str) -> dict[str, str]:
+        """Write all four artifacts under ``directory``; returns the paths."""
+        self.finalize_all()
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "events": os.path.join(directory, f"{name}.events.jsonl"),
+            "trace": os.path.join(directory, f"{name}.trace.json"),
+            "metrics": os.path.join(directory, f"{name}.metrics.prom"),
+            "budget": os.path.join(directory, f"{name}.cycle_budget.txt"),
+        }
+        write_events_jsonl(paths["events"], self.captures)
+        write_chrome_trace(paths["trace"], self.captures)
+        write_prometheus(paths["metrics"], self.registry)
+        write_cycle_budget(paths["budget"], self.captures)
+        return paths
+
+    def export_trace(self, directory: str, name: str) -> str:
+        """Write only the Chrome trace (the CLI's ``--trace`` mode)."""
+        self.finalize_all()
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{name}.trace.json")
+        write_chrome_trace(path, self.captures)
+        return path
+
+    def render_cycle_budget(self) -> str:
+        """The session-wide cycle-budget table as text."""
+        self.finalize_all()
+        return render_cycle_budget(self.captures)

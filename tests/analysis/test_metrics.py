@@ -45,6 +45,23 @@ class TestLatencyRecorder:
         assert min(values) <= recorder.percentile(50) <= max(values)
         assert recorder.percentile(100) == max(values)
 
+    def test_summary(self):
+        recorder = LatencyRecorder()
+        for v in range(1, 101):
+            recorder.record(v)
+        summary = recorder.summary()
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == 50
+        assert summary["p95"] == 95
+        assert summary["p99"] == 99
+        assert summary["max"] == 100
+
+    def test_summary_empty(self):
+        summary = LatencyRecorder().summary()
+        assert summary["count"] == 0.0
+        assert summary["p99"] == 0.0
+
 
 class TestPeriodResult:
     def test_zero_duration_is_zero_throughput(self):

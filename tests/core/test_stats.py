@@ -53,3 +53,19 @@ class TestZcStats:
         stats = ZcStats()
         stats.record_worker_count(100.0, 3)
         assert stats.worker_count_histogram(100.0) == {}
+
+    def test_timeline_coalesces_repeated_counts(self):
+        # The scheduler re-records its decision every quantum even when
+        # the worker count is unchanged; only transitions are kept, with
+        # the earliest timestamp winning.
+        stats = ZcStats()
+        stats.record_worker_count(0.0, 2)
+        stats.record_worker_count(100.0, 2)
+        stats.record_worker_count(200.0, 3)
+        stats.record_worker_count(300.0, 3)
+        stats.record_worker_count(400.0, 2)
+        assert stats.worker_count_timeline == [(0.0, 2), (200.0, 3), (400.0, 2)]
+        # Occupancy math is unaffected by the dropped duplicates.
+        assert stats.mean_worker_count(500.0) == pytest.approx(
+            (200 * 2 + 200 * 3 + 100 * 2) / 500
+        )

@@ -1,0 +1,87 @@
+"""Ledger conservation across all three backends, on real workloads.
+
+The tentpole property: every simulated core-cycle lands in exactly one
+ledger category, so categorised wall cycles (including idle) sum to
+``kernel.now × n_logical_cpus`` — for the regular, Intel-switchless and
+zc backends alike, on both the kissdb (fig8) and crypto-pipeline (fig10)
+workloads.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.core import ZcConfig
+from repro.experiments import fig8, fig10
+from repro.experiments.common import intel_spec, no_sl_spec, zc_spec
+
+T_ES = 13_500.0  # eexit + eenter, SgxCostModel defaults
+
+FIG8_SPECS = [
+    no_sl_spec(),
+    intel_spec("all", {"fseeko", "fread", "fwrite"}, 2),
+    zc_spec(),
+]
+FIG10_SPECS = [
+    no_sl_spec(),
+    intel_spec("frwoc", {"fread", "fwrite", "fopen", "fclose"}, 2),
+    zc_spec(),
+]
+
+
+def _capture(run):
+    with telemetry.TelemetrySession() as session:
+        run()
+    assert len(session.captures) == 1
+    capture = session.captures[0]
+    assert capture.finalized
+    return capture
+
+
+class TestConservation:
+    @pytest.mark.parametrize("spec", FIG8_SPECS, ids=lambda s: s.label)
+    def test_fig8_ledger_balances(self, spec):
+        capture = _capture(lambda: fig8.run_one(spec, n_keys=300))
+        capture.assert_balanced(rel_tol=1e-6)
+        snapshot = capture.snapshot
+        assert snapshot.busy_cycles == pytest.approx(
+            sum(
+                cycles
+                for cat, cycles in snapshot.wall_by_category.items()
+                if cat != "idle"
+            ),
+            rel=1e-9,
+        )
+
+    @pytest.mark.parametrize("spec", FIG10_SPECS, ids=lambda s: s.label)
+    def test_fig10_ledger_balances(self, spec):
+        capture = _capture(
+            lambda: fig10.run_one(spec, chunks_per_file=16, files_per_thread=1)
+        )
+        capture.assert_balanced(rel_tol=1e-6)
+
+
+class TestZcTransitionIdentity:
+    def test_transition_work_equals_fallbacks_times_t_es(self):
+        # Freeze the worker count at zero: every ocall falls back, so the
+        # zc cell's transition cycles are exactly fallback_count·T_es
+        # (§IV-A's F·T_es term), with zero worker busy-wait.
+        spec = zc_spec(ZcConfig(initial_workers=0, enable_scheduler=False))
+        capture = _capture(lambda: fig8.run_one(spec, n_keys=200))
+        capture.assert_balanced()
+        stats = capture.backend_stats
+        assert stats["fallbacks"] > 0
+        assert stats["switchless"] == 0
+        work = capture.snapshot.work_by_category
+        expected = (stats["fallbacks"] + stats["pool_reallocs"]) * T_ES
+        assert work["transition"] == pytest.approx(expected, rel=1e-6)
+        assert capture.snapshot.wall_by_category["worker-spin"] == 0.0
+
+    def test_default_zc_transitions_track_fallback_count(self):
+        # With the adaptive runtime, transitions still come only from
+        # fallbacks and pool reallocations.
+        capture = _capture(lambda: fig8.run_one(zc_spec(), n_keys=300))
+        capture.assert_balanced()
+        stats = capture.backend_stats
+        work = capture.snapshot.work_by_category
+        expected = (stats["fallbacks"] + stats["pool_reallocs"]) * T_ES
+        assert work["transition"] == pytest.approx(expected, rel=1e-6, abs=1e-6)

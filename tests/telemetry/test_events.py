@@ -1,0 +1,62 @@
+"""Tests for the telemetry event bus."""
+
+import pytest
+
+from repro.telemetry import EventBus
+
+
+class TestEventBus:
+    def test_emit_stamps_clock_and_counts(self):
+        t = [0.0]
+        bus = EventBus(clock=lambda: t[0])
+        bus.emit("a", x=1)
+        t[0] = 50.0
+        bus.emit("a", x=2)
+        bus.emit("b")
+        assert bus.count == 3
+        assert bus.counts == {"a": 2, "b": 1}
+        assert [e.t_cycles for e in bus.events_named("a")] == [0.0, 50.0]
+        assert bus.events_named("a")[1].fields == {"x": 2}
+
+    def test_no_clock_stamps_zero(self):
+        bus = EventBus()
+        bus.emit("a")
+        assert bus.events[0].t_cycles == 0.0
+
+    def test_name_field_allowed(self):
+        # 'name' is a common payload field (ocall.complete carries one);
+        # emit's own name parameter is positional-only so they coexist.
+        bus = EventBus()
+        bus.emit("ocall.complete", name="fread", mode="regular")
+        assert bus.events[0].name == "ocall.complete"
+        assert bus.events[0].fields["name"] == "fread"
+
+    def test_subscribers_see_every_event(self):
+        bus = EventBus(max_events=1)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("a")
+        bus.emit("b")  # dropped from storage, still delivered
+        assert [e.name for e in seen] == ["a", "b"]
+        assert len(bus.events) == 1
+        assert bus.dropped == 1
+        assert bus.count == 2
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.emit("a")
+        assert seen == []
+
+    def test_unbounded_when_zero(self):
+        bus = EventBus(max_events=0)
+        for _ in range(10):
+            bus.emit("a")
+        assert len(bus.events) == 10
+        assert bus.dropped == 0
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            EventBus(max_events=-1)

@@ -1,0 +1,121 @@
+"""Tests for the cycle-attribution ledger."""
+
+import pytest
+
+from repro.sim import Kernel, MachineSpec
+from repro.sim.instructions import Compute, Spin
+from repro.telemetry import CycleLedger, classify
+from repro.telemetry.ledger import (
+    APP,
+    BUSY_CATEGORIES,
+    CALLER_SPIN,
+    HOST_EXEC,
+    MARSHAL,
+    RUNTIME,
+    SCHED,
+    TRANSITION,
+    WORKER_SPIN,
+)
+
+
+class TestClassify:
+    def test_transitions(self):
+        assert classify("app", "compute", "eexit") == TRANSITION
+        assert classify("app", "compute", "eenter") == TRANSITION
+        assert classify("app", "compute", "ecall-enter") == TRANSITION
+
+    def test_marshalling(self):
+        assert classify("app", "compute", "marshal-in") == MARSHAL
+        assert classify("app", "compute", "ocall-setup") == MARSHAL
+
+    def test_host_prefix(self):
+        assert classify("app", "compute", "host-fwrite") == HOST_EXEC
+        assert classify("zc-worker", "compute", "host-fread") == HOST_EXEC
+
+    def test_spins_split_by_thread_kind(self):
+        assert classify("app", "spin", "sl-wait-pickup") == CALLER_SPIN
+        assert classify("intel-worker", "spin", "worker-idle-spin") == WORKER_SPIN
+        assert classify("zc-worker", "spin", "zc-idle") == WORKER_SPIN
+
+    def test_scheduler_threads_always_sched(self):
+        assert classify("zc-scheduler", "compute", "zc-sched-decide") == SCHED
+        assert classify("monitor", "compute", None) == SCHED
+
+    def test_runtime_plumbing(self):
+        assert classify("app", "compute", "zc-dispatch") == RUNTIME
+        assert classify("intel-worker", "compute", "worker-pickup") == RUNTIME
+
+    def test_untagged_compute_is_app(self):
+        assert classify("app", "compute", None) == APP
+        assert classify("app", "compute", "kissdb-hash") == APP
+
+
+class TestCycleLedger:
+    def test_charges_accumulate_per_key(self):
+        ledger = CycleLedger()
+        ledger.charge("app", "compute", "eexit", 10.0, 10.0)
+        ledger.charge("app", "compute", "eexit", 5.0, 3.1)
+        ledger.charge("app", "spin", None, 7.0, 7.0)
+        cells = ledger.cells()
+        assert cells[("app", "compute", "eexit")] == (15.0, 13.1)
+        assert ledger.total_wall_cycles() == pytest.approx(22.0)
+        wall = ledger.wall_by_category()
+        assert wall[TRANSITION] == pytest.approx(15.0)
+        assert wall[CALLER_SPIN] == pytest.approx(7.0)
+        work = ledger.work_by_category()
+        assert work[TRANSITION] == pytest.approx(13.1)
+
+    def test_all_categories_present(self):
+        assert set(CycleLedger().wall_by_category()) == set(BUSY_CATEGORIES)
+
+    def test_kernel_snapshot_balances(self):
+        kernel = Kernel(MachineSpec(n_cores=1, smt=2))
+        kernel.ledger = ledger = CycleLedger()
+
+        def busy():
+            yield Compute(1_000.0, tag="eexit")
+            yield Compute(2_000.0)
+
+        def spinner():
+            yield Spin(kernel.event("never"), 500.0, tag="sl-wait-pickup")
+
+        kernel.spawn(busy(), name="a")
+        kernel.spawn(spinner(), name="b")
+        kernel.run()
+        snap = ledger.snapshot(kernel)
+        snap.assert_balanced()
+        assert snap.wall_by_category[TRANSITION] > 0
+        assert snap.wall_by_category[CALLER_SPIN] > 0
+        # Wall occupancy + idle == capacity, exactly.
+        assert snap.conservation_error() == pytest.approx(0.0, abs=1e-6)
+
+    def test_smt_wall_vs_work(self):
+        # Two siblings both busy: wall cycles exceed nominal (work) cycles.
+        spec = MachineSpec(n_cores=1, smt=2, smt_factor=0.5)
+        kernel = Kernel(spec)
+        kernel.ledger = ledger = CycleLedger()
+
+        def worker():
+            yield Compute(1_000.0, tag="eexit")
+
+        kernel.spawn(worker(), name="a")
+        kernel.spawn(worker(), name="b")
+        kernel.run()
+        snap = ledger.snapshot(kernel)
+        snap.assert_balanced()
+        assert snap.work_by_category[TRANSITION] == pytest.approx(2_000.0)
+        assert snap.wall_by_category[TRANSITION] == pytest.approx(4_000.0)
+
+    def test_unbalanced_snapshot_raises(self):
+        kernel = Kernel(MachineSpec(n_cores=1, smt=1))
+
+        def busy():
+            yield Compute(1_000.0)
+
+        kernel.spawn(busy(), name="a")
+        kernel.run()
+        # Ledger attached only after the run: it saw no charges.
+        late = CycleLedger()
+        snap = late.snapshot(kernel)
+        with pytest.raises(AssertionError, match="does not balance"):
+            snap.assert_balanced()

@@ -1,0 +1,69 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.exporters import render_prometheus
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ops", cell="zc")
+        a.inc()
+        a.inc(2)
+        assert registry.counter("ops", cell="zc") is a
+        assert registry.counter("ops", cell="no_sl") is not a
+        assert a.value == 3
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("ops").inc(-1)
+
+    def test_gauge_series_and_summary(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("workers", cell="zc")
+        gauge.set(4, t_cycles=0.0)
+        gauge.set(2, t_cycles=100.0)
+        gauge.set(1)  # no timestamp: value only
+        assert gauge.value == 1
+        assert gauge.series == [(0.0, 4), (100.0, 2)]
+        assert gauge.summary()["max"] == 4
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for v in range(1, 101):
+            histogram.observe(v)
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] == 50
+        assert summary["p99"] == 99
+        assert summary["max"] == 100
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", a="1", b="2") is registry.counter("x", b="2", a="1")
+
+
+class TestPrometheusRender:
+    def test_families_grouped_with_type_headers(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_ops_total", cell="zc").inc(5)
+        registry.gauge("repro_workers", cell="zc").set(2)
+        registry.counter("repro_ops_total", cell="no_sl").inc(7)
+        registry.histogram("repro_latency", cell="zc").observe(10)
+        text = render_prometheus(registry)
+        lines = text.splitlines()
+        idx = lines.index("# TYPE repro_ops_total counter")
+        # Both series directly follow their family header.
+        assert lines[idx + 1] == 'repro_ops_total{cell="no_sl"} 7' or (
+            lines[idx + 1] == 'repro_ops_total{cell="zc"} 5'
+        )
+        assert lines[idx + 2].startswith("repro_ops_total{")
+        assert "# TYPE repro_workers gauge" in lines
+        assert "# TYPE repro_latency summary" in lines
+        assert 'repro_latency{cell="zc",quantile="0.5"} 10' in lines
+        assert 'repro_latency_count{cell="zc"} 1' in lines
+        assert 'repro_latency_sum{cell="zc"} 10' in lines

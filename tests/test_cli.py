@@ -45,3 +45,33 @@ class TestCli:
     def test_every_experiment_has_a_table(self):
         for module in EXPERIMENTS.values():
             assert hasattr(module, "table"), module.__name__
+
+
+class TestTelemetryFlags:
+    @pytest.fixture()
+    def tiny_fig8(self, monkeypatch):
+        # Shrink the quick fig8 sweep further: these tests exercise the
+        # export plumbing, not the figure itself.
+        monkeypatch.setitem(
+            QUICK_KWARGS, "fig8", {"n_keys_sweep": (120,), "worker_counts": (2,)}
+        )
+
+    def test_telemetry_export(self, capsys, tmp_path, tiny_fig8):
+        assert main(["run", "fig8", "--quick", "--telemetry", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Cycle budget" in out
+        assert "telemetry written to" in out
+        for suffix in ("events.jsonl", "trace.json", "metrics.prom", "cycle_budget.txt"):
+            assert (tmp_path / f"fig8.{suffix}").exists(), suffix
+
+    def test_trace_export(self, capsys, tmp_path, tiny_fig8):
+        assert main(["run", "fig8", "--quick", "--trace", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert (tmp_path / "fig8.trace.json").exists()
+        # --trace alone does not print the cycle-budget table.
+        assert "Cycle budget" not in out
+
+    def test_no_flags_no_artifacts(self, capsys, tmp_path, tiny_fig8):
+        assert main(["run", "fig8", "--quick"]) == 0
+        assert list(tmp_path.iterdir()) == []
