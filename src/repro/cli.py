@@ -18,6 +18,13 @@ Observability (see ``docs/observability.md``):
   JSONL event log, Chrome trace, Prometheus-style metrics and a
   cycle-budget table (also printed after the report);
 - ``--trace DIR`` writes just the Chrome trace (scheduler lanes + ocalls).
+
+Performance (see ``docs/performance.md``):
+
+- ``--jobs N`` fans independent cells over N worker processes
+  (``auto`` = host CPU count) with bit-identical results;
+- ``--no-cache`` / ``--cache-dir DIR`` control the content-addressed
+  result cache (default ``.repro_cache/``).
 """
 
 from __future__ import annotations
@@ -53,6 +60,8 @@ def run_experiment(
     csv_dir: str | None = None,
     telemetry_dir: str | None = None,
     trace_dir: str | None = None,
+    jobs: int | str = 1,
+    cache: Any | None = None,
 ) -> int:
     """Run one experiment; returns the number of shape violations."""
     module = EXPERIMENTS[exp_id]
@@ -63,11 +72,14 @@ def run_experiment(
         from repro.telemetry import TelemetrySession
 
         session = TelemetrySession()
+        # A cache hit skips the cell, so nothing would be captured; an
+        # observed run must execute every cell.
+        cache = None
     if session is not None:
         with session:
-            result = module.run(**kwargs)
+            result = module.run(**kwargs, jobs=jobs, cache=cache)
     else:
-        result = module.run(**kwargs)
+        result = module.run(**kwargs, jobs=jobs, cache=cache)
     elapsed = time.monotonic() - started
     print(module.report(result))
     if session is not None:
@@ -95,11 +107,55 @@ def run_experiment(
     return len(violations)
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    """The shared --jobs/--no-cache/--cache-dir flags (run + report)."""
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        metavar="N",
+        help="run cells over N worker processes ('auto' = CPU count; default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always execute cells, even when a cached result exists",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache location (default .repro_cache)",
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> Any | None:
+    """Build the result cache the flags ask for (None with --no-cache)."""
+    if args.no_cache:
+        return None
+    from repro.parallel import DEFAULT_CACHE_DIR, ResultCache
+
+    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce figures of 'SGX Switchless Calls Made Configless'",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "parallelism and caching (run/report subcommands):\n"
+            "  --jobs N       fan independent experiment cells over N worker\n"
+            "                 processes ('auto' = host CPU count).  Results are\n"
+            "                 bit-identical to --jobs 1: cells own their kernels\n"
+            "                 and are collected in deterministic cell order.\n"
+            "  --no-cache     disable the content-addressed result cache; by\n"
+            "                 default cells whose (code, parameters) were already\n"
+            "                 computed are served from .repro_cache/.\n"
+            "  --cache-dir D  keep the cache somewhere else.\n"
+            "  Runs with --telemetry/--trace always execute every cell.\n"
+            "  See docs/performance.md for details."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
@@ -119,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument(
         "--trace", metavar="DIR", help="write a Chrome trace per experiment into DIR"
     )
+    _add_parallel_args(run_parser)
     report_parser = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
     )
@@ -129,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
     report_parser.add_argument(
         "--csv", metavar="DIR", help="also write each experiment's CSV into DIR"
     )
+    _add_parallel_args(report_parser)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -141,7 +199,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.suite import render_markdown, run_suite
 
         overrides = QUICK_KWARGS if args.quick else {}
-        outcomes = run_suite(overrides=overrides)
+        cache = _make_cache(args)
+        outcomes = run_suite(overrides=overrides, jobs=args.jobs, cache=cache)
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(render_markdown(outcomes))
         if args.csv is not None:
@@ -152,18 +211,29 @@ def main(argv: list[str] | None = None) -> int:
                     handle.write(to_csv(outcome.headers, outcome.rows))
         failed = [o.exp_id for o in outcomes if not o.ok]
         print(f"report written to {args.out}")
+        hits = sum(o.cache_hits for o in outcomes)
+        misses = sum(o.cache_misses for o in outcomes)
+        cache_note = "cache disabled" if cache is None else f"{hits} cached, {misses} run"
+        print(f"[jobs {outcomes[0].jobs if outcomes else 1} · cells: {cache_note}]")
         if failed:
             print(f"shape violations in: {', '.join(failed)}")
         return 1 if failed else 0
 
     if args.csv is not None:
         os.makedirs(args.csv, exist_ok=True)
+    cache = _make_cache(args)
     targets = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     total_violations = 0
     for exp_id in targets:
         print(f"\n### {exp_id} " + "#" * 50)
         total_violations += run_experiment(
-            exp_id, args.quick, args.csv, args.telemetry, args.trace
+            exp_id,
+            args.quick,
+            args.csv,
+            args.telemetry,
+            args.trace,
+            jobs=args.jobs,
+            cache=cache,
         )
     return 1 if total_violations else 0
 

@@ -33,6 +33,7 @@ from repro.experiments.common import (
     no_sl_spec,
     zc_spec,
 )
+from repro.parallel import CellSpec, ResultCache, cell, run_cells
 
 CRYPTO_OCALL_SETS: dict[str, frozenset[str]] = {
     "fr": frozenset({"fread"}),
@@ -144,18 +145,59 @@ def run_one(
     )
 
 
-def run(
+def cells(
+    worker_counts: tuple[int, ...] = (2, 4),
+    chunks_per_file: int = 128,
+    files_per_thread: int = 6,
+) -> list[CellSpec]:
+    """The experiment's grid as data: one cell per backend configuration."""
+    return [
+        cell(
+            "fig10",
+            index,
+            spec=backend,
+            chunks_per_file=chunks_per_file,
+            files_per_thread=files_per_thread,
+        )
+        for index, backend in enumerate(backend_specs(worker_counts))
+    ]
+
+
+def run_cell(spec: CellSpec) -> Fig10Row:
+    """Execute one cell of the grid."""
+    kw = spec.kwargs
+    return run_one(kw["spec"], kw["chunks_per_file"], kw["files_per_thread"])
+
+
+def assemble(
+    rows: list[Fig10Row],
     worker_counts: tuple[int, ...] = (2, 4),
     chunks_per_file: int = 128,
     files_per_thread: int = 6,
 ) -> Fig10Result:
-    """Execute the experiment and return its structured result."""
-    rows = [
-        run_one(spec, chunks_per_file, files_per_thread)
-        for spec in backend_specs(worker_counts)
-    ]
+    """Build the structured result from rows in ``cells()`` order."""
     return Fig10Result(
-        rows=rows, chunks_per_file=chunks_per_file, files_per_thread=files_per_thread
+        rows=list(rows),
+        chunks_per_file=chunks_per_file,
+        files_per_thread=files_per_thread,
+    )
+
+
+def run(
+    worker_counts: tuple[int, ...] = (2, 4),
+    chunks_per_file: int = 128,
+    files_per_thread: int = 6,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Fig10Result:
+    """Execute the experiment and return its structured result."""
+    rows = run_cells(
+        cells(worker_counts, chunks_per_file, files_per_thread),
+        jobs=jobs,
+        cache=cache,
+    )
+    return assemble(
+        rows, chunks_per_file=chunks_per_file, files_per_thread=files_per_thread
     )
 
 

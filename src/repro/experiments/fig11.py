@@ -30,6 +30,7 @@ from repro.experiments.common import (
     no_sl_spec,
     zc_spec,
 )
+from repro.parallel import CellSpec, ResultCache, cell, run_cells
 from repro.workloads.dynamic import DynamicSpec, build_schedule, paced_thread
 
 LMBENCH_OCALL_SETS: dict[str, frozenset[str]] = {
@@ -147,13 +148,45 @@ def run_one(backend: BackendSpec, spec: DynamicSpec = DEFAULT_SPEC) -> LmbenchRu
     )
 
 
-def run(
+def cells(
+    worker_counts: tuple[int, ...] = (2, 4),
+    spec: DynamicSpec = DEFAULT_SPEC,
+) -> list[CellSpec]:
+    """The experiment's grid as data: one cell per backend configuration.
+
+    Fig. 12 reuses these cells verbatim — the same runs feed both
+    figures, so one cache entry serves both.
+    """
+    return [
+        cell("fig11", index, backend=backend, spec=spec)
+        for index, backend in enumerate(backend_specs(worker_counts))
+    ]
+
+
+def run_cell(cell_spec: CellSpec) -> LmbenchRun:
+    """Execute one cell of the grid."""
+    kw = cell_spec.kwargs
+    return run_one(kw["backend"], kw["spec"])
+
+
+def assemble(
+    runs: list[LmbenchRun],
     worker_counts: tuple[int, ...] = (2, 4),
     spec: DynamicSpec = DEFAULT_SPEC,
 ) -> Fig11Result:
+    """Build the structured result from rows in ``cells()`` order."""
+    return Fig11Result(runs=list(runs), spec=spec)
+
+
+def run(
+    worker_counts: tuple[int, ...] = (2, 4),
+    spec: DynamicSpec = DEFAULT_SPEC,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Fig11Result:
     """Execute the experiment and return its structured result."""
-    runs = [run_one(backend, spec) for backend in backend_specs(worker_counts)]
-    return Fig11Result(runs=runs, spec=spec)
+    runs = run_cells(cells(worker_counts, spec), jobs=jobs, cache=cache)
+    return assemble(runs, spec=spec)
 
 
 def table(result: Fig11Result) -> tuple[list[str], list[list]]:

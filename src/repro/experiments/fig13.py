@@ -15,11 +15,12 @@ Shape requirements:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.analysis.report import format_table
-from repro.experiments.fig7 import SIZES, Fig7Result
-from repro.experiments.fig7 import run as run_fig7
+from repro.experiments import fig7 as _fig7
+from repro.experiments.fig7 import SIZES, Fig7Result, ThroughputPoint
+from repro.parallel import CellSpec, ResultCache, run_cells
 from repro.sgx.memcpy import VanillaMemcpy, ZcMemcpy
 
 #: The paper's headline large-buffer speedups.
@@ -43,12 +44,46 @@ class Fig13Result:
         return sorted({p.size_bytes for p in self.vanilla.points})
 
 
-def run(sizes: tuple[int, ...] = SIZES, ops: int = 300) -> Fig13Result:
-    """Execute the experiment and return its structured result."""
-    return Fig13Result(
-        vanilla=run_fig7(sizes, ops, VanillaMemcpy()),
-        zc=run_fig7(sizes, ops, ZcMemcpy()),
+def cells(sizes: tuple[int, ...] = SIZES, ops: int = 300) -> list[CellSpec]:
+    """Fig. 7's grid, twice: vanilla cells first, then the zc variant.
+
+    The specs carry ``exp_id="fig7"``, so the runner dispatches to
+    Fig. 7's ``run_cell`` and the vanilla half shares its cache entries
+    with a plain Fig. 7 run.
+    """
+    specs = _fig7.cells(sizes, ops, VanillaMemcpy()) + _fig7.cells(
+        sizes, ops, ZcMemcpy()
     )
+    return [replace(spec, index=index) for index, spec in enumerate(specs)]
+
+
+def run_cell(spec: CellSpec) -> ThroughputPoint:
+    """Execute one cell of the grid (delegates to Fig. 7)."""
+    return _fig7.run_cell(spec)
+
+
+def assemble(
+    points: list[ThroughputPoint],
+    sizes: tuple[int, ...] = SIZES,
+    ops: int = 300,
+) -> Fig13Result:
+    """Build the structured result from rows in ``cells()`` order."""
+    half = len(points) // 2
+    return Fig13Result(
+        vanilla=_fig7.assemble(points[:half], ops=ops),
+        zc=_fig7.assemble(points[half:], ops=ops),
+    )
+
+
+def run(
+    sizes: tuple[int, ...] = SIZES,
+    ops: int = 300,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Fig13Result:
+    """Execute the experiment and return its structured result."""
+    points = run_cells(cells(sizes, ops), jobs=jobs, cache=cache)
+    return assemble(points, ops=ops)
 
 
 def table(result: Fig13Result) -> tuple[list[str], list[list]]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
+from repro.parallel import CellSpec, ResultCache, cell, run_cells
 from repro.workloads.synthetic import SyntheticResult, SyntheticSpec, run_synthetic
 
 CONFIGS = ("C1", "C2", "C3", "C4", "C5")
@@ -47,18 +48,62 @@ class Fig2Result:
         ]
 
 
-def run(
+def cells(
+    total_calls: int = 10_000,
+    workers: tuple[int, ...] = WORKER_COUNTS,
+    configs: tuple[str, ...] = CONFIGS,
+    g_pauses: int = 500,
+) -> list[CellSpec]:
+    """The experiment's grid as data: one cell per (config, workers)."""
+    return [
+        cell(
+            "fig2",
+            index,
+            config=config,
+            workers=w,
+            total_calls=total_calls,
+            g_pauses=g_pauses,
+        )
+        for index, (config, w) in enumerate(
+            (config, w) for config in configs for w in workers
+        )
+    ]
+
+
+def run_cell(spec: CellSpec) -> SyntheticResult:
+    """Execute one cell of the grid."""
+    kw = spec.kwargs
+    synthetic = SyntheticSpec(total_calls=kw["total_calls"], g_pauses=kw["g_pauses"])
+    return run_synthetic(kw["config"], kw["workers"], synthetic)
+
+
+def assemble(
+    rows: list[SyntheticResult],
     total_calls: int = 10_000,
     workers: tuple[int, ...] = WORKER_COUNTS,
     configs: tuple[str, ...] = CONFIGS,
     g_pauses: int = 500,
 ) -> Fig2Result:
+    """Build the structured result from rows in ``cells()`` order."""
+    return Fig2Result(
+        rows=list(rows),
+        spec=SyntheticSpec(total_calls=total_calls, g_pauses=g_pauses),
+    )
+
+
+def run(
+    total_calls: int = 10_000,
+    workers: tuple[int, ...] = WORKER_COUNTS,
+    configs: tuple[str, ...] = CONFIGS,
+    g_pauses: int = 500,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Fig2Result:
     """Sweep (config x workers); scaled by ``total_calls``."""
-    spec = SyntheticSpec(total_calls=total_calls, g_pauses=g_pauses)
-    rows = [
-        run_synthetic(config, w, spec) for config in configs for w in workers
-    ]
-    return Fig2Result(rows=rows, spec=spec)
+    rows = run_cells(
+        cells(total_calls, workers, configs, g_pauses), jobs=jobs, cache=cache
+    )
+    return assemble(rows, total_calls=total_calls, g_pauses=g_pauses)
 
 
 def table(result: Fig2Result) -> tuple[list[str], list[list]]:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
+from repro.parallel import CellSpec, ResultCache, cell, run_cells
 from repro.workloads.synthetic import SyntheticResult, SyntheticSpec, run_synthetic
 
 CONFIGS = ("C1", "C2", "C4", "C5")
@@ -47,23 +48,73 @@ class Fig3Result:
         raise KeyError((config, workers, g_pauses))
 
 
-def run(
+def cells(
+    total_calls: int = 6_000,
+    workers: tuple[int, ...] = (1, 3, 5),
+    configs: tuple[str, ...] = CONFIGS,
+    g_sweep: tuple[int, ...] = G_PAUSES,
+) -> list[CellSpec]:
+    """The experiment's grid as data: one cell per (g, config, workers)."""
+    return [
+        cell(
+            "fig3",
+            index,
+            config=config,
+            workers=w,
+            total_calls=total_calls,
+            g_pauses=g_pauses,
+        )
+        for index, (g_pauses, config, w) in enumerate(
+            (g, c, w) for g in g_sweep for c in configs for w in workers
+        )
+    ]
+
+
+def run_cell(spec: CellSpec) -> SyntheticResult:
+    """Execute one cell of the grid."""
+    kw = spec.kwargs
+    synthetic = SyntheticSpec(total_calls=kw["total_calls"], g_pauses=kw["g_pauses"])
+    return run_synthetic(kw["config"], kw["workers"], synthetic)
+
+
+def assemble(
+    rows: list[SyntheticResult],
     total_calls: int = 6_000,
     workers: tuple[int, ...] = (1, 3, 5),
     configs: tuple[str, ...] = CONFIGS,
     g_sweep: tuple[int, ...] = G_PAUSES,
 ) -> Fig3Result:
-    """Execute the experiment and return its structured result."""
-    rows: list[SyntheticResult] = []
+    """Build the structured result from rows in ``cells()`` order."""
     g_of_row: dict[int, int] = {}
+    index = 0
     for g_pauses in g_sweep:
-        spec = SyntheticSpec(total_calls=total_calls, g_pauses=g_pauses)
-        for config in configs:
-            for w in workers:
-                g_of_row[len(rows)] = g_pauses
-                rows.append(run_synthetic(config, w, spec))
+        for _config in configs:
+            for _w in workers:
+                g_of_row[index] = g_pauses
+                index += 1
     return Fig3Result(
-        rows=rows, g_sweep=g_sweep, total_calls=total_calls, g_of_row=g_of_row
+        rows=list(rows), g_sweep=g_sweep, total_calls=total_calls, g_of_row=g_of_row
+    )
+
+
+def run(
+    total_calls: int = 6_000,
+    workers: tuple[int, ...] = (1, 3, 5),
+    configs: tuple[str, ...] = CONFIGS,
+    g_sweep: tuple[int, ...] = G_PAUSES,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Fig3Result:
+    """Execute the experiment and return its structured result."""
+    rows = run_cells(
+        cells(total_calls, workers, configs, g_sweep), jobs=jobs, cache=cache
+    )
+    return assemble(
+        rows,
+        total_calls=total_calls,
+        workers=workers,
+        configs=configs,
+        g_sweep=g_sweep,
     )
 
 

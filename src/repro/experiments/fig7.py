@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.experiments.common import build_stack, no_sl_spec
+from repro.parallel import CellSpec, ResultCache, cell, run_cells
 from repro.sgx.memcpy import MemcpyModel, VanillaMemcpy
 
 SIZES = (512, 1024, 2048, 4096, 8192, 16_384, 32_768)
@@ -79,19 +80,55 @@ def measure_write_throughput(
     return size * ops / elapsed_s / 1e9
 
 
-def run(
+def cells(
+    sizes: tuple[int, ...] = SIZES,
+    ops: int = 300,
+    memcpy_model: MemcpyModel | None = None,
+) -> list[CellSpec]:
+    """The experiment's grid as data: one cell per (size, alignment).
+
+    The memcpy model rides along as a cell parameter, which is how
+    Fig. 13 reuses these cells (and their cache entries) for both the
+    vanilla and the zc variant.
+    """
+    model = memcpy_model if memcpy_model is not None else VanillaMemcpy()
+    return [
+        cell("fig7", index, size=size, aligned=aligned, memcpy_model=model, ops=ops)
+        for index, (size, aligned) in enumerate(
+            (size, aligned) for size in sizes for aligned in (True, False)
+        )
+    ]
+
+
+def run_cell(spec: CellSpec) -> ThroughputPoint:
+    """Execute one cell of the grid."""
+    kw = spec.kwargs
+    gbps = measure_write_throughput(
+        kw["size"], kw["aligned"], kw["memcpy_model"], kw["ops"]
+    )
+    return ThroughputPoint(kw["size"], kw["aligned"], gbps)
+
+
+def assemble(
+    points: list[ThroughputPoint],
     sizes: tuple[int, ...] = SIZES,
     ops: int = 300,
     memcpy_model: MemcpyModel | None = None,
 ) -> Fig7Result:
+    """Build the structured result from rows in ``cells()`` order."""
+    return Fig7Result(points=list(points), ops=ops)
+
+
+def run(
+    sizes: tuple[int, ...] = SIZES,
+    ops: int = 300,
+    memcpy_model: MemcpyModel | None = None,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Fig7Result:
     """Execute the experiment and return its structured result."""
-    model = memcpy_model if memcpy_model is not None else VanillaMemcpy()
-    points = [
-        ThroughputPoint(size, aligned, measure_write_throughput(size, aligned, model, ops))
-        for size in sizes
-        for aligned in (True, False)
-    ]
-    return Fig7Result(points=points, ops=ops)
+    points = run_cells(cells(sizes, ops, memcpy_model), jobs=jobs, cache=cache)
+    return assemble(points, ops=ops)
 
 
 def table(result: Fig7Result) -> tuple[list[str], list[list]]:

@@ -30,6 +30,7 @@ from repro.experiments.common import (
     no_sl_spec,
     zc_spec,
 )
+from repro.parallel import CellSpec, ResultCache, cell, run_cells
 
 #: The paper's Intel configuration tags and their switchless ocall sets.
 KISSDB_OCALL_SETS: dict[str, frozenset[str]] = {
@@ -156,18 +157,54 @@ def run_one(spec: BackendSpec, n_keys: int, n_threads: int = DEFAULT_THREADS) ->
     )
 
 
-def run(
+def cells(
+    n_keys_sweep: tuple[int, ...] = DEFAULT_N_KEYS,
+    worker_counts: tuple[int, ...] = (2, 4),
+    n_threads: int = DEFAULT_THREADS,
+) -> list[CellSpec]:
+    """The experiment's grid as data: one cell per (backend, key count).
+
+    Fig. 9 reuses these cells verbatim — the same runs feed both figures,
+    so one cache entry serves both.
+    """
+    return [
+        cell("fig8", index, spec=backend, n_keys=n_keys, n_threads=n_threads)
+        for index, (backend, n_keys) in enumerate(
+            (backend, n_keys)
+            for backend in backend_specs(worker_counts)
+            for n_keys in n_keys_sweep
+        )
+    ]
+
+
+def run_cell(spec: CellSpec) -> Fig8Row:
+    """Execute one cell of the grid."""
+    kw = spec.kwargs
+    return run_one(kw["spec"], kw["n_keys"], kw["n_threads"])
+
+
+def assemble(
+    rows: list[Fig8Row],
     n_keys_sweep: tuple[int, ...] = DEFAULT_N_KEYS,
     worker_counts: tuple[int, ...] = (2, 4),
     n_threads: int = DEFAULT_THREADS,
 ) -> Fig8Result:
+    """Build the structured result from rows in ``cells()`` order."""
+    return Fig8Result(rows=list(rows), n_threads=n_threads)
+
+
+def run(
+    n_keys_sweep: tuple[int, ...] = DEFAULT_N_KEYS,
+    worker_counts: tuple[int, ...] = (2, 4),
+    n_threads: int = DEFAULT_THREADS,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Fig8Result:
     """Execute the experiment and return its structured result."""
-    rows = [
-        run_one(spec, n_keys, n_threads)
-        for spec in backend_specs(worker_counts)
-        for n_keys in n_keys_sweep
-    ]
-    return Fig8Result(rows=rows, n_threads=n_threads)
+    rows = run_cells(
+        cells(n_keys_sweep, worker_counts, n_threads), jobs=jobs, cache=cache
+    )
+    return assemble(rows, n_threads=n_threads)
 
 
 def table(result: Fig8Result) -> tuple[list[str], list[list]]:

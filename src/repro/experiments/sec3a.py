@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
+from repro.parallel import CellSpec, ResultCache, cell, run_cells
 from repro.workloads.synthetic import SyntheticResult, SyntheticSpec, run_synthetic
 
 #: The paper's reported runtimes (seconds), for reference in reports.
@@ -34,15 +35,55 @@ class Sec3aResult:
         raise KeyError(config)
 
 
-def run(
+def cells(
+    total_calls: int = 20_000,
+    workers: int = 2,
+    g_pauses: int = 500,
+) -> list[CellSpec]:
+    """The experiment's grid as data: one cell per configuration."""
+    return [
+        cell(
+            "sec3a",
+            index,
+            config=config,
+            workers=workers,
+            total_calls=total_calls,
+            g_pauses=g_pauses,
+        )
+        for index, config in enumerate(CONFIGS)
+    ]
+
+
+def run_cell(spec: CellSpec) -> SyntheticResult:
+    """Execute one cell of the grid."""
+    kw = spec.kwargs
+    synthetic = SyntheticSpec(total_calls=kw["total_calls"], g_pauses=kw["g_pauses"])
+    return run_synthetic(kw["config"], kw["workers"], synthetic)
+
+
+def assemble(
+    rows: list[SyntheticResult],
     total_calls: int = 20_000,
     workers: int = 2,
     g_pauses: int = 500,
 ) -> Sec3aResult:
+    """Build the structured result from rows in ``cells()`` order."""
+    return Sec3aResult(
+        rows=list(rows),
+        spec=SyntheticSpec(total_calls=total_calls, g_pauses=g_pauses),
+    )
+
+
+def run(
+    total_calls: int = 20_000,
+    workers: int = 2,
+    g_pauses: int = 500,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Sec3aResult:
     """Run C1–C5 once each (scaled to ``total_calls``)."""
-    spec = SyntheticSpec(total_calls=total_calls, g_pauses=g_pauses)
-    rows = [run_synthetic(config, workers, spec) for config in CONFIGS]
-    return Sec3aResult(rows=rows, spec=spec)
+    rows = run_cells(cells(total_calls, workers, g_pauses), jobs=jobs, cache=cache)
+    return assemble(rows, total_calls=total_calls, workers=workers, g_pauses=g_pauses)
 
 
 def table(result: Sec3aResult) -> tuple[list[str], list[list]]:

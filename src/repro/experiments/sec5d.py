@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
+from repro.parallel import CellSpec, ResultCache, cell, run_cells
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sgx.memcpy import MemcpyModel, VanillaMemcpy, ZcMemcpy
 from repro.sim import Block, Compute, Kernel, paper_machine
@@ -121,19 +122,52 @@ def measure_transfer(
     return record_bytes * records / elapsed_s / 1e9
 
 
-def run(
+def cells(
     record_sizes: tuple[int, ...] = RECORD_SIZES, records: int = 200
+) -> list[CellSpec]:
+    """The grid as data: a (vanilla, zc) cell pair per record size."""
+    return [
+        cell("sec5d", index, record_bytes=size, memcpy_model=model, records=records)
+        for index, (size, model) in enumerate(
+            (size, model)
+            for size in record_sizes
+            for model in (VanillaMemcpy(), ZcMemcpy())
+        )
+    ]
+
+
+def run_cell(spec: CellSpec) -> float:
+    """Execute one cell of the grid; returns GB/s."""
+    kw = spec.kwargs
+    return measure_transfer(kw["record_bytes"], kw["memcpy_model"], kw["records"])
+
+
+def assemble(
+    rows: list[float],
+    record_sizes: tuple[int, ...] = RECORD_SIZES,
+    records: int = 200,
 ) -> Sec5dResult:
-    """Execute the experiment and return its structured result."""
+    """Build the structured result from rows in ``cells()`` order."""
     points = [
         TransferPoint(
             record_bytes=size,
-            vanilla_gbps=measure_transfer(size, VanillaMemcpy(), records),
-            zc_gbps=measure_transfer(size, ZcMemcpy(), records),
+            vanilla_gbps=rows[2 * i],
+            zc_gbps=rows[2 * i + 1],
         )
-        for size in record_sizes
+        for i, size in enumerate(record_sizes)
     ]
     return Sec5dResult(points=points, records=records)
+
+
+def run(
+    record_sizes: tuple[int, ...] = RECORD_SIZES,
+    records: int = 200,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
+) -> Sec5dResult:
+    """Execute the experiment and return its structured result."""
+    rows = run_cells(cells(record_sizes, records), jobs=jobs, cache=cache)
+    return assemble(rows, record_sizes=record_sizes, records=records)
 
 
 def table(result: Sec5dResult) -> tuple[list[str], list[list]]:

@@ -5,6 +5,12 @@ EXPERIMENTS.md-style document from live runs: one section per experiment
 with its data table (as markdown) and its shape-check verdict.  Useful
 for verifying a changed cost model or scheduler against every figure at
 once.
+
+Experiments that expose their grid as data (``cells()`` / ``run_cell()``
+/ ``assemble()`` — all of them, see ``docs/extending.md``) are executed
+through :class:`repro.parallel.CellRunner`, which adds ``jobs=N``
+process-level parallelism and content-addressed result caching while
+keeping rows bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.experiments import EXPERIMENTS
+from repro.parallel import CellRunner, ResultCache, resolve_jobs
 
 
 @dataclass(frozen=True)
@@ -25,6 +32,12 @@ class ExperimentOutcome:
     rows: list[list[Any]]
     violations: list[str]
     wall_seconds: float
+    #: Wall seconds per cell, in cell order (0.0 for cache hits); empty
+    #: for experiments run through the legacy whole-run path.
+    cell_seconds: tuple[float, ...] = ()
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
 
     @property
     def ok(self) -> bool:
@@ -35,19 +48,36 @@ class ExperimentOutcome:
 def run_suite(
     experiment_ids: Sequence[str] | None = None,
     overrides: dict[str, dict[str, Any]] | None = None,
+    jobs: int | str = 1,
+    cache: ResultCache | None = None,
 ) -> list[ExperimentOutcome]:
     """Run the given experiments (all by default) and collect outcomes.
 
     ``overrides`` maps experiment id to run() kwargs (e.g. the CLI's
-    quick presets).
+    quick presets).  ``jobs`` fans each experiment's cells over a process
+    pool (``"auto"`` = host CPU count); ``cache`` serves already-computed
+    cells.  Both leave the rows bit-identical to the serial, uncached
+    run.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
     overrides = overrides or {}
+    resolved_jobs = resolve_jobs(jobs)
     outcomes = []
     for exp_id in ids:
         module = EXPERIMENTS[exp_id]
+        kwargs = overrides.get(exp_id, {})
         started = time.monotonic()
-        result = module.run(**overrides.get(exp_id, {}))
+        if hasattr(module, "cells"):
+            runner = CellRunner(jobs=resolved_jobs, cache=cache)
+            cell_outcomes = runner.run(module.cells(**kwargs))
+            result = module.assemble([o.row for o in cell_outcomes], **kwargs)
+            cell_seconds = tuple(o.wall_seconds for o in cell_outcomes)
+            cache_hits = sum(1 for o in cell_outcomes if o.cached)
+            cache_misses = len(cell_outcomes) - cache_hits
+        else:
+            result = module.run(**kwargs)
+            cell_seconds = ()
+            cache_hits = cache_misses = 0
         wall = time.monotonic() - started
         headers, rows = module.table(result)
         outcomes.append(
@@ -57,6 +87,10 @@ def run_suite(
                 rows=rows,
                 violations=module.check_shape(result),
                 wall_seconds=wall,
+                cell_seconds=cell_seconds,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                jobs=resolved_jobs,
             )
         )
     return outcomes
@@ -91,6 +125,15 @@ def render_markdown(outcomes: list[ExperimentOutcome]) -> str:
         lines.append(f"## {outcome.exp_id} — {first_doc_line}")
         lines.append("")
         lines.append(f"Shape check: **{verdict}** ({outcome.wall_seconds:.1f}s wall)")
+        if outcome.cell_seconds:
+            executed = [s for s in outcome.cell_seconds if s > 0.0]
+            slowest = max(outcome.cell_seconds)
+            lines.append(
+                f"Cells: {len(outcome.cell_seconds)} "
+                f"({outcome.cache_hits} cached, {outcome.cache_misses} run) · "
+                f"jobs {outcome.jobs} · "
+                f"cell wall {sum(executed):.2f}s total, {slowest:.2f}s max"
+            )
         lines.append("")
         lines.append(_markdown_table(outcome.headers, outcome.rows))
         lines.append("")

@@ -1,0 +1,29 @@
+"""Parallel cell execution: process-pool runner + content-addressed cache.
+
+See ``docs/performance.md`` for the execution model, cache keying and
+invalidation rules, and the determinism guarantees (``jobs=N`` output is
+bit-identical to ``jobs=1``).
+"""
+
+from repro.parallel.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.parallel.cells import CellSpec, canonical, cell
+from repro.parallel.runner import (
+    CellOutcome,
+    CellRunner,
+    fork_available,
+    resolve_jobs,
+    run_cells,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "CellSpec",
+    "cell",
+    "canonical",
+    "CellOutcome",
+    "CellRunner",
+    "fork_available",
+    "resolve_jobs",
+    "run_cells",
+]

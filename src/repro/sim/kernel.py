@@ -182,7 +182,17 @@ class SimThread:
 class LogicalCPU:
     """One logical CPU (hardware thread) of the simulated machine."""
 
-    __slots__ = ("index", "kernel", "sibling", "thread", "activity", "busy_cycles", "busy_by_kind")
+    __slots__ = (
+        "index",
+        "kernel",
+        "sibling",
+        "thread",
+        "activity",
+        "busy_cycles",
+        "busy_by_kind",
+        "_complete_cb",
+        "_slice_cb",
+    )
 
     def __init__(self, index: int, kernel: "Kernel") -> None:
         self.index = index
@@ -192,6 +202,12 @@ class LogicalCPU:
         self.activity: _Activity | None = None
         self.busy_cycles = 0.0
         self.busy_by_kind: dict[str, float] = {}
+        # Preallocated timer callbacks: every Compute/Spin schedules (and
+        # every SMT speed change reschedules) a timer on this CPU, so a
+        # fresh ``functools.partial`` per timer is measurable allocator
+        # churn on the activity path.
+        self._complete_cb = partial(kernel._on_work_complete, self)
+        self._slice_cb = partial(kernel._on_slice_end, self)
 
     @property
     def idle(self) -> bool:
@@ -267,6 +283,10 @@ class Kernel:
         self._heap: list[_Timer] = []
         self._micro: deque[Callable[[], None]] = deque()
         self._ready: deque[SimThread] = deque()
+        #: Lowest CPU index that may be idle; every CPU below it is busy.
+        #: Maintained so the dispatch scan skips the busy prefix instead of
+        #: re-walking all logical CPUs per ready thread.
+        self._idle_scan_start = 0
         self.threads: list[SimThread] = []
         self.cpus = [LogicalCPU(i, self) for i in range(self.spec.n_logical)]
         for cpu in self.cpus:
@@ -413,6 +433,12 @@ class Kernel:
     # Scheduling
     # ------------------------------------------------------------------
     def _make_ready(self, thread: SimThread) -> None:
+        if thread.state is ThreadState.READY:
+            # Already queued: re-queuing would leave a stale duplicate
+            # behind once the first entry dispatches, double-counting the
+            # thread in the ready-queue length and forcing _try_dispatch
+            # to skip it later.  Every queued thread appears exactly once.
+            return
         thread.state = ThreadState.READY
         self._ready.append(thread)
         self._micro.append(self._try_dispatch)
@@ -423,15 +449,34 @@ class Kernel:
         Like Linux, the dispatcher prefers an idle CPU whose SMT sibling is
         also idle, so hyperthread contention only appears once every
         physical core has work.
+
+        The scan starts at ``_idle_scan_start`` — the busy prefix below it
+        was verified busy by an earlier scan and CPUs only go idle through
+        :meth:`_release_core`, which lowers the hint.  On a saturated
+        machine (the common case under load) the scan is O(1): the hint
+        sits past the last CPU and the loop body never runs.  The selection
+        itself is unchanged: lowest-index idle CPU with an idle sibling,
+        else the lowest-index idle CPU.
         """
         fallback: LogicalCPU | None = None
-        for cpu in self.cpus:
-            if not cpu.idle or not thread.allowed_on(cpu.index):
+        cpus = self.cpus
+        n = len(cpus)
+        first_idle_seen = False
+        for i in range(self._idle_scan_start, n):
+            cpu = cpus[i]
+            if not cpu.idle:
+                continue
+            if not first_idle_seen:
+                first_idle_seen = True
+                self._idle_scan_start = i
+            if not thread.allowed_on(cpu.index):
                 continue
             if cpu.sibling is None or cpu.sibling.idle:
                 return cpu
             if fallback is None:
                 fallback = cpu
+        if not first_idle_seen:
+            self._idle_scan_start = n
         return fallback
 
     def _try_dispatch(self) -> None:
@@ -496,6 +541,8 @@ class Kernel:
         thread.core = None
         core.thread = None
         core.activity = None
+        if core.index < self._idle_scan_start:
+            self._idle_scan_start = core.index
         self._sibling_changed(core)
         self._micro.append(self._try_dispatch)
 
@@ -619,11 +666,9 @@ class Kernel:
         wall_remaining = work_left / activity.speed
         t_complete = self.now + wall_remaining
         if t_complete <= thread.slice_end:
-            activity.timer = self._at(wall_remaining, partial(self._on_work_complete, core))
+            activity.timer = self._at(wall_remaining, core._complete_cb)
         else:
-            activity.timer = self._at(
-                thread.slice_end - self.now, partial(self._on_slice_end, core)
-            )
+            activity.timer = self._at(thread.slice_end - self.now, core._slice_cb)
 
     def _apply_progress(self, core: LogicalCPU) -> None:
         activity = core.activity
@@ -773,5 +818,11 @@ class Kernel:
         return snap["busy_total"] / capacity
 
     def ready_queue_length(self) -> int:
-        """Number of threads waiting in the ready queue."""
-        return sum(1 for t in self._ready if t.state is ThreadState.READY)
+        """Number of threads waiting in the ready queue, O(1).
+
+        :meth:`_make_ready` never double-queues a READY thread and queued
+        threads only change state by being dispatched (which pops them),
+        so every entry is live and the deque length is the exact count —
+        no O(n) state filter, no stale-entry double counting.
+        """
+        return len(self._ready)

@@ -109,6 +109,36 @@ class MetricsRegistry:
             metric = self._histograms[key] = Histogram(name, key[1])
         return metric
 
+    def merge(self, other: "MetricsRegistry", relabel_cell: dict[str, str] | None = None) -> None:
+        """Fold another registry's metrics into this one.
+
+        Used when a pool worker ships its per-cell registry back to the
+        parent session (:meth:`repro.telemetry.session.TelemetrySession.
+        absorb`): counters add, gauges take the incoming value and extend
+        their series, histograms re-observe the incoming samples.
+
+        ``relabel_cell`` remaps the value of the ``cell`` label — the
+        parent re-uniquifies capture labels on absorb, and the metrics
+        must follow their capture.
+        """
+
+        def remap(labels: LabelKey) -> dict[str, str]:
+            out = dict(labels)
+            if relabel_cell and "cell" in out:
+                out["cell"] = relabel_cell.get(out["cell"], out["cell"])
+            return out
+
+        for counter in other.counters:
+            self.counter(counter.name, **remap(counter.labels)).inc(counter.value)
+        for gauge in other.gauges:
+            mine = self.gauge(gauge.name, **remap(gauge.labels))
+            mine.value = gauge.value
+            mine.series.extend(gauge.series)
+        for histogram in other.histograms:
+            self.histogram(histogram.name, **remap(histogram.labels)).observe_many(
+                histogram.recorder.samples_cycles
+            )
+
     @property
     def counters(self) -> list[Counter]:
         """All counters, in registration order."""

@@ -18,6 +18,7 @@ instrumented code paths stay on their single ``is None`` check.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.analysis.metrics import LatencyRecorder
@@ -44,6 +45,95 @@ _ACTIVE: list["TelemetrySession"] = []
 def active_session() -> "TelemetrySession | None":
     """The innermost active session, or None when telemetry is off."""
     return _ACTIVE[-1] if _ACTIVE else None
+
+
+@dataclass
+class CapturePayload:
+    """One finalized capture as plain picklable data.
+
+    What a pool worker ships back to the parent process: everything the
+    exporters read from a capture, with the live objects (kernel, bus
+    clock closure, tracer) already reduced to lists and snapshots.
+    """
+
+    label: str
+    freq_hz: float
+    events: list[TelemetryEvent]
+    events_dropped: int
+    event_counts: dict[str, int]
+    now_cycles: float
+    sched_trace: SchedTrace | None
+    call_events: list[Any]
+    latency_samples: list[float]
+    snapshot: LedgerSnapshot | None
+    worker_timeline: list[tuple[float, float]]
+    backend_stats: dict[str, Any]
+    capture_calls: bool
+
+
+@dataclass
+class SessionPayload:
+    """A child session's captures + metrics, ready to cross a process."""
+
+    captures: list[CapturePayload] = field(default_factory=list)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+
+class _BusFlags:
+    """Stands in for the event bus on a frozen capture.
+
+    The exporters only ask a finalized capture's bus one question —
+    ``capture_calls`` (whether ``ocall.complete`` lines are already on the
+    bus or must be synthesized from the tracer) — so a frozen capture
+    carries just that flag.
+    """
+
+    __slots__ = ("capture_calls",)
+
+    def __init__(self, capture_calls: bool) -> None:
+        self.capture_calls = capture_calls
+
+
+class FrozenCapture:
+    """An absorbed capture: exporter-compatible, plain data only.
+
+    Quacks like a finalized :class:`CellCapture` for every exporter and
+    summary path (label, events, sched trace, call events, snapshot,
+    ``assert_balanced``, ``latency_summary``) but holds no simulation
+    objects — it is rebuilt from a :class:`CapturePayload` in the parent
+    process after a pool worker ran the cell.
+    """
+
+    def __init__(self, payload: CapturePayload, label: str) -> None:
+        self.label = label
+        self.freq_hz = payload.freq_hz
+        self.kernel = None
+        self.bus = _BusFlags(payload.capture_calls)
+        self.events = payload.events
+        self.events_dropped = payload.events_dropped
+        self.event_counts = payload.event_counts
+        self.now_cycles = payload.now_cycles
+        self.sched_trace = payload.sched_trace
+        self.call_events = payload.call_events
+        self.snapshot = payload.snapshot
+        self.worker_timeline = payload.worker_timeline
+        self.backend_stats = payload.backend_stats
+        self._latency_samples = payload.latency_samples
+        self.finalized = True
+
+    def finalize(self) -> None:
+        """No-op: a frozen capture is finalized by construction."""
+
+    def assert_balanced(self, rel_tol: float = 1e-6) -> None:
+        """Assert cycle conservation on the absorbed snapshot."""
+        assert self.snapshot is not None
+        self.snapshot.assert_balanced(rel_tol)
+
+    def latency_summary(self) -> dict[str, float]:
+        """p50/p95/p99 summary of the captured end-to-end call latencies."""
+        recorder = LatencyRecorder()
+        recorder.record_many(self._latency_samples)
+        return recorder.summary()
 
 
 class CellCapture:
@@ -223,6 +313,32 @@ class CellCapture:
             recorder.record_many(self._done_tracer.latency_samples())
         return recorder.summary()
 
+    def to_payload(self) -> CapturePayload:
+        """Reduce this (finalized) capture to plain picklable data.
+
+        Materializes the tracer's call events eagerly — the payload
+        crosses a process boundary, so lazy construction cannot be
+        deferred to the parent.
+        """
+        if not self.finalized:
+            self.finalize()
+        tracer = self._done_tracer
+        return CapturePayload(
+            label=self.label,
+            freq_hz=self.freq_hz,
+            events=self.events,
+            events_dropped=self.events_dropped,
+            event_counts=self.event_counts,
+            now_cycles=self.now_cycles,
+            sched_trace=self.sched_trace,
+            call_events=list(self.call_events),
+            latency_samples=tracer.latency_samples() if tracer is not None else [],
+            snapshot=self.snapshot,
+            worker_timeline=self.worker_timeline,
+            backend_stats=self.backend_stats,
+            capture_calls=self.bus.capture_calls,
+        )
+
 
 class TelemetrySession:
     """Context manager collecting one :class:`CellCapture` per stack.
@@ -252,7 +368,9 @@ class TelemetrySession:
         self.max_events_per_cell = max_events_per_cell
         self.sched_trace_entries = sched_trace_entries
         self.tracer_max_events = tracer_max_events
-        self.captures: list[CellCapture] = []
+        #: Holds :class:`CellCapture` for cells run in-process and
+        #: :class:`FrozenCapture` for cells absorbed from pool workers.
+        self.captures: list[CellCapture | FrozenCapture] = []
         self.registry = MetricsRegistry()
         self._label_counts: dict[str, int] = {}
 
@@ -266,12 +384,15 @@ class TelemetrySession:
     def __exit__(self, *exc_info: object) -> None:
         _ACTIVE.remove(self)
 
-    def attach(self, kernel: Kernel, label: str) -> CellCapture:
-        """Instrument ``kernel`` as a new cell; labels are made unique."""
+    def _unique_label(self, label: str) -> str:
+        """Uniquify a cell label (``zc``, ``zc#1``, ``zc#2``, ...)."""
         count = self._label_counts.get(label, 0)
         self._label_counts[label] = count + 1
-        unique = label if count == 0 else f"{label}#{count}"
-        capture = CellCapture(self, kernel, unique)
+        return label if count == 0 else f"{label}#{count}"
+
+    def attach(self, kernel: Kernel, label: str) -> CellCapture:
+        """Instrument ``kernel`` as a new cell; labels are made unique."""
+        capture = CellCapture(self, kernel, self._unique_label(label))
         self.captures.append(capture)
         return capture
 
@@ -280,6 +401,54 @@ class TelemetrySession:
         for capture in self.captures:
             if not capture.finalized and capture.kernel is not None:
                 capture.finalize()
+
+    # ------------------------------------------------------------------
+    # Cross-process transfer (repro.parallel)
+    # ------------------------------------------------------------------
+    def config_kwargs(self) -> dict[str, Any]:
+        """The constructor kwargs that recreate this session's config.
+
+        The parallel runner passes these to the child process so each
+        pool worker instruments its cell exactly as the parent would.
+        """
+        return {
+            "capture_sched": self.capture_sched,
+            "capture_calls": self.capture_calls,
+            "max_events_per_cell": self.max_events_per_cell,
+            "sched_trace_entries": self.sched_trace_entries,
+            "tracer_max_events": self.tracer_max_events,
+        }
+
+    def to_payload(self) -> SessionPayload:
+        """Reduce every capture to plain data for the trip to the parent."""
+        self.finalize_all()
+        return SessionPayload(
+            captures=[capture.to_payload() for capture in self.captures],
+            registry=self.registry,
+        )
+
+    def absorb(self, payload: SessionPayload) -> None:
+        """Merge a child session's payload into this session.
+
+        Labels are re-uniquified through this session's counter — a
+        child's ``zc`` becomes ``zc#2`` here if two zc cells were already
+        captured — so absorbing cells in deterministic cell order yields
+        the same label sequence a serial run produces.  The child's
+        metrics follow their capture via the same relabel map.
+        """
+        relabel: dict[str, str] = {}
+        for capture_payload in payload.captures:
+            # Recover the base label (strip a ``#N`` uniquification suffix
+            # the child added) and re-derive the suffix in this session.
+            base, sep, suffix = capture_payload.label.rpartition("#")
+            if sep and suffix.isdigit():
+                original = base
+            else:
+                original = capture_payload.label
+            unique = self._unique_label(original)
+            relabel[capture_payload.label] = unique
+            self.captures.append(FrozenCapture(capture_payload, unique))
+        self.registry.merge(payload.registry, relabel_cell=relabel)
 
     # ------------------------------------------------------------------
     # Export

@@ -1,0 +1,83 @@
+"""The content-addressed result cache: keys, hits, atomicity."""
+
+import dataclasses
+import os
+import pickle
+
+from repro.parallel import ResultCache, cell
+from repro.parallel.cache import environment_fingerprint, source_fingerprint
+
+
+def test_cold_miss_then_warm_hit_is_byte_identical(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = cell("fig7", 0, size=512, aligned=True, ops=100)
+    row = {"gbps": 1.25, "series": (1, 2, 3)}
+
+    hit, _ = cache.load(spec)
+    assert not hit
+    cache.store(spec, row)
+    hit, loaded = cache.load(spec)
+    assert hit
+    assert pickle.dumps(loaded) == pickle.dumps(row)
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_key_excludes_the_grid_index(tmp_path):
+    # fig9/fig12/fig13 re-plot another figure's cells at different
+    # positions; equal work must resolve to one entry.
+    cache = ResultCache(str(tmp_path))
+    spec = cell("fig7", 0, size=512, aligned=True)
+    moved = dataclasses.replace(spec, index=17)
+    assert cache.key(spec) == cache.key(moved)
+
+
+def test_key_depends_on_experiment_and_params(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    base = cell("fig7", 0, size=512, aligned=True)
+    assert cache.key(base) != cache.key(cell("fig13", 0, size=512, aligned=True))
+    assert cache.key(base) != cache.key(cell("fig7", 0, size=1024, aligned=True))
+
+
+def test_key_is_hex_sha256(tmp_path):
+    key = ResultCache(str(tmp_path)).key(cell("fig7", 0, size=512))
+    assert len(key) == 64
+    int(key, 16)
+
+
+def test_corrupt_entry_counts_as_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = cell("fig7", 0, size=512)
+    cache.store(spec, [1, 2, 3])
+    path = os.path.join(str(tmp_path), f"{cache.key(spec)}.pkl")
+    with open(path, "wb") as handle:
+        handle.write(b"\x80")  # truncated pickle
+    hit, row = cache.load(spec)
+    assert not hit
+    assert row is None
+
+
+def test_store_leaves_no_temp_droppings(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.store(cell("fig7", 0, size=512), "row")
+    assert all(name.endswith(".pkl") for name in os.listdir(str(tmp_path)))
+
+
+def test_clear_removes_every_entry(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    for i, size in enumerate((512, 1024, 2048)):
+        cache.store(cell("fig7", i, size=size), size)
+    assert cache.clear() == 3
+    hit, _ = cache.load(cell("fig7", 0, size=512))
+    assert not hit
+
+
+def test_missing_directory_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(str(tmp_path / "never-created"))
+    hit, _ = cache.load(cell("fig7", 0, size=512))
+    assert not hit
+
+
+def test_fingerprints_are_stable_within_a_process():
+    assert source_fingerprint() == source_fingerprint()
+    assert environment_fingerprint() == environment_fingerprint()
+    assert len(environment_fingerprint()) == 64

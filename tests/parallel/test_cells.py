@@ -1,0 +1,60 @@
+"""Cell specs and the canonical form that content-addresses them."""
+
+import pickle
+
+from repro.parallel import CellSpec, canonical, cell
+from repro.sgx.memcpy import VanillaMemcpy, ZcMemcpy
+
+
+def test_cell_sorts_params_and_roundtrips_kwargs():
+    spec = cell("fig7", 3, size=512, aligned=True, ops=100)
+    assert spec.exp_id == "fig7"
+    assert spec.index == 3
+    assert [name for name, _ in spec.params] == sorted(
+        name for name, _ in spec.params
+    )
+    assert spec.kwargs == {"size": 512, "aligned": True, "ops": 100}
+
+
+def test_cell_param_order_does_not_matter():
+    a = cell("fig7", 0, size=512, aligned=True)
+    b = cell("fig7", 0, aligned=True, size=512)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_spec_is_frozen_hashable_and_picklable():
+    spec = cell("fig7", 1, size=4096, aligned=False)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert {spec: "row"}[clone] == "row"
+
+
+def test_label_names_the_cell():
+    assert cell("fig7", 2, size=512, aligned=True).label() == "fig7[2]"
+
+
+def test_canonical_flattens_dataclasses():
+    flat = canonical(VanillaMemcpy())
+    assert isinstance(flat, dict)
+    assert "__type__" in flat
+    assert canonical(VanillaMemcpy()) == canonical(VanillaMemcpy())
+    assert canonical(VanillaMemcpy()) != canonical(ZcMemcpy())
+
+
+def test_canonical_orders_sets_and_dicts():
+    assert canonical({3, 1, 2}) == canonical({2, 3, 1})
+    assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+
+
+def test_canonical_treats_tuples_as_lists():
+    assert canonical((1, 2, 3)) == canonical([1, 2, 3])
+
+
+def test_canonical_is_json_stable():
+    import json
+
+    value = canonical(
+        cell("fig8", 0, spec=VanillaMemcpy(), sweep=(1, 2), flags={"x"}).params
+    )
+    assert json.dumps(value, sort_keys=True) == json.dumps(value, sort_keys=True)

@@ -1,0 +1,71 @@
+"""jobs=N must be bit-identical to jobs=1 — rows, verdicts, telemetry."""
+
+import pickle
+
+import pytest
+
+from repro.experiments import fig7, sec5d
+from repro.parallel import fork_available, run_cells
+from repro.telemetry import TelemetrySession
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform cannot fork pool workers"
+)
+
+FIG7_KW = {"sizes": (512, 4096), "ops": 40}
+
+
+@needs_fork
+def test_parallel_rows_are_bit_identical():
+    specs = fig7.cells(**FIG7_KW)
+    serial = run_cells(specs, jobs=1)
+    parallel = run_cells(specs, jobs=4)
+    assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+
+@needs_fork
+def test_parallel_verdicts_match_serial():
+    specs = fig7.cells(**FIG7_KW)
+    serial = fig7.assemble(run_cells(specs, jobs=1), ops=FIG7_KW["ops"])
+    parallel = fig7.assemble(run_cells(specs, jobs=4), ops=FIG7_KW["ops"])
+    assert fig7.check_shape(parallel) == fig7.check_shape(serial)
+    assert fig7.table(parallel) == fig7.table(serial)
+
+
+@needs_fork
+def test_mixed_experiment_specs_dispatch_by_exp_id():
+    specs = fig7.cells(sizes=(512,), ops=40) + sec5d.cells(
+        record_sizes=(4096,), records=40
+    )
+    serial = run_cells(specs, jobs=1)
+    parallel = run_cells(specs, jobs=2)
+    assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+
+def _observed_run(jobs, out_dir):
+    with TelemetrySession() as session:
+        run_cells(fig7.cells(sizes=(512,), ops=40), jobs=jobs)
+        labels = [capture.label for capture in session.captures]
+        budget = session.render_cycle_budget()
+        paths = session.export(str(out_dir), "fig7")
+    artifacts = {}
+    for name, path in paths.items():
+        with open(path, "rb") as handle:
+            artifacts[name] = handle.read()
+    return labels, budget, artifacts
+
+
+@needs_fork
+def test_telemetry_exports_are_byte_identical(tmp_path):
+    # Worker processes run their cell under their own session and ship a
+    # plain-data payload back; absorbing in spec order must reproduce the
+    # serial captures exactly — labels, cycle budget and all artifacts.
+    serial_labels, serial_budget, serial_artifacts = _observed_run(
+        1, tmp_path / "serial"
+    )
+    parallel_labels, parallel_budget, parallel_artifacts = _observed_run(
+        2, tmp_path / "parallel"
+    )
+    assert parallel_labels == serial_labels
+    assert parallel_budget == serial_budget
+    assert parallel_artifacts == serial_artifacts

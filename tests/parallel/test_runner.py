@@ -1,0 +1,66 @@
+"""The cell runner: job resolution, cache mixing, spec-order outcomes."""
+
+import os
+
+import pytest
+
+from repro.experiments import fig7
+from repro.parallel import CellRunner, ResultCache, fork_available, resolve_jobs, run_cells
+
+
+def test_resolve_jobs_accepts_auto_none_and_numbers():
+    assert resolve_jobs("auto") == (os.cpu_count() or 1)
+    assert resolve_jobs(None) == (os.cpu_count() or 1)
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs("4") == 4
+
+
+def test_resolve_jobs_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+def test_fork_available_is_a_bool():
+    assert isinstance(fork_available(), bool)
+
+
+def test_outcomes_come_back_in_spec_order():
+    specs = fig7.cells(sizes=(512, 2048), ops=40)
+    outcomes = CellRunner(jobs=1).run(specs)
+    assert [outcome.spec for outcome in outcomes] == specs
+    assert all(not outcome.cached for outcome in outcomes)
+    assert all(outcome.wall_seconds > 0.0 for outcome in outcomes)
+
+
+def test_run_cells_returns_rows_matching_run_cell():
+    specs = fig7.cells(sizes=(512,), ops=40)
+    rows = run_cells(specs, jobs=1)
+    assert rows == [fig7.run_cell(spec) for spec in specs]
+
+
+def test_runner_mixes_cached_and_fresh_cells(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    specs = fig7.cells(sizes=(512, 2048), ops=40)
+    # Warm exactly the first grid point's pair of (aligned, unaligned)
+    # cells; the rest must execute.
+    warm = [spec for spec in specs if spec.kwargs["size"] == 512]
+    for spec in warm:
+        cache.store(spec, fig7.run_cell(spec))
+
+    runner = CellRunner(jobs=1, cache=cache)
+    outcomes = runner.run(specs)
+    assert [o.cached for o in outcomes] == [s in warm for s in specs]
+    assert runner.cache_hits == len(warm)
+    assert runner.cache_misses == len(specs) - len(warm)
+
+    # Every executed cell was fed back: a rerun is all hits.
+    rerun = CellRunner(jobs=1, cache=ResultCache(str(tmp_path))).run(specs)
+    assert all(outcome.cached for outcome in rerun)
+
+
+def test_cached_rows_equal_fresh_rows(tmp_path):
+    specs = fig7.cells(sizes=(512,), ops=40)
+    fresh = run_cells(specs, jobs=1)
+    run_cells(specs, jobs=1, cache=ResultCache(str(tmp_path)))
+    cached = run_cells(specs, jobs=1, cache=ResultCache(str(tmp_path)))
+    assert cached == fresh
