@@ -191,7 +191,10 @@ def main(argv: list[str] | None = None) -> int:
     specs = _suite_specs()
     serial_wall = _best_of(lambda: run_cells(specs, jobs=1), 1)
     parallel_wall = _best_of(lambda: run_cells(specs, jobs=jobs), 1)
+    from repro.telemetry.schema import stamp
+
     payload = {
+        **stamp("bench-meta"),
         "n_ocalls": N_OCALLS,
         "throughput": throughput,
         "suite": {

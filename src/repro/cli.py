@@ -25,6 +25,16 @@ Performance (see ``docs/performance.md``):
   (``auto`` = host CPU count) with bit-identical results;
 - ``--no-cache`` / ``--cache-dir DIR`` control the content-addressed
   result cache (default ``.repro_cache/``).
+
+Regression sentinel (see the "Regression workflow" section of
+``docs/observability.md``):
+
+- ``repro baseline`` snapshots a run (cycle-ledger categories, metrics,
+  shape verdicts) into a schema-stamped JSON file;
+- ``repro diff BASELINE`` re-runs the baseline's experiments (or reads a
+  second snapshot with ``--against``) and fails on confirmed regressions;
+- ``repro audit`` runs the paper-invariant checkers live over an
+  experiment, or replays an exported ``*.events.jsonl``.
 """
 
 from __future__ import annotations
@@ -137,6 +147,108 @@ def _make_cache(args: argparse.Namespace) -> Any | None:
     return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
 
 
+def _parse_experiments(value: str) -> list[str] | None:
+    """``--experiments all`` (None = every experiment) or a comma list."""
+    if value == "all":
+        return None
+    ids = [item.strip() for item in value.split(",") if item.strip()]
+    unknown = [exp_id for exp_id in ids if exp_id not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+    return ids
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    """Capture a run snapshot and write it to ``--out``."""
+    from repro.regress import capture_run, save_snapshot
+
+    snapshot = capture_run(
+        experiment_ids=_parse_experiments(args.experiments),
+        overrides=QUICK_KWARGS if args.quick else {},
+        quick=args.quick,
+        jobs=args.jobs,
+        repeats=args.repeats,
+        bench_meta_path=args.bench_meta,
+        name=args.name,
+    )
+    path = save_snapshot(snapshot, args.out)
+    cells = sum(
+        len(record["cells"]) for record in snapshot["experiments"].values()
+    )
+    print(
+        f"baseline '{snapshot['name']}' written to {path} "
+        f"({len(snapshot['experiments'])} experiment(s), {cells} cell(s), "
+        f"{args.repeats} repeat(s))"
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Diff a baseline against a re-run (or a second snapshot)."""
+    from repro.regress import capture_run, diff_snapshots, load_snapshot
+
+    base = load_snapshot(args.baseline)
+    if args.against is not None:
+        current = load_snapshot(args.against)
+    else:
+        # Re-run exactly what the baseline recorded, at its own scale.
+        quick = base.get("quick", True)
+        current = capture_run(
+            experiment_ids=base.get("experiment_ids"),
+            overrides=QUICK_KWARGS if quick else {},
+            quick=quick,
+            jobs=args.jobs,
+            repeats=args.repeats if args.repeats else base.get("repeats", 1),
+            name="current",
+        )
+    report = diff_snapshots(
+        base, current, threshold=args.threshold, min_cycles=args.min_cycles
+    )
+    text = report.render()
+    print(text, end="")
+    if args.report is not None:
+        directory = os.path.dirname(args.report)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[diff report written to {args.report}]")
+    return report.exit_code()
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Run the invariant checkers, live or over an exported event log."""
+    from repro.regress import attach_auditor, audit_jsonl
+
+    auditors = []
+    if args.events is not None:
+        auditors = list(audit_jsonl(args.events).values())
+    else:
+        if args.experiment is None:
+            raise SystemExit("audit needs an experiment id or --events FILE")
+        from repro.telemetry import TelemetrySession
+
+        module = EXPERIMENTS[args.experiment]
+        kwargs = QUICK_KWARGS.get(args.experiment, {}) if args.quick else {}
+        live = []
+        # jobs=1: the checkers subscribe to in-process buses; pool workers
+        # would run their cells in children the auditors cannot see.
+        with TelemetrySession(on_attach=lambda c: live.append(attach_auditor(c))):
+            module.run(**kwargs, jobs=1, cache=None)
+        for auditor in live:
+            auditor.finish()
+        auditors = live
+    violations = 0
+    for auditor in auditors:
+        print(auditor.render())
+        violations += len(auditor.violations)
+    print(
+        f"\naudit: {len(auditors)} cell(s), "
+        + (f"{violations} violation(s)" if violations else "all invariants hold")
+    )
+    return 1 if violations else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -187,7 +299,85 @@ def main(argv: list[str] | None = None) -> int:
         "--csv", metavar="DIR", help="also write each experiment's CSV into DIR"
     )
     _add_parallel_args(report_parser)
+
+    baseline_parser = sub.add_parser(
+        "baseline", help="snapshot a run for later regression diffs"
+    )
+    baseline_parser.add_argument(
+        "--out", default="baselines/quick.json", help="snapshot output file"
+    )
+    baseline_parser.add_argument(
+        "--quick", action="store_true", help="scaled-down parameters"
+    )
+    baseline_parser.add_argument(
+        "--experiments",
+        default="all",
+        metavar="IDS",
+        help="comma-separated experiment ids (default all)",
+    )
+    baseline_parser.add_argument(
+        "--repeats", type=int, default=1, help="runs per experiment (bootstrap samples)"
+    )
+    baseline_parser.add_argument(
+        "--jobs", default="1", metavar="N", help="worker processes per run"
+    )
+    baseline_parser.add_argument(
+        "--bench-meta", default=None, metavar="FILE", help="embed a BENCH_meta.json"
+    )
+    baseline_parser.add_argument("--name", default="baseline", help="snapshot name")
+
+    diff_parser = sub.add_parser(
+        "diff", help="compare a run against a baseline snapshot"
+    )
+    diff_parser.add_argument("baseline", help="baseline snapshot file")
+    diff_parser.add_argument(
+        "--against",
+        default=None,
+        metavar="SNAPSHOT",
+        help="second snapshot to compare (default: re-run the baseline's experiments)",
+    )
+    diff_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative delta a gated quantity may move (default 0.05)",
+    )
+    diff_parser.add_argument(
+        "--min-cycles",
+        type=float,
+        default=1_000.0,
+        help="ignore cycle categories smaller than this on both sides",
+    )
+    diff_parser.add_argument(
+        "--repeats", type=int, default=0, help="re-run repeats (default: baseline's)"
+    )
+    diff_parser.add_argument(
+        "--jobs", default="1", metavar="N", help="worker processes for the re-run"
+    )
+    diff_parser.add_argument(
+        "--report", default=None, metavar="FILE", help="also write the markdown report"
+    )
+
+    audit_parser = sub.add_parser(
+        "audit", help="check paper invariants, live or from an event log"
+    )
+    audit_parser.add_argument(
+        "experiment", nargs="?", choices=list(EXPERIMENTS), help="run live"
+    )
+    audit_parser.add_argument(
+        "--events", default=None, metavar="FILE", help="replay an exported *.events.jsonl"
+    )
+    audit_parser.add_argument(
+        "--quick", action="store_true", help="scaled-down parameters"
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "baseline":
+        return _cmd_baseline(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
 
     if args.command == "list":
         for exp_id, module in EXPERIMENTS.items():

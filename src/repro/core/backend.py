@@ -166,10 +166,17 @@ class ZcSwitchlessBackend(CallBackend):
         bus = enclave.kernel.bus
         worker = self._find_unused()
         if worker is None:
-            # §IV-C: immediate fallback, no busy-waiting at all.
+            # §IV-C: immediate fallback, no busy-waiting at all.  The
+            # event carries the cycles elapsed since backend dispatch so
+            # the invariant auditor can prove "no busy-waiting": this
+            # path runs without a single yield, so the difference is 0.
             self.stats.record_fallback()
             if bus is not None:
-                bus.emit("zc.fallback", name=request.name)
+                bus.emit(
+                    "zc.fallback",
+                    name=request.name,
+                    waited_cycles=enclave.kernel.now - request.dispatched_at,
+                )
             result = yield from self._regular(request)
             request.mode = "fallback"
             return result

@@ -147,7 +147,12 @@ class ZcEcallRuntime:
         if worker is None:
             self.stats.record_fallback()
             if bus is not None:
-                bus.emit("zc.fallback", name=request.name, path="ecall")
+                bus.emit(
+                    "zc.fallback",
+                    name=request.name,
+                    path="ecall",
+                    waited_cycles=enclave.kernel.now - request.dispatched_at,
+                )
             result = yield from self._regular_ecall(request)
             request.mode = "fallback"
             return result

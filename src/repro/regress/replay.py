@@ -1,0 +1,113 @@
+"""Replay exported JSONL event logs through the invariant auditor.
+
+The JSONL exporter writes one schema-stamp line, then every bus event
+(plus synthesized ``ocall.complete`` lines) tagged with its cell, then
+one ``telemetry.meta`` line per cell carrying the machine context.  This
+module reads that artifact back into per-cell
+:class:`~repro.telemetry.events.TelemetryEvent` streams — refusing
+unstamped or version-mismatched files — and runs the audit checkers over
+them, so an invariant violation can be diagnosed from a CI artifact long
+after the run that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.regress.audit import Checker, InvariantAuditor
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.schema import SchemaMismatch, check_stamp
+
+
+@dataclass
+class CellStream:
+    """One cell's replayed events plus its trailing meta context."""
+
+    label: str
+    events: list[TelemetryEvent] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_cpus(self) -> int | None:
+        """Logical CPU count recorded by the exporter's meta line."""
+        return self.meta.get("n_cpus")
+
+    @property
+    def workers_cap(self) -> int | None:
+        """zc worker-pool size from the meta line's backend stats."""
+        stats = self.meta.get("backend_stats") or {}
+        return stats.get("workers_cap")
+
+
+def read_events_jsonl(path: str) -> dict[str, CellStream]:
+    """Parse an exported event log into per-cell streams, in file order.
+
+    Raises :class:`~repro.telemetry.schema.SchemaMismatch` when the file
+    is missing its leading ``telemetry.schema`` stamp or was written by an
+    incompatible schema version.
+    """
+    cells: dict[str, CellStream] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        first = handle.readline()
+        try:
+            header = json.loads(first) if first.strip() else {}
+        except json.JSONDecodeError:
+            header = {}
+        if header.get("event") != "telemetry.schema":
+            raise SchemaMismatch(
+                f"{path}: no telemetry.schema stamp on line 1 "
+                "(unstamped artifacts predate the regression schema; re-export)"
+            )
+        check_stamp(header, "events-jsonl", source=path)
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            name = record.get("event", "")
+            if name == "telemetry.schema":
+                continue
+            label = record.get("cell", "")
+            stream = cells.get(label)
+            if stream is None:
+                stream = cells[label] = CellStream(label)
+            if name == "telemetry.meta":
+                stream.meta = record
+                continue
+            fields = {
+                key: value
+                for key, value in record.items()
+                if key not in ("t_cycles", "cell", "event")
+            }
+            stream.events.append(
+                TelemetryEvent(record.get("t_cycles", 0.0), name, fields)
+            )
+    return cells
+
+
+def audit_jsonl(
+    path: str, checkers_factory=None
+) -> dict[str, InvariantAuditor]:
+    """Run the invariant checkers over every cell of an exported log.
+
+    ``checkers_factory`` builds a fresh checker list per cell (defaults
+    to the stock set; the conservation checker is inert in replay — the
+    artifact carries events, not the ledger).  Returns one finished
+    auditor per cell, keyed by label.
+    """
+    auditors: dict[str, InvariantAuditor] = {}
+    for label, stream in read_events_jsonl(path).items():
+        checkers: Sequence[Checker] | None = (
+            checkers_factory() if checkers_factory is not None else None
+        )
+        auditor = InvariantAuditor(
+            cell=label,
+            n_cpus=stream.n_cpus,
+            workers_cap=stream.workers_cap,
+            checkers=checkers,
+        )
+        auditor.feed(stream.events)
+        auditor.finish()
+        auditors[label] = auditor
+    return auditors

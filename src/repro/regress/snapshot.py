@@ -1,0 +1,165 @@
+"""Run snapshots: everything ``repro diff`` needs, as one JSON file.
+
+``capture_run`` executes a set of experiments with telemetry attached
+(fanned out over :class:`repro.parallel.CellRunner` via each module's
+``run(jobs=...)``, result cache disabled so every cell actually runs)
+and collects, per repeat:
+
+- per-cell cycle-ledger categories (wall and work cycles) and simulated
+  end time, from each cell's :class:`~repro.telemetry.ledger.LedgerSnapshot`;
+- the experiment's metrics registry (counters, gauges, histogram
+  quantiles), flattened to ``name{label=value,...}`` keys;
+- the experiment's shape-check verdicts (the paper-shape violations);
+- optionally an existing ``BENCH_meta.json``, embedded for trajectory
+  tracking (host-throughput numbers are machine-dependent, so the diff
+  treats them as informational).
+
+Repeats are the bootstrap resampling unit: the simulator is
+deterministic per parameter set, so repeated identical runs give
+zero-width confidence intervals, while perturbed runs (different seeds /
+parameters) widen them honestly.  Snapshots are stamped with the
+artifact schema version and refuse to diff against mismatched inputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.experiments import EXPERIMENTS
+from repro.telemetry.ledger import CATEGORIES
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.schema import check_stamp, stamp
+from repro.telemetry.session import TelemetrySession
+
+#: Artifact kind recorded in every snapshot's stamp.
+SNAPSHOT_ARTIFACT = "run-snapshot"
+
+#: Default location of committed baselines.
+DEFAULT_BASELINE_DIR = "baselines"
+
+
+def _labels_key(name: str, labels: Sequence[tuple[str, str]], suffix: str = "") -> str:
+    body = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{suffix}{{{body}}}"
+
+
+def _registry_values(registry: MetricsRegistry) -> dict[str, float]:
+    """Flatten a metrics registry to scalar samples.
+
+    Counters and gauges contribute their value; histograms contribute
+    their p50/p95/p99 and count — the quantities the exporters publish,
+    and therefore the ones worth guarding.
+    """
+    values: dict[str, float] = {}
+    for counter in registry.counters:
+        values[_labels_key(counter.name, counter.labels)] = counter.value
+    for gauge in registry.gauges:
+        values[_labels_key(gauge.name, gauge.labels)] = gauge.value
+    for histogram in registry.histograms:
+        summary = histogram.summary()
+        for key in ("p50", "p95", "p99", "count"):
+            values[_labels_key(histogram.name, histogram.labels, f".{key}")] = summary[key]
+    return values
+
+
+def _merge_samples(into: dict[str, list[float]], values: Mapping[str, float]) -> None:
+    for key, value in values.items():
+        into.setdefault(key, []).append(round(float(value), 3))
+
+
+def capture_run(
+    experiment_ids: Sequence[str] | None = None,
+    overrides: Mapping[str, Mapping[str, Any]] | None = None,
+    quick: bool = True,
+    jobs: int | str = 1,
+    repeats: int = 1,
+    bench_meta_path: str | None = None,
+    name: str = "run",
+) -> dict[str, Any]:
+    """Execute the experiments and build a snapshot document.
+
+    ``overrides`` maps experiment id to ``run()`` kwargs (the CLI passes
+    its quick presets).  Each repeat runs every experiment once; samples
+    accumulate per (cell, category) and per metric so the diff can
+    bootstrap over them.
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    overrides = overrides or {}
+    experiments: dict[str, Any] = {}
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {exp_id!r}")
+        experiments[exp_id] = {"violations": [], "cells": {}, "metrics": {}}
+
+    for _ in range(repeats):
+        for exp_id in ids:
+            module = EXPERIMENTS[exp_id]
+            kwargs = dict(overrides.get(exp_id, {}))
+            record = experiments[exp_id]
+            with TelemetrySession() as session:
+                # cache=None: a cache hit would skip the cell and capture
+                # nothing; a snapshot must observe every cell live.
+                result = module.run(**kwargs, jobs=jobs, cache=None)
+            record["violations"].append(module.check_shape(result))
+            for capture in session.captures:
+                snapshot = capture.snapshot
+                if snapshot is None:
+                    continue
+                cell = record["cells"].setdefault(
+                    capture.label,
+                    {
+                        "n_cpus": snapshot.n_cpus,
+                        "backend": capture.backend_stats.get("backend", "regular"),
+                        "now_cycles": [],
+                        "wall_by_category": {cat: [] for cat in CATEGORIES},
+                        "work_by_category": {},
+                    },
+                )
+                cell["now_cycles"].append(round(snapshot.now_cycles, 3))
+                for category in CATEGORIES:
+                    cell["wall_by_category"][category].append(
+                        round(snapshot.wall_by_category.get(category, 0.0), 3)
+                    )
+                for category, cycles in snapshot.work_by_category.items():
+                    cell["work_by_category"].setdefault(category, []).append(
+                        round(cycles, 3)
+                    )
+            _merge_samples(record["metrics"], _registry_values(session.registry))
+
+    bench_meta = None
+    if bench_meta_path is not None:
+        with open(bench_meta_path, "r", encoding="utf-8") as handle:
+            bench_meta = json.load(handle)
+
+    return {
+        **stamp(SNAPSHOT_ARTIFACT),
+        "name": name,
+        "created_unix": int(time.time()),
+        "quick": quick,
+        "repeats": repeats,
+        "experiment_ids": ids,
+        "experiments": experiments,
+        "bench_meta": bench_meta,
+    }
+
+
+def save_snapshot(snapshot: Mapping[str, Any], path: str) -> str:
+    """Write a snapshot document as pretty-printed JSON; returns ``path``."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_snapshot(path: str) -> dict[str, Any]:
+    """Read a snapshot, refusing unstamped or mismatched files."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    check_stamp(document, SNAPSHOT_ARTIFACT, source=path)
+    return document

@@ -44,6 +44,12 @@ class OcallRequest:
         aligned: Whether source and destination buffers are congruent
             modulo 8 (drives the tlibc memcpy cost).
         issued_at: Simulated cycle at which the caller issued the call.
+        dispatched_at: Simulated cycle at which the call reached its
+            backend (after setup and input marshalling).  The zc backend
+            stamps its ``zc.fallback`` events with ``now - dispatched_at``
+            — the paper's immediate-fallback invariant (§IV-C) says that
+            difference is exactly zero, and the invariant auditor checks
+            it.
         mode: How the call was eventually executed; set by the backend to
             ``"regular"``, ``"switchless"`` or ``"fallback"``.
         host_cycles: Simulated cycles the host handler took in isolation;
@@ -57,6 +63,7 @@ class OcallRequest:
     out_bytes: int = 0
     aligned: bool = True
     issued_at: float = 0.0
+    dispatched_at: float = 0.0
     mode: str = "unset"
     host_cycles: float = 0.0
 
@@ -226,6 +233,7 @@ class Enclave:
             yield Compute(
                 self.memcpy_model.cycles(in_bytes, aligned), tag="marshal-in"
             )
+        request.dispatched_at = self.kernel.now
         result = yield from self.backend.invoke(request)
         if out_bytes:
             yield Compute(
@@ -337,6 +345,7 @@ class Enclave:
         if in_bytes:
             yield Compute(self.memcpy_model.cycles(in_bytes, aligned), tag="marshal-in")
         if self.ecall_dispatcher is not None:
+            request.dispatched_at = self.kernel.now
             result = yield from self.ecall_dispatcher.invoke_ecall(request)
         else:
             yield Compute(self.cost.ecall_entry_cycles, tag="eenter")

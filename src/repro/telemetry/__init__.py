@@ -30,6 +30,7 @@ from repro.telemetry.ledger import (
     classify,
 )
 from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.schema import SCHEMA_VERSION, SchemaMismatch, check_stamp, stamp
 from repro.telemetry.session import CellCapture, TelemetrySession, active_session
 
 __all__ = [
@@ -43,9 +44,13 @@ __all__ = [
     "Histogram",
     "LedgerSnapshot",
     "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "SchemaMismatch",
     "TelemetryEvent",
     "TelemetrySession",
     "active_session",
+    "check_stamp",
+    "stamp",
     "build_chrome_trace",
     "classify",
     "render_cycle_budget",

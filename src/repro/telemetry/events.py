@@ -90,15 +90,25 @@ class EventBus:
         self.capture_calls = capture_calls
         self.events: list[TelemetryEvent] = []
         self.dropped = 0
-        self._subscribers: list[Callable[[TelemetryEvent], None]] = []
+        # A tuple, not a list: emit iterates the immutable snapshot it
+        # read, so a subscriber may unsubscribe (itself or another) from
+        # inside its callback — one-shot audit checkers rely on this.
+        self._subscribers: tuple[Callable[[TelemetryEvent], None], ...] = ()
 
     def subscribe(self, fn: Callable[[TelemetryEvent], None]) -> None:
         """Register ``fn`` to be called synchronously on every emit."""
-        self._subscribers.append(fn)
+        self._subscribers = (*self._subscribers, fn)
 
     def unsubscribe(self, fn: Callable[[TelemetryEvent], None]) -> None:
-        """Remove a subscriber registered with :meth:`subscribe`."""
-        self._subscribers.remove(fn)
+        """Remove a subscriber registered with :meth:`subscribe`.
+
+        Safe to call from inside a subscriber during :meth:`emit`: the
+        dispatch loop iterates the subscriber tuple it snapshotted, so the
+        removed subscriber still sees the in-flight event but none after.
+        """
+        subscribers = list(self._subscribers)
+        subscribers.remove(fn)
+        self._subscribers = tuple(subscribers)
 
     def emit(self, name: str, /, **fields: Any) -> None:
         """Publish one event; timestamped with the kernel clock.

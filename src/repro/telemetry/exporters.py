@@ -30,6 +30,9 @@ from repro.profiler.chrometrace import (
 )
 from repro.telemetry.ledger import CATEGORIES
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.schema import SCHEMA_VERSION, stamp
+
+from repro import __version__
 
 if TYPE_CHECKING:
     from repro.telemetry.session import CellCapture
@@ -87,13 +90,23 @@ def write_events_jsonl(path: str, captures: Sequence["CellCapture"]) -> int:
     """Write every captured bus event as one JSON line; returns the count.
 
     Line schema: ``{"t_cycles": ..., "cell": ..., "event": ..., <fields>}``.
-    Per-call ``ocall.complete`` lines are synthesized from the call tracer
-    when the bus did not capture them itself (the default).  A trailing
-    ``meta`` line per cell records drop counters so truncated captures are
-    visible in the artifact itself.
+    The first line is a ``telemetry.schema`` stamp (schema version + repro
+    version) so replay tooling can refuse incompatible files.  Per-call
+    ``ocall.complete`` lines are synthesized from the call tracer when the
+    bus did not capture them itself (the default).  A trailing ``meta``
+    line per cell records drop counters and the cell's machine context
+    (``n_cpus``, ``freq_hz``, backend stats) so truncated captures are
+    visible — and replayable — from the artifact alone.
     """
     written = 0
     with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {"t_cycles": 0.0, "cell": "", "event": "telemetry.schema", **stamp("events-jsonl")}
+            )
+            + "\n"
+        )
+        written += 1
         for capture in captures:
             bus_records = (
                 (event.t_cycles, dict({"t_cycles": event.t_cycles, "cell": capture.label, "event": event.name}, **event.fields))
@@ -103,6 +116,7 @@ def write_events_jsonl(path: str, captures: Sequence["CellCapture"]) -> int:
             for _, record in heapq.merge(bus_records, call_records, key=lambda item: item[0]):
                 handle.write(json.dumps(record, default=str) + "\n")
                 written += 1
+            snapshot = capture.snapshot
             handle.write(
                 json.dumps(
                     {
@@ -113,6 +127,9 @@ def write_events_jsonl(path: str, captures: Sequence["CellCapture"]) -> int:
                         "events_dropped": capture.events_dropped,
                         "event_counts": capture.event_counts,
                         "call_events": len(capture.call_events),
+                        "n_cpus": snapshot.n_cpus if snapshot is not None else None,
+                        "freq_hz": capture.freq_hz,
+                        "backend_stats": capture.backend_stats,
                     }
                 )
                 + "\n"
@@ -172,21 +189,51 @@ def build_chrome_trace(captures: Sequence["CellCapture"]) -> list[dict]:
 
 
 def write_chrome_trace(path: str, captures: Sequence["CellCapture"]) -> int:
-    """Write the combined trace JSON; returns the event count."""
+    """Write the combined trace JSON; returns the event count.
+
+    The file uses the trace format's *object* form (``traceEvents`` plus
+    top-level metadata) rather than the bare array form — both load in
+    ``chrome://tracing``/Perfetto, and the object form carries the schema
+    stamp.
+    """
     events = build_chrome_trace(captures)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(events, handle)
+        json.dump({**stamp("chrome-trace"), "traceEvents": events}, handle)
     return len(events)
 
 
 # ----------------------------------------------------------------------
 # Prometheus-style text
 # ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _sanitize_metric_name(name: str) -> str:
+    """Rewrite ``name`` into a legal Prometheus metric name.
+
+    Metric names admit only ``[a-zA-Z_:][a-zA-Z0-9_:]*``; every other
+    character becomes ``_`` (and a leading digit gains a ``_`` prefix),
+    matching what official exporters do with foreign names.
+    """
+    sanitized = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_" for ch in name
+    )
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
 def _labels_text(labels: Iterable[tuple[str, str]], extra: dict[str, str] | None = None) -> str:
     pairs = list(labels) + sorted((extra or {}).items())
     if not pairs:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    body = ",".join(f'{key}="{_escape_label_value(str(value))}"' for key, value in pairs)
     return "{" + body + "}"
 
 
@@ -205,19 +252,36 @@ def _families(metrics: Iterable[Any]) -> dict[str, list[Any]]:
 def render_prometheus(registry: MetricsRegistry) -> str:
     """Render the registry in the Prometheus text exposition format.
 
+    The output opens with schema/version comment lines and a
+    ``repro_build_info`` gauge (the ``_info``-metric idiom) so scrapes and
+    the regression tooling can identify what produced the file.
     Histograms are rendered summary-style (``quantile`` labels from the
-    recorder's p50/p95/p99) plus ``_count`` and ``_sum`` series.
+    recorder's p50/p95/p99) plus ``_count`` and ``_sum`` series.  Metric
+    names are sanitized to the legal character set and label values are
+    backslash-escaped.
     """
-    lines: list[str] = []
+    lines: list[str] = [
+        f"# repro_schema_version {SCHEMA_VERSION}",
+        f"# repro_version {__version__}",
+        "# TYPE repro_build_info gauge",
+        "repro_build_info"
+        + _labels_text(
+            [("repro_version", __version__), ("schema_version", str(SCHEMA_VERSION))]
+        )
+        + " 1",
+    ]
     for name, counters in _families(registry.counters).items():
+        name = _sanitize_metric_name(name)
         lines.append(f"# TYPE {name} counter")
         for counter in counters:
             lines.append(f"{name}{_labels_text(counter.labels)} {counter.value:g}")
     for name, gauges in _families(registry.gauges).items():
+        name = _sanitize_metric_name(name)
         lines.append(f"# TYPE {name} gauge")
         for gauge in gauges:
             lines.append(f"{name}{_labels_text(gauge.labels)} {gauge.value:g}")
     for name, histograms in _families(registry.histograms).items():
+        name = _sanitize_metric_name(name)
         lines.append(f"# TYPE {name} summary")
         for histogram in histograms:
             summary = histogram.summary()

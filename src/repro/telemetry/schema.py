@@ -1,0 +1,56 @@
+"""Artifact schema stamps: make every export self-identifying.
+
+Every artifact the repo emits — the JSONL event log, the Chrome trace,
+the Prometheus text file, ``BENCH_meta.json`` and the regression
+baselines under ``baselines/`` — carries the same two fields:
+
+- ``schema_version``: bumped whenever the *shape* of an artifact changes
+  (new required fields, renamed events, different nesting);
+- ``repro_version``: the package version that produced the artifact, for
+  provenance only (it never gates parsing).
+
+Consumers (``repro diff``, the JSONL replay auditor) call
+:func:`check_stamp` before parsing and refuse mismatched inputs instead
+of silently misreading them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro import __version__
+
+#: Version of every exported artifact's schema.  Bump on shape changes.
+SCHEMA_VERSION = 1
+
+
+class SchemaMismatch(ValueError):
+    """An artifact's stamp is missing or from an incompatible schema."""
+
+
+def stamp(artifact: str) -> dict[str, Any]:
+    """The stamp fields for one artifact kind (e.g. ``events-jsonl``)."""
+    return {
+        "artifact": artifact,
+        "schema_version": SCHEMA_VERSION,
+        "repro_version": __version__,
+    }
+
+
+def check_stamp(meta: Mapping[str, Any], artifact: str, source: str = "artifact") -> None:
+    """Validate a parsed stamp; raises :class:`SchemaMismatch` on failure.
+
+    ``source`` names the input (usually a file path) for the error text.
+    """
+    found_artifact = meta.get("artifact")
+    if found_artifact != artifact:
+        raise SchemaMismatch(
+            f"{source}: expected a {artifact!r} stamp, found {found_artifact!r} "
+            "(unstamped artifacts predate the regression schema; re-export them)"
+        )
+    version = meta.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaMismatch(
+            f"{source}: schema_version {version!r} is not the supported "
+            f"{SCHEMA_VERSION} (written by repro {meta.get('repro_version', '?')})"
+        )

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.analysis.metrics import LatencyRecorder
 from repro.profiler.tracer import CallTracer
@@ -188,6 +188,15 @@ class CellCapture:
         self._enclave = enclave
         self.tracer = CallTracer(max_events=self._tracer_max_events).install(enclave)
 
+    @property
+    def enclave(self) -> "Enclave | None":
+        """The bound enclave while the cell is live (None once finalized).
+
+        The live invariant auditor reads backend parameters (worker-pool
+        size) through this to resolve the expected probe count.
+        """
+        return self._enclave
+
     # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------
@@ -252,6 +261,9 @@ class CellCapture:
                     "pool_reallocs": stats.pool_reallocs,
                     "scheduler_decisions": stats.scheduler_decisions,
                     "mean_workers": stats.mean_worker_count(kernel.now),
+                    # Pool size, for the auditor's N/2+1 probe-count check
+                    # (the probe sweep is capped by the workers that exist).
+                    "workers_cap": len(getattr(backend, "workers", ())),
                 }
                 self.worker_timeline = [
                     (t, float(count)) for t, count in stats.worker_count_timeline
@@ -353,6 +365,11 @@ class TelemetrySession:
         max_events_per_cell: Event-bus retention bound per cell.
         sched_trace_entries: Ring size of the per-kernel scheduler trace.
         tracer_max_events: Ring size of the per-enclave call tracer.
+        on_attach: Called with each new :class:`CellCapture` right after
+            it is attached — the hook the ``--audit-invariants`` pytest
+            fixture uses to put live checkers on every cell's bus.  Not
+            forwarded to pool workers (:meth:`config_kwargs`): callbacks
+            don't cross process boundaries.
     """
 
     def __init__(
@@ -362,12 +379,14 @@ class TelemetrySession:
         max_events_per_cell: int = 200_000,
         sched_trace_entries: int = 100_000,
         tracer_max_events: int = 100_000,
+        on_attach: "Callable[[CellCapture], None] | None" = None,
     ) -> None:
         self.capture_sched = capture_sched
         self.capture_calls = capture_calls
         self.max_events_per_cell = max_events_per_cell
         self.sched_trace_entries = sched_trace_entries
         self.tracer_max_events = tracer_max_events
+        self.on_attach = on_attach
         #: Holds :class:`CellCapture` for cells run in-process and
         #: :class:`FrozenCapture` for cells absorbed from pool workers.
         self.captures: list[CellCapture | FrozenCapture] = []
@@ -394,6 +413,8 @@ class TelemetrySession:
         """Instrument ``kernel`` as a new cell; labels are made unique."""
         capture = CellCapture(self, kernel, self._unique_label(label))
         self.captures.append(capture)
+        if self.on_attach is not None:
+            self.on_attach(capture)
         return capture
 
     def finalize_all(self) -> None:

@@ -30,6 +30,7 @@ from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime
 from repro.sim import Compute, Kernel, MachineSpec, paper_machine
 from repro.sim.kernel import Program
 from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.telemetry.session import active_session
 
 SYNTHETIC_CONFIGS: dict[str, frozenset[str]] = {
     "C1": frozenset({"f", "f2"}),
@@ -127,6 +128,12 @@ def run_synthetic(
     cost = cost if cost is not None else SgxCostModel()
 
     kernel = Kernel(machine)
+    session = active_session()
+    capture = (
+        session.attach(kernel, label=f"{config}-w{workers}")
+        if session is not None
+        else None
+    )
     urts = UntrustedRuntime()
     enclave = Enclave(kernel, urts, cost=cost)
     g_cycles = spec.g_pauses * cost.pause_cycles
@@ -153,6 +160,8 @@ def run_synthetic(
             )
         )
     enclave.set_backend(backend)
+    if capture is not None:
+        capture.bind_enclave(enclave)
 
     def caller(thread_index: int) -> Program:
         for name in _call_plan(spec, thread_index):
@@ -169,6 +178,9 @@ def run_synthetic(
     elapsed = kernel.seconds(kernel.now)
     usage = stat.usage_between(start_sample, end_sample).usage_pct
     backend.stop()
+    if capture is not None:
+        # After stop(): worker exit-cleanup cycles belong to the ledger.
+        capture.finalize()
 
     stats = enclave.stats
     return SyntheticResult(

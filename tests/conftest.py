@@ -1,0 +1,20 @@
+"""Suite-wide pytest hooks.
+
+``--audit-invariants`` arms the live paper-invariant checkers of
+:mod:`repro.regress.audit` for the integration tests (see
+``tests/integration/conftest.py``): every kernel a test builds gets an
+:class:`~repro.regress.InvariantAuditor` on its telemetry bus, and any
+violation — busy-waiting before a zc fallback, a malformed configuration
+phase, a non-argmin decision, a cycle-conservation break — fails the
+test that produced it.  Off by default: the checkers attach telemetry to
+every simulation, which the plain suite deliberately runs without.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--audit-invariants",
+        action="store_true",
+        default=False,
+        help="attach live paper-invariant checkers to integration-test kernels",
+    )

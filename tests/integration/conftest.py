@@ -1,0 +1,49 @@
+"""Live invariant auditing for the integration suite (opt-in).
+
+With ``pytest --audit-invariants``, every :class:`~repro.sim.Kernel` an
+integration test constructs is attached to a telemetry session carrying
+an :class:`~repro.regress.InvariantAuditor`, so the paper-level scheduler
+guarantees (§IV-A/§IV-C — see ``docs/observability.md``) are asserted on
+the *real* workloads these tests run, not just on purpose-built fixtures.
+A violation in any audited kernel fails the test that built it, with the
+offending event window in the message.
+"""
+
+import itertools
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def audit_invariants(request, monkeypatch):
+    """Attach invariant checkers to every kernel the test creates."""
+    if not request.config.getoption("--audit-invariants"):
+        yield
+        return
+
+    from repro.regress import attach_auditor
+    from repro.sim import kernel as kernel_module
+    from repro.telemetry import TelemetrySession
+
+    auditors = []
+    session = TelemetrySession(
+        on_attach=lambda capture: auditors.append(attach_auditor(capture))
+    )
+    counter = itertools.count()
+    real_init = kernel_module.Kernel.__init__
+
+    def attaching_init(self, *args, **kwargs):
+        real_init(self, *args, **kwargs)
+        session.attach(self, label=f"{request.node.name}[{next(counter)}]")
+
+    monkeypatch.setattr(kernel_module.Kernel, "__init__", attaching_init)
+    with session:
+        yield
+    violations = []
+    for auditor in auditors:
+        # Most tests never finalize a capture, so there is no final ledger
+        # snapshot; finish() then runs only the streaming checks.
+        violations.extend(auditor.finish())
+    assert not violations, "paper invariants violated:\n" + "\n".join(
+        f"  {violation}" for violation in violations
+    )

@@ -1,0 +1,103 @@
+"""Shared workload harness for the regression-sentinel tests.
+
+``run_audited`` drives an ocall storm against any backend under a
+telemetry session with a live :class:`~repro.regress.InvariantAuditor`
+attached, returning both.  ``BusyWaitZcBackend`` is the deliberately
+broken scheduler double: it reintroduces the Intel SDK's
+``retries_before_fallback`` busy-wait in front of the zc backend's
+immediate fallback, which §IV-C forbids — the auditor must catch it
+through the backend's own ``zc.fallback`` events.
+"""
+
+from __future__ import annotations
+
+from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.regress import attach_auditor
+from repro.sgx import Enclave, UntrustedRuntime
+from repro.sim import Compute, Kernel, paper_machine
+from repro.telemetry import TelemetrySession
+
+#: A quantum small enough that a short storm spans several configuration
+#: phases (the default 10 ms would outlast the whole workload).
+FAST_SCHED = dict(quantum_seconds=2e-4, mu=0.05)
+
+
+class BusyWaitZcBackend(ZcSwitchlessBackend):
+    """zc backend that spins SDK-style before conceding the fallback."""
+
+    def __init__(self, config=None, retries=3, retry_cycles=5_000.0):
+        super().__init__(config)
+        self.retries = retries
+        self.retry_cycles = retry_cycles
+
+    def invoke(self, request):
+        if self._find_unused() is None:
+            for _ in range(self.retries):
+                yield Compute(self.retry_cycles, tag="zc-retry-wait")
+                if self._find_unused() is not None:
+                    break
+        result = yield from super().invoke(request)
+        return result
+
+
+def run_audited(
+    backend=None,
+    n_calls: int = 2_000,
+    n_threads: int = 8,
+    host_cycles: float = 20_000.0,
+    label: str = "cell",
+    session: TelemetrySession | None = None,
+    checkers=None,
+):
+    """Run an ocall storm with a live auditor; returns (capture, auditor).
+
+    With ``session`` the caller controls the session lifetime (e.g. to
+    export afterwards); otherwise a throwaway one wraps the run.
+    """
+    own_session = session is None
+    if own_session:
+        session = TelemetrySession()
+        session.__enter__()
+    try:
+        kernel = Kernel(paper_machine())
+        capture = session.attach(kernel, label=label)
+        auditor = attach_auditor(capture, checkers=checkers)
+        urts = UntrustedRuntime()
+        enclave = Enclave(kernel, urts)
+        if backend is not None:
+            enclave.set_backend(backend)
+        capture.bind_enclave(enclave)
+
+        def handler():
+            yield Compute(host_cycles)
+            return None
+
+        urts.register("f", handler)
+
+        def app():
+            for _ in range(n_calls // n_threads):
+                yield from enclave.ocall("f")
+
+        threads = [
+            kernel.spawn(app(), name=f"app-{i}", kind="app")
+            for i in range(n_threads)
+        ]
+        kernel.join(*threads)
+        enclave.stop_backend()
+        kernel.run()
+        capture.finalize()
+    finally:
+        if own_session:
+            session.__exit__(None, None, None)
+    auditor.finish()
+    return capture, auditor
+
+
+def fast_zc_backend() -> ZcSwitchlessBackend:
+    """A real zc backend whose scheduler is active within the storm."""
+    return ZcSwitchlessBackend(ZcConfig(**FAST_SCHED))
+
+
+def broken_zc_backend() -> BusyWaitZcBackend:
+    """The busy-waiting double, same fast scheduler."""
+    return BusyWaitZcBackend(ZcConfig(**FAST_SCHED))

@@ -1,0 +1,196 @@
+"""Tests for the trace-based invariant auditor (live mode).
+
+The headline guarantees: the real scheduler passes every paper invariant
+*non-vacuously* (decisions, probes and fallbacks all observed), and a
+deliberately broken scheduler — the SDK-style busy-wait double — is
+caught by the §IV-C immediate-fallback checker.
+"""
+
+import pytest
+
+from repro.core import ZcConfig
+from repro.regress import (
+    ArgminChecker,
+    ConfigPhaseChecker,
+    ImmediateFallbackChecker,
+    InvariantAuditor,
+    Violation,
+)
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.telemetry.events import EventBus, TelemetryEvent
+
+from tests.regress.harness import broken_zc_backend, fast_zc_backend, run_audited
+
+
+def event(kind, t=0.0, **fields):
+    return TelemetryEvent(t, kind, fields)
+
+
+class TestLiveAudit:
+    def test_real_zc_scheduler_passes_non_vacuously(self):
+        capture, auditor = run_audited(fast_zc_backend())
+        assert auditor.ok, "\n".join(map(str, auditor.violations))
+        counts = capture.event_counts
+        # The invariants were actually exercised, not skipped.
+        assert counts.get("zc.sched.decision", 0) >= 2
+        assert counts.get("zc.sched.probe", 0) > counts["zc.sched.decision"]
+        assert counts.get("zc.fallback", 0) > 0
+
+    def test_busy_wait_double_is_caught(self):
+        _, auditor = run_audited(broken_zc_backend())
+        assert not auditor.ok
+        checkers = {violation.checker for violation in auditor.violations}
+        assert "immediate-fallback" in checkers
+        first = next(
+            v for v in auditor.violations if v.checker == "immediate-fallback"
+        )
+        assert "busy-waited" in first.message
+        # The violation carries its event window for diagnosis.
+        assert any("zc.fallback" in entry for entry in first.window)
+
+    def test_regular_backend_passes(self):
+        _, auditor = run_audited(backend=None)
+        assert auditor.ok
+
+    def test_intel_backend_passes(self):
+        # Intel's wait-then-fallback is that mechanism's documented
+        # contract; the §IV-C checker must not fire on intel.fallback.
+        backend = IntelSwitchlessBackend(
+            SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=2)
+        )
+        capture, auditor = run_audited(backend)
+        assert auditor.ok
+        assert capture.event_counts.get("intel.fallback", 0) > 0
+
+    def test_conservation_checked_mid_run(self):
+        # With a window far smaller than the run, the checker must have
+        # snapshotted — and balanced — the ledger at interior boundaries,
+        # not just at the end (the default window, one 10 ms quantum,
+        # would outlast this whole storm).
+        from repro.regress import (
+            ConfigPhaseChecker,
+            ConservationChecker,
+            ImmediateFallbackChecker,
+        )
+
+        conservation = ConservationChecker(window_cycles=500_000.0)
+        _, auditor = run_audited(
+            fast_zc_backend(),
+            checkers=[conservation, ImmediateFallbackChecker(), ConfigPhaseChecker()],
+        )
+        assert auditor.ok, "\n".join(map(str, auditor.violations))
+        assert conservation._next_boundary > 2 * conservation.window_cycles
+
+
+class TestCheckerUnits:
+    def test_argmin_flags_non_minimum_choice(self):
+        auditor = InvariantAuditor(cell="u", checkers=[ArgminChecker()])
+        auditor.feed([event("zc.sched.decision", utilities=[5.0, 1.0, 3.0], chosen=2)])
+        assert len(auditor.violations) == 1
+        assert "argmin" in auditor.violations[0].message
+
+    def test_argmin_accepts_the_minimum(self):
+        auditor = InvariantAuditor(cell="u", checkers=[ArgminChecker()])
+        auditor.feed([event("zc.sched.decision", utilities=[5.0, 1.0, 3.0], chosen=1)])
+        assert auditor.ok
+
+    def test_argmin_flags_malformed_decision(self):
+        auditor = InvariantAuditor(cell="u", checkers=[ArgminChecker()])
+        auditor.feed([event("zc.sched.decision", utilities=[1.0], chosen=7)])
+        assert any("malformed" in v.message for v in auditor.violations)
+
+    def _phase(self, counts, utilities, chosen=0):
+        events = [
+            event("zc.sched.probe", workers=i, fallbacks=0, u_cycles=u)
+            for i, u in zip(counts, utilities)
+        ]
+        events.append(event("zc.sched.decision", utilities=utilities, chosen=chosen))
+        return events
+
+    def test_config_phase_accepts_the_paper_sweep(self):
+        auditor = InvariantAuditor(
+            cell="u", checkers=[ConfigPhaseChecker(expected_probes=3)]
+        )
+        auditor.feed(self._phase([0, 1, 2], [9.0, 2.0, 4.0], chosen=1))
+        assert auditor.ok
+
+    def test_config_phase_flags_wrong_quantum_count(self):
+        auditor = InvariantAuditor(
+            cell="u", checkers=[ConfigPhaseChecker(expected_probes=3)]
+        )
+        auditor.feed(self._phase([0, 1], [9.0, 2.0], chosen=1))
+        assert any("N/2 + 1" in v.message for v in auditor.violations)
+
+    def test_config_phase_flags_non_ascending_probes(self):
+        auditor = InvariantAuditor(
+            cell="u", checkers=[ConfigPhaseChecker(expected_probes=3)]
+        )
+        auditor.feed(self._phase([0, 2, 1], [9.0, 4.0, 2.0], chosen=2))
+        assert any("ascending" in v.message for v in auditor.violations)
+
+    def test_config_phase_flags_probe_decision_disagreement(self):
+        auditor = InvariantAuditor(
+            cell="u", checkers=[ConfigPhaseChecker(expected_probes=2)]
+        )
+        events = self._phase([0, 1], [9.0, 2.0], chosen=1)
+        events[-1] = event("zc.sched.decision", utilities=[9.0, 555.0], chosen=1)
+        auditor.feed(events)
+        assert any("disagrees" in v.message for v in auditor.violations)
+
+    def test_expected_probe_count_follows_the_paper(self):
+        # N/2 + 1 micro-quanta, capped by the pool that actually exists.
+        assert InvariantAuditor(n_cpus=8, workers_cap=4).expected_probe_count() == 5
+        assert InvariantAuditor(n_cpus=8, workers_cap=2).expected_probe_count() == 3
+        assert InvariantAuditor(n_cpus=None).expected_probe_count() is None
+
+    def test_fallback_tolerance(self):
+        checker = ImmediateFallbackChecker(tolerance_cycles=10.0)
+        auditor = InvariantAuditor(cell="u", checkers=[checker])
+        auditor.feed(
+            [
+                event("zc.fallback", waited_cycles=0.0),
+                event("zc.fallback", waited_cycles=9.0),
+                event("zc.fallback", waited_cycles=11.0),
+            ]
+        )
+        assert len(auditor.violations) == 1
+
+    def test_intel_fallback_not_checked(self):
+        auditor = InvariantAuditor(cell="u")
+        auditor.feed([event("intel.fallback", reason="retries-exhausted")])
+        assert auditor.ok
+
+
+class TestAuditorMechanics:
+    def test_halt_on_violation_detaches_mid_emit(self):
+        # The auditor unsubscribes from inside its own emit callback —
+        # this is the EventBus snapshot-on-emit guarantee at work.
+        bus = EventBus()
+        auditor = InvariantAuditor(
+            cell="u",
+            checkers=[ImmediateFallbackChecker()],
+            halt_on_violation=True,
+        ).attach(bus)
+        for _ in range(5):
+            bus.emit("zc.fallback", name="f", waited_cycles=100.0)
+        assert len(auditor.violations) == 1
+        assert bus._subscribers == ()
+
+    def test_violation_string_includes_window(self):
+        violation = Violation(
+            checker="c", cell="x", t_cycles=10.0, message="m", window=("1:a", "2:b")
+        )
+        assert "1:a -> 2:b" in str(violation)
+
+    def test_render_verdicts(self):
+        auditor = InvariantAuditor(cell="x")
+        assert "all invariants hold" in auditor.render()
+        auditor.report("c", 0.0, "broken")
+        assert "1 violation" in auditor.render()
+
+    def test_checkers_factory_override(self):
+        _, auditor = run_audited(
+            broken_zc_backend(), checkers=[ArgminChecker()]
+        )
+        # Without the fallback checker the double sails through.
+        assert auditor.ok

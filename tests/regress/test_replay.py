@@ -1,0 +1,87 @@
+"""Tests for replaying exported JSONL event logs through the auditor.
+
+The replay path is what lets a CI artifact be audited after the fact:
+every verdict here must match what the live auditor said when the run
+happened — clean backends replay clean, the busy-wait double replays
+broken.
+"""
+
+import pytest
+
+from repro.regress import ImmediateFallbackChecker, audit_jsonl, read_events_jsonl
+from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.telemetry import TelemetrySession
+
+from tests.regress.harness import broken_zc_backend, fast_zc_backend, run_audited
+
+
+@pytest.fixture(scope="module")
+def three_backend_export(tmp_path_factory):
+    """One export with a regular, an Intel and a zc cell, plus the live verdicts."""
+    tmp = tmp_path_factory.mktemp("replay")
+    live = {}
+    with TelemetrySession() as session:
+        for label, backend in (
+            ("regular", None),
+            (
+                "intel",
+                IntelSwitchlessBackend(
+                    SwitchlessConfig(
+                        switchless_ocalls=frozenset({"f"}), num_uworkers=2
+                    )
+                ),
+            ),
+            ("zc", fast_zc_backend()),
+        ):
+            _, auditor = run_audited(backend, label=label, session=session)
+            live[label] = auditor
+        paths = session.export(str(tmp), "threeway")
+    return paths["events"], live
+
+
+class TestReplayAudit:
+    def test_all_three_backends_replay_clean(self, three_backend_export):
+        path, live = three_backend_export
+        replayed = audit_jsonl(path)
+        assert set(replayed) == {"regular", "intel", "zc"}
+        for label, auditor in replayed.items():
+            assert live[label].ok, label
+            assert auditor.ok, f"{label}: " + "\n".join(
+                map(str, auditor.violations)
+            )
+
+    def test_zc_replay_is_non_vacuous(self, three_backend_export):
+        path, _ = three_backend_export
+        stream = read_events_jsonl(path)["zc"]
+        names = [event.name for event in stream.events]
+        assert names.count("zc.sched.decision") >= 2
+        assert "zc.fallback" in names
+
+    def test_replay_context_comes_from_meta(self, three_backend_export):
+        path, _ = three_backend_export
+        replayed = audit_jsonl(path)
+        zc = replayed["zc"]
+        assert zc.n_cpus > 0
+        assert zc.workers_cap >= 1
+        assert zc.expected_probe_count() == min(zc.n_cpus // 2, zc.workers_cap) + 1
+
+    def test_busy_wait_double_detected_from_artifact(self, tmp_path):
+        with TelemetrySession() as session:
+            _, live = run_audited(
+                broken_zc_backend(), label="broken", session=session
+            )
+            paths = session.export(str(tmp_path), "broken")
+        assert not live.ok
+        replayed = audit_jsonl(paths["events"])["broken"]
+        assert not replayed.ok
+        assert {v.checker for v in replayed.violations} == {
+            v.checker for v in live.violations
+        }
+
+    def test_checkers_factory(self, three_backend_export):
+        path, _ = three_backend_export
+        replayed = audit_jsonl(
+            path, checkers_factory=lambda: [ImmediateFallbackChecker()]
+        )
+        assert all(len(a.checkers) == 1 for a in replayed.values())
+        assert all(a.ok for a in replayed.values())

@@ -77,21 +77,31 @@ class TestExporters:
             for line in (tmp_path / "fig8.events.jsonl").read_text().splitlines()
         ]
         assert all({"t_cycles", "cell", "event"} <= set(r) for r in records)
-        cells = {r["cell"] for r in records}
+        # Line 1 is the schema stamp that lets ``repro diff``/replay refuse
+        # artifacts from an incompatible exporter.
+        assert records[0]["event"] == "telemetry.schema"
+        assert records[0]["schema_version"] == telemetry.SCHEMA_VERSION
+        cells = {r["cell"] for r in records if r["event"] != "telemetry.schema"}
         assert cells == {"no_sl", "zc"}
         assert any(r["event"] == "ocall.complete" for r in records)
         assert any(r["event"] == "syscall" for r in records)
-        # Every cell closes with a meta line carrying the drop counters.
+        # Every cell closes with a meta line carrying the drop counters
+        # and the machine context replay needs.
         metas = [r for r in records if r["event"] == "telemetry.meta"]
         assert len(metas) == 2
+        assert all(m["n_cpus"] > 0 and m["freq_hz"] > 0 for m in metas)
 
-        trace = json.loads((tmp_path / "fig8.trace.json").read_text())
+        document = json.loads((tmp_path / "fig8.trace.json").read_text())
+        assert document["schema_version"] == telemetry.SCHEMA_VERSION
+        trace = document["traceEvents"]
         names = {e["args"]["name"] for e in trace if e["name"] == "process_name"}
         assert names == {"no_sl", "zc"}
         assert any(e["ph"] == "X" for e in trace)  # sched/ocall slices
         assert any(e["ph"] == "C" for e in trace)  # zc worker counter
 
         prom = (tmp_path / "fig8.metrics.prom").read_text()
+        assert f"# repro_schema_version {telemetry.SCHEMA_VERSION}" in prom
+        assert "repro_build_info{" in prom
         assert "# TYPE repro_cycles_total counter" in prom
         assert 'repro_ocalls_total{cell="no_sl",mode="regular"}' in prom
         assert "repro_ocall_latency_cycles" in prom
@@ -107,7 +117,7 @@ class TestExporters:
         path = session.export_trace(str(tmp_path), "fig8")
         trace = json.loads((tmp_path / "fig8.trace.json").read_text())
         assert path.endswith("fig8.trace.json")
-        assert len(trace) > 10
+        assert len(trace["traceEvents"]) > 10
 
     def test_export_finalizes_unfinished_captures(self, tmp_path):
         with telemetry.TelemetrySession() as session:

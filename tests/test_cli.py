@@ -75,3 +75,83 @@ class TestTelemetryFlags:
     def test_no_flags_no_artifacts(self, capsys, tmp_path, tiny_fig8):
         assert main(["run", "fig8", "--quick"]) == 0
         assert list(tmp_path.iterdir()) == []
+
+
+class TestRegressCommands:
+    @pytest.fixture()
+    def tiny_sec3a(self, monkeypatch):
+        # The regression CLI is plumbing; keep the workload minimal.
+        monkeypatch.setitem(
+            QUICK_KWARGS, "sec3a", {"total_calls": 1_200, "g_pauses": 200}
+        )
+
+    def test_baseline_then_self_diff(self, capsys, tmp_path, tiny_sec3a):
+        out_file = tmp_path / "base.json"
+        assert (
+            main(
+                [
+                    "baseline",
+                    "--quick",
+                    "--experiments",
+                    "sec3a",
+                    "--out",
+                    str(out_file),
+                    "--name",
+                    "t",
+                ]
+            )
+            == 0
+        )
+        assert out_file.exists()
+        assert "baseline 't' written" in capsys.readouterr().out
+        report_file = tmp_path / "diff.md"
+        assert (
+            main(["diff", str(out_file), "--report", str(report_file)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Verdict: PASS" in out
+        assert "Verdict: PASS" in report_file.read_text()
+
+    def test_diff_against_second_snapshot(self, capsys, tmp_path, tiny_sec3a):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for path in (a, b):
+            assert (
+                main(
+                    [
+                        "baseline",
+                        "--quick",
+                        "--experiments",
+                        "sec3a",
+                        "--out",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert main(["diff", str(a), "--against", str(b)]) == 0
+        assert "Verdict: PASS" in capsys.readouterr().out
+
+    def test_baseline_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["baseline", "--experiments", "nope"])
+
+    def test_audit_live(self, capsys, tiny_sec3a):
+        assert main(["audit", "sec3a", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+
+    def test_audit_replay_from_export(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setitem(
+            QUICK_KWARGS, "fig8", {"n_keys_sweep": (120,), "worker_counts": (2,)}
+        )
+        assert main(["run", "fig8", "--quick", "--telemetry", str(tmp_path)]) == 0
+        capsys.readouterr()
+        events = tmp_path / "fig8.events.jsonl"
+        assert main(["audit", "--events", str(events)]) == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_audit_without_target_errors(self):
+        with pytest.raises(SystemExit):
+            main(["audit"])
