@@ -35,6 +35,17 @@ Regression sentinel (see the "Regression workflow" section of
   second snapshot with ``--against``) and fails on confirmed regressions;
 - ``repro audit`` runs the paper-invariant checkers live over an
   experiment, or replays an exported ``*.events.jsonl``.
+
+Fault injection (see ``docs/faults.md``):
+
+- ``repro faults list`` / ``repro faults show PLAN`` inspect the named
+  fault plans (and ``show`` pretty-prints any plan JSON file);
+- ``repro faults run EXPERIMENT --plan PLAN`` runs one experiment under
+  a fault plan — optionally with ``--audit`` (live invariant checkers;
+  gates the exit code) and ``--telemetry DIR``;
+- ``repro baseline --plan PLAN`` captures a faulty-run baseline, and
+  ``repro diff`` re-runs under the baseline's recorded plan, gating on
+  the ``fault`` cycle category (the fault_overhead bound).
 """
 
 from __future__ import annotations
@@ -158,10 +169,20 @@ def _parse_experiments(value: str) -> list[str] | None:
     return ids
 
 
+def _resolve_plan(name_or_path: str | None) -> Any | None:
+    """``--plan`` value → FaultPlan (registry name or JSON file), or None."""
+    if name_or_path is None:
+        return None
+    from repro.faults import get_plan
+
+    return get_plan(name_or_path)
+
+
 def _cmd_baseline(args: argparse.Namespace) -> int:
     """Capture a run snapshot and write it to ``--out``."""
     from repro.regress import capture_run, save_snapshot
 
+    fault_plan = _resolve_plan(args.plan)
     snapshot = capture_run(
         experiment_ids=_parse_experiments(args.experiments),
         overrides=QUICK_KWARGS if args.quick else {},
@@ -170,15 +191,17 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         bench_meta_path=args.bench_meta,
         name=args.name,
+        fault_plan=fault_plan,
     )
     path = save_snapshot(snapshot, args.out)
     cells = sum(
         len(record["cells"]) for record in snapshot["experiments"].values()
     )
+    plan_note = f", fault plan '{fault_plan.name}'" if fault_plan is not None else ""
     print(
         f"baseline '{snapshot['name']}' written to {path} "
         f"({len(snapshot['experiments'])} experiment(s), {cells} cell(s), "
-        f"{args.repeats} repeat(s))"
+        f"{args.repeats} repeat(s){plan_note})"
     )
     return 0
 
@@ -191,8 +214,17 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     if args.against is not None:
         current = load_snapshot(args.against)
     else:
-        # Re-run exactly what the baseline recorded, at its own scale.
+        # Re-run exactly what the baseline recorded, at its own scale —
+        # including its fault plan, unless --plan overrides it.
         quick = base.get("quick", True)
+        if args.plan is not None:
+            fault_plan = _resolve_plan(args.plan)
+        elif base.get("fault_plan"):
+            from repro.faults import FaultPlan
+
+            fault_plan = FaultPlan.from_dict(base["fault_plan"])
+        else:
+            fault_plan = None
         current = capture_run(
             experiment_ids=base.get("experiment_ids"),
             overrides=QUICK_KWARGS if quick else {},
@@ -200,6 +232,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             repeats=args.repeats if args.repeats else base.get("repeats", 1),
             name="current",
+            fault_plan=fault_plan,
         )
     report = diff_snapshots(
         base, current, threshold=args.threshold, min_cycles=args.min_cycles
@@ -247,6 +280,92 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         + (f"{violations} violation(s)" if violations else "all invariants hold")
     )
     return 1 if violations else 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Inspect fault plans, or run one experiment under a plan."""
+    from repro.faults import NAMED_PLANS, activate_plan, get_plan
+
+    if args.faults_cmd == "list":
+        for name, plan in NAMED_PLANS.items():
+            kinds: dict[str, int] = {}
+            for spec in plan.faults:
+                kinds[spec.kind] = kinds.get(spec.kind, 0) + 1
+            summary = ", ".join(f"{n}x {kind}" for kind, n in sorted(kinds.items()))
+            print(f"{name:14s} seed={plan.seed:<7d} {summary}")
+        return 0
+    if args.faults_cmd == "show":
+        print(get_plan(args.plan).to_json())
+        return 0
+
+    # faults run
+    plan = get_plan(args.plan)
+    module = EXPERIMENTS[args.experiment]
+    kwargs = QUICK_KWARGS.get(args.experiment, {}) if args.quick else {}
+    from repro.telemetry import TelemetrySession
+
+    live: list[Any] = []
+    on_attach = None
+    if args.audit:
+        from repro.regress import attach_auditor
+
+        on_attach = lambda capture: live.append(attach_auditor(capture))  # noqa: E731
+    started = time.monotonic()
+    # jobs=1: the active plan is process-global state, serial cells keep
+    # the injected schedule deterministic, and (with --audit) the live
+    # checkers subscribe to in-process buses.
+    with TelemetrySession(on_attach=on_attach) as session:
+        with activate_plan(plan):
+            result = module.run(**kwargs, jobs=1, cache=None)
+    elapsed = time.monotonic() - started
+    print(module.report(result))
+
+    fault_counts: dict[str, int] = {}
+    for capture in session.captures:
+        for name, count in capture.event_counts.items():
+            if name.startswith("fault."):
+                fault_counts[name] = fault_counts.get(name, 0) + count
+    print(f"\nfault plan '{plan.name}' (seed {plan.seed}):")
+    if fault_counts:
+        for name in sorted(fault_counts):
+            print(f"  {name:30s} {fault_counts[name]}")
+    else:
+        print("  no fault events fired (all fault instants past the run's end?)")
+
+    if args.telemetry is not None:
+        paths = session.export(args.telemetry, f"{args.experiment}-{plan.name}")
+        print(f"\n{session.render_cycle_budget()}")
+        print(f"[telemetry written to {', '.join(sorted(paths.values()))}]")
+
+    violations = module.check_shape(result)
+    if violations:
+        # Under injected faults the paper-shape envelopes may legitimately
+        # move; report, but gate on the invariant audit only.
+        print(
+            f"\nshape check: {len(violations)} violation(s) "
+            "(informational under fault injection)"
+        )
+        for violation in violations:
+            print(f"  - {violation}")
+    else:
+        print("\nshape check: OK even under faults")
+
+    audit_violations = 0
+    for auditor in live:
+        auditor.finish()
+        print(auditor.render())
+        audit_violations += len(auditor.violations)
+    if args.audit:
+        print(
+            f"\naudit: {len(live)} cell(s), "
+            + (
+                f"{audit_violations} violation(s)"
+                if audit_violations
+                else "all invariants hold"
+            )
+        )
+    print(f"[{args.experiment} under '{plan.name}': {elapsed:.1f}s wall]")
+    return 1 if audit_violations else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -325,6 +444,12 @@ def main(argv: list[str] | None = None) -> int:
         "--bench-meta", default=None, metavar="FILE", help="embed a BENCH_meta.json"
     )
     baseline_parser.add_argument("--name", default="baseline", help="snapshot name")
+    baseline_parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="PLAN",
+        help="capture the run under a fault plan (name or JSON file)",
+    )
 
     diff_parser = sub.add_parser(
         "diff", help="compare a run against a baseline snapshot"
@@ -357,6 +482,12 @@ def main(argv: list[str] | None = None) -> int:
     diff_parser.add_argument(
         "--report", default=None, metavar="FILE", help="also write the markdown report"
     )
+    diff_parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="PLAN",
+        help="fault plan for the re-run (default: the baseline's recorded plan)",
+    )
 
     audit_parser = sub.add_parser(
         "audit", help="check paper invariants, live or from an event log"
@@ -370,6 +501,34 @@ def main(argv: list[str] | None = None) -> int:
     audit_parser.add_argument(
         "--quick", action="store_true", help="scaled-down parameters"
     )
+
+    faults_parser = sub.add_parser(
+        "faults", help="inspect fault plans / run an experiment under one"
+    )
+    faults_sub = faults_parser.add_subparsers(dest="faults_cmd", required=True)
+    faults_sub.add_parser("list", help="list the named fault plans")
+    faults_show = faults_sub.add_parser("show", help="print a plan as JSON")
+    faults_show.add_argument("plan", help="plan name or JSON file")
+    faults_run = faults_sub.add_parser(
+        "run", help="run one experiment under a fault plan (always jobs=1, no cache)"
+    )
+    faults_run.add_argument("experiment", choices=list(EXPERIMENTS))
+    faults_run.add_argument(
+        "--plan", default="crash-heavy", help="plan name or JSON file (default crash-heavy)"
+    )
+    faults_run.add_argument(
+        "--quick", action="store_true", help="scaled-down parameters"
+    )
+    faults_run.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach live invariant checkers; violations drive the exit code",
+    )
+    faults_run.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="capture telemetry (events/trace/metrics/cycle budget) into DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "baseline":
@@ -378,6 +537,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_diff(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
 
     if args.command == "list":
         for exp_id, module in EXPERIMENTS.items():

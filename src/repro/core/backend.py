@@ -28,7 +28,7 @@ from repro.core.worker import WorkerStatus, ZcWorker
 from repro.sgx.backend import CallBackend
 from repro.sgx.memcpy import ZcMemcpy
 from repro.sim.instructions import Compute, Spin
-from repro.sim.kernel import Kernel, Program, SimThread
+from repro.sim.kernel import Kernel, Program, SimThread, ThreadState
 
 if TYPE_CHECKING:
     from repro.sgx.enclave import Enclave, OcallRequest
@@ -47,6 +47,9 @@ class ZcSwitchlessBackend(CallBackend):
         self.stats = ZcStats()
         self.workers: list[ZcWorker] = []
         self.worker_threads: list[SimThread] = []
+        #: Threads of crashed-and-respawned workers; kept so cumulative
+        #: spin accounting (worker_idle_spin_cycles) stays monotonic.
+        self.retired_threads: list[SimThread] = []
         self.scheduler: ZcScheduler | None = None
         self.scheduler_thread: SimThread | None = None
         self._enclave: "Enclave | None" = None
@@ -125,13 +128,22 @@ class ZcSwitchlessBackend(CallBackend):
     # Scheduler interface
     # ------------------------------------------------------------------
     def set_active_workers(self, count: int) -> None:
-        """(Scheduler) keep the first ``count`` workers active, pause the
-        rest.  Reserved/processing workers pause once released."""
-        count = max(0, min(count, len(self.workers)))
-        for worker in self.workers[:count]:
+        """(Scheduler) keep the first ``count`` healthy workers active,
+        pause the rest.  Reserved/processing workers pause once released.
+
+        Quarantined slots (crashed or abandoned under fault injection —
+        never on healthy runs) are excluded from the sweep entirely: the
+        scheduler's ``argmin U_i`` decision must never activate a dead
+        worker.
+        """
+        workers = self.workers
+        if any(worker.quarantined for worker in workers):
+            workers = [worker for worker in workers if not worker.quarantined]
+        count = max(0, min(count, len(workers)))
+        for worker in workers[:count]:
             if worker.pause_requested or worker.is_paused:
                 worker.request_unpause()
-        for worker in self.workers[count:]:
+        for worker in workers[count:]:
             if not worker.pause_requested:
                 worker.request_pause()
         if count != self._active_count:
@@ -154,7 +166,47 @@ class ZcSwitchlessBackend(CallBackend):
         scheduler policy prices.
         """
         self.kernel.flush_accounting()
-        return sum(t.cycles_by.get("spin", 0.0) for t in self.worker_threads)
+        total = sum(t.cycles_by.get("spin", 0.0) for t in self.worker_threads)
+        if self.retired_threads:
+            total += sum(t.cycles_by.get("spin", 0.0) for t in self.retired_threads)
+        return total
+
+    # ------------------------------------------------------------------
+    # Fault supervision (active only while a fault injector is attached)
+    # ------------------------------------------------------------------
+    def respawn_worker(self, index: int, target: str = "zc-worker") -> bool:
+        """Supervise a crashed worker slot back to life.
+
+        Spawns a fresh thread running the same :class:`ZcWorker` state
+        machine; the new thread's rejoin branch resets the slot.  Returns
+        False (and leaves the slot quarantined) when the respawn is moot:
+        the runtime is shutting down or the old thread is still alive.
+        """
+        if target != "zc-worker" or not 0 <= index < len(self.workers):
+            return False
+        worker = self.workers[index]
+        if worker.exit_requested:
+            return False
+        old = self.worker_threads[index]
+        if old.state is not ThreadState.DONE:
+            return False
+        self.retired_threads.append(old)
+        worker.generation += 1
+        affinity = (
+            frozenset(self.config.worker_affinity)
+            if self.config.worker_affinity is not None
+            else None
+        )
+        thread = self.kernel.spawn(
+            worker.run(self.enclave),
+            name=f"zc-worker-{index}-g{worker.generation}",
+            kind="zc-worker",
+            daemon=True,
+            affinity=affinity,
+        )
+        self.worker_threads[index] = thread
+        self.stats.record_worker_respawn()
+        return True
 
     # ------------------------------------------------------------------
     # Call path
@@ -200,13 +252,63 @@ class ZcSwitchlessBackend(CallBackend):
         worker.request = request
         worker.set_status(WorkerStatus.PROCESSING)
 
-        # Busy-wait for the worker to publish results (WAITING).
-        while worker.status is not WorkerStatus.WAITING:
+        # Busy-wait for the worker to publish results (WAITING).  While a
+        # fault injector is attached the wait is bounded: a worker that
+        # crashed or stalled past the timeout gets its slot quarantined
+        # and the call completes via a regular-transition fallback (the
+        # graceful-degradation path; at-least-once execution for the
+        # abandoned request).  Healthy runs never time out, so the loop
+        # is byte-identical to the fault-free build.
+        generation = worker.generation
+        waited = 0.0
+        give_up = False
+        while True:
+            if worker.generation != generation:
+                # The worker crashed and its slot was respawned while we
+                # waited: the rejoin reset our request, and any WAITING we
+                # observe now belongs to a later caller.  Abandon the slot
+                # (it is healthy again — no quarantine) and recover.
+                give_up = True
+            elif worker.status is WorkerStatus.WAITING:
+                break
+            if give_up:
+                faults = enclave.kernel.faults
+                self.stats.record_timeout_recovery()
+                # Counts as a fallback for the scheduler's F_i measurement
+                # — the call did pay a full transition in the end.  No
+                # ``zc.fallback`` event though: that event asserts the
+                # §IV-C *immediate* (zero-wait) fallback invariant, which
+                # this recovery path intentionally does not satisfy; it
+                # emits ``fault.caller.timeout`` instead.
+                self.stats.record_fallback()
+                if faults is not None:
+                    faults.emit(
+                        "fault.caller.timeout",
+                        name=request.name,
+                        worker=worker.index,
+                        waited_cycles=waited,
+                    )
+                result = yield from self._regular(request)
+                request.mode = "fallback"
+                return result
             yield Spin(
                 worker.status_gate.wait_value(WorkerStatus.WAITING),
                 self.config.completion_spin_chunk_cycles,
                 tag="zc-wait-done",
             )
+            faults = enclave.kernel.faults
+            if faults is None:
+                continue
+            waited += self.config.completion_spin_chunk_cycles
+            if waited < faults.caller_timeout_cycles(self.config.request_timeout_cycles):
+                continue
+            # Timed out: the worker crashed (without supervision) or is
+            # stalled past the deadline.  Quarantine the slot — the caller
+            # scan and scheduler sweep skip it, and the worker thread (if
+            # alive, or once respawned) rejoins by resetting it.
+            if worker.request is request:
+                worker.quarantined = True
+            give_up = True
         result = worker.result
         worker.request = None
         worker.set_status(WorkerStatus.UNUSED)
@@ -218,9 +320,17 @@ class ZcSwitchlessBackend(CallBackend):
         return result
 
     def _find_unused(self) -> ZcWorker | None:
-        """Scan for an idle worker (lowest index first, deterministic)."""
+        """Scan for an idle worker (lowest index first, deterministic).
+
+        Quarantined slots are skipped: a worker crashed while UNUSED
+        still *looks* idle, but reserving it would strand the caller.
+        """
         for worker in self.workers:
-            if worker.status is WorkerStatus.UNUSED and not worker.pause_requested:
+            if (
+                worker.status is WorkerStatus.UNUSED
+                and not worker.pause_requested
+                and not worker.quarantined
+            ):
                 return worker
         return None
 

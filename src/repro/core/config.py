@@ -62,6 +62,13 @@ class ZcConfig:
             unit tests and ablation benches).
         use_zc_memcpy: Install the optimised ``rep movsb`` memcpy on the
             enclave (§IV-F); on by default, as released.
+        request_timeout_cycles: Bound on the caller's completion
+            busy-wait, enforced **only while a fault injector is
+            attached** (``kernel.faults`` set): on expiry the caller
+            quarantines the worker slot and recovers via a regular
+            fallback ocall.  Healthy runs never consult it.  The default
+            (~26 ms at the paper's 3.8 GHz) is far above any healthy
+            completion time.
         policy: Worker-cost accounting used by the scheduler; see
             :class:`SchedulerPolicy`.
         worker_affinity: Logical CPUs the worker threads are pinned to
@@ -80,6 +87,7 @@ class ZcConfig:
     idle_spin_chunk_cycles: float = 50_000.0
     completion_spin_chunk_cycles: float = 100_000.0
     decision_cycles: float = 2_000.0
+    request_timeout_cycles: float = 100_000_000.0
     enable_scheduler: bool = True
     use_zc_memcpy: bool = True
     policy: SchedulerPolicy = SchedulerPolicy.IDLE_WASTE
@@ -98,6 +106,8 @@ class ZcConfig:
             raise ValueError("pool_capacity_bytes must be >= 1")
         if self.request_header_bytes < 0:
             raise ValueError("request_header_bytes must be >= 0")
+        if self.request_timeout_cycles <= 0:
+            raise ValueError("request_timeout_cycles must be positive")
 
     def quantum_cycles(self, spec: MachineSpec) -> float:
         """``Q`` converted to cycles on ``spec``."""

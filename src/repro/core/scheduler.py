@@ -74,9 +74,15 @@ class ZcScheduler:
         quantum = config.quantum_cycles(kernel.spec)
         micro = config.micro_quantum_cycles(kernel.spec)
 
+        def window(cycles: float) -> float:
+            # Accounting windows stretch under an injected clock skew
+            # (kernel.faults is None on healthy runs — no change).
+            faults = kernel.faults
+            return cycles if faults is None else faults.scaled_window(cycles)
+
         # Initial scheduling phase with the configured worker count (N/2).
         backend.set_active_workers(backend.initial_workers)
-        yield Sleep(quantum)
+        yield Sleep(window(quantum))
 
         use_idle_waste = self.config.policy is SchedulerPolicy.IDLE_WASTE
         while not self._stop:
@@ -90,7 +96,7 @@ class ZcScheduler:
                 backend.set_active_workers(i)
                 fallbacks_before = backend.stats.fallback_count
                 spin_before = backend.worker_idle_spin_cycles() if use_idle_waste else 0.0
-                yield Sleep(micro)
+                yield Sleep(window(micro))
                 f_i = backend.stats.fallback_count - fallbacks_before
                 if use_idle_waste:
                     idle = backend.worker_idle_spin_cycles() - spin_before
@@ -112,4 +118,4 @@ class ZcScheduler:
             bus = kernel.bus
             if bus is not None:
                 bus.emit("zc.sched.decision", utilities=list(utilities), chosen=best_m)
-            yield Sleep(quantum)
+            yield Sleep(window(quantum))

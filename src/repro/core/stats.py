@@ -21,11 +21,26 @@ class ZcStats:
     switchless_count: int = 0
     pool_reallocs: int = 0
     scheduler_decisions: int = 0
+    worker_crashes: int = 0
+    worker_respawns: int = 0
+    timeout_recoveries: int = 0
     worker_count_timeline: list[tuple[float, int]] = field(default_factory=list)
 
     def record_fallback(self) -> None:
         """Count one call that fell back to a regular transition."""
         self.fallback_count += 1
+
+    def record_worker_crash(self) -> None:
+        """Count one injected worker crash (fault layer)."""
+        self.worker_crashes += 1
+
+    def record_worker_respawn(self) -> None:
+        """Count one supervised worker respawn (fault layer)."""
+        self.worker_respawns += 1
+
+    def record_timeout_recovery(self) -> None:
+        """Count one caller completion-wait timeout recovered by fallback."""
+        self.timeout_recoveries += 1
 
     def record_switchless(self) -> None:
         """Count one call executed switchlessly."""

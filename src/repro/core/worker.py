@@ -15,6 +15,14 @@ State transitions:
 An *active* (non-paused) worker always occupies a CPU: it is either
 executing a request or busy-waiting for one — the ``M`` cost term in the
 scheduler's wasted-cycle model.  A paused worker blocks and costs nothing.
+
+Fault tolerance (see :mod:`repro.faults`): a worker may additionally be
+*quarantined* — its slot abandoned after a crash or a caller completion
+timeout.  Quarantined workers are skipped by the caller's idle scan and
+by the scheduler's activation sweep; a live (or respawned) worker thread
+observing its own quarantine flag performs a *rejoin*: it resets the
+slot's request/result fields and returns to ``UNUSED``.  All fault checks
+are gated on ``kernel.faults``, so healthy runs are unchanged.
 """
 
 from __future__ import annotations
@@ -61,6 +69,12 @@ class ZcWorker:
         self._unpause_event: Event | None = None
         self.tasks_executed = 0
         self.pauses = 0
+        # Fault-tolerance state (only ever set while a fault injector is
+        # attached; see the module docstring).
+        self.quarantined = False
+        self.crashed = False
+        self.generation = 0
+        self.rejoins = 0
 
     # ------------------------------------------------------------------
     # Status helpers (atomic within one simulated step)
@@ -114,9 +128,16 @@ class ZcWorker:
         self.request_unpause()
 
     def kick(self) -> None:
-        """Wake the worker's poll loop if it is busy-waiting."""
+        """Wake the worker's poll loop if it is busy-waiting.
+
+        Under an active ``handoff`` fault window the wake-up may be
+        dropped (re-delivered later) or delayed by the injector.
+        """
         if self._kick_event is not None:
             event, self._kick_event = self._kick_event, None
+            faults = self.kernel.faults
+            if faults is not None and faults.perturb_handoff(event.fire_if_unfired):
+                return
             event.fire_if_unfired()
 
     # ------------------------------------------------------------------
@@ -133,13 +154,41 @@ class ZcWorker:
         if executor is None:
             executor = enclave.urts.execute
         while True:
+            if self.quarantined:
+                # Rejoin after a crash/abandonment: reset the slot and
+                # return it to service.  Gated on our *own* flag (only
+                # ever set under fault injection) rather than on
+                # ``kernel.faults`` so a quarantined slot still heals
+                # after the injector detaches at teardown.
+                yield Compute(cost.worker_complete_cycles, tag="fault-rejoin")
+                self.request = None
+                self.result = None
+                self.crashed = False
+                self.quarantined = False
+                self.rejoins += 1
+                faults = self.kernel.faults
+                if faults is not None:
+                    faults.emit(
+                        "fault.worker.rejoin", target="zc-worker", worker=self.index
+                    )
+                self.status_gate.set(WorkerStatus.UNUSED)
+                continue
+            faults = self.kernel.faults
+            if faults is not None:
+                stall = faults.take_stall("zc-worker", self.index)
+                if stall:
+                    yield Compute(stall, tag="fault-stall")
+                    continue
             status = self.status
             if status is WorkerStatus.PROCESSING:
-                yield Compute(cost.worker_pickup_cycles, tag="zc-pickup")
+                factor = (
+                    1.0 if faults is None else faults.cost_factor("zc-worker", self.index)
+                )
+                yield Compute(cost.worker_pickup_cycles * factor, tag="zc-pickup")
                 request = self.request
                 assert request is not None, "PROCESSING with no request"
                 result = yield from executor(request)
-                yield Compute(cost.worker_complete_cycles, tag="zc-complete")
+                yield Compute(cost.worker_complete_cycles * factor, tag="zc-complete")
                 self.result = result
                 self.tasks_executed += 1
                 self.status_gate.set(WorkerStatus.WAITING)  # caller observes

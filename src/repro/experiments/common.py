@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.faults import FaultInjector, active_fault_plan
 from repro.hostos import (
     CpuUsageMonitor,
     DevNull,
@@ -77,6 +78,7 @@ class Stack:
     procstat: ProcStat
     monitor: CpuUsageMonitor | None = None
     telemetry: CellCapture | None = None
+    faults: FaultInjector | None = None
     _start_sample: object = None
 
     def start_measuring(self) -> None:
@@ -92,6 +94,11 @@ class Stack:
 
     def finish(self) -> None:
         """Stop backend threads and the monitor, drain remaining events."""
+        if self.faults is not None:
+            # Before the drain: cancels not-yet-fired fault (and respawn /
+            # redelivery) timers so the teardown never advances simulated
+            # time to a future fault instant.
+            self.faults.detach()
         if self.monitor is not None:
             self.monitor.stop()
         self.enclave.stop_backend()
@@ -147,6 +154,8 @@ def build_stack(
         monitor = CpuUsageMonitor(kernel, kernel.cycles(monitor_interval_s)).start()
     if capture is not None:
         capture.bind_enclave(enclave)
+    plan = active_fault_plan()
+    faults = FaultInjector(plan).attach(kernel, enclave) if plan is not None else None
     return Stack(
         spec=spec,
         kernel=kernel,
@@ -155,4 +164,5 @@ def build_stack(
         procstat=ProcStat(kernel),
         monitor=monitor,
         telemetry=capture,
+        faults=faults,
     )

@@ -1,0 +1,48 @@
+"""Deterministic fault injection and graceful degradation (``repro.faults``).
+
+The paper's robustness claims — immediate fallback when no worker is idle
+(§IV-C), scheduler re-convergence after workload shifts (§IV-A) — only
+show their worth under adversity.  This package injects that adversity,
+reproducibly:
+
+- :mod:`repro.faults.spec` — :class:`FaultSpec`/:class:`FaultPlan`: a
+  seeded, JSON-serialisable schedule of faults (worker crash / stall /
+  slowdown, enclave loss, EPC-pressure spikes, dropped or delayed
+  handoffs, clock-skewed scheduler windows).
+- :mod:`repro.faults.injector` — :class:`FaultInjector` executes a plan
+  against a live kernel + enclave and emits every action as a ``fault.*``
+  telemetry event; :func:`activate_plan` / :func:`active_fault_plan`
+  integrate with ``build_stack``.
+- :mod:`repro.faults.recovery` — :class:`BackoffPolicy` and the
+  single-flight :class:`EnclaveRecovery` (destroy + re-create + retry
+  with capped exponential backoff, the ``SGX_ERROR_ENCLAVE_LOST``
+  protocol).
+- :mod:`repro.faults.plans` — named scenarios (``crash-heavy``,
+  ``chaos``, …) for the ``repro faults`` CLI.
+
+Degradation machinery on the runtime side (worker respawn supervision,
+caller completion timeouts, scheduler quarantine) activates only while an
+injector is attached — ``kernel.faults is None`` runs are byte-identical
+to healthy runs without this package.  Fault overhead lands in the cycle
+ledger's ``fault`` category, which the regression gate bounds.
+
+See ``docs/faults.md`` for the full fault model and JSON schema.
+"""
+
+from repro.faults.injector import FaultInjector, activate_plan, active_fault_plan
+from repro.faults.plans import NAMED_PLANS, get_plan
+from repro.faults.recovery import BackoffPolicy, EnclaveRecovery
+from repro.faults.spec import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "BackoffPolicy",
+    "EnclaveRecovery",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NAMED_PLANS",
+    "activate_plan",
+    "active_fault_plan",
+    "get_plan",
+]

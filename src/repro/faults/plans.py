@@ -1,0 +1,102 @@
+"""Named fault plans: curated adversity scenarios for `repro faults`.
+
+Each plan exercises one failure axis (plus ``chaos``, which combines
+them).  Fault times are a few simulated milliseconds in so that even the
+``--quick`` experiment variants — which simulate tens of milliseconds —
+hit every scheduled fault.
+
+``get_plan`` resolves a CLI argument: a name from :data:`NAMED_PLANS`,
+or a path to a ``FaultPlan`` JSON file (see ``docs/faults.md`` for the
+schema).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.faults.spec import FaultPlan, FaultSpec
+
+NAMED_PLANS: dict[str, FaultPlan] = {
+    # The acceptance scenario: repeated crashes with supervision, plus one
+    # crash that is never respawned so quarantine must hold to run end.
+    "crash-heavy": FaultPlan(
+        name="crash-heavy",
+        seed=42,
+        faults=(
+            FaultSpec(kind="worker-crash", at_ms=1.0, respawn_after_ms=0.5),
+            FaultSpec(kind="worker-crash", at_ms=2.5, respawn_after_ms=0.5),
+            FaultSpec(kind="worker-crash", at_ms=4.0, index=0, respawn_after_ms=None),
+            FaultSpec(kind="worker-crash", at_ms=6.0, respawn_after_ms=1.0),
+        ),
+    ),
+    "stall": FaultPlan(
+        name="stall",
+        seed=7,
+        faults=(
+            FaultSpec(kind="worker-stall", at_ms=1.0, duration_ms=0.5),
+            FaultSpec(kind="worker-slowdown", at_ms=3.0, duration_ms=2.0, factor=4.0),
+        ),
+    ),
+    "enclave-lost": FaultPlan(
+        name="enclave-lost",
+        seed=3,
+        faults=(
+            FaultSpec(kind="enclave-lost", at_ms=2.0),
+            FaultSpec(kind="enclave-lost", at_ms=6.0),
+        ),
+    ),
+    "epc-pressure": FaultPlan(
+        name="epc-pressure",
+        seed=5,
+        faults=(FaultSpec(kind="epc-pressure", at_ms=1.5, duration_ms=3.0, factor=3.0),),
+    ),
+    "handoff": FaultPlan(
+        name="handoff",
+        seed=11,
+        faults=(
+            FaultSpec(
+                kind="handoff",
+                at_ms=1.0,
+                duration_ms=4.0,
+                drop_probability=0.3,
+                redelivery_ms=0.1,
+            ),
+        ),
+    ),
+    "clock-skew": FaultPlan(
+        name="clock-skew",
+        seed=13,
+        faults=(FaultSpec(kind="clock-skew", at_ms=1.0, duration_ms=5.0, factor=1.5),),
+    ),
+    # Everything at once: the graceful-degradation stress test.
+    "chaos": FaultPlan(
+        name="chaos",
+        seed=1337,
+        faults=(
+            FaultSpec(kind="worker-crash", at_ms=1.0, respawn_after_ms=0.5),
+            FaultSpec(kind="worker-stall", at_ms=1.5, duration_ms=0.3),
+            FaultSpec(kind="epc-pressure", at_ms=2.0, duration_ms=1.5, factor=2.5),
+            FaultSpec(kind="enclave-lost", at_ms=3.0),
+            FaultSpec(
+                kind="handoff",
+                at_ms=4.0,
+                duration_ms=2.0,
+                drop_probability=0.25,
+                redelivery_ms=0.1,
+            ),
+            FaultSpec(kind="clock-skew", at_ms=5.0, duration_ms=2.0, factor=1.4),
+            FaultSpec(kind="worker-crash", at_ms=6.0, respawn_after_ms=0.8),
+        ),
+    ),
+}
+
+
+def get_plan(name_or_path: str) -> FaultPlan:
+    """Resolve a plan by registry name or JSON file path."""
+    plan = NAMED_PLANS.get(name_or_path)
+    if plan is not None:
+        return plan
+    if os.path.exists(name_or_path):
+        return FaultPlan.load(name_or_path)
+    known = ", ".join(sorted(NAMED_PLANS))
+    raise KeyError(f"unknown fault plan {name_or_path!r} (known: {known})")

@@ -1,0 +1,144 @@
+"""Recovery policies: capped exponential backoff and enclave re-creation.
+
+When the fault injector marks an enclave lost (the simulated
+``SGX_ERROR_ENCLAVE_LOST``), every subsequent entry attempt must first
+bring the enclave back.  :class:`EnclaveRecovery` implements the SDK's
+prescribed application-side protocol — destroy, wait, re-create, retry —
+as a simulated program:
+
+- retries are paced by :class:`BackoffPolicy` (capped exponential with
+  deterministic seeded jitter, so replays are bit-identical);
+- re-creation is charged as real work (``recreate_cycles``, tagged
+  ``fault-recovery`` so it lands in the ledger's ``fault`` category);
+- concurrent callers coalesce: one thread performs the re-creation while
+  the rest block until it completes (single-flight), mirroring a real
+  runtime where one recovery serves every in-flight call.
+
+A run past ``max_attempts`` raises
+:class:`repro.sgx.enclave.EnclaveLostError` — recovery is graceful
+degradation, not infinite optimism.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.sgx.enclave import EnclaveLostError
+from repro.sgx.lifecycle import recreate_cycles
+from repro.sim.instructions import Block, Compute, Sleep
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    The delay before attempt ``n`` (1-based) is
+    ``min(base · factor^(n-1), cap)`` scaled by a jitter drawn uniformly
+    from ``[1 - jitter_frac, 1 + jitter_frac]`` using a private seeded
+    generator — repeated runs with the same seed see the same delays.
+    """
+
+    def __init__(
+        self,
+        base_cycles: float = 100_000.0,
+        factor: float = 2.0,
+        cap_cycles: float = 10_000_000.0,
+        jitter_frac: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if base_cycles <= 0 or cap_cycles < base_cycles:
+            raise ValueError("need 0 < base_cycles <= cap_cycles")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+        self.base_cycles = base_cycles
+        self.factor = factor
+        self.cap_cycles = cap_cycles
+        self.jitter_frac = jitter_frac
+        self._rng = random.Random(seed)
+
+    def delay_cycles(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_cycles * self.factor ** (attempt - 1), self.cap_cycles)
+        if not self.jitter_frac:
+            return raw
+        return raw * self._rng.uniform(1.0 - self.jitter_frac, 1.0 + self.jitter_frac)
+
+
+class EnclaveRecovery:
+    """Single-flight re-create-and-retry manager for a lost enclave.
+
+    Installed as ``enclave.recovery`` by the fault injector.  The enclave's
+    entry points call :meth:`recover` whenever ``enclave.lost`` is set;
+    the first caller becomes the recoverer (backoff sleep, then the full
+    destroy+create cost), and everyone else blocks until the enclave is
+    healthy again.
+    """
+
+    def __init__(
+        self,
+        enclave: "Enclave",
+        policy: BackoffPolicy | None = None,
+        max_attempts: int = 8,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.enclave = enclave
+        self.policy = policy if policy is not None else BackoffPolicy()
+        self.max_attempts = max_attempts
+        #: Total recovery attempts made over the enclave's lifetime.
+        self.attempts = 0
+        #: Successful re-creations.
+        self.recoveries = 0
+        # True while one thread is re-creating the enclave (single-flight).
+        self._recovering = enclave.kernel.gate(False, name="enclave-recovering")
+
+    def recover(self) -> Program:
+        """Simulated program that returns once the enclave is healthy.
+
+        Loops because a recovery can itself be interrupted by a fresh
+        ``enclave-lost`` fault; gives up with :class:`EnclaveLostError`
+        after ``max_attempts`` total attempts.
+        """
+        enclave = self.enclave
+        while enclave.lost:
+            if self._recovering.value:
+                # Another caller is already re-creating; wait it out and
+                # re-check (the enclave may be lost again by then).
+                yield Block(self._recovering.wait_value(False))
+                continue
+            self._recovering.set(True)
+            try:
+                self.attempts += 1
+                if self.attempts > self.max_attempts:
+                    raise EnclaveLostError(
+                        f"enclave {enclave.name!r} lost; gave up after "
+                        f"{self.max_attempts} recovery attempts"
+                    )
+                backoff = self.policy.delay_cycles(self.attempts)
+                yield Sleep(backoff)
+                yield Compute(
+                    recreate_cycles(enclave.heap_bytes), tag="fault-recovery"
+                )
+                enclave.lost = False
+                enclave.generation += 1
+                self.recoveries += 1
+                faults = enclave.kernel.faults
+                if faults is not None:
+                    faults.emit(
+                        "fault.enclave.recovered",
+                        enclave=enclave.name,
+                        attempts=self.attempts,
+                        generation=enclave.generation,
+                        backoff_cycles=backoff,
+                    )
+            finally:
+                self._recovering.set(False)
+        return None

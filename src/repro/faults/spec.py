@@ -1,0 +1,249 @@
+"""Fault specifications: what goes wrong, when, and to whom.
+
+A :class:`FaultPlan` is a deterministic, seedable schedule of
+:class:`FaultSpec` entries, expressed in *simulated milliseconds* so one
+plan applies to any machine frequency.  Plans round-trip through plain
+JSON (see ``docs/faults.md`` for the schema) and are frozen: the same
+plan + seed against the same workload always produces the same fault
+sequence, which is what the deterministic-replay tests assert.
+
+Fault kinds (the ``kind`` field of each spec):
+
+========================  ====================================================
+``worker-crash``          Kill one switchless worker thread (optionally
+                          respawned after ``respawn_after_ms``).
+``worker-stall``          The worker burns ``duration_ms`` of CPU before
+                          making progress (models preemption/page faults).
+``worker-slowdown``       Worker plumbing costs scale by ``factor`` for
+                          ``duration_ms``.
+``enclave-lost``          ``SGX_ERROR_ENCLAVE_LOST``: the enclave aborts and
+                          must be re-created before any further call.
+``epc-pressure``          Transition costs inflate by ``factor`` for
+                          ``duration_ms`` (EPC paging storm).
+``handoff``               For ``duration_ms``, task-slot handoffs (worker
+                          kicks, futex wakes) are dropped with probability
+                          ``drop_probability`` (re-delivered after
+                          ``redelivery_ms``) or delayed by ``delay_ms``.
+``clock-skew``            The scheduler's accounting windows stretch by
+                          ``factor`` for ``duration_ms``.
+========================  ====================================================
+
+Example::
+
+    >>> plan = FaultPlan(
+    ...     name="one-crash", seed=7,
+    ...     faults=(FaultSpec(kind="worker-crash", at_ms=2.0, index=0,
+    ...                       respawn_after_ms=1.0),),
+    ... )
+    >>> FaultPlan.from_dict(plan.to_dict()) == plan
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import MISSING, asdict, dataclass, field
+
+# ----------------------------------------------------------------------
+# Fault kinds
+# ----------------------------------------------------------------------
+WORKER_CRASH = "worker-crash"
+WORKER_STALL = "worker-stall"
+WORKER_SLOWDOWN = "worker-slowdown"
+ENCLAVE_LOST = "enclave-lost"
+EPC_PRESSURE = "epc-pressure"
+HANDOFF = "handoff"
+CLOCK_SKEW = "clock-skew"
+
+#: Every recognised fault kind.
+FAULT_KINDS: frozenset[str] = frozenset(
+    {
+        WORKER_CRASH,
+        WORKER_STALL,
+        WORKER_SLOWDOWN,
+        ENCLAVE_LOST,
+        EPC_PRESSURE,
+        HANDOFF,
+        CLOCK_SKEW,
+    }
+)
+
+#: Worker targets a spec may name (None = autodetect the installed backend).
+WORKER_TARGETS: frozenset[str] = frozenset(
+    {"zc-worker", "intel-worker", "intel-tworker"}
+)
+
+#: Kinds that need a positive ``duration_ms``.
+_DURATION_KINDS = frozenset({WORKER_STALL, WORKER_SLOWDOWN, EPC_PRESSURE, HANDOFF, CLOCK_SKEW})
+#: Kinds whose ``factor`` must exceed 1 (they model *extra* cost).
+_INFLATING_KINDS = frozenset({WORKER_SLOWDOWN, EPC_PRESSURE})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        at_ms: Simulated time the fault fires, in milliseconds.
+        target: Worker pool targeted (``zc-worker`` / ``intel-worker`` /
+            ``intel-tworker``); None autodetects from the installed
+            backend.  Ignored by enclave/epc/clock faults.
+        index: Worker slot targeted.  None means *random* for
+            ``worker-crash`` (seeded by the plan) and *all workers* for
+            stall/slowdown.
+        duration_ms: How long windowed faults (stall, slowdown,
+            epc-pressure, handoff, clock-skew) stay active.
+        factor: Cost multiplier for slowdown / epc-pressure / clock-skew.
+        respawn_after_ms: For ``worker-crash``: delay until the supervisor
+            respawns the worker; None leaves the slot dead (and
+            quarantined) for the rest of the run.
+        drop_probability: For ``handoff``: chance each handoff in the
+            window is dropped (then re-delivered after ``redelivery_ms``).
+        delay_ms: For ``handoff``: delay applied to non-dropped handoffs.
+        redelivery_ms: For ``handoff``: re-delivery latency of a dropped
+            handoff (models a futex timeout), preserving liveness.
+    """
+
+    kind: str
+    at_ms: float
+    target: str | None = None
+    index: int | None = None
+    duration_ms: float = 0.0
+    factor: float = 1.0
+    respawn_after_ms: float | None = None
+    drop_probability: float = 0.0
+    delay_ms: float = 0.0
+    redelivery_ms: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be >= 0")
+        if self.target is not None and self.target not in WORKER_TARGETS:
+            raise ValueError(f"unknown fault target {self.target!r}")
+        if self.index is not None and self.index < 0:
+            raise ValueError("index must be >= 0")
+        if self.kind in _DURATION_KINDS and self.duration_ms <= 0:
+            raise ValueError(f"{self.kind} needs a positive duration_ms")
+        if self.kind in _INFLATING_KINDS and self.factor <= 1.0:
+            raise ValueError(f"{self.kind} needs factor > 1")
+        if self.kind == CLOCK_SKEW and self.factor <= 0:
+            raise ValueError("clock-skew needs factor > 0")
+        if self.respawn_after_ms is not None and self.respawn_after_ms < 0:
+            raise ValueError("respawn_after_ms must be >= 0")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if self.delay_ms < 0 or self.redelivery_ms <= 0:
+            raise ValueError("delay_ms must be >= 0 and redelivery_ms > 0")
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (defaults elided for readability)."""
+        data = asdict(self)
+        for key, spec_field in type(self).__dataclass_fields__.items():
+            if key in ("kind", "at_ms"):
+                continue
+            if spec_field.default is not MISSING and data[key] == spec_field.default:
+                del data[key]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        unknown = set(data) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(f"unknown FaultSpec field(s): {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of faults plus recovery-policy knobs.
+
+    Attributes:
+        name: Plan identifier (recorded in telemetry and baselines).
+        seed: Seeds every random choice the injector makes (random crash
+            targets, handoff drops, backoff jitter) — same seed, same
+            fault sequence.
+        faults: The schedule, any order; the injector sorts by ``at_ms``.
+        caller_timeout_ms: Overrides the backends' completion-wait timeout
+            (None keeps each backend's configured default).  Only enforced
+            while a fault injector is attached.
+        backoff_base_ms / backoff_cap_ms: Capped-exponential backoff used
+            by the enclave-lost recovery manager.
+    """
+
+    name: str
+    seed: int = 0
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+    caller_timeout_ms: float | None = None
+    backoff_base_ms: float = 0.05
+    backoff_cap_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a FaultPlan needs a name")
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+        if self.caller_timeout_ms is not None and self.caller_timeout_ms <= 0:
+            raise ValueError("caller_timeout_ms must be positive")
+        if self.backoff_base_ms <= 0 or self.backoff_cap_ms < self.backoff_base_ms:
+            raise ValueError("need 0 < backoff_base_ms <= backoff_cap_ms")
+
+    def sorted_faults(self) -> tuple[FaultSpec, ...]:
+        """The schedule in firing order (stable for equal times)."""
+        return tuple(sorted(self.faults, key=lambda spec: spec.at_ms))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form (the ``docs/faults.md`` schema)."""
+        data = {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+        if self.caller_timeout_ms is not None:
+            data["caller_timeout_ms"] = self.caller_timeout_ms
+        blank = FaultPlan(name=self.name)
+        if self.backoff_base_ms != blank.backoff_base_ms:
+            data["backoff_base_ms"] = self.backoff_base_ms
+        if self.backoff_cap_ms != blank.backoff_cap_ms:
+            data["backoff_cap_ms"] = self.backoff_cap_ms
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Build a plan from its JSON form."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultPlan field(s): {sorted(unknown)}")
+        fields = dict(data)
+        fields["faults"] = tuple(
+            FaultSpec.from_dict(spec) for spec in data.get("faults", ())
+        )
+        return cls(**fields)
+
+    def to_json(self) -> str:
+        """Pretty-printed JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=1) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> str:
+        """Write the plan to ``path`` as JSON; returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -26,6 +26,7 @@ from repro.regress.audit import (
     ConservationChecker,
     ImmediateFallbackChecker,
     InvariantAuditor,
+    RecoveryChecker,
     Violation,
     attach_auditor,
     default_checkers,
@@ -43,6 +44,7 @@ __all__ = [
     "DiffReport",
     "ImmediateFallbackChecker",
     "InvariantAuditor",
+    "RecoveryChecker",
     "Violation",
     "attach_auditor",
     "audit_jsonl",

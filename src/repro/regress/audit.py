@@ -20,6 +20,11 @@ asserts one paper-level invariant:
   + M·T``: categorised wall cycles plus idle capacity equal
   ``now × n_cpus`` at every window boundary, not just at the end of the
   run.  Live-only (replay has events but no ledger).
+- :class:`RecoveryChecker` — graceful degradation under
+  :mod:`repro.faults`: every ``fault.worker.crash`` that schedules a
+  respawn is matched by a ``fault.worker.respawn`` (or an explicit
+  ``.skipped``) by its deadline; a crashed slot that silently never
+  heals is a supervision bug.  Vacuously green on healthy runs.
 
 Checkers run in two modes: *live*, subscribed to a cell's
 :class:`~repro.telemetry.events.EventBus` via :func:`attach_auditor`
@@ -257,6 +262,67 @@ class ConservationChecker(Checker):
             )
 
 
+class RecoveryChecker(Checker):
+    """Fault supervision: scheduled worker respawns actually happen.
+
+    The fault injector emits ``fault.worker.crash`` with
+    ``respawn_after_cycles`` when the plan schedules supervision for the
+    killed worker (None means the slot stays dead by design).  This
+    checker arms a deadline per ``(target, worker)`` slot and expects a
+    ``fault.worker.respawn`` — or a ``fault.worker.respawn.skipped``,
+    the supervisor's explicit "moot, shutting down" verdict — before any
+    later event passes the deadline.  ``fault.plan.detached`` cancels
+    not-yet-due deadlines (detach cancels the pending timers too), but a
+    deadline already in the past at detach time means the respawn timer
+    was lost.  Healthy runs emit no ``fault.*`` events, so this checker
+    is vacuously green outside fault injection.
+    """
+
+    name = "fault-recovery"
+
+    def __init__(self) -> None:
+        #: (target, worker) -> simulated deadline for its respawn event.
+        self._pending: dict[tuple[str, int], float] = {}
+        self._last_t = 0.0
+
+    def _slot(self, event: TelemetryEvent) -> tuple[str, int]:
+        return (event.fields.get("target", "?"), event.fields.get("worker", -1))
+
+    def _overdue(self, auditor: "InvariantAuditor", t_cycles: float) -> None:
+        for slot, deadline in sorted(self._pending.items()):
+            # Strict >: the respawn emit happens exactly at its deadline,
+            # and unrelated events carrying that same timestamp may be
+            # dispatched before the timer callback.
+            if t_cycles > deadline:
+                del self._pending[slot]
+                auditor.report(
+                    self.name,
+                    t_cycles,
+                    f"worker {slot[0]}/{slot[1]} crashed with a respawn due at "
+                    f"{deadline:.0f} but no fault.worker.respawn arrived",
+                )
+
+    def on_event(self, event: TelemetryEvent, auditor: "InvariantAuditor") -> None:
+        self._last_t = event.t_cycles
+        if self._pending:
+            self._overdue(auditor, event.t_cycles)
+        if event.name == "fault.worker.crash":
+            after = event.fields.get("respawn_after_cycles")
+            if after is not None:
+                self._pending[self._slot(event)] = event.t_cycles + after
+        elif event.name in ("fault.worker.respawn", "fault.worker.respawn.skipped"):
+            self._pending.pop(self._slot(event), None)
+        elif event.name == "fault.plan.detached":
+            self._pending.clear()  # _overdue above already flagged past-due slots
+
+    def finish(self, auditor: "InvariantAuditor", snapshot: "LedgerSnapshot | None") -> None:
+        # A truncated stream (no detach event) still owes respawns whose
+        # deadline the stream itself passed.
+        t_end = snapshot.now_cycles if snapshot is not None else self._last_t
+        if self._pending:
+            self._overdue(auditor, t_end)
+
+
 def default_checkers() -> list[Checker]:
     """One fresh instance of every stock checker."""
     return [
@@ -264,6 +330,7 @@ def default_checkers() -> list[Checker]:
         ImmediateFallbackChecker(),
         ConfigPhaseChecker(),
         ArgminChecker(),
+        RecoveryChecker(),
     ]
 
 

@@ -39,6 +39,9 @@ from repro.telemetry.ledger import (
 from repro.telemetry.schema import SchemaMismatch
 
 #: Ledger categories where an increase means the run got slower.
+#: ``fault`` is the injected-fault overhead (stalls, enclave
+#: re-creation, rejoin resets): zero on healthy runs, and on fault-plan
+#: baselines the quantity the ``fault_overhead`` gate keeps bounded.
 GATED_CATEGORIES: tuple[str, ...] = (
     "transition",
     "marshal",
@@ -46,6 +49,7 @@ GATED_CATEGORIES: tuple[str, ...] = (
     "caller-spin",
     "worker-spin",
     "sched",
+    "fault",
 )
 
 #: Metric-name prefixes that gate (higher is worse).  Quantile suffixes
@@ -263,6 +267,25 @@ def diff_snapshots(
         current_name=current.get("name", "current"),
         threshold=threshold,
     )
+
+    base_plan = base.get("fault_plan")
+    cur_plan = current.get("fault_plan")
+    if base_plan != cur_plan:
+        # Comparing a faulty run against a healthy baseline (or two
+        # different plans) is apples-to-oranges: every downstream delta
+        # would be an artifact of the plan, not a regression.
+        report.entries.append(
+            DiffEntry(
+                "snapshot", "fault_plan", "plan", "regression", 0.0, 0.0, 0.0,
+                (0.0, 0.0),
+                message=(
+                    f"fault plans differ: baseline "
+                    f"{(base_plan or {}).get('name', 'none')!r} vs current "
+                    f"{(cur_plan or {}).get('name', 'none')!r} — re-capture with "
+                    "matching --plan"
+                ),
+            )
+        )
 
     for exp_id, base_record in base.get("experiments", {}).items():
         cur_record = current.get("experiments", {}).get(exp_id)

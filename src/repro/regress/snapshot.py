@@ -23,12 +23,14 @@ artifact schema version and refuse to diff against mismatched inputs.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
 from typing import Any, Mapping, Sequence
 
 from repro.experiments import EXPERIMENTS
+from repro.faults import FaultPlan, activate_plan
 from repro.telemetry.ledger import CATEGORIES
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.schema import check_stamp, stamp
@@ -78,6 +80,7 @@ def capture_run(
     repeats: int = 1,
     bench_meta_path: str | None = None,
     name: str = "run",
+    fault_plan: FaultPlan | None = None,
 ) -> dict[str, Any]:
     """Execute the experiments and build a snapshot document.
 
@@ -85,8 +88,17 @@ def capture_run(
     its quick presets).  Each repeat runs every experiment once; samples
     accumulate per (cell, category) and per metric so the diff can
     bootstrap over them.
+
+    ``fault_plan`` runs every cell under that fault plan (see
+    :mod:`repro.faults`): ``build_stack`` attaches one injector per
+    cell, the snapshot records the plan, and ``diff_snapshots`` refuses
+    to compare snapshots whose plans differ.  Fault plans force
+    ``jobs=1`` — the active-plan stack is process-global, and serial
+    cells keep the injected schedule deterministic.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    if fault_plan is not None:
+        jobs = 1
     overrides = overrides or {}
     experiments: dict[str, Any] = {}
     for exp_id in ids:
@@ -99,7 +111,12 @@ def capture_run(
             module = EXPERIMENTS[exp_id]
             kwargs = dict(overrides.get(exp_id, {}))
             record = experiments[exp_id]
-            with TelemetrySession() as session:
+            plan_scope = (
+                activate_plan(fault_plan)
+                if fault_plan is not None
+                else contextlib.nullcontext()
+            )
+            with TelemetrySession() as session, plan_scope:
                 # cache=None: a cache hit would skip the cell and capture
                 # nothing; a snapshot must observe every cell live.
                 result = module.run(**kwargs, jobs=jobs, cache=None)
@@ -143,6 +160,7 @@ def capture_run(
         "experiment_ids": ids,
         "experiments": experiments,
         "bench_meta": bench_meta,
+        "fault_plan": fault_plan.to_dict() if fault_plan is not None else None,
     }
 
 

@@ -22,7 +22,7 @@ from repro.sgx.backend import CallBackend, RegularBackend
 from repro.sgx.batching import OcallBatcher
 from repro.sgx.costmodel import SgxCostModel
 from repro.sgx.edl import EnclaveInterface
-from repro.sgx.enclave import CallStats, Enclave, OcallRequest
+from repro.sgx.enclave import CallStats, Enclave, EnclaveLostError, OcallRequest
 from repro.sgx.epc import EpcModel
 from repro.sgx.memcpy import MemcpyModel, VanillaMemcpy, ZcMemcpy
 from repro.sgx.trts import TrustedRuntime
@@ -33,6 +33,7 @@ __all__ = [
     "CallStats",
     "Enclave",
     "EnclaveInterface",
+    "EnclaveLostError",
     "EpcModel",
     "HostFault",
     "MemcpyModel",

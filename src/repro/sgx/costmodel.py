@@ -74,3 +74,24 @@ class SgxCostModel:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         return retries * self.pause_cycles
+
+    def with_transition_factor(self, factor: float) -> "SgxCostModel":
+        """A copy with every enclave-crossing cost scaled by ``factor``.
+
+        Models EPC-pressure paging storms: when the working set exceeds
+        the EPC, each EENTER/EEXIT can trigger encrypted page eviction and
+        reload, inflating transition latency while leaving in-enclave
+        compute costs untouched.  Used by the fault injector's
+        ``epc-pressure`` fault (see :mod:`repro.faults`).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be > 0")
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            eexit_cycles=self.eexit_cycles * factor,
+            eenter_cycles=self.eenter_cycles * factor,
+            ecall_entry_cycles=self.ecall_entry_cycles * factor,
+            ecall_exit_cycles=self.ecall_exit_cycles * factor,
+        )

@@ -31,6 +31,21 @@ from repro.sim.instructions import Compute
 from repro.sim.kernel import Kernel, Program
 
 
+class EnclaveLostError(RuntimeError):
+    """The enclave aborted (``SGX_ERROR_ENCLAVE_LOST``) and could not be
+    recovered.
+
+    Raised by enclave entry points when the enclave is marked lost and
+    either no recovery manager is installed or recovery exhausted its
+    retry budget.  Mirrors the SDK contract: on ``SGX_ERROR_ENCLAVE_LOST``
+    the application must destroy and re-create the enclave before any
+    further ecall/ocall can succeed.
+    """
+
+    #: The SDK status code this models.
+    sgx_status = "SGX_ERROR_ENCLAVE_LOST"
+
+
 @dataclass
 class OcallRequest:
     """One marshalled ocall crossing the enclave boundary.
@@ -193,6 +208,30 @@ class Enclave:
         self.backend: CallBackend = RegularBackend()
         self.backend.attach(self)
         self._epc_penalty_cycles = self.epc.allocate(name, heap_bytes)
+        #: True after an SGX_ERROR_ENCLAVE_LOST-style abort: every entry
+        #: point first runs recovery (or raises EnclaveLostError if no
+        #: recovery manager is installed).  Set by the fault injector.
+        self.lost = False
+        #: Incremented on each successful re-creation after loss.
+        self.generation = 0
+        #: Optional :class:`repro.faults.recovery.EnclaveRecovery`; its
+        #: ``recover()`` program re-creates the enclave with capped
+        #: exponential backoff.  Installed by the fault injector.
+        self.recovery: Any = None
+
+    def _recover_lost(self) -> Program:
+        """Bring a lost enclave back before an entry point proceeds.
+
+        With no recovery manager installed, a lost enclave is fatal —
+        exactly the SDK's contract for ``SGX_ERROR_ENCLAVE_LOST`` when the
+        application has no re-create logic.
+        """
+        if self.recovery is None:
+            raise EnclaveLostError(
+                f"enclave {self.name!r} is lost and has no recovery manager"
+            )
+        yield from self.recovery.recover()
+        return None
 
     def set_backend(self, backend: CallBackend) -> None:
         """Install a call-execution backend (regular, Intel, or ZC).
@@ -228,6 +267,8 @@ class Enclave:
             aligned=aligned,
             issued_at=self.kernel.now,
         )
+        if self.lost:
+            yield from self._recover_lost()
         yield Compute(self.cost.ocall_bookkeeping_cycles, tag="ocall-setup")
         if in_bytes:
             yield Compute(
@@ -280,6 +321,8 @@ class Enclave:
             aligned=aligned,
             issued_at=self.kernel.now,
         )
+        if self.lost:
+            yield from self._recover_lost()
         yield Compute(self.cost.ocall_bookkeeping_cycles, tag="ocall-setup")
         if in_bytes:
             yield Compute(self.memcpy_model.cycles(in_bytes, aligned), tag="marshal-in")
@@ -313,6 +356,8 @@ class Enclave:
         Charges enclave entry before and enclave exit after the trusted
         program; returns the program's result.
         """
+        if self.lost:
+            yield from self._recover_lost()
         yield Compute(self.cost.ecall_entry_cycles, tag="ecall-enter")
         result = yield from program
         yield Compute(self.cost.ecall_exit_cycles, tag="ecall-exit")
@@ -341,6 +386,8 @@ class Enclave:
             aligned=aligned,
             issued_at=self.kernel.now,
         )
+        if self.lost:
+            yield from self._recover_lost()
         yield Compute(self.cost.ocall_bookkeeping_cycles, tag="ecall-setup")
         if in_bytes:
             yield Compute(self.memcpy_model.cycles(in_bytes, aligned), tag="marshal-in")

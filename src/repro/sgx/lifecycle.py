@@ -49,6 +49,17 @@ def destruction_cycles(heap_bytes: int) -> float:
     return pages * PER_PAGE_REMOVE_CYCLES
 
 
+def recreate_cycles(heap_bytes: int) -> float:
+    """Cycles to recover a lost enclave: tear-down plus full rebuild.
+
+    ``SGX_ERROR_ENCLAVE_LOST`` recovery (power transition, AEX storm,
+    microcode update) must destroy the dead enclave and re-create it from
+    scratch — state inside is gone.  Used by
+    :class:`repro.faults.recovery.EnclaveRecovery`.
+    """
+    return destruction_cycles(heap_bytes) + creation_cycles(heap_bytes)
+
+
 def create_enclave(enclave: "Enclave") -> Program:
     """Simulated program charging the creation of ``enclave``.
 

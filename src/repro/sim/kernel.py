@@ -279,6 +279,11 @@ class Kernel:
         self.bus: Any = None
         self.sched_bus: Any = None
         self.ledger: Any = None
+        #: Optional fault injector (see :mod:`repro.faults`).  None on
+        #: healthy runs; runtime components gate every fault-tolerance
+        #: timeout/check on this single attribute so un-faulted runs stay
+        #: byte-identical to builds without the fault layer.
+        self.faults: Any = None
         self._seq = itertools.count()
         self._heap: list[_Timer] = []
         self._micro: deque[Callable[[], None]] = deque()
@@ -438,6 +443,10 @@ class Kernel:
             # behind once the first entry dispatches, double-counting the
             # thread in the ready-queue length and forcing _try_dispatch
             # to skip it later.  Every queued thread appears exactly once.
+            return
+        if thread.state is ThreadState.DONE:
+            # A killed thread can still sit in an Event's blocked list;
+            # its wake-up must not resurrect it.
             return
         thread.state = ThreadState.READY
         self._ready.append(thread)
@@ -638,6 +647,37 @@ class Kernel:
         if thread.state is ThreadState.SLEEPING:
             thread._resume_value = None
             self._make_ready(thread)
+
+    def kill(self, thread: SimThread) -> None:
+        """Forcibly terminate ``thread`` at the current instant.
+
+        Models an asynchronous thread death (the fault injector's worker
+        crash): in-flight work is credited up to ``now``, the generator is
+        closed, the core released and ``done_event`` fired with ``None``.
+        The thread may still be referenced by event wait lists or the
+        ready queue; those entries become inert (:meth:`_make_ready`
+        ignores DONE threads, :meth:`_try_dispatch` skips non-READY
+        entries), so :meth:`ready_queue_length` can transiently over-count
+        by the number of freshly killed READY threads.  Killing a DONE
+        thread is a no-op.
+        """
+        if thread.state is ThreadState.DONE:
+            return
+        core = thread.core
+        if core is not None and core.activity is not None:
+            self._apply_progress(core)
+            activity = core.activity
+            if activity.timer is not None:
+                activity.timer.cancel()
+            if activity.kind == "spin" and activity.spin_event is not None:
+                spinners = activity.spin_event._spinners
+                if thread in spinners:
+                    spinners.remove(thread)
+            core.activity = None
+        thread._pending = None
+        thread._spin_result = None
+        thread.gen.close()
+        self._finish_thread(thread, None)
 
     # ------------------------------------------------------------------
     # Activities (on-core work)

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.sgx.backend import CallBackend
 from repro.sim.instructions import Compute, Spin
-from repro.sim.kernel import Program, SimThread
+from repro.sim.kernel import Program, SimThread, ThreadState
 from repro.switchless.config import SwitchlessConfig
 from repro.switchless.taskpool import SwitchlessTask, TaskPool
 from repro.switchless.worker import IntelWorkerStats, intel_worker_loop
@@ -46,6 +46,9 @@ class IntelSwitchlessBackend(CallBackend):
         self.worker_stats: list[IntelWorkerStats] = []
         self.tworker_threads: list[SimThread] = []
         self.tworker_stats: list[IntelWorkerStats] = []
+        #: Threads of crashed-and-respawned workers (fault layer).
+        self.retired_threads: list[SimThread] = []
+        self.worker_respawns = 0
         self._stop_flag = [False]
         self.fallback_count = 0
         self.switchless_count = 0
@@ -63,7 +66,9 @@ class IntelSwitchlessBackend(CallBackend):
             stats = IntelWorkerStats()
             self.worker_stats.append(stats)
             thread = enclave.kernel.spawn(
-                intel_worker_loop(enclave, self.pool, self.config, stats, self._stop_flag),
+                intel_worker_loop(
+                    enclave, self.pool, self.config, stats, self._stop_flag, index=i
+                ),
                 name=f"intel-worker-{i}",
                 kind="intel-worker",
                 daemon=True,
@@ -85,6 +90,8 @@ class IntelSwitchlessBackend(CallBackend):
                         stats,
                         self._stop_flag,
                         executor=enclave.trts.execute,
+                        index=i,
+                        target="intel-tworker",
                     ),
                     name=f"intel-tworker-{i}",
                     kind="intel-tworker",
@@ -100,6 +107,60 @@ class IntelSwitchlessBackend(CallBackend):
             self.pool.wake_all()
         if self.ecall_pool is not None:
             self.ecall_pool.wake_all()
+
+    # ------------------------------------------------------------------
+    # Fault supervision (active only while a fault injector is attached)
+    # ------------------------------------------------------------------
+    def respawn_worker(self, index: int, target: str = "intel-worker") -> bool:
+        """Supervise a crashed worker slot back to life.
+
+        Restarts the worker loop on a fresh thread, reusing the slot's
+        accumulated statistics.  Returns False when the respawn is moot
+        (runtime shutting down, bad slot, or the thread is still alive).
+        """
+        enclave = self._enclave
+        if enclave is None or self._stop_flag[0]:
+            return False
+        if target == "intel-worker":
+            threads, stats_list, pool, executor = (
+                self.worker_threads,
+                self.worker_stats,
+                self.pool,
+                None,
+            )
+        elif target == "intel-tworker":
+            threads, stats_list, pool, executor = (
+                self.tworker_threads,
+                self.tworker_stats,
+                self.ecall_pool,
+                enclave.trts.execute,
+            )
+        else:
+            return False
+        if pool is None or not 0 <= index < len(threads):
+            return False
+        old = threads[index]
+        if old.state is not ThreadState.DONE:
+            return False
+        self.retired_threads.append(old)
+        self.worker_respawns += 1
+        thread = enclave.kernel.spawn(
+            intel_worker_loop(
+                enclave,
+                pool,
+                self.config,
+                stats_list[index],
+                self._stop_flag,
+                executor=executor,
+                index=index,
+                target=target,
+            ),
+            name=f"{target}-{index}-r{self.worker_respawns}",
+            kind=target,
+            daemon=True,
+        )
+        threads[index] = thread
+        return True
 
     # ------------------------------------------------------------------
     # Call path
@@ -139,8 +200,32 @@ class IntelSwitchlessBackend(CallBackend):
             return result
 
         # Claimed (possibly at the last instant): busy-wait for completion.
+        # Under fault injection the wait is bounded: if the claiming
+        # worker crashed, the task is abandoned and the call recovers via
+        # a regular fallback.  Healthy runs never consult the timeout.
+        waited = 0.0
         while not task.done.fired:
-            yield Spin(task.done, _COMPLETION_SPIN_CHUNK, tag="sl-wait-done")
+            fired = yield Spin(task.done, _COMPLETION_SPIN_CHUNK, tag="sl-wait-done")
+            if fired or task.done.fired:
+                break
+            faults = enclave.kernel.faults
+            if faults is None:
+                continue
+            waited += _COMPLETION_SPIN_CHUNK
+            if waited < faults.caller_timeout_cycles(self.config.completion_timeout_cycles):
+                continue
+            task.abandoned = True
+            self.fallback_count += 1
+            if bus is not None:
+                bus.emit(
+                    "intel.fallback", name=request.name, reason="completion-timeout"
+                )
+            faults.emit(
+                "fault.caller.timeout", name=request.name, waited_cycles=waited
+            )
+            result = yield from self._regular(request)
+            request.mode = "fallback"
+            return result
         self.switchless_count += 1
         # No per-success emit — ``ocall.complete`` carries the chosen mode;
         # only fallbacks (the exceptional path) are bus events.
@@ -202,8 +287,33 @@ class IntelSwitchlessBackend(CallBackend):
             request.mode = "fallback"
             return result
 
+        # Bounded under fault injection, exactly as the ocall path above.
+        waited = 0.0
         while not task.done.fired:
-            yield Spin(task.done, _COMPLETION_SPIN_CHUNK, tag="sl-ecall-wait-done")
+            fired = yield Spin(task.done, _COMPLETION_SPIN_CHUNK, tag="sl-ecall-wait-done")
+            if fired or task.done.fired:
+                break
+            faults = enclave.kernel.faults
+            if faults is None:
+                continue
+            waited += _COMPLETION_SPIN_CHUNK
+            if waited < faults.caller_timeout_cycles(self.config.completion_timeout_cycles):
+                continue
+            task.abandoned = True
+            self.ecall_fallback_count += 1
+            if bus is not None:
+                bus.emit(
+                    "intel.fallback",
+                    name=request.name,
+                    reason="completion-timeout",
+                    path="ecall",
+                )
+            faults.emit(
+                "fault.caller.timeout", name=request.name, waited_cycles=waited
+            )
+            result = yield from self._regular_ecall(request)
+            request.mode = "fallback"
+            return result
         self.ecall_switchless_count += 1
         request.mode = "switchless"
         return task.done.value

@@ -33,6 +33,12 @@ class SwitchlessConfig:
             waiting for a request before going to sleep.
         pool_capacity: Task-pool slots; a full pool causes immediate
             fallback.  Defaults to twice the worker count.
+        completion_timeout_cycles: Bound on the caller's wait for a
+            *claimed* task to complete, enforced **only while a fault
+            injector is attached** (``kernel.faults`` set): on expiry the
+            task is abandoned and the call recovers via a regular
+            fallback ocall.  The SDK has no such bound — a crashed worker
+            would hang the caller forever; healthy runs never consult it.
     """
 
     switchless_ocalls: frozenset[str] = field(default_factory=frozenset)
@@ -42,6 +48,7 @@ class SwitchlessConfig:
     retries_before_fallback: int = SDK_DEFAULT_RETRIES
     retries_before_sleep: int = SDK_DEFAULT_RETRIES
     pool_capacity: int | None = None
+    completion_timeout_cycles: float = 100_000_000.0
 
     def __post_init__(self) -> None:
         if self.num_uworkers < 1:
@@ -54,6 +61,8 @@ class SwitchlessConfig:
             raise ValueError("retries_before_sleep must be >= 0")
         if self.pool_capacity is not None and self.pool_capacity < 1:
             raise ValueError("pool_capacity must be >= 1")
+        if self.completion_timeout_cycles <= 0:
+            raise ValueError("completion_timeout_cycles must be positive")
         if not isinstance(self.switchless_ocalls, frozenset):
             object.__setattr__(self, "switchless_ocalls", frozenset(self.switchless_ocalls))
         if not isinstance(self.switchless_ecalls, frozenset):

@@ -11,6 +11,12 @@ claim/cancel semantics:
 - a worker may *claim* a pending task, after which cancellation fails and
   the caller must wait for completion;
 - a full pool rejects new tasks (immediate fallback).
+
+Under fault injection (:mod:`repro.faults`) two more things can happen:
+the submit path's futex wake may be dropped or delayed by an active
+``handoff`` fault window, and a claimed task whose worker crashed may be
+*abandoned* by its caller (completion timeout → fallback recovery).
+Neither path exists on healthy runs (``kernel.faults is None``).
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ if TYPE_CHECKING:
 class SwitchlessTask:
     """One switchless ocall request published to the pool."""
 
-    __slots__ = ("request", "picked", "done", "cancelled")
+    __slots__ = ("request", "picked", "done", "cancelled", "abandoned")
 
     def __init__(self, kernel: Kernel, request: "OcallRequest") -> None:
         self.request = request
@@ -37,6 +43,10 @@ class SwitchlessTask:
         #: Fired (with the handler's result) when execution completes.
         self.done: Event = kernel.event(f"done:{request.name}")
         self.cancelled = False
+        #: Set when the caller's completion wait timed out under fault
+        #: injection and the call was recovered via a fallback ocall; a
+        #: worker holding the task drops it instead of executing.
+        self.abandoned = False
 
 
 class TaskPool:
@@ -129,5 +139,12 @@ class TaskPool:
             signal.fire_if_unfired()
 
     def _wake_one(self) -> None:
+        # The submit path's futex wake.  Under an active ``handoff``
+        # fault window the injector may drop it (re-delivering after its
+        # modelled futex-timeout latency) or delay it.
         if self._sleeping:
-            self._sleeping.popleft().fire_if_unfired()
+            wake = self._sleeping.popleft()
+            faults = self.kernel.faults
+            if faults is not None and faults.perturb_handoff(wake.fire_if_unfired):
+                return
+            wake.fire_if_unfired()

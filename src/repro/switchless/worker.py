@@ -40,24 +40,41 @@ def intel_worker_loop(
     stats: IntelWorkerStats,
     stop_flag: list[bool],
     executor=None,
+    index: int = 0,
+    target: str = "intel-worker",
 ) -> Program:
     """Simulated program of one switchless worker thread.
 
     ``executor`` selects the handler table: the untrusted runtime for
     ocall workers (default) or the trusted runtime for ecall workers —
     the loop itself is identical in both directions, as in the SDK.
+    ``index`` and ``target`` identify this worker to the fault injector
+    (see :mod:`repro.faults`): stalls and slowdowns addressed to
+    ``(target, index)`` are consumed at the loop's dispatch points.
     """
     cost = enclave.cost
     if executor is None:
         executor = enclave.urts.execute
     rbs_budget = cost.pause_loop_cycles(config.retries_before_sleep)
     while not stop_flag[0]:
+        faults = enclave.kernel.faults
+        if faults is not None:
+            stall = faults.take_stall(target, index)
+            if stall:
+                yield Compute(stall, tag="fault-stall")
+                continue
         task = pool.try_claim()
         if task is not None:
-            yield Compute(cost.worker_pickup_cycles, tag="worker-pickup")
+            factor = 1.0 if faults is None else faults.cost_factor(target, index)
+            yield Compute(cost.worker_pickup_cycles * factor, tag="worker-pickup")
+            if task.abandoned:
+                # The caller timed out and recovered via fallback while
+                # the task sat claimed; executing it now would be pure
+                # duplicate work with nobody reading the result.
+                continue
             task.picked.fire()
             result = yield from executor(task.request)
-            yield Compute(cost.worker_complete_cycles, tag="worker-complete")
+            yield Compute(cost.worker_complete_cycles * factor, tag="worker-complete")
             stats.tasks_executed += 1
             task.done.fire(result)
             continue

@@ -35,6 +35,7 @@ RUNTIME = "runtime"
 CALLER_SPIN = "caller-spin"
 WORKER_SPIN = "worker-spin"
 SCHED = "sched"
+FAULT = "fault"
 IDLE = "idle"
 
 #: Busy categories, in cycle-budget column order.
@@ -47,6 +48,7 @@ BUSY_CATEGORIES: tuple[str, ...] = (
     CALLER_SPIN,
     WORKER_SPIN,
     SCHED,
+    FAULT,
 )
 
 #: Every category, including idle capacity.
@@ -109,6 +111,11 @@ def classify(thread_kind: str, activity_kind: str, tag: str | None) -> str:
     if activity_kind == "spin":
         return WORKER_SPIN if thread_kind in WORKER_KINDS else CALLER_SPIN
     tag = tag or ""
+    if tag.startswith("fault-"):
+        # Injected-fault overhead (stalls, enclave re-creation, rejoin
+        # resets) — the `fault_overhead` quantity the regression gate
+        # bounds; see repro.faults and docs/faults.md.
+        return FAULT
     if tag in TRANSITION_TAGS:
         return TRANSITION
     if tag in MARSHAL_TAGS:

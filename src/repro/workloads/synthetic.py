@@ -30,6 +30,7 @@ from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime
 from repro.sim import Compute, Kernel, MachineSpec, paper_machine
 from repro.sim.kernel import Program
 from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.faults import FaultInjector, active_fault_plan
 from repro.telemetry.session import active_session
 
 SYNTHETIC_CONFIGS: dict[str, frozenset[str]] = {
@@ -162,6 +163,8 @@ def run_synthetic(
     enclave.set_backend(backend)
     if capture is not None:
         capture.bind_enclave(enclave)
+    plan = active_fault_plan()
+    faults = FaultInjector(plan).attach(kernel, enclave) if plan is not None else None
 
     def caller(thread_index: int) -> Program:
         for name in _call_plan(spec, thread_index):
@@ -177,6 +180,10 @@ def run_synthetic(
     end_sample = stat.sample()
     elapsed = kernel.seconds(kernel.now)
     usage = stat.usage_between(start_sample, end_sample).usage_pct
+    if faults is not None:
+        # Before stop(): cancels not-yet-fired fault/respawn timers so
+        # teardown never advances time to a future fault instant.
+        faults.detach()
     backend.stop()
     if capture is not None:
         # After stop(): worker exit-cleanup cycles belong to the ledger.

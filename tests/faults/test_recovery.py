@@ -1,0 +1,142 @@
+"""Backoff policy and the SGX_ERROR_ENCLAVE_LOST recovery protocol."""
+
+import pytest
+
+from repro.faults import BackoffPolicy, EnclaveRecovery
+from repro.sgx import Enclave, EnclaveLostError, UntrustedRuntime
+from repro.sim import Compute, Kernel, MachineSpec
+
+
+def build():
+    kernel = Kernel(MachineSpec(n_cores=4, smt=2))
+    urts = UntrustedRuntime()
+    enclave = Enclave(kernel, urts)
+
+    def ping():
+        yield Compute(1_000.0, tag="host-ping")
+        return "pong"
+
+    urts.register("ping", ping)
+    return kernel, enclave
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_with_cap(self):
+        policy = BackoffPolicy(
+            base_cycles=100.0, factor=2.0, cap_cycles=500.0, jitter_frac=0.0
+        )
+        delays = [policy.delay_cycles(n) for n in range(1, 6)]
+        assert delays == [100.0, 200.0, 400.0, 500.0, 500.0]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        a = BackoffPolicy(base_cycles=1_000.0, jitter_frac=0.25, seed=7)
+        b = BackoffPolicy(base_cycles=1_000.0, jitter_frac=0.25, seed=7)
+        delays_a = [a.delay_cycles(n) for n in range(1, 9)]
+        delays_b = [b.delay_cycles(n) for n in range(1, 9)]
+        assert delays_a == delays_b  # same seed, same jitter draw
+        for attempt, delay in enumerate(delays_a, start=1):
+            raw = min(1_000.0 * 2.0 ** (attempt - 1), a.cap_cycles)
+            assert raw * 0.75 <= delay <= raw * 1.25
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_cycles=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_cycles=10.0, cap_cycles=5.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter_frac=1.0)
+
+
+class TestEnclaveRecovery:
+    def test_lost_enclave_recovers_transparently(self):
+        kernel, enclave = build()
+        enclave.recovery = EnclaveRecovery(enclave, BackoffPolicy(jitter_frac=0.0))
+        enclave.lost = True
+        results = []
+
+        def app():
+            results.append((yield from enclave.ocall("ping")))
+
+        thread = kernel.spawn(app(), name="app", kind="app")
+        t_healthy_start = kernel.now
+        kernel.join(thread)
+        assert results == ["pong"]
+        assert enclave.lost is False
+        assert enclave.generation == 1
+        assert enclave.recovery.recoveries == 1
+        # The recovery cost real simulated time (backoff + re-creation).
+        assert kernel.now > t_healthy_start
+
+    def test_concurrent_callers_coalesce_into_one_recovery(self):
+        kernel, enclave = build()
+        enclave.recovery = EnclaveRecovery(enclave, BackoffPolicy(jitter_frac=0.0))
+        enclave.lost = True
+        results = []
+
+        def app(i):
+            results.append((yield from enclave.ocall("ping")))
+
+        threads = [
+            kernel.spawn(app(i), name=f"app-{i}", kind="app") for i in range(4)
+        ]
+        kernel.join(*threads)
+        assert results == ["pong"] * 4
+        assert enclave.recovery.attempts == 1  # single-flight
+        assert enclave.recovery.recoveries == 1
+        assert enclave.generation == 1
+
+    def test_gives_up_past_max_attempts(self):
+        kernel, enclave = build()
+        enclave.recovery = EnclaveRecovery(
+            enclave, BackoffPolicy(jitter_frac=0.0), max_attempts=2
+        )
+        enclave.recovery.attempts = 2  # budget already exhausted
+        enclave.lost = True
+        caught = []
+
+        def app():
+            try:
+                yield from enclave.ocall("ping")
+            except EnclaveLostError as error:
+                caught.append(error)
+
+        kernel.join(kernel.spawn(app(), name="app", kind="app"))
+        assert len(caught) == 1
+        assert caught[0].sgx_status == "SGX_ERROR_ENCLAVE_LOST"
+        assert enclave.lost is True  # nobody brought it back
+
+    def test_lost_without_manager_raises(self):
+        kernel, enclave = build()
+        enclave.lost = True
+        caught = []
+
+        def app():
+            try:
+                yield from enclave.ocall("ping")
+            except EnclaveLostError as error:
+                caught.append(error)
+
+        kernel.join(kernel.spawn(app(), name="app", kind="app"))
+        assert len(caught) == 1
+        assert "no recovery manager" in str(caught[0])
+
+    def test_ecall_path_also_recovers(self):
+        kernel, enclave = build()
+        enclave.recovery = EnclaveRecovery(enclave, BackoffPolicy(jitter_frac=0.0))
+        enclave.lost = True
+        done = []
+
+        def trusted():
+            yield Compute(5_000.0, tag="app")
+            return None
+
+        def app():
+            yield from enclave.ecall(trusted())
+            done.append(True)
+
+        kernel.join(kernel.spawn(app(), name="app", kind="app"))
+        assert done == [True]
+        assert enclave.lost is False
+        assert enclave.generation == 1

@@ -1,0 +1,109 @@
+"""FaultSpec/FaultPlan validation, JSON round-trips, and the registry."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, NAMED_PLANS, FaultPlan, FaultSpec, get_plan
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meteor-strike", at_ms=1.0)
+
+    def test_rejects_negative_instant(self):
+        with pytest.raises(ValueError, match="at_ms"):
+            FaultSpec(kind="worker-crash", at_ms=-1.0)
+
+    def test_rejects_unknown_target(self):
+        with pytest.raises(ValueError, match="unknown fault target"):
+            FaultSpec(kind="worker-crash", at_ms=1.0, target="gpu-worker")
+
+    def test_duration_kinds_need_positive_duration(self):
+        for kind in ("worker-stall", "epc-pressure", "handoff", "clock-skew"):
+            with pytest.raises(ValueError, match="duration_ms"):
+                FaultSpec(kind=kind, at_ms=1.0)
+
+    def test_inflating_kinds_need_factor_above_one(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultSpec(kind="worker-slowdown", at_ms=1.0, duration_ms=1.0)
+        with pytest.raises(ValueError, match="factor"):
+            FaultSpec(kind="epc-pressure", at_ms=1.0, duration_ms=1.0, factor=0.5)
+
+    def test_drop_probability_bounded(self):
+        with pytest.raises(ValueError, match="drop_probability"):
+            FaultSpec(
+                kind="handoff", at_ms=1.0, duration_ms=1.0, drop_probability=1.5
+            )
+
+    def test_to_dict_elides_defaults(self):
+        spec = FaultSpec(kind="worker-crash", at_ms=1.0, respawn_after_ms=0.5)
+        data = spec.to_dict()
+        assert data == {
+            "kind": "worker-crash",
+            "at_ms": 1.0,
+            "respawn_after_ms": 0.5,
+        }
+        assert FaultSpec.from_dict(data) == spec
+
+    def test_every_kind_round_trips(self):
+        specs = [
+            FaultSpec(kind="worker-crash", at_ms=1.0, index=0),
+            FaultSpec(kind="worker-stall", at_ms=1.0, duration_ms=0.5),
+            FaultSpec(kind="worker-slowdown", at_ms=1.0, duration_ms=2.0, factor=3.0),
+            FaultSpec(kind="enclave-lost", at_ms=1.0),
+            FaultSpec(kind="epc-pressure", at_ms=1.0, duration_ms=2.0, factor=2.0),
+            FaultSpec(
+                kind="handoff",
+                at_ms=1.0,
+                duration_ms=2.0,
+                drop_probability=0.3,
+                delay_ms=0.01,
+            ),
+            FaultSpec(kind="clock-skew", at_ms=1.0, duration_ms=2.0, factor=1.5),
+        ]
+        assert {spec.kind for spec in specs} == set(FAULT_KINDS)
+        for spec in specs:
+            assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown FaultSpec field"):
+            FaultSpec.from_dict({"kind": "worker-crash", "at_ms": 1.0, "sev": 9})
+
+
+class TestFaultPlan:
+    def test_needs_a_name(self):
+        with pytest.raises(ValueError, match="name"):
+            FaultPlan(name="")
+
+    def test_sorted_faults_orders_by_instant(self):
+        plan = FaultPlan(
+            name="p",
+            faults=(
+                FaultSpec(kind="enclave-lost", at_ms=5.0),
+                FaultSpec(kind="worker-crash", at_ms=1.0),
+            ),
+        )
+        assert [spec.at_ms for spec in plan.sorted_faults()] == [1.0, 5.0]
+
+    def test_named_plans_round_trip_through_json(self):
+        for name, plan in NAMED_PLANS.items():
+            assert plan.name == name
+            assert FaultPlan.from_json(plan.to_json()) == plan
+            assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_save_load(self, tmp_path):
+        plan = NAMED_PLANS["crash-heavy"]
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_get_plan_resolves_names_and_paths(self, tmp_path):
+        assert get_plan("stall") is NAMED_PLANS["stall"]
+        path = str(tmp_path / "custom.json")
+        custom = FaultPlan(
+            name="custom", seed=9, faults=(FaultSpec(kind="enclave-lost", at_ms=1.0),)
+        )
+        custom.save(path)
+        assert get_plan(path) == custom
+        with pytest.raises(KeyError, match="crash-heavy"):
+            get_plan("no-such-plan")

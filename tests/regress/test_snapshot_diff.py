@@ -246,3 +246,44 @@ class TestSeverityRules:
         report = diff_snapshots(base, cur)
         assert report.ok  # halved host throughput: reported, never gates
         assert any(entry.experiment == "bench_meta" for entry in report.entries)
+
+
+class TestFaultAwareDiffs:
+    def test_fault_overhead_growth_gates(self):
+        base = _synthetic_snapshot(
+            wall_by_category={
+                "app": [500_000.0],
+                "fault": [100_000.0],
+                "idle": [400_000.0],
+            }
+        )
+        cur = _synthetic_snapshot(
+            wall_by_category={
+                "app": [500_000.0],
+                "fault": [200_000.0],  # doubled recovery cost: regression
+                "idle": [300_000.0],
+            }
+        )
+        base["fault_plan"] = cur["fault_plan"] = {"name": "crash-heavy", "seed": 0}
+        report = diff_snapshots(base, cur)
+        severities = {entry.key: entry.severity for entry in report.entries}
+        assert severities["cycles[fault]"] == "regression"
+
+    def test_mismatched_fault_plans_refuse_to_compare_quietly(self):
+        base = _synthetic_snapshot()
+        cur = _synthetic_snapshot()
+        base["fault_plan"] = None
+        cur["fault_plan"] = {"name": "crash-heavy", "seed": 0}
+        report = diff_snapshots(base, cur)
+        assert not report.ok
+        entry = next(e for e in report.entries if e.scope == "fault_plan")
+        assert entry.severity == "regression"
+        assert "fault plans differ" in entry.message
+
+    def test_matching_fault_plans_do_not_gate(self):
+        base = _synthetic_snapshot()
+        cur = _synthetic_snapshot()
+        base["fault_plan"] = cur["fault_plan"] = {"name": "stall", "seed": 0}
+        report = diff_snapshots(base, cur)
+        assert report.ok
+        assert not any(entry.scope == "fault_plan" for entry in report.entries)
