@@ -21,7 +21,8 @@ This bench pins two enclave threads to distinct physical cores (logical
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, paper_machine
 
@@ -46,7 +47,7 @@ def run_case(name: str) -> dict[str, float]:
 
     urts.register("f", handler)
     config = ZcConfig(worker_affinity=PLACEMENTS[name], max_workers=2)
-    backend = ZcSwitchlessBackend(config)
+    backend = make_backend("zc", config)
     enclave.set_backend(backend)
 
     def app():

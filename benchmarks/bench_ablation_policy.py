@@ -12,7 +12,8 @@ Runs the same two-caller hot ocall workload under the two
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
-from repro.core import SchedulerPolicy, ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import SchedulerPolicy, ZcConfig
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, paper_machine
 
@@ -27,7 +28,7 @@ def run_policy(policy: SchedulerPolicy) -> dict[str, float]:
         return None
 
     urts.register("f", handler)
-    backend = ZcSwitchlessBackend(ZcConfig(policy=policy))
+    backend = make_backend("zc", ZcConfig(policy=policy))
     enclave.set_backend(backend)
     horizon = kernel.cycles(0.12)
 

@@ -10,7 +10,8 @@ load (busy burst, idle gap) and reports switchless coverage and CPU cost.
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import ProcStat
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, Sleep, paper_machine
@@ -28,7 +29,7 @@ def run_quantum(quantum_ms: float) -> dict[str, float]:
         return None
 
     urts.register("f", handler)
-    backend = ZcSwitchlessBackend(ZcConfig(quantum_seconds=quantum_ms / 1000.0))
+    backend = make_backend("zc", ZcConfig(quantum_seconds=quantum_ms / 1000.0))
     enclave.set_backend(backend)
 
     burst = kernel.cycles(0.015)

@@ -11,7 +11,8 @@ from benchmarks.conftest import emit
 from repro.analysis.report import format_table
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, paper_machine
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.api import make_backend
+from repro.switchless import SwitchlessConfig
 
 RBF_SWEEP = (0, 100, 2_000, 20_000)
 N_CALLERS = 8
@@ -29,7 +30,7 @@ def run_rbf(rbf: int) -> dict[str, float]:
         return None
 
     urts.register("long_call", handler)
-    backend = IntelSwitchlessBackend(
+    backend = make_backend("intel",
         SwitchlessConfig(
             switchless_ocalls=frozenset({"long_call"}),
             num_uworkers=1,

@@ -16,11 +16,12 @@ CPU cost ranks HotCalls >= Intel-static > zc (which releases workers).
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
 from repro.apps import KissDB
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import HostFileSystem, PosixHost, ProcStat
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Kernel, Sleep, paper_machine
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless import SwitchlessConfig
 from repro.switchless.hotcalls import HotCallsBackend, HotCallsConfig
 
 STDIO = frozenset({"fseeko", "fread", "fwrite", "ftell"})
@@ -33,11 +34,11 @@ def make_backend(mode: str):
     if mode == "hotcalls":
         return HotCallsBackend(HotCallsConfig(STDIO, n_responders=2))
     if mode == "intel":
-        return IntelSwitchlessBackend(
+        return make_backend("intel",
             SwitchlessConfig(switchless_ocalls=STDIO, num_uworkers=2)
         )
     if mode == "zc":
-        return ZcSwitchlessBackend(ZcConfig())
+        return make_backend("zc", ZcConfig())
     return None
 
 

@@ -14,7 +14,8 @@ throughput; switchless keeps per-op latency flat):
 
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import DevNull, HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sgx.batching import OcallBatcher
@@ -32,7 +33,7 @@ def build(use_zc: bool):
     PosixHost(fs).install(urts)
     enclave = Enclave(kernel, urts)
     if use_zc:
-        enclave.set_backend(ZcSwitchlessBackend(ZcConfig()))
+        enclave.set_backend(make_backend("zc", ZcConfig()))
     return kernel, enclave
 
 

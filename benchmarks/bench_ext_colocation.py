@@ -18,11 +18,12 @@ each switchless design actually leave for the neighbour?
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
 from repro.apps import KissDB
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, Sleep, paper_machine
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless import SwitchlessConfig
 
 KISSDB_OCALLS = frozenset({"fseeko", "fread", "fwrite", "ftell"})
 N_KEYS_PER_CLIENT = 900
@@ -38,12 +39,12 @@ def run_colocated(mode: str) -> dict[str, float]:
     enclave = Enclave(kernel, urts)
     if mode == "i-all-4":
         enclave.set_backend(
-            IntelSwitchlessBackend(
+            make_backend("intel",
                 SwitchlessConfig(switchless_ocalls=KISSDB_OCALLS, num_uworkers=4)
             )
         )
     elif mode == "zc":
-        enclave.set_backend(ZcSwitchlessBackend(ZcConfig()))
+        enclave.set_backend(make_backend("zc", ZcConfig()))
 
     def sgx_tenant(index: int):
         db = KissDB(enclave, f"/db-{index}", hash_table_size=128)

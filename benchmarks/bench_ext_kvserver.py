@@ -16,7 +16,8 @@ by the scheduler at runtime.
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
 from repro.apps import KvClient, KvServerEnclave
-from repro.core import ZcConfig, ZcEcallRuntime, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig, ZcEcallRuntime
 from repro.hostos import HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, paper_machine
@@ -33,7 +34,7 @@ def run_mode(mode: str) -> dict[str, float]:
     PosixHost(fs).install(urts)
     enclave = Enclave(kernel, urts)
     if mode in ("zc-ocalls", "zc-both"):
-        enclave.set_backend(ZcSwitchlessBackend(ZC))
+        enclave.set_backend(make_backend("zc", ZC))
     if mode == "zc-both":
         ZcEcallRuntime(ZC).attach(enclave)
     server = KvServerEnclave(enclave)

@@ -25,7 +25,8 @@ import json
 import sys
 import time
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, paper_machine
 from repro.telemetry import TelemetrySession
@@ -39,7 +40,7 @@ def simulate_ocall_storm(use_zc: bool, session: TelemetrySession | None = None) 
     urts = UntrustedRuntime()
     enclave = Enclave(kernel, urts)
     if use_zc:
-        enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+        enclave.set_backend(make_backend("zc", ZcConfig(enable_scheduler=False)))
     if capture is not None:
         capture.bind_enclave(enclave)
 

@@ -12,11 +12,11 @@ import random
 from benchmarks.conftest import emit
 from repro.analysis.report import format_table
 from repro.apps import KissDB
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Kernel, paper_machine
-from repro.switchless import IntelSwitchlessBackend
 from repro.tuner import ConfigGenome, SimulatedAnnealingTuner, TuningSpace
 
 N_KEYS = 600
@@ -49,7 +49,7 @@ def run_kissdb(backend) -> float:
 
 
 def evaluate(genome: ConfigGenome) -> float:
-    return run_kissdb(IntelSwitchlessBackend(genome.to_config()))
+    return run_kissdb(make_backend("intel", genome.to_config()))
 
 
 def test_autotuner_vs_zero_config(benchmark):
@@ -59,7 +59,7 @@ def test_autotuner_vs_zero_config(benchmark):
         baseline = run_kissdb(None)
         default_cost = evaluate(space.default_genome())
         result = tuner.tune(evaluate, budget=BUDGET)
-        zc_cost = run_kissdb(ZcSwitchlessBackend(ZcConfig()))
+        zc_cost = run_kissdb(make_backend("zc", ZcConfig()))
         return baseline, default_cost, result, zc_cost
 
     baseline, default_cost, result, zc_cost = benchmark.pedantic(

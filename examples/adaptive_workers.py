@@ -9,7 +9,8 @@ paper reports as "0,1,2,3,4 workers for x% of the lifetime".
 Run:  python examples/adaptive_workers.py
 """
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import DevNull, HostFileSystem, PosixHost
 from repro.profiler import CallTracer
 from repro.profiler.timeline import bucket_events, render_timeline
@@ -28,7 +29,7 @@ def main():
     urts = UntrustedRuntime()
     PosixHost(fs).install(urts)
     enclave = Enclave(kernel, urts)
-    backend = ZcSwitchlessBackend(ZcConfig())
+    backend = make_backend("zc", ZcConfig())
     enclave.set_backend(backend)
     tracer = CallTracer().install(enclave)
 

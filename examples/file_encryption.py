@@ -13,7 +13,8 @@ Run:  python examples/file_encryption.py
 """
 
 from repro.apps import CryptoFileApp
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.crypto import RealAesCbcEngine
 from repro.hostos import HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
@@ -39,7 +40,7 @@ def build(mode: str):
     PosixHost(fs).install(urts)
     enclave = Enclave(kernel, urts)
     if mode == "zc":
-        enclave.set_backend(ZcSwitchlessBackend(ZC_CONFIG))
+        enclave.set_backend(make_backend("zc", ZC_CONFIG))
     return kernel, fs, enclave
 
 

@@ -9,11 +9,12 @@ Run:  python examples/kissdb_store.py
 """
 
 from repro.apps import KissDB
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Kernel, paper_machine
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless import SwitchlessConfig
 
 N_KEYS = 1500
 
@@ -26,7 +27,7 @@ def build_enclave(mode: str):
     enclave = Enclave(kernel, urts)
     if mode == "intel":
         enclave.set_backend(
-            IntelSwitchlessBackend(
+            make_backend("intel",
                 SwitchlessConfig(
                     switchless_ocalls=frozenset({"fseeko", "fread", "fwrite"}),
                     num_uworkers=2,
@@ -34,7 +35,7 @@ def build_enclave(mode: str):
             )
         )
     elif mode == "zc":
-        enclave.set_backend(ZcSwitchlessBackend(ZcConfig()))
+        enclave.set_backend(make_backend("zc", ZcConfig()))
     return kernel, enclave
 
 

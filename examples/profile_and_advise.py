@@ -15,14 +15,15 @@ Run:  python examples/profile_and_advise.py
 """
 
 from repro.apps import KissDB
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import HostFileSystem, PosixHost
 from repro.profiler import CallTracer, SwitchlessAdvisor, build_profiles
 from repro.profiler.advisor import format_recommendations
 from repro.profiler.profile import format_profiles
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Kernel, paper_machine
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless import SwitchlessConfig
 
 N_KEYS = 1200
 
@@ -73,13 +74,13 @@ def main():
 
     # Step 4: measure advised-Intel and configless zc.
     kernel, enclave = build(
-        IntelSwitchlessBackend(
+        make_backend("intel",
             SwitchlessConfig(switchless_ocalls=chosen, num_uworkers=2)
         )
     )
     advised_ms = kissdb_workload(kernel, enclave)
 
-    kernel, enclave = build(ZcSwitchlessBackend(ZcConfig()))
+    kernel, enclave = build(make_backend("zc", ZcConfig()))
     zc_ms = kissdb_workload(kernel, enclave)
 
     print(f"baseline (no switchless) : {baseline_ms:7.2f} ms")

@@ -8,7 +8,8 @@ under ZC-SWITCHLESS, and prints the latency difference and call statistics.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import DevNull, DevZero, HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Kernel, paper_machine
@@ -24,7 +25,7 @@ def build_stack(use_zc: bool):
     PosixHost(fs).install(urts)
     enclave = Enclave(kernel, urts)
     if use_zc:
-        enclave.set_backend(ZcSwitchlessBackend(ZcConfig()))
+        enclave.set_backend(make_backend("zc", ZcConfig()))
     return kernel, enclave
 
 

@@ -4,14 +4,15 @@
 Untrusted request handlers **ecall** into the enclave to increment sealed
 counters; the enclave periodically persists its state with fwrite
 **ocalls**.  Both directions run configless through ZC-SWITCHLESS
-(`ZcSwitchlessBackend` for ocalls, `ZcEcallRuntime` for ecalls — §IV-D's
+(`make_backend("zc")` for ocalls, `ZcEcallRuntime` for ecalls — §IV-D's
 symmetry made concrete), and the comparison against full transitions
 shows the benefit on a realistic request/response service.
 
 Run:  python examples/secure_counter_service.py
 """
 
-from repro.core import ZcConfig, ZcEcallRuntime, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig, ZcEcallRuntime
 from repro.hostos import HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, paper_machine
@@ -60,7 +61,7 @@ def run(mode: str) -> float:
     PosixHost(fs).install(urts)
     enclave = Enclave(kernel, urts)
     if mode == "zc":
-        enclave.set_backend(ZcSwitchlessBackend(ZC_CONFIG))
+        enclave.set_backend(make_backend("zc", ZC_CONFIG))
         ZcEcallRuntime(ZC_CONFIG).attach(enclave)
     service = CounterEnclave(enclave)
 

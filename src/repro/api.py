@@ -1,0 +1,374 @@
+"""The unified runtime facade: one front door to the whole stack.
+
+Historically every workload hand-assembled its system under test —
+kernel, filesystem, host OS, enclave, and one of three backends, each
+with a different construction incantation.  This module replaces those
+incantations with a single factory:
+
+    >>> from repro.api import Runtime
+    >>> with Runtime.create(backend="zc") as rt:
+    ...     def program():
+    ...         result = yield from rt.enclave.ocall("fopen", "/dev/null", "w")
+    ...         return result
+    ...     fd = rt.run_program(program())
+    >>> fd
+    3
+
+- :func:`Runtime.create` wires a complete simulated machine and returns
+  a context-manager :class:`Runtime` owning the lifecycle: closing it
+  detaches fault injection, stops backend threads, drains the kernel and
+  finalizes telemetry, in the order the ledger requires.
+- :func:`make_backend` is the one canonical construction point for the
+  three call backends (``"zc"`` / ``"intel"`` / ``"baseline"``); nothing
+  else in the repo instantiates backend classes directly.
+- :func:`normalize_backend` maps the historical spelling zoo (``no_sl``,
+  ``regular``, ``zc-switchless``, ...) onto :data:`BACKEND_CHOICES`, the
+  single vocabulary the CLI's ``--backend`` flags use.
+
+Sharded serving (:mod:`repro.serve`) builds N runtimes on one shared
+kernel by passing ``kernel=``/``fs=``: a runtime that does not own its
+kernel neither attaches ambient telemetry/fault plans (the shared-kernel
+owner does that exactly once) nor drains the kernel on close.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.backend import ZcSwitchlessBackend
+from repro.core.config import ZcConfig
+from repro.faults import FaultInjector, FaultPlan, active_fault_plan, get_plan
+from repro.hostos import (
+    CpuUsageMonitor,
+    DevNull,
+    DevZero,
+    HostFileSystem,
+    PosixHost,
+    ProcStat,
+    SyscallCostModel,
+)
+from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime
+from repro.sgx.backend import CallBackend, RegularBackend
+from repro.sim import Kernel, MachineSpec, paper_machine
+from repro.switchless.backend import IntelSwitchlessBackend
+from repro.switchless.config import SwitchlessConfig
+from repro.telemetry.session import CellCapture, TelemetrySession, active_session
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Program, SimThread
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "Runtime",
+    "SwitchlessConfig",
+    "ZcConfig",
+    "make_backend",
+    "normalize_backend",
+]
+
+#: The canonical backend vocabulary (the CLI's ``--backend`` choices).
+BACKEND_CHOICES: tuple[str, ...] = ("zc", "intel", "baseline")
+
+#: Historical spellings accepted by :func:`normalize_backend`.
+_ALIASES: dict[str, str] = {
+    "zc": "zc",
+    "zc-switchless": "zc",
+    "intel": "intel",
+    "intel-switchless": "intel",
+    "sdk": "intel",
+    "baseline": "baseline",
+    "no_sl": "baseline",
+    "no-sl": "baseline",
+    "regular": "baseline",
+}
+
+
+def normalize_backend(name: str) -> str:
+    """Map a backend spelling onto :data:`BACKEND_CHOICES`.
+
+    >>> normalize_backend("no_sl")
+    'baseline'
+    >>> normalize_backend("zc-switchless")
+    'zc'
+    """
+    try:
+        return _ALIASES[name.strip().lower()]
+    except (KeyError, AttributeError):
+        raise ValueError(
+            f"unknown backend {name!r}; choose one of {', '.join(BACKEND_CHOICES)}"
+        ) from None
+
+
+def make_backend(
+    kind: str, config: ZcConfig | SwitchlessConfig | None = None
+) -> CallBackend:
+    """Construct a call backend — the repo's single instantiation point.
+
+    ``config`` must match the backend family: a :class:`ZcConfig` for
+    ``"zc"``, a :class:`SwitchlessConfig` for ``"intel"``, and nothing
+    for ``"baseline"`` (which has no knobs — every call transitions).
+    Omitting the config gives each backend its documented defaults.
+    """
+    kind = normalize_backend(kind)
+    if kind == "baseline":
+        if config is not None:
+            raise TypeError("the baseline backend takes no config")
+        return RegularBackend()
+    if kind == "intel":
+        if config is not None and not isinstance(config, SwitchlessConfig):
+            raise TypeError(
+                f"intel backend needs a SwitchlessConfig, got {type(config).__name__}"
+            )
+        return IntelSwitchlessBackend(config)
+    if config is not None and not isinstance(config, ZcConfig):
+        raise TypeError(f"zc backend needs a ZcConfig, got {type(config).__name__}")
+    return ZcSwitchlessBackend(config)
+
+
+class Runtime:
+    """One fully-wired system under test, with an owned lifecycle.
+
+    Built by :meth:`create`; use as a context manager (or call
+    :meth:`close` explicitly).  Attributes of interest:
+
+    - ``kernel`` / ``fs`` / ``urts`` / ``enclave`` / ``backend`` — the
+      wired simulation objects;
+    - ``telemetry`` — the :class:`CellCapture` attached for this runtime
+      (None when telemetry is off);
+    - ``faults`` — the attached :class:`FaultInjector` (None on healthy
+      runs);
+    - ``procstat`` / ``monitor`` — the ``/proc/stat`` meter and optional
+      usage monitor.
+    """
+
+    def __init__(
+        self,
+        *,
+        kernel: Kernel,
+        fs: HostFileSystem,
+        urts: UntrustedRuntime,
+        enclave: Enclave,
+        backend: CallBackend,
+        procstat: ProcStat,
+        label: str,
+        owns_kernel: bool,
+        monitor: CpuUsageMonitor | None = None,
+        telemetry: CellCapture | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.fs = fs
+        self.urts = urts
+        self.enclave = enclave
+        self.backend = backend
+        self.procstat = procstat
+        self.label = label
+        self.owns_kernel = owns_kernel
+        self.monitor = monitor
+        self.telemetry = telemetry
+        self.faults = faults
+        self._closed = False
+        self._start_sample: Any = None
+
+    # ------------------------------------------------------------------
+    # Factory
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        backend: str = "zc",
+        config: ZcConfig | SwitchlessConfig | None = None,
+        *,
+        machine: MachineSpec | None = None,
+        kernel: Kernel | None = None,
+        fs: HostFileSystem | None = None,
+        files: dict[str, bytes] | None = None,
+        cost: SgxCostModel | None = None,
+        syscall_costs: SyscallCostModel | None = None,
+        memcpy_model: Any | None = None,
+        monitor_interval_s: float | None = None,
+        telemetry: TelemetrySession | bool | None = None,
+        faults: FaultPlan | str | bool | None = None,
+        arbiter: Any | None = None,
+        label: str | None = None,
+        name: str = "enclave",
+    ) -> "Runtime":
+        """Wire kernel + host OS + enclave + backend and return a Runtime.
+
+        Args:
+            backend: One of :data:`BACKEND_CHOICES` (aliases accepted).
+            config: Backend config (see :func:`make_backend`).
+            machine: Simulated machine; default :func:`paper_machine`.
+                Ignored when ``kernel`` is given.
+            kernel: Attach to an existing kernel instead of creating one
+                (shared-kernel mode, used by :mod:`repro.serve`).  The
+                runtime then neither drains the kernel on close nor
+                auto-attaches ambient telemetry/fault plans.
+            fs: Share an existing host filesystem; by default a fresh one
+                is created with ``/dev/null`` and ``/dev/zero`` mounted.
+            files: Initial file contents to create in the filesystem.
+            cost: SGX cycle-cost model override.
+            syscall_costs: Host syscall cost model override.
+            memcpy_model: Marshalling memcpy override (the zc backend
+                installs its own ``rep movsb`` model on attach anyway).
+            monitor_interval_s: When set, start a
+                :class:`CpuUsageMonitor` sampling at this period.
+            telemetry: ``None`` (default) attaches to the ambient
+                :func:`active_session` when this runtime owns its kernel;
+                ``False`` disables; ``True`` forces ambient attachment; a
+                :class:`TelemetrySession` attaches to that session.
+            faults: ``None`` (default) attaches the ambient
+                :func:`active_fault_plan` when this runtime owns its
+                kernel; ``False`` disables; ``True`` forces the ambient
+                plan; a :class:`FaultPlan` or plan name attaches that
+                plan's injector to this runtime's enclave.
+            arbiter: Cross-enclave worker-budget arbiter installed on the
+                backend before attach (zc only; see
+                :class:`repro.serve.budget.WorkerBudgetArbiter`).
+            label: Telemetry cell label; defaults to the backend kind.
+            name: Enclave name (distinguishes shards in fault events).
+        """
+        kind = normalize_backend(backend)
+        label = label if label is not None else kind
+        owns_kernel = kernel is None
+        if kernel is None:
+            kernel = Kernel(machine if machine is not None else paper_machine())
+
+        session = cls._resolve_session(telemetry, owns_kernel)
+        capture = session.attach(kernel, label=label) if session is not None else None
+
+        if fs is None:
+            fs = HostFileSystem()
+            fs.mount_device("/dev/null", DevNull())
+            fs.mount_device("/dev/zero", DevZero())
+        if files:
+            for path, data in files.items():
+                fs.create(path, data)
+
+        urts = UntrustedRuntime()
+        PosixHost(fs, syscall_costs, kernel=kernel).install(urts)
+        enclave = Enclave(kernel, urts, cost=cost, memcpy_model=memcpy_model, name=name)
+
+        if kind == "baseline":
+            call_backend: CallBackend = enclave.backend  # the default RegularBackend
+        else:
+            call_backend = make_backend(kind, config)
+            if arbiter is not None:
+                call_backend.arbiter = arbiter  # type: ignore[attr-defined]
+            enclave.set_backend(call_backend)
+
+        monitor = None
+        if monitor_interval_s is not None:
+            monitor = CpuUsageMonitor(kernel, kernel.cycles(monitor_interval_s)).start()
+        if capture is not None:
+            capture.bind_enclave(enclave)
+
+        plan = cls._resolve_plan(faults, owns_kernel)
+        injector = (
+            FaultInjector(plan).attach(kernel, enclave) if plan is not None else None
+        )
+
+        return cls(
+            kernel=kernel,
+            fs=fs,
+            urts=urts,
+            enclave=enclave,
+            backend=call_backend,
+            procstat=ProcStat(kernel),
+            label=label,
+            owns_kernel=owns_kernel,
+            monitor=monitor,
+            telemetry=capture,
+            faults=injector,
+        )
+
+    @staticmethod
+    def _resolve_session(
+        telemetry: TelemetrySession | bool | None, owns_kernel: bool
+    ) -> TelemetrySession | None:
+        if telemetry is False:
+            return None
+        if telemetry is None:
+            return active_session() if owns_kernel else None
+        if telemetry is True:
+            return active_session()
+        return telemetry
+
+    @staticmethod
+    def _resolve_plan(
+        faults: FaultPlan | str | bool | None, owns_kernel: bool
+    ) -> FaultPlan | None:
+        if faults is False:
+            return None
+        if faults is None:
+            return active_fault_plan() if owns_kernel else None
+        if faults is True:
+            return active_fault_plan()
+        if isinstance(faults, str):
+            return get_plan(faults)
+        return faults
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Tear the runtime down in ledger order.  Idempotent.
+
+        Fault timers are cancelled first (so teardown never advances
+        simulated time to a future fault instant), then the monitor and
+        backend threads stop, the kernel drains (owned kernels only —
+        shared kernels are drained once by their owner), and finally the
+        telemetry capture snapshots the ledger so exit-cleanup cycles are
+        attributed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.faults is not None:
+            self.faults.detach()
+        if self.monitor is not None:
+            self.monitor.stop()
+        self.enclave.stop_backend()
+        if self.owns_kernel:
+            self.kernel.run()
+            if self.telemetry is not None:
+                self.telemetry.finalize()
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def spawn(self, program: "Program", **kwargs: Any) -> "SimThread":
+        """Spawn a simulated thread on this runtime's kernel."""
+        return self.kernel.spawn(program, **kwargs)
+
+    def join(self, *threads: "SimThread") -> None:
+        """Run the kernel until the given threads complete."""
+        self.kernel.join(*threads)
+
+    def run_program(self, program: "Program", name: str = "program") -> Any:
+        """Spawn ``program``, run it to completion, return its result."""
+        thread = self.kernel.spawn(program, name=name)
+        self.kernel.join(thread)
+        return thread.result
+
+    def start_measuring(self) -> None:
+        """Snapshot CPU counters; usage is measured from here."""
+        self._start_sample = self.procstat.sample()
+
+    def cpu_usage_pct(self) -> float:
+        """Mean CPU usage since :meth:`start_measuring`."""
+        if self._start_sample is None:
+            raise RuntimeError("start_measuring() was not called")
+        end = self.procstat.sample()
+        return self.procstat.usage_between(self._start_sample, end).usage_pct

@@ -72,6 +72,7 @@ QUICK_KWARGS: dict[str, dict[str, Any]] = {
     "fig12": {"worker_counts": (2,)},
     "fig13": {"ops": 100},
     "sec5d": {"record_sizes": (4_096, 16_384), "records": 60},
+    "serve": {"shard_counts": (1, 2), "seconds": 0.05},
 }
 
 
@@ -368,6 +369,80 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if audit_violations else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sharded serving bench; optionally gate against a baseline."""
+    from repro.serve.bench import (
+        compare_to_baseline,
+        load_baseline,
+        run_serve_bench,
+        write_result,
+    )
+
+    started = time.monotonic()
+    result = run_serve_bench(
+        shards=args.shards,
+        seconds=args.seconds,
+        backend=args.backend,
+        rate=args.rate,
+        clients=args.clients,
+        requests_per_client=args.requests_per_client,
+        policy=args.policy,
+        admission=args.admission,
+        queue_capacity=args.queue_capacity,
+        servers_per_shard=args.servers_per_shard,
+        budget=args.budget,
+        plan=args.plan,
+        fault_shard=args.fault_shard,
+        keydist=args.keydist,
+        seed=args.seed,
+        telemetry=False,
+    )
+    elapsed = time.monotonic() - started
+    totals = result["totals"]
+    latency = totals["latency_us"]
+    print(
+        f"serve bench: {args.shards} shard(s), backend {result['params']['backend']}"
+        + (f", plan '{args.plan}'" if args.plan else "")
+    )
+    print(
+        f"  throughput {totals['throughput_rps']:.0f} rps over "
+        f"{totals['elapsed_s'] * 1e3:.2f} ms simulated "
+        f"({totals['completed']} completed, {totals['shed']} shed, "
+        f"{totals['failed']} failed)"
+    )
+    print(
+        f"  latency p50 {latency['p50']:.1f} us, p99 {latency['p99']:.1f} us, "
+        f"max {latency['max']:.1f} us"
+    )
+    if result["budget"] is not None:
+        budget = result["budget"]
+        print(
+            f"  worker budget: cap {budget['cap']}, in use {budget['in_use']}, "
+            f"{budget['clipped']} grant(s) clipped"
+        )
+    if totals["quarantines"] or totals["dead"]:
+        print(
+            f"  faults: {totals['quarantines']} quarantine(s), "
+            f"{totals['readmissions']} readmission(s), "
+            f"{totals['rerouted']} rerouted, dead shards {totals['dead'] or 'none'}"
+        )
+    path = write_result(result, args.out)
+    print(f"[serve artifact written to {path}]")
+    print(f"[serve: {elapsed:.1f}s wall]")
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        violations = compare_to_baseline(
+            result, baseline, threshold=args.threshold
+        )
+        if violations:
+            print(f"\nbaseline gate: {len(violations)} violation(s)")
+            for violation in violations:
+                print(f"  - {violation}")
+            return 1
+        print(f"\nbaseline gate: OK (within {args.threshold:.0%} of {args.baseline})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -529,8 +604,122 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="capture telemetry (events/trace/metrics/cycle budget) into DIR",
     )
+    serve_parser = sub.add_parser(
+        "serve", help="sharded multi-enclave serving layer"
+    )
+    serve_sub = serve_parser.add_subparsers(dest="serve_cmd", required=True)
+    serve_bench = serve_sub.add_parser(
+        "bench", help="run the serving bench and write BENCH_serve.json"
+    )
+    from repro.api import BACKEND_CHOICES
+    from repro.serve import ADMISSION_CHOICES, KEYDIST_CHOICES, POLICY_CHOICES
+
+    serve_bench.add_argument(
+        "--shards", type=int, default=2, help="enclave shards (default 2)"
+    )
+    serve_bench.add_argument(
+        "--seconds",
+        type=float,
+        default=2.0,
+        help="simulated run length in seconds (default 2.0)",
+    )
+    serve_bench.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="zc",
+        help="call backend per shard (default zc)",
+    )
+    serve_bench.add_argument(
+        "--rate",
+        type=float,
+        default=2_000.0,
+        help="open-loop offered load in rps (default 2000)",
+    )
+    serve_bench.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="switch to a closed loop with N client threads",
+    )
+    serve_bench.add_argument(
+        "--requests-per-client",
+        type=int,
+        default=None,
+        help="closed-loop bound on requests per client",
+    )
+    serve_bench.add_argument(
+        "--policy",
+        choices=POLICY_CHOICES,
+        default="hash",
+        help="request placement (default hash = rendezvous)",
+    )
+    serve_bench.add_argument(
+        "--admission",
+        choices=ADMISSION_CHOICES,
+        default="shed",
+        help="full-queue behaviour (default shed)",
+    )
+    serve_bench.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="per-shard queue bound (default 64)",
+    )
+    serve_bench.add_argument(
+        "--servers-per-shard",
+        type=int,
+        default=2,
+        help="untrusted server threads per shard (default 2)",
+    )
+    serve_bench.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="global switchless-worker cap across all shards (default uncapped)",
+    )
+    serve_bench.add_argument(
+        "--plan",
+        default=None,
+        metavar="PLAN",
+        help="fault plan (name or JSON file) injected into one shard",
+    )
+    serve_bench.add_argument(
+        "--fault-shard",
+        type=int,
+        default=0,
+        help="shard the fault plan targets (default 0)",
+    )
+    serve_bench.add_argument(
+        "--keydist",
+        choices=KEYDIST_CHOICES,
+        default="uniform",
+        help="client key distribution (default uniform)",
+    )
+    serve_bench.add_argument(
+        "--seed", type=int, default=0, help="load-generator seed (default 0)"
+    )
+    serve_bench.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        metavar="FILE",
+        help="artifact output path (default BENCH_serve.json)",
+    )
+    serve_bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="gate the run against a committed serve baseline",
+    )
+    serve_bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="relative drift the baseline gate tolerates (default 0.1)",
+    )
     args = parser.parse_args(argv)
 
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "baseline":
         return _cmd_baseline(args)
     if args.command == "diff":

@@ -31,6 +31,7 @@ from repro.sim.instructions import Compute, Spin
 from repro.sim.kernel import Kernel, Program, SimThread, ThreadState
 
 if TYPE_CHECKING:
+    from repro.serve.budget import WorkerBudgetArbiter
     from repro.sgx.enclave import Enclave, OcallRequest
 
 #: Ocall name registered for memory-pool reallocation.
@@ -55,6 +56,12 @@ class ZcSwitchlessBackend(CallBackend):
         self._enclave: "Enclave | None" = None
         self._active_count = 0
         self.initial_workers = 0
+        #: Optional cross-enclave worker-budget arbiter (duck-typed:
+        #: ``grant(backend, count) -> int`` / ``release(backend)``).  Set
+        #: by :class:`repro.serve.budget.WorkerBudgetArbiter` so the
+        #: per-shard schedulers' ``argmin U_i`` sweeps respect a global
+        #: core cap; None (the default) leaves this backend uncapped.
+        self.arbiter: "WorkerBudgetArbiter | None" = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -84,9 +91,14 @@ class ZcSwitchlessBackend(CallBackend):
 
         cap = self.config.worker_cap(kernel.spec)
         self.initial_workers = self.config.initial_worker_count(kernel.spec)
+        active = self.initial_workers
+        if self.arbiter is not None:
+            # The global worker budget applies from the first worker on,
+            # not only once the scheduler starts sweeping.
+            active = self.arbiter.grant(self, active)
         for i in range(cap):
             worker = ZcWorker(kernel, i, self.config)
-            if i >= self.initial_workers:
+            if i >= active:
                 worker.pause_requested = True
             self.workers.append(worker)
             affinity = (
@@ -102,10 +114,10 @@ class ZcSwitchlessBackend(CallBackend):
                 affinity=affinity,
             )
             self.worker_threads.append(thread)
-        self._active_count = self.initial_workers
-        self.stats.record_worker_count(kernel.now, self.initial_workers)
+        self._active_count = active
+        self.stats.record_worker_count(kernel.now, active)
         if kernel.bus is not None:
-            kernel.bus.emit("zc.workers", count=self.initial_workers)
+            kernel.bus.emit("zc.workers", count=active)
 
         if self.config.enable_scheduler:
             self.scheduler = ZcScheduler(self, self.config)
@@ -123,6 +135,8 @@ class ZcSwitchlessBackend(CallBackend):
             self.scheduler.stop()
         for worker in self.workers:
             worker.request_exit()
+        if self.arbiter is not None:
+            self.arbiter.release(self)
 
     # ------------------------------------------------------------------
     # Scheduler interface
@@ -135,7 +149,14 @@ class ZcSwitchlessBackend(CallBackend):
         never on healthy runs) are excluded from the sweep entirely: the
         scheduler's ``argmin U_i`` decision must never activate a dead
         worker.
+
+        With a cross-enclave arbiter installed, the requested count is
+        first clipped to this backend's share of the global worker
+        budget, so co-located shards can never spin up more workers in
+        aggregate than the cap allows.
         """
+        if self.arbiter is not None:
+            count = self.arbiter.grant(self, count)
         workers = self.workers
         if any(worker.quarantined for worker in workers):
             workers = [worker for worker in workers if not worker.quarantined]
@@ -174,7 +195,7 @@ class ZcSwitchlessBackend(CallBackend):
     # ------------------------------------------------------------------
     # Fault supervision (active only while a fault injector is attached)
     # ------------------------------------------------------------------
-    def respawn_worker(self, index: int, target: str = "zc-worker") -> bool:
+    def respawn_worker(self, index: int, target: str | None = None) -> bool:
         """Supervise a crashed worker slot back to life.
 
         Spawns a fresh thread running the same :class:`ZcWorker` state
@@ -182,6 +203,8 @@ class ZcSwitchlessBackend(CallBackend):
         False (and leaves the slot quarantined) when the respawn is moot:
         the runtime is shutting down or the old thread is still alive.
         """
+        if target is None:
+            target = "zc-worker"
         if target != "zc-worker" or not 0 <= index < len(self.workers):
             return False
         worker = self.workers[index]

@@ -106,7 +106,15 @@ class ZcScheduler:
                 utilities.append(u_i)
                 bus = kernel.bus
                 if bus is not None:
-                    bus.emit("zc.sched.probe", workers=i, fallbacks=f_i, u_cycles=u_i)
+                    # source disambiguates schedulers when several enclaves
+                    # share one kernel (repro.serve shards).
+                    bus.emit(
+                        "zc.sched.probe",
+                        workers=i,
+                        fallbacks=f_i,
+                        u_cycles=u_i,
+                        source=backend.enclave.name,
+                    )
                 if u_i < best_u:
                     best_u = u_i
                     best_m = i
@@ -117,5 +125,10 @@ class ZcScheduler:
             self.decisions.append((kernel.now, utilities, best_m))
             bus = kernel.bus
             if bus is not None:
-                bus.emit("zc.sched.decision", utilities=list(utilities), chosen=best_m)
+                bus.emit(
+                    "zc.sched.decision",
+                    utilities=list(utilities),
+                    chosen=best_m,
+                    source=backend.enclave.name,
+                )
             yield Sleep(window(quantum))

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig13,
     sec3a,
     sec5d,
+    serve,
 )
 
 #: Registry of experiment id -> module, used by the benchmark harness.
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "fig12": fig12,
     "fig13": fig13,
     "sec5d": sec5d,
+    "serve": serve,
 }
 
 __all__ = ["EXPERIMENTS"]

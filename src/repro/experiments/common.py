@@ -5,27 +5,23 @@ parameter) cell: kernel, host filesystem with devices, POSIX ocall
 handlers, one enclave, and the call backend named by a
 :class:`BackendSpec` — exactly the three modes the paper evaluates
 (``no_sl``, Intel switchless with a static configuration, and zc).
+
+Construction is delegated to :func:`repro.api.Runtime.create`;
+:class:`Stack` survives as a thin experiment-facing wrapper that keeps
+the historical attribute names (``stack.finish()`` etc.) used throughout
+:mod:`repro.experiments`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
-from repro.faults import FaultInjector, active_fault_plan
-from repro.hostos import (
-    CpuUsageMonitor,
-    DevNull,
-    DevZero,
-    HostFileSystem,
-    PosixHost,
-    ProcStat,
-    SyscallCostModel,
-)
-from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime
-from repro.sim import Kernel, MachineSpec, paper_machine
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
-from repro.telemetry.session import CellCapture, active_session
+from repro.api import Runtime, SwitchlessConfig, ZcConfig
+from repro.faults import FaultInjector
+from repro.hostos import CpuUsageMonitor, HostFileSystem, ProcStat, SyscallCostModel
+from repro.sgx import Enclave, SgxCostModel
+from repro.sim import Kernel, MachineSpec
+from repro.telemetry.session import CellCapture
 
 
 @dataclass(frozen=True)
@@ -45,6 +41,16 @@ class BackendSpec:
     def __post_init__(self) -> None:
         if self.kind not in ("no_sl", "intel", "zc"):
             raise ValueError(f"unknown backend kind {self.kind!r}")
+
+    def backend_config(self) -> ZcConfig | SwitchlessConfig | None:
+        """The :func:`repro.api.make_backend` config for this spec."""
+        if self.kind == "intel":
+            return SwitchlessConfig(
+                switchless_ocalls=self.switchless, num_uworkers=self.workers
+            )
+        if self.kind == "zc":
+            return self.zc_config  # None → configless defaults
+        return None
 
 
 def no_sl_spec() -> BackendSpec:
@@ -69,43 +75,50 @@ def zc_spec(config: ZcConfig | None = None) -> BackendSpec:
 
 @dataclass
 class Stack:
-    """One fully-built system under test."""
+    """One fully-built system under test (wraps a :class:`repro.api.Runtime`)."""
 
     spec: BackendSpec
-    kernel: Kernel
-    fs: HostFileSystem
-    enclave: Enclave
-    procstat: ProcStat
-    monitor: CpuUsageMonitor | None = None
-    telemetry: CellCapture | None = None
-    faults: FaultInjector | None = None
-    _start_sample: object = None
+    runtime: Runtime = field(repr=False)
+
+    @property
+    def kernel(self) -> Kernel:
+        return self.runtime.kernel
+
+    @property
+    def fs(self) -> HostFileSystem:
+        return self.runtime.fs
+
+    @property
+    def enclave(self) -> Enclave:
+        return self.runtime.enclave
+
+    @property
+    def procstat(self) -> ProcStat:
+        return self.runtime.procstat
+
+    @property
+    def monitor(self) -> CpuUsageMonitor | None:
+        return self.runtime.monitor
+
+    @property
+    def telemetry(self) -> CellCapture | None:
+        return self.runtime.telemetry
+
+    @property
+    def faults(self) -> FaultInjector | None:
+        return self.runtime.faults
 
     def start_measuring(self) -> None:
         """Snapshot CPU counters; usage is measured from here."""
-        self._start_sample = self.procstat.sample()
+        self.runtime.start_measuring()
 
     def cpu_usage_pct(self) -> float:
         """Mean CPU usage since :meth:`start_measuring`."""
-        if self._start_sample is None:
-            raise RuntimeError("start_measuring() was not called")
-        end = self.procstat.sample()
-        return self.procstat.usage_between(self._start_sample, end).usage_pct
+        return self.runtime.cpu_usage_pct()
 
     def finish(self) -> None:
         """Stop backend threads and the monitor, drain remaining events."""
-        if self.faults is not None:
-            # Before the drain: cancels not-yet-fired fault (and respawn /
-            # redelivery) timers so the teardown never advances simulated
-            # time to a future fault instant.
-            self.faults.detach()
-        if self.monitor is not None:
-            self.monitor.stop()
-        self.enclave.stop_backend()
-        self.kernel.run()
-        if self.telemetry is not None:
-            # After the drain, so worker exit-cleanup cycles are attributed.
-            self.telemetry.finalize()
+        self.runtime.close()
 
 
 def build_stack(
@@ -123,46 +136,15 @@ def build_stack(
     the Fig. 7 / Fig. 13 experiments); note the zc backend installs its
     own ``rep movsb`` model on attach regardless.
     """
-    machine = machine if machine is not None else paper_machine()
-    kernel = Kernel(machine)
-    session = active_session()
-    capture = session.attach(kernel, label=spec.label) if session is not None else None
-    fs = HostFileSystem()
-    fs.mount_device("/dev/null", DevNull())
-    fs.mount_device("/dev/zero", DevZero())
-    if files:
-        for path, data in files.items():
-            fs.create(path, data)
-    urts = UntrustedRuntime()
-    PosixHost(fs, syscall_costs, kernel=kernel).install(urts)
-    enclave = Enclave(kernel, urts, cost=cost, memcpy_model=memcpy_model)
-
-    if spec.kind == "intel":
-        backend = IntelSwitchlessBackend(
-            SwitchlessConfig(
-                switchless_ocalls=spec.switchless, num_uworkers=spec.workers
-            )
-        )
-        enclave.set_backend(backend)
-    elif spec.kind == "zc":
-        config = spec.zc_config if spec.zc_config is not None else ZcConfig()
-        enclave.set_backend(ZcSwitchlessBackend(config))
-    # "no_sl" keeps the default RegularBackend.
-
-    monitor = None
-    if monitor_interval_s is not None:
-        monitor = CpuUsageMonitor(kernel, kernel.cycles(monitor_interval_s)).start()
-    if capture is not None:
-        capture.bind_enclave(enclave)
-    plan = active_fault_plan()
-    faults = FaultInjector(plan).attach(kernel, enclave) if plan is not None else None
-    return Stack(
-        spec=spec,
-        kernel=kernel,
-        fs=fs,
-        enclave=enclave,
-        procstat=ProcStat(kernel),
-        monitor=monitor,
-        telemetry=capture,
-        faults=faults,
+    runtime = Runtime.create(
+        backend=spec.kind,
+        config=spec.backend_config(),
+        machine=machine,
+        cost=cost,
+        syscall_costs=syscall_costs,
+        files=files,
+        monitor_interval_s=monitor_interval_s,
+        memcpy_model=memcpy_model,
+        label=spec.label,
     )
+    return Stack(spec=spec, runtime=runtime)

@@ -26,7 +26,9 @@ from repro.regress.audit import (
     ConservationChecker,
     ImmediateFallbackChecker,
     InvariantAuditor,
+    QuarantineRoutingChecker,
     RecoveryChecker,
+    RouterConservationChecker,
     Violation,
     attach_auditor,
     default_checkers,
@@ -44,7 +46,9 @@ __all__ = [
     "DiffReport",
     "ImmediateFallbackChecker",
     "InvariantAuditor",
+    "QuarantineRoutingChecker",
     "RecoveryChecker",
+    "RouterConservationChecker",
     "Violation",
     "attach_auditor",
     "audit_jsonl",

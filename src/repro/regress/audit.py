@@ -25,6 +25,11 @@ asserts one paper-level invariant:
   respawn is matched by a ``fault.worker.respawn`` (or an explicit
   ``.skipped``) by its deadline; a crashed slot that silently never
   heals is a supervision bug.  Vacuously green on healthy runs.
+- :class:`RouterConservationChecker` / :class:`QuarantineRoutingChecker`
+  — the :mod:`repro.serve` router's contract: every request terminates
+  exactly once (ok/shed/failed, sheds balance their completions) and no
+  request is ever placed on a quarantined or dead shard.  Vacuously
+  green on runs without ``serve.*`` events.
 
 Checkers run in two modes: *live*, subscribed to a cell's
 :class:`~repro.telemetry.events.EventBus` via :func:`attach_auditor`
@@ -39,7 +44,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.telemetry.events import EventBus, TelemetryEvent
 
@@ -124,15 +129,19 @@ class ConfigPhaseChecker(Checker):
         #: Explicit probe count to expect; None resolves it from the
         #: auditor's machine context (``min(N/2, pool size) + 1``).
         self.expected_probes = expected_probes
-        self._probes: list[TelemetryEvent] = []
+        #: In-flight probes per scheduler ``source`` (several enclaves may
+        #: share one kernel — repro.serve shards — and their configuration
+        #: phases interleave on the shared bus).
+        self._probes: dict[Any, list[TelemetryEvent]] = {}
 
     def on_event(self, event: TelemetryEvent, auditor: "InvariantAuditor") -> None:
+        source = event.fields.get("source")
         if event.name == "zc.sched.probe":
-            self._probes.append(event)
+            self._probes.setdefault(source, []).append(event)
             return
         if event.name != "zc.sched.decision":
             return
-        probes, self._probes = self._probes, []
+        probes = self._probes.pop(source, [])
         utilities = event.fields.get("utilities", [])
         counts = [p.fields.get("workers") for p in probes]
         if counts != list(range(len(counts))):
@@ -323,6 +332,121 @@ class RecoveryChecker(Checker):
             self._overdue(auditor, t_end)
 
 
+class RouterConservationChecker(Checker):
+    """Serving layer: no request is dropped or double-counted.
+
+    The router's contract is that every issued request terminates in
+    exactly one of ``ok`` / ``shed`` / ``failed`` (carried on its
+    ``serve.request.complete`` event), that every shed decision
+    (``serve.request.shed``) surfaces as exactly one shed completion, and
+    that every non-shed completion was actually enqueued on a shard at
+    least once (``serve.request.submit``; re-routes enqueue again, so the
+    submit count may exceed completions but never undercut them).
+    Quarantine bookkeeping must balance too: a shard cannot be re-admitted
+    or declared dead more often than it was quarantined.  Vacuously green
+    on runs that emit no ``serve.*`` events.
+    """
+
+    name = "serve-conservation"
+
+    def __init__(self) -> None:
+        self._enqueued = 0
+        self._shed_events = 0
+        self._completes: dict[str, int] = {}
+        self._quarantines = 0
+        self._resolutions = 0
+        self._last_t = 0.0
+
+    def on_event(self, event: TelemetryEvent, auditor: "InvariantAuditor") -> None:
+        if not event.name.startswith("serve."):
+            return
+        self._last_t = event.t_cycles
+        if event.name == "serve.request.submit":
+            self._enqueued += 1
+        elif event.name == "serve.request.shed":
+            self._shed_events += 1
+        elif event.name == "serve.request.complete":
+            status = event.fields.get("status")
+            if status not in ("ok", "shed", "failed"):
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"request completed with unknown status {status!r}",
+                )
+                return
+            self._completes[status] = self._completes.get(status, 0) + 1
+        elif event.name == "serve.shard.quarantine":
+            self._quarantines += 1
+        elif event.name in ("serve.shard.readmit", "serve.shard.dead"):
+            self._resolutions += 1
+            if self._resolutions > self._quarantines:
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"{event.name} without a matching serve.shard.quarantine",
+                )
+
+    def finish(self, auditor: "InvariantAuditor", snapshot: "LedgerSnapshot | None") -> None:
+        completed_shed = self._completes.get("shed", 0)
+        if completed_shed != self._shed_events:
+            auditor.report(
+                self.name,
+                self._last_t,
+                f"{self._shed_events} shed decision(s) but {completed_shed} "
+                "shed completion(s) — a shed request vanished or doubled",
+            )
+        served = self._completes.get("ok", 0) + self._completes.get("failed", 0)
+        if self._enqueued < served:
+            auditor.report(
+                self.name,
+                self._last_t,
+                f"{served} request(s) completed on shards but only "
+                f"{self._enqueued} were ever enqueued",
+            )
+
+
+class QuarantineRoutingChecker(Checker):
+    """Serving layer: no request is placed on a quarantined or dead shard.
+
+    Tracks shard health from the router's own event stream
+    (``serve.shard.quarantine`` marks a shard unroutable until its
+    ``serve.shard.readmit``; ``serve.shard.dead`` is terminal) and flags
+    any ``serve.request.submit`` that names an unroutable shard — the
+    exact window a buggy router would keep feeding a lost enclave.
+    Vacuously green on runs that emit no ``serve.*`` events.
+    """
+
+    name = "serve-quarantine-routing"
+
+    def __init__(self) -> None:
+        self._quarantined: set[int] = set()
+        self._dead: set[int] = set()
+
+    def on_event(self, event: TelemetryEvent, auditor: "InvariantAuditor") -> None:
+        if event.name == "serve.shard.quarantine":
+            self._quarantined.add(event.fields.get("shard"))
+        elif event.name == "serve.shard.readmit":
+            self._quarantined.discard(event.fields.get("shard"))
+        elif event.name == "serve.shard.dead":
+            shard = event.fields.get("shard")
+            self._quarantined.discard(shard)
+            self._dead.add(shard)
+        elif event.name == "serve.request.submit":
+            shard = event.fields.get("shard")
+            if shard in self._quarantined:
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"request enqueued on shard {shard} while quarantined",
+                )
+            elif shard in self._dead:
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"request enqueued on shard {shard} after it was declared dead",
+                )
+
+
 def default_checkers() -> list[Checker]:
     """One fresh instance of every stock checker."""
     return [
@@ -331,6 +455,8 @@ def default_checkers() -> list[Checker]:
         ConfigPhaseChecker(),
         ArgminChecker(),
         RecoveryChecker(),
+        RouterConservationChecker(),
+        QuarantineRoutingChecker(),
     ]
 
 

@@ -1,0 +1,48 @@
+"""Sharded multi-enclave serving on one simulated machine.
+
+The paper evaluates ZC-SWITCHLESS one enclave at a time; this package
+asks the deployment question that follows: what happens when *several*
+enclaves, each with its own configless worker pool and scheduler, serve
+one request stream on a shared machine?
+
+- :mod:`repro.serve.budget` — a cross-enclave worker-budget arbiter: the
+  per-shard schedulers keep their ``argmin U_i`` feedback loops, but
+  their grants are clipped so the fleet never spins more switchless
+  workers than a global core cap allows.
+- :mod:`repro.serve.shard` — one shard: a :class:`repro.api.Runtime` on
+  the shared kernel hosting a :class:`repro.apps.KvServerEnclave`, plus
+  a bounded request queue drained by server threads.
+- :mod:`repro.serve.router` — consistent-hash (rendezvous) or
+  round-robin routing with shed/block admission control, shard
+  quarantine on enclave loss and re-admission after recovery.
+- :mod:`repro.serve.loadgen` — open-loop (Poisson) and closed-loop load
+  generation over the seeded key distributions.
+- :mod:`repro.serve.bench` — the ``repro serve bench`` entry point:
+  builds a cluster, drives it, and emits a stamped result artifact.
+"""
+
+from repro.serve.bench import ServeCluster, build_serve, run_serve_bench
+from repro.serve.budget import WorkerBudgetArbiter
+from repro.serve.loadgen import KEYDIST_CHOICES, LoadGenerator, LoadSpec
+from repro.serve.router import (
+    ADMISSION_CHOICES,
+    POLICY_CHOICES,
+    Request,
+    Router,
+)
+from repro.serve.shard import EnclaveShard
+
+__all__ = [
+    "ADMISSION_CHOICES",
+    "KEYDIST_CHOICES",
+    "POLICY_CHOICES",
+    "EnclaveShard",
+    "LoadGenerator",
+    "LoadSpec",
+    "Request",
+    "Router",
+    "ServeCluster",
+    "WorkerBudgetArbiter",
+    "build_serve",
+    "run_serve_bench",
+]

@@ -1,0 +1,337 @@
+"""The ``repro serve bench`` entry point.
+
+Builds a sharded cluster on one shared kernel, drives it with a
+:class:`repro.serve.loadgen.LoadGenerator`, and folds the result into a
+stamped ``serve-bench`` artifact (written as ``BENCH_serve.json`` by the
+CLI) that the regression sentinel can gate against a committed baseline.
+
+Everything here is deterministic per seed: same parameters → identical
+artifact, which is what lets CI compare against
+``baselines/serve-quick.json`` with a tight threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api import Runtime, ZcConfig, normalize_backend
+from repro.faults import FaultInjector, FaultPlan, active_fault_plan, get_plan
+from repro.serve.budget import WorkerBudgetArbiter
+from repro.serve.loadgen import LoadGenerator, LoadSpec
+from repro.serve.router import Router
+from repro.serve.shard import EnclaveShard
+from repro.sim import Kernel, MachineSpec, server_machine
+from repro.telemetry.schema import check_stamp, stamp
+from repro.telemetry.session import CellCapture, TelemetrySession, active_session
+
+#: Scheduler quantum for serve shards.  Serving runs are short (seconds
+#: of simulated time at most); the paper's 10 ms quantum would leave the
+#: scheduler mid-first-sweep, so shards default to a faster loop.
+SERVE_QUANTUM_S = 0.002
+
+
+@dataclass
+class ServeCluster:
+    """A wired serving cluster (kernel + shards + router + arbiter)."""
+
+    kernel: Kernel
+    shards: list[EnclaveShard]
+    router: Router
+    arbiter: WorkerBudgetArbiter | None = None
+    capture: CellCapture | None = None
+    injector: FaultInjector | None = None
+    _closed: bool = False
+
+    def close(self) -> None:
+        """Tear the cluster down in ledger order.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.injector is not None:
+            self.injector.detach()
+        for shard in self.shards:
+            shard.stop()
+            shard.runtime.close()
+        self.kernel.run()
+        if self.capture is not None:
+            self.capture.finalize()
+
+    def __enter__(self) -> "ServeCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def build_serve(
+    shards: int = 2,
+    backend: str = "zc",
+    *,
+    machine: MachineSpec | None = None,
+    policy: str = "hash",
+    admission: str = "shed",
+    queue_capacity: int = 64,
+    servers_per_shard: int = 2,
+    budget: int | None = None,
+    plan: FaultPlan | str | None = None,
+    fault_shard: int = 0,
+    telemetry: TelemetrySession | bool | None = None,
+) -> ServeCluster:
+    """Wire a serving cluster: N enclave shards on one shared kernel.
+
+    Each shard is a full :class:`repro.api.Runtime` (own filesystem, own
+    enclave, own backend worker pool) attached to the shared kernel.
+    With ``budget`` set, a :class:`WorkerBudgetArbiter` caps the fleet's
+    aggregate switchless workers.  A fault ``plan`` attaches its injector
+    to shard ``fault_shard``'s enclave (one injector per kernel).
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    kind = normalize_backend(backend)
+    kernel = Kernel(machine if machine is not None else server_machine())
+
+    if telemetry is None or telemetry is True:
+        session = active_session()
+    elif telemetry is False:
+        session = None
+    else:
+        session = telemetry
+    capture = (
+        session.attach(kernel, label=f"serve-{kind}x{shards}")
+        if session is not None
+        else None
+    )
+
+    arbiter = WorkerBudgetArbiter(budget) if budget is not None else None
+    shard_objs: list[EnclaveShard] = []
+    for index in range(shards):
+        config = ZcConfig(quantum_seconds=SERVE_QUANTUM_S) if kind == "zc" else None
+        runtime = Runtime.create(
+            backend=kind,
+            config=config,
+            kernel=kernel,
+            telemetry=False,  # the cluster capture covers the shared kernel
+            faults=False,  # attached below, to one shard's enclave
+            arbiter=arbiter if kind == "zc" else None,
+            label=f"shard-{index}",
+            name=f"shard-{index}",
+        )
+        shard_objs.append(
+            EnclaveShard(
+                index,
+                runtime,
+                queue_capacity=queue_capacity,
+                servers=servers_per_shard,
+            )
+        )
+
+    router = Router(kernel, shard_objs, policy=policy, admission=admission)
+
+    resolved_plan: FaultPlan | None
+    if plan is None:
+        resolved_plan = active_fault_plan()
+    elif isinstance(plan, str):
+        resolved_plan = get_plan(plan)
+    else:
+        resolved_plan = plan
+    injector = None
+    if resolved_plan is not None:
+        if not 0 <= fault_shard < shards:
+            raise ValueError(f"fault_shard {fault_shard} out of range")
+        injector = FaultInjector(resolved_plan).attach(
+            kernel, shard_objs[fault_shard].enclave
+        )
+
+    for shard in shard_objs:
+        shard.start()
+
+    return ServeCluster(
+        kernel=kernel,
+        shards=shard_objs,
+        router=router,
+        arbiter=arbiter,
+        capture=capture,
+        injector=injector,
+    )
+
+
+def run_serve_bench(
+    shards: int = 2,
+    seconds: float = 2.0,
+    backend: str = "zc",
+    *,
+    rate: float | None = 2_000.0,
+    clients: int | None = None,
+    requests_per_client: int | None = None,
+    policy: str = "hash",
+    admission: str = "shed",
+    queue_capacity: int = 64,
+    servers_per_shard: int = 2,
+    budget: int | None = None,
+    plan: FaultPlan | str | None = None,
+    fault_shard: int = 0,
+    keydist: str = "uniform",
+    keyspace: int = 256,
+    set_fraction: float = 1.0 / 3.0,
+    seed: int = 0,
+    machine: MachineSpec | None = None,
+    telemetry: TelemetrySession | bool | None = None,
+) -> dict[str, Any]:
+    """Run one serving benchmark; returns the stamped result artifact.
+
+    ``rate`` selects the open loop (Poisson arrivals for ``seconds`` of
+    simulated time); passing ``clients`` switches to the closed loop
+    (``clients`` threads bounded by ``requests_per_client`` and/or
+    ``seconds``).  Keep the offered request count in the thousands: a KV
+    request costs ~4 µs simulated, so an unbounded closed loop over
+    whole simulated seconds means millions of requests of host work.
+    """
+    cluster = build_serve(
+        shards=shards,
+        backend=backend,
+        machine=machine,
+        policy=policy,
+        admission=admission,
+        queue_capacity=queue_capacity,
+        servers_per_shard=servers_per_shard,
+        budget=budget,
+        plan=plan,
+        fault_shard=fault_shard,
+        telemetry=telemetry,
+    )
+    kernel = cluster.kernel
+    if clients is not None:
+        spec = LoadSpec(
+            clients=clients,
+            requests_per_client=requests_per_client,
+            duration_s=seconds,
+            keydist=keydist,
+            keyspace=keyspace,
+            set_fraction=set_fraction,
+            seed=seed,
+        )
+    else:
+        spec = LoadSpec(
+            rate_rps=rate if rate is not None else 2_000.0,
+            duration_s=seconds,
+            keydist=keydist,
+            keyspace=keyspace,
+            set_fraction=set_fraction,
+            seed=seed,
+        )
+    generator = LoadGenerator(kernel, cluster.router, spec)
+    start = kernel.now
+    generator.run()
+    elapsed_s = kernel.seconds(kernel.now - start)
+    router = cluster.router
+    latency = router.latency.summary()
+    result: dict[str, Any] = {
+        "meta": stamp("serve-bench"),
+        "params": {
+            "shards": shards,
+            "backend": normalize_backend(backend),
+            "seconds": seconds,
+            "rate": None if clients is not None else (rate or 2_000.0),
+            "clients": clients,
+            "policy": policy,
+            "admission": admission,
+            "queue_capacity": queue_capacity,
+            "servers_per_shard": servers_per_shard,
+            "budget": budget,
+            "keydist": keydist,
+            "keyspace": keyspace,
+            "set_fraction": set_fraction,
+            "seed": seed,
+        },
+        "totals": {
+            **router.stats(),
+            "issued": generator.issued,
+            "elapsed_s": elapsed_s,
+            "throughput_rps": router.completed / elapsed_s if elapsed_s > 0 else 0.0,
+            "latency_us": {
+                name: kernel.seconds(cycles) * 1e6 if name != "count" else cycles
+                for name, cycles in latency.items()
+            },
+        },
+        "per_shard": [
+            {
+                "shard": shard.index,
+                "completed": shard.completed,
+                "failed": shard.failed,
+                "switchless_ocalls": shard.enclave.stats.total_switchless,
+                "regular_ocalls": shard.enclave.stats.total_regular,
+                "fallback_ocalls": shard.enclave.stats.total_fallback,
+                "mutations": shard.server.mutations,
+            }
+            for shard in cluster.shards
+        ],
+        "budget": (
+            {
+                "cap": cluster.arbiter.cap,
+                "clipped": cluster.arbiter.clipped,
+                "in_use": cluster.arbiter.in_use,
+            }
+            if cluster.arbiter is not None
+            else None
+        ),
+    }
+    cluster.close()
+    return result
+
+
+def write_result(result: dict[str, Any], path: str) -> str:
+    """Write the bench artifact as JSON; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> dict[str, Any]:
+    """Load and stamp-check a committed serve baseline."""
+    with open(path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    check_stamp(baseline.get("meta", {}), "serve-bench", source=path)
+    return baseline
+
+
+def compare_to_baseline(
+    result: dict[str, Any], baseline: dict[str, Any], threshold: float = 0.1
+) -> list[str]:
+    """Gate a serve run against a baseline; returns violation messages.
+
+    Fails when throughput regresses by more than ``threshold`` (relative)
+    or p99 latency inflates by more than ``threshold``.  Simulated runs
+    are deterministic, so the threshold only absorbs intentional model
+    changes that nudge the numbers without being regressions.
+    """
+    violations: list[str] = []
+    new = result["totals"]
+    old = baseline["totals"]
+    old_tput = old.get("throughput_rps", 0.0)
+    new_tput = new.get("throughput_rps", 0.0)
+    if old_tput > 0 and new_tput < old_tput * (1 - threshold):
+        violations.append(
+            f"throughput regressed: {new_tput:.0f} rps vs baseline "
+            f"{old_tput:.0f} rps (> {threshold:.0%} drop)"
+        )
+    old_p99 = old.get("latency_us", {}).get("p99", 0.0)
+    new_p99 = new.get("latency_us", {}).get("p99", 0.0)
+    if old_p99 > 0 and new_p99 > old_p99 * (1 + threshold):
+        violations.append(
+            f"p99 latency inflated: {new_p99:.1f} us vs baseline "
+            f"{old_p99:.1f} us (> {threshold:.0%} rise)"
+        )
+    old_shed = old.get("shed", 0)
+    new_shed = new.get("shed", 0)
+    if new_shed > max(old_shed * (1 + threshold), old_shed + 5):
+        violations.append(
+            f"shed count grew: {new_shed} vs baseline {old_shed}"
+        )
+    return violations

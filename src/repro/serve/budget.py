@@ -1,0 +1,76 @@
+"""Cross-enclave worker-budget arbitration.
+
+Each ZC shard runs the paper's feedback scheduler unmodified: every
+quantum it sweeps candidate worker counts and activates the ``argmin
+U_i``.  On a shared machine, N independent argmin loops can collectively
+decide on more spinning workers than there are spare cores — each shard's
+sweep is locally optimal and globally oblivious.
+
+The arbiter closes that gap without touching the scheduler: it sits
+behind :meth:`repro.core.backend.ZcSwitchlessBackend.set_active_workers`
+and clips each backend's requested count to its share of a global cap.
+First-come-first-served over the *current* grants: a shard can always
+shrink, and can grow into whatever the others are not using.  Because
+every scheduler re-sweeps each quantum, budget freed by one shard is
+picked up by the others within a quantum — no explicit rebalancing pass.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+
+class BudgetClaimant(Protocol):
+    """What the arbiter needs from a claimant (zc backends satisfy it)."""
+
+    @property
+    def kernel(self) -> Any: ...
+
+
+class WorkerBudgetArbiter:
+    """Clips per-shard worker grants to a global core budget.
+
+    Args:
+        cap: Maximum switchless workers across all registered claimants
+            (a logical-core budget for the fleet).
+    """
+
+    def __init__(self, cap: int) -> None:
+        if cap < 0:
+            raise ValueError("worker budget cap must be >= 0")
+        self.cap = cap
+        #: Current grant per claimant (identity-keyed).
+        self.grants: dict[Any, int] = {}
+        #: Times a request was clipped below what was asked.
+        self.clipped = 0
+
+    @property
+    def in_use(self) -> int:
+        """Workers currently granted across all claimants."""
+        return sum(self.grants.values())
+
+    def grant(self, claimant: BudgetClaimant, count: int) -> int:
+        """Grant ``claimant`` up to ``count`` workers; returns the grant.
+
+        The claimant's previous grant is released first, so a shard can
+        always shrink and re-grow within its own share.
+        """
+        others = sum(n for c, n in self.grants.items() if c is not claimant)
+        granted = max(0, min(count, self.cap - others))
+        self.grants[claimant] = granted
+        if granted < count:
+            self.clipped += 1
+            bus = getattr(claimant.kernel, "bus", None)
+            if bus is not None:
+                bus.emit(
+                    "serve.budget.clip",
+                    requested=count,
+                    granted=granted,
+                    in_use=self.in_use,
+                    cap=self.cap,
+                )
+        return granted
+
+    def release(self, claimant: BudgetClaimant) -> None:
+        """Return ``claimant``'s grant to the pool (backend teardown)."""
+        self.grants.pop(claimant, None)

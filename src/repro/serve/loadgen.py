@@ -1,0 +1,188 @@
+"""Load generation for the serving layer.
+
+Two standard shapes:
+
+- **Closed loop** — ``spec.clients`` request threads, each issuing its
+  next request the moment the previous one completes.  Offered load
+  tracks service capacity; use it for saturation/scaling measurements.
+- **Open loop** — a Poisson arrival process at ``spec.rate_rps``
+  (selected by setting the rate); every arrival runs on its own thread
+  regardless of how the previous requests are doing.  Offered load is
+  independent of the system, so queues actually build and shed/latency
+  tails mean something.  This is the ``repro serve bench`` default.
+
+Key choice reuses the seeded YCSB-style generators of
+:mod:`repro.workloads.keydist`; everything is deterministic per
+``spec.seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.serve.router import Router
+from repro.sim.instructions import Compute, Sleep
+from repro.sim.kernel import Kernel, Program, SimThread
+from repro.workloads.keydist import SequentialKeys, UniformKeys, ZipfKeys
+
+#: Key-distribution names accepted by :class:`LoadSpec`.
+KEYDIST_CHOICES = ("uniform", "zipf", "seq")
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of the offered load.
+
+    Attributes:
+        clients: Closed-loop request threads (ignored by the open loop).
+        requests_per_client: Closed-loop per-thread request budget
+            (None = bounded by ``duration_s`` alone — set at least one!).
+        duration_s: Stop issuing after this much simulated time.
+        rate_rps: Open-loop Poisson arrival rate; None selects the
+            closed loop.
+        total_requests: Open-loop arrival budget.
+        set_fraction: Fraction of requests that are ``kv_set`` (the rest
+            are ``kv_get``); sets WAL-append via ocalls.
+        keyspace: Distinct keys for the uniform/zipf distributions.
+        keydist: ``uniform`` | ``zipf`` | ``seq``.
+        value_bytes: Value payload size for sets.
+        parse_cycles: Untrusted request-parse cost charged per request.
+        seed: Base RNG seed (each client derives its own stream).
+    """
+
+    clients: int = 4
+    requests_per_client: int | None = 500
+    duration_s: float | None = None
+    rate_rps: float | None = None
+    total_requests: int | None = None
+    set_fraction: float = 1.0 / 3.0
+    keyspace: int = 256
+    keydist: str = "uniform"
+    value_bytes: int = 8
+    parse_cycles: float = 1_200.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.keydist not in KEYDIST_CHOICES:
+            raise ValueError(f"keydist must be one of {KEYDIST_CHOICES}")
+        if self.rate_rps is None:
+            if self.requests_per_client is None and self.duration_s is None:
+                raise ValueError("closed loop needs a request or duration bound")
+        elif self.total_requests is None and self.duration_s is None:
+            raise ValueError("open loop needs a request or duration bound")
+
+
+class LoadGenerator:
+    """Drives a :class:`repro.serve.router.Router` with a :class:`LoadSpec`."""
+
+    def __init__(self, kernel: Kernel, router: Router, spec: LoadSpec) -> None:
+        self.kernel = kernel
+        self.router = router
+        self.spec = spec
+        #: Requests issued (arrivals, for the open loop).
+        self.issued = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Generate the load and run the kernel until it completes."""
+        if self.spec.rate_rps is not None:
+            self._run_open()
+        else:
+            self._run_closed()
+
+    def _run_closed(self) -> None:
+        threads = [
+            self.kernel.spawn(
+                self._closed_client(index),
+                name=f"client-{index}",
+                kind="serve-client",
+            )
+            for index in range(self.spec.clients)
+        ]
+        self.kernel.join(*threads)
+
+    def _run_open(self) -> None:
+        request_threads: list[SimThread] = []
+        arrivals = self.kernel.spawn(
+            self._arrival_process(request_threads),
+            name="loadgen-arrivals",
+            kind="serve-client",
+        )
+        self.kernel.join(arrivals)
+        if request_threads:
+            self.kernel.join(*request_threads)
+
+    # ------------------------------------------------------------------
+    # Programs
+    # ------------------------------------------------------------------
+    def _closed_client(self, index: int) -> Program:
+        spec = self.spec
+        # Integer-derived stream: tuple seeds would go through the salted
+        # hash() and break cross-process determinism.
+        rng = random.Random(spec.seed * 1_000_003 + index)
+        dist = self._make_dist(index)
+        deadline = self._deadline()
+        issued = 0
+        while spec.requests_per_client is None or issued < spec.requests_per_client:
+            if deadline is not None and self.kernel.now >= deadline:
+                break
+            op, key, value = self._next_op(rng, dist, issued)
+            self.issued += 1
+            issued += 1
+            yield Compute(spec.parse_cycles, tag="request-parse")
+            yield from self.router.request(op, key, value)
+
+    def _arrival_process(self, request_threads: list[SimThread]) -> Program:
+        spec = self.spec
+        rng = random.Random(spec.seed * 1_000_003 + 999_331)
+        dist = self._make_dist(0)
+        deadline = self._deadline()
+        rate = spec.rate_rps
+        assert rate is not None and rate > 0
+        while spec.total_requests is None or self.issued < spec.total_requests:
+            gap_cycles = self.kernel.cycles(rng.expovariate(rate))
+            if deadline is not None and self.kernel.now + gap_cycles >= deadline:
+                break
+            yield Sleep(gap_cycles)
+            op, key, value = self._next_op(rng, dist, self.issued)
+            index = self.issued
+            self.issued += 1
+            request_threads.append(
+                self.kernel.spawn(
+                    self._one_request(op, key, value),
+                    name=f"req-{index}",
+                    kind="serve-client",
+                )
+            )
+
+    def _one_request(self, op: str, key: bytes, value: bytes | None) -> Program:
+        yield Compute(self.spec.parse_cycles, tag="request-parse")
+        yield from self.router.request(op, key, value)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _deadline(self) -> float | None:
+        if self.spec.duration_s is None:
+            return None
+        return self.kernel.now + self.kernel.cycles(self.spec.duration_s)
+
+    def _make_dist(self, index: int):
+        spec = self.spec
+        if spec.keydist == "seq":
+            return SequentialKeys()
+        if spec.keydist == "zipf":
+            return ZipfKeys(spec.keyspace, seed=spec.seed + index)
+        return UniformKeys(spec.keyspace, seed=spec.seed + index)
+
+    def _next_op(
+        self, rng: random.Random, dist, counter: int
+    ) -> tuple[str, bytes, bytes | None]:
+        key = dist.next_key()
+        if rng.random() < self.spec.set_fraction:
+            value = (counter % 2**63).to_bytes(self.spec.value_bytes, "big")
+            return "set", key, value
+        return "get", key, None

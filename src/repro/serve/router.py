@@ -1,0 +1,293 @@
+"""Request routing across enclave shards.
+
+The router is the untrusted front door of the serving layer:
+
+- **Placement** — ``policy="hash"`` uses rendezvous (highest-random-
+  weight) hashing over a keyed BLAKE2b digest, so each key has a stable
+  shard preference and losing a shard only re-homes that shard's keys;
+  ``policy="round-robin"`` sprays requests evenly (keys lose affinity,
+  which for the WAL-backed KV store means a key's value only survives on
+  the shard that stored it — fine for uniform benchmarking traffic).
+- **Admission** — a full shard queue either sheds the request with an
+  error (``admission="shed"``, the open-loop default) or blocks the
+  submitter until space frees (``admission="block"``).
+- **Fault handling** — a shard whose enclave is lost is *quarantined*:
+  routing skips it, its queued requests re-route to healthy shards, and
+  a probe thread drives the enclave's recovery manager; on success the
+  shard is re-admitted, on exhausted recovery it is declared dead.
+
+Bus events (emitted only when the kernel carries an event bus):
+``serve.request.submit`` / ``serve.request.complete`` /
+``serve.request.shed``, ``serve.shard.quarantine`` /
+``serve.shard.readmit`` / ``serve.shard.dead``.  The regression
+auditor's serving checkers consume exactly these.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.analysis.metrics import LatencyRecorder
+from repro.serve.shard import EnclaveShard
+from repro.sgx import EnclaveLostError
+from repro.sim.instructions import Block
+from repro.sim.kernel import Kernel, Program
+
+#: Admission-control policies for a full shard queue.
+ADMISSION_CHOICES = ("shed", "block")
+#: Request-placement policies.
+POLICY_CHOICES = ("hash", "round-robin")
+
+
+class Request:
+    """One in-flight client request.
+
+    Completion is a one-shot event carrying ``(status, payload)`` where
+    status is ``"ok"``, ``"shed"`` or ``"failed"``; submitters block on
+    ``done`` and read latency off the simulated clock.
+    """
+
+    __slots__ = ("op", "key", "value", "done", "submitted_at", "shard")
+
+    def __init__(
+        self, kernel: Kernel, op: str, key: bytes, value: bytes | None = None
+    ) -> None:
+        self.op = op
+        self.key = key
+        self.value = value
+        self.done = kernel.event(name=f"serve:{op}")
+        self.submitted_at = kernel.now
+        #: Index of the shard that accepted the request (None until queued).
+        self.shard: int | None = None
+
+    @property
+    def status(self) -> str | None:
+        """Completion status, or None while in flight."""
+        return self.done.value[0] if self.done.fired else None
+
+    def complete(self, payload: Any) -> None:
+        """Mark served successfully."""
+        self.done.fire(("ok", payload))
+
+    def shed(self) -> None:
+        """Mark rejected by admission control."""
+        self.done.fire(("shed", None))
+
+    def fail(self, reason: str) -> None:
+        """Mark failed (shard dead with no healthy alternative)."""
+        self.done.fire(("failed", reason))
+
+
+def _rendezvous_score(key: bytes, shard_index: int) -> bytes:
+    # Keyed digest, not hash(): Python's hash is salted per process and
+    # would make placement nondeterministic across runs.
+    return hashlib.blake2b(
+        key + shard_index.to_bytes(4, "big"), digest_size=8
+    ).digest()
+
+
+class Router:
+    """Routes client requests across :class:`EnclaveShard` instances."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        shards: list[EnclaveShard],
+        *,
+        policy: str = "hash",
+        admission: str = "shed",
+    ) -> None:
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        if policy not in POLICY_CHOICES:
+            raise ValueError(f"policy must be one of {POLICY_CHOICES}")
+        if admission not in ADMISSION_CHOICES:
+            raise ValueError(f"admission must be one of {ADMISSION_CHOICES}")
+        self.kernel = kernel
+        self.shards = shards
+        self.policy = policy
+        self.admission = admission
+        for shard in shards:
+            shard.router = self
+        self._rr_next = 0
+        self.quarantined: set[int] = set()
+        self.dead: set[int] = set()
+        self.latency = LatencyRecorder()
+        # Conservation invariant: submitted == completed + shed + failed
+        # once the run drains (audited by RouterConservationChecker).
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        self.failed = 0
+        #: Requests re-homed off a quarantined shard.
+        self.rerouted = 0
+        #: Lifetime quarantine entries / re-admissions (the live sets
+        #: above only show current membership).
+        self.quarantines = 0
+        self.readmissions = 0
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def request(
+        self, op: str, key: bytes, value: bytes | None = None
+    ) -> Program:
+        """Issue one request end-to-end; returns ``(status, payload)``."""
+        req = Request(self.kernel, op, key, value)
+        self.submitted += 1
+        yield from self.submit(req)
+        if not req.done.fired:
+            yield Block(req.done)
+        status, payload = req.done.value
+        if status == "ok":
+            self.completed += 1
+            self.latency.record(self.kernel.now - req.submitted_at)
+        elif status == "failed":
+            self.failed += 1
+        self._emit(
+            "serve.request.complete", shard=req.shard, op=op, status=status
+        )
+        return status, payload
+
+    def submit(self, request: Request) -> Program:
+        """Route ``request`` onto a shard queue (or shed it).
+
+        Does not wait for completion and does not touch the submitted
+        counter — re-routing a quarantined shard's requests goes through
+        here too.
+        """
+        while True:
+            shard = self._pick(request.key)
+            if shard is None:
+                self.shed += 1
+                self._emit("serve.request.shed", op=request.op, reason="no-shard")
+                request.shed()
+                return request
+            if shard.try_enqueue(request):
+                self._emit(
+                    "serve.request.submit", shard=shard.index, op=request.op
+                )
+                return request
+            if self.admission == "shed":
+                self.shed += 1
+                self._emit(
+                    "serve.request.shed",
+                    op=request.op,
+                    reason="queue-full",
+                    shard=shard.index,
+                )
+                request.shed()
+                return request
+            # Blocking admission: wait for space, then re-pick (the shard
+            # may have been quarantined while we slept).
+            yield Block(shard.space_event())
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def available_shards(self) -> list[EnclaveShard]:
+        """Shards currently routable, quarantining lost ones on sight."""
+        healthy = []
+        for shard in self.shards:
+            if shard.index in self.dead or shard.index in self.quarantined:
+                continue
+            if not shard.available:
+                # Lazy detection: the injector flipped enclave.lost but no
+                # request has tripped over it yet.
+                if shard.enclave.lost:
+                    self.quarantine(shard)
+                continue
+            healthy.append(shard)
+        return healthy
+
+    def _pick(self, key: bytes) -> EnclaveShard | None:
+        candidates = self.available_shards()
+        if not candidates:
+            return None
+        if self.policy == "round-robin":
+            shard = candidates[self._rr_next % len(candidates)]
+            self._rr_next += 1
+            return shard
+        return max(candidates, key=lambda s: _rendezvous_score(key, s.index))
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def shard_lost(self, shard: EnclaveShard, request: Request) -> None:
+        """A server thread lost its enclave mid-request (recovery spent).
+
+        Called synchronously from the shard's server loop: quarantine the
+        shard and re-home the failed request on a fresh thread.
+        """
+        self.quarantine(shard)
+        self._respawn_submit(request)
+
+    def quarantine(self, shard: EnclaveShard) -> None:
+        """Stop routing to ``shard``; re-home its queue; probe recovery."""
+        if shard.index in self.quarantined or shard.index in self.dead:
+            return
+        self.quarantined.add(shard.index)
+        self.quarantines += 1
+        self._emit("serve.shard.quarantine", shard=shard.index)
+        for queued in shard.drain():
+            self._respawn_submit(queued)
+        self.kernel.spawn(
+            self._probe(shard),
+            name=f"probe-shard{shard.index}",
+            kind="serve-probe",
+            daemon=True,
+        )
+
+    def _respawn_submit(self, request: Request) -> None:
+        self.rerouted += 1
+        request.shard = None
+
+        def resubmit() -> Program:
+            yield from self.submit(request)
+
+        self.kernel.spawn(
+            resubmit(), name="serve-reroute", kind="serve-router", daemon=True
+        )
+
+    def _probe(self, shard: EnclaveShard) -> Program:
+        """Drive the quarantined enclave's recovery, then re-admit it.
+
+        The probe ecall enters the lost enclave, which routes it through
+        the installed :class:`repro.faults.recovery.EnclaveRecovery`
+        (single-flight, capped exponential backoff).  Recovery success
+        re-admits the shard; exhausted attempts (or no recovery manager)
+        declare it dead.
+        """
+        try:
+            yield from shard.client.size()
+        except EnclaveLostError:
+            self.quarantined.discard(shard.index)
+            self.dead.add(shard.index)
+            self._emit("serve.shard.dead", shard=shard.index)
+            return
+        self.quarantined.discard(shard.index)
+        self.readmissions += 1
+        self._emit("serve.shard.readmit", shard=shard.index)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Counter snapshot (the bench folds this into its artifact)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "rerouted": self.rerouted,
+            "quarantines": self.quarantines,
+            "readmissions": self.readmissions,
+            "quarantined": sorted(self.quarantined),
+            "dead": sorted(self.dead),
+        }
+
+    def _emit(self, name: str, **fields: Any) -> None:
+        bus = self.kernel.bus
+        if bus is not None:
+            bus.emit(name, **fields)

@@ -1,0 +1,176 @@
+"""One serving shard: an enclave runtime plus a bounded request queue.
+
+A shard owns a :class:`repro.api.Runtime` created on the *shared* kernel
+(``Runtime.create(..., kernel=shared)``), hosting one
+:class:`repro.apps.KvServerEnclave`.  Untrusted server threads drain a
+bounded FIFO of :class:`repro.serve.router.Request` objects and execute
+each as an ecall into the shard's enclave; the enclave WAL-persists
+mutations through ocalls on its own switchless worker pool.
+
+The queue is the admission-control surface: the router either sheds or
+blocks when :meth:`EnclaveShard.try_enqueue` reports it full.  Queue
+depth is a level-triggered :class:`repro.sim.primitives.Gate`, so server
+threads (waiting for work) and blocked submitters (waiting for space)
+park on events instead of polling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.apps import KvClient, KvServerEnclave
+from repro.sgx import EnclaveLostError
+from repro.sim.instructions import Block
+from repro.sim.kernel import Program, SimThread
+
+if TYPE_CHECKING:
+    from repro.api import Runtime
+    from repro.serve.router import Request, Router
+
+
+class EnclaveShard:
+    """One enclave-backed KV shard on the shared serving kernel.
+
+    Args:
+        index: Shard number (routing identity and event field).
+        runtime: The shard's :class:`repro.api.Runtime` (must share the
+            cluster kernel).
+        queue_capacity: Bound on queued-but-unstarted requests.
+        servers: Untrusted server threads draining the queue.
+        wal_path: WAL path inside the shard's private filesystem.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        runtime: "Runtime",
+        *,
+        queue_capacity: int = 64,
+        servers: int = 2,
+        wal_path: str = "/kv.wal",
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if servers < 1:
+            raise ValueError("servers must be >= 1")
+        self.index = index
+        self.runtime = runtime
+        self.kernel = runtime.kernel
+        self.enclave = runtime.enclave
+        self.server = KvServerEnclave(self.enclave, wal_path=wal_path)
+        self.client = KvClient(self.enclave)
+        self.capacity = queue_capacity
+        self.n_servers = servers
+        self.queue: deque["Request"] = deque()
+        self.depth = self.kernel.gate(0, name=f"shard{index}.depth")
+        self.server_threads: list[SimThread] = []
+        self.stopping = False
+        #: Requests this shard executed to completion.
+        self.completed = 0
+        #: Requests that failed on this shard (enclave lost, no recovery).
+        self.failed = 0
+        #: Back-reference installed by the router at cluster wiring time.
+        self.router: "Router | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Open the shard's WAL and spawn its server threads."""
+        def starter() -> Program:
+            replayed = yield from self.server.start()
+            return replayed
+
+        self.kernel.join(
+            self.kernel.spawn(starter(), name=f"shard{self.index}-start", kind="app")
+        )
+        for slot in range(self.n_servers):
+            thread = self.kernel.spawn(
+                self._server_loop(),
+                name=f"shard{self.index}-srv{slot}",
+                kind="serve-server",
+                daemon=True,
+            )
+            self.server_threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop accepting work; parked server threads stay parked (daemon)."""
+        self.stopping = True
+
+    @property
+    def available(self) -> bool:
+        """Routable: accepting work and its enclave is not lost."""
+        return not self.stopping and not self.enclave.lost
+
+    # ------------------------------------------------------------------
+    # Queue
+    # ------------------------------------------------------------------
+    def try_enqueue(self, request: "Request") -> bool:
+        """Queue ``request`` unless the shard is full; returns success."""
+        if len(self.queue) >= self.capacity:
+            return False
+        request.shard = self.index
+        self.queue.append(request)
+        self.depth.set(len(self.queue))
+        return True
+
+    def space_event(self):
+        """One-shot event firing once the queue has room again."""
+        return self.depth.wait_for(lambda depth: depth < self.capacity)
+
+    def drain(self) -> list["Request"]:
+        """Remove and return all queued-but-unstarted requests."""
+        drained = list(self.queue)
+        self.queue.clear()
+        self.depth.set(0)
+        return drained
+
+    # ------------------------------------------------------------------
+    # Server threads
+    # ------------------------------------------------------------------
+    def _server_loop(self) -> Program:
+        while not self.stopping:
+            if not self.queue:
+                # Level-triggered wait; re-check on wake (several servers
+                # may race for one queued request).
+                yield Block(self.depth.wait_for(lambda depth: depth > 0))
+                continue
+            request = self.queue.popleft()
+            self.depth.set(len(self.queue))
+            if self.enclave.lost and self.router is not None:
+                # Don't start new work on a lost enclave (we would park
+                # inside its recovery for the whole outage): hand the
+                # request back for re-routing.  Requests already inside
+                # the enclave when the fault fired do ride out recovery.
+                self.router.shard_lost(self, request)
+                continue
+            yield from self._handle(request)
+
+    def _handle(self, request: "Request") -> Program:
+        try:
+            result = yield from self._execute(request)
+        except EnclaveLostError as exc:
+            # Recovery is exhausted (or absent): hand the request back to
+            # the router, which quarantines this shard and re-routes.
+            self.failed += 1
+            if self.router is not None:
+                self.router.shard_lost(self, request)
+            else:
+                request.fail(f"enclave lost: {exc}")
+            return
+        self.completed += 1
+        request.complete(result)
+
+    def _execute(self, request: "Request") -> Program:
+        if request.op == "get":
+            result = yield from self.client.get(request.key)
+        elif request.op == "set":
+            result = yield from self.client.set(request.key, request.value or b"")
+        elif request.op == "delete":
+            result = yield from self.client.delete(request.key)
+        elif request.op == "size":
+            result = yield from self.client.size()
+        else:
+            raise ValueError(f"unknown request op {request.op!r}")
+        return result

@@ -4,13 +4,27 @@ An SGX application's ocalls can be executed three ways in this library:
 
 - :class:`RegularBackend` — every ocall performs a full enclave transition
   (the ``no_sl`` mode of the paper's evaluation);
-- :class:`repro.switchless.IntelSwitchlessBackend` — the Intel SGX SDK's
-  statically-configured switchless mechanism;
-- :class:`repro.core.ZcSwitchlessBackend` — ZC-SWITCHLESS.
+- :class:`repro.switchless.backend.IntelSwitchlessBackend` — the Intel SGX
+  SDK's statically-configured switchless mechanism;
+- :class:`repro.core.backend.ZcSwitchlessBackend` — ZC-SWITCHLESS.
 
 A backend receives fully-marshalled :class:`repro.sgx.enclave.OcallRequest`
 objects from the enclave and must set ``request.mode`` to how the call was
 ultimately executed (``"regular"``, ``"switchless"`` or ``"fallback"``).
+
+All three share one lifecycle protocol, defined here once:
+
+- ``open(enclave)`` installs the backend (spawning worker/scheduler
+  threads as needed) and returns it; opening an already-open backend is
+  an error — backends are single-enclave objects.
+- ``close()`` requests shutdown of any backend threads; it is idempotent,
+  so teardown paths may call it defensively.
+- Backends are context managers: ``with make_backend("zc") as backend:``
+  closes on exit.
+
+``attach``/``stop`` remain the subclass *hooks* the protocol drives;
+callers should prefer ``open``/``close`` (or, better, let
+:func:`repro.api.Runtime.create` own the whole lifecycle).
 """
 
 from __future__ import annotations
@@ -31,10 +45,18 @@ class CallBackend(abc.ABC):
     #: Human-readable backend name used in experiment reports.
     name: str = "abstract"
 
+    # Lifecycle state, tracked by the base class so every subclass gets
+    # idempotent close for free (subclasses don't call super().__init__).
+    _opened: bool = False
+    _closed: bool = False
+
     @abc.abstractmethod
     def invoke(self, request: "OcallRequest") -> Program:
         """Simulated program (run on the caller thread) executing the call."""
 
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
     def attach(self, enclave: "Enclave") -> None:
         """Called when the backend is installed on an enclave.
 
@@ -44,6 +66,48 @@ class CallBackend(abc.ABC):
 
     def stop(self) -> None:
         """Request shutdown of any backend threads (workers, scheduler)."""
+
+    # ------------------------------------------------------------------
+    # Unified lifecycle protocol
+    # ------------------------------------------------------------------
+    def open(self, enclave: "Enclave") -> "CallBackend":
+        """Install this backend on ``enclave``; returns ``self``.
+
+        A backend binds to exactly one enclave for its lifetime:
+        re-opening (even on the same enclave) raises.
+        """
+        if self._opened:
+            raise RuntimeError(f"backend {self.name!r} is already open")
+        self._opened = True
+        self._closed = False
+        self.attach(enclave)
+        return self
+
+    def close(self) -> None:
+        """Stop backend threads.  Idempotent: later calls are no-ops."""
+        if self._closed:
+            return
+        self._closed = True
+        self.stop()
+
+    def __enter__(self) -> "CallBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Fault supervision (active only while a fault injector is attached)
+    # ------------------------------------------------------------------
+    def respawn_worker(self, index: int, target: str | None = None) -> bool:
+        """Supervise a crashed worker slot back to life.
+
+        ``target`` names the worker pool (``None`` = the backend's
+        default pool).  Returns True when a fresh thread was spawned for
+        the slot.  The default backend has no workers, so there is never
+        anything to respawn.
+        """
+        return False
 
 
 class RegularBackend(CallBackend):

@@ -55,7 +55,7 @@ class EnclaveInterface:
         interface.untrusted("fwrite", fwrite_handler, switchless=True)
         interface.trusted("seal", seal_handler)
         interface.bind(enclave)   # registers handlers
-        backend = IntelSwitchlessBackend(interface.switchless_config())
+        backend = make_backend("intel", interface.switchless_config())
     """
 
     name: str

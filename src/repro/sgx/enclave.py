@@ -206,7 +206,7 @@ class Enclave:
         #: ocall completes; used by the profiler's CallTracer.
         self.completion_hooks: list[Any] = []
         self.backend: CallBackend = RegularBackend()
-        self.backend.attach(self)
+        self.backend.open(self)
         self._epc_penalty_cycles = self.epc.allocate(name, heap_bytes)
         #: True after an SGX_ERROR_ENCLAVE_LOST-style abort: every entry
         #: point first runs recovery (or raises EnclaveLostError if no
@@ -238,10 +238,13 @@ class Enclave:
 
         Replacing an installed backend stops its worker threads first, so
         swapping backends mid-experiment never leaks spinning workers.
+        Re-installing the currently-installed backend is a no-op.
         """
-        self.backend.stop()
+        if backend is self.backend:
+            return
+        self.backend.close()
         self.backend = backend
-        backend.attach(self)
+        backend.open(self)
 
     # ------------------------------------------------------------------
     # Call paths (simulated programs)
@@ -415,7 +418,11 @@ class Enclave:
         return result
 
     def stop_backend(self) -> None:
-        """Ask the installed backend and ecall dispatcher to shut down."""
-        self.backend.stop()
-        if self.ecall_dispatcher is not None:
+        """Ask the installed backend and ecall dispatcher to shut down.
+
+        Idempotent: the backend's unified ``close()`` protocol makes
+        repeated teardown calls no-ops.
+        """
+        self.backend.close()
+        if self.ecall_dispatcher is not None and self.ecall_dispatcher is not self.backend:
             self.ecall_dispatcher.stop()

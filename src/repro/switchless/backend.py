@@ -37,8 +37,10 @@ class IntelSwitchlessBackend(CallBackend):
 
     name = "intel-switchless"
 
-    def __init__(self, config: SwitchlessConfig) -> None:
-        self.config = config
+    def __init__(self, config: SwitchlessConfig | None = None) -> None:
+        # Defaulted, mirroring ZcSwitchlessBackend: both backends can be
+        # constructed bare and configured by their config dataclasses.
+        self.config = config if config is not None else SwitchlessConfig()
         self._enclave: "Enclave | None" = None
         self.pool: TaskPool | None = None
         self.ecall_pool: TaskPool | None = None
@@ -111,13 +113,15 @@ class IntelSwitchlessBackend(CallBackend):
     # ------------------------------------------------------------------
     # Fault supervision (active only while a fault injector is attached)
     # ------------------------------------------------------------------
-    def respawn_worker(self, index: int, target: str = "intel-worker") -> bool:
+    def respawn_worker(self, index: int, target: str | None = None) -> bool:
         """Supervise a crashed worker slot back to life.
 
         Restarts the worker loop on a fresh thread, reusing the slot's
         accumulated statistics.  Returns False when the respawn is moot
         (runtime shutting down, bad slot, or the thread is still alive).
         """
+        if target is None:
+            target = "intel-worker"
         enclave = self._enclave
         if enclave is None or self._stop_flag[0]:
             return False

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import SwitchlessConfig, make_backend
 from repro.hostos.procstat import ProcStat
 from repro.sgx import Enclave, SgxCostModel, UntrustedRuntime
 from repro.sim import Compute, Kernel, MachineSpec, paper_machine
 from repro.sim.kernel import Program
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
 from repro.faults import FaultInjector, active_fault_plan
 from repro.telemetry.session import active_session
 
@@ -149,16 +149,15 @@ def run_synthetic(
 
     urts.register_many({"f": f_handler, "f2": f_handler, "g": g_handler, "g2": g_handler})
     if config == "zc":
-        from repro.core import ZcConfig, ZcSwitchlessBackend
-
-        backend = ZcSwitchlessBackend(ZcConfig())
+        backend = make_backend("zc")
     elif config == "no_sl":
         backend = enclave.backend  # the default RegularBackend
     else:
-        backend = IntelSwitchlessBackend(
+        backend = make_backend(
+            "intel",
             SwitchlessConfig(
                 switchless_ocalls=SYNTHETIC_CONFIGS[config], num_uworkers=workers
-            )
+            ),
         )
     enclave.set_backend(backend)
     if capture is not None:
@@ -184,7 +183,7 @@ def run_synthetic(
         # Before stop(): cancels not-yet-fired fault/respawn timers so
         # teardown never advances time to a future fault instant.
         faults.detach()
-    backend.stop()
+    enclave.stop_backend()
     if capture is not None:
         # After stop(): worker exit-cleanup cycles belong to the ledger.
         capture.finalize()

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.apps import KvClient, KvServerEnclave
-from repro.core import ZcConfig, ZcEcallRuntime, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig, ZcEcallRuntime
 from tests.apps.support import build_system
 
 
@@ -13,7 +14,7 @@ def build(switchless=False):
         # One worker per direction: enough for the single-caller tests
         # without drowning the 8-CPU machine in spinning workers.
         config = ZcConfig(enable_scheduler=False, max_workers=1, initial_workers=1)
-        enclave.set_backend(ZcSwitchlessBackend(config))
+        enclave.set_backend(make_backend("zc", config))
         ZcEcallRuntime(config).attach(enclave)
     server = KvServerEnclave(enclave)
     client = KvClient(enclave)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.core import ZcConfig
+from repro.core.backend import ZcSwitchlessBackend
 from repro.sgx import Enclave, UntrustedRuntime, VanillaMemcpy, ZcMemcpy
 from repro.sim import Compute, Kernel, MachineSpec
 

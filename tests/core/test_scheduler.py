@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import ZcConfig, ZcSwitchlessBackend, wasted_cycles
+from repro.core import ZcConfig, wasted_cycles
+from repro.core.backend import ZcSwitchlessBackend
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, MachineSpec, Sleep
 

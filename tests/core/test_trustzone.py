@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.core import ZcConfig
+from repro.core.backend import ZcSwitchlessBackend
 from repro.core.trustzone import TRUSTZONE_WORLD_SWITCH_CYCLES, trustzone_cost_model
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, MachineSpec

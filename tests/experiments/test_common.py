@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ZcSwitchlessBackend
+from repro.core.backend import ZcSwitchlessBackend
 from repro.experiments.common import (
     BackendSpec,
     build_stack,
@@ -11,7 +11,7 @@ from repro.experiments.common import (
     zc_spec,
 )
 from repro.sgx.backend import RegularBackend
-from repro.switchless import IntelSwitchlessBackend
+from repro.switchless.backend import IntelSwitchlessBackend
 
 
 class TestSpecs:

@@ -2,21 +2,22 @@
 
 import pytest
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, MachineSpec, ThreadState
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless import SwitchlessConfig
 
 MACHINE = MachineSpec(n_cores=4, smt=2)
 
 
 def zc_backend():
-    return ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+    return make_backend("zc", ZcConfig(enable_scheduler=False))
 
 
 def intel_backend():
-    return IntelSwitchlessBackend(
+    return make_backend("intel",
         SwitchlessConfig(switchless_ocalls=frozenset({"work"}), num_uworkers=2)
     )
 
@@ -245,7 +246,7 @@ class TestHandoffFaults:
         # retries_before_sleep=0: idle workers park immediately, so every
         # enqueue goes through the (perturbed) futex-wake path.
         kernel, enclave = build(
-            lambda: IntelSwitchlessBackend(
+            lambda: make_backend("intel",
                 SwitchlessConfig(
                     switchless_ocalls=frozenset({"work"}),
                     num_uworkers=2,
@@ -273,7 +274,7 @@ class TestHandoffFaults:
 
     def test_delayed_zc_kicks_still_complete(self):
         kernel, enclave = build(
-            lambda: ZcSwitchlessBackend(
+            lambda: make_backend("zc",
                 ZcConfig(enable_scheduler=False, max_workers=1, initial_workers=1)
             )
         )

@@ -12,11 +12,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps import KissDB
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import DevNull, DevZero, HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Kernel, MachineSpec
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless import SwitchlessConfig
 
 ALL_STDIO = frozenset({"fopen", "fclose", "fseeko", "fread", "fwrite", "ftell"})
 
@@ -31,12 +32,12 @@ def build(mode: str):
     enclave = Enclave(kernel, urts)
     if mode == "intel":
         enclave.set_backend(
-            IntelSwitchlessBackend(
+            make_backend("intel",
                 SwitchlessConfig(switchless_ocalls=ALL_STDIO, num_uworkers=2)
             )
         )
     elif mode == "zc":
-        enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+        enclave.set_backend(make_backend("zc", ZcConfig(enable_scheduler=False)))
     return kernel, fs, enclave
 
 

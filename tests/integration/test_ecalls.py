@@ -11,7 +11,8 @@ import pytest
 from repro.core import ZcConfig, ZcEcallRuntime
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, MachineSpec
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.api import make_backend
+from repro.switchless import SwitchlessConfig
 
 
 def build():
@@ -82,7 +83,7 @@ class TestRegularEcalls:
 class TestIntelSwitchlessEcalls:
     def test_switchless_ecall_avoids_transition(self):
         kernel, enclave = build()
-        backend = IntelSwitchlessBackend(
+        backend = make_backend("intel",
             SwitchlessConfig(
                 switchless_ecalls=frozenset({"get_counter"}), num_tworkers=1
             )
@@ -103,7 +104,7 @@ class TestIntelSwitchlessEcalls:
 
     def test_unselected_ecall_transitions(self):
         kernel, enclave = build()
-        backend = IntelSwitchlessBackend(
+        backend = make_backend("intel",
             SwitchlessConfig(switchless_ecalls=frozenset({"get_counter"}))
         )
         enclave.set_backend(backend)
@@ -116,7 +117,7 @@ class TestIntelSwitchlessEcalls:
 
     def test_trusted_worker_executes_on_own_thread(self):
         kernel, enclave = build()
-        backend = IntelSwitchlessBackend(
+        backend = make_backend("intel",
             SwitchlessConfig(switchless_ecalls=frozenset({"seal"}), num_tworkers=1)
         )
         enclave.set_backend(backend)
@@ -131,7 +132,7 @@ class TestIntelSwitchlessEcalls:
 
     def test_no_tworkers_without_switchless_ecalls(self):
         kernel, enclave = build()
-        backend = IntelSwitchlessBackend(
+        backend = make_backend("intel",
             SwitchlessConfig(switchless_ocalls=frozenset({"f"}))
         )
         enclave.set_backend(backend)
@@ -150,7 +151,7 @@ class TestBothDirectionsTogether:
             return len(message)
 
         enclave.urts.register("log", host_log)
-        backend = IntelSwitchlessBackend(
+        backend = make_backend("intel",
             SwitchlessConfig(
                 switchless_ocalls=frozenset({"log"}),
                 switchless_ecalls=frozenset({"get_counter"}),

@@ -8,11 +8,12 @@ every backend, and (2) leave worker threads alive and reusable.
 
 import pytest
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sgx.urts import UnknownOcallError
 from repro.sim import Compute, Kernel, MachineSpec, ThreadState
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless import SwitchlessConfig
 
 
 class InjectedFault(RuntimeError):
@@ -41,10 +42,10 @@ def build(backend=None):
 
 BACKENDS = {
     "regular": lambda: None,
-    "intel": lambda: IntelSwitchlessBackend(
+    "intel": lambda: make_backend("intel",
         SwitchlessConfig(switchless_ocalls=frozenset({"flaky"}), num_uworkers=2)
     ),
-    "zc": lambda: ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)),
+    "zc": lambda: make_backend("zc", ZcConfig(enable_scheduler=False)),
 }
 
 
@@ -99,7 +100,7 @@ class TestFaultPropagation:
 class TestFaultAccounting:
     def test_faulting_calls_still_recorded_in_stats(self):
         kernel, enclave, _ = build(
-            ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+            make_backend("zc", ZcConfig(enable_scheduler=False))
         )
 
         def app():
@@ -115,7 +116,7 @@ class TestFaultAccounting:
 
     def test_fault_during_regular_fallback(self):
         """A fault on the fallback path (no idle worker) also propagates."""
-        backend = ZcSwitchlessBackend(
+        backend = make_backend("zc",
             ZcConfig(enable_scheduler=False, initial_workers=0)
         )
         kernel, enclave, _ = build(backend)

@@ -15,7 +15,8 @@ degrades.
 import pytest
 
 from repro.apps import KissDB
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.hostos import HostFileSystem, PosixHost
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Kernel, MachineSpec
@@ -27,7 +28,7 @@ def build(config=None):
     urts = UntrustedRuntime()
     PosixHost(fs).install(urts)
     enclave = Enclave(kernel, urts)
-    backend = ZcSwitchlessBackend(config or ZcConfig(enable_scheduler=False))
+    backend = make_backend("zc", config or ZcConfig(enable_scheduler=False))
     enclave.set_backend(backend)
     return kernel, fs, enclave, backend
 

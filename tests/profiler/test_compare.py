@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
 from repro.profiler import CallTracer, build_profiles
 from repro.profiler.profile import compare_profiles, format_deltas
 from repro.sgx import Enclave, UntrustedRuntime
@@ -14,7 +15,7 @@ def profile_workload(use_zc: bool):
     urts = UntrustedRuntime()
     enclave = Enclave(kernel, urts)
     if use_zc:
-        enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+        enclave.set_backend(make_backend("zc", ZcConfig(enable_scheduler=False)))
 
     def handler():
         yield Compute(800)

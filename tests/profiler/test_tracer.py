@@ -109,10 +109,11 @@ class TestCallTracer:
         assert tracer.window_cycles() > 0
 
     def test_traces_switchless_modes(self):
-        from repro.core import ZcConfig, ZcSwitchlessBackend
+        from repro.api import make_backend
+        from repro.core import ZcConfig
 
         kernel, enclave = build()
-        enclave.set_backend(ZcSwitchlessBackend(ZcConfig(enable_scheduler=False)))
+        enclave.set_backend(make_backend("zc", ZcConfig(enable_scheduler=False)))
         tracer = CallTracer().install(enclave)
 
         def app():

@@ -11,7 +11,9 @@ through the backend's own ``zc.fallback`` events.
 
 from __future__ import annotations
 
-from repro.core import ZcConfig, ZcSwitchlessBackend
+from repro.api import make_backend
+from repro.core import ZcConfig
+from repro.core.backend import ZcSwitchlessBackend
 from repro.regress import attach_auditor
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, paper_machine
@@ -95,7 +97,7 @@ def run_audited(
 
 def fast_zc_backend() -> ZcSwitchlessBackend:
     """A real zc backend whose scheduler is active within the storm."""
-    return ZcSwitchlessBackend(ZcConfig(**FAST_SCHED))
+    return make_backend("zc", ZcConfig(**FAST_SCHED))
 
 
 def broken_zc_backend() -> BusyWaitZcBackend:

@@ -16,7 +16,8 @@ from repro.regress import (
     InvariantAuditor,
     Violation,
 )
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.api import make_backend
+from repro.switchless import SwitchlessConfig
 from repro.telemetry.events import EventBus, TelemetryEvent
 
 from tests.regress.harness import broken_zc_backend, fast_zc_backend, run_audited
@@ -55,7 +56,7 @@ class TestLiveAudit:
     def test_intel_backend_passes(self):
         # Intel's wait-then-fallback is that mechanism's documented
         # contract; the §IV-C checker must not fire on intel.fallback.
-        backend = IntelSwitchlessBackend(
+        backend = make_backend("intel",
             SwitchlessConfig(switchless_ocalls=frozenset({"f"}), num_uworkers=2)
         )
         capture, auditor = run_audited(backend)

@@ -9,7 +9,8 @@ broken.
 import pytest
 
 from repro.regress import ImmediateFallbackChecker, audit_jsonl, read_events_jsonl
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.api import make_backend
+from repro.switchless import SwitchlessConfig
 from repro.telemetry import TelemetrySession
 
 from tests.regress.harness import broken_zc_backend, fast_zc_backend, run_audited
@@ -25,7 +26,7 @@ def three_backend_export(tmp_path_factory):
             ("regular", None),
             (
                 "intel",
-                IntelSwitchlessBackend(
+                make_backend("intel",
                     SwitchlessConfig(
                         switchless_ocalls=frozenset({"f"}), num_uworkers=2
                     )

@@ -1,0 +1,154 @@
+"""Acceptance tests for the serving bench: scaling, faults, baselines."""
+
+import copy
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.regress import attach_auditor
+from repro.serve.bench import (
+    compare_to_baseline,
+    load_baseline,
+    run_serve_bench,
+    write_result,
+)
+from repro.telemetry import TelemetrySession
+
+#: Closed-loop saturation parameters: offered load scales with the shard
+#: count, so throughput measures capacity, not the generator.
+def saturating(shards, **overrides):
+    params = dict(
+        shards=shards,
+        seconds=0.005,
+        clients=2 * shards,
+        requests_per_client=400,
+        policy="round-robin",
+        budget=8,
+        telemetry=False,
+    )
+    params.update(overrides)
+    return run_serve_bench(**params)
+
+
+ONE_LOST = FaultPlan(
+    name="one-lost",
+    seed=11,
+    faults=(FaultSpec(kind="enclave-lost", at_ms=2.0),),
+)
+
+#: Same fault, early enough to hit the audit test's shorter run.
+EARLY_LOST = FaultPlan(
+    name="early-lost",
+    seed=11,
+    faults=(FaultSpec(kind="enclave-lost", at_ms=0.5),),
+)
+
+
+class TestArtifact:
+    def test_deterministic(self):
+        first = run_serve_bench(
+            shards=2, seconds=0.01, rate=2_000.0, budget=4, telemetry=False
+        )
+        second = run_serve_bench(
+            shards=2, seconds=0.01, rate=2_000.0, budget=4, telemetry=False
+        )
+        assert first == second
+
+    def test_shape_and_conservation(self):
+        result = run_serve_bench(
+            shards=2, seconds=0.01, rate=2_000.0, budget=4, telemetry=False
+        )
+        assert result["meta"]["artifact"] == "serve-bench"
+        totals = result["totals"]
+        accounted = totals["completed"] + totals["shed"] + totals["failed"]
+        assert totals["submitted"] == accounted
+        assert totals["completed"] > 0
+        assert totals["throughput_rps"] > 0
+        assert len(result["per_shard"]) == 2
+        assert sum(s["completed"] for s in result["per_shard"]) == totals["completed"]
+        assert result["budget"]["cap"] == 4
+        # The zc shards serve their WAL appends switchlessly.
+        assert sum(s["switchless_ocalls"] for s in result["per_shard"]) > 0
+
+    def test_baseline_round_trip(self, tmp_path):
+        result = run_serve_bench(
+            shards=1, seconds=0.005, rate=2_000.0, budget=4, telemetry=False
+        )
+        path = write_result(result, str(tmp_path / "serve.json"))
+        baseline = load_baseline(path)
+        assert compare_to_baseline(result, baseline) == []
+
+    def test_gate_catches_regressions(self, tmp_path):
+        result = run_serve_bench(
+            shards=1, seconds=0.005, rate=2_000.0, budget=4, telemetry=False
+        )
+        path = write_result(result, str(tmp_path / "serve.json"))
+        baseline = load_baseline(path)
+        worse = copy.deepcopy(result)
+        worse["totals"]["throughput_rps"] *= 0.5
+        worse["totals"]["latency_us"]["p99"] *= 2.0
+        worse["totals"]["shed"] += 50
+        violations = compare_to_baseline(worse, baseline)
+        assert len(violations) == 3
+
+
+class TestScaling:
+    def test_four_shards_at_least_doubles_one(self):
+        one = saturating(1)["totals"]
+        four = saturating(4)["totals"]
+        assert four["throughput_rps"] >= 2.0 * one["throughput_rps"]
+        assert four["latency_us"]["p99"] <= 3.0 * one["latency_us"]["p99"]
+
+    def test_budget_respected_under_saturation(self):
+        result = saturating(4)
+        assert result["budget"]["cap"] == 8
+        assert result["budget"]["in_use"] <= 8
+
+
+class TestFaultTolerance:
+    FAULT_PARAMS = dict(
+        shards=4,
+        seconds=0.02,
+        clients=8,
+        requests_per_client=1_000,
+        policy="round-robin",
+        budget=8,
+    )
+
+    def test_losing_one_shard_degrades_at_most_proportionally(self):
+        healthy = run_serve_bench(**self.FAULT_PARAMS, telemetry=False)["totals"]
+        faulty = run_serve_bench(
+            **self.FAULT_PARAMS, plan=ONE_LOST, telemetry=False
+        )["totals"]
+        # Every request still completes: the router re-homes, nothing is lost.
+        assert faulty["completed"] == healthy["completed"] == 8_000
+        assert faulty["failed"] == 0
+        # One of four shards out for the outage: throughput must keep at
+        # least the proportional 3/4 share.
+        ratio = faulty["throughput_rps"] / healthy["throughput_rps"]
+        assert ratio >= 0.75, f"fault degraded throughput {ratio:.2f}x"
+        assert faulty["quarantines"] >= 1
+        assert faulty["readmissions"] >= 1
+        assert faulty["dead"] == []
+
+    def test_fault_run_passes_the_invariant_audit(self):
+        auditors = []
+        session = TelemetrySession(
+            on_attach=lambda capture: auditors.append(attach_auditor(capture))
+        )
+        with session:
+            result = run_serve_bench(
+                shards=2,
+                seconds=0.01,
+                clients=4,
+                requests_per_client=200,
+                policy="round-robin",
+                budget=4,
+                plan=EARLY_LOST,
+                telemetry=session,
+            )
+        assert result["totals"]["quarantines"] >= 1
+        assert auditors, "the serve kernel was not captured"
+        for auditor in auditors:
+            auditor.finish()
+            assert auditor.ok, "\n".join(str(v) for v in auditor.violations)

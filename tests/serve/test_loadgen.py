@@ -1,0 +1,91 @@
+"""Tests for the serving load generator (open and closed loop)."""
+
+import pytest
+
+from repro.serve import LoadGenerator, LoadSpec, build_serve
+
+QUICK = dict(shards=2, budget=4, servers_per_shard=1, telemetry=False)
+
+
+class TestLoadSpec:
+    def test_closed_loop_needs_a_bound(self):
+        with pytest.raises(ValueError, match="bound"):
+            LoadSpec(requests_per_client=None, duration_s=None)
+
+    def test_open_loop_needs_a_bound(self):
+        with pytest.raises(ValueError, match="bound"):
+            LoadSpec(rate_rps=1000.0, total_requests=None, duration_s=None)
+
+    def test_keydist_validated(self):
+        with pytest.raises(ValueError, match="keydist"):
+            LoadSpec(keydist="hot")
+
+
+class TestClosedLoop:
+    def test_issues_exactly_the_request_budget(self):
+        with build_serve(**QUICK) as cluster:
+            spec = LoadSpec(clients=3, requests_per_client=20)
+            generator = LoadGenerator(cluster.kernel, cluster.router, spec)
+            generator.run()
+            assert generator.issued == 60
+            assert cluster.router.submitted == 60
+            assert cluster.router.completed == 60
+
+    def test_deadline_bounds_the_run(self):
+        with build_serve(**QUICK) as cluster:
+            spec = LoadSpec(
+                clients=2, requests_per_client=None, duration_s=0.001
+            )
+            generator = LoadGenerator(cluster.kernel, cluster.router, spec)
+            generator.run()
+            assert generator.issued > 0
+            assert cluster.kernel.seconds(cluster.kernel.now) <= 0.002
+
+
+class TestOpenLoop:
+    def test_total_requests_bound(self):
+        with build_serve(**QUICK) as cluster:
+            spec = LoadSpec(rate_rps=100_000.0, total_requests=40)
+            generator = LoadGenerator(cluster.kernel, cluster.router, spec)
+            generator.run()
+            assert generator.issued == 40
+            assert cluster.router.completed + cluster.router.shed == 40
+
+    def test_same_seed_same_schedule(self):
+        counts = []
+        for _ in range(2):
+            with build_serve(**QUICK) as cluster:
+                spec = LoadSpec(rate_rps=50_000.0, duration_s=0.002, seed=3)
+                generator = LoadGenerator(cluster.kernel, cluster.router, spec)
+                generator.run()
+                counts.append(
+                    (generator.issued, cluster.router.stats()["completed"])
+                )
+        assert counts[0] == counts[1]
+
+    def test_different_seeds_differ(self):
+        issued = []
+        for seed in (0, 1):
+            with build_serve(**QUICK) as cluster:
+                spec = LoadSpec(rate_rps=50_000.0, duration_s=0.002, seed=seed)
+                generator = LoadGenerator(cluster.kernel, cluster.router, spec)
+                generator.run()
+                issued.append(generator.issued)
+        # Poisson gaps are seed-derived; identical counts for different
+        # seeds would suggest the seed is ignored.
+        assert issued[0] != issued[1]
+
+
+class TestMix:
+    def test_sets_reach_the_wal(self):
+        with build_serve(**QUICK) as cluster:
+            spec = LoadSpec(clients=2, requests_per_client=30, set_fraction=1.0)
+            LoadGenerator(cluster.kernel, cluster.router, spec).run()
+            mutations = sum(shard.server.mutations for shard in cluster.shards)
+            assert mutations == 60
+
+    def test_get_only_mix_mutates_nothing(self):
+        with build_serve(**QUICK) as cluster:
+            spec = LoadSpec(clients=2, requests_per_client=30, set_fraction=0.0)
+            LoadGenerator(cluster.kernel, cluster.router, spec).run()
+            assert sum(shard.server.mutations for shard in cluster.shards) == 0

@@ -119,10 +119,11 @@ class TestOcallBatcher:
         assert executed_ops == [1, 2]  # the batch ran to completion
 
     def test_batch_goes_through_switchless_backend(self):
-        from repro.core import ZcConfig, ZcSwitchlessBackend
+        from repro.api import make_backend
+        from repro.core import ZcConfig
 
         kernel, enclave = build()
-        backend = ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+        backend = make_backend("zc", ZcConfig(enable_scheduler=False))
         enclave.set_backend(backend)
         batcher = OcallBatcher(enclave, max_batch=50)
 

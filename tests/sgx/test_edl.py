@@ -5,7 +5,7 @@ import pytest
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sgx.edl import EdlError, EnclaveInterface
 from repro.sim import Compute, Kernel, MachineSpec
-from repro.switchless import IntelSwitchlessBackend
+from repro.api import make_backend
 
 
 def handler_returning(value):
@@ -95,7 +95,7 @@ class TestBridgeGeneration:
             .untrusted("hot", handler_returning("fast"), switchless=True)
             .bind(enclave)
         )
-        enclave.set_backend(IntelSwitchlessBackend(interface.switchless_config()))
+        enclave.set_backend(make_backend("intel", interface.switchless_config()))
 
         def app():
             result = yield from enclave.ocall("hot")

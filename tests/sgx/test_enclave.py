@@ -123,13 +123,14 @@ class TestRegularOcall:
         )
 
     def test_replacing_a_backend_stops_its_workers(self):
-        from repro.core import ZcConfig, ZcSwitchlessBackend
+        from repro.api import make_backend
+        from repro.core import ZcConfig
 
         kernel, urts, enclave = build()
-        first = ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+        first = make_backend("zc", ZcConfig(enable_scheduler=False))
         enclave.set_backend(first)
         kernel.run(until_time=100_000)
-        second = ZcSwitchlessBackend(ZcConfig(enable_scheduler=False))
+        second = make_backend("zc", ZcConfig(enable_scheduler=False))
         enclave.set_backend(second)
         kernel.run(until_time=kernel.now + 1_000_000)
         assert all(t.done for t in first.worker_threads)

@@ -67,14 +67,15 @@ def test_uncontended_switchless_latency_bounds(host_work):
     """A switchless call with a free worker costs strictly less than the
     regular path whenever the handler is shorter than the transition
     saving, and always at least the handler duration."""
-    from repro.core import ZcConfig, ZcSwitchlessBackend
+    from repro.api import make_backend
+    from repro.core import ZcConfig
 
     kernel = Kernel(MachineSpec(n_cores=4, smt=1))
     urts = UntrustedRuntime()
     cost = SgxCostModel()
     enclave = Enclave(kernel, urts, cost=cost)
     enclave.set_backend(
-        ZcSwitchlessBackend(ZcConfig(enable_scheduler=False, max_workers=1))
+        make_backend("zc", ZcConfig(enable_scheduler=False, max_workers=1))
     )
 
     def handler():

@@ -4,7 +4,8 @@ import pytest
 
 from repro.sgx import Enclave, UntrustedRuntime
 from repro.sim import Compute, Kernel, MachineSpec, Sleep
-from repro.switchless import IntelSwitchlessBackend, SwitchlessConfig
+from repro.switchless import SwitchlessConfig
+from repro.switchless.backend import IntelSwitchlessBackend
 
 
 def build(config, n_cores=8, smt=1):
