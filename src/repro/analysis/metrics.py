@@ -36,27 +36,69 @@ class LatencyRecorder:
         return sum(self.samples_cycles) / len(self.samples_cycles)
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, q in [0, 100]."""
+        """Linearly interpolated percentile, q in [0, 100].
+
+        Interpolates between closest ranks (the ``numpy`` default).  The
+        old nearest-rank rule silently clamped high quantiles to the max
+        on small samples — p99 of 50 samples *was* the max, which made
+        tail-latency gates on short runs meaningless.  Interpolation
+        still converges to the max, but gradually, and
+        :meth:`confident` reports whether the sample count actually
+        supports reading the quantile at all.
+        """
         if not 0 <= q <= 100:
             raise ValueError("q must be in [0, 100]")
         if not self.samples_cycles:
             return 0.0
         ordered = sorted(self.samples_cycles)
-        rank = max(1, math.ceil(q / 100 * len(ordered)))
-        return ordered[rank - 1]
+        position = (len(ordered) - 1) * q / 100.0
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            return ordered[lower]
+        fraction = position - lower
+        return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+    @staticmethod
+    def sample_floor(q: float) -> int:
+        """Samples needed before quantile ``q`` stops being tail guesswork.
+
+        ``ceil(100 / (100 - q))`` — the count at which at least one
+        sample sits strictly beyond the quantile (100 for p99, 1000 for
+        p99.9).  Below it, any estimator is extrapolating from the max.
+        """
+        if not 0 <= q < 100:
+            return 1
+        # round() guards against float residue: 100 - 99.9 = 0.0999...,
+        # whose reciprocal ceils to 1001 instead of 1000.
+        return math.ceil(round(100.0 / (100.0 - q), 9))
+
+    def confident(self, q: float) -> bool:
+        """Whether the sample count reaches :meth:`sample_floor` for ``q``."""
+        return self.count >= self.sample_floor(q)
+
+    def diagnostics(self, quantiles: tuple[float, ...] = (99.0, 99.9)) -> list[str]:
+        """Low-confidence notes for the requested quantiles (may be empty)."""
+        return [
+            f"p{q:g} read from {self.count} sample(s); needs >= "
+            f"{self.sample_floor(q)} for a confident tail estimate"
+            for q in quantiles
+            if self.count and not self.confident(q)
+        ]
 
     def max(self) -> float:
         """Largest recorded sample."""
         return max(self.samples_cycles) if self.samples_cycles else 0.0
 
     def summary(self) -> dict[str, float]:
-        """count/mean/p50/p95/p99/max convenience summary."""
+        """count/mean/p50/p95/p99/p999/max convenience summary."""
         return {
             "count": float(self.count),
             "mean": self.mean(),
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
             "max": self.max(),
         }
 

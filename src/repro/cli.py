@@ -46,11 +46,25 @@ Fault injection (see ``docs/faults.md``):
 - ``repro baseline --plan PLAN`` captures a faulty-run baseline, and
   ``repro diff`` re-runs under the baseline's recorded plan, gating on
   the ``fault`` cycle category (the fault_overhead bound).
+
+Spans, SLOs and evidence packs (see the "Spans, SLOs, and evidence
+packs" section of ``docs/observability.md``):
+
+- ``repro serve bench --tenants gold:3,bronze:1`` tags the load with a
+  weighted tenant mix (weighted-fair shedding, per-tenant stats);
+  ``--contracts FILE`` evaluates per-tenant SLO contracts and exits 1 on
+  hard breaches; ``--spans FILE`` exports per-request span records;
+- ``repro evidence build --out DIR [--tar FILE]`` runs the bench under
+  live audit and packs run config, bench artifact, span samples, audit
+  and SLO verdicts with a SHA-256 manifest;
+- ``repro evidence verify PACK`` re-hashes a pack (directory or
+  tarball) against its manifest, refusing schema mismatches.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -369,6 +383,27 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 1 if audit_violations else 0
 
 
+def _parse_tenants(value: str | None) -> dict[str, float] | None:
+    """``--tenants "gold:3,bronze:1"`` → weight dict (None when unset)."""
+    if value is None:
+        return None
+    mix: dict[str, float] = {}
+    for part in value.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition(":")
+        if not name:
+            raise SystemExit(f"--tenants: empty tenant name in {value!r}")
+        try:
+            mix[name.strip()] = float(weight) if weight else 1.0
+        except ValueError:
+            raise SystemExit(f"--tenants: bad weight for {name!r} in {value!r}")
+    if not mix:
+        raise SystemExit("--tenants given but names no tenants")
+    return mix
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the sharded serving bench; optionally gate against a baseline."""
     from repro.serve.bench import (
@@ -378,6 +413,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         write_result,
     )
 
+    tenants = _parse_tenants(args.tenants)
+    contracts = None
+    if args.contracts is not None:
+        from repro.slo import load_contracts
+
+        contracts = load_contracts(args.contracts)
+    span_sink: list | None = [] if args.spans is not None else None
     started = time.monotonic()
     result = run_serve_bench(
         shards=args.shards,
@@ -395,6 +437,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_shard=args.fault_shard,
         keydist=args.keydist,
         seed=args.seed,
+        tenants=tenants,
+        contracts=contracts,
+        span_sink=span_sink,
         telemetry=False,
     )
     elapsed = time.monotonic() - started
@@ -426,9 +471,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{totals['readmissions']} readmission(s), "
             f"{totals['rerouted']} rerouted, dead shards {totals['dead'] or 'none'}"
         )
+    for tenant, record in result.get("per_tenant", {}).items():
+        print(
+            f"  tenant {tenant or '<anon>'}: {record['completed']} completed, "
+            f"{record['shed']} shed ({record['shed_rate']:.1%}), "
+            f"p99 {record['latency_us']['p99']:.1f} us"
+        )
     path = write_result(result, args.out)
     print(f"[serve artifact written to {path}]")
+    if span_sink is not None:
+        from repro.slo import write_spans_jsonl
+
+        count = write_spans_jsonl(args.spans, span_sink)
+        print(f"[{count} span record(s) written to {args.spans}]")
     print(f"[serve: {elapsed:.1f}s wall]")
+    failures = 0
+    if contracts is not None:
+        from repro.slo import Verdict, render_verdicts
+
+        verdicts = [
+            Verdict(**{k: v for k, v in entry.items() if k != "diff_severity"})
+            for entry in result["slo"]["verdicts"]
+        ]
+        print("\n" + render_verdicts(verdicts))
+        if result["slo"]["hard_breaches"]:
+            failures += 1
     if args.baseline is not None:
         baseline = load_baseline(args.baseline)
         violations = compare_to_baseline(
@@ -438,9 +505,163 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"\nbaseline gate: {len(violations)} violation(s)")
             for violation in violations:
                 print(f"  - {violation}")
+            failures += 1
+        else:
+            print(
+                f"\nbaseline gate: OK (within {args.threshold:.0%} of {args.baseline})"
+            )
+    return 1 if failures else 0
+
+
+def _cmd_evidence(args: argparse.Namespace) -> int:
+    """Build (run + pack) or verify an evidence pack."""
+    from repro.slo import verify_evidence_pack
+    from repro.telemetry.schema import SchemaMismatch
+
+    if args.evidence_cmd == "verify":
+        try:
+            errors = verify_evidence_pack(args.pack)
+        except SchemaMismatch as exc:
+            print(f"evidence verify: refused — {exc}")
             return 1
-        print(f"\nbaseline gate: OK (within {args.threshold:.0%} of {args.baseline})")
-    return 0
+        if errors:
+            print(f"evidence verify: {len(errors)} problem(s) in {args.pack}")
+            for error in errors:
+                print(f"  - {error}")
+            return 1
+        print(f"evidence verify: OK ({args.pack} matches its manifest)")
+        return 0
+
+    # evidence build: one command runs the bench (with telemetry + live
+    # audit), evaluates contracts, and packs every artifact with hashes.
+    from repro.regress import attach_auditor
+    from repro.serve.bench import compare_to_baseline, load_baseline, run_serve_bench
+    from repro.slo import (
+        Verdict,
+        build_evidence_pack,
+        load_contracts,
+        pack_tarball,
+        render_verdicts,
+        tenant_lane_trace_events,
+    )
+    from repro.telemetry import TelemetrySession
+    from repro.telemetry.schema import stamp
+
+    tenants = _parse_tenants(args.tenants)
+    contracts = load_contracts(args.contracts) if args.contracts else None
+    span_sink: list = []
+    auditors: list[Any] = []
+    started = time.monotonic()
+    with TelemetrySession(
+        on_attach=lambda capture: auditors.append(attach_auditor(capture))
+    ) as session:
+        result = run_serve_bench(
+            shards=args.shards,
+            seconds=args.seconds,
+            backend=args.backend,
+            rate=args.rate,
+            policy=args.policy,
+            admission=args.admission,
+            queue_capacity=args.queue_capacity,
+            servers_per_shard=args.servers_per_shard,
+            budget=args.budget,
+            plan=args.plan,
+            fault_shard=args.fault_shard,
+            keydist=args.keydist,
+            seed=args.seed,
+            tenants=tenants,
+            contracts=contracts,
+            span_sink=span_sink,
+            telemetry=session,
+        )
+    freq_hz = session.captures[0].freq_hz if session.captures else 1e9
+    for auditor in auditors:
+        auditor.finish()
+    audit_doc = {
+        "meta": stamp("audit-report"),
+        "cells": [
+            {
+                "cell": auditor.cell,
+                "ok": auditor.ok,
+                "violations": [str(v) for v in auditor.violations],
+            }
+            for auditor in auditors
+        ],
+    }
+    audit_violations = sum(len(a.violations) for a in auditors)
+
+    contents: dict[str, Any] = {
+        "run_config.json": {"meta": stamp("run-config"), "params": result["params"]},
+        "bench.json": result,
+        "audit.json": audit_doc,
+        "trace.json": {
+            **stamp("chrome-trace"),
+            "traceEvents": tenant_lane_trace_events(span_sink, freq_hz),
+        },
+    }
+    # Span samples as their own stamped JSONL artifact (capped: evidence
+    # wants representative samples, not an unbounded transcript).
+    sample = span_sink[: args.span_samples]
+    span_lines = [json.dumps(stamp("spans-jsonl"))]
+    span_lines += [json.dumps(record) for record in sample]
+    contents["spans.jsonl"] = "\n".join(span_lines) + "\n"
+    if len(span_sink) > len(sample):
+        print(
+            f"[spans.jsonl carries the first {len(sample)} of "
+            f"{len(span_sink)} span record(s); raise --span-samples for more]"
+        )
+
+    gate_violations: list[str] = []
+    if args.contracts:
+        with open(args.contracts, encoding="utf-8") as handle:
+            contents["contracts.json"] = handle.read()
+        contents["verdicts.json"] = {
+            "meta": stamp("slo-verdicts"),
+            **result["slo"],
+        }
+        verdicts = [
+            Verdict(**{k: v for k, v in entry.items() if k != "diff_severity"})
+            for entry in result["slo"]["verdicts"]
+        ]
+        print(render_verdicts(verdicts))
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        gate_violations = compare_to_baseline(
+            result, baseline, threshold=args.threshold
+        )
+        with open(args.baseline, encoding="utf-8") as handle:
+            contents["baseline.json"] = handle.read()
+        contents["gate.json"] = {
+            "meta": stamp("baseline-gate"),
+            "baseline": args.baseline,
+            "threshold": args.threshold,
+            "violations": gate_violations,
+        }
+
+    build_evidence_pack(args.out, contents)
+    print(
+        f"[evidence pack: {len(contents) + 1} file(s) in {args.out} "
+        f"({time.monotonic() - started:.1f}s wall)]"
+    )
+    if args.tar:
+        print(f"[evidence tarball written to {pack_tarball(args.out, args.tar)}]")
+
+    failures = 0
+    if audit_violations:
+        print(f"evidence: {audit_violations} invariant violation(s) — see audit.json")
+        failures += 1
+    if args.contracts and result["slo"]["hard_breaches"]:
+        print(
+            f"evidence: {result['slo']['hard_breaches']} hard SLO breach(es) "
+            "— see verdicts.json"
+        )
+        failures += 1
+    if gate_violations:
+        print(f"evidence: baseline gate failed ({len(gate_violations)} violation(s))")
+        for violation in gate_violations:
+            print(f"  - {violation}")
+        failures += 1
+    return 1 if failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -716,10 +937,80 @@ def main(argv: list[str] | None = None) -> int:
         default=0.1,
         help="relative drift the baseline gate tolerates (default 0.1)",
     )
+    serve_bench.add_argument(
+        "--tenants",
+        default=None,
+        metavar="MIX",
+        help=(
+            "weighted tenant mix, e.g. 'gold:3,bronze:1' "
+            "(enables weighted-fair shedding and per-tenant stats)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--contracts",
+        default=None,
+        metavar="FILE",
+        help="evaluate per-tenant SLO contracts; hard breaches exit 1",
+    )
+    serve_bench.add_argument(
+        "--spans",
+        default=None,
+        metavar="FILE",
+        help="write per-request span records as stamped JSONL",
+    )
+
+    evidence_parser = sub.add_parser(
+        "evidence", help="build or verify a hash-manifested evidence pack"
+    )
+    evidence_sub = evidence_parser.add_subparsers(dest="evidence_cmd", required=True)
+    evidence_build = evidence_sub.add_parser(
+        "build",
+        help="run the serve bench and pack run config, artifacts, spans, "
+        "audit + SLO verdicts with a SHA-256 manifest",
+    )
+    evidence_build.add_argument(
+        "--out", default="evidence", metavar="DIR", help="pack directory"
+    )
+    evidence_build.add_argument(
+        "--tar", default=None, metavar="FILE", help="also write a .tar.gz of the pack"
+    )
+    evidence_build.add_argument(
+        "--span-samples",
+        type=int,
+        default=2_000,
+        help="span records included in spans.jsonl (default 2000)",
+    )
+    evidence_build.add_argument("--shards", type=int, default=2)
+    evidence_build.add_argument("--seconds", type=float, default=0.5)
+    evidence_build.add_argument("--backend", choices=BACKEND_CHOICES, default="zc")
+    evidence_build.add_argument("--rate", type=float, default=2_000.0)
+    evidence_build.add_argument("--policy", choices=POLICY_CHOICES, default="hash")
+    evidence_build.add_argument(
+        "--admission", choices=ADMISSION_CHOICES, default="shed"
+    )
+    evidence_build.add_argument("--queue-capacity", type=int, default=64)
+    evidence_build.add_argument("--servers-per-shard", type=int, default=2)
+    evidence_build.add_argument("--budget", type=int, default=None)
+    evidence_build.add_argument("--plan", default=None, metavar="PLAN")
+    evidence_build.add_argument("--fault-shard", type=int, default=0)
+    evidence_build.add_argument(
+        "--keydist", choices=KEYDIST_CHOICES, default="uniform"
+    )
+    evidence_build.add_argument("--seed", type=int, default=0)
+    evidence_build.add_argument("--tenants", default=None, metavar="MIX")
+    evidence_build.add_argument("--contracts", default=None, metavar="FILE")
+    evidence_build.add_argument("--baseline", default=None, metavar="FILE")
+    evidence_build.add_argument("--threshold", type=float, default=0.1)
+    evidence_verify = evidence_sub.add_parser(
+        "verify", help="re-hash a pack (directory or tarball) against its manifest"
+    )
+    evidence_verify.add_argument("pack", help="pack directory or .tar.gz")
     args = parser.parse_args(argv)
 
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "evidence":
+        return _cmd_evidence(args)
     if args.command == "baseline":
         return _cmd_baseline(args)
     if args.command == "diff":

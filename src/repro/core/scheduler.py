@@ -108,12 +108,18 @@ class ZcScheduler:
                 if bus is not None:
                     # source disambiguates schedulers when several enclaves
                     # share one kernel (repro.serve shards).
+                    # tenant/request_id are always present on traced
+                    # events (empty here: the scheduler acts per enclave,
+                    # not per request) so JSONL span replay can treat the
+                    # fields as total across every zc.*/serve.* stream.
                     bus.emit(
                         "zc.sched.probe",
                         workers=i,
                         fallbacks=f_i,
                         u_cycles=u_i,
                         source=backend.enclave.name,
+                        tenant="",
+                        request_id="",
                     )
                 if u_i < best_u:
                     best_u = u_i
@@ -130,5 +136,7 @@ class ZcScheduler:
                     utilities=list(utilities),
                     chosen=best_m,
                     source=backend.enclave.name,
+                    tenant="",
+                    request_id="",
                 )
             yield Sleep(window(quantum))

@@ -29,6 +29,7 @@ from repro.regress.audit import (
     QuarantineRoutingChecker,
     RecoveryChecker,
     RouterConservationChecker,
+    SpanConservationChecker,
     Violation,
     attach_auditor,
     default_checkers,
@@ -49,6 +50,7 @@ __all__ = [
     "QuarantineRoutingChecker",
     "RecoveryChecker",
     "RouterConservationChecker",
+    "SpanConservationChecker",
     "Violation",
     "attach_auditor",
     "audit_jsonl",

@@ -30,6 +30,10 @@ asserts one paper-level invariant:
   exactly once (ok/shed/failed, sheds balance their completions) and no
   request is ever placed on a quarantined or dead shard.  Vacuously
   green on runs without ``serve.*`` events.
+- :class:`SpanConservationChecker` — the router's tracing contract:
+  exactly one ``serve.request.span`` per request id, boundaries stamped
+  in monotonic order, and every boundary present on ok requests (the
+  property that makes :mod:`repro.slo.trace` span trees sum exactly).
 
 Checkers run in two modes: *live*, subscribed to a cell's
 :class:`~repro.telemetry.events.EventBus` via :func:`attach_auditor`
@@ -447,6 +451,76 @@ class QuarantineRoutingChecker(Checker):
                 )
 
 
+class SpanConservationChecker(Checker):
+    """Serving layer: every ``serve.request.span`` is a valid span tree.
+
+    The router promises span boundaries stamped in monotonic order
+    (submit ≤ enqueue ≤ dequeue ≤ result ≤ complete, with absent
+    intermediate boundaries only for non-ok requests), exactly one span
+    record per request id, and — because :mod:`repro.slo.trace` builds
+    children that tile ``[t_submit, t_complete]`` — an exact
+    root-equals-children cycle attribution.  This checker guards the
+    emitter side of that promise, live or in JSONL replay.  Vacuously
+    green on runs without span events.
+    """
+
+    name = "span-conservation"
+
+    #: Boundary fields in request order (``t_complete`` is separate: it
+    #: is the only one allowed to equal a missing predecessor).
+    _ORDERED = ("t_submit", "t_enqueue", "t_dequeue", "t_result", "t_complete")
+
+    def __init__(self) -> None:
+        self._seen: set[Any] = set()
+
+    def on_event(self, event: TelemetryEvent, auditor: "InvariantAuditor") -> None:
+        if event.name != "serve.request.span":
+            return
+        fields = event.fields
+        request_id = fields.get("request_id")
+        if request_id in self._seen:
+            auditor.report(
+                self.name,
+                event.t_cycles,
+                f"request {request_id} published more than one span record",
+            )
+            return
+        self._seen.add(request_id)
+        if fields.get("t_submit") is None or fields.get("t_complete") is None:
+            auditor.report(
+                self.name,
+                event.t_cycles,
+                f"request {request_id} span lacks a submit/complete boundary",
+            )
+            return
+        boundaries = [
+            (name, fields[name])
+            for name in self._ORDERED
+            if fields.get(name) is not None
+        ]
+        for (prev_name, prev_t), (next_name, next_t) in zip(
+            boundaries, boundaries[1:]
+        ):
+            if next_t < prev_t:
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"request {request_id} span boundary {next_name} "
+                    f"({next_t:.0f}) precedes {prev_name} ({prev_t:.0f})",
+                )
+                return
+        if fields.get("status") == "ok" and len(boundaries) != len(self._ORDERED):
+            missing = [
+                name for name in self._ORDERED if fields.get(name) is None
+            ]
+            auditor.report(
+                self.name,
+                event.t_cycles,
+                f"ok request {request_id} span is missing boundaries "
+                f"{missing} — an executed request must cross all of them",
+            )
+
+
 def default_checkers() -> list[Checker]:
     """One fresh instance of every stock checker."""
     return [
@@ -457,6 +531,7 @@ def default_checkers() -> list[Checker]:
         RecoveryChecker(),
         RouterConservationChecker(),
         QuarantineRoutingChecker(),
+        SpanConservationChecker(),
     ]
 
 

@@ -13,12 +13,16 @@ one request stream on a shared machine?
   the shared kernel hosting a :class:`repro.apps.KvServerEnclave`, plus
   a bounded request queue drained by server threads.
 - :mod:`repro.serve.router` — consistent-hash (rendezvous) or
-  round-robin routing with shed/block admission control, shard
-  quarantine on enclave loss and re-admission after recovery.
+  round-robin routing with shed/block admission control (weighted-fair
+  across tenants when weights are set), shard quarantine on enclave loss
+  and re-admission after recovery, and per-request span tracing
+  (``serve.request.span``) consumed by :mod:`repro.slo`.
 - :mod:`repro.serve.loadgen` — open-loop (Poisson) and closed-loop load
-  generation over the seeded key distributions.
+  generation over the seeded key distributions, optionally tagged with a
+  weighted tenant mix.
 - :mod:`repro.serve.bench` — the ``repro serve bench`` entry point:
-  builds a cluster, drives it, and emits a stamped result artifact.
+  builds a cluster, drives it, and emits a stamped result artifact with
+  per-tenant counters and (with contracts) SLO verdicts.
 """
 
 from repro.serve.bench import ServeCluster, build_serve, run_serve_bench
@@ -29,6 +33,7 @@ from repro.serve.router import (
     POLICY_CHOICES,
     Request,
     Router,
+    TenantStats,
 )
 from repro.serve.shard import EnclaveShard
 
@@ -42,6 +47,7 @@ __all__ = [
     "Request",
     "Router",
     "ServeCluster",
+    "TenantStats",
     "WorkerBudgetArbiter",
     "build_serve",
     "run_serve_bench",

@@ -78,6 +78,7 @@ def build_serve(
     budget: int | None = None,
     plan: FaultPlan | str | None = None,
     fault_shard: int = 0,
+    tenant_weights: dict[str, float] | None = None,
     telemetry: TelemetrySession | bool | None = None,
 ) -> ServeCluster:
     """Wire a serving cluster: N enclave shards on one shared kernel.
@@ -128,7 +129,13 @@ def build_serve(
             )
         )
 
-    router = Router(kernel, shard_objs, policy=policy, admission=admission)
+    router = Router(
+        kernel,
+        shard_objs,
+        policy=policy,
+        admission=admission,
+        tenant_weights=tenant_weights,
+    )
 
     resolved_plan: FaultPlan | None
     if plan is None:
@@ -177,6 +184,9 @@ def run_serve_bench(
     keyspace: int = 256,
     set_fraction: float = 1.0 / 3.0,
     seed: int = 0,
+    tenants: dict[str, float] | None = None,
+    contracts: list | None = None,
+    span_sink: list | None = None,
     machine: MachineSpec | None = None,
     telemetry: TelemetrySession | bool | None = None,
 ) -> dict[str, Any]:
@@ -188,7 +198,20 @@ def run_serve_bench(
     ``seconds``).  Keep the offered request count in the thousands: a KV
     request costs ~4 µs simulated, so an unbounded closed loop over
     whole simulated seconds means millions of requests of host work.
+
+    ``tenants`` (name → weight) tags the load with a weighted tenant mix
+    and switches the router to weighted-fair shedding; the artifact then
+    grows a ``per_tenant`` section.  ``contracts``
+    (:class:`repro.slo.contract.SloContract` list) evaluates per-tenant
+    SLOs into the artifact's ``slo`` section.  ``span_sink``, when a
+    list, receives every completed request's span record.
     """
+    if plan is None:
+        resolved_plan = active_fault_plan()
+    elif isinstance(plan, str):
+        resolved_plan = get_plan(plan)
+    else:
+        resolved_plan = plan
     cluster = build_serve(
         shards=shards,
         backend=backend,
@@ -198,11 +221,15 @@ def run_serve_bench(
         queue_capacity=queue_capacity,
         servers_per_shard=servers_per_shard,
         budget=budget,
-        plan=plan,
+        plan=resolved_plan,
         fault_shard=fault_shard,
+        tenant_weights=dict(tenants) if tenants else None,
         telemetry=telemetry,
     )
     kernel = cluster.kernel
+    # Sorted pairs: dict order is insertion order, and the artifact (and
+    # the RNG stream behind rng.choices) must not depend on it.
+    tenant_mix = tuple(sorted(tenants.items())) if tenants else None
     if clients is not None:
         spec = LoadSpec(
             clients=clients,
@@ -212,6 +239,7 @@ def run_serve_bench(
             keyspace=keyspace,
             set_fraction=set_fraction,
             seed=seed,
+            tenants=tenant_mix,
         )
     else:
         spec = LoadSpec(
@@ -221,6 +249,7 @@ def run_serve_bench(
             keyspace=keyspace,
             set_fraction=set_fraction,
             seed=seed,
+            tenants=tenant_mix,
         )
     generator = LoadGenerator(kernel, cluster.router, spec)
     start = kernel.now
@@ -228,6 +257,28 @@ def run_serve_bench(
     elapsed_s = kernel.seconds(kernel.now - start)
     router = cluster.router
     latency = router.latency.summary()
+
+    def _us(summary: dict[str, float]) -> dict[str, float]:
+        return {
+            name: kernel.seconds(cycles) * 1e6 if name != "count" else cycles
+            for name, cycles in summary.items()
+        }
+
+    per_tenant: dict[str, Any] = {}
+    for tenant, tenant_record in router.tenant_stats().items():
+        submitted = tenant_record["submitted"]
+        per_tenant[tenant] = {
+            "submitted": submitted,
+            "completed": tenant_record["completed"],
+            "shed": tenant_record["shed"],
+            "failed": tenant_record["failed"],
+            "throughput_rps": (
+                tenant_record["completed"] / elapsed_s if elapsed_s > 0 else 0.0
+            ),
+            "shed_rate": tenant_record["shed"] / submitted if submitted else 0.0,
+            "latency_us": _us(tenant_record["latency_cycles"]),
+            "latency_notes": tenant_record["latency_notes"],
+        }
     result: dict[str, Any] = {
         "meta": stamp("serve-bench"),
         "params": {
@@ -245,16 +296,28 @@ def run_serve_bench(
             "keyspace": keyspace,
             "set_fraction": set_fraction,
             "seed": seed,
+            "plan": resolved_plan.name if resolved_plan is not None else None,
+            "tenants": dict(tenant_mix) if tenant_mix else None,
         },
         "totals": {
             **router.stats(),
             "issued": generator.issued,
             "elapsed_s": elapsed_s,
             "throughput_rps": router.completed / elapsed_s if elapsed_s > 0 else 0.0,
-            "latency_us": {
-                name: kernel.seconds(cycles) * 1e6 if name != "count" else cycles
-                for name, cycles in latency.items()
-            },
+            "latency_us": _us(latency),
+            "recoveries": [
+                {
+                    "shard": episode["shard"],
+                    "outcome": episode["outcome"],
+                    "seconds": kernel.seconds(episode["cycles"]),
+                }
+                for episode in router.recoveries
+            ],
+        },
+        "per_tenant": per_tenant,
+        "spans": {
+            "recorded": len(router.spans),
+            "dropped": router.spans_dropped,
         },
         "per_shard": [
             {
@@ -278,6 +341,14 @@ def run_serve_bench(
             else None
         ),
     }
+    if contracts:
+        # Local import: repro.slo consumes serve artifacts; importing it
+        # eagerly here would make the dependency circular.
+        from repro.slo.contract import evaluate_contracts, verdicts_summary
+
+        result["slo"] = verdicts_summary(evaluate_contracts(result, contracts))
+    if span_sink is not None:
+        span_sink.extend(router.spans)
     cluster.close()
     return result
 
@@ -333,5 +404,14 @@ def compare_to_baseline(
     if new_shed > max(old_shed * (1 + threshold), old_shed + 5):
         violations.append(
             f"shed count grew: {new_shed} vs baseline {old_shed}"
+        )
+    new_slo = result.get("slo") or {}
+    old_slo = baseline.get("slo") or {}
+    new_hard = new_slo.get("hard_breaches", 0)
+    old_hard = old_slo.get("hard_breaches", 0)
+    if new_hard > old_hard:
+        violations.append(
+            f"hard SLO breaches grew: {new_hard} vs baseline {old_hard} "
+            "(see the artifact's slo.verdicts for the tenants involved)"
         )
     return violations

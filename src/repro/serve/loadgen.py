@@ -49,6 +49,10 @@ class LoadSpec:
         value_bytes: Value payload size for sets.
         parse_cycles: Untrusted request-parse cost charged per request.
         seed: Base RNG seed (each client derives its own stream).
+        tenants: Weighted tenant mix as ``(name, weight)`` pairs; each
+            request is attributed to a tenant drawn with these weights
+            (so per-tenant SLO contracts are actually exercised).  None
+            leaves every request on the anonymous ``""`` tenant.
     """
 
     clients: int = 4
@@ -62,6 +66,7 @@ class LoadSpec:
     value_bytes: int = 8
     parse_cycles: float = 1_200.0
     seed: int = 0
+    tenants: tuple[tuple[str, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.keydist not in KEYDIST_CHOICES:
@@ -71,6 +76,20 @@ class LoadSpec:
                 raise ValueError("closed loop needs a request or duration bound")
         elif self.total_requests is None and self.duration_s is None:
             raise ValueError("open loop needs a request or duration bound")
+        if self.tenants is not None:
+            if not self.tenants:
+                raise ValueError("tenants needs at least one (name, weight) pair")
+            names = [name for name, _ in self.tenants]
+            if len(set(names)) != len(names):
+                raise ValueError("tenant names must be unique")
+            if any(weight <= 0 for _, weight in self.tenants):
+                raise ValueError("tenant weights must be positive")
+
+    def tenant_weights(self) -> dict[str, float] | None:
+        """The mix as a name → weight dict (None without tenants)."""
+        if self.tenants is None:
+            return None
+        return dict(self.tenants)
 
 
 class LoadGenerator:
@@ -130,10 +149,11 @@ class LoadGenerator:
             if deadline is not None and self.kernel.now >= deadline:
                 break
             op, key, value = self._next_op(rng, dist, issued)
+            tenant = self._pick_tenant(rng)
             self.issued += 1
             issued += 1
             yield Compute(spec.parse_cycles, tag="request-parse")
-            yield from self.router.request(op, key, value)
+            yield from self.router.request(op, key, value, tenant=tenant)
 
     def _arrival_process(self, request_threads: list[SimThread]) -> Program:
         spec = self.spec
@@ -148,19 +168,22 @@ class LoadGenerator:
                 break
             yield Sleep(gap_cycles)
             op, key, value = self._next_op(rng, dist, self.issued)
+            tenant = self._pick_tenant(rng)
             index = self.issued
             self.issued += 1
             request_threads.append(
                 self.kernel.spawn(
-                    self._one_request(op, key, value),
+                    self._one_request(op, key, value, tenant),
                     name=f"req-{index}",
                     kind="serve-client",
                 )
             )
 
-    def _one_request(self, op: str, key: bytes, value: bytes | None) -> Program:
+    def _one_request(
+        self, op: str, key: bytes, value: bytes | None, tenant: str = ""
+    ) -> Program:
         yield Compute(self.spec.parse_cycles, tag="request-parse")
-        yield from self.router.request(op, key, value)
+        yield from self.router.request(op, key, value, tenant=tenant)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -177,6 +200,19 @@ class LoadGenerator:
         if spec.keydist == "zipf":
             return ZipfKeys(spec.keyspace, seed=spec.seed + index)
         return UniformKeys(spec.keyspace, seed=spec.seed + index)
+
+    def _pick_tenant(self, rng: random.Random) -> str:
+        """Weighted tenant draw; consumes RNG only when a mix is set.
+
+        Guarding on ``spec.tenants`` keeps the seeded op/key streams of
+        existing (tenant-less) runs byte-identical to what they produced
+        before tenancy existed.
+        """
+        if self.spec.tenants is None:
+            return ""
+        names = [name for name, _ in self.spec.tenants]
+        weights = [weight for _, weight in self.spec.tenants]
+        return rng.choices(names, weights=weights, k=1)[0]
 
     def _next_op(
         self, rng: random.Random, dist, counter: int

@@ -8,24 +8,36 @@ The router is the untrusted front door of the serving layer:
   ``policy="round-robin"`` sprays requests evenly (keys lose affinity,
   which for the WAL-backed KV store means a key's value only survives on
   the shard that stored it — fine for uniform benchmarking traffic).
-- **Admission** — a full shard queue either sheds the request with an
-  error (``admission="shed"``, the open-loop default) or blocks the
-  submitter until space frees (``admission="block"``).
+- **Admission** — a full shard queue either sheds with an error
+  (``admission="shed"``, the open-loop default) or blocks the submitter
+  until space frees (``admission="block"``).  With ``tenant_weights``
+  set, shedding is *weighted-fair*: instead of always dropping the
+  newcomer, the router sheds whichever tenant is furthest over its
+  weighted share of the queue — an over-share tenant's newest queued
+  request is evicted to admit an under-share newcomer.
 - **Fault handling** — a shard whose enclave is lost is *quarantined*:
   routing skips it, its queued requests re-route to healthy shards, and
   a probe thread drives the enclave's recovery manager; on success the
   shard is re-admitted, on exhausted recovery it is declared dead.
+- **Tracing** — every request carries a ``request_id`` and ``tenant``;
+  the router stamps admission/queue/execute boundaries off the simulated
+  clock and publishes one ``serve.request.span`` event per completion,
+  so :mod:`repro.slo.trace` can rebuild the span tree live or from a
+  JSONL replay.
 
-Bus events (emitted only when the kernel carries an event bus):
+Bus events (emitted only when the kernel carries an event bus), all
+tagged with ``tenant``/``request_id`` (empty for shard-level events):
 ``serve.request.submit`` / ``serve.request.complete`` /
-``serve.request.shed``, ``serve.shard.quarantine`` /
-``serve.shard.readmit`` / ``serve.shard.dead``.  The regression
-auditor's serving checkers consume exactly these.
+``serve.request.shed`` / ``serve.request.span``,
+``serve.shard.quarantine`` / ``serve.shard.readmit`` /
+``serve.shard.dead``.  The regression auditor's serving checkers consume
+exactly these.
 """
 
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.analysis.metrics import LatencyRecorder
@@ -45,13 +57,35 @@ class Request:
 
     Completion is a one-shot event carrying ``(status, payload)`` where
     status is ``"ok"``, ``"shed"`` or ``"failed"``; submitters block on
-    ``done`` and read latency off the simulated clock.
+    ``done`` and read latency off the simulated clock.  The span
+    timestamps (``enqueued_at``/``dequeued_at``/``executed_at``) are
+    stamped by the shard as the request moves through it; a re-routed
+    request's earlier attempts are absorbed into its admission span.
     """
 
-    __slots__ = ("op", "key", "value", "done", "submitted_at", "shard")
+    __slots__ = (
+        "op",
+        "key",
+        "value",
+        "done",
+        "submitted_at",
+        "shard",
+        "request_id",
+        "tenant",
+        "enqueued_at",
+        "dequeued_at",
+        "executed_at",
+    )
 
     def __init__(
-        self, kernel: Kernel, op: str, key: bytes, value: bytes | None = None
+        self,
+        kernel: Kernel,
+        op: str,
+        key: bytes,
+        value: bytes | None = None,
+        *,
+        request_id: int = 0,
+        tenant: str = "",
     ) -> None:
         self.op = op
         self.key = key
@@ -60,6 +94,12 @@ class Request:
         self.submitted_at = kernel.now
         #: Index of the shard that accepted the request (None until queued).
         self.shard: int | None = None
+        self.request_id = request_id
+        self.tenant = tenant
+        #: Simulated instants of the span boundaries (None until reached).
+        self.enqueued_at: float | None = None
+        self.dequeued_at: float | None = None
+        self.executed_at: float | None = None
 
     @property
     def status(self) -> str | None:
@@ -77,6 +117,26 @@ class Request:
     def fail(self, reason: str) -> None:
         """Mark failed (shard dead with no healthy alternative)."""
         self.done.fire(("failed", reason))
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant request accounting (the contract engine's raw input)."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    failed: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def counts(self) -> dict[str, int]:
+        """The four terminal counters as a plain dict."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+        }
 
 
 def _rendezvous_score(key: bytes, shard_index: int) -> bytes:
@@ -97,6 +157,8 @@ class Router:
         *,
         policy: str = "hash",
         admission: str = "shed",
+        tenant_weights: dict[str, float] | None = None,
+        max_spans: int = 100_000,
     ) -> None:
         if not shards:
             raise ValueError("router needs at least one shard")
@@ -104,16 +166,25 @@ class Router:
             raise ValueError(f"policy must be one of {POLICY_CHOICES}")
         if admission not in ADMISSION_CHOICES:
             raise ValueError(f"admission must be one of {ADMISSION_CHOICES}")
+        if tenant_weights is not None:
+            if not tenant_weights:
+                raise ValueError("tenant_weights must name at least one tenant")
+            for tenant, weight in tenant_weights.items():
+                if weight <= 0:
+                    raise ValueError(f"tenant {tenant!r} needs a positive weight")
         self.kernel = kernel
         self.shards = shards
         self.policy = policy
         self.admission = admission
+        self.tenant_weights = tenant_weights
         for shard in shards:
             shard.router = self
         self._rr_next = 0
         self.quarantined: set[int] = set()
         self.dead: set[int] = set()
         self.latency = LatencyRecorder()
+        #: Per-tenant terminal counters and latency (created on first use).
+        self.tenants: dict[str, TenantStats] = {}
         # Conservation invariant: submitted == completed + shed + failed
         # once the run drains (audited by RouterConservationChecker).
         self.submitted = 0
@@ -122,32 +193,70 @@ class Router:
         self.failed = 0
         #: Requests re-homed off a quarantined shard.
         self.rerouted = 0
+        #: Queued requests evicted by weighted-fair admission.
+        self.preempted = 0
         #: Lifetime quarantine entries / re-admissions (the live sets
         #: above only show current membership).
         self.quarantines = 0
         self.readmissions = 0
+        #: Completed-request span records (dicts; see ``_record_span``).
+        self.spans: list[dict[str, Any]] = []
+        self.max_spans = max_spans
+        self.spans_dropped = 0
+        #: Quarantine entry instants and resolved recovery episodes.
+        self._quarantined_at: dict[int, float] = {}
+        self.recoveries: list[dict[str, Any]] = []
+        self._next_request_id = 0
 
     # ------------------------------------------------------------------
     # Client surface
     # ------------------------------------------------------------------
     def request(
-        self, op: str, key: bytes, value: bytes | None = None
+        self,
+        op: str,
+        key: bytes,
+        value: bytes | None = None,
+        *,
+        tenant: str = "",
     ) -> Program:
         """Issue one request end-to-end; returns ``(status, payload)``."""
-        req = Request(self.kernel, op, key, value)
+        self._next_request_id += 1
+        req = Request(
+            self.kernel,
+            op,
+            key,
+            value,
+            request_id=self._next_request_id,
+            tenant=tenant,
+        )
         self.submitted += 1
+        stats = self._tenant(tenant)
+        stats.submitted += 1
         yield from self.submit(req)
         if not req.done.fired:
             yield Block(req.done)
         status, payload = req.done.value
+        t_complete = self.kernel.now
         if status == "ok":
             self.completed += 1
-            self.latency.record(self.kernel.now - req.submitted_at)
+            stats.completed += 1
+            latency = t_complete - req.submitted_at
+            self.latency.record(latency)
+            stats.latency.record(latency)
         elif status == "failed":
             self.failed += 1
+            stats.failed += 1
+        else:
+            stats.shed += 1
         self._emit(
-            "serve.request.complete", shard=req.shard, op=op, status=status
+            "serve.request.complete",
+            shard=req.shard,
+            op=op,
+            status=status,
+            tenant=req.tenant,
+            request_id=req.request_id,
         )
+        self._record_span(req, status, t_complete)
         return status, payload
 
     def submit(self, request: Request) -> Program:
@@ -160,28 +269,92 @@ class Router:
         while True:
             shard = self._pick(request.key)
             if shard is None:
-                self.shed += 1
-                self._emit("serve.request.shed", op=request.op, reason="no-shard")
-                request.shed()
+                self._shed(request, reason="no-shard")
                 return request
             if shard.try_enqueue(request):
                 self._emit(
-                    "serve.request.submit", shard=shard.index, op=request.op
+                    "serve.request.submit",
+                    shard=shard.index,
+                    op=request.op,
+                    tenant=request.tenant,
+                    request_id=request.request_id,
                 )
                 return request
             if self.admission == "shed":
-                self.shed += 1
-                self._emit(
-                    "serve.request.shed",
-                    op=request.op,
-                    reason="queue-full",
-                    shard=shard.index,
-                )
-                request.shed()
+                if self.tenant_weights is not None and self._preempt_for(
+                    shard, request
+                ):
+                    return request
+                self._shed(request, reason="queue-full", shard=shard.index)
                 return request
             # Blocking admission: wait for space, then re-pick (the shard
             # may have been quarantined while we slept).
             yield Block(shard.space_event())
+
+    def _shed(self, request: Request, reason: str, shard: int | None = None) -> None:
+        """Reject ``request`` (admission control); fires its completion."""
+        self.shed += 1
+        fields: dict[str, Any] = {
+            "op": request.op,
+            "reason": reason,
+            "tenant": request.tenant,
+            "request_id": request.request_id,
+        }
+        if shard is not None:
+            fields["shard"] = shard
+        self._emit("serve.request.shed", **fields)
+        request.shed()
+
+    # ------------------------------------------------------------------
+    # Weighted-fair admission
+    # ------------------------------------------------------------------
+    def _weight(self, tenant: str) -> float:
+        weights = self.tenant_weights or {}
+        return weights.get(tenant, 1.0)
+
+    def _preempt_for(self, shard: EnclaveShard, incoming: Request) -> bool:
+        """Weighted-fair shed: evict an over-share tenant for ``incoming``.
+
+        Each tenant's *pressure* on the full queue is ``queued / weight``.
+        If some queued tenant's pressure exceeds what the incoming
+        tenant's would be after admission, that tenant's newest queued
+        request is shed instead of the newcomer.  Returns True when the
+        incoming request was admitted this way.
+        """
+        occupancy = shard.tenant_occupancy()
+        incoming_pressure = (
+            occupancy.get(incoming.tenant, 0) + 1
+        ) / self._weight(incoming.tenant)
+        # Deterministic victim choice: max pressure, ties to the
+        # lexicographically largest tenant name.
+        victim_tenant: str | None = None
+        victim_pressure = incoming_pressure
+        for tenant, queued in sorted(occupancy.items()):
+            pressure = queued / self._weight(tenant)
+            if pressure > victim_pressure or (
+                pressure == victim_pressure
+                and victim_tenant is not None
+                and tenant > victim_tenant
+            ):
+                victim_tenant = tenant
+                victim_pressure = pressure
+        if victim_tenant is None:
+            return False
+        victim = shard.evict_newest(victim_tenant)
+        if victim is None:  # pragma: no cover - occupancy said otherwise
+            return False
+        self.preempted += 1
+        self._shed(victim, reason="preempted", shard=shard.index)
+        admitted = shard.try_enqueue(incoming)
+        assert admitted, "eviction must leave room for the incoming request"
+        self._emit(
+            "serve.request.submit",
+            shard=shard.index,
+            op=incoming.op,
+            tenant=incoming.tenant,
+            request_id=incoming.request_id,
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Placement
@@ -229,7 +402,10 @@ class Router:
             return
         self.quarantined.add(shard.index)
         self.quarantines += 1
-        self._emit("serve.shard.quarantine", shard=shard.index)
+        self._quarantined_at[shard.index] = self.kernel.now
+        self._emit(
+            "serve.shard.quarantine", shard=shard.index, tenant="", request_id=""
+        )
         for queued in shard.drain():
             self._respawn_submit(queued)
         self.kernel.spawn(
@@ -242,6 +418,8 @@ class Router:
     def _respawn_submit(self, request: Request) -> None:
         self.rerouted += 1
         request.shard = None
+        request.enqueued_at = None
+        request.dequeued_at = None
 
         def resubmit() -> Program:
             yield from self.submit(request)
@@ -264,11 +442,30 @@ class Router:
         except EnclaveLostError:
             self.quarantined.discard(shard.index)
             self.dead.add(shard.index)
-            self._emit("serve.shard.dead", shard=shard.index)
+            self._resolve_recovery(shard.index, "dead")
+            self._emit(
+                "serve.shard.dead", shard=shard.index, tenant="", request_id=""
+            )
             return
         self.quarantined.discard(shard.index)
         self.readmissions += 1
-        self._emit("serve.shard.readmit", shard=shard.index)
+        recovery_cycles = self._resolve_recovery(shard.index, "readmitted")
+        self._emit(
+            "serve.shard.readmit",
+            shard=shard.index,
+            recovery_cycles=recovery_cycles,
+            tenant="",
+            request_id="",
+        )
+
+    def _resolve_recovery(self, shard_index: int, outcome: str) -> float:
+        """Close a quarantine episode; returns its duration in cycles."""
+        started = self._quarantined_at.pop(shard_index, self.kernel.now)
+        cycles = self.kernel.now - started
+        self.recoveries.append(
+            {"shard": shard_index, "outcome": outcome, "cycles": cycles}
+        )
+        return cycles
 
     # ------------------------------------------------------------------
     # Reporting
@@ -281,11 +478,56 @@ class Router:
             "shed": self.shed,
             "failed": self.failed,
             "rerouted": self.rerouted,
+            "preempted": self.preempted,
             "quarantines": self.quarantines,
             "readmissions": self.readmissions,
             "quarantined": sorted(self.quarantined),
             "dead": sorted(self.dead),
         }
+
+    def tenant_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant counters plus a latency summary in cycles."""
+        return {
+            tenant: {
+                **stats.counts(),
+                "latency_cycles": stats.latency.summary(),
+                "latency_notes": stats.latency.diagnostics(),
+            }
+            for tenant, stats in sorted(self.tenants.items())
+        }
+
+    def _tenant(self, tenant: str) -> TenantStats:
+        stats = self.tenants.get(tenant)
+        if stats is None:
+            stats = self.tenants[tenant] = TenantStats()
+        return stats
+
+    def _record_span(self, request: Request, status: str, t_complete: float) -> None:
+        """Store and publish the request's span boundaries.
+
+        One flat record per request; :mod:`repro.slo.trace` turns it into
+        the admission → queue → execute → reply tree.  Stored even with
+        no bus installed (the bench reads spans without telemetry); the
+        matching ``serve.request.span`` event makes the same record
+        reconstructable from a JSONL export.
+        """
+        record = {
+            "request_id": request.request_id,
+            "tenant": request.tenant,
+            "op": request.op,
+            "status": status,
+            "shard": request.shard,
+            "t_submit": request.submitted_at,
+            "t_enqueue": request.enqueued_at,
+            "t_dequeue": request.dequeued_at,
+            "t_result": request.executed_at,
+            "t_complete": t_complete,
+        }
+        if len(self.spans) < self.max_spans:
+            self.spans.append(record)
+        else:
+            self.spans_dropped += 1
+        self._emit("serve.request.span", **record)
 
     def _emit(self, name: str, **fields: Any) -> None:
         bus = self.kernel.bus

@@ -111,9 +111,36 @@ class EnclaveShard:
         if len(self.queue) >= self.capacity:
             return False
         request.shard = self.index
+        request.enqueued_at = self.kernel.now
         self.queue.append(request)
         self.depth.set(len(self.queue))
         return True
+
+    def tenant_occupancy(self) -> dict[str, int]:
+        """Queued-but-unstarted request count per tenant.
+
+        The router's weighted-fair admission compares these against the
+        tenant weights to pick a shed victim when the queue is full.
+        """
+        occupancy: dict[str, int] = {}
+        for request in self.queue:
+            occupancy[request.tenant] = occupancy.get(request.tenant, 0) + 1
+        return occupancy
+
+    def evict_newest(self, tenant: str) -> "Request | None":
+        """Remove ``tenant``'s newest queued request (None if it has none).
+
+        Newest-first keeps the eviction cheap to reason about: the victim
+        has waited the least, so the work already sunk into older queued
+        requests is preserved.
+        """
+        for position in range(len(self.queue) - 1, -1, -1):
+            if self.queue[position].tenant == tenant:
+                victim = self.queue[position]
+                del self.queue[position]
+                self.depth.set(len(self.queue))
+                return victim
+        return None
 
     def space_event(self):
         """One-shot event firing once the queue has room again."""
@@ -138,6 +165,7 @@ class EnclaveShard:
                 continue
             request = self.queue.popleft()
             self.depth.set(len(self.queue))
+            request.dequeued_at = self.kernel.now
             if self.enclave.lost and self.router is not None:
                 # Don't start new work on a lost enclave (we would park
                 # inside its recovery for the whole outage): hand the
@@ -160,6 +188,7 @@ class EnclaveShard:
                 request.fail(f"enclave lost: {exc}")
             return
         self.completed += 1
+        request.executed_at = self.kernel.now
         request.complete(result)
 
     def _execute(self, request: "Request") -> Program:

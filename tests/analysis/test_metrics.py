@@ -20,9 +20,33 @@ class TestLatencyRecorder:
         recorder = LatencyRecorder()
         for v in range(1, 101):
             recorder.record(v)
-        assert recorder.percentile(50) == 50
-        assert recorder.percentile(99) == 99
+        assert recorder.percentile(50) == pytest.approx(50.5)
+        assert recorder.percentile(99) == pytest.approx(99.01)
         assert recorder.percentile(100) == 100
+
+    def test_percentile_interpolates_below_max_on_small_samples(self):
+        # The old nearest-rank rule clamped p99 of any <100-sample set to
+        # the max; interpolation keeps the estimate inside the tail.
+        recorder = LatencyRecorder()
+        recorder.record_many([float(v) for v in range(1, 11)])
+        assert recorder.percentile(99) == pytest.approx(9.91)
+        assert recorder.percentile(99) < recorder.max()
+
+    def test_confidence_floor(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([1.0] * 99)
+        assert LatencyRecorder.sample_floor(99) == 100
+        assert LatencyRecorder.sample_floor(99.9) == 1000
+        assert not recorder.confident(99)
+        notes = recorder.diagnostics()
+        assert len(notes) == 2 and "99 sample(s)" in notes[0]
+        recorder.record(1.0)
+        assert recorder.confident(99)
+        assert recorder.diagnostics() == [
+            "p99.9 read from 100 sample(s); needs >= 1000 for a confident "
+            "tail estimate"
+        ]
+        assert LatencyRecorder().diagnostics() == []
 
     def test_empty_recorder(self):
         recorder = LatencyRecorder()
@@ -52,9 +76,10 @@ class TestLatencyRecorder:
         summary = recorder.summary()
         assert summary["count"] == 100
         assert summary["mean"] == pytest.approx(50.5)
-        assert summary["p50"] == 50
-        assert summary["p95"] == 95
-        assert summary["p99"] == 99
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+        assert summary["p99"] == pytest.approx(99.01)
+        assert summary["p999"] == pytest.approx(99.901)
         assert summary["max"] == 100
 
     def test_summary_empty(self):

@@ -1,0 +1,355 @@
+"""SLO contracts: validation, round-trip, evaluation, CLI gating."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.slo import (
+    SloContract,
+    Verdict,
+    evaluate_contracts,
+    hard_breaches,
+    load_contracts,
+    render_verdicts,
+    save_contracts,
+    verdicts_summary,
+)
+from repro.telemetry.schema import SchemaMismatch
+
+
+def artifact(per_tenant, plan=None, recoveries=()):
+    """A minimal serve-bench artifact slice the evaluator reads."""
+    return {
+        "params": {"plan": plan},
+        "totals": {"recoveries": list(recoveries)},
+        "per_tenant": per_tenant,
+    }
+
+
+def tenant_record(
+    submitted=1_000,
+    throughput_rps=500.0,
+    shed_rate=0.0,
+    count=1_000,
+    p99=50.0,
+    p999=80.0,
+):
+    return {
+        "submitted": submitted,
+        "throughput_rps": throughput_rps,
+        "shed_rate": shed_rate,
+        "latency_us": {"count": float(count), "p99": p99, "p999": p999},
+    }
+
+
+class TestContractValidation:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            SloContract(tenant="t", severity="advisory", p99_latency_us=1.0)
+
+    def test_rejects_non_positive_bounds(self):
+        for field_name in (
+            "p99_latency_us",
+            "p999_latency_us",
+            "min_throughput_rps",
+            "recovery_deadline_s",
+        ):
+            with pytest.raises(ValueError):
+                SloContract(tenant="t", **{field_name: 0.0})
+
+    def test_rejects_shed_rate_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            SloContract(tenant="t", max_shed_rate=1.5)
+
+    def test_rejects_contract_that_bounds_nothing(self):
+        with pytest.raises(ValueError):
+            SloContract(tenant="t")
+        # fault_plan alone bounds nothing either.
+        with pytest.raises(ValueError):
+            SloContract(tenant="t", fault_plan="chaos")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown contract field"):
+            SloContract.from_dict({"tenant": "t", "p99_latency_ms": 1.0})
+
+    def test_bounds_names_only_set_objectives(self):
+        contract = SloContract(
+            tenant="t", p99_latency_us=1.0, max_shed_rate=0.1
+        )
+        assert contract.bounds() == ("p99_latency_us", "max_shed_rate")
+
+
+class TestRoundTrip:
+    CONTRACTS = [
+        SloContract(
+            tenant="gold",
+            severity="hard",
+            p99_latency_us=1_000.0,
+            min_throughput_rps=100.0,
+            recovery_deadline_s=0.5,
+            fault_plan="enclave-lost",
+        ),
+        SloContract(tenant="bronze", severity="diagnostic", max_shed_rate=0.05),
+    ]
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "contracts.json")
+        save_contracts(self.CONTRACTS, path)
+        assert load_contracts(path) == self.CONTRACTS
+
+    def test_load_refuses_schema_mismatch(self, tmp_path):
+        path = tmp_path / "contracts.json"
+        save_contracts(self.CONTRACTS, str(path))
+        document = json.loads(path.read_text())
+        document["meta"]["schema_version"] = 999
+        path.write_text(json.dumps(document))
+        with pytest.raises(SchemaMismatch):
+            load_contracts(str(path))
+
+    def test_load_rejects_duplicate_tenants(self, tmp_path):
+        path = tmp_path / "contracts.json"
+        duplicated = [self.CONTRACTS[0], self.CONTRACTS[0]]
+        save_contracts(duplicated, str(path))
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            load_contracts(str(path))
+
+    def test_committed_contract_set_loads(self):
+        contracts = load_contracts("contracts/quick.json")
+        assert {c.tenant for c in contracts} == {"gold", "bronze"}
+        severities = {c.tenant: c.severity for c in contracts}
+        assert severities == {"gold": "hard", "bronze": "diagnostic"}
+
+
+class TestEvaluation:
+    def test_latency_within_bound_passes(self):
+        contract = SloContract(tenant="gold", p99_latency_us=100.0)
+        verdicts = evaluate_contracts(
+            artifact({"gold": tenant_record(p99=50.0)}), [contract]
+        )
+        assert [v.ok for v in verdicts] == [True]
+        assert hard_breaches(verdicts) == []
+
+    def test_hard_latency_breach_gates(self):
+        contract = SloContract(tenant="gold", p99_latency_us=10.0)
+        verdicts = evaluate_contracts(
+            artifact({"gold": tenant_record(p99=50.0)}), [contract]
+        )
+        (verdict,) = verdicts
+        assert verdict.gating
+        assert verdict.diff_severity() == "regression"
+
+    def test_diagnostic_breach_reports_without_gating(self):
+        contract = SloContract(
+            tenant="bronze", severity="diagnostic", p99_latency_us=10.0
+        )
+        verdicts = evaluate_contracts(
+            artifact({"bronze": tenant_record(p99=50.0)}), [contract]
+        )
+        (verdict,) = verdicts
+        assert verdict.breached and not verdict.gating
+        assert verdict.diff_severity() == "drift"
+        summary = verdicts_summary(verdicts)
+        assert summary["hard_breaches"] == 0
+        assert summary["diagnostic_breaches"] == 1
+
+    def test_low_confidence_hard_breach_downgrades(self):
+        # 20 samples cannot attest a p99: the hard breach becomes
+        # diagnostic, with the note explaining the confidence floor.
+        contract = SloContract(tenant="gold", p99_latency_us=10.0)
+        verdicts = evaluate_contracts(
+            artifact({"gold": tenant_record(count=20, p99=50.0)}), [contract]
+        )
+        (verdict,) = verdicts
+        assert verdict.breached
+        assert verdict.severity == "diagnostic"
+        assert not verdict.gating
+        assert "downgraded to diagnostic" in verdict.note
+        assert ">= 100" in verdict.note
+
+    def test_confident_passes_are_not_downgraded(self):
+        contract = SloContract(tenant="gold", p99_latency_us=100.0)
+        verdicts = evaluate_contracts(
+            artifact({"gold": tenant_record(count=20, p99=50.0)}), [contract]
+        )
+        (verdict,) = verdicts
+        assert verdict.ok and verdict.severity == "hard" and not verdict.note
+
+    def test_p999_uses_its_own_floor(self):
+        contract = SloContract(tenant="gold", p999_latency_us=10.0)
+        verdicts = evaluate_contracts(
+            artifact({"gold": tenant_record(count=500, p999=50.0)}), [contract]
+        )
+        (verdict,) = verdicts
+        # 500 samples clear the p99 floor but not the p999 one.
+        assert verdict.severity == "diagnostic"
+        assert ">= 1000" in verdict.note
+
+    def test_throughput_floor_and_shed_ceiling(self):
+        contract = SloContract(
+            tenant="gold", min_throughput_rps=600.0, max_shed_rate=0.01
+        )
+        verdicts = evaluate_contracts(
+            artifact(
+                {"gold": tenant_record(throughput_rps=500.0, shed_rate=0.25)}
+            ),
+            [contract],
+        )
+        assert {v.check: v.ok for v in verdicts} == {
+            "throughput": False,
+            "shed_rate": False,
+        }
+        assert len(hard_breaches(verdicts)) == 2
+
+    def test_missing_tenant_is_a_traffic_breach(self):
+        contract = SloContract(tenant="ghost", p99_latency_us=100.0)
+        verdicts = evaluate_contracts(artifact({}), [contract])
+        (verdict,) = verdicts
+        assert verdict.check == "traffic"
+        assert verdict.gating
+        assert "no traffic" in verdict.message
+
+    def test_recovery_not_exercised_under_other_plan(self):
+        contract = SloContract(
+            tenant="gold", recovery_deadline_s=0.5, fault_plan="enclave-lost"
+        )
+        verdicts = evaluate_contracts(
+            artifact({"gold": tenant_record()}, plan="crash-heavy"), [contract]
+        )
+        recovery = [v for v in verdicts if v.check == "recovery"]
+        assert [v.ok for v in recovery] == [True]
+        assert "not exercised" in recovery[0].message
+
+    def test_recovery_dead_shard_breaches(self):
+        contract = SloContract(
+            tenant="gold", recovery_deadline_s=0.5, fault_plan="enclave-lost"
+        )
+        verdicts = evaluate_contracts(
+            artifact(
+                {"gold": tenant_record()},
+                plan="enclave-lost",
+                recoveries=[{"shard": 0, "outcome": "dead", "seconds": 0.1}],
+            ),
+            [contract],
+        )
+        recovery = [v for v in verdicts if v.check == "recovery"]
+        assert [v.ok for v in recovery] == [False]
+        assert "never recovered" in recovery[0].message
+
+    def test_recovery_slow_readmit_breaches(self):
+        contract = SloContract(tenant="gold", recovery_deadline_s=0.5)
+        verdicts = evaluate_contracts(
+            artifact(
+                {"gold": tenant_record()},
+                recoveries=[
+                    {"shard": 0, "outcome": "readmitted", "seconds": 0.9}
+                ],
+            ),
+            [contract],
+        )
+        recovery = [v for v in verdicts if v.check == "recovery"]
+        assert [v.ok for v in recovery] == [False]
+        assert "over the 0.5 s deadline" in recovery[0].message
+
+    def test_recovery_within_deadline_passes(self):
+        contract = SloContract(tenant="gold", recovery_deadline_s=0.5)
+        verdicts = evaluate_contracts(
+            artifact(
+                {"gold": tenant_record()},
+                recoveries=[
+                    {"shard": 0, "outcome": "readmitted", "seconds": 0.1}
+                ],
+            ),
+            [contract],
+        )
+        recovery = [v for v in verdicts if v.check == "recovery"]
+        assert [v.ok for v in recovery] == [True]
+
+    def test_render_puts_gating_breaches_first(self):
+        verdicts = [
+            Verdict("a", "p99", "hard", True, 1.0, 2.0, "fine"),
+            Verdict("b", "p99", "diagnostic", False, 3.0, 2.0, "drifting"),
+            Verdict("c", "p99", "hard", False, 3.0, 2.0, "broken"),
+        ]
+        rendered = render_verdicts(verdicts)
+        lines = rendered.splitlines()
+        assert "1 hard breach(es)" in lines[0]
+        assert "[gates]" in lines[1] and "broken" in lines[1]
+        assert rendered.index("broken") < rendered.index("drifting")
+
+
+class TestCliGate:
+    """Acceptance demo: hard breach exits 1, diagnostic-only passes."""
+
+    BENCH = [
+        "serve",
+        "bench",
+        "--shards",
+        "1",
+        "--seconds",
+        "0.05",
+        "--rate",
+        "4000",
+        "--tenants",
+        "gold:3,bronze:1",
+    ]
+
+    def test_hard_breach_fails_the_run(self, tmp_path, capsys):
+        # gold's p99 bound is unmeetable and gold sends enough traffic to
+        # clear the confidence floor: the hard breach gates.
+        contracts = str(tmp_path / "strict.json")
+        save_contracts(
+            [
+                SloContract(tenant="gold", p99_latency_us=0.001),
+                SloContract(
+                    tenant="bronze", severity="diagnostic", p99_latency_us=0.001
+                ),
+            ],
+            contracts,
+        )
+        code = main(
+            [
+                *self.BENCH,
+                "--contracts",
+                contracts,
+                "--out",
+                str(tmp_path / "bench.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[gates]" in out
+        # The diagnostic tenant's breach is visible but never gating.
+        result = json.loads((tmp_path / "bench.json").read_text())
+        by_tenant = {
+            (v["tenant"], v["check"]): v for v in result["slo"]["verdicts"]
+        }
+        assert by_tenant[("gold", "p99")]["diff_severity"] == "regression"
+        assert by_tenant[("bronze", "p99")]["diff_severity"] == "drift"
+
+    def test_diagnostic_only_breach_passes(self, tmp_path, capsys):
+        contracts = str(tmp_path / "lenient.json")
+        save_contracts(
+            [
+                SloContract(
+                    tenant="gold", p99_latency_us=1e6, max_shed_rate=1.0
+                ),
+                SloContract(
+                    tenant="bronze", severity="diagnostic", p99_latency_us=0.001
+                ),
+            ],
+            contracts,
+        )
+        code = main(
+            [
+                *self.BENCH,
+                "--contracts",
+                contracts,
+                "--out",
+                str(tmp_path / "bench.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "BREACH" in out  # bronze's drift is still reported
+        assert "no hard breaches" in out

@@ -38,8 +38,8 @@ class TestMetricsRegistry:
             histogram.observe(v)
         summary = histogram.summary()
         assert summary["count"] == 100
-        assert summary["p50"] == 50
-        assert summary["p99"] == 99
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
         assert summary["max"] == 100
 
     def test_label_order_does_not_matter(self):
