@@ -14,9 +14,20 @@ outcome, and must cost less than 10% extra host time.
 
 Run as a script (``python benchmarks/bench_meta_simulator.py``) it emits
 ``BENCH_meta.json`` — kernel events/s and ocalls/s for the regular and
-switchless storms plus serial-vs-parallel wall time of a small cell suite
-— which CI uploads as an artifact to track host-side throughput over
-time.
+switchless storms (single loop and a slice-parallel aggregate arm that
+forks one storm per worker, the same scale-out model as ``repro serve
+bench --slices``), plus serial-vs-parallel wall time of a small cell
+suite — which CI uploads as an artifact to track host-side throughput
+over time.
+
+``--baseline baselines/meta.json`` turns the run into a gate: simulated
+outcomes (``events_processed``) must match the committed baseline
+exactly, single-loop throughput must stay within the tolerance band, and
+the aggregate arm must hold the kernel overhaul's ≥5× events/s claim
+against the recorded ``pre_overhaul`` reference.  Throughput gates are
+machine-relative: compare on the same runner class that produced the
+baseline (the tolerance band absorbs runner noise, not architecture
+changes).
 """
 
 import argparse
@@ -145,6 +156,43 @@ def test_telemetry_host_overhead_under_ten_percent():
     )
 
 
+def test_baseline_gate_violation_paths():
+    baseline = {
+        "throughput": {
+            "regular": {"events_processed": 100, "events_per_s": 1000.0}
+        },
+        "pre_overhaul": {"regular": {"events_per_s": 200.0}},
+    }
+    good = {
+        "throughput": {
+            "regular": {"events_processed": 100, "events_per_s": 950.0}
+        },
+        "aggregate": {"regular": {"events_per_s": 1200.0}},
+    }
+    assert check_baseline(good, baseline, tolerance=0.1, min_speedup=5.0) == []
+
+    drifted = {
+        "throughput": {
+            "regular": {"events_processed": 101, "events_per_s": 950.0}
+        },
+        "aggregate": {"regular": {"events_per_s": 1200.0}},
+    }
+    (violation,) = check_baseline(drifted, baseline, 0.1, 0.0)
+    assert "simulation changed" in violation
+
+    slow = {
+        "throughput": {
+            "regular": {"events_processed": 100, "events_per_s": 500.0}
+        },
+        "aggregate": {"regular": {"events_per_s": 400.0}},
+    }
+    messages = check_baseline(slow, baseline, 0.1, 5.0)
+    assert any("tolerance floor" in m for m in messages)
+    assert any("pre-overhaul" in m for m in messages)
+    # --min-speedup 0 (single-core escape) drops only the speedup gate.
+    assert len(check_baseline(slow, baseline, 0.1, 0.0)) == 1
+
+
 # ----------------------------------------------------------------------
 # Script mode: emit BENCH_meta.json for the CI artifact
 # ----------------------------------------------------------------------
@@ -167,6 +215,84 @@ def _suite_specs():
     )
 
 
+def _storm_events(use_zc: bool) -> int:
+    """Fork-pool entry for the aggregate arm (module-level: picklable)."""
+    return simulate_ocall_storm(use_zc).events_processed
+
+
+def _aggregate_arm(use_zc: bool, workers: int) -> dict:
+    """Fork ``workers`` storms concurrently; aggregate events over wall.
+
+    This is the meta-bench view of slice-parallel simulation: independent
+    kernels on separate processes, exactly like ``repro serve bench
+    --slices N`` partitions independent shards.  Aggregate throughput is
+    total events across every worker divided by the batch's wall time.
+    """
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    started = time.perf_counter()
+    with context.Pool(processes=workers) as pool:
+        events = pool.map(_storm_events, [use_zc] * workers)
+    wall = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "wall_seconds": wall,
+        "events_processed": sum(events),
+        "events_per_s": sum(events) / wall,
+        "ocalls_per_s": workers * N_OCALLS / wall,
+    }
+
+
+def check_baseline(
+    payload: dict, baseline: dict, tolerance: float, min_speedup: float
+) -> list[str]:
+    """Gate a fresh meta-bench payload against the committed baseline.
+
+    Returns violation messages (empty = pass):
+
+    - ``events_processed`` must match the baseline *exactly* — the storm
+      is deterministic, so any drift is a simulation-semantics change;
+    - single-loop ``events_per_s`` must stay within ``tolerance``
+      (relative) of the baseline — a host-performance regression band;
+    - the aggregate arm must beat the baseline's ``pre_overhaul``
+      reference by ``min_speedup`` (the PR's headline claim, re-proven on
+      every CI run; pass 0 to skip, e.g. on single-core boxes).
+    """
+    violations: list[str] = []
+    for arm, recorded in baseline.get("throughput", {}).items():
+        fresh = payload["throughput"].get(arm)
+        if fresh is None:
+            violations.append(f"{arm}: arm missing from this run")
+            continue
+        if fresh["events_processed"] != recorded["events_processed"]:
+            violations.append(
+                f"{arm}: events_processed {fresh['events_processed']} != "
+                f"baseline {recorded['events_processed']} (simulation changed!)"
+            )
+        floor = recorded["events_per_s"] * (1 - tolerance)
+        if fresh["events_per_s"] < floor:
+            violations.append(
+                f"{arm}: {fresh['events_per_s']:,.0f} events/s below the "
+                f"tolerance floor {floor:,.0f} "
+                f"(baseline {recorded['events_per_s']:,.0f}, tol {tolerance:.0%})"
+            )
+    if min_speedup > 0:
+        for arm, reference in baseline.get("pre_overhaul", {}).items():
+            aggregate = payload.get("aggregate", {}).get(arm)
+            if aggregate is None:
+                violations.append(f"{arm}: no aggregate arm to prove speedup")
+                continue
+            speedup = aggregate["events_per_s"] / reference["events_per_s"]
+            if speedup < min_speedup:
+                violations.append(
+                    f"{arm}: aggregate {aggregate['events_per_s']:,.0f} events/s "
+                    f"is only {speedup:.1f}x the pre-overhaul "
+                    f"{reference['events_per_s']:,.0f} (need {min_speedup:g}x)"
+                )
+    return violations
+
+
 def main(argv: list[str] | None = None) -> int:
     """Measure simulator host throughput and write the JSON artifact."""
     from repro.parallel import resolve_jobs, run_cells
@@ -175,10 +301,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", default="BENCH_meta.json", help="output file")
     parser.add_argument("--jobs", default="auto", help="parallel-arm worker count")
     parser.add_argument("--repeats", type=int, default=3, help="min-of-N rounds")
+    parser.add_argument(
+        "--workers",
+        default="auto",
+        help="aggregate-arm fork count ('auto' = CPU count, 0 = skip)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="gate against a committed baselines/meta.json (exit 1 on drift)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="relative single-loop throughput band for --baseline (default 0.5)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="aggregate-vs-pre_overhaul speedup --baseline requires "
+        "(default 5.0; 0 skips, e.g. on single-core boxes)",
+    )
     args = parser.parse_args(argv)
     jobs = resolve_jobs(args.jobs)
+    workers = 0 if args.workers in ("0", 0) else resolve_jobs(args.workers)
 
     throughput = {}
+    aggregate = {}
     for name, use_zc in (("regular", False), ("switchless", True)):
         kernel = simulate_ocall_storm(use_zc)  # warm-up, and keeps the counts
         wall = _best_of(lambda use_zc=use_zc: simulate_ocall_storm(use_zc), args.repeats)
@@ -188,6 +340,8 @@ def main(argv: list[str] | None = None) -> int:
             "events_per_s": kernel.events_processed / wall,
             "ocalls_per_s": N_OCALLS / wall,
         }
+        if workers:
+            aggregate[name] = _aggregate_arm(use_zc, workers)
 
     specs = _suite_specs()
     serial_wall = _best_of(lambda: run_cells(specs, jobs=1), 1)
@@ -198,6 +352,7 @@ def main(argv: list[str] | None = None) -> int:
         **stamp("bench-meta"),
         "n_ocalls": N_OCALLS,
         "throughput": throughput,
+        "aggregate": aggregate,
         "suite": {
             "cells": len(specs),
             "jobs": jobs,
@@ -210,6 +365,18 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(json.dumps(payload, indent=2))
+    if args.baseline is not None:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        violations = check_baseline(
+            payload, baseline, args.tolerance, args.min_speedup
+        )
+        if violations:
+            print(f"meta baseline gate: {len(violations)} violation(s)")
+            for violation in violations:
+                print(f"  - {violation}")
+            return 1
+        print(f"meta baseline gate: OK (vs {args.baseline})")
     return 0
 
 

@@ -421,27 +421,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         contracts = load_contracts(args.contracts)
     span_sink: list | None = [] if args.spans is not None else None
     started = time.monotonic()
-    result = run_serve_bench(
-        shards=args.shards,
-        seconds=args.seconds,
-        backend=args.backend,
-        rate=args.rate,
-        clients=args.clients,
-        requests_per_client=args.requests_per_client,
-        policy=args.policy,
-        admission=args.admission,
-        queue_capacity=args.queue_capacity,
-        servers_per_shard=args.servers_per_shard,
-        budget=args.budget,
-        plan=args.plan,
-        fault_shard=args.fault_shard,
-        keydist=args.keydist,
-        seed=args.seed,
-        tenants=tenants,
-        contracts=contracts,
-        span_sink=span_sink,
-        telemetry=False,
-    )
+    if args.slices > 1 or args.audit:
+        # Slice-parallel path: shards partitioned across processes, merged
+        # deterministically (repro.serve.slices).  --audit rides this path
+        # even with one slice so the live checkers run in a child kernel.
+        from repro.serve.slices import run_slice_bench
+
+        if args.clients is not None:
+            raise SystemExit("--slices/--audit require the open loop (no --clients)")
+        if args.spans is not None:
+            raise SystemExit("--spans is unavailable with --slices/--audit "
+                             "(span records stay in the slice processes)")
+        result = run_slice_bench(
+            args.shards,
+            args.slices,
+            seconds=args.seconds,
+            backend=args.backend,
+            rate=args.rate,
+            policy=args.policy,
+            admission=args.admission,
+            queue_capacity=args.queue_capacity,
+            servers_per_shard=args.servers_per_shard,
+            budget=args.budget,
+            plan=args.plan,
+            fault_shard=args.fault_shard,
+            keydist=args.keydist,
+            seed=args.seed,
+            tenants=tenants,
+            contracts=contracts,
+            audit=args.audit,
+            jobs=args.jobs,
+        )
+    else:
+        result = run_serve_bench(
+            shards=args.shards,
+            seconds=args.seconds,
+            backend=args.backend,
+            rate=args.rate,
+            clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            policy=args.policy,
+            admission=args.admission,
+            queue_capacity=args.queue_capacity,
+            servers_per_shard=args.servers_per_shard,
+            budget=args.budget,
+            plan=args.plan,
+            fault_shard=args.fault_shard,
+            keydist=args.keydist,
+            seed=args.seed,
+            tenants=tenants,
+            contracts=contracts,
+            span_sink=span_sink,
+            telemetry=False,
+        )
     elapsed = time.monotonic() - started
     totals = result["totals"]
     latency = totals["latency_us"]
@@ -477,6 +509,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{record['shed']} shed ({record['shed_rate']:.1%}), "
             f"p99 {record['latency_us']['p99']:.1f} us"
         )
+    for entry in result.get("slices", []):
+        print(
+            f"  slice {entry['slice']}: shards {entry['shard_ids']}, "
+            f"{entry['completed']} completed, "
+            f"{entry['skipped_arrivals']} arrival(s) owned elsewhere"
+        )
     path = write_result(result, args.out)
     print(f"[serve artifact written to {path}]")
     if span_sink is not None:
@@ -486,6 +524,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"[{count} span record(s) written to {args.spans}]")
     print(f"[serve: {elapsed:.1f}s wall]")
     failures = 0
+    if "audit" in result:
+        audit = result["audit"]
+        if audit["ok"]:
+            print(f"audit: OK ({len(audit['cells'])} kernel(s), all invariants hold)")
+        else:
+            print(f"audit: {audit['violations']} violation(s)")
+            for entry in audit["cells"]:
+                for violation in entry["violations"]:
+                    print(f"  - {violation}")
+            failures += 1
     if contracts is not None:
         from repro.slo import Verdict, render_verdicts
 
@@ -511,6 +559,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"\nbaseline gate: OK (within {args.threshold:.0%} of {args.baseline})"
             )
     return 1 if failures else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the simulator's host-side hot paths (``profile meta``)."""
+    import json as json_mod
+
+    from repro.profiler.meta import export_sched_trace, profile_storm, render_profile
+
+    use_zc = args.backend == "zc"
+    artifact = profile_storm(
+        use_zc=use_zc, n_ocalls=args.ocalls, timers=args.timers, top=args.top
+    )
+    print(render_profile(artifact))
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_mod.dump(artifact, handle, indent=2)
+            handle.write("\n")
+        print(f"[profile artifact written to {args.json}]")
+    if args.trace is not None:
+        count = export_sched_trace(
+            args.trace, use_zc=use_zc, n_ocalls=args.ocalls, timers=args.timers
+        )
+        print(f"[{count} chrome trace event(s) written to {args.trace}]")
+    return 0
 
 
 def _cmd_evidence(args: argparse.Namespace) -> int:
@@ -958,6 +1030,30 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="write per-request span records as stamped JSONL",
     )
+    serve_bench.add_argument(
+        "--slices",
+        type=int,
+        default=1,
+        help=(
+            "partition the shards across N slice processes, each simulating "
+            "its subset, and merge deterministically (open loop only; "
+            "default 1 = single process)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        help="slice worker processes ('auto' = CPU count; default auto)",
+    )
+    serve_bench.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "attach live invariant checkers to every slice kernel; "
+            "violations drive the exit code (requires --slices)"
+        ),
+    )
 
     evidence_parser = sub.add_parser(
         "evidence", help="build or verify a hash-manifested evidence pack"
@@ -1005,8 +1101,50 @@ def main(argv: list[str] | None = None) -> int:
         "verify", help="re-hash a pack (directory or tarball) against its manifest"
     )
     evidence_verify.add_argument("pack", help="pack directory or .tar.gz")
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile the simulator's own host-side hot paths"
+    )
+    profile_sub = profile_parser.add_subparsers(dest="profile_cmd", required=True)
+    profile_meta = profile_sub.add_parser(
+        "meta",
+        help="cProfile the meta-bench ocall storm: hot-function table "
+        "+ optional Chrome trace of the simulated schedule",
+    )
+    profile_meta.add_argument(
+        "--backend",
+        choices=("zc", "regular"),
+        default="zc",
+        help="storm call path to profile (default zc = switchless)",
+    )
+    profile_meta.add_argument(
+        "--timers",
+        choices=("wheel", "heap"),
+        default="wheel",
+        help="kernel timer backend (default wheel; heap = legacy)",
+    )
+    profile_meta.add_argument(
+        "--ocalls", type=int, default=3_000, help="storm size (default 3000)"
+    )
+    profile_meta.add_argument(
+        "--top", type=int, default=20, help="hot-table rows (default 20)"
+    )
+    profile_meta.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write the profile artifact (hot table + counters) as JSON",
+    )
+    profile_meta.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a chrome://tracing JSON of the simulated schedule",
+    )
     args = parser.parse_args(argv)
 
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "evidence":

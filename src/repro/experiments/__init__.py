@@ -29,6 +29,7 @@ from repro.experiments import (
     sec5d,
     serve,
 )
+from repro.serve import slices as serve_slice
 
 #: Registry of experiment id -> module, used by the benchmark harness.
 EXPERIMENTS = {
@@ -46,4 +47,13 @@ EXPERIMENTS = {
     "serve": serve,
 }
 
-__all__ = ["EXPERIMENTS"]
+#: Cell providers are fork-pool targets without the full experiment
+#: surface (no figure, no table, no quick kwargs).  The cell runner
+#: resolves these when an id is not a registered experiment.
+CELL_PROVIDERS = {
+    # One slice of a slice-parallel serve bench (repro serve bench
+    # --slices N); see repro.serve.slices.
+    "serve-slice": serve_slice,
+}
+
+__all__ = ["CELL_PROVIDERS", "EXPERIMENTS"]

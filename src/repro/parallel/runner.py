@@ -63,9 +63,10 @@ def _run_cell_inline(spec: CellSpec) -> Any:
     # Imported lazily: repro.experiments imports the experiment modules,
     # which import repro.parallel for run_cells — resolving the registry
     # at call time breaks the cycle.
-    from repro.experiments import EXPERIMENTS
+    from repro.experiments import CELL_PROVIDERS, EXPERIMENTS
 
-    return EXPERIMENTS[spec.exp_id].run_cell(spec)
+    module = EXPERIMENTS.get(spec.exp_id) or CELL_PROVIDERS[spec.exp_id]
+    return module.run_cell(spec)
 
 
 def _pool_run_cell(

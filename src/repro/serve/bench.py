@@ -80,6 +80,7 @@ def build_serve(
     fault_shard: int = 0,
     tenant_weights: dict[str, float] | None = None,
     telemetry: TelemetrySession | bool | None = None,
+    shard_ids: tuple[int, ...] | None = None,
 ) -> ServeCluster:
     """Wire a serving cluster: N enclave shards on one shared kernel.
 
@@ -88,9 +89,26 @@ def build_serve(
     With ``budget`` set, a :class:`WorkerBudgetArbiter` caps the fleet's
     aggregate switchless workers.  A fault ``plan`` attaches its injector
     to shard ``fault_shard``'s enclave (one injector per kernel).
+
+    ``shard_ids`` instantiates a *subset* of a larger cluster while
+    keeping global shard indices (labels, rendezvous scores, per-shard
+    stats) — the slice-parallel runner (:mod:`repro.serve.slices`) builds
+    one such cluster per process.  ``shards`` stays the global count; a
+    ``fault_shard`` outside the subset is simply not attached here (its
+    owning slice attaches it).
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    if shard_ids is None:
+        shard_ids = tuple(range(shards))
+    else:
+        shard_ids = tuple(shard_ids)
+        if not shard_ids:
+            raise ValueError("shard_ids must name at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError("shard_ids must be unique")
+        if any(not 0 <= index < shards for index in shard_ids):
+            raise ValueError(f"shard_ids {shard_ids} out of range for {shards} shards")
     kind = normalize_backend(backend)
     kernel = Kernel(machine if machine is not None else server_machine())
 
@@ -108,7 +126,7 @@ def build_serve(
 
     arbiter = WorkerBudgetArbiter(budget) if budget is not None else None
     shard_objs: list[EnclaveShard] = []
-    for index in range(shards):
+    for index in shard_ids:
         config = ZcConfig(quantum_seconds=SERVE_QUANTUM_S) if kind == "zc" else None
         runtime = Runtime.create(
             backend=kind,
@@ -148,9 +166,13 @@ def build_serve(
     if resolved_plan is not None:
         if not 0 <= fault_shard < shards:
             raise ValueError(f"fault_shard {fault_shard} out of range")
-        injector = FaultInjector(resolved_plan).attach(
-            kernel, shard_objs[fault_shard].enclave
-        )
+        # Lookup by global index, not list position: a subset cluster's
+        # list positions do not match shard indices.
+        by_index = {shard.index: shard for shard in shard_objs}
+        if fault_shard in by_index:
+            injector = FaultInjector(resolved_plan).attach(
+                kernel, by_index[fault_shard].enclave
+            )
 
     for shard in shard_objs:
         shard.start()
@@ -189,8 +211,17 @@ def run_serve_bench(
     span_sink: list | None = None,
     machine: MachineSpec | None = None,
     telemetry: TelemetrySession | bool | None = None,
+    shard_ids: tuple[int, ...] | None = None,
+    admit: Any = None,
+    raw_sink: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Run one serving benchmark; returns the stamped result artifact.
+
+    ``shard_ids``/``admit``/``raw_sink`` serve the slice-parallel runner
+    (:mod:`repro.serve.slices`): instantiate only the named global shard
+    indices, gate open-loop arrivals through the ``admit`` predicate, and
+    export raw latency samples (cycles) for a cross-slice percentile
+    merge.  Regular callers leave all three at their defaults.
 
     ``rate`` selects the open loop (Poisson arrivals for ``seconds`` of
     simulated time); passing ``clients`` switches to the closed loop
@@ -225,6 +256,7 @@ def run_serve_bench(
         fault_shard=fault_shard,
         tenant_weights=dict(tenants) if tenants else None,
         telemetry=telemetry,
+        shard_ids=shard_ids,
     )
     kernel = cluster.kernel
     # Sorted pairs: dict order is insertion order, and the artifact (and
@@ -251,7 +283,7 @@ def run_serve_bench(
             seed=seed,
             tenants=tenant_mix,
         )
-    generator = LoadGenerator(kernel, cluster.router, spec)
+    generator = LoadGenerator(kernel, cluster.router, spec, admit=admit)
     start = kernel.now
     generator.run()
     elapsed_s = kernel.seconds(kernel.now - start)
@@ -341,6 +373,9 @@ def run_serve_bench(
             else None
         ),
     }
+    if shard_ids is not None:
+        result["params"]["shard_ids"] = list(shard_ids)
+        result["totals"]["skipped"] = generator.skipped
     if contracts:
         # Local import: repro.slo consumes serve artifacts; importing it
         # eagerly here would make the dependency circular.
@@ -349,6 +384,12 @@ def run_serve_bench(
         result["slo"] = verdicts_summary(evaluate_contracts(result, contracts))
     if span_sink is not None:
         span_sink.extend(router.spans)
+    if raw_sink is not None:
+        raw_sink["latency_cycles"] = list(router.latency.samples_cycles)
+        raw_sink["tenant_latency_cycles"] = {
+            tenant: list(stats.latency.samples_cycles)
+            for tenant, stats in sorted(router.tenants.items())
+        }
     cluster.close()
     return result
 

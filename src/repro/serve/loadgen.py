@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.serve.router import Router
 from repro.sim.instructions import Compute, Sleep
@@ -93,14 +94,36 @@ class LoadSpec:
 
 
 class LoadGenerator:
-    """Drives a :class:`repro.serve.router.Router` with a :class:`LoadSpec`."""
+    """Drives a :class:`repro.serve.router.Router` with a :class:`LoadSpec`.
 
-    def __init__(self, kernel: Kernel, router: Router, spec: LoadSpec) -> None:
+    ``admit`` is the slice-parallel hook (see :mod:`repro.serve.slices`):
+    a ``key -> bool`` predicate consulted per open-loop arrival.  The
+    generator always draws the *complete* seeded arrival stream — gaps,
+    ops, keys and tenants — and only gates the spawn, so every slice of a
+    partitioned run reproduces the identical global schedule and serves
+    exactly the arrivals it owns.  Closed-loop runs reject ``admit``
+    (a closed client's next arrival depends on its previous completion,
+    which a filtered slice cannot reproduce).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        router: Router,
+        spec: LoadSpec,
+        admit: "Callable[[bytes], bool] | None" = None,
+    ) -> None:
+        if admit is not None and spec.rate_rps is None:
+            raise ValueError("admit filtering requires the open loop (rate_rps)")
         self.kernel = kernel
         self.router = router
         self.spec = spec
-        #: Requests issued (arrivals, for the open loop).
+        self._admit = admit
+        #: Requests issued (arrivals, for the open loop) — counts every
+        #: drawn arrival, including ones skipped by ``admit``.
         self.issued = 0
+        #: Arrivals skipped by the ``admit`` predicate.
+        self.skipped = 0
 
     # ------------------------------------------------------------------
     # Entry point
@@ -162,15 +185,28 @@ class LoadGenerator:
         deadline = self._deadline()
         rate = spec.rate_rps
         assert rate is not None and rate > 0
+        # Absolute Poisson schedule: each arrival is *due* at the running
+        # sum of the seeded gaps, independent of how long this thread
+        # waited in the ready queue.  A relative sleep would silently
+        # under-offer load whenever the system is busy (the queue delay
+        # would stretch every gap) — and would make the arrival stream
+        # depend on contention, which the slice-parallel runner's
+        # identical-schedule guarantee cannot tolerate.
+        due = self.kernel.now
         while spec.total_requests is None or self.issued < spec.total_requests:
-            gap_cycles = self.kernel.cycles(rng.expovariate(rate))
-            if deadline is not None and self.kernel.now + gap_cycles >= deadline:
+            due += self.kernel.cycles(rng.expovariate(rate))
+            if deadline is not None and due >= deadline:
                 break
-            yield Sleep(gap_cycles)
+            delay = due - self.kernel.now
+            if delay > 0:
+                yield Sleep(delay)
             op, key, value = self._next_op(rng, dist, self.issued)
             tenant = self._pick_tenant(rng)
             index = self.issued
             self.issued += 1
+            if self._admit is not None and not self._admit(key):
+                self.skipped += 1
+                continue
             request_threads.append(
                 self.kernel.spawn(
                     self._one_request(op, key, value, tenant),

@@ -15,12 +15,31 @@ Event wake-ups are delivered through a microtask queue processed between
 timer callbacks, so generator stepping never re-enters: a thread that fires
 an event keeps running until its next yield, and the woken thread is
 stepped afterwards at the same simulated timestamp.
+
+Raw-speed design (see docs/performance.md for the measured profile):
+
+- **Timers** live in a pluggable queue (:mod:`repro.sim.timerqueue`).
+  The default is a calendar queue — O(1) pushes within a two-timeslice
+  horizon, overflow heap beyond it, same-timestamp batch extraction and
+  lazy-cancel compaction.  ``Kernel(..., timers="heap")`` selects the
+  legacy single binary heap; the dual-run equivalence suite proves both
+  backends produce byte-identical simulated outcomes.
+- **Telemetry is zero-cost when detached.**  Instead of ``if bus is not
+  None`` checks on every dispatch/park/finish/accounting call, the kernel
+  binds lean or instrumented variants of its hot functions whenever
+  ``trace``/``sched_bus``/``ledger`` change (they are properties); the
+  detached path executes no telemetry branches, string formatting or dict
+  building at all.
+- **Accounting is slotted.**  Per-thread compute/spin cycles are two
+  float slots (``cycles_by`` remains as a read-only dict view) and
+  per-core per-kind cycles use a run-length accumulator folded into the
+  dict only when the running thread's kind changes or the counter is
+  read.
 """
 
 from __future__ import annotations
 
 import enum
-import heapq
 import itertools
 from collections import deque
 from functools import partial
@@ -30,11 +49,15 @@ from repro.sim.errors import DeadlockError, LivelockError, SimulationError
 from repro.sim.instructions import Block, Compute, Instruction, Sleep, Spin, YieldCPU
 from repro.sim.machine import MachineSpec
 from repro.sim.primitives import Event, Gate
+from repro.sim.timerqueue import TIMER_BACKENDS, Timer, make_timer_queue
 
 Program = Generator[Instruction, Any, Any]
 
 #: Upper bound on consecutive zero-duration generator steps of one thread.
 _LIVELOCK_LIMIT = 100_000
+
+#: Backwards-compatible name: the timer handle moved to repro.sim.timerqueue.
+_Timer = Timer
 
 
 class ThreadState(enum.Enum):
@@ -46,25 +69,6 @@ class ThreadState(enum.Enum):
     BLOCKED = "blocked"
     SLEEPING = "sleeping"
     DONE = "done"
-
-
-class _Timer:
-    """A cancellable entry in the kernel's timer heap."""
-
-    __slots__ = ("when", "seq", "fn", "cancelled")
-
-    def __init__(self, when: float, seq: int, fn: Callable[[], None]) -> None:
-        self.when = when
-        self.seq = seq
-        self.fn = fn
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Cancel this timer (lazily skipped by the event loop)."""
-        self.cancelled = True
-
-    def __lt__(self, other: "_Timer") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
 
 
 class _Activity:
@@ -95,7 +99,7 @@ class _Activity:
         self.work_done = 0.0
         self.last_update = now
         self.speed = speed
-        self.timer: _Timer | None = None
+        self.timer: Timer | None = None
         self.spin_event = spin_event
         self.tag = tag
 
@@ -113,7 +117,9 @@ class SimThread:
         result: Return value of the generator once ``DONE``.
         done_event: Fires (with ``result``) when the thread finishes.
         cpu_cycles: Wall cycles spent on a core.
-        cycles_by: Wall cycles split by activity kind (compute/spin).
+        cycles_by: Wall cycles split by activity kind (compute/spin) — a
+            read-only dict view over the ``cycles_compute``/``cycles_spin``
+            slots the accounting hot path writes.
     """
 
     __slots__ = (
@@ -128,7 +134,8 @@ class SimThread:
         "core",
         "slice_end",
         "cpu_cycles",
-        "cycles_by",
+        "cycles_compute",
+        "cycles_spin",
         "ledger_cells",
         "_pending",
         "_resume_value",
@@ -157,7 +164,8 @@ class SimThread:
         self.core: "LogicalCPU | None" = None
         self.slice_end = 0.0
         self.cpu_cycles = 0.0
-        self.cycles_by: dict[str, float] = {"compute": 0.0, "spin": 0.0}
+        self.cycles_compute = 0.0
+        self.cycles_spin = 0.0
         #: Lazily created by the kernel when a telemetry ledger is
         #: attached: {activity_kind: {tag: [wall, work]}}, folded into the
         #: ledger's table at snapshot time (see CycleLedger).
@@ -165,6 +173,11 @@ class SimThread:
         self._pending: Compute | Spin | None = None
         self._resume_value: Any = None
         self._spin_result: bool | None = None
+
+    @property
+    def cycles_by(self) -> dict[str, float]:
+        """Cycles split by activity kind, as the historical dict shape."""
+        return {"compute": self.cycles_compute, "spin": self.cycles_spin}
 
     def allowed_on(self, cpu_index: int) -> bool:
         """Whether the affinity mask admits ``cpu_index``."""
@@ -189,7 +202,9 @@ class LogicalCPU:
         "thread",
         "activity",
         "busy_cycles",
-        "busy_by_kind",
+        "_busy_by_kind",
+        "_acc_kind",
+        "_acc_cycles",
         "_complete_cb",
         "_slice_cb",
     )
@@ -201,13 +216,34 @@ class LogicalCPU:
         self.thread: SimThread | None = None
         self.activity: _Activity | None = None
         self.busy_cycles = 0.0
-        self.busy_by_kind: dict[str, float] = {}
+        # Per-kind busy cycles use a run-length accumulator: consecutive
+        # accounting intervals for the same thread kind (the overwhelmingly
+        # common case — a core runs one kind for many slices) add to two
+        # scalar slots and fold into the dict only on a kind change or a
+        # counter read.
+        self._busy_by_kind: dict[str, float] = {}
+        self._acc_kind: str | None = None
+        self._acc_cycles = 0.0
         # Preallocated timer callbacks: every Compute/Spin schedules (and
         # every SMT speed change reschedules) a timer on this CPU, so a
         # fresh ``functools.partial`` per timer is measurable allocator
         # churn on the activity path.
         self._complete_cb = partial(kernel._on_work_complete, self)
         self._slice_cb = partial(kernel._on_slice_end, self)
+
+    @property
+    def busy_by_kind(self) -> dict[str, float]:
+        """Busy cycles per thread kind (folds the accumulator first)."""
+        self._fold_kind()
+        return self._busy_by_kind
+
+    def _fold_kind(self) -> None:
+        kind = self._acc_kind
+        if kind is not None:
+            table = self._busy_by_kind
+            table[kind] = table.get(kind, 0.0) + self._acc_cycles
+            self._acc_kind = None
+            self._acc_cycles = 0.0
 
     @property
     def idle(self) -> bool:
@@ -263,31 +299,50 @@ class SchedTrace:
 
 
 class Kernel:
-    """Deterministic discrete-event kernel for one simulated machine."""
+    """Deterministic discrete-event kernel for one simulated machine.
+
+    ``timers`` selects the timer-queue backend: ``"wheel"`` (default, the
+    calendar queue) or ``"heap"`` (the legacy binary heap, kept for the
+    dual-run equivalence proof).  Both produce identical simulations.
+    """
 
     def __init__(
-        self, spec: MachineSpec | None = None, trace: "SchedTrace | None" = None
+        self,
+        spec: MachineSpec | None = None,
+        trace: "SchedTrace | None" = None,
+        timers: str = "wheel",
     ) -> None:
         self.spec = spec if spec is not None else MachineSpec()
         self.now = 0.0
-        self.trace = trace
         #: Optional telemetry hooks (see :mod:`repro.telemetry`); all stay
-        #: None unless a TelemetrySession attaches, costing one attribute
-        #: check on the accounting path.  ``sched_bus`` is the bus again
-        #: iff ``bus.capture_sched`` — pre-resolved by whoever attaches,
-        #: so the dispatch path pays a single check per event.
+        #: None unless a TelemetrySession attaches.  ``bus`` is read by
+        #: runtime components (router, backends, enclaves) that gate their
+        #: own emits on it.  ``sched_bus`` is the bus again iff
+        #: ``bus.capture_sched`` — pre-resolved by whoever attaches.
+        #: ``sched_bus``/``ledger``/``trace`` are properties: assigning
+        #: them rebinds the kernel's hot functions, so the detached path
+        #: carries no telemetry branches at all (see _bind_hot_paths).
         self.bus: Any = None
-        self.sched_bus: Any = None
-        self.ledger: Any = None
+        self._sched_bus: Any = None
+        self._ledger: Any = None
+        self._trace = trace
         #: Optional fault injector (see :mod:`repro.faults`).  None on
         #: healthy runs; runtime components gate every fault-tolerance
         #: timeout/check on this single attribute so un-faulted runs stay
         #: byte-identical to builds without the fault layer.
         self.faults: Any = None
+        if timers not in TIMER_BACKENDS:
+            raise ValueError(f"timers must be one of {TIMER_BACKENDS}")
+        self.timer_backend = timers
+        self._timers = make_timer_queue(timers, self.spec.timeslice_cycles)
         self._seq = itertools.count()
-        self._heap: list[_Timer] = []
         self._micro: deque[Callable[[], None]] = deque()
         self._ready: deque[SimThread] = deque()
+        #: Whether a _try_dispatch microtask is already queued.  Dispatch
+        #: is idempotent over the state it sees, so queueing one per
+        #: wake-up only reruns a no-op; a single pending entry suffices
+        #: (anything that changes placement state re-queues it).
+        self._dispatch_queued = False
         #: Lowest CPU index that may be idle; every CPU below it is busy.
         #: Maintained so the dispatch scan skips the busy prefix instead of
         #: re-walking all logical CPUs per ready thread.
@@ -300,6 +355,62 @@ class Kernel:
                 cpu.sibling = self.cpus[sib]
         self._name_counts: dict[str, int] = {}
         self.events_processed = 0
+        self._bind_hot_paths()
+
+    # ------------------------------------------------------------------
+    # Telemetry attach points (rebinding the hot paths)
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> "SchedTrace | None":
+        """Scheduling trace ring buffer; assigning rebinds hot paths."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, value: "SchedTrace | None") -> None:
+        self._trace = value
+        self._bind_hot_paths()
+
+    @property
+    def sched_bus(self) -> Any:
+        """Bus for sched.* events; assigning rebinds hot paths."""
+        return self._sched_bus
+
+    @sched_bus.setter
+    def sched_bus(self, value: Any) -> None:
+        self._sched_bus = value
+        self._bind_hot_paths()
+
+    @property
+    def ledger(self) -> Any:
+        """Cycle ledger; assigning rebinds the accounting path."""
+        return self._ledger
+
+    @ledger.setter
+    def ledger(self, value: Any) -> None:
+        self._ledger = value
+        self._bind_hot_paths()
+
+    def _bind_hot_paths(self) -> None:
+        """Select lean or instrumented variants of the hot functions.
+
+        Called whenever ``trace``/``sched_bus``/``ledger`` change.  The
+        bound methods live in the instance dict, shadowing nothing (the
+        class only defines the suffixed variants), so every internal call
+        site — ``self._run_on(...)`` etc. — dispatches straight to the
+        right variant with zero per-event telemetry checks.
+        """
+        if self._trace is None and self._sched_bus is None:
+            self._run_on = self._run_on_lean
+            self._release_core = self._release_core_lean
+            self._finish_thread = self._finish_thread_lean
+        else:
+            self._run_on = self._run_on_instrumented
+            self._release_core = self._release_core_instrumented
+            self._finish_thread = self._finish_thread_instrumented
+        if self._ledger is None:
+            self._apply_progress = self._apply_progress_lean
+        else:
+            self._apply_progress = self._apply_progress_ledger
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -374,25 +485,29 @@ class Kernel:
                 microtask batch; return True to stop.
             max_events: Safety bound on processed timers.
         """
+        micro = self._micro
+        timers = self._timers
+        pop = timers.pop
         processed = 0
         while True:
-            while self._micro:
-                task = self._micro.popleft()
-                task()
+            while micro:
+                micro.popleft()()
             if stop_when is not None and stop_when():
                 return
-            timer = self._pop_timer()
+            timer = pop()
             if timer is None:
-                if self._micro:
+                if micro:
                     continue
                 break
-            if until_time is not None and timer.when > until_time:
-                heapq.heappush(self._heap, timer)
-                self.now = max(self.now, until_time)
+            when = timer.when
+            if until_time is not None and when > until_time:
+                timers.push(timer)
+                if until_time > self.now:
+                    self.now = until_time
                 return
-            if timer.when < self.now:
+            if when < self.now:
                 raise SimulationError("timer scheduled in the past")
-            self.now = timer.when
+            self.now = when
             timer.fn()
             self.events_processed += 1
             processed += 1
@@ -404,10 +519,21 @@ class Kernel:
 
         Raises :class:`DeadlockError` if the event queue drains while some
         of the joined threads are still parked.
+
+        The stop condition is amortised O(1): finished threads are popped
+        off the front of a pending deque instead of re-scanning every
+        target per processed event (``join`` over a large batch made the
+        stop check itself a hot function).
         """
-        targets = list(threads)
-        self.run(stop_when=lambda: all(t.done for t in targets), max_events=max_events)
-        stuck = [t for t in targets if not t.done]
+        pending = deque(t for t in threads if not t.done)
+
+        def all_done() -> bool:
+            while pending and pending[0].state is ThreadState.DONE:
+                pending.popleft()
+            return not pending
+
+        self.run(stop_when=all_done, max_events=max_events)
+        stuck = [t for t in threads if not t.done]
         if stuck:
             states = ", ".join(f"{t.name}={t.state.value}" for t in stuck)
             raise DeadlockError(f"event queue drained with threads parked: {states}")
@@ -416,23 +542,20 @@ class Kernel:
         """Run until no timers or microtasks remain."""
         self.run()
 
-    def _pop_timer(self) -> _Timer | None:
-        while self._heap:
-            timer = heapq.heappop(self._heap)
-            if not timer.cancelled:
-                return timer
-        return None
-
-    def _at(self, delay: float, fn: Callable[[], None]) -> _Timer:
+    def _at(self, delay: float, fn: Callable[[], None]) -> Timer:
         if delay < 0:
             raise SimulationError("cannot schedule a timer in the past")
-        timer = _Timer(self.now + delay, next(self._seq), fn)
-        heapq.heappush(self._heap, timer)
+        timer = Timer(self.now + delay, next(self._seq), fn)
+        self._timers.push(timer)
         return timer
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> _Timer:
+    def call_at(self, when: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn`` at absolute cycle ``when`` (driver-side hook)."""
         return self._at(when - self.now, fn)
+
+    def timer_stats(self) -> dict[str, int]:
+        """Timer-queue internals (stored/live/compactions), for tests."""
+        return self._timers.stats()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -450,7 +573,9 @@ class Kernel:
             return
         thread.state = ThreadState.READY
         self._ready.append(thread)
-        self._micro.append(self._try_dispatch)
+        if not self._dispatch_queued:
+            self._dispatch_queued = True
+            self._micro.append(self._try_dispatch)
 
     def _idle_core_for(self, thread: SimThread) -> LogicalCPU | None:
         """Pick an idle logical CPU the thread's affinity admits.
@@ -473,14 +598,14 @@ class Kernel:
         first_idle_seen = False
         for i in range(self._idle_scan_start, n):
             cpu = cpus[i]
-            if not cpu.idle:
+            if cpu.thread is not None:
                 continue
             if not first_idle_seen:
                 first_idle_seen = True
                 self._idle_scan_start = i
             if not thread.allowed_on(cpu.index):
                 continue
-            if cpu.sibling is None or cpu.sibling.idle:
+            if cpu.sibling is None or cpu.sibling.thread is None:
                 return cpu
             if fallback is None:
                 fallback = cpu
@@ -494,28 +619,58 @@ class Kernel:
         Threads whose allowed CPUs are all busy stay queued (in order)
         without blocking later, compatible threads.
         """
-        if not self._ready:
+        self._dispatch_queued = False
+        ready = self._ready
+        if not ready:
             return
         deferred: deque[SimThread] = deque()
-        while self._ready:
-            thread = self._ready.popleft()
+        run_on = self._run_on
+        while ready:
+            thread = ready.popleft()
             if thread.state is not ThreadState.READY:
                 continue
             core = self._idle_core_for(thread)
             if core is None:
                 deferred.append(thread)
                 continue
-            self._run_on(core, thread)
+            run_on(core, thread)
         self._ready = deferred
 
-    def _run_on(self, core: LogicalCPU, thread: SimThread) -> None:
+    # The _run_on/_release_core/_finish_thread lean and instrumented
+    # variants must stay in lockstep: the instrumented one is the lean body
+    # plus trace/bus emits at the exact points the seed kernel emitted.
+
+    def _run_on_lean(self, core: LogicalCPU, thread: SimThread) -> None:
         thread.state = ThreadState.RUNNING
         thread.core = core
         core.thread = thread
         thread.slice_end = self.now + self.spec.timeslice_cycles
-        if self.trace is not None:
-            self.trace.record(self.now, "dispatch", thread.name, core.index)
-        bus = self.sched_bus
+        self._sibling_changed(core)
+        pending = thread._pending
+        thread._pending = None
+        if pending is None:
+            value = thread._resume_value
+            thread._resume_value = None
+            self._step(thread, value)
+        elif pending.__class__ is Spin or isinstance(pending, Spin):
+            if thread._spin_result is not None or pending.event.fired:
+                thread._spin_result = None
+                self._step(thread, True)
+            else:
+                self._start_work(
+                    core, thread, "spin", pending.timeout, pending.event, tag=pending.tag
+                )
+        else:
+            self._start_work(core, thread, "compute", pending.cycles, tag=pending.tag)
+
+    def _run_on_instrumented(self, core: LogicalCPU, thread: SimThread) -> None:
+        thread.state = ThreadState.RUNNING
+        thread.core = core
+        core.thread = thread
+        thread.slice_end = self.now + self.spec.timeslice_cycles
+        if self._trace is not None:
+            self._trace.record(self.now, "dispatch", thread.name, core.index)
+        bus = self._sched_bus
         if bus is not None:
             bus.emit("sched.dispatch", thread=thread.name, cpu=core.index)
         self._sibling_changed(core)
@@ -536,15 +691,29 @@ class Kernel:
         else:
             self._start_work(core, thread, "compute", pending.cycles, tag=pending.tag)
 
-    def _release_core(self, thread: SimThread) -> None:
+    def _release_core_lean(self, thread: SimThread) -> None:
+        core = thread.core
+        if core is None:
+            return
+        thread.core = None
+        core.thread = None
+        core.activity = None
+        if core.index < self._idle_scan_start:
+            self._idle_scan_start = core.index
+        self._sibling_changed(core)
+        if not self._dispatch_queued:
+            self._dispatch_queued = True
+            self._micro.append(self._try_dispatch)
+
+    def _release_core_instrumented(self, thread: SimThread) -> None:
         core = thread.core
         if core is None:
             return
         if thread.state is not ThreadState.DONE:
             event = "preempt" if thread.state is ThreadState.RUNNING else "park"
-            if self.trace is not None:
-                self.trace.record(self.now, event, thread.name, core.index)
-            bus = self.sched_bus
+            if self._trace is not None:
+                self._trace.record(self.now, event, thread.name, core.index)
+            bus = self._sched_bus
             if bus is not None:
                 bus.emit(f"sched.{event}", thread=thread.name, cpu=core.index)
         thread.core = None
@@ -553,7 +722,9 @@ class Kernel:
         if core.index < self._idle_scan_start:
             self._idle_scan_start = core.index
         self._sibling_changed(core)
-        self._micro.append(self._try_dispatch)
+        if not self._dispatch_queued:
+            self._dispatch_queued = True
+            self._micro.append(self._try_dispatch)
 
     def _sibling_changed(self, core: LogicalCPU) -> None:
         """Re-time the sibling's running activity after occupancy changed."""
@@ -575,6 +746,7 @@ class Kernel:
         core = thread.core
         if core is None:
             raise SimulationError(f"stepping off-core thread {thread.name}")
+        send = thread.gen.send
         steps = 0
         while True:
             steps += 1
@@ -583,17 +755,22 @@ class Kernel:
                     f"thread {thread.name!r} executed {steps} zero-time steps"
                 )
             try:
-                instr = thread.gen.send(value)
+                instr = send(value)
             except StopIteration as stop:
                 self._finish_thread(thread, stop.value)
                 return
-            if isinstance(instr, Compute):
+            # Exact-type dispatch: the instruction dataclasses are final in
+            # practice, and ``type is`` beats isinstance chains on the
+            # hottest call in the simulator.  Unknown (subclassed) types
+            # fall through to the isinstance chain below.
+            cls = instr.__class__
+            if cls is Compute:
                 if instr.cycles <= 0:
                     value = None
                     continue
                 self._start_work(core, thread, "compute", instr.cycles, tag=instr.tag)
                 return
-            if isinstance(instr, Spin):
+            if cls is Spin:
                 if instr.event.fired:
                     value = True
                     continue
@@ -605,7 +782,7 @@ class Kernel:
                     core, thread, "spin", instr.timeout, instr.event, tag=instr.tag
                 )
                 return
-            if isinstance(instr, Block):
+            if cls is Block:
                 if instr.event.fired:
                     value = instr.event.value
                     continue
@@ -613,7 +790,7 @@ class Kernel:
                 instr.event._blocked.append(thread)
                 self._release_core(thread)
                 return
-            if isinstance(instr, Sleep):
+            if cls is Sleep:
                 if instr.cycles <= 0:
                     value = None
                     continue
@@ -621,22 +798,75 @@ class Kernel:
                 self._release_core(thread)
                 self._at(instr.cycles, partial(self._wake_sleeper, thread))
                 return
-            if isinstance(instr, YieldCPU):
+            if cls is YieldCPU:
                 if self._ready:
                     self._release_core(thread)
                     self._make_ready(thread)
                     return
                 value = None
                 continue
-            raise SimulationError(f"unknown instruction yielded: {instr!r}")
+            handled = self._step_subclass(thread, core, instr)
+            if handled is _PARKED:
+                return
+            value = handled
 
-    def _finish_thread(self, thread: SimThread, result: Any) -> None:
+    def _step_subclass(self, thread: SimThread, core: LogicalCPU, instr: Any) -> Any:
+        """Slow path of :meth:`_step` for subclassed instructions.
+
+        Returns the next ``value`` to send, or the ``_PARKED`` sentinel when
+        the thread parked on the instruction.
+        """
+        if isinstance(instr, Compute):
+            if instr.cycles <= 0:
+                return None
+            self._start_work(core, thread, "compute", instr.cycles, tag=instr.tag)
+            return _PARKED
+        if isinstance(instr, Spin):
+            if instr.event.fired:
+                return True
+            if instr.timeout <= 0:
+                return False
+            instr.event._spinners.append(thread)
+            self._start_work(
+                core, thread, "spin", instr.timeout, instr.event, tag=instr.tag
+            )
+            return _PARKED
+        if isinstance(instr, Block):
+            if instr.event.fired:
+                return instr.event.value
+            thread.state = ThreadState.BLOCKED
+            instr.event._blocked.append(thread)
+            self._release_core(thread)
+            return _PARKED
+        if isinstance(instr, Sleep):
+            if instr.cycles <= 0:
+                return None
+            thread.state = ThreadState.SLEEPING
+            self._release_core(thread)
+            self._at(instr.cycles, partial(self._wake_sleeper, thread))
+            return _PARKED
+        if isinstance(instr, YieldCPU):
+            if self._ready:
+                self._release_core(thread)
+                self._make_ready(thread)
+                return _PARKED
+            return None
+        raise SimulationError(f"unknown instruction yielded: {instr!r}")
+
+    def _finish_thread_lean(self, thread: SimThread, result: Any) -> None:
         thread.state = ThreadState.DONE
         thread.result = result
-        if self.trace is not None:
+        if thread.core is not None:
+            self._release_core(thread)
+        thread.done_event.fire(result)
+
+    def _finish_thread_instrumented(self, thread: SimThread, result: Any) -> None:
+        thread.state = ThreadState.DONE
+        thread.result = result
+        if self._trace is not None:
             cpu = thread.core.index if thread.core is not None else -1
-            self.trace.record(self.now, "finish", thread.name, cpu)
-        bus = self.sched_bus
+            self._trace.record(self.now, "finish", thread.name, cpu)
+        bus = self._sched_bus
         if bus is not None:
             bus.emit("sched.finish", thread=thread.name)
         if thread.core is not None:
@@ -702,47 +932,85 @@ class Kernel:
             raise SimulationError("scheduling timer on idle core")
         # Clamp: floating-point progress accounting can leave a remainder
         # of ~1 ulp below zero after an SMT speed change.
-        work_left = max(activity.work_total - activity.work_done, 0.0)
+        work_left = activity.work_total - activity.work_done
+        if work_left < 0.0:
+            work_left = 0.0
         wall_remaining = work_left / activity.speed
-        t_complete = self.now + wall_remaining
-        if t_complete <= thread.slice_end:
+        if self.now + wall_remaining <= thread.slice_end:
             activity.timer = self._at(wall_remaining, core._complete_cb)
         else:
             activity.timer = self._at(thread.slice_end - self.now, core._slice_cb)
 
-    def _apply_progress(self, core: LogicalCPU) -> None:
+    # The two _apply_progress variants must stay in lockstep: the ledger
+    # one is the lean body plus the per-thread ledger-cell charge.
+
+    def _apply_progress_lean(self, core: LogicalCPU) -> None:
         activity = core.activity
         thread = core.thread
         if activity is None or thread is None:
             return
-        dt = self.now - activity.last_update
+        now = self.now
+        dt = now - activity.last_update
+        if dt <= 0:
+            return
+        activity.work_done += dt * activity.speed
+        activity.last_update = now
+        core.busy_cycles += dt
+        kind = thread.kind
+        if kind == core._acc_kind:
+            core._acc_cycles += dt
+        else:
+            core._fold_kind()
+            core._acc_kind = kind
+            core._acc_cycles = dt
+        thread.cpu_cycles += dt
+        if activity.spin_event is None:
+            thread.cycles_compute += dt
+        else:
+            thread.cycles_spin += dt
+
+    def _apply_progress_ledger(self, core: LogicalCPU) -> None:
+        activity = core.activity
+        thread = core.thread
+        if activity is None or thread is None:
+            return
+        now = self.now
+        dt = now - activity.last_update
         if dt <= 0:
             return
         work = dt * activity.speed
         activity.work_done += work
-        activity.last_update = self.now
+        activity.last_update = now
         core.busy_cycles += dt
-        core.busy_by_kind[thread.kind] = core.busy_by_kind.get(thread.kind, 0.0) + dt
+        kind = thread.kind
+        if kind == core._acc_kind:
+            core._acc_cycles += dt
+        else:
+            core._fold_kind()
+            core._acc_kind = kind
+            core._acc_cycles = dt
         thread.cpu_cycles += dt
-        thread.cycles_by[activity.kind] = thread.cycles_by.get(activity.kind, 0.0) + dt
-        if self.ledger is not None:
-            # Charge into per-thread nested dicts rather than the ledger's
-            # (thread.kind, activity.kind, tag) table: this runs once per
-            # accounting interval, and two cached-hash subscripts (with a
-            # zero-cost try/except for the rare first miss) are measurably
-            # cheaper than building and hashing a key tuple.
-            # CycleLedger.snapshot folds these into the table.
-            try:
-                cell = thread.ledger_cells[activity.kind][activity.tag]
-            except (KeyError, TypeError):
-                cells = thread.ledger_cells
-                if cells is None:
-                    cells = thread.ledger_cells = {}
-                cell = cells.setdefault(activity.kind, {}).setdefault(
-                    activity.tag, [0.0, 0.0]
-                )
-            cell[0] += dt
-            cell[1] += work
+        if activity.spin_event is None:
+            thread.cycles_compute += dt
+        else:
+            thread.cycles_spin += dt
+        # Charge into per-thread nested dicts rather than the ledger's
+        # (thread.kind, activity.kind, tag) table: this runs once per
+        # accounting interval, and two cached-hash subscripts (with a
+        # zero-cost try/except for the rare first miss) are measurably
+        # cheaper than building and hashing a key tuple.
+        # CycleLedger.snapshot folds these into the table.
+        try:
+            cell = thread.ledger_cells[activity.kind][activity.tag]
+        except (KeyError, TypeError):
+            cells = thread.ledger_cells
+            if cells is None:
+                cells = thread.ledger_cells = {}
+            cell = cells.setdefault(activity.kind, {}).setdefault(
+                activity.tag, [0.0, 0.0]
+            )
+        cell[0] += dt
+        cell[1] += work
 
     def _on_work_complete(self, core: LogicalCPU) -> None:
         activity = core.activity
@@ -751,9 +1019,9 @@ class Kernel:
             return
         self._apply_progress(core)
         core.activity = None
-        if activity.kind == "spin":
+        if activity.spin_event is not None:
             event = activity.spin_event
-            if event is not None and thread in event._spinners:
+            if thread in event._spinners:
                 event._spinners.remove(thread)
             result: Any = thread._spin_result if thread._spin_result is not None else False
             thread._spin_result = None
@@ -824,8 +1092,9 @@ class Kernel:
         Call before reading per-thread or per-core cycle counters so that
         work in flight is included.
         """
+        apply_progress = self._apply_progress
         for core in self.cpus:
-            self._apply_progress(core)
+            apply_progress(core)
 
     def cpu_snapshot(self) -> dict[str, Any]:
         """Return cumulative CPU accounting up to the current instant.
@@ -866,3 +1135,7 @@ class Kernel:
         no O(n) state filter, no stale-entry double counting.
         """
         return len(self._ready)
+
+
+#: Sentinel returned by :meth:`Kernel._step_subclass` when the thread parked.
+_PARKED = object()

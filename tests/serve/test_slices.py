@@ -1,0 +1,162 @@
+"""Slice-parallel serving: partition correctness and deterministic merge.
+
+The guarantee under test (see :mod:`repro.serve.slices`): with rendezvous
+placement, every slice regenerates the identical seeded arrival stream,
+serves exactly the arrivals whose owner shard it hosts, and the merged
+artifact is a deterministic superposition of the slice timelines.  Under
+light load (no cross-request CPU contention) a sliced run reproduces the
+unsliced per-shard outcomes exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.bench import run_serve_bench
+from repro.serve.router import _rendezvous_score
+from repro.serve.slices import (
+    make_admit,
+    merge_slice_results,
+    owner_shard,
+    run_slice_bench,
+    slice_shard_ids,
+    split_budget,
+)
+
+LIGHT = dict(seconds=0.04, rate=3_000.0, seed=11)
+
+
+def outcome_keys(entry):
+    """The contention-independent per-shard outcome fields."""
+    return {
+        "shard": entry["shard"],
+        "completed": entry["completed"],
+        "failed": entry["failed"],
+        "mutations": entry["mutations"],
+        # Worker wake state is machine-local, so the switchless/fallback
+        # split legitimately differs between one host and N modeled
+        # hosts — but every request still issues the same ocalls.
+        "ocalls": entry["switchless_ocalls"]
+        + entry["regular_ocalls"]
+        + entry["fallback_ocalls"],
+    }
+
+
+class TestPartition:
+    def test_round_robin_partition(self):
+        assert slice_shard_ids(4, 2) == [(0, 2), (1, 3)]
+        assert slice_shard_ids(5, 3) == [(0, 3), (1, 4), (2,)]
+        assert slice_shard_ids(3, 1) == [(0, 1, 2)]
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            slice_shard_ids(4, 5)
+        with pytest.raises(ValueError):
+            slice_shard_ids(4, 0)
+
+    def test_owner_matches_router_pick(self):
+        shards = 7
+        for index in range(64):
+            key = f"key-{index}".encode()
+            expected = max(
+                range(shards), key=lambda s: _rendezvous_score(key, s)
+            )
+            assert owner_shard(key, shards) == expected
+
+    def test_admit_predicates_partition_keyspace(self):
+        shards, slices = 6, 3
+        admits = [
+            make_admit(ids, shards) for ids in slice_shard_ids(shards, slices)
+        ]
+        for index in range(128):
+            key = f"key-{index}".encode()
+            assert sum(admit(key) for admit in admits) == 1
+
+    def test_split_budget_apportions_whole_budget(self):
+        partitions = slice_shard_ids(5, 3)  # 2 + 2 + 1 shards
+        budgets = split_budget(12, partitions, 5)
+        assert sum(budgets) == 12
+        assert budgets[2] < budgets[0]
+        assert split_budget(None, partitions, 5) == [None, None, None]
+
+
+class TestEquivalence:
+    def test_sliced_matches_unsliced_per_shard(self):
+        base = run_serve_bench(shards=4, telemetry=False, **LIGHT)
+        sliced = run_slice_bench(4, 2, jobs=1, **LIGHT)
+        assert [outcome_keys(e) for e in base["per_shard"]] == [
+            outcome_keys(e) for e in sliced["per_shard"]
+        ]
+        for field in ("submitted", "completed", "shed", "failed", "issued"):
+            assert base["totals"][field] == sliced["totals"][field]
+
+    def test_tenant_streams_survive_slicing(self):
+        tenants = {"gold": 3.0, "bronze": 1.0}
+        base = run_serve_bench(shards=4, tenants=tenants, telemetry=False, **LIGHT)
+        sliced = run_slice_bench(4, 2, tenants=tenants, jobs=1, **LIGHT)
+        for tenant in tenants:
+            for field in ("submitted", "completed", "shed", "failed"):
+                assert (
+                    base["per_tenant"][tenant][field]
+                    == sliced["per_tenant"][tenant][field]
+                ), (tenant, field)
+
+    def test_merge_conserves_counts(self):
+        sliced = run_slice_bench(5, 3, jobs=1, **LIGHT)
+        assert sliced["totals"]["completed"] == sum(
+            entry["completed"] for entry in sliced["slices"]
+        )
+        assert sorted(e["shard"] for e in sliced["per_shard"]) == list(range(5))
+        owned = [index for entry in sliced["slices"] for index in entry["shard_ids"]]
+        assert sorted(owned) == list(range(5))
+
+    def test_fork_pool_matches_serial(self):
+        serial = run_slice_bench(4, 2, jobs=1, **LIGHT)
+        pooled = run_slice_bench(4, 2, jobs=2, **LIGHT)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+
+    def test_artifact_shape_and_provenance(self):
+        sliced = run_slice_bench(4, 2, jobs=1, **LIGHT)
+        assert sliced["meta"]["artifact"] == "serve-bench"
+        assert sliced["params"]["slices"] == 2
+        assert sliced["params"]["slice_shards"] == [[0, 2], [1, 3]]
+        assert "latency_us" in sliced["totals"]
+        assert sliced["totals"]["latency_us"]["count"] == float(
+            sliced["totals"]["completed"]
+        )
+
+
+class TestAudit:
+    def test_audit_section_aggregates_slice_verdicts(self):
+        sliced = run_slice_bench(4, 2, jobs=1, audit=True, **LIGHT)
+        assert sliced["audit"]["ok"] is True
+        assert len(sliced["audit"]["cells"]) == 2
+        assert sliced["audit"]["violations"] == 0
+
+
+class TestValidation:
+    def test_requires_hash_policy(self):
+        with pytest.raises(ValueError, match="hash"):
+            run_slice_bench(4, 2, policy="rr", jobs=1, **LIGHT)
+
+    def test_merge_rejects_empty(self):
+        from repro.sim import server_machine
+
+        with pytest.raises(ValueError, match="nothing to merge"):
+            merge_slice_results([], server_machine())
+
+    def test_fault_plan_attaches_only_in_owning_slice(self):
+        sliced = run_slice_bench(
+            4,
+            2,
+            plan="enclave-lost",
+            fault_shard=1,
+            budget=8,
+            jobs=1,
+            **LIGHT,
+        )
+        assert sliced["params"]["plan"] == "enclave-lost"
+        # Shard 1 lives in slice 1; its quarantine shows up post-merge.
+        assert sliced["totals"]["quarantines"] >= 1

@@ -1,0 +1,244 @@
+"""Calendar-queue timer wheel: edge cases, compaction, heap equivalence.
+
+The kernel's simulated outcomes ride entirely on the timer queue popping
+in exact ``(when, seq)`` order, so these tests hammer the places where
+the wheel's structure could diverge from the reference heap: same-cycle
+seq ties, the overflow heap and its migration/rebase, pushes behind the
+drain point, cancellation (including during a drain), and the compaction
+that keeps mass cancel/re-arm workloads O(live).
+"""
+
+import random
+
+import pytest
+
+from repro.sim.timerqueue import (
+    COMPACT_MIN_CANCELLED,
+    CalendarQueue,
+    Timer,
+    TimerHeap,
+    make_timer_queue,
+)
+
+
+def make_wheel(width=10.0, buckets=8):
+    return CalendarQueue(bucket_cycles=width, n_buckets=buckets)
+
+
+def drain(queue):
+    out = []
+    while True:
+        timer = queue.pop()
+        if timer is None:
+            return out
+        out.append((timer.when, timer.seq))
+
+
+def push_all(queue, entries):
+    timers = [Timer(when, seq, None) for when, seq in entries]
+    for timer in timers:
+        queue.push(timer)
+    return timers
+
+
+class TestOrdering:
+    def test_same_timestamp_pops_in_seq_order(self):
+        queue = make_wheel()
+        entries = [(5.0, seq) for seq in (3, 0, 7, 1, 4)]
+        push_all(queue, entries)
+        assert drain(queue) == sorted(entries, key=lambda e: e[1])
+
+    def test_same_timestamp_across_push_pop_interleave(self):
+        # Later pushes at an identical timestamp always carry larger seq,
+        # so serving the extracted batch before re-reading the bucket must
+        # preserve exact order.
+        queue = make_wheel()
+        push_all(queue, [(5.0, 0), (5.0, 1)])
+        first = queue.pop()
+        assert (first.when, first.seq) == (5.0, 0)
+        queue.push(Timer(5.0, 2, None))
+        assert [(t, s) for t, s in drain(queue)] == [(5.0, 1), (5.0, 2)]
+
+    def test_push_behind_drain_point_still_ordered(self):
+        queue = make_wheel(width=10.0, buckets=8)
+        push_all(queue, [(35.0, 0), (70.0, 1)])
+        assert queue.pop().seq == 0  # drain point now in bucket 3
+        # A shorter deadline than the drain point's bucket start: lands in
+        # the (heap-ordered) current bucket and must pop before 70.0.
+        queue.push(Timer(12.0, 2, None))
+        assert drain(queue) == [(12.0, 2), (70.0, 1)]
+
+    def test_total_order_equals_sorted(self):
+        queue = make_wheel(width=7.0, buckets=16)
+        rng = random.Random(5)
+        entries = [(rng.uniform(0, 500), seq) for seq in range(300)]
+        push_all(queue, entries)
+        assert drain(queue) == sorted(entries)
+
+
+class TestOverflow:
+    def test_far_future_goes_to_overflow_and_migrates(self):
+        queue = make_wheel(width=10.0, buckets=8)  # horizon = 80
+        push_all(queue, [(5.0, 0), (790.0, 1), (81.0, 2)])
+        assert queue.stats()["overflow"] == 2
+        assert drain(queue) == [(5.0, 0), (81.0, 2), (790.0, 1)]
+        assert queue.migrations >= 2
+
+    def test_empty_wheel_rebases_to_overflow_min(self):
+        queue = make_wheel(width=10.0, buckets=8)
+        push_all(queue, [(123_456.0, 0)])
+        assert queue.stats()["overflow"] == 1  # far beyond the horizon
+        popped = queue.pop()
+        assert (popped.when, popped.seq) == (123_456.0, 0)
+        # The window rebased: a new near-term push after the rebase point
+        # still pops correctly.
+        queue.push(Timer(123_460.0, 1, None))
+        assert drain(queue) == [(123_460.0, 1)]
+
+    def test_overflow_never_pops_before_wheel(self):
+        queue = make_wheel(width=10.0, buckets=4)  # tiny horizon = 40
+        rng = random.Random(11)
+        entries = [(rng.uniform(0, 400), seq) for seq in range(200)]
+        push_all(queue, entries)
+        assert drain(queue) == sorted(entries)
+
+
+class TestCancellation:
+    def test_cancelled_timer_is_skipped(self):
+        queue = make_wheel()
+        timers = push_all(queue, [(5.0, 0), (6.0, 1), (7.0, 2)])
+        timers[1].cancel()
+        assert drain(queue) == [(5.0, 0), (7.0, 2)]
+
+    def test_cancel_is_idempotent(self):
+        queue = make_wheel()
+        (timer,) = push_all(queue, [(5.0, 0)])
+        timer.cancel()
+        timer.cancel()
+        assert queue.live() == 0
+        assert drain(queue) == []
+
+    def test_cancel_during_callback_window(self):
+        # The serve router's pattern: a popped timer's callback cancels
+        # other pending timers (completion timeouts) and re-arms new ones.
+        queue = make_wheel()
+        timers = push_all(queue, [(5.0, 0), (6.0, 1), (7.0, 2)])
+        first = queue.pop()
+        assert first.seq == 0
+        timers[2].cancel()  # cancel mid-drain, before its pop
+        queue.push(Timer(6.5, 3, None))
+        assert drain(queue) == [(6.0, 1), (6.5, 3)]
+
+    def test_cancel_batched_same_timestamp_entry(self):
+        # Batch extraction must still skip entries cancelled after the
+        # batch was pulled out of the bucket.
+        queue = make_wheel()
+        timers = push_all(queue, [(5.0, 0), (5.0, 1), (5.0, 2)])
+        assert queue.pop().seq == 0  # extracts the 5.0 run into the batch
+        timers[1].cancel()
+        assert drain(queue) == [(5.0, 2)]
+
+
+class TestCompaction:
+    def test_mass_cancel_rearm_stays_bounded(self):
+        # The serve router's completion-timeout pattern: arm a timeout per
+        # request, cancel nearly every one, re-arm.  Without compaction
+        # the structure accumulates one dead entry per request; with it,
+        # stored() stays O(live + compaction threshold).
+        queue = make_wheel(width=100.0, buckets=64)
+        seq = 0
+        for _round in range(200):
+            batch = [Timer(5_000.0 + seq + i, seq + i, None) for i in range(50)]
+            seq += 50
+            for timer in batch:
+                queue.push(timer)
+            for timer in batch:
+                timer.cancel()
+            assert queue.stored() <= queue.live() + 2 * COMPACT_MIN_CANCELLED + 50
+        assert queue.compactions > 0
+        assert queue.live() == 0
+
+    def test_compaction_preserves_survivors_order(self):
+        queue = make_wheel(width=10.0, buckets=16)
+        rng = random.Random(3)
+        timers = push_all(
+            queue, [(rng.uniform(0, 1000), seq) for seq in range(600)]
+        )
+        survivors = []
+        for timer in timers:
+            if rng.random() < 0.8:
+                timer.cancel()
+            else:
+                survivors.append((timer.when, timer.seq))
+        queue.compact()
+        assert queue.stored() == queue.live() == len(survivors)
+        assert drain(queue) == sorted(survivors)
+
+    def test_compaction_keeps_partially_served_batch(self):
+        queue = make_wheel()
+        push_all(queue, [(5.0, 0), (5.0, 1), (5.0, 2)])
+        assert queue.pop().seq == 0  # 5.0 run now sits in the batch buffer
+        queue.compact()
+        assert drain(queue) == [(5.0, 1), (5.0, 2)]
+
+    def test_heap_backend_reports_zero_compactions(self):
+        heap = TimerHeap()
+        push_all(heap, [(5.0, 0)])
+        assert heap.stats()["compactions"] == 0
+
+
+class TestWheelHeapEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_workload_pops_identically(self, seed):
+        # Property test: an adversarial interleave of pushes (near, far,
+        # behind the drain point), pops and cancels produces the exact
+        # same pop sequence from both backends.
+        rng = random.Random(seed)
+        wheel = CalendarQueue(bucket_cycles=rng.uniform(3.0, 50.0), n_buckets=16)
+        heap = TimerHeap()
+        live: list[tuple[Timer, Timer]] = []
+        now = 0.0
+        seq = 0
+        wheel_pops, heap_pops = [], []
+        for _ in range(2_000):
+            action = rng.random()
+            if action < 0.55:
+                when = now + rng.choice((0.0, 0.5, 7.0, 40.0, 900.0)) * (
+                    1 + rng.random()
+                )
+                pair = (Timer(when, seq, None), Timer(when, seq, None))
+                seq += 1
+                wheel.push(pair[0])
+                heap.push(pair[1])
+                live.append(pair)
+            elif action < 0.85:
+                w, h = wheel.pop(), heap.pop()
+                if w is not None:
+                    now = max(now, w.when)
+                    wheel_pops.append((w.when, w.seq))
+                if h is not None:
+                    heap_pops.append((h.when, h.seq))
+            elif live:
+                pair = live.pop(rng.randrange(len(live)))
+                pair[0].cancel()
+                pair[1].cancel()
+        wheel_pops += [(t.when, t.seq) for t in iter(wheel.pop, None)]
+        heap_pops += [(t.when, t.seq) for t in iter(heap.pop, None)]
+        assert wheel_pops == heap_pops
+        assert wheel_pops == sorted(wheel_pops)
+
+
+class TestFactory:
+    def test_make_timer_queue_backends(self):
+        assert isinstance(make_timer_queue("heap", 1000.0), TimerHeap)
+        assert isinstance(make_timer_queue("wheel", 1000.0), CalendarQueue)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="timers must be one of"):
+            make_timer_queue("btree", 1000.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(bucket_cycles=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(n_buckets=1)

@@ -1,0 +1,85 @@
+"""Dual-run equivalence: wheel and heap kernels are byte-identical.
+
+The calendar queue may only change *host* performance.  These tests run
+the same seeded workloads on ``Kernel(..., timers="wheel")`` and
+``timers="heap")`` and require identical simulated outcomes — clock,
+event counts, per-thread accounting, scheduler state, and (for the serve
+layer) the entire JSON artifact, byte for byte.
+"""
+
+import json
+
+import pytest
+
+import repro.sim.kernel as kernel_mod
+from repro.profiler.meta import run_storm
+from repro.sim import Compute, Kernel, Sleep, paper_machine
+from repro.sim.timerqueue import make_timer_queue
+
+
+def snapshot(kernel):
+    return {
+        "now": kernel.now,
+        "events": kernel.events_processed,
+        "cycles_by": [dict(t.cycles_by) for t in kernel.threads],
+        "cpus": kernel.cpu_snapshot(),
+    }
+
+
+@pytest.mark.parametrize("use_zc", [False, True])
+def test_meta_storm_outcomes_identical(use_zc):
+    runs = {
+        backend: run_storm(use_zc=use_zc, n_ocalls=600, timers=backend)
+        for backend in ("wheel", "heap")
+    }
+    assert snapshot(runs["wheel"]) == snapshot(runs["heap"])
+
+
+def test_sleep_heavy_workload_identical():
+    def build(timers):
+        kernel = Kernel(paper_machine(), timers=timers)
+
+        def worker(seed):
+            for step in range(40):
+                yield Compute(100 + 37 * ((seed * 31 + step) % 11))
+                yield Sleep(1_000 + 997 * ((seed * 17 + step) % 13))
+
+        threads = [kernel.spawn(worker(i), name=f"w{i}") for i in range(12)]
+        kernel.join(*threads)
+        return kernel
+
+    assert snapshot(build("wheel")) == snapshot(build("heap"))
+
+
+def _serve_artifact(monkeypatch, backend):
+    from repro.serve.bench import run_serve_bench
+
+    original = make_timer_queue
+    monkeypatch.setattr(
+        kernel_mod,
+        "make_timer_queue",
+        lambda _requested, timeslice: original(backend, timeslice),
+    )
+    result = run_serve_bench(
+        shards=3,
+        seconds=0.03,
+        rate=5_000.0,
+        budget=6,
+        tenants={"gold": 3.0, "bronze": 1.0},
+        telemetry=False,
+    )
+    return json.dumps(result, sort_keys=True)
+
+
+def test_serve_bench_artifact_byte_identical(monkeypatch):
+    # The full serving stack — router timeouts, budget arbiter, tenant
+    # fair shedding, per-request spans — exercises mass cancel/re-arm and
+    # timeslice preemption; its artifact must not depend on the backend.
+    assert _serve_artifact(monkeypatch, "wheel") == _serve_artifact(
+        monkeypatch, "heap"
+    )
+
+
+def test_kernel_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="timers"):
+        Kernel(paper_machine(), timers="splay")
