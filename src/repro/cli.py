@@ -225,6 +225,14 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     """Diff a baseline against a re-run (or a second snapshot)."""
     from repro.regress import capture_run, diff_snapshots, load_snapshot
 
+    # Peek at the artifact kind before the regress loader stamps it:
+    # obs-windows baselines re-run their own scenario and gate the
+    # window stream instead of the cycle ledger.
+    with open(args.baseline, encoding="utf-8") as handle:
+        peek = json.load(handle)
+    if peek.get("meta", {}).get("artifact") == "obs-windows":
+        return _diff_obs_baseline(args)
+
     base = load_snapshot(args.baseline)
     if args.against is not None:
         current = load_snapshot(args.against)
@@ -262,6 +270,39 @@ def _cmd_diff(args: argparse.Namespace) -> int:
             handle.write(text)
         print(f"[diff report written to {args.report}]")
     return report.exit_code()
+
+
+def _diff_obs_baseline(args: argparse.Namespace) -> int:
+    """Re-run an obs-windows baseline's scenario and gate the stream."""
+    from repro.obs import (
+        compare_obs_baseline,
+        load_obs_baseline,
+        obs_snapshot,
+        run_obs_scenario,
+    )
+
+    baseline = load_obs_baseline(args.baseline)
+    if args.against is not None:
+        current = load_obs_baseline(args.against)
+    else:
+        print(
+            f"[obs baseline: re-running "
+            f"{baseline['params']['shards']}-shard windowed bench]"
+        )
+        current = obs_snapshot(run_obs_scenario(baseline["params"]))
+    violations = compare_obs_baseline(current, baseline, threshold=args.threshold)
+    summary = current["summary"]
+    print(
+        f"obs diff: {summary['records']} record(s) over "
+        f"{current['windows']} window(s), {summary['anomalies']} anomaly(ies)"
+    )
+    if violations:
+        print(f"obs baseline gate: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(f"obs baseline gate: OK (matches {args.baseline})")
+    return 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -404,6 +445,22 @@ def _parse_tenants(value: str | None) -> dict[str, float] | None:
     return mix
 
 
+def _replay_live_console(console: Any, obs: dict[str, Any]) -> None:
+    """Feed a finished window stream through the live console window by
+    window — the end-of-run fallback for sliced runs, where the windows
+    closed inside child processes."""
+    by_window: dict[int, list[dict[str, Any]]] = {}
+    for record in obs["records"]:
+        by_window.setdefault(record["window"], []).append(record)
+    anomalies_by_window: dict[int, list[dict[str, Any]]] = {}
+    for anomaly in obs["anomalies"]:
+        anomalies_by_window.setdefault(anomaly["window"], []).append(anomaly)
+    for index in sorted(by_window):
+        console.on_window(
+            index, by_window[index], anomalies_by_window.get(index, [])
+        )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the sharded serving bench; optionally gate against a baseline."""
     from repro.serve.bench import (
@@ -413,6 +470,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         write_result,
     )
 
+    if args.slices < 1:
+        raise SystemExit(f"--slices must be at least 1 (got {args.slices})")
+    if args.slices > args.shards:
+        raise SystemExit(
+            f"--slices {args.slices} exceeds the shard count "
+            f"({args.shards}); a slice needs at least one shard"
+        )
+    if args.obs_interval is not None and args.obs_interval <= 0:
+        raise SystemExit(
+            f"--obs-interval must be a positive cycle count "
+            f"(got {args.obs_interval:g})"
+        )
+    obs_enabled = bool(
+        args.obs
+        or args.live
+        or args.obs_interval is not None
+        or args.obs_out is not None
+        or args.obs_html is not None
+        or args.obs_snapshot is not None
+    )
+    console = None
+    obs_on_window = None
+    if args.live:
+        from repro.obs import LiveConsole
+
+        console = LiveConsole()
+        if args.slices > 1 or args.audit:
+            # Slice kernels run in child processes; the merged stream is
+            # only available at the end, so replay it then.
+            print(
+                "[--live: windows close inside slice processes; "
+                "rendering the merged stream after the run]"
+            )
+        else:
+            obs_on_window = console.on_window
     tenants = _parse_tenants(args.tenants)
     contracts = None
     if args.contracts is not None:
@@ -451,6 +543,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             contracts=contracts,
             audit=args.audit,
             jobs=args.jobs,
+            obs=obs_enabled,
+            obs_interval=args.obs_interval,
         )
     else:
         result = run_serve_bench(
@@ -473,7 +567,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             contracts=contracts,
             span_sink=span_sink,
             telemetry=False,
+            obs=obs_enabled,
+            obs_interval=args.obs_interval,
+            obs_on_window=obs_on_window,
         )
+    if console is not None and obs_on_window is None and "obs" in result:
+        _replay_live_console(console, result["obs"])
+    if console is not None:
+        console.finish()
     elapsed = time.monotonic() - started
     totals = result["totals"]
     latency = totals["latency_us"]
@@ -522,6 +623,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         count = write_spans_jsonl(args.spans, span_sink)
         print(f"[{count} span record(s) written to {args.spans}]")
+    if obs_enabled and "obs" in result:
+        from repro.obs import (
+            obs_snapshot,
+            write_html_report,
+            write_obs_snapshot,
+            write_windows_jsonl,
+        )
+
+        obs = result["obs"]
+        print(
+            f"  obs: {obs['windows']} window(s) x {len(obs['lanes'])} lane(s), "
+            f"{len(obs['records'])} record(s), "
+            f"{len(obs['anomalies'])} anomaly(ies)"
+            + (
+                f", {sum(obs['spilled'].values())} event(s) past the horizon"
+                if obs.get("spilled")
+                else ""
+            )
+        )
+        for anomaly in obs["anomalies"][:8]:
+            print(
+                f"    ! window {anomaly['window']} {anomaly['lane']}."
+                f"{anomaly['metric']}: {anomaly['kind']} "
+                f"(value {anomaly['value']:.3g}, z {anomaly['z']:.1f})"
+            )
+        if len(obs["anomalies"]) > 8:
+            print(f"    ... and {len(obs['anomalies']) - 8} more")
+        obs_out = args.obs_out
+        if obs_out is None:
+            stem = args.out[:-5] if args.out.endswith(".json") else args.out
+            obs_out = stem + ".windows.jsonl"
+        write_windows_jsonl(obs, obs_out)
+        print(f"[window stream written to {obs_out}]")
+        if args.obs_html is not None:
+            write_html_report(obs, args.obs_html)
+            print(f"[obs dashboard written to {args.obs_html}]")
+        if args.obs_snapshot is not None:
+            write_obs_snapshot(obs_snapshot(result), args.obs_snapshot)
+            print(f"[obs baseline snapshot written to {args.obs_snapshot}]")
     print(f"[serve: {elapsed:.1f}s wall]")
     failures = 0
     if "audit" in result:
@@ -621,6 +761,12 @@ def _cmd_evidence(args: argparse.Namespace) -> int:
 
     tenants = _parse_tenants(args.tenants)
     contracts = load_contracts(args.contracts) if args.contracts else None
+    obs_enabled = bool(args.obs or args.obs_interval is not None)
+    if args.obs_interval is not None and args.obs_interval <= 0:
+        raise SystemExit(
+            f"--obs-interval must be a positive cycle count "
+            f"(got {args.obs_interval:g})"
+        )
     span_sink: list = []
     auditors: list[Any] = []
     started = time.monotonic()
@@ -645,6 +791,8 @@ def _cmd_evidence(args: argparse.Namespace) -> int:
             contracts=contracts,
             span_sink=span_sink,
             telemetry=session,
+            obs=obs_enabled,
+            obs_interval=args.obs_interval,
         )
     freq_hz = session.captures[0].freq_hz if session.captures else 1e9
     for auditor in auditors:
@@ -677,6 +825,10 @@ def _cmd_evidence(args: argparse.Namespace) -> int:
     span_lines = [json.dumps(stamp("spans-jsonl"))]
     span_lines += [json.dumps(record) for record in sample]
     contents["spans.jsonl"] = "\n".join(span_lines) + "\n"
+    if obs_enabled and "obs" in result:
+        from repro.obs import render_windows_jsonl
+
+        contents["windows.jsonl"] = render_windows_jsonl(result["obs"])
     if len(span_sink) > len(sample):
         print(
             f"[spans.jsonl carries the first {len(sample)} of "
@@ -1054,6 +1206,56 @@ def main(argv: list[str] | None = None) -> int:
             "violations drive the exit code (requires --slices)"
         ),
     )
+    serve_bench.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "attach the windowed metric sampler + anomaly detector; "
+            "writes the window stream as stamped JSONL"
+        ),
+    )
+    serve_bench.add_argument(
+        "--obs-interval",
+        type=float,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "window length in simulated cycles (implies --obs; default: "
+            "the run split into 10 windows)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "window-stream JSONL path (implies --obs; default: derived "
+            "from --out as *.windows.jsonl)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--obs-html",
+        default=None,
+        metavar="FILE",
+        help="also write a self-contained HTML sparkline dashboard (implies --obs)",
+    )
+    serve_bench.add_argument(
+        "--obs-snapshot",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write an obs-windows baseline snapshot for 'repro diff' "
+            "(implies --obs)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "render a live per-shard console as windows close (implies "
+            "--obs; plain lines when stdout is not a TTY)"
+        ),
+    )
 
     evidence_parser = sub.add_parser(
         "evidence", help="build or verify a hash-manifested evidence pack"
@@ -1097,6 +1299,18 @@ def main(argv: list[str] | None = None) -> int:
     evidence_build.add_argument("--contracts", default=None, metavar="FILE")
     evidence_build.add_argument("--baseline", default=None, metavar="FILE")
     evidence_build.add_argument("--threshold", type=float, default=0.1)
+    evidence_build.add_argument(
+        "--obs",
+        action="store_true",
+        help="include the windowed stream as windows.jsonl in the pack",
+    )
+    evidence_build.add_argument(
+        "--obs-interval",
+        type=float,
+        default=None,
+        metavar="CYCLES",
+        help="window length in simulated cycles (implies --obs)",
+    )
     evidence_verify = evidence_sub.add_parser(
         "verify", help="re-hash a pack (directory or tarball) against its manifest"
     )

@@ -1,0 +1,62 @@
+"""Windowed time-series observability for the serve layer.
+
+``repro.obs`` turns the end-of-run telemetry stream into *per-interval*
+visibility: a :class:`MetricSampler` subscribes to the kernel's event
+bus and closes fixed-cadence windows of the simulated clock, producing
+``serve.window`` records (throughput, latency percentiles, queue depth,
+worker occupancy, shed/preempt rate, faults and wasted cycles ``U``)
+with per-shard and per-tenant lanes.  An online
+:class:`AnomalyDetector` (EWMA bands + CUSUM changepoints, both
+deterministic) watches the stream and flags ``obs.anomaly`` events.
+
+The window records are explicitly the sensor feed a future autoscaling
+control plane will consume: every quantity the paper's §IV-A argmin
+objective needs (fallback count, worker occupancy, wasted cycles) is on
+the record.
+
+Determinism contract: same seed and parameters ⇒ byte-identical window
+and anomaly streams, across reruns and across ``--slices N`` vs
+unsliced (see :func:`merge_raw_windows` for why).
+"""
+
+from repro.obs.anomaly import AnomalyDetector
+from repro.obs.baseline import (
+    compare_obs_baseline,
+    load_obs_baseline,
+    obs_snapshot,
+    run_obs_scenario,
+    write_obs_snapshot,
+)
+from repro.obs.console import LiveConsole
+from repro.obs.export import (
+    OBS_ARTIFACT,
+    load_windows_jsonl,
+    render_html_report,
+    render_windows_jsonl,
+    write_html_report,
+    write_windows_jsonl,
+)
+from repro.obs.sampler import (
+    MetricSampler,
+    build_window_records,
+    merge_raw_windows,
+)
+
+__all__ = [
+    "AnomalyDetector",
+    "LiveConsole",
+    "MetricSampler",
+    "OBS_ARTIFACT",
+    "build_window_records",
+    "compare_obs_baseline",
+    "load_obs_baseline",
+    "load_windows_jsonl",
+    "merge_raw_windows",
+    "obs_snapshot",
+    "render_html_report",
+    "render_windows_jsonl",
+    "run_obs_scenario",
+    "write_html_report",
+    "write_obs_snapshot",
+    "write_windows_jsonl",
+]

@@ -1,0 +1,159 @@
+"""Online anomaly detection over the window stream.
+
+Two deterministic detectors per ``(lane, metric)`` pair, both driven by
+the same exponentially-weighted running moments:
+
+- **EWMA band** — the running mean/variance (à la RFC 6298 / Welford
+  with exponential forgetting) give a z-score for each new value;
+  ``|z| > z_threshold`` after warm-up flags an ``ewma-band`` anomaly.
+- **CUSUM changepoint** — two one-sided cumulative sums of the z-score
+  (``s⁺ = max(0, s⁺ + z − k)``, ``s⁻ = max(0, s⁻ − z − k)``) accumulate
+  persistent drift the band test's pointwise view misses; crossing
+  ``h`` flags a ``cusum-changepoint`` and resets both sums.
+
+Everything is plain float arithmetic over the record stream in record
+order — no clocks, no randomness — so the same window stream always
+yields the same anomaly stream, which is what lets sliced runs recompute
+anomalies over the merged stream and match the unsliced run exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+#: Window-record metrics watched by default.  ``shed`` rather than
+#: ``shed_rate``: the raw count is integer-exact across slice merges.
+DEFAULT_METRICS = ("throughput_rps", "p99_us", "queue_depth", "shed")
+
+#: EWMA forgetting factor (weight of the newest observation).
+DEFAULT_ALPHA = 0.3
+#: Band half-width in standard deviations.
+DEFAULT_Z_THRESHOLD = 3.0
+#: Observations per (lane, metric) before either test may alarm.
+DEFAULT_WARMUP = 8
+#: CUSUM drift allowance (in z units) and alarm threshold.
+DEFAULT_CUSUM_K = 0.5
+DEFAULT_CUSUM_H = 5.0
+
+
+class _SeriesState:
+    __slots__ = ("mean", "var", "count", "s_pos", "s_neg")
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.var = 0.0
+        self.count = 0
+        self.s_pos = 0.0
+        self.s_neg = 0.0
+
+
+class AnomalyDetector:
+    """Feeds ``serve.window`` records through EWMA-band + CUSUM tests.
+
+    :meth:`observe` is incremental (one record at a time, in stream
+    order) and returns the anomalies that record triggered;
+    :attr:`anomalies` accumulates them all.  Use one detector per
+    stream — state is keyed by ``(lane, metric)``.
+    """
+
+    def __init__(
+        self,
+        metrics: Iterable[str] = DEFAULT_METRICS,
+        *,
+        alpha: float = DEFAULT_ALPHA,
+        z_threshold: float = DEFAULT_Z_THRESHOLD,
+        warmup: int = DEFAULT_WARMUP,
+        cusum_k: float = DEFAULT_CUSUM_K,
+        cusum_h: float = DEFAULT_CUSUM_H,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.metrics = tuple(metrics)
+        self.alpha = alpha
+        self.z_threshold = z_threshold
+        self.warmup = warmup
+        self.cusum_k = cusum_k
+        self.cusum_h = cusum_h
+        self.anomalies: list[dict[str, Any]] = []
+        self._series: dict[tuple[str, str], _SeriesState] = {}
+
+    def observe(self, record: dict[str, Any]) -> list[dict[str, Any]]:
+        """Consume one window record; returns the anomalies it triggered."""
+        out: list[dict[str, Any]] = []
+        lane = record["lane"]
+        for metric in self.metrics:
+            value = record.get(metric)
+            if value is None:
+                continue
+            value = float(value)
+            state = self._series.get((lane, metric))
+            if state is None:
+                state = self._series[(lane, metric)] = _SeriesState()
+            warm = state.count >= self.warmup
+            if state.count == 0:
+                z = 0.0
+            else:
+                # Variance floor scaled to the mean: a dead-flat series
+                # followed by any jump must alarm, not divide by zero.
+                floor = 1e-9 * max(1.0, abs(state.mean))
+                z = (value - state.mean) / max(math.sqrt(state.var), floor)
+            if warm and abs(z) > self.z_threshold:
+                out.append(
+                    self._anomaly(record, lane, metric, "ewma-band", value,
+                                  state.mean, z, abs(z))
+                )
+            if warm:
+                state.s_pos = max(0.0, state.s_pos + z - self.cusum_k)
+                state.s_neg = max(0.0, state.s_neg - z - self.cusum_k)
+                if state.s_pos > self.cusum_h or state.s_neg > self.cusum_h:
+                    score = max(state.s_pos, state.s_neg)
+                    out.append(
+                        self._anomaly(record, lane, metric,
+                                      "cusum-changepoint", value,
+                                      state.mean, z, score)
+                    )
+                    state.s_pos = 0.0
+                    state.s_neg = 0.0
+            diff = value - state.mean
+            incr = self.alpha * diff
+            state.mean += incr
+            state.var = (1.0 - self.alpha) * (state.var + diff * incr)
+            state.count += 1
+        self.anomalies.extend(out)
+        return out
+
+    def observe_all(
+        self, records: Iterable[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Consume a whole record stream; returns every anomaly raised."""
+        out: list[dict[str, Any]] = []
+        for record in records:
+            out.extend(self.observe(record))
+        return out
+
+    @staticmethod
+    def _anomaly(
+        record: dict[str, Any],
+        lane: str,
+        metric: str,
+        kind: str,
+        value: float,
+        mean: float,
+        z: float,
+        score: float,
+    ) -> dict[str, Any]:
+        return {
+            "record": "obs.anomaly",
+            "lane": lane,
+            "metric": metric,
+            "kind": kind,
+            "window": record["window"],
+            "t_cycles": record["t_end_cycles"],
+            "value": value,
+            "mean": mean,
+            "z": z,
+            "score": score,
+        }

@@ -1,0 +1,177 @@
+"""Committed window-stream baselines and the ``repro diff`` gate.
+
+``baselines/obs-quick.json`` snapshots the quick serve scenario's whole
+window stream.  The gate re-runs the scenario from the snapshot's own
+``params`` (simulated runs are deterministic, so any drift is a real
+behavior change) and compares window counts, lane coverage, anomaly
+verdicts and the completion totals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.telemetry.schema import check_stamp, stamp
+
+from repro.obs.export import OBS_ARTIFACT
+
+#: Serve-bench parameters a snapshot records (and the re-run consumes).
+SCENARIO_PARAMS = (
+    "shards",
+    "seconds",
+    "backend",
+    "rate",
+    "policy",
+    "admission",
+    "queue_capacity",
+    "servers_per_shard",
+    "budget",
+    "plan",
+    "keydist",
+    "keyspace",
+    "set_fraction",
+    "seed",
+    "tenants",
+    "obs_interval",
+)
+
+
+def obs_snapshot(result: dict[str, Any]) -> dict[str, Any]:
+    """Build a committable snapshot from a serve-bench result with obs."""
+    obs = result.get("obs")
+    if obs is None:
+        raise ValueError("result has no obs section (run with obs=True)")
+    params = dict(result["params"])
+    params["obs_interval"] = obs["interval_cycles"]
+    total_completed = sum(
+        record["completed"]
+        for record in obs["records"]
+        if record["lane"] == "total"
+    )
+    return {
+        "meta": stamp(OBS_ARTIFACT),
+        "params": {name: params.get(name) for name in SCENARIO_PARAMS},
+        "windows": obs["windows"],
+        "interval_cycles": obs["interval_cycles"],
+        "freq_hz": obs["freq_hz"],
+        "lanes": list(obs["lanes"]),
+        "summary": {
+            "records": len(obs["records"]),
+            "completed": total_completed,
+            "anomalies": len(obs["anomalies"]),
+        },
+        "records": list(obs["records"]),
+        "anomalies": list(obs["anomalies"]),
+    }
+
+
+def write_obs_snapshot(snapshot: dict[str, Any], path: str) -> str:
+    """Write a snapshot as JSON; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_obs_baseline(path: str) -> dict[str, Any]:
+    """Load and stamp-check a committed obs baseline."""
+    with open(path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    check_stamp(baseline.get("meta", {}), OBS_ARTIFACT, source=path)
+    return baseline
+
+
+def run_obs_scenario(params: dict[str, Any]) -> dict[str, Any]:
+    """Re-run the serve scenario a snapshot's ``params`` describe."""
+    # Local import: repro.serve.bench imports repro.obs for the sampler.
+    from repro.serve.bench import run_serve_bench
+
+    return run_serve_bench(
+        shards=params.get("shards", 2),
+        seconds=params.get("seconds", 0.05),
+        backend=params.get("backend", "zc"),
+        rate=params.get("rate", 2_000.0),
+        policy=params.get("policy", "hash"),
+        admission=params.get("admission", "shed"),
+        queue_capacity=params.get("queue_capacity", 64),
+        servers_per_shard=params.get("servers_per_shard", 2),
+        budget=params.get("budget"),
+        plan=params.get("plan"),
+        keydist=params.get("keydist", "uniform"),
+        keyspace=params.get("keyspace", 256),
+        set_fraction=params.get("set_fraction", 1.0 / 3.0),
+        seed=params.get("seed", 0),
+        tenants=params.get("tenants"),
+        telemetry=False,
+        obs=True,
+        obs_interval=params.get("obs_interval"),
+    )
+
+
+def _anomaly_key(anomaly: dict[str, Any]) -> tuple[Any, ...]:
+    return (
+        anomaly["window"],
+        anomaly["lane"],
+        anomaly["metric"],
+        anomaly["kind"],
+    )
+
+
+def compare_obs_baseline(
+    snapshot: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = 0.05,
+) -> list[str]:
+    """Gate a fresh snapshot against a committed one; returns violations.
+
+    Exact gates (window grid, lane coverage, record count, anomaly
+    verdicts) catch structural drift; the completion total gets a
+    relative ``threshold`` band to absorb intentional model changes.
+    """
+    violations: list[str] = []
+    if snapshot["windows"] != baseline["windows"]:
+        violations.append(
+            f"window count changed: {snapshot['windows']} vs baseline "
+            f"{baseline['windows']}"
+        )
+    if snapshot["interval_cycles"] != baseline["interval_cycles"]:
+        violations.append(
+            f"window interval changed: {snapshot['interval_cycles']} vs "
+            f"baseline {baseline['interval_cycles']}"
+        )
+    if list(snapshot["lanes"]) != list(baseline["lanes"]):
+        violations.append(
+            f"lane coverage changed: {snapshot['lanes']} vs baseline "
+            f"{baseline['lanes']}"
+        )
+    new_summary = snapshot["summary"]
+    old_summary = baseline["summary"]
+    if new_summary["records"] != old_summary["records"]:
+        violations.append(
+            f"record count changed: {new_summary['records']} vs baseline "
+            f"{old_summary['records']}"
+        )
+    new_keys = [_anomaly_key(a) for a in snapshot["anomalies"]]
+    old_keys = [_anomaly_key(a) for a in baseline["anomalies"]]
+    if new_keys != old_keys:
+        gone = [key for key in old_keys if key not in new_keys]
+        fresh = [key for key in new_keys if key not in old_keys]
+        violations.append(
+            "anomaly verdicts changed: "
+            f"missing {gone or 'none'}, new {fresh or 'none'}"
+        )
+    old_completed = old_summary["completed"]
+    new_completed = new_summary["completed"]
+    if old_completed and abs(new_completed - old_completed) > (
+        threshold * old_completed
+    ):
+        violations.append(
+            f"windowed completions moved: {new_completed} vs baseline "
+            f"{old_completed} (> {threshold:.0%})"
+        )
+    return violations

@@ -1,0 +1,134 @@
+"""The live ops console: window records rendered as they close.
+
+Refreshes from the same records the sampler rings (its ``on_window``
+callback hands them over verbatim), so the live view and the exported
+JSONL/HTML views can never disagree.  On a real TTY the panel redraws
+in place with ANSI cursor movement; on anything else (CI logs, pipes)
+it degrades to one plain line per window.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, TextIO
+
+
+class LiveConsole:
+    """Renders closing windows to a terminal (or a plain-line stream).
+
+    Args:
+        stream: Output stream (default ``sys.stdout``).
+        tty: Force TTY (panel) or plain-line mode; default auto-detects
+            via ``stream.isatty()``.
+        total_windows: Grid size for the ``window k/N`` header.
+        max_lanes: Panel rows; lanes beyond it are elided (the exported
+            stream still carries them all).
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        *,
+        tty: bool | None = None,
+        total_windows: int | None = None,
+        max_lanes: int = 12,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        if tty is None:
+            isatty = getattr(self.stream, "isatty", None)
+            tty = bool(isatty()) if callable(isatty) else False
+        self.tty = tty
+        self.total_windows = total_windows
+        self.max_lanes = max_lanes
+        self.windows_seen = 0
+        self.anomaly_count = 0
+        self._panel_height = 0
+
+    # ------------------------------------------------------------------
+    # Sampler hook
+    # ------------------------------------------------------------------
+    def on_window(
+        self,
+        index: int,
+        records: list[dict[str, Any]],
+        anomalies: list[dict[str, Any]],
+    ) -> None:
+        """Sampler ``on_window`` callback: render one closed window."""
+        self.windows_seen = index + 1
+        self.anomaly_count += len(anomalies)
+        if self.tty:
+            self._render_panel(index, records, anomalies)
+        else:
+            self._render_line(index, records, anomalies)
+
+    def finish(self) -> None:
+        """Drop below the panel so the end-of-run summary prints clean."""
+        if self.tty and self._panel_height:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._panel_height = 0
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _row(record: dict[str, Any], flagged: set[str]) -> str:
+        occupancy = record.get("occupancy")
+        occ = f"{occupancy:4.0%}" if occupancy is not None else "   –"
+        depth = record.get("queue_depth")
+        queue = f"{depth:3d}" if depth is not None else "  –"
+        mark = " !" if record["lane"] in flagged else ""
+        return (
+            f"{record['lane']:<14.14} {record['throughput_rps']:>9.0f} rps "
+            f"p99 {record['p99_us']:>8.1f} µs  q {queue}  occ {occ}  "
+            f"shed {record['shed']:>4d}{mark}"
+        )
+
+    def _header(self, index: int) -> str:
+        total = f"/{self.total_windows}" if self.total_windows else ""
+        return (
+            f"window {index + 1}{total}  "
+            f"anomalies {self.anomaly_count}"
+        )
+
+    def _render_panel(
+        self,
+        index: int,
+        records: list[dict[str, Any]],
+        anomalies: list[dict[str, Any]],
+    ) -> None:
+        flagged = {anomaly["lane"] for anomaly in anomalies}
+        lines = [self._header(index)]
+        shown = records[: self.max_lanes]
+        lines.extend(self._row(record, flagged) for record in shown)
+        if len(records) > len(shown):
+            lines.append(f"… {len(records) - len(shown)} more lanes")
+        out = self.stream
+        if self._panel_height:
+            # Rewind over the previous frame and clear to screen end.
+            out.write(f"\x1b[{self._panel_height}F\x1b[J")
+        out.write("\n".join(lines) + "\n")
+        out.flush()
+        self._panel_height = len(lines)
+
+    def _render_line(
+        self,
+        index: int,
+        records: list[dict[str, Any]],
+        anomalies: list[dict[str, Any]],
+    ) -> None:
+        total = next(
+            (r for r in records if r["lane"] == "total"),
+            records[0] if records else None,
+        )
+        if total is None:
+            return
+        suffix = f"  anomalies +{len(anomalies)}" if anomalies else ""
+        self.stream.write(
+            f"[obs] {self._header(index)}  "
+            f"total {total['throughput_rps']:.0f} rps "
+            f"p99 {total['p99_us']:.1f} µs "
+            f"q {total.get('queue_depth')} "
+            f"shed {total['shed']}{suffix}\n"
+        )
+        self.stream.flush()

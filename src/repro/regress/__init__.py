@@ -26,6 +26,7 @@ from repro.regress.audit import (
     ConservationChecker,
     ImmediateFallbackChecker,
     InvariantAuditor,
+    ObsAnomalyChecker,
     QuarantineRoutingChecker,
     RecoveryChecker,
     RouterConservationChecker,
@@ -47,6 +48,7 @@ __all__ = [
     "DiffReport",
     "ImmediateFallbackChecker",
     "InvariantAuditor",
+    "ObsAnomalyChecker",
     "QuarantineRoutingChecker",
     "RecoveryChecker",
     "RouterConservationChecker",

@@ -521,6 +521,32 @@ class SpanConservationChecker(Checker):
             )
 
 
+class ObsAnomalyChecker(Checker):
+    """Observability: surface ``obs.anomaly`` events as diagnostics.
+
+    Anomalies are *signals*, not invariant violations — a flash crowd
+    legitimately breaches its lane's EWMA band — so this checker reports
+    through the auditor's diagnostic channel: the verdict text carries
+    them, ``ok`` does not.  Audited runs with no sampler attached emit
+    no ``obs.anomaly`` events and stay silent here.
+    """
+
+    name = "obs-anomaly"
+
+    def on_event(self, event: TelemetryEvent, auditor: "InvariantAuditor") -> None:
+        if event.name != "obs.anomaly":
+            return
+        fields = event.fields
+        auditor.report_diagnostic(
+            self.name,
+            event.t_cycles,
+            f"{fields.get('lane')}/{fields.get('metric')} "
+            f"{fields.get('kind')} at window {fields.get('window')} "
+            f"(value {fields.get('value', 0.0):.4g}, "
+            f"z {fields.get('z', 0.0):.2f})",
+        )
+
+
 def default_checkers() -> list[Checker]:
     """One fresh instance of every stock checker."""
     return [
@@ -532,6 +558,7 @@ def default_checkers() -> list[Checker]:
         RouterConservationChecker(),
         QuarantineRoutingChecker(),
         SpanConservationChecker(),
+        ObsAnomalyChecker(),
     ]
 
 
@@ -574,6 +601,9 @@ class InvariantAuditor:
         self.checkers = list(checkers) if checkers is not None else default_checkers()
         self.halt_on_violation = halt_on_violation
         self.violations: list[Violation] = []
+        #: Non-failing observations (anomaly verdicts and the like):
+        #: rendered with the verdict but never counted against ``ok``.
+        self.diagnostics: list[Violation] = []
         self._recent: deque[TelemetryEvent] = deque(maxlen=recent_window)
         self._bus: EventBus | None = None
 
@@ -621,6 +651,17 @@ class InvariantAuditor:
         if self.halt_on_violation:
             self.detach()  # unsubscribes during the in-flight emit
 
+    def report_diagnostic(self, checker: str, t_cycles: float, message: str) -> None:
+        """Record a non-failing observation (diagnostic checkers call this)."""
+        self.diagnostics.append(
+            Violation(
+                checker=checker,
+                cell=self.cell,
+                t_cycles=t_cycles,
+                message=message,
+            )
+        )
+
     def finish(self, snapshot: "LedgerSnapshot | None" = None) -> list[Violation]:
         """Detach and run end-of-stream checks; returns all violations."""
         self.detach()
@@ -656,9 +697,13 @@ class InvariantAuditor:
     def render(self) -> str:
         """Human-readable verdict for reports and CLI output."""
         if self.ok:
-            return f"{self.cell}: all invariants hold"
-        lines = [f"{self.cell}: {len(self.violations)} violation(s)"]
-        lines.extend(f"  - {violation}" for violation in self.violations)
+            lines = [f"{self.cell}: all invariants hold"]
+        else:
+            lines = [f"{self.cell}: {len(self.violations)} violation(s)"]
+            lines.extend(f"  - {violation}" for violation in self.violations)
+        if self.diagnostics:
+            lines.append(f"  {len(self.diagnostics)} diagnostic note(s):")
+            lines.extend(f"  ~ {note}" for note in self.diagnostics)
         return "\n".join(lines)
 
 

@@ -13,6 +13,7 @@ artifact, which is what lets CI compare against
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass
 from typing import Any
@@ -24,6 +25,7 @@ from repro.serve.loadgen import LoadGenerator, LoadSpec
 from repro.serve.router import Router
 from repro.serve.shard import EnclaveShard
 from repro.sim import Kernel, MachineSpec, server_machine
+from repro.sim.instructions import Sleep
 from repro.telemetry.schema import check_stamp, stamp
 from repro.telemetry.session import CellCapture, TelemetrySession, active_session
 
@@ -214,6 +216,9 @@ def run_serve_bench(
     shard_ids: tuple[int, ...] | None = None,
     admit: Any = None,
     raw_sink: dict[str, Any] | None = None,
+    obs: bool = False,
+    obs_interval: float | None = None,
+    obs_on_window: Any = None,
 ) -> dict[str, Any]:
     """Run one serving benchmark; returns the stamped result artifact.
 
@@ -236,6 +241,16 @@ def run_serve_bench(
     (:class:`repro.slo.contract.SloContract` list) evaluates per-tenant
     SLOs into the artifact's ``slo`` section.  ``span_sink``, when a
     list, receives every completed request's span record.
+
+    ``obs=True`` attaches a :class:`repro.obs.MetricSampler` for the
+    run: fixed windows of ``obs_interval`` simulated cycles (default:
+    the run duration split into ``repro.obs.sampler.DEFAULT_WINDOWS``)
+    land in the artifact's ``obs`` section together with the online
+    anomaly verdicts, and the kernel is driven to the exact window
+    horizon after the load drains — so every window closes on its grid
+    boundary regardless of when the last request completed, which is
+    what makes sliced and unsliced window streams identical.
+    ``obs_on_window`` is handed to the sampler (the live console hook).
     """
     if plan is None:
         resolved_plan = active_fault_plan()
@@ -285,8 +300,50 @@ def run_serve_bench(
         )
     generator = LoadGenerator(kernel, cluster.router, spec, admit=admit)
     start = kernel.now
+    sampler = None
+    detector = None
+    if obs:
+        from repro.obs import AnomalyDetector, MetricSampler
+        from repro.obs.sampler import DEFAULT_WINDOWS
+
+        duration_cycles = kernel.cycles(seconds)
+        interval = (
+            float(obs_interval)
+            if obs_interval is not None
+            else duration_cycles / DEFAULT_WINDOWS
+        )
+        if interval <= 0:
+            raise ValueError("obs_interval must be a positive cycle count")
+        # Round-up grid: the last window may extend past the load
+        # deadline (arrivals stop strictly before it either way).
+        n_windows = max(1, math.ceil(duration_cycles / interval - 1e-9))
+        detector = AnomalyDetector()
+        sampler = MetricSampler(
+            kernel,
+            interval,
+            n_windows,
+            shards=cluster.shards,
+            detector=detector,
+            on_window=obs_on_window,
+        ).install()
     generator.run()
-    elapsed_s = kernel.seconds(kernel.now - start)
+    end_of_load = kernel.now
+    if sampler is not None:
+        # Drive the kernel to the exact window horizon: every tick fires
+        # on its grid boundary and the per-shard schedulers observe the
+        # same stretch of simulated time in sliced and unsliced runs.
+        # A parked sleeper (rather than ``run(until_time=...)``) keeps
+        # the timer wheel and CPU accounting on their normal path.
+        if kernel.now < sampler.horizon:
+
+            def _hold_until_horizon() -> Any:
+                yield Sleep(sampler.horizon - kernel.now)
+
+            kernel.join(
+                kernel.spawn(_hold_until_horizon(), name="obs-horizon")
+            )
+        sampler.detach()
+    elapsed_s = kernel.seconds(end_of_load - start)
     router = cluster.router
     latency = router.latency.summary()
 
@@ -373,9 +430,24 @@ def run_serve_bench(
             else None
         ),
     }
+    # Host-side counter (not part of the simulated outcome): the obs
+    # overhead bench divides it by wall time per arm.
+    result["host"] = {"events_processed": kernel.events_processed}
     if shard_ids is not None:
         result["params"]["shard_ids"] = list(shard_ids)
         result["totals"]["skipped"] = generator.skipped
+    if sampler is not None:
+        result["params"]["obs_interval"] = sampler.interval
+        result["obs"] = {
+            "interval_cycles": sampler.interval,
+            "windows": sampler.n_windows,
+            "freq_hz": kernel.spec.freq_hz,
+            "lanes": _obs_lanes(sampler),
+            "records": list(sampler.records),
+            "dropped_records": sampler.dropped_records,
+            "spilled": dict(sorted(sampler.spilled.items())),
+            "anomalies": list(sampler.anomalies),
+        }
     if contracts:
         # Local import: repro.slo consumes serve artifacts; importing it
         # eagerly here would make the dependency circular.
@@ -390,8 +462,80 @@ def run_serve_bench(
             tenant: list(stats.latency.samples_cycles)
             for tenant, stats in sorted(router.tenants.items())
         }
+        if sampler is not None:
+            raw_sink["obs"] = {
+                "interval_cycles": sampler.interval,
+                "windows": sampler.n_windows,
+                "t0": sampler.t0,
+                "raw_windows": sampler.raw_windows,
+                "spilled": sampler.spilled,
+            }
+    if cluster.capture is not None:
+        _export_serve_metrics(cluster.capture.registry, cluster.capture.label,
+                              router, cluster.shards, kernel.now)
     cluster.close()
     return result
+
+
+def _obs_lanes(sampler: Any) -> list[str]:
+    """Every lane present in the window stream, in canonical order."""
+    tenant_lanes = sorted(
+        {
+            record["lane"]
+            for record in sampler.records
+            if record["lane"].startswith("tenant:")
+        }
+    )
+    return ["total", *sampler.shard_lanes, *tenant_lanes]
+
+
+def _export_serve_metrics(
+    registry: Any,
+    cell: str,
+    router: Router,
+    shards: list[EnclaveShard],
+    now_cycles: float,
+) -> None:
+    """Register the serve layer's metrics on the session registry.
+
+    The Prometheus exporter (:func:`repro.telemetry.exporters
+    .render_prometheus`) then renders them alongside the ledger metrics
+    with its usual name sanitization and ``repro_build_info`` header.
+    """
+    for outcome in ("submitted", "completed", "shed", "failed"):
+        registry.counter(
+            "repro_serve_requests_total", cell=cell, outcome=outcome
+        ).inc(getattr(router, outcome))
+    for tenant, stats in sorted(router.tenants.items()):
+        label = tenant or "anonymous"
+        for outcome, value in stats.counts().items():
+            registry.counter(
+                "repro_serve_tenant_requests_total",
+                cell=cell,
+                tenant=label,
+                outcome=outcome,
+            ).inc(value)
+        registry.histogram(
+            "repro_serve_tenant_latency_cycles", cell=cell, tenant=label
+        ).observe_many(list(stats.latency.samples_cycles))
+    for shard in shards:
+        label = str(shard.index)
+        registry.gauge(
+            "repro_serve_shard_queue_depth", cell=cell, shard=label
+        ).set(float(len(shard.queue)), t_cycles=now_cycles)
+        backend = getattr(shard.enclave, "backend", None)
+        workers = getattr(backend, "workers", None)
+        if backend is None or not hasattr(backend, "active_worker_target"):
+            continue
+        if not workers:
+            continue
+        active = int(backend.active_worker_target)
+        registry.gauge(
+            "repro_serve_shard_workers_active", cell=cell, shard=label
+        ).set(float(active), t_cycles=now_cycles)
+        registry.gauge(
+            "repro_serve_shard_occupancy", cell=cell, shard=label
+        ).set(active / len(workers), t_cycles=now_cycles)
 
 
 def write_result(result: dict[str, Any], path: str) -> str:

@@ -61,6 +61,8 @@ _FORWARDED = (
     "keyspace",
     "set_fraction",
     "seed",
+    "obs",
+    "obs_interval",
 )
 
 
@@ -132,7 +134,7 @@ def run_cell(spec: CellSpec) -> dict[str, Any]:
     shard_ids = tuple(kw["shard_ids"])
     shards = kw["shards"]
     raw: dict[str, Any] = {}
-    bench_kwargs = {name: kw[name] for name in _FORWARDED}
+    bench_kwargs = {name: kw[name] for name in _FORWARDED if name in kw}
     bench_kwargs.update(
         shards=shards,
         shard_ids=shard_ids,
@@ -196,6 +198,8 @@ def slice_cells(
     seed: int,
     tenants: dict[str, float] | None,
     audit: bool,
+    obs: bool = False,
+    obs_interval: float | None = None,
 ) -> list[CellSpec]:
     """The sliced run as cell specs — one ``serve-slice`` cell per slice."""
     if policy != "hash":
@@ -231,6 +235,8 @@ def slice_cells(
                 seed=seed,
                 tenants=tenant_mix,
                 audit=audit,
+                obs=obs,
+                obs_interval=obs_interval,
             )
         )
     return specs
@@ -259,6 +265,8 @@ def run_slice_bench(
     machine: MachineSpec | None = None,
     audit: bool = False,
     jobs: int | str | None = None,
+    obs: bool = False,
+    obs_interval: float | None = None,
 ) -> dict[str, Any]:
     """Run the serve bench slice-parallel; returns one merged artifact.
 
@@ -287,6 +295,8 @@ def run_slice_bench(
         seed=seed,
         tenants=tenants,
         audit=audit,
+        obs=obs,
+        obs_interval=obs_interval,
     )
     runner = CellRunner(jobs="auto" if jobs is None else jobs)
     rows = [outcome.row for outcome in runner.run(specs)]
@@ -421,6 +431,10 @@ def merge_slice_results(
             for row in rows
         ],
     }
+    obs_raws = [row["raw"].get("obs") for row in rows]
+    if all(raw is not None for raw in obs_raws):
+        merged["obs"] = _merge_obs(obs_raws, per_shard, machine)
+        merged["params"]["obs_interval"] = merged["obs"]["interval_cycles"]
     audit_cells = [entry for row in rows for entry in row.get("audit", [])]
     if audit_cells:
         merged["audit"] = {
@@ -433,3 +447,66 @@ def merge_slice_results(
 
         merged["slo"] = verdicts_summary(evaluate_contracts(merged, contracts))
     return merged
+
+
+def _merge_obs(
+    obs_raws: list[dict[str, Any]],
+    per_shard: list[dict[str, Any]],
+    machine: MachineSpec,
+) -> dict[str, Any]:
+    """Merge per-slice raw window streams into one ``obs`` section.
+
+    Slice order is already fixed by the caller's row sort.  Raw windows
+    superpose (integer counters sum, latency samples pool, shard lanes
+    copy from their owning slice), then the *same* formatter the live
+    sampler uses rebuilds the records — which is what makes the merged
+    stream byte-identical to an unsliced run's (see
+    :mod:`repro.obs.sampler`).  The anomaly detector replays over the
+    merged records; it is deterministic over the stream, so this matches
+    running it live on an unsliced kernel.
+    """
+    from repro.obs import AnomalyDetector
+    from repro.obs.sampler import (
+        build_window_records,
+        merge_raw_windows,
+        merge_spilled,
+        shard_lane,
+    )
+
+    first = obs_raws[0]
+    interval = first["interval_cycles"]
+    if any(raw["interval_cycles"] != interval for raw in obs_raws):
+        raise ValueError("slices disagree on the obs interval")
+    merged_raw = merge_raw_windows([raw["raw_windows"] for raw in obs_raws])
+    shard_lanes = [shard_lane(entry["shard"]) for entry in per_shard]
+    records: list[dict[str, Any]] = []
+    for raw_window in merged_raw:
+        records.extend(
+            build_window_records(
+                raw_window,
+                interval_cycles=interval,
+                freq_hz=machine.freq_hz,
+                shard_lanes=shard_lanes,
+            )
+        )
+    detector = AnomalyDetector()
+    anomalies = detector.observe_all(records)
+    tenant_lanes = sorted(
+        {
+            record["lane"]
+            for record in records
+            if record["lane"].startswith("tenant:")
+        }
+    )
+    return {
+        "interval_cycles": interval,
+        "windows": first["windows"],
+        "freq_hz": machine.freq_hz,
+        "lanes": ["total", *shard_lanes, *tenant_lanes],
+        "records": records,
+        "dropped_records": 0,
+        "spilled": dict(
+            sorted(merge_spilled([raw["spilled"] for raw in obs_raws]).items())
+        ),
+        "anomalies": anomalies,
+    }

@@ -197,6 +197,17 @@ class CellCapture:
         """
         return self._enclave
 
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The owning session's metrics registry.
+
+        Layers above telemetry (the serve bench's Prometheus export)
+        register their cell-labelled metrics through this rather than
+        reaching for the session, which the capture deliberately does
+        not hold a reference to.
+        """
+        return self._registry
+
     # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------

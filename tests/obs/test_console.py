@@ -1,0 +1,78 @@
+"""Tests for the live ops console (TTY panel + plain-line fallback)."""
+
+import io
+
+from repro.obs import LiveConsole
+
+
+def _records(window, lanes=("total", "shard0")):
+    return [
+        {
+            "record": "serve.window",
+            "window": window,
+            "lane": lane,
+            "throughput_rps": 1_000.0,
+            "p99_us": 12.5,
+            "queue_depth": 3,
+            "occupancy": 0.5,
+            "shed": 1,
+        }
+        for lane in lanes
+    ]
+
+
+class TestPlainFallback:
+    def test_non_tty_stream_gets_one_line_per_window(self):
+        stream = io.StringIO()  # io streams report isatty() == False
+        console = LiveConsole(stream, total_windows=4)
+        console.on_window(0, _records(0), [])
+        console.on_window(1, _records(1), [{"lane": "total"}])
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[obs] window 1/4")
+        assert "anomalies +1" in lines[1]
+        assert "\x1b[" not in stream.getvalue()  # no ANSI control codes
+
+    def test_finish_is_a_noop_in_plain_mode(self):
+        stream = io.StringIO()
+        console = LiveConsole(stream)
+        console.on_window(0, _records(0), [])
+        before = stream.getvalue()
+        console.finish()
+        assert stream.getvalue() == before
+
+
+class TestTtyPanel:
+    def test_panel_redraws_in_place(self):
+        stream = io.StringIO()
+        console = LiveConsole(stream, tty=True, total_windows=2)
+        console.on_window(0, _records(0), [])
+        first = stream.getvalue()
+        assert "\x1b[" not in first  # first frame draws without rewind
+        console.on_window(1, _records(1), [])
+        # Second frame rewinds over the first (panel height + clear).
+        assert "\x1b[3F\x1b[J" in stream.getvalue()[len(first) :]
+
+    def test_anomalous_lanes_are_flagged(self):
+        stream = io.StringIO()
+        console = LiveConsole(stream, tty=True)
+        console.on_window(
+            0, _records(0), [{"lane": "shard0", "kind": "ewma-band"}]
+        )
+        panel = stream.getvalue()
+        flagged = [line for line in panel.splitlines() if line.endswith("!")]
+        assert len(flagged) == 1 and "shard0" in flagged[0]
+
+    def test_lane_overflow_is_elided(self):
+        stream = io.StringIO()
+        console = LiveConsole(stream, tty=True, max_lanes=2)
+        lanes = ["total"] + [f"shard{i}" for i in range(5)]
+        console.on_window(0, _records(0, lanes=lanes), [])
+        assert "more lanes" in stream.getvalue()
+
+    def test_finish_drops_below_the_panel(self):
+        stream = io.StringIO()
+        console = LiveConsole(stream, tty=True)
+        console.on_window(0, _records(0), [])
+        console.finish()
+        assert stream.getvalue().endswith("\n\n")

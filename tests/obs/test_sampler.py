@@ -1,0 +1,239 @@
+"""Tests for the windowed metric sampler (bucketing + determinism)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricSampler, merge_raw_windows
+from repro.obs.sampler import merge_spilled, shard_lane, tenant_lane
+from repro.serve.bench import run_serve_bench
+from repro.serve.slices import run_slice_bench
+from repro.sim import Kernel, server_machine
+
+# Light but non-trivial: the simulated machine stays contention-free so
+# scheduler-local behavior is layout-invariant (same hedge as the slice
+# equivalence tests), and the tenant mix exercises tenant lanes.
+IDENTITY = dict(
+    seconds=0.04,
+    rate=3_000.0,
+    seed=11,
+    backend="intel",
+    tenants={"alpha": 3.0, "beta": 1.0},
+)
+
+
+def _stream(result):
+    obs = result["obs"]
+    return (
+        json.dumps(obs["records"], sort_keys=True),
+        json.dumps(obs["anomalies"], sort_keys=True),
+    )
+
+
+class TestWindowing:
+    def _sampler(self, interval=100.0, windows=4, **kw):
+        kernel = Kernel(server_machine())
+        sampler = MetricSampler(kernel, interval, windows, **kw).install()
+        return kernel, sampler
+
+    def test_validates_arguments(self):
+        kernel = Kernel(server_machine())
+        with pytest.raises(ValueError, match="interval_cycles"):
+            MetricSampler(kernel, 0.0, 4)
+        with pytest.raises(ValueError, match="n_windows"):
+            MetricSampler(kernel, 100.0, 0)
+
+    def test_event_buckets_by_grid_index(self):
+        kernel, sampler = self._sampler()
+        kernel.now = 150.0
+        kernel.bus.emit(
+            "serve.request.submit", shard=0, op="get", tenant="", request_id="a"
+        )
+        sampler.detach()
+        assert sampler.raw_windows[1]["lanes"]["total"]["submitted"] == 1
+        assert sampler.raw_windows[0]["lanes"] == {}
+
+    def test_boundary_event_opens_the_next_window(self):
+        # Window k covers [k·I, (k+1)·I): a t == boundary event is the
+        # first of window k+1, never the last of window k.
+        kernel, sampler = self._sampler()
+        kernel.now = 100.0
+        kernel.bus.emit(
+            "serve.request.submit", shard=0, op="get", tenant="", request_id="a"
+        )
+        sampler.detach()
+        assert sampler.raw_windows[0]["lanes"] == {}
+        assert sampler.raw_windows[1]["lanes"]["total"]["submitted"] == 1
+
+    def test_past_horizon_events_spill(self):
+        kernel, sampler = self._sampler(interval=100.0, windows=2)
+        kernel.now = 200.0  # == horizon
+        kernel.bus.emit(
+            "serve.request.submit", shard=1, op="get", tenant="t", request_id="a"
+        )
+        sampler.detach()
+        assert sampler.spilled == {
+            "total": 1,
+            shard_lane(1): 1,
+            tenant_lane("t"): 1,
+        }
+        assert all(not raw["lanes"] for raw in sampler.raw_windows)
+
+    def test_detach_flushes_the_whole_grid_and_restores_the_bus(self):
+        kernel, sampler = self._sampler(windows=3)
+        assert kernel.bus is not None  # owned emit shim installed
+        sampler.detach()
+        assert kernel.bus is None
+        assert len(sampler.raw_windows) == 3
+        assert len(sampler.records) == 3  # one total-lane record each
+        sampler.detach()  # idempotent
+        assert len(sampler.raw_windows) == 3
+
+    def test_lane_order_is_total_shards_then_sorted_tenants(self):
+        kernel, sampler = self._sampler(windows=1)
+        kernel.now = 10.0
+        for tenant in ("zeta", "alpha"):
+            kernel.bus.emit(
+                "serve.request.submit",
+                shard=0,
+                op="get",
+                tenant=tenant,
+                request_id=tenant,
+            )
+        sampler.detach()
+        lanes = [record["lane"] for record in sampler.records]
+        assert lanes == ["total", "tenant:alpha", "tenant:zeta"]
+
+
+class TestBenchIntegration:
+    def test_windowed_totals_conserve_router_counts(self):
+        result = run_serve_bench(
+            shards=2,
+            seconds=0.03,
+            rate=3_000.0,
+            seed=0,
+            budget=8,
+            telemetry=False,
+            obs=True,
+        )
+        totals = {"completed": 0, "shed": 0, "submitted": 0}
+        for record in result["obs"]["records"]:
+            if record["lane"] == "total":
+                for key in totals:
+                    totals[key] += record[key]
+        assert totals["completed"] == result["totals"]["completed"]
+        assert totals["shed"] == result["totals"]["shed"]
+        assert totals["submitted"] == result["totals"]["submitted"]
+        assert result["obs"]["spilled"] == {}
+
+    def test_obs_interval_validation(self):
+        with pytest.raises(ValueError, match="obs_interval"):
+            run_serve_bench(
+                shards=2, seconds=0.01, telemetry=False, obs=True, obs_interval=-1.0
+            )
+
+    def test_rerun_is_bit_identical(self):
+        first = run_serve_bench(shards=4, telemetry=False, obs=True, **IDENTITY)
+        second = run_serve_bench(shards=4, telemetry=False, obs=True, **IDENTITY)
+        assert _stream(first) == _stream(second)
+
+    def test_sliced_stream_is_bit_identical_to_unsliced(self):
+        # The acceptance bar: same seed ⇒ the merged --slices N window
+        # stream (records AND anomaly verdicts) is byte-identical to the
+        # unsliced run's.
+        unsliced = run_serve_bench(shards=4, telemetry=False, obs=True, **IDENTITY)
+        sliced = run_slice_bench(4, 2, jobs=1, obs=True, **IDENTITY)
+        assert unsliced["obs"]["lanes"] == sliced["obs"]["lanes"]
+        assert _stream(unsliced) == _stream(sliced)
+
+    def test_sampler_does_not_perturb_the_simulation(self):
+        plain = run_serve_bench(shards=2, telemetry=False, **IDENTITY)
+        attached = run_serve_bench(shards=2, telemetry=False, obs=True, **IDENTITY)
+        assert attached["totals"]["completed"] == plain["totals"]["completed"]
+        assert attached["totals"]["latency_us"] == plain["totals"]["latency_us"]
+        assert attached["per_shard"] == plain["per_shard"]
+
+
+class TestMergeHelpers:
+    def test_merge_superposes_counters_and_pools_samples(self):
+        a = [
+            {
+                "window": 0,
+                "lanes": {
+                    "total": {
+                        "submitted": 2,
+                        "completed": 1,
+                        "shed": 0,
+                        "preempted": 0,
+                        "failed": 0,
+                        "faults": 0,
+                        "sched_decisions": 0,
+                        "fallbacks": 1,
+                        "u_cycles": 0.0,
+                        "latency_cycles": [10.0],
+                    },
+                    "shard0": {
+                        "submitted": 2,
+                        "completed": 1,
+                        "shed": 0,
+                        "preempted": 0,
+                        "failed": 0,
+                        "faults": 0,
+                        "sched_decisions": 0,
+                        "fallbacks": 0,
+                        "u_cycles": 5.0,
+                        "latency_cycles": [10.0],
+                    },
+                },
+                "gauges": {"shard0": {"queue_depth": 1}},
+            }
+        ]
+        b = [
+            {
+                "window": 0,
+                "lanes": {
+                    "total": {
+                        "submitted": 1,
+                        "completed": 1,
+                        "shed": 0,
+                        "preempted": 0,
+                        "failed": 0,
+                        "faults": 0,
+                        "sched_decisions": 0,
+                        "fallbacks": 0,
+                        "u_cycles": 0.0,
+                        "latency_cycles": [20.0],
+                    },
+                    "shard1": {
+                        "submitted": 1,
+                        "completed": 1,
+                        "shed": 0,
+                        "preempted": 0,
+                        "failed": 0,
+                        "faults": 0,
+                        "sched_decisions": 0,
+                        "fallbacks": 0,
+                        "u_cycles": 7.0,
+                        "latency_cycles": [20.0],
+                    },
+                },
+                "gauges": {"shard1": {"queue_depth": 2}},
+            }
+        ]
+        (merged,) = merge_raw_windows([a, b])
+        assert merged["lanes"]["total"]["submitted"] == 3
+        assert merged["lanes"]["total"]["latency_cycles"] == [10.0, 20.0]
+        assert merged["lanes"]["total"]["fallbacks"] == 1
+        # Shard lanes copy whole from their single owning slice.
+        assert merged["lanes"]["shard0"]["u_cycles"] == 5.0
+        assert merged["lanes"]["shard1"]["u_cycles"] == 7.0
+        assert merged["gauges"] == {
+            "shard0": {"queue_depth": 1},
+            "shard1": {"queue_depth": 2},
+        }
+
+    def test_merge_spilled_sums_lanes(self):
+        assert merge_spilled([{"total": 1}, {"total": 2, "shard0": 1}]) == {
+            "total": 3,
+            "shard0": 1,
+        }

@@ -14,6 +14,7 @@ from repro.regress import (
     ConfigPhaseChecker,
     ImmediateFallbackChecker,
     InvariantAuditor,
+    ObsAnomalyChecker,
     Violation,
 )
 from repro.api import make_backend
@@ -160,6 +161,44 @@ class TestCheckerUnits:
         auditor = InvariantAuditor(cell="u")
         auditor.feed([event("intel.fallback", reason="retries-exhausted")])
         assert auditor.ok
+
+
+class TestObsAnomalyChecker:
+    def _anomaly(self, **overrides):
+        fields = dict(
+            lane="total",
+            metric="throughput_rps",
+            kind="ewma-band",
+            window=4,
+            value=900.0,
+            z=6.2,
+        )
+        fields.update(overrides)
+        # Not via event(): its leading parameter is also named "kind".
+        return TelemetryEvent(0.0, "obs.anomaly", fields)
+
+    def test_anomaly_is_a_diagnostic_not_a_violation(self):
+        auditor = InvariantAuditor(cell="u", checkers=[ObsAnomalyChecker()])
+        auditor.feed([self._anomaly()])
+        assert auditor.ok
+        assert auditor.violations == []
+        assert len(auditor.diagnostics) == 1
+        note = str(auditor.diagnostics[0])
+        assert "total/throughput_rps" in note
+        assert "ewma-band" in note
+
+    def test_diagnostics_render_with_the_verdict(self):
+        auditor = InvariantAuditor(cell="u", checkers=[ObsAnomalyChecker()])
+        auditor.feed([self._anomaly(kind="cusum-changepoint", window=7)])
+        verdict = auditor.render()
+        assert "all invariants hold" in verdict
+        assert "1 diagnostic note(s)" in verdict
+        assert "cusum-changepoint" in verdict
+
+    def test_other_events_ignored(self):
+        auditor = InvariantAuditor(cell="u", checkers=[ObsAnomalyChecker()])
+        auditor.feed([event("serve.request.complete", status="ok")])
+        assert auditor.diagnostics == []
 
 
 class TestAuditorMechanics:

@@ -105,6 +105,37 @@ class TestScaling:
         assert result["budget"]["in_use"] <= 8
 
 
+class TestPrometheusExport:
+    def test_serve_metrics_reach_the_session_registry(self):
+        from repro.telemetry.exporters import render_prometheus
+
+        captures = []
+        session = TelemetrySession(on_attach=captures.append)
+        with session:
+            run_serve_bench(
+                shards=2,
+                seconds=0.01,
+                rate=2_000.0,
+                budget=4,
+                tenants={"gold": 3.0, "bronze": 1.0},
+                telemetry=session,
+            )
+        assert captures, "the serve kernel was not captured"
+        text = render_prometheus(captures[0].registry)
+        # Request counters, one family for the router and one per tenant.
+        assert "repro_serve_requests_total" in text
+        assert 'outcome="completed"' in text
+        assert 'tenant="gold"' in text and 'tenant="bronze"' in text
+        assert "repro_serve_tenant_latency_cycles" in text
+        # Per-shard gauges, labelled by shard index.
+        assert "repro_serve_shard_queue_depth" in text
+        assert "repro_serve_shard_workers_active" in text
+        assert 'shard="0"' in text and 'shard="1"' in text
+        # The exporter's usual conventions still apply.
+        assert text.startswith("# ") or "repro_build_info" in text
+        assert "repro_build_info" in text
+
+
 class TestFaultTolerance:
     FAULT_PARAMS = dict(
         shards=4,

@@ -155,3 +155,58 @@ class TestRegressCommands:
     def test_audit_without_target_errors(self):
         with pytest.raises(SystemExit):
             main(["audit"])
+
+
+class TestServeObsFlags:
+    QUICK = [
+        "serve",
+        "bench",
+        "--shards",
+        "2",
+        "--seconds",
+        "0.01",
+        "--rate",
+        "2000",
+        "--backend",
+        "intel",
+    ]
+
+    def test_slices_exceeding_shards_rejected(self):
+        with pytest.raises(SystemExit, match="exceeds the shard count"):
+            main([*self.QUICK, "--slices", "4"])
+
+    def test_nonpositive_slices_rejected(self):
+        with pytest.raises(SystemExit, match="at least 1"):
+            main([*self.QUICK, "--slices", "0"])
+
+    def test_nonpositive_obs_interval_rejected(self):
+        with pytest.raises(SystemExit, match="positive cycle count"):
+            main([*self.QUICK, "--obs-interval", "0"])
+
+    def test_obs_run_writes_the_window_stream(self, capsys, tmp_path):
+        out = tmp_path / "serve.json"
+        assert main([*self.QUICK, "--obs", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "obs:" in text and "window(s)" in text
+        stream = tmp_path / "serve.windows.jsonl"
+        assert stream.exists()
+        assert "obs-windows" in stream.read_text().splitlines()[0]
+
+    def test_live_falls_back_to_plain_lines_off_tty(self, capsys, tmp_path):
+        # capsys swaps in a non-TTY stdout: the console must degrade to
+        # one plain line per window, no ANSI panel.
+        out = tmp_path / "serve.json"
+        assert main([*self.QUICK, "--live", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "[obs] window 1 " in text
+        assert "\x1b[" not in text
+
+    def test_diff_dispatches_on_the_obs_artifact(self, capsys, tmp_path):
+        out = tmp_path / "serve.json"
+        snap = tmp_path / "obs-base.json"
+        assert main(
+            [*self.QUICK, "--obs", "--out", str(out), "--obs-snapshot", str(snap)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["diff", str(snap), "--against", str(snap)]) == 0
+        assert "obs baseline gate: OK" in capsys.readouterr().out
