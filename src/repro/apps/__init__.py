@@ -11,18 +11,32 @@ I/O through ocalls, exactly as the paper's SGX ports do:
   encryption/decryption pipeline (AES-256-CBC, §V-B).
 - :mod:`repro.apps.lmbench` — the lmbench read/write syscall benchmarks
   over ``/dev/zero`` and ``/dev/null`` (§V-C).
+
+Served-app variants (request-driven, used by :mod:`repro.serve`):
+
+- :mod:`repro.apps.kvserver` — the WAL-backed KV server;
+- :mod:`repro.apps.sessionstore` — a capacity-bounded LRU session cache
+  that seals and spills evictions to the host through ocalls;
+- :mod:`repro.apps.cryptoservice` — a key-addressed file-encryption
+  service wrapping :class:`CryptoFileApp` (the long-call ocall profile).
 """
 
 from repro.apps.cryptofile import CryptoFileApp
+from repro.apps.cryptoservice import CryptoServiceClient, CryptoServiceEnclave
 from repro.apps.kissdb import KissDB, KissDBError
 from repro.apps.kvserver import KvClient, KvServerEnclave
 from repro.apps.lmbench import LmbenchSyscalls
+from repro.apps.sessionstore import SessionClient, SessionStoreEnclave
 
 __all__ = [
     "CryptoFileApp",
+    "CryptoServiceClient",
+    "CryptoServiceEnclave",
     "KissDB",
     "KissDBError",
     "KvClient",
     "KvServerEnclave",
     "LmbenchSyscalls",
+    "SessionClient",
+    "SessionStoreEnclave",
 ]

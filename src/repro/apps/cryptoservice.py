@@ -1,0 +1,197 @@
+"""A served file-encryption pipeline wrapping :class:`CryptoFileApp`.
+
+This turns the paper's §V-B OpenSSL-style file workload into a
+*request-driven service*: each serve-layer request addresses one of a
+small number of key-addressed file **slots** on the shard's private
+filesystem, and the trusted handler runs the full
+:class:`repro.apps.cryptofile.CryptoFileApp` pipeline over that slot —
+fopen/fread/fwrite/fclose ocalls per chunk plus in-enclave cipher
+cycles.  Compared to the KV server's 8-byte ops this produces the
+paper's *long-call* ocall profile (whole chunks marshalled per call,
+ciphertext misaligned by the IV header), so a traffic mix that includes
+this app stresses the switchless memcpy path the way fig. 10 does.
+
+Ops (canonical serve-layer vocabulary, see :mod:`repro.serve.apps`):
+
+- ``set`` — ``crypto_encrypt``: encrypt the slot's plaintext file into
+  its output file (IV header + padded chunks);
+- ``get`` — ``crypto_decrypt``: read + decrypt the slot's pre-encrypted
+  ciphertext file (the paper's decryptor does not write);
+- ``size`` — ``crypto_stats``: total chunks processed (probe ecall).
+
+Slot files must be seeded on the host side **before** the enclave runs:
+call :meth:`CryptoServiceEnclave.seed_files` with the runtime's
+filesystem (mirrors fig. 10's pre-encrypted ``/pre.cipher`` input).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.apps.cryptofile import CryptoFileApp, EngineFactory
+from repro.crypto import FastXorEngine
+from repro.sim.instructions import Compute
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.hostos.filesystem import HostFileSystem
+    from repro.sgx.enclave import Enclave
+
+#: Fixed service key material (the workload models cost, not secrecy).
+SERVICE_KEY = bytes(range(32))
+SERVICE_IV = bytes(range(16))
+
+#: Service-scale defaults: small files so one request costs the same
+#: order of magnitude as a KV op times the long-call factor, not a
+#: whole fig. 10 run.
+DEFAULT_SLOTS = 4
+DEFAULT_CHUNK_BYTES = 512
+DEFAULT_CHUNKS_PER_SLOT = 2
+
+#: Enclave-side cost of the stats probe.
+_STATS_CYCLES = 300.0
+
+
+def default_engine_factory() -> object:
+    """Per-thread cipher engine used when none is injected."""
+    return FastXorEngine(SERVICE_KEY, SERVICE_IV)
+
+
+class CryptoServiceEnclave:
+    """Trusted request handlers of the file-encryption service.
+
+    Args:
+        enclave: Enclave running the pipeline; the constructor registers
+            the ``crypto_encrypt``/``crypto_decrypt``/``crypto_stats``
+            ecalls.
+        engine_factory: Cipher engine per pipeline pass (defaults to the
+            benchmark-grade :class:`FastXorEngine`).
+        slots: Number of key-addressed file slots.
+        chunk_bytes: Plaintext chunk size of the pipeline.
+        chunks_per_slot: Plaintext chunks per slot file.
+        root: Directory prefix of the slot files.
+    """
+
+    def __init__(
+        self,
+        enclave: "Enclave",
+        engine_factory: EngineFactory | None = None,
+        *,
+        slots: int = DEFAULT_SLOTS,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        chunks_per_slot: int = DEFAULT_CHUNKS_PER_SLOT,
+        root: str = "/crypto",
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if chunks_per_slot < 1:
+            raise ValueError("chunks_per_slot must be >= 1")
+        self.enclave = enclave
+        self.engine_factory = (
+            engine_factory if engine_factory is not None else default_engine_factory
+        )
+        self.slots = slots
+        self.chunks_per_slot = chunks_per_slot
+        self.root = root
+        self.pipeline = CryptoFileApp(
+            enclave, self.engine_factory, chunk_bytes=chunk_bytes
+        )
+        #: Completed encrypt / decrypt requests.
+        self.encrypts = 0
+        self.decrypts = 0
+        enclave.trts.register_many(
+            {
+                "crypto_encrypt": self.ecall_encrypt,
+                "crypto_decrypt": self.ecall_decrypt,
+                "crypto_stats": self.ecall_stats,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Host-side slot layout
+    # ------------------------------------------------------------------
+    def _slot(self, key: bytes) -> int:
+        return int.from_bytes(key, "big") % self.slots if key else 0
+
+    def plain_path(self, slot: int) -> str:
+        """Plaintext input file of ``slot``."""
+        return f"{self.root}/plain-{slot}.bin"
+
+    def cipher_path(self, slot: int) -> str:
+        """Pre-encrypted ciphertext input file of ``slot``."""
+        return f"{self.root}/pre-{slot}.cipher"
+
+    def out_path(self, slot: int) -> str:
+        """Ciphertext output file of ``slot`` (overwritten per request)."""
+        return f"{self.root}/out-{slot}.cipher"
+
+    def slot_plaintext(self, slot: int) -> bytes:
+        """Deterministic per-slot plaintext (distinct across slots)."""
+        size = self.chunks_per_slot * self.pipeline.chunk_bytes
+        return bytes((slot * 31 + i) % 256 for i in range(size))
+
+    def make_ciphertext(self, plaintext: bytes) -> bytes:
+        """Pre-encrypt a slot the way the encrypt path lays files out."""
+        engine = self.engine_factory()
+        chunk = self.pipeline.chunk_bytes
+        out = bytearray(SERVICE_IV)
+        for offset in range(0, len(plaintext), chunk):
+            out.extend(engine.encrypt(plaintext[offset : offset + chunk]))
+        return bytes(out)
+
+    def seed_files(self, fs: "HostFileSystem") -> None:
+        """Create every slot's plaintext and pre-encrypted input files."""
+        for slot in range(self.slots):
+            plaintext = self.slot_plaintext(slot)
+            fs.create(self.plain_path(slot), plaintext)
+            fs.create(self.cipher_path(slot), self.make_ciphertext(plaintext))
+
+    # ------------------------------------------------------------------
+    # Trusted handlers (run via ecalls)
+    # ------------------------------------------------------------------
+    def ecall_encrypt(self, key: bytes) -> Program:
+        """Encrypt the slot addressed by ``key``; returns chunk count."""
+        slot = self._slot(key)
+        chunks = yield from self.pipeline.encrypt_file(
+            self.plain_path(slot), self.out_path(slot), SERVICE_IV
+        )
+        self.encrypts += 1
+        return chunks
+
+    def ecall_decrypt(self, key: bytes) -> Program:
+        """Decrypt the slot addressed by ``key``; returns chunk count."""
+        slot = self._slot(key)
+        chunks = yield from self.pipeline.decrypt_file(self.cipher_path(slot))
+        self.decrypts += 1
+        return chunks
+
+    def ecall_stats(self) -> Program:
+        """Total chunks processed (the serve layer's probe ecall)."""
+        yield Compute(_STATS_CYCLES, tag="crypto-stats")
+        return self.pipeline.chunks_encrypted + self.pipeline.chunks_decrypted
+
+
+class CryptoServiceClient:
+    """Untrusted client: thin ecall wrappers for server threads."""
+
+    def __init__(self, enclave: "Enclave") -> None:
+        self.enclave = enclave
+
+    def encrypt(self, key: bytes) -> Program:
+        """Run the encrypt pipeline over ``key``'s slot."""
+        result = yield from self.enclave.ecall_named(
+            "crypto_encrypt", key, in_bytes=len(key), out_bytes=8
+        )
+        return result
+
+    def decrypt(self, key: bytes) -> Program:
+        """Run the decrypt pipeline over ``key``'s slot."""
+        result = yield from self.enclave.ecall_named(
+            "crypto_decrypt", key, in_bytes=len(key), out_bytes=8
+        )
+        return result
+
+    def stats(self) -> Program:
+        """Total chunks processed so far."""
+        result = yield from self.enclave.ecall_named("crypto_stats", out_bytes=8)
+        return result

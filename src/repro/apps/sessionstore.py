@@ -1,0 +1,187 @@
+"""An in-enclave session store: a capacity-bounded LRU cache with spill.
+
+The deployment story mirrors a web tier's session cache hardened with
+SGX: session state (auth tokens, per-user scratch) is sensitive, so it
+lives in enclave memory; the host only ever sees *sealed* records.  The
+enclave's memory is scarce (EPC!), so the store is capacity-bounded —
+when it fills, the least-recently-used session is sealed (modelled as
+MAC/encrypt cycles) and spilled to an untrusted host file through an
+**ocall**.  That spill path is exactly the short-write-heavy ocall
+profile where switchless calls pay off, which is why the serving layer
+offers this app next to the WAL-backed KV server.
+
+Ops (canonical serve-layer vocabulary, see :mod:`repro.serve.apps`):
+
+- ``set``  — ``sess_set``: insert/refresh a session (may evict + spill);
+- ``get``  — ``sess_get``: look up and LRU-touch a session;
+- ``delete`` — ``sess_delete``: end a session explicitly;
+- ``size`` — ``sess_size``: live-session count (also the probe ecall).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.sim.instructions import Compute
+from repro.sim.kernel import Program
+
+if TYPE_CHECKING:
+    from repro.sgx.enclave import Enclave
+
+#: Enclave-side cycle costs (distinct from the KV server's constants:
+#: the session table is a flat LRU, cheaper to probe than the KV path,
+#: but sealing an evicted record costs real crypto per byte).
+_TOUCH_CYCLES = 350.0
+_SEAL_BASE_CYCLES = 500.0
+_SEAL_CYCLES_PER_BYTE = 1.2
+
+
+class SessionStoreEnclave:
+    """Trusted state machine of the session cache.
+
+    Args:
+        enclave: Enclave hosting the table; the constructor registers the
+            ``sess_get``/``sess_set``/``sess_delete``/``sess_size``
+            ecalls.
+        capacity: Maximum live sessions held in enclave memory; inserting
+            past it spills the LRU victim to the host.
+        spill_path: Host path of the sealed-eviction log.
+    """
+
+    def __init__(
+        self,
+        enclave: "Enclave",
+        capacity: int = 512,
+        spill_path: str = "/sessions.spill",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.enclave = enclave
+        self.capacity = capacity
+        self.spill_path = spill_path
+        self._table: "OrderedDict[bytes, bytes]" = OrderedDict()
+        self._spill_fd: int | None = None
+        #: Sessions evicted (sealed + spilled) since start.
+        self.evictions = 0
+        #: Bytes written to the spill log.
+        self.spilled_bytes = 0
+        #: ``get`` calls that found no live session.
+        self.misses = 0
+        enclave.trts.register_many(
+            {
+                "sess_get": self.ecall_get,
+                "sess_set": self.ecall_set,
+                "sess_delete": self.ecall_delete,
+                "sess_size": self.ecall_size,
+            }
+        )
+
+    @property
+    def live(self) -> int:
+        """Sessions currently held in enclave memory."""
+        return len(self._table)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (run from an enclave-side thread)
+    # ------------------------------------------------------------------
+    def start(self) -> Program:
+        """Open the spill log; returns the (always 0) recovered count."""
+        self._spill_fd = yield from self.enclave.ocall(
+            "fopen", self.spill_path, "a"
+        )
+        return 0
+
+    def stop(self) -> Program:
+        """Close the spill log."""
+        if self._spill_fd is not None:
+            yield from self.enclave.ocall("fclose", self._spill_fd)
+            self._spill_fd = None
+        return None
+
+    def _spill(self, key: bytes, value: bytes) -> Program:
+        """Seal the evicted session and append it to the host log."""
+        if self._spill_fd is None:
+            raise RuntimeError("session store not started")
+        record = key + value
+        yield Compute(
+            _SEAL_BASE_CYCLES + len(record) * _SEAL_CYCLES_PER_BYTE,
+            tag="session-seal",
+        )
+        yield from self.enclave.ocall(
+            "fwrite", self._spill_fd, record, in_bytes=len(record)
+        )
+        self.spilled_bytes += len(record)
+        return None
+
+    # ------------------------------------------------------------------
+    # Trusted handlers (run via ecalls)
+    # ------------------------------------------------------------------
+    def ecall_set(self, key: bytes, value: bytes) -> Program:
+        """Insert or refresh ``key``; spills the LRU victim when full."""
+        if not key:
+            raise ValueError("empty session key")
+        yield Compute(_TOUCH_CYCLES, tag="session-touch")
+        if key in self._table:
+            self._table.move_to_end(key)
+            self._table[key] = value
+            return True
+        if len(self._table) >= self.capacity:
+            victim_key, victim_value = self._table.popitem(last=False)
+            yield from self._spill(victim_key, victim_value)
+            self.evictions += 1
+        self._table[key] = value
+        return True
+
+    def ecall_get(self, key: bytes) -> Program:
+        """Look up ``key`` (LRU-touches on hit); None on a miss."""
+        yield Compute(_TOUCH_CYCLES, tag="session-touch")
+        value = self._table.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._table.move_to_end(key)
+        return value
+
+    def ecall_delete(self, key: bytes) -> Program:
+        """End a session; returns whether it was live."""
+        yield Compute(_TOUCH_CYCLES, tag="session-touch")
+        return self._table.pop(key, None) is not None
+
+    def ecall_size(self) -> Program:
+        """Live-session count (the serve layer's probe ecall)."""
+        yield Compute(_TOUCH_CYCLES, tag="session-touch")
+        return len(self._table)
+
+
+class SessionClient:
+    """Untrusted client: thin ecall wrappers for server threads."""
+
+    def __init__(self, enclave: "Enclave") -> None:
+        self.enclave = enclave
+
+    def get(self, key: bytes) -> Program:
+        """Fetch one session's state."""
+        result = yield from self.enclave.ecall_named(
+            "sess_get", key, in_bytes=len(key), out_bytes=64
+        )
+        return result
+
+    def set(self, key: bytes, value: bytes) -> Program:
+        """Create or refresh one session."""
+        result = yield from self.enclave.ecall_named(
+            "sess_set", key, value, in_bytes=len(key) + len(value), out_bytes=1
+        )
+        return result
+
+    def delete(self, key: bytes) -> Program:
+        """End one session."""
+        result = yield from self.enclave.ecall_named(
+            "sess_delete", key, in_bytes=len(key), out_bytes=1
+        )
+        return result
+
+    def size(self) -> Program:
+        """Live-session count."""
+        result = yield from self.enclave.ecall_named("sess_size", out_bytes=8)
+        return result

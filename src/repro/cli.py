@@ -232,6 +232,8 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         peek = json.load(handle)
     if peek.get("meta", {}).get("artifact") == "obs-windows":
         return _diff_obs_baseline(args)
+    if peek.get("meta", {}).get("artifact") == "scenario-bench":
+        return _diff_scenario_baseline(args)
 
     base = load_snapshot(args.baseline)
     if args.against is not None:
@@ -302,6 +304,46 @@ def _diff_obs_baseline(args: argparse.Namespace) -> int:
             print(f"  - {violation}")
         return 1
     print(f"obs baseline gate: OK (matches {args.baseline})")
+    return 0
+
+
+def _diff_scenario_baseline(args: argparse.Namespace) -> int:
+    """Re-run a scenario baseline's replay and gate the outcome."""
+    from repro.scenarios import (
+        compare_scenario_baseline,
+        load_scenario_baseline,
+        run_scenario_from_baseline,
+        scenario_snapshot,
+    )
+
+    baseline = load_scenario_baseline(args.baseline)
+    name = baseline["params"].get("scenario")
+    if args.against is not None:
+        current = load_scenario_baseline(args.against)
+    else:
+        print(
+            f"[scenario baseline: replaying {name!r} on "
+            f"{baseline['params'].get('shards')} shard(s)]"
+        )
+        try:
+            current = scenario_snapshot(run_scenario_from_baseline(baseline))
+        except (OSError, ValueError) as exc:
+            print(f"scenario baseline gate: {exc}")
+            return 1
+    violations = compare_scenario_baseline(
+        current, baseline, threshold=args.threshold
+    )
+    totals = current["totals"]
+    print(
+        f"scenario diff: {totals.get('issued')} arrival(s), "
+        f"{totals.get('completed')} completed, {totals.get('shed')} shed"
+    )
+    if violations:
+        print(f"scenario baseline gate: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(f"scenario baseline gate: OK (matches {args.baseline})")
     return 0
 
 
@@ -445,6 +487,79 @@ def _parse_tenants(value: str | None) -> dict[str, float] | None:
     return mix
 
 
+def _parse_app_mix(value: str | None) -> tuple[tuple[str, float], ...] | None:
+    """``--apps "kv:6,session:3,crypto:1"`` → weighted pairs (None unset).
+
+    Order is preserved: the first app is the shard default/probe app.
+    Unknown app names fail here, before any cluster is built.
+    """
+    if value is None:
+        return None
+    from repro.serve.apps import APP_CHOICES
+
+    pairs: list[tuple[str, float]] = []
+    for part in value.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition(":")
+        name = name.strip()
+        if not name:
+            raise SystemExit(f"--apps: empty app name in {value!r}")
+        if name not in APP_CHOICES:
+            raise SystemExit(
+                f"--apps: unknown app {name!r}; choices: {', '.join(APP_CHOICES)}"
+            )
+        if any(existing == name for existing, _ in pairs):
+            raise SystemExit(f"--apps: duplicate app {name!r} in {value!r}")
+        try:
+            pairs.append((name, float(weight) if weight else 1.0))
+        except ValueError:
+            raise SystemExit(f"--apps: bad weight for {name!r} in {value!r}")
+    if not pairs:
+        raise SystemExit("--apps given but names no apps")
+    return tuple(pairs)
+
+
+def _resolve_trace(args: argparse.Namespace) -> tuple[Any, str | None]:
+    """``--scenario``/``--trace`` → (loaded trace, its file path).
+
+    Returns ``(None, None)`` when neither flag is set.  Every failure
+    mode — unknown scenario name, missing file, bad schema stamp,
+    corrupted events — exits with a one-line message instead of a
+    traceback (the flags are user input, not code).
+    """
+    scenario = getattr(args, "scenario", None)
+    trace_file = getattr(args, "trace", None)
+    if scenario is None and trace_file is None:
+        return None, None
+    if scenario is not None and trace_file is not None:
+        raise SystemExit("--scenario and --trace are mutually exclusive")
+    from repro.scenarios import get_scenario, load_trace, trace_path
+    from repro.telemetry.schema import SchemaMismatch
+
+    if scenario is not None:
+        try:
+            get_scenario(scenario)
+        except ValueError as exc:
+            raise SystemExit(f"--scenario: {exc}")
+        path = trace_path(scenario)
+        if not os.path.exists(path):
+            raise SystemExit(
+                f"--scenario: no committed trace at {path}; generate it with "
+                f"'repro scenarios gen {scenario}'"
+            )
+    else:
+        path = trace_file
+    try:
+        trace = load_trace(path)
+    except FileNotFoundError:
+        raise SystemExit(f"--trace: no such file: {path}")
+    except (SchemaMismatch, ValueError) as exc:
+        raise SystemExit(f"--trace: {exc}")
+    return trace, path
+
+
 def _replay_live_console(console: Any, obs: dict[str, Any]) -> None:
     """Feed a finished window stream through the live console window by
     window — the end-of-run fallback for sliced runs, where the windows
@@ -459,6 +574,150 @@ def _replay_live_console(console: Any, obs: dict[str, Any]) -> None:
         console.on_window(
             index, by_window[index], anomalies_by_window.get(index, [])
         )
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """The scenario library: list the catalog, gen traces, replay them."""
+    from repro.scenarios import (
+        CATALOG,
+        SCENARIO_NAMES,
+        generate_trace,
+        get_scenario,
+        load_trace,
+        trace_path,
+        write_trace,
+    )
+
+    if args.scenarios_cmd == "list":
+        print(f"{'scenario':<14} {'arrival':<8} {'apps':<20} description")
+        for spec in CATALOG:
+            apps = ",".join(name for name, _ in spec.apps)
+            print(f"{spec.name:<14} {spec.arrival:<8} {apps:<20} {spec.description}")
+        return 0
+
+    if args.scenarios_cmd == "gen":
+        names = list(SCENARIO_NAMES) if args.name == "all" else [args.name]
+        if args.out is not None and len(names) > 1:
+            raise SystemExit("--out needs a single scenario, not 'all'")
+        drifted = 0
+        for name in names:
+            try:
+                spec = get_scenario(name)
+            except ValueError as exc:
+                raise SystemExit(str(exc))
+            trace = generate_trace(spec)
+            path = args.out if args.out is not None else trace_path(name)
+            if args.check:
+                try:
+                    committed = load_trace(path)
+                except FileNotFoundError:
+                    print(f"{name}: MISSING ({path})")
+                    drifted += 1
+                    continue
+                except ValueError as exc:
+                    print(f"{name}: INVALID ({exc})")
+                    drifted += 1
+                    continue
+                if committed.digest != trace.digest:
+                    print(
+                        f"{name}: DRIFT (committed {committed.digest[:12]}… "
+                        f"vs regenerated {trace.digest[:12]}…)"
+                    )
+                    drifted += 1
+                else:
+                    print(f"{name}: OK ({len(trace.events)} events)")
+                continue
+            write_trace(trace, path)
+            print(
+                f"{name}: {len(trace.events)} events over "
+                f"{trace.duration_s * 1e3:.0f} ms -> {path}"
+            )
+        return 1 if drifted else 0
+
+    # replay
+    from repro.scenarios import (
+        compare_scenario_baseline,
+        load_scenario_baseline,
+        replay_scenario,
+        scenario_snapshot,
+        write_scenario_baseline,
+    )
+    from repro.serve.bench import write_result
+    from repro.telemetry.schema import SchemaMismatch
+
+    overrides: dict[str, Any] = {}
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    started = time.monotonic()
+    try:
+        result = replay_scenario(
+            args.name, slices=args.slices, audit=args.audit, **overrides
+        )
+    except FileNotFoundError as exc:
+        raise SystemExit(
+            f"no committed trace for {args.name!r} ({exc}); generate it "
+            f"with 'repro scenarios gen {args.name}'"
+        )
+    except (SchemaMismatch, ValueError) as exc:
+        raise SystemExit(str(exc))
+    elapsed = time.monotonic() - started
+    totals = result["totals"]
+    latency = totals["latency_us"]
+    print(
+        f"scenario {args.name}: {result['params']['trace_events']} arrival(s) "
+        f"replayed on {result['params']['shards']} shard(s)"
+        + (f" over {args.slices} slice(s)" if args.slices > 1 else "")
+    )
+    print(
+        f"  {totals['completed']} completed, {totals['shed']} shed, "
+        f"{totals['failed']} failed; p50 {latency['p50']:.1f} us, "
+        f"p99 {latency['p99']:.1f} us"
+    )
+    for app, record in result.get("per_app", {}).items():
+        print(
+            f"  app {app}: {record['completed']} completed, "
+            f"{record['shed']} shed, p99 {record['latency_us']['p99']:.1f} us"
+        )
+    failures = 0
+    if "audit" in result:
+        audit = result["audit"]
+        if audit["ok"]:
+            print(f"  audit: OK ({len(audit['cells'])} kernel(s))")
+        else:
+            print(f"  audit: {audit['violations']} violation(s)")
+            for entry in audit["cells"]:
+                for violation in entry["violations"]:
+                    print(f"    - {violation}")
+            failures += 1
+    path = write_result(result, args.out)
+    print(f"[scenario artifact written to {path}]")
+    if args.snapshot is not None:
+        snap_path = write_scenario_baseline(
+            scenario_snapshot(result), args.snapshot
+        )
+        print(f"[scenario baseline snapshot written to {snap_path}]")
+    if args.baseline is not None:
+        try:
+            baseline = load_scenario_baseline(args.baseline)
+        except (OSError, SchemaMismatch, ValueError) as exc:
+            raise SystemExit(f"--baseline: {exc}")
+        violations = compare_scenario_baseline(
+            result, baseline, threshold=args.threshold
+        )
+        if violations:
+            print(f"baseline gate: {len(violations)} violation(s)")
+            for violation in violations:
+                print(f"  - {violation}")
+            failures += 1
+        else:
+            print(
+                f"baseline gate: OK (within {args.threshold:.0%} of "
+                f"{args.baseline})"
+            )
+    print(f"[scenarios replay: {elapsed:.1f}s wall]")
+    return 1 if failures else 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -506,6 +765,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             obs_on_window = console.on_window
     tenants = _parse_tenants(args.tenants)
+    app_mix = _parse_app_mix(args.apps)
+    trace, trace_file = _resolve_trace(args)
+    if trace is not None:
+        if args.clients is not None:
+            raise SystemExit("trace replay is open-loop; drop --clients")
+        if app_mix is not None:
+            installed = [name for name, _ in app_mix]
+            missing = [a for a in trace.apps if a not in installed]
+            if missing:
+                raise SystemExit(
+                    f"--apps: trace {trace.name!r} addresses "
+                    f"{', '.join(missing)} not in the installed app set "
+                    f"({', '.join(installed)})"
+                )
     contracts = None
     if args.contracts is not None:
         from repro.slo import load_contracts
@@ -545,6 +818,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             obs=obs_enabled,
             obs_interval=args.obs_interval,
+            apps=app_mix,
+            trace_path=trace_file,
         )
     else:
         result = run_serve_bench(
@@ -570,6 +845,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             obs=obs_enabled,
             obs_interval=args.obs_interval,
             obs_on_window=obs_on_window,
+            apps=app_mix,
+            trace=trace,
         )
     if console is not None and obs_on_window is None and "obs" in result:
         _replay_live_console(console, result["obs"])
@@ -1177,6 +1454,30 @@ def main(argv: list[str] | None = None) -> int:
         help="evaluate per-tenant SLO contracts; hard breaches exit 1",
     )
     serve_bench.add_argument(
+        "--apps",
+        default=None,
+        metavar="MIX",
+        help=(
+            "weighted served-app mix, e.g. 'kv:6,session:3,crypto:1' "
+            "(installs every named app on every shard; first = default)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help=(
+            "replay a catalog scenario's committed trace instead of "
+            "synthetic load (see 'repro scenarios list')"
+        ),
+    )
+    serve_bench.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="replay a scenario trace file instead of synthetic load",
+    )
+    serve_bench.add_argument(
         "--spans",
         default=None,
         metavar="FILE",
@@ -1255,6 +1556,77 @@ def main(argv: list[str] | None = None) -> int:
             "render a live per-shard console as windows close (implies "
             "--obs; plain lines when stdout is not a TTY)"
         ),
+    )
+
+    scenarios_parser = sub.add_parser(
+        "scenarios", help="trace-driven scenario library (list/gen/replay)"
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(
+        dest="scenarios_cmd", required=True
+    )
+    scenarios_sub.add_parser("list", help="list the catalog scenarios")
+    scen_gen = scenarios_sub.add_parser(
+        "gen", help="deterministically (re)generate a scenario's trace file"
+    )
+    scen_gen.add_argument("name", help="catalog scenario name, or 'all'")
+    scen_gen.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="trace output path (default traces/<name>.trace.jsonl)",
+    )
+    scen_gen.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "verify the committed trace byte-matches a regeneration "
+            "instead of writing (exit 1 on drift)"
+        ),
+    )
+    scen_replay = scenarios_sub.add_parser(
+        "replay", help="replay a committed scenario trace through the serve layer"
+    )
+    scen_replay.add_argument("name", help="catalog scenario name")
+    scen_replay.add_argument(
+        "--slices",
+        type=int,
+        default=1,
+        help="slice-parallel replay over N processes (default 1)",
+    )
+    scen_replay.add_argument(
+        "--audit",
+        action="store_true",
+        help="attach live invariant checkers to every slice kernel",
+    )
+    scen_replay.add_argument(
+        "--shards", type=int, default=None, help="override the catalog cluster"
+    )
+    scen_replay.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None
+    )
+    scen_replay.add_argument(
+        "--out",
+        default="BENCH_scenario.json",
+        metavar="FILE",
+        help="artifact output path (default BENCH_scenario.json)",
+    )
+    scen_replay.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="gate the replay against a committed scenario baseline",
+    )
+    scen_replay.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="FILE",
+        help="write a scenario-bench baseline snapshot for 'repro diff'",
+    )
+    scen_replay.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="relative drift the baseline gate tolerates (default 0.1)",
     )
 
     evidence_parser = sub.add_parser(
@@ -1359,6 +1731,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "evidence":

@@ -1,0 +1,82 @@
+"""Trace-driven scenario library for the serving layer.
+
+The synthetic loadgen answers "what does this cluster do at rate R?";
+the scenario library answers "what does it do on *this* workload?" —
+where the workload is a reviewable artifact, not a seed.  Three pieces:
+
+- :mod:`repro.scenarios.trace` — the schema-stamped JSONL trace format:
+  timestamped, tenant- and app-tagged request arrivals with a digest
+  that makes every committed trace tamper-evident.
+- :mod:`repro.scenarios.generate` — the deterministic generator:
+  diurnal curves, flash crowds, hot-key skew shifts, weighted app and
+  tenant mixes, all from one seeded stream (same spec → byte-identical
+  file).
+- :mod:`repro.scenarios.replay` — the replay engine (a drop-in for the
+  open-loop loadgen, so slice-parallel replays merge bit-identical to
+  unsliced ones) plus the ``scenario-bench`` baseline gate.
+- :mod:`repro.scenarios.catalog` — the named library whose traces live
+  under ``traces/`` and whose baselines ``repro diff`` gates in CI.
+
+See ``docs/scenarios.md`` for the trace schema and the gen → replay →
+diff workflow.
+"""
+
+from repro.scenarios.catalog import (
+    CATALOG,
+    REPLAY_DEFAULTS,
+    SCENARIO_NAMES,
+    baseline_path,
+    get_scenario,
+    trace_path,
+)
+from repro.scenarios.generate import (
+    ARRIVAL_CHOICES,
+    KEYDIST_CHOICES,
+    ScenarioSpec,
+    generate_trace,
+)
+from repro.scenarios.replay import (
+    SCENARIO_ARTIFACT,
+    TraceReplayer,
+    compare_scenario_baseline,
+    load_scenario_baseline,
+    replay_scenario,
+    run_scenario_from_baseline,
+    scenario_snapshot,
+    write_scenario_baseline,
+)
+from repro.scenarios.trace import (
+    TRACE_ARTIFACT,
+    ScenarioTrace,
+    TraceEvent,
+    load_trace,
+    trace_digest,
+    write_trace,
+)
+
+__all__ = [
+    "ARRIVAL_CHOICES",
+    "CATALOG",
+    "KEYDIST_CHOICES",
+    "REPLAY_DEFAULTS",
+    "SCENARIO_ARTIFACT",
+    "SCENARIO_NAMES",
+    "TRACE_ARTIFACT",
+    "ScenarioSpec",
+    "ScenarioTrace",
+    "TraceEvent",
+    "TraceReplayer",
+    "baseline_path",
+    "compare_scenario_baseline",
+    "generate_trace",
+    "get_scenario",
+    "load_scenario_baseline",
+    "load_trace",
+    "replay_scenario",
+    "run_scenario_from_baseline",
+    "scenario_snapshot",
+    "trace_digest",
+    "trace_path",
+    "write_scenario_baseline",
+    "write_trace",
+]

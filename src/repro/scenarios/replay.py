@@ -1,0 +1,313 @@
+"""Trace replay: feed a committed timeline through the serve router.
+
+:class:`TraceReplayer` is a drop-in for the open-loop
+:class:`repro.serve.loadgen.LoadGenerator` — same ``run()`` entry point,
+same ``issued``/``skipped`` counters, same absolute arrival schedule,
+same per-arrival request threads — except the arrivals come from a
+:class:`repro.scenarios.trace.ScenarioTrace` instead of seeded draws.
+Because a trace is pure data, every slice of a slice-parallel replay
+walks the *identical* global timeline and only gates the spawn through
+its ``admit`` predicate, which is exactly the invariant the loadgen's
+guarantee rests on — so sliced replays merge bit-identical to unsliced
+ones (the acceptance test of the scenario library).
+
+:func:`replay_scenario` is the high-level entry: load a catalog trace,
+replay it on the catalog's default cluster (optionally sliced), and
+return the stamped artifact.  :func:`scenario_snapshot` distils that
+artifact into a small committed baseline, and
+:func:`compare_scenario_baseline` is the ``repro diff`` gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable
+
+from repro.scenarios.catalog import (
+    REPLAY_DEFAULTS,
+    get_scenario,
+    trace_path,
+)
+from repro.scenarios.trace import ScenarioTrace, load_trace
+from repro.serve.router import Router
+from repro.sim.instructions import Compute, Sleep
+from repro.sim.kernel import Kernel, Program, SimThread
+from repro.telemetry.schema import check_stamp, stamp
+
+#: Artifact kind of a committed scenario baseline snapshot.
+SCENARIO_ARTIFACT = "scenario-bench"
+
+
+class TraceReplayer:
+    """Replays a :class:`ScenarioTrace` against a router.
+
+    Mirrors the open-loop :class:`repro.serve.loadgen.LoadGenerator`
+    contract: ``run()`` drives the kernel until every replayed request
+    completes, ``issued`` counts every trace event (including ones a
+    slice's ``admit`` predicate skipped), ``skipped`` counts the skips.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        router: Router,
+        trace: ScenarioTrace,
+        *,
+        admit: "Callable[[bytes], bool] | None" = None,
+        parse_cycles: float = 1_200.0,
+    ) -> None:
+        self.kernel = kernel
+        self.router = router
+        self.trace = trace
+        self._admit = admit
+        self.parse_cycles = parse_cycles
+        #: Trace events walked — every arrival, admitted or not.
+        self.issued = 0
+        #: Arrivals skipped by the ``admit`` predicate.
+        self.skipped = 0
+
+    def run(self) -> None:
+        """Replay the whole trace and run the kernel until it drains."""
+        request_threads: list[SimThread] = []
+        arrivals = self.kernel.spawn(
+            self._arrival_process(request_threads),
+            name="trace-arrivals",
+            kind="serve-client",
+        )
+        self.kernel.join(arrivals)
+        if request_threads:
+            self.kernel.join(*request_threads)
+
+    def _arrival_process(self, request_threads: list[SimThread]) -> Program:
+        # Absolute schedule anchored at replay start: each event is due
+        # at t0 + its trace timestamp, independent of how long this
+        # thread waited in the ready queue — the same rule as the
+        # loadgen's open loop, and for the same reason (queue delay must
+        # not stretch the offered timeline).
+        t0 = self.kernel.now
+        for event in self.trace.events:
+            due = t0 + self.kernel.cycles(event.t)
+            delay = due - self.kernel.now
+            if delay > 0:
+                yield Sleep(delay)
+            index = self.issued
+            self.issued += 1
+            if self._admit is not None and not self._admit(event.key):
+                self.skipped += 1
+                continue
+            request_threads.append(
+                self.kernel.spawn(
+                    self._one_request(event),
+                    name=f"req-{index}",
+                    kind="serve-client",
+                )
+            )
+
+    def _one_request(self, event: Any) -> Program:
+        yield Compute(self.parse_cycles, tag="request-parse")
+        yield from self.router.request(
+            event.op,
+            event.key,
+            event.value,
+            tenant=event.tenant,
+            app=event.app,
+        )
+
+
+# ----------------------------------------------------------------------
+# High-level replay + the baseline gate
+# ----------------------------------------------------------------------
+def replay_scenario(
+    name: str,
+    *,
+    root: str = ".",
+    trace_file: str | None = None,
+    slices: int = 1,
+    audit: bool = False,
+    obs: bool = False,
+    raw_sink: dict[str, Any] | None = None,
+    **overrides: Any,
+) -> dict[str, Any]:
+    """Replay catalog scenario ``name`` and return the stamped artifact.
+
+    Loads the committed trace (or ``trace_file`` when given), replays it
+    on the catalog's default cluster (:data:`REPLAY_DEFAULTS`, overridable
+    via keyword arguments), single-process by default or slice-parallel
+    with ``slices > 1`` (``audit=True`` additionally runs the unsliced
+    control and cross-checks shard-for-shard equivalence).
+    """
+    from repro.serve.bench import run_serve_bench
+
+    get_scenario(name)  # validate the name early, with the clean error
+    path = trace_file if trace_file is not None else trace_path(name, root)
+    kwargs: dict[str, Any] = {**REPLAY_DEFAULTS, **overrides}
+    if slices > 1:
+        from repro.serve.slices import run_slice_bench
+
+        return run_slice_bench(
+            slices=slices, audit=audit, trace_path=path, **kwargs
+        )
+    trace = load_trace(path)
+    return run_serve_bench(trace=trace, obs=obs, raw_sink=raw_sink, **kwargs)
+
+
+def scenario_snapshot(result: dict[str, Any]) -> dict[str, Any]:
+    """Distil a replay artifact into a committed baseline snapshot.
+
+    Keeps the parameters that define the run (so a drifted cluster shape
+    is caught as an exact mismatch), the trace identity (digest — so a
+    regenerated trace invalidates its baseline), and the outcome numbers
+    the gate compares.
+    """
+    params = result["params"]
+    totals = result["totals"]
+    return {
+        "meta": stamp(SCENARIO_ARTIFACT),
+        "params": {
+            key: params.get(key)
+            for key in (
+                "scenario",
+                "trace_digest",
+                "trace_events",
+                "shards",
+                "backend",
+                "budget",
+                "queue_capacity",
+                "servers_per_shard",
+                "policy",
+                "admission",
+                "apps",
+            )
+        },
+        "totals": {
+            "issued": totals.get("issued"),
+            "submitted": totals.get("submitted"),
+            "completed": totals.get("completed"),
+            "shed": totals.get("shed"),
+            "failed": totals.get("failed"),
+            "throughput_rps": totals.get("throughput_rps"),
+            "latency_us": {
+                "p50": totals.get("latency_us", {}).get("p50"),
+                "p99": totals.get("latency_us", {}).get("p99"),
+            },
+        },
+        "per_app": {
+            app: record["completed"]
+            for app, record in sorted(result.get("per_app", {}).items())
+        },
+        "per_shard": [
+            {"shard": row["shard"], "completed": row["completed"]}
+            for row in result.get("per_shard", [])
+        ],
+    }
+
+
+def write_scenario_baseline(snapshot: dict[str, Any], path: str) -> str:
+    """Write a scenario baseline snapshot as JSON; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_scenario_baseline(path: str) -> dict[str, Any]:
+    """Load and stamp-check a committed scenario baseline."""
+    with open(path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    check_stamp(baseline.get("meta", {}), SCENARIO_ARTIFACT, source=path)
+    return baseline
+
+
+def compare_scenario_baseline(
+    result: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = 0.1,
+) -> list[str]:
+    """Gate a replay against its baseline; returns violation messages.
+
+    Identity fields (scenario name, trace digest, issued arrivals) must
+    match exactly — a replay of different bytes is not comparable.
+    Outcome numbers get the usual relative ``threshold`` (plus a small
+    absolute slack on shed counts), absorbing intentional model nudges
+    without letting regressions through.
+    """
+    violations: list[str] = []
+    new_params, old_params = result["params"], baseline["params"]
+    for field in ("scenario", "trace_digest"):
+        if new_params.get(field) != old_params.get(field):
+            violations.append(
+                f"{field} mismatch: run has {new_params.get(field)!r}, "
+                f"baseline has {old_params.get(field)!r}"
+            )
+    new_totals, old_totals = result["totals"], baseline["totals"]
+    if new_totals.get("issued") != old_totals.get("issued"):
+        violations.append(
+            f"issued arrivals changed: {new_totals.get('issued')} vs "
+            f"baseline {old_totals.get('issued')} (the trace is not the "
+            "one the baseline was recorded from)"
+        )
+    old_completed = old_totals.get("completed") or 0
+    new_completed = new_totals.get("completed") or 0
+    if old_completed and new_completed < old_completed * (1 - threshold):
+        violations.append(
+            f"completed requests regressed: {new_completed} vs baseline "
+            f"{old_completed} (> {threshold:.0%} drop)"
+        )
+    old_tput = old_totals.get("throughput_rps") or 0.0
+    new_tput = new_totals.get("throughput_rps") or 0.0
+    if old_tput > 0 and new_tput < old_tput * (1 - threshold):
+        violations.append(
+            f"throughput regressed: {new_tput:.0f} rps vs baseline "
+            f"{old_tput:.0f} rps (> {threshold:.0%} drop)"
+        )
+    for pct in ("p50", "p99"):
+        old_lat = (old_totals.get("latency_us") or {}).get(pct) or 0.0
+        new_lat = (new_totals.get("latency_us") or {}).get(pct) or 0.0
+        if old_lat > 0 and new_lat > old_lat * (1 + threshold):
+            violations.append(
+                f"{pct} latency inflated: {new_lat:.1f} us vs baseline "
+                f"{old_lat:.1f} us (> {threshold:.0%} rise)"
+            )
+    old_shed = old_totals.get("shed") or 0
+    new_shed = new_totals.get("shed") or 0
+    if new_shed > max(old_shed * (1 + threshold), old_shed + 5):
+        violations.append(f"shed count grew: {new_shed} vs baseline {old_shed}")
+    return violations
+
+
+def run_scenario_from_baseline(
+    baseline: dict[str, Any], *, root: str = "."
+) -> dict[str, Any]:
+    """Re-run the replay a committed baseline describes.
+
+    Loads the committed trace for the baseline's scenario, checks its
+    digest against the one recorded in the baseline (so a silently
+    regenerated trace fails loudly instead of gating apples against
+    oranges), and replays on the baseline's recorded cluster shape.
+    """
+    params = baseline["params"]
+    name = params["scenario"]
+    path = trace_path(name, root)
+    trace = load_trace(path)
+    if trace.digest != params.get("trace_digest"):
+        raise ValueError(
+            f"{path}: trace digest {trace.digest[:12]}… does not match the "
+            f"baseline's ({str(params.get('trace_digest'))[:12]}…) — "
+            "regenerate the baseline or restore the committed trace"
+        )
+    overrides = {
+        key: params[key]
+        for key in (
+            "shards",
+            "backend",
+            "budget",
+            "queue_capacity",
+            "servers_per_shard",
+        )
+        if params.get(key) is not None
+    }
+    return replay_scenario(name, root=root, **overrides)

@@ -10,8 +10,12 @@ one request stream on a shared machine?
   their grants are clipped so the fleet never spins more switchless
   workers than a global core cap allows.
 - :mod:`repro.serve.shard` — one shard: a :class:`repro.api.Runtime` on
-  the shared kernel hosting a :class:`repro.apps.KvServerEnclave`, plus
-  a bounded request queue drained by server threads.
+  the shared kernel hosting one or more served apps behind a bounded
+  request queue drained by server threads; the :class:`ServedApp`
+  protocol is the adapter surface.
+- :mod:`repro.serve.apps` — the served-app adapters (``kv``,
+  ``session``, ``crypto``) binding in-enclave applications to the
+  router's canonical op vocabulary.
 - :mod:`repro.serve.router` — consistent-hash (rendezvous) or
   round-robin routing with shed/block admission control (weighted-fair
   across tenants when weights are set), shard quarantine on enclave loss
@@ -25,6 +29,13 @@ one request stream on a shared machine?
   per-tenant counters and (with contracts) SLO verdicts.
 """
 
+from repro.serve.apps import (
+    APP_CHOICES,
+    CryptoServedApp,
+    KvServedApp,
+    SessionServedApp,
+    make_apps,
+)
 from repro.serve.bench import ServeCluster, build_serve, run_serve_bench
 from repro.serve.budget import WorkerBudgetArbiter
 from repro.serve.loadgen import KEYDIST_CHOICES, LoadGenerator, LoadSpec
@@ -35,20 +46,26 @@ from repro.serve.router import (
     Router,
     TenantStats,
 )
-from repro.serve.shard import EnclaveShard
+from repro.serve.shard import EnclaveShard, ServedApp
 
 __all__ = [
     "ADMISSION_CHOICES",
+    "APP_CHOICES",
     "KEYDIST_CHOICES",
     "POLICY_CHOICES",
+    "CryptoServedApp",
     "EnclaveShard",
+    "KvServedApp",
     "LoadGenerator",
     "LoadSpec",
     "Request",
     "Router",
     "ServeCluster",
+    "ServedApp",
+    "SessionServedApp",
     "TenantStats",
     "WorkerBudgetArbiter",
     "build_serve",
+    "make_apps",
     "run_serve_bench",
 ]

@@ -83,6 +83,7 @@ def build_serve(
     tenant_weights: dict[str, float] | None = None,
     telemetry: TelemetrySession | bool | None = None,
     shard_ids: tuple[int, ...] | None = None,
+    apps: tuple[str, ...] | None = None,
 ) -> ServeCluster:
     """Wire a serving cluster: N enclave shards on one shared kernel.
 
@@ -98,7 +99,14 @@ def build_serve(
     one such cluster per process.  ``shards`` stays the global count; a
     ``fault_shard`` outside the subset is simply not attached here (its
     owning slice attaches it).
+
+    ``apps`` names the served apps every shard hosts, in order (see
+    :data:`repro.serve.apps.APP_CHOICES`); the first name is the default
+    and probe app.  None keeps the classic single-app KV shard.
     """
+    from repro.serve.apps import make_apps, validate_app_names
+
+    app_names = validate_app_names(tuple(apps)) if apps is not None else None
     if shards < 1:
         raise ValueError("shards must be >= 1")
     if shard_ids is None:
@@ -146,6 +154,11 @@ def build_serve(
                 runtime,
                 queue_capacity=queue_capacity,
                 servers=servers_per_shard,
+                apps=(
+                    make_apps(app_names, runtime)
+                    if app_names is not None
+                    else None
+                ),
             )
         )
 
@@ -219,6 +232,8 @@ def run_serve_bench(
     obs: bool = False,
     obs_interval: float | None = None,
     obs_on_window: Any = None,
+    apps: tuple[tuple[str, float], ...] | None = None,
+    trace: Any = None,
 ) -> dict[str, Any]:
     """Run one serving benchmark; returns the stamped result artifact.
 
@@ -251,6 +266,16 @@ def run_serve_bench(
     boundary regardless of when the last request completed, which is
     what makes sliced and unsliced window streams identical.
     ``obs_on_window`` is handed to the sampler (the live console hook).
+
+    ``apps`` is a weighted served-app mix as ``(name, weight)`` pairs:
+    every named app is installed on every shard and synthetic load draws
+    each request's target app with the given weights (a single pair just
+    installs that app without consuming RNG).  ``trace`` — a
+    :class:`repro.scenarios.ScenarioTrace` or a path to one — replaces
+    the synthetic load generator with the trace replay engine: the run
+    spans the trace's declared duration, installs the trace's app set
+    (or ``apps`` if given, which must cover it) and issues exactly the
+    trace's timestamped, tenant- and app-tagged arrivals.
     """
     if plan is None:
         resolved_plan = active_fault_plan()
@@ -258,6 +283,33 @@ def run_serve_bench(
         resolved_plan = get_plan(plan)
     else:
         resolved_plan = plan
+    app_mix = tuple(apps) if apps is not None else None
+    if trace is not None:
+        from repro.scenarios.trace import ScenarioTrace, load_trace
+
+        if not isinstance(trace, ScenarioTrace):
+            trace = load_trace(trace)
+        if trace.tenants and tenants is None:
+            tenants = dict(trace.tenants)
+        if app_mix is None:
+            installed_apps: tuple[str, ...] | None = trace.apps
+        else:
+            installed_apps = tuple(name for name, _ in app_mix)
+            missing = [a for a in trace.apps if a not in installed_apps]
+            if missing:
+                raise ValueError(
+                    f"trace {trace.name!r} addresses apps {missing} not in "
+                    f"the installed app set {list(installed_apps)}"
+                )
+        if clients is not None:
+            raise ValueError("trace replay is open-loop; drop clients=")
+        # The trace owns the timeline: arrivals stop at its declared
+        # duration, and the obs window grid spans exactly that.
+        seconds = trace.duration_s
+    elif app_mix is not None:
+        installed_apps = tuple(name for name, _ in app_mix)
+    else:
+        installed_apps = None
     cluster = build_serve(
         shards=shards,
         backend=backend,
@@ -272,12 +324,23 @@ def run_serve_bench(
         tenant_weights=dict(tenants) if tenants else None,
         telemetry=telemetry,
         shard_ids=shard_ids,
+        apps=installed_apps,
     )
     kernel = cluster.kernel
     # Sorted pairs: dict order is insertion order, and the artifact (and
     # the RNG stream behind rng.choices) must not depend on it.
     tenant_mix = tuple(sorted(tenants.items())) if tenants else None
-    if clients is not None:
+    # A single-app "mix" is no mix at all: passing it to the LoadSpec
+    # would consume an RNG draw per request and shift the seeded streams
+    # of every pre-existing single-app run.
+    load_mix = app_mix if app_mix is not None and len(app_mix) > 1 else None
+    if trace is not None:
+        from repro.scenarios.replay import TraceReplayer
+
+        generator: Any = TraceReplayer(
+            kernel, cluster.router, trace, admit=admit
+        )
+    elif clients is not None:
         spec = LoadSpec(
             clients=clients,
             requests_per_client=requests_per_client,
@@ -287,7 +350,9 @@ def run_serve_bench(
             set_fraction=set_fraction,
             seed=seed,
             tenants=tenant_mix,
+            apps=load_mix,
         )
+        generator = LoadGenerator(kernel, cluster.router, spec, admit=admit)
     else:
         spec = LoadSpec(
             rate_rps=rate if rate is not None else 2_000.0,
@@ -297,8 +362,9 @@ def run_serve_bench(
             set_fraction=set_fraction,
             seed=seed,
             tenants=tenant_mix,
+            apps=load_mix,
         )
-    generator = LoadGenerator(kernel, cluster.router, spec, admit=admit)
+        generator = LoadGenerator(kernel, cluster.router, spec, admit=admit)
     start = kernel.now
     sampler = None
     detector = None
@@ -353,21 +419,28 @@ def run_serve_bench(
             for name, cycles in summary.items()
         }
 
-    per_tenant: dict[str, Any] = {}
-    for tenant, tenant_record in router.tenant_stats().items():
-        submitted = tenant_record["submitted"]
-        per_tenant[tenant] = {
+    def _breakdown(record: dict[str, Any]) -> dict[str, Any]:
+        submitted = record["submitted"]
+        return {
             "submitted": submitted,
-            "completed": tenant_record["completed"],
-            "shed": tenant_record["shed"],
-            "failed": tenant_record["failed"],
+            "completed": record["completed"],
+            "shed": record["shed"],
+            "failed": record["failed"],
             "throughput_rps": (
-                tenant_record["completed"] / elapsed_s if elapsed_s > 0 else 0.0
+                record["completed"] / elapsed_s if elapsed_s > 0 else 0.0
             ),
-            "shed_rate": tenant_record["shed"] / submitted if submitted else 0.0,
-            "latency_us": _us(tenant_record["latency_cycles"]),
-            "latency_notes": tenant_record["latency_notes"],
+            "shed_rate": record["shed"] / submitted if submitted else 0.0,
+            "latency_us": _us(record["latency_cycles"]),
+            "latency_notes": record["latency_notes"],
         }
+
+    per_tenant = {
+        tenant: _breakdown(record)
+        for tenant, record in router.tenant_stats().items()
+    }
+    per_app = {
+        app: _breakdown(record) for app, record in router.app_stats().items()
+    }
     result: dict[str, Any] = {
         "meta": stamp("serve-bench"),
         "params": {
@@ -387,6 +460,12 @@ def run_serve_bench(
             "seed": seed,
             "plan": resolved_plan.name if resolved_plan is not None else None,
             "tenants": dict(tenant_mix) if tenant_mix else None,
+            "apps": (
+                [list(pair) for pair in app_mix]
+                if app_mix is not None
+                else ([[name, 1.0] for name in installed_apps]
+                      if installed_apps is not None else None)
+            ),
         },
         "totals": {
             **router.stats(),
@@ -404,6 +483,7 @@ def run_serve_bench(
             ],
         },
         "per_tenant": per_tenant,
+        "per_app": per_app,
         "spans": {
             "recorded": len(router.spans),
             "dropped": router.spans_dropped,
@@ -416,7 +496,10 @@ def run_serve_bench(
                 "switchless_ocalls": shard.enclave.stats.total_switchless,
                 "regular_ocalls": shard.enclave.stats.total_regular,
                 "fallback_ocalls": shard.enclave.stats.total_fallback,
-                "mutations": shard.server.mutations,
+                "mutations": (
+                    shard.server.mutations if shard.server is not None else 0
+                ),
+                "apps": shard.app_stats(),
             }
             for shard in cluster.shards
         ],
@@ -433,6 +516,11 @@ def run_serve_bench(
     # Host-side counter (not part of the simulated outcome): the obs
     # overhead bench divides it by wall time per arm.
     result["host"] = {"events_processed": kernel.events_processed}
+    if trace is not None:
+        result["params"]["rate"] = None  # the trace owns the arrival times
+        result["params"]["scenario"] = trace.name
+        result["params"]["trace_digest"] = trace.digest
+        result["params"]["trace_events"] = len(trace.events)
     if shard_ids is not None:
         result["params"]["shard_ids"] = list(shard_ids)
         result["totals"]["skipped"] = generator.skipped
@@ -461,6 +549,10 @@ def run_serve_bench(
         raw_sink["tenant_latency_cycles"] = {
             tenant: list(stats.latency.samples_cycles)
             for tenant, stats in sorted(router.tenants.items())
+        }
+        raw_sink["app_latency_cycles"] = {
+            app: list(stats.latency.samples_cycles)
+            for app, stats in sorted(router.apps.items())
         }
         if sampler is not None:
             raw_sink["obs"] = {

@@ -31,6 +31,21 @@ from repro.workloads.keydist import SequentialKeys, UniformKeys, ZipfKeys
 KEYDIST_CHOICES = ("uniform", "zipf", "seq")
 
 
+def _check_mix(
+    mix: tuple[tuple[str, float], ...] | None, what: str
+) -> None:
+    """Validate a weighted ``(name, weight)`` mix (tenants or apps)."""
+    if mix is None:
+        return
+    if not mix:
+        raise ValueError(f"{what}s needs at least one (name, weight) pair")
+    names = [name for name, _ in mix]
+    if len(set(names)) != len(names):
+        raise ValueError(f"{what} names must be unique")
+    if any(weight <= 0 for _, weight in mix):
+        raise ValueError(f"{what} weights must be positive")
+
+
 @dataclass(frozen=True)
 class LoadSpec:
     """Shape of the offered load.
@@ -54,6 +69,10 @@ class LoadSpec:
             request is attributed to a tenant drawn with these weights
             (so per-tenant SLO contracts are actually exercised).  None
             leaves every request on the anonymous ``""`` tenant.
+        apps: Weighted served-app mix as ``(name, weight)`` pairs; each
+            request targets an app drawn with these weights.  None sends
+            every request to the router's default app (the classic
+            single-app KV stream).
     """
 
     clients: int = 4
@@ -68,6 +87,7 @@ class LoadSpec:
     parse_cycles: float = 1_200.0
     seed: int = 0
     tenants: tuple[tuple[str, float], ...] | None = None
+    apps: tuple[tuple[str, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.keydist not in KEYDIST_CHOICES:
@@ -77,20 +97,20 @@ class LoadSpec:
                 raise ValueError("closed loop needs a request or duration bound")
         elif self.total_requests is None and self.duration_s is None:
             raise ValueError("open loop needs a request or duration bound")
-        if self.tenants is not None:
-            if not self.tenants:
-                raise ValueError("tenants needs at least one (name, weight) pair")
-            names = [name for name, _ in self.tenants]
-            if len(set(names)) != len(names):
-                raise ValueError("tenant names must be unique")
-            if any(weight <= 0 for _, weight in self.tenants):
-                raise ValueError("tenant weights must be positive")
+        _check_mix(self.tenants, "tenant")
+        _check_mix(self.apps, "app")
 
     def tenant_weights(self) -> dict[str, float] | None:
         """The mix as a name → weight dict (None without tenants)."""
         if self.tenants is None:
             return None
         return dict(self.tenants)
+
+    def app_names(self) -> tuple[str, ...] | None:
+        """The served apps this load targets (None = default app only)."""
+        if self.apps is None:
+            return None
+        return tuple(name for name, _ in self.apps)
 
 
 class LoadGenerator:
@@ -173,10 +193,11 @@ class LoadGenerator:
                 break
             op, key, value = self._next_op(rng, dist, issued)
             tenant = self._pick_tenant(rng)
+            app = self._pick_app(rng)
             self.issued += 1
             issued += 1
             yield Compute(spec.parse_cycles, tag="request-parse")
-            yield from self.router.request(op, key, value, tenant=tenant)
+            yield from self.router.request(op, key, value, tenant=tenant, app=app)
 
     def _arrival_process(self, request_threads: list[SimThread]) -> Program:
         spec = self.spec
@@ -202,6 +223,7 @@ class LoadGenerator:
                 yield Sleep(delay)
             op, key, value = self._next_op(rng, dist, self.issued)
             tenant = self._pick_tenant(rng)
+            app = self._pick_app(rng)
             index = self.issued
             self.issued += 1
             if self._admit is not None and not self._admit(key):
@@ -209,17 +231,22 @@ class LoadGenerator:
                 continue
             request_threads.append(
                 self.kernel.spawn(
-                    self._one_request(op, key, value, tenant),
+                    self._one_request(op, key, value, tenant, app),
                     name=f"req-{index}",
                     kind="serve-client",
                 )
             )
 
     def _one_request(
-        self, op: str, key: bytes, value: bytes | None, tenant: str = ""
+        self,
+        op: str,
+        key: bytes,
+        value: bytes | None,
+        tenant: str = "",
+        app: str | None = None,
     ) -> Program:
         yield Compute(self.spec.parse_cycles, tag="request-parse")
-        yield from self.router.request(op, key, value, tenant=tenant)
+        yield from self.router.request(op, key, value, tenant=tenant, app=app)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -248,6 +275,20 @@ class LoadGenerator:
             return ""
         names = [name for name, _ in self.spec.tenants]
         weights = [weight for _, weight in self.spec.tenants]
+        return rng.choices(names, weights=weights, k=1)[0]
+
+    def _pick_app(self, rng: random.Random) -> str | None:
+        """Weighted app draw; consumes RNG only when a mix is set.
+
+        The same guard as :meth:`_pick_tenant`, and the draw happens
+        *after* it, so app-less (and tenant-less) runs keep their seeded
+        streams byte-identical to what they produced before the mix
+        options existed.
+        """
+        if self.spec.apps is None:
+            return None
+        names = [name for name, _ in self.spec.apps]
+        weights = [weight for _, weight in self.spec.apps]
         return rng.choices(names, weights=weights, k=1)[0]
 
     def _next_op(

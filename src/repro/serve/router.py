@@ -26,7 +26,8 @@ The router is the untrusted front door of the serving layer:
   JSONL replay.
 
 Bus events (emitted only when the kernel carries an event bus), all
-tagged with ``tenant``/``request_id`` (empty for shard-level events):
+tagged with ``tenant``/``request_id`` (empty for shard-level events) and
+— for request-level events — the ``app`` the request addressed:
 ``serve.request.submit`` / ``serve.request.complete`` /
 ``serve.request.shed`` / ``serve.request.span``,
 ``serve.shard.quarantine`` / ``serve.shard.readmit`` /
@@ -67,6 +68,7 @@ class Request:
         "op",
         "key",
         "value",
+        "app",
         "done",
         "submitted_at",
         "shard",
@@ -86,10 +88,12 @@ class Request:
         *,
         request_id: int = 0,
         tenant: str = "",
+        app: str = "kv",
     ) -> None:
         self.op = op
         self.key = key
         self.value = value
+        self.app = app
         self.done = kernel.event(name=f"serve:{op}")
         self.submitted_at = kernel.now
         #: Index of the shard that accepted the request (None until queued).
@@ -185,6 +189,10 @@ class Router:
         self.latency = LatencyRecorder()
         #: Per-tenant terminal counters and latency (created on first use).
         self.tenants: dict[str, TenantStats] = {}
+        #: Per-app terminal counters and latency (created on first use).
+        self.apps: dict[str, TenantStats] = {}
+        #: App a request falls back to when it names none.
+        self.default_app = getattr(shards[0], "default_app", "kv")
         # Conservation invariant: submitted == completed + shed + failed
         # once the run drains (audited by RouterConservationChecker).
         self.submitted = 0
@@ -218,6 +226,7 @@ class Router:
         value: bytes | None = None,
         *,
         tenant: str = "",
+        app: str | None = None,
     ) -> Program:
         """Issue one request end-to-end; returns ``(status, payload)``."""
         self._next_request_id += 1
@@ -228,10 +237,13 @@ class Router:
             value,
             request_id=self._next_request_id,
             tenant=tenant,
+            app=app if app is not None else self.default_app,
         )
         self.submitted += 1
         stats = self._tenant(tenant)
         stats.submitted += 1
+        app_stats = self._app(req.app)
+        app_stats.submitted += 1
         yield from self.submit(req)
         if not req.done.fired:
             yield Block(req.done)
@@ -240,20 +252,25 @@ class Router:
         if status == "ok":
             self.completed += 1
             stats.completed += 1
+            app_stats.completed += 1
             latency = t_complete - req.submitted_at
             self.latency.record(latency)
             stats.latency.record(latency)
+            app_stats.latency.record(latency)
         elif status == "failed":
             self.failed += 1
             stats.failed += 1
+            app_stats.failed += 1
         else:
             stats.shed += 1
+            app_stats.shed += 1
         self._emit(
             "serve.request.complete",
             shard=req.shard,
             op=op,
             status=status,
             tenant=req.tenant,
+            app=req.app,
             request_id=req.request_id,
         )
         self._record_span(req, status, t_complete)
@@ -277,6 +294,7 @@ class Router:
                     shard=shard.index,
                     op=request.op,
                     tenant=request.tenant,
+                    app=request.app,
                     request_id=request.request_id,
                 )
                 return request
@@ -298,6 +316,7 @@ class Router:
             "op": request.op,
             "reason": reason,
             "tenant": request.tenant,
+            "app": request.app,
             "request_id": request.request_id,
         }
         if shard is not None:
@@ -352,6 +371,7 @@ class Router:
             shard=shard.index,
             op=incoming.op,
             tenant=incoming.tenant,
+            app=incoming.app,
             request_id=incoming.request_id,
         )
         return True
@@ -438,7 +458,7 @@ class Router:
         declare it dead.
         """
         try:
-            yield from shard.client.size()
+            yield from shard.probe()
         except EnclaveLostError:
             self.quarantined.discard(shard.index)
             self.dead.add(shard.index)
@@ -496,10 +516,27 @@ class Router:
             for tenant, stats in sorted(self.tenants.items())
         }
 
+    def app_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-app counters plus a latency summary in cycles."""
+        return {
+            app: {
+                **stats.counts(),
+                "latency_cycles": stats.latency.summary(),
+                "latency_notes": stats.latency.diagnostics(),
+            }
+            for app, stats in sorted(self.apps.items())
+        }
+
     def _tenant(self, tenant: str) -> TenantStats:
         stats = self.tenants.get(tenant)
         if stats is None:
             stats = self.tenants[tenant] = TenantStats()
+        return stats
+
+    def _app(self, app: str) -> TenantStats:
+        stats = self.apps.get(app)
+        if stats is None:
+            stats = self.apps[app] = TenantStats()
         return stats
 
     def _record_span(self, request: Request, status: str, t_complete: float) -> None:
@@ -514,6 +551,7 @@ class Router:
         record = {
             "request_id": request.request_id,
             "tenant": request.tenant,
+            "app": request.app,
             "op": request.op,
             "status": status,
             "shard": request.shard,

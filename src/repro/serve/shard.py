@@ -1,11 +1,14 @@
 """One serving shard: an enclave runtime plus a bounded request queue.
 
 A shard owns a :class:`repro.api.Runtime` created on the *shared* kernel
-(``Runtime.create(..., kernel=shared)``), hosting one
-:class:`repro.apps.KvServerEnclave`.  Untrusted server threads drain a
-bounded FIFO of :class:`repro.serve.router.Request` objects and execute
-each as an ecall into the shard's enclave; the enclave WAL-persists
-mutations through ocalls on its own switchless worker pool.
+(``Runtime.create(..., kernel=shared)``), hosting one or more
+:class:`ServedApp` instances — the WAL-backed KV server by default, plus
+optionally the session-store and file-encryption apps of
+:mod:`repro.serve.apps`.  Untrusted server threads drain a bounded FIFO
+of :class:`repro.serve.router.Request` objects and execute each as an
+ecall into the shard's enclave, dispatched to the app the request names;
+the apps persist state through ocalls on the enclave's own switchless
+worker pool.
 
 The queue is the admission-control surface: the router either sheds or
 blocks when :meth:`EnclaveShard.try_enqueue` reports it full.  Queue
@@ -17,9 +20,8 @@ park on events instead of polling.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
-from repro.apps import KvClient, KvServerEnclave
 from repro.sgx import EnclaveLostError
 from repro.sim.instructions import Block
 from repro.sim.kernel import Program, SimThread
@@ -29,8 +31,38 @@ if TYPE_CHECKING:
     from repro.serve.router import Request, Router
 
 
+class ServedApp:
+    """Adapter protocol for one application served behind the router.
+
+    Concrete adapters (see :mod:`repro.serve.apps`) bind an in-enclave
+    application to the serve layer's canonical request vocabulary
+    (``get``/``set``/``delete``/``size``).  All four methods returning
+    :class:`Program` run on the shard's simulated threads and may ecall
+    into the shard's enclave.
+    """
+
+    #: Routing name carried by :attr:`repro.serve.router.Request.app`.
+    name: str = ""
+
+    def start(self) -> Program:
+        """One-time setup (open files, recover state); run before serving."""
+        raise NotImplementedError
+
+    def handle(self, request: "Request") -> Program:
+        """Execute one request; returns its result payload."""
+        raise NotImplementedError
+
+    def probe(self) -> Program:
+        """Cheap ecall used by the router's quarantine probe."""
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        """App-level counters for the bench's per-shard report."""
+        raise NotImplementedError
+
+
 class EnclaveShard:
-    """One enclave-backed KV shard on the shared serving kernel.
+    """One enclave-backed serving shard on the shared serving kernel.
 
     Args:
         index: Shard number (routing identity and event field).
@@ -38,7 +70,10 @@ class EnclaveShard:
             cluster kernel).
         queue_capacity: Bound on queued-but-unstarted requests.
         servers: Untrusted server threads draining the queue.
-        wal_path: WAL path inside the shard's private filesystem.
+        wal_path: KV WAL path inside the shard's private filesystem
+            (used by the default app set).
+        apps: Served apps by routing name, in deterministic start order.
+            None installs the classic single-app KV shard.
     """
 
     def __init__(
@@ -49,6 +84,7 @@ class EnclaveShard:
         queue_capacity: int = 64,
         servers: int = 2,
         wal_path: str = "/kv.wal",
+        apps: "dict[str, ServedApp] | None" = None,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
@@ -58,8 +94,20 @@ class EnclaveShard:
         self.runtime = runtime
         self.kernel = runtime.kernel
         self.enclave = runtime.enclave
-        self.server = KvServerEnclave(self.enclave, wal_path=wal_path)
-        self.client = KvClient(self.enclave)
+        if apps is None:
+            # Deferred import: repro.serve.apps imports ServedApp from
+            # this module at load time.
+            from repro.serve.apps import KvServedApp
+
+            apps = {"kv": KvServedApp(runtime, wal_path=wal_path)}
+        if not apps:
+            raise ValueError("shard needs at least one served app")
+        self.apps = apps
+        # Back-compat aliases for the classic KV shard surface; None when
+        # the shard serves no KV app.
+        kv = apps.get("kv")
+        self.server = kv.server if kv is not None else None
+        self.client = kv.client if kv is not None else None
         self.capacity = queue_capacity
         self.n_servers = servers
         self.queue: deque["Request"] = deque()
@@ -77,10 +125,11 @@ class EnclaveShard:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Open the shard's WAL and spawn its server threads."""
+        """Start every served app (in order) and spawn server threads."""
         def starter() -> Program:
-            replayed = yield from self.server.start()
-            return replayed
+            for app in self.apps.values():
+                yield from app.start()
+            return None
 
         self.kernel.join(
             self.kernel.spawn(starter(), name=f"shard{self.index}-start", kind="app")
@@ -102,6 +151,21 @@ class EnclaveShard:
     def available(self) -> bool:
         """Routable: accepting work and its enclave is not lost."""
         return not self.stopping and not self.enclave.lost
+
+    @property
+    def default_app(self) -> str:
+        """Routing name requests fall back to when they name no app."""
+        return next(iter(self.apps))
+
+    def probe(self) -> Program:
+        """Cheap ecall into the first served app (quarantine probe)."""
+        app = next(iter(self.apps.values()))
+        result = yield from app.probe()
+        return result
+
+    def app_stats(self) -> dict[str, dict[str, Any]]:
+        """Each served app's counters (bench per-shard report)."""
+        return {name: app.describe() for name, app in self.apps.items()}
 
     # ------------------------------------------------------------------
     # Queue
@@ -192,14 +256,11 @@ class EnclaveShard:
         request.complete(result)
 
     def _execute(self, request: "Request") -> Program:
-        if request.op == "get":
-            result = yield from self.client.get(request.key)
-        elif request.op == "set":
-            result = yield from self.client.set(request.key, request.value or b"")
-        elif request.op == "delete":
-            result = yield from self.client.delete(request.key)
-        elif request.op == "size":
-            result = yield from self.client.size()
-        else:
-            raise ValueError(f"unknown request op {request.op!r}")
+        app = self.apps.get(request.app)
+        if app is None:
+            raise ValueError(
+                f"shard {self.index} serves no app {request.app!r} "
+                f"(has {sorted(self.apps)})"
+            )
+        result = yield from app.handle(request)
         return result

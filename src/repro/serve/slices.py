@@ -144,6 +144,8 @@ def run_cell(spec: CellSpec) -> dict[str, Any]:
         plan=kw["plan"],
         fault_shard=kw["fault_shard"],
         tenants=dict(kw["tenants"]) if kw["tenants"] else None,
+        apps=tuple(tuple(pair) for pair in kw["apps"]) if kw.get("apps") else None,
+        trace=kw.get("trace_path"),
     )
     audit_cells: list[dict[str, Any]] = []
     if kw["audit"]:
@@ -200,8 +202,16 @@ def slice_cells(
     audit: bool,
     obs: bool = False,
     obs_interval: float | None = None,
+    apps: tuple[tuple[str, float], ...] | None = None,
+    trace_path: str | None = None,
 ) -> list[CellSpec]:
-    """The sliced run as cell specs — one ``serve-slice`` cell per slice."""
+    """The sliced run as cell specs — one ``serve-slice`` cell per slice.
+
+    ``trace_path`` switches every slice from synthetic load to replaying
+    the named trace file; each slice loads the identical committed trace
+    and admits only the arrivals whose rendezvous owner it hosts, exactly
+    like the loadgen's identical-schedule guarantee.
+    """
     if policy != "hash":
         raise ValueError("slice-parallel serving requires policy='hash'")
     partitions = slice_shard_ids(shards, slices)
@@ -237,6 +247,8 @@ def slice_cells(
                 audit=audit,
                 obs=obs,
                 obs_interval=obs_interval,
+                apps=apps,
+                trace_path=trace_path,
             )
         )
     return specs
@@ -267,6 +279,8 @@ def run_slice_bench(
     jobs: int | str | None = None,
     obs: bool = False,
     obs_interval: float | None = None,
+    apps: tuple[tuple[str, float], ...] | None = None,
+    trace_path: str | None = None,
 ) -> dict[str, Any]:
     """Run the serve bench slice-parallel; returns one merged artifact.
 
@@ -297,6 +311,8 @@ def run_slice_bench(
         audit=audit,
         obs=obs,
         obs_interval=obs_interval,
+        apps=apps,
+        trace_path=trace_path,
     )
     runner = CellRunner(jobs="auto" if jobs is None else jobs)
     rows = [outcome.row for outcome in runner.run(specs)]
@@ -380,6 +396,32 @@ def merge_slice_results(
         merged["latency_us"] = _us(recorder.summary())
         merged["latency_notes"] = recorder.diagnostics()
 
+    per_app: dict[str, Any] = {}
+    app_samples: dict[str, LatencyRecorder] = {}
+    for row in rows:
+        for app, record in row["result"].get("per_app", {}).items():
+            merged_app = per_app.setdefault(
+                app,
+                {"submitted": 0, "completed": 0, "shed": 0, "failed": 0},
+            )
+            for name in ("submitted", "completed", "shed", "failed"):
+                merged_app[name] += record[name]
+            app_samples.setdefault(app, LatencyRecorder()).record_many(
+                row["raw"].get("app_latency_cycles", {}).get(app, [])
+            )
+    for app, merged_app in sorted(per_app.items()):
+        recorder = app_samples[app]
+        merged_app["throughput_rps"] = (
+            merged_app["completed"] / elapsed_s if elapsed_s > 0 else 0.0
+        )
+        merged_app["shed_rate"] = (
+            merged_app["shed"] / merged_app["submitted"]
+            if merged_app["submitted"]
+            else 0.0
+        )
+        merged_app["latency_us"] = _us(recorder.summary())
+        merged_app["latency_notes"] = recorder.diagnostics()
+
     per_shard = sorted(
         (entry for row in rows for entry in row["result"]["per_shard"]),
         key=lambda entry: entry["shard"],
@@ -417,6 +459,7 @@ def merge_slice_results(
         "params": base_params,
         "totals": totals,
         "per_tenant": per_tenant,
+        "per_app": per_app,
         "spans": spans,
         "per_shard": per_shard,
         "budget": budget_section,

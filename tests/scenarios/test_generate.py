@@ -1,0 +1,177 @@
+"""Tests for the deterministic trace generator.
+
+The two pinned behaviours mirror the obs anomaly tests' convention:
+the declared shift/flash window must be where the effect actually lands
+in the generated data, not merely near it.
+"""
+
+import pytest
+
+from repro.scenarios.generate import ScenarioSpec, generate_trace
+from repro.scenarios.trace import write_trace
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_file(self, tmp_path):
+        spec = ScenarioSpec(
+            name="det",
+            seed=42,
+            duration_s=0.1,
+            rate_rps=2_000.0,
+            apps=(("kv", 2.0), ("session", 1.0)),
+            tenants=(("bronze", 1.0), ("gold", 3.0)),
+        )
+        a = write_trace(generate_trace(spec), str(tmp_path / "a.jsonl"))
+        b = write_trace(generate_trace(spec), str(tmp_path / "b.jsonl"))
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_different_seeds_differ(self):
+        base = dict(name="d", duration_s=0.1, rate_rps=2_000.0)
+        one = generate_trace(ScenarioSpec(seed=1, **base))
+        two = generate_trace(ScenarioSpec(seed=2, **base))
+        assert one.digest != two.digest
+
+    def test_timestamps_sorted_and_in_range(self):
+        trace = generate_trace(ScenarioSpec(name="s", seed=3, duration_s=0.05))
+        ts = [event.t for event in trace.events]
+        assert ts == sorted(ts)
+        assert all(0 <= t < 0.05 for t in ts)
+
+
+class TestMixes:
+    def test_apps_and_tenants_only_from_the_declared_mix(self):
+        spec = ScenarioSpec(
+            name="mix",
+            seed=5,
+            duration_s=0.1,
+            rate_rps=3_000.0,
+            apps=(("kv", 1.0), ("session", 1.0), ("crypto", 1.0)),
+            tenants=(("gold", 1.0), ("bronze", 1.0)),
+        )
+        trace = generate_trace(spec)
+        assert {e.app for e in trace.events} == {"kv", "session", "crypto"}
+        assert {e.tenant for e in trace.events} == {"gold", "bronze"}
+
+    def test_single_app_spec_tags_everything_with_it(self):
+        trace = generate_trace(
+            ScenarioSpec(name="solo", seed=5, duration_s=0.05)
+        )
+        assert trace.events
+        assert all(e.app == "kv" for e in trace.events)
+        assert all(e.tenant == "" for e in trace.events)
+
+    def test_crypto_never_sees_delete(self):
+        spec = ScenarioSpec(
+            name="nodelete",
+            seed=9,
+            duration_s=0.2,
+            rate_rps=3_000.0,
+            apps=(("kv", 1.0), ("crypto", 1.0)),
+            delete_fraction=0.3,
+        )
+        trace = generate_trace(spec)
+        crypto_ops = {e.op for e in trace.events if e.app == "crypto"}
+        assert crypto_ops and "delete" not in crypto_ops
+        # The coercion is app-local: kv still deletes.
+        assert "delete" in {e.op for e in trace.events if e.app == "kv"}
+
+    def test_sets_carry_values_gets_do_not(self):
+        trace = generate_trace(ScenarioSpec(name="v", seed=4, duration_s=0.05))
+        for event in trace.events:
+            assert (event.value is not None) == (event.op == "set")
+
+
+class TestFlashCrowd:
+    def test_flash_density_lands_in_the_declared_window(self):
+        # rate 1000 outside, 6000 inside [0.1, 0.14): the in-window
+        # arrival density must be several times the out-of-window one,
+        # and the declared window is where the mass actually is.
+        spec = ScenarioSpec(
+            name="flash",
+            seed=21,
+            duration_s=0.3,
+            rate_rps=1_000.0,
+            arrival="flash",
+            flash_at_s=0.1,
+            flash_width_s=0.04,
+            flash_factor=6.0,
+        )
+        trace = generate_trace(spec)
+        inside = [e for e in trace.events if 0.1 <= e.t < 0.14]
+        outside = [e for e in trace.events if not 0.1 <= e.t < 0.14]
+        inside_rate = len(inside) / 0.04
+        outside_rate = len(outside) / (0.3 - 0.04)
+        assert inside_rate > 3 * outside_rate
+        assert inside_rate == pytest.approx(6_000.0, rel=0.35)
+
+    def test_flash_needs_onset(self):
+        with pytest.raises(ValueError, match="flash_at_s"):
+            ScenarioSpec(name="bad", arrival="flash")
+
+
+class TestDiurnal:
+    def test_peak_half_carries_more_arrivals_than_trough_half(self):
+        # sin is positive over the first half-period and negative over
+        # the second, so with period = duration the first half must be
+        # denser — by about (1+a)/(1-a) in expectation.
+        spec = ScenarioSpec(
+            name="day",
+            seed=31,
+            duration_s=0.4,
+            rate_rps=2_000.0,
+            arrival="diurnal",
+            diurnal_amplitude=0.6,
+        )
+        trace = generate_trace(spec)
+        first = sum(1 for e in trace.events if e.t < 0.2)
+        second = len(trace.events) - first
+        assert first > 1.5 * second
+
+
+class TestHotKeyShift:
+    def test_hot_key_rotates_at_the_declared_instant(self):
+        spec = ScenarioSpec(
+            name="shift",
+            seed=41,
+            duration_s=0.2,
+            rate_rps=4_000.0,
+            keydist="zipf",
+            zipf_s=1.2,
+            hot_shift_at_s=0.1,
+        )
+        trace = generate_trace(spec)
+
+        def hottest(events):
+            counts = {}
+            for event in events:
+                counts[event.key] = counts.get(event.key, 0) + 1
+            return max(counts, key=counts.get)
+
+        before = [e for e in trace.events if e.t < 0.1]
+        after = [e for e in trace.events if e.t >= 0.1]
+        hot_before = hottest(before)
+        hot_after = hottest(after)
+        # Rank 0 maps to key 0 before the shift and to keyspace//2 after.
+        assert int.from_bytes(hot_before, "big") == 0
+        assert int.from_bytes(hot_after, "big") == spec.keyspace // 2
+        # The declared instant is exact: no pre-shift event uses the
+        # shifted hot key's popularity, the shift is not gradual.
+        assert hot_before != hot_after
+
+    def test_shift_requires_zipf(self):
+        with pytest.raises(ValueError, match="zipf"):
+            ScenarioSpec(name="bad", hot_shift_at_s=0.1, keydist="uniform")
+
+
+class TestSpecValidation:
+    def test_unknown_arrival_rejected(self):
+        with pytest.raises(ValueError, match="arrival"):
+            ScenarioSpec(name="bad", arrival="bursty")
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            ScenarioSpec(name="bad", set_fraction=0.9, delete_fraction=0.3)
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(ValueError, match="apps"):
+            ScenarioSpec(name="bad", apps=())

@@ -31,6 +31,8 @@ class FakeClient:
 class FakeShard:
     """Queue-only shard double: no servers, the test drains by hand."""
 
+    default_app = "kv"
+
     def __init__(self, kernel, index, capacity=4):
         self.kernel = kernel
         self.index = index
@@ -64,6 +66,10 @@ class FakeShard:
     def drain(self):
         drained, self.queue = self.queue, []
         return drained
+
+    def probe(self):
+        result = yield from self.client.size()
+        return result
 
 
 def make_router(kernel, n_shards=3, capacity=4, **kwargs):

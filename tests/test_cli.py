@@ -210,3 +210,137 @@ class TestServeObsFlags:
         capsys.readouterr()
         assert main(["diff", str(snap), "--against", str(snap)]) == 0
         assert "obs baseline gate: OK" in capsys.readouterr().out
+
+
+class TestScenarioFlags:
+    """Arg hygiene for the scenario/trace serve flags and subcommands."""
+
+    QUICK = ["serve", "bench", "--shards", "2", "--seconds", "0.01"]
+
+    def test_unknown_scenario_lists_the_choices(self):
+        with pytest.raises(SystemExit, match="steady-mixed"):
+            main([*self.QUICK, "--scenario", "not-a-scenario"])
+
+    def test_scenario_and_trace_mutually_exclusive(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text("{}\n")
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main([*self.QUICK, "--scenario", "steady-mixed",
+                  "--trace", str(trace)])
+
+    def test_unstamped_trace_fails_cleanly(self, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"name": "x"}\n')
+        with pytest.raises(SystemExit, match="scenario-trace"):
+            main([*self.QUICK, "--trace", str(trace)])
+
+    def test_corrupt_trace_fails_cleanly(self, tmp_path):
+        trace = tmp_path / "garbage.jsonl"
+        trace.write_text("not json\n")
+        with pytest.raises(SystemExit, match="unparsable"):
+            main([*self.QUICK, "--trace", str(trace)])
+
+    def test_missing_trace_file_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such file"):
+            main([*self.QUICK, "--trace", str(tmp_path / "absent.jsonl")])
+
+    def test_tampered_trace_fails_cleanly(self, tmp_path):
+        from repro.scenarios import ScenarioSpec, generate_trace, write_trace
+
+        trace = generate_trace(
+            ScenarioSpec(name="t", seed=1, duration_s=0.01, rate_rps=500.0)
+        )
+        path = tmp_path / "t.jsonl"
+        write_trace(trace, str(path))
+        lines = path.read_text().splitlines()
+        lines.pop()  # drop an event: count check must fire
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SystemExit, match="declares"):
+            main([*self.QUICK, "--trace", str(path)])
+
+    def test_trace_with_clients_rejected(self, tmp_path):
+        from repro.scenarios import ScenarioSpec, generate_trace, write_trace
+
+        path = tmp_path / "t.jsonl"
+        write_trace(
+            generate_trace(
+                ScenarioSpec(name="t", seed=1, duration_s=0.01, rate_rps=500.0)
+            ),
+            str(path),
+        )
+        with pytest.raises(SystemExit, match="open-loop"):
+            main([*self.QUICK, "--trace", str(path), "--clients", "2"])
+
+    def test_unknown_app_rejected_with_choices(self):
+        with pytest.raises(SystemExit, match="session"):
+            main([*self.QUICK, "--apps", "kv:1,redis:2"])
+
+    def test_duplicate_app_rejected(self):
+        with pytest.raises(SystemExit, match="duplicate"):
+            main([*self.QUICK, "--apps", "kv:1,kv:2"])
+
+    def test_bad_app_weight_rejected(self):
+        with pytest.raises(SystemExit, match="bad weight"):
+            main([*self.QUICK, "--apps", "kv:heavy"])
+
+    def test_apps_not_covering_trace_rejected(self, tmp_path):
+        from repro.scenarios import ScenarioSpec, generate_trace, write_trace
+
+        path = tmp_path / "t.jsonl"
+        write_trace(
+            generate_trace(
+                ScenarioSpec(
+                    name="t", seed=1, duration_s=0.01, rate_rps=500.0,
+                    apps=(("kv", 1.0), ("session", 1.0)),
+                )
+            ),
+            str(path),
+        )
+        with pytest.raises(SystemExit, match="installed app set"):
+            main([*self.QUICK, "--trace", str(path), "--apps", "kv:1"])
+
+
+class TestScenarioCommands:
+    def test_list_names_every_scenario(self, capsys):
+        from repro.scenarios import SCENARIO_NAMES
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIO_NAMES:
+            assert name in out
+
+    def test_gen_replay_and_gate_round_trip(self, capsys, tmp_path, monkeypatch):
+        # gen writes a deterministic trace; replay produces a snapshot;
+        # diff dispatches on the scenario-bench artifact and passes.
+        monkeypatch.chdir(tmp_path)
+        assert main(["scenarios", "gen", "hotkey-shift"]) == 0
+        assert (tmp_path / "traces" / "hotkey-shift.trace.jsonl").exists()
+        assert main(["scenarios", "gen", "hotkey-shift", "--check"]) == 0
+        out = tmp_path / "bench.json"
+        snap = tmp_path / "snap.json"
+        assert main([
+            "scenarios", "replay", "hotkey-shift",
+            "--shards", "2",
+            "--out", str(out), "--snapshot", str(snap),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(snap)]) == 0
+        assert "scenario baseline gate: OK" in capsys.readouterr().out
+
+    def test_gen_check_flags_drift(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["scenarios", "gen", "diurnal-kv"]) == 0
+        path = tmp_path / "traces" / "diurnal-kv.trace.jsonl"
+        lines = path.read_text().splitlines()
+        lines.pop()
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["scenarios", "gen", "diurnal-kv", "--check"]) == 1
+
+    def test_replay_unknown_scenario_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="choices"):
+            main(["scenarios", "replay", "nope"])
+
+    def test_replay_missing_trace_fails_cleanly(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit, match="scenarios gen"):
+            main(["scenarios", "replay", "flash-crowd"])
