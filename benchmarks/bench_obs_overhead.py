@@ -24,25 +24,24 @@ import gc
 import json
 import time
 
-from repro.serve.bench import run_serve_bench
+from repro.api import BenchSpec, ServeSpec
+from repro.serve.bench import run_bench
 
 #: One scenario for both arms: small enough for min-of-N interleaving,
 #: busy enough (zc backend, faults off, open loop) that the sampler's
 #: per-event work would show.
-SCENARIO = dict(
-    shards=2,
+SCENARIO = BenchSpec(
+    serve=ServeSpec(shards=2, backend="zc", budget=8),
     seconds=0.03,
-    backend="zc",
     rate=3_000.0,
     seed=0,
-    budget=8,
 )
 
 MAX_OVERHEAD = 0.10
 
 
 def _run(obs: bool) -> dict:
-    return run_serve_bench(telemetry=False, obs=obs, **SCENARIO)
+    return run_bench(SCENARIO.replace(obs=obs), telemetry=False)
 
 
 def measure_arms(repeats: int = 5) -> dict:

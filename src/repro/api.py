@@ -29,10 +29,21 @@ Sharded serving (:mod:`repro.serve`) builds N runtimes on one shared
 kernel by passing ``kernel=``/``fs=``: a runtime that does not own its
 kernel neither attaches ambient telemetry/fault plans (the shared-kernel
 owner does that exactly once) nor drains the kernel on close.
+
+The *declarative* serving surface lives here too: :class:`ServeSpec`
+describes a cluster, :class:`BenchSpec` describes a full benchmark run
+over one, :class:`AutoscaleSpec` enables the elastic control plane, and
+:meth:`Runtime.serve` is the single entry point that turns a spec into a
+live cluster or a finished artifact.  Every spec validates its field
+combinations centrally in one error path (:class:`SpecError`) and
+round-trips through JSON with a schema stamp, so evidence packs and
+scenario baselines record the complete serve configuration.
 """
 
 from __future__ import annotations
 
+import dataclasses
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.backend import ZcSwitchlessBackend
@@ -52,6 +63,7 @@ from repro.sgx.backend import CallBackend, RegularBackend
 from repro.sim import Kernel, MachineSpec, paper_machine
 from repro.switchless.backend import IntelSwitchlessBackend
 from repro.switchless.config import SwitchlessConfig
+from repro.telemetry.schema import check_stamp, stamp
 from repro.telemetry.session import CellCapture, TelemetrySession, active_session
 
 if TYPE_CHECKING:
@@ -59,7 +71,11 @@ if TYPE_CHECKING:
 
 __all__ = [
     "BACKEND_CHOICES",
+    "AutoscaleSpec",
+    "BenchSpec",
     "Runtime",
+    "ServeSpec",
+    "SpecError",
     "SwitchlessConfig",
     "ZcConfig",
     "make_backend",
@@ -123,6 +139,474 @@ def make_backend(
     if config is not None and not isinstance(config, ZcConfig):
         raise TypeError(f"zc backend needs a ZcConfig, got {type(config).__name__}")
     return ZcSwitchlessBackend(config)
+
+
+# ----------------------------------------------------------------------
+# Declarative serve specs
+# ----------------------------------------------------------------------
+#: Artifact kind stamped onto serialized specs.
+SPEC_ARTIFACT = "serve-spec"
+
+
+class SpecError(ValueError):
+    """A declarative serve/bench spec failed validation.
+
+    Every invalid field *combination* — not just an out-of-range single
+    field — raises through this one type, so callers (the CLI included)
+    have a single error path instead of per-flag ad-hoc checks.
+    """
+
+
+def _check_pairs(
+    pairs: "tuple[tuple[str, float], ...] | None", what: str
+) -> None:
+    """Validate a weighted ``(name, weight)`` tuple (tenants or apps)."""
+    if pairs is None:
+        return
+    if not pairs:
+        raise SpecError(f"{what} needs at least one (name, weight) pair")
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        raise SpecError(f"{what} names must be unique")
+    if any(weight <= 0 for _, weight in pairs):
+        raise SpecError(f"{what} weights must be positive")
+
+
+def _pairs_to_json(
+    pairs: "tuple[tuple[str, float], ...] | None",
+) -> "list[list[Any]] | None":
+    return [list(pair) for pair in pairs] if pairs is not None else None
+
+
+def _pairs_from_json(
+    pairs: "list[list[Any]] | None",
+) -> "tuple[tuple[str, float], ...] | None":
+    if pairs is None:
+        return None
+    return tuple((str(name), float(weight)) for name, weight in pairs)
+
+
+@dataclass(frozen=True)
+class AutoscaleSpec:
+    """Configuration of the elastic control plane (:mod:`repro.autoscale`).
+
+    The controller watches the obs window stream, forecasts per-lane
+    arrivals with an EWMA, and sweeps (shards × per-shard workers ×
+    batching degree) against the wasted-cycle objective ``U`` — the
+    paper's §IV-A argmin, one level up.  Scaling actions are charged the
+    enclave-lifecycle cost model (:mod:`repro.sgx.lifecycle`).
+
+    Attributes:
+        min_shards: Never retire below this many live shards.
+        max_shards: Never spawn above this many live shards.
+        worker_options: Candidate per-shard switchless-worker budgets
+            swept by the optimizer (the fleet cap becomes
+            ``workers × live shards``).
+        batch_options: Candidate per-shard dequeue batch sizes.
+        alpha: EWMA smoothing factor for the arrival forecast, in
+            ``(0, 1]`` (1 = trust only the last window).
+        headroom: Capacity multiplier the predictive admission gate
+            grants before shedding (≥ 1; higher sheds later).
+    """
+
+    min_shards: int = 1
+    max_shards: int = 8
+    worker_options: tuple[int, ...] = (1, 2, 4)
+    batch_options: tuple[int, ...] = (1, 2, 4)
+    alpha: float = 0.5
+    headroom: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise SpecError("autoscale min_shards must be >= 1")
+        if self.max_shards < self.min_shards:
+            raise SpecError("autoscale max_shards must be >= min_shards")
+        for name in ("worker_options", "batch_options"):
+            options = getattr(self, name)
+            object.__setattr__(self, name, tuple(options))
+            options = getattr(self, name)
+            if not options:
+                raise SpecError(f"autoscale {name} must not be empty")
+            if any(int(opt) != opt or opt < 1 for opt in options):
+                raise SpecError(f"autoscale {name} must be positive integers")
+            if list(options) != sorted(set(options)):
+                raise SpecError(
+                    f"autoscale {name} must be strictly increasing"
+                )
+        if not 0.0 < self.alpha <= 1.0:
+            raise SpecError("autoscale alpha must be in (0, 1]")
+        if self.headroom < 1.0:
+            raise SpecError("autoscale headroom must be >= 1")
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-data form (nested inside a stamped spec)."""
+        return {
+            "min_shards": self.min_shards,
+            "max_shards": self.max_shards,
+            "worker_options": list(self.worker_options),
+            "batch_options": list(self.batch_options),
+            "alpha": self.alpha,
+            "headroom": self.headroom,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "AutoscaleSpec":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            min_shards=int(data["min_shards"]),
+            max_shards=int(data["max_shards"]),
+            worker_options=tuple(int(v) for v in data["worker_options"]),
+            batch_options=tuple(int(v) for v in data["batch_options"]),
+            alpha=float(data["alpha"]),
+            headroom=float(data["headroom"]),
+        )
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Declarative description of one serving cluster.
+
+    The single source of truth for cluster topology — what used to be
+    the ``--shards/--backend/--budget/--apps/...`` flag sprawl.  Build a
+    live cluster from it with ``Runtime.serve(spec)`` (returns a
+    :class:`repro.serve.bench.ServeCluster`).
+
+    >>> spec = ServeSpec(shards=4, budget=8)
+    >>> spec.backend
+    'zc'
+    >>> ServeSpec(shards=0)
+    Traceback (most recent call last):
+        ...
+    repro.api.SpecError: shards must be >= 1
+
+    Attributes:
+        shards: Initial enclave shard count (the *global* count for a
+            sliced run; the fixed count without autoscaling).
+        backend: One of :data:`BACKEND_CHOICES` (aliases accepted and
+            normalized on construction).
+        policy: Router placement policy (``hash`` | ``round-robin``).
+        admission: Full-queue admission policy (``shed`` | ``block``).
+        queue_capacity: Per-shard bound on queued requests.
+        servers_per_shard: Untrusted server threads per shard.
+        budget: Fleet-wide switchless-worker cap (None = no arbiter).
+        batch: Requests a server thread drains per dispatch (≥ 1).
+        dispatch_cycles: Untrusted dispatch cost charged once per drain
+            burst (0 disables the dispatch cost model).
+        apps: Weighted served-app mix as ``(name, weight)`` pairs; None
+            keeps the classic single-app KV shard.
+        tenants: Weighted tenant mix as ``(name, weight)`` pairs; also
+            switches the router to weighted-fair shedding.
+        plan: Fault-plan name to attach (None = ambient plan, if any).
+        fault_shard: Global index of the shard the plan attaches to.
+        autoscale: Elastic control-plane configuration (None = static).
+    """
+
+    shards: int = 2
+    backend: str = "zc"
+    policy: str = "hash"
+    admission: str = "shed"
+    queue_capacity: int = 64
+    servers_per_shard: int = 2
+    budget: int | None = None
+    batch: int = 1
+    dispatch_cycles: float = 0.0
+    apps: tuple[tuple[str, float], ...] | None = None
+    tenants: tuple[tuple[str, float], ...] | None = None
+    plan: str | None = None
+    fault_shard: int = 0
+    autoscale: AutoscaleSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise SpecError("shards must be >= 1")
+        object.__setattr__(self, "backend", normalize_backend(self.backend))
+        # Deferred imports: the serve modules import this one at load
+        # time; by spec-construction time they are always importable.
+        from repro.serve.router import ADMISSION_CHOICES, POLICY_CHOICES
+
+        if self.policy not in POLICY_CHOICES:
+            raise SpecError(f"policy must be one of {POLICY_CHOICES}")
+        if self.admission not in ADMISSION_CHOICES:
+            raise SpecError(f"admission must be one of {ADMISSION_CHOICES}")
+        if self.queue_capacity < 1:
+            raise SpecError("queue_capacity must be >= 1")
+        if self.servers_per_shard < 1:
+            raise SpecError("servers_per_shard must be >= 1")
+        if self.budget is not None and self.budget < 0:
+            raise SpecError("budget must be >= 0 (or None)")
+        if self.batch < 1:
+            raise SpecError("batch must be >= 1")
+        if self.dispatch_cycles < 0:
+            raise SpecError("dispatch_cycles must be >= 0")
+        if self.apps is not None:
+            object.__setattr__(
+                self, "apps", tuple(tuple(pair) for pair in self.apps)
+            )
+            _check_pairs(self.apps, "apps")
+            from repro.serve.apps import APP_CHOICES
+
+            unknown = [n for n, _ in self.apps if n not in APP_CHOICES]
+            if unknown:
+                raise SpecError(
+                    f"unknown apps {unknown}; choices: {', '.join(APP_CHOICES)}"
+                )
+        if self.tenants is not None:
+            object.__setattr__(
+                self, "tenants", tuple(tuple(pair) for pair in self.tenants)
+            )
+            _check_pairs(self.tenants, "tenants")
+        if not 0 <= self.fault_shard < self.shards:
+            raise SpecError(
+                f"fault_shard {self.fault_shard} out of range for "
+                f"{self.shards} shards"
+            )
+        if self.autoscale is not None:
+            if not isinstance(self.autoscale, AutoscaleSpec):
+                raise SpecError("autoscale must be an AutoscaleSpec")
+            if self.backend != "zc":
+                raise SpecError(
+                    "autoscale requires the zc backend (the worker-budget "
+                    "arbiter and §IV-A objective live there)"
+                )
+            if self.policy != "hash":
+                raise SpecError(
+                    "autoscale requires policy='hash' (rendezvous placement "
+                    "is what makes shard add/retire re-home only the moved "
+                    "keys)"
+                )
+            if not (
+                self.autoscale.min_shards
+                <= self.shards
+                <= self.autoscale.max_shards
+            ):
+                raise SpecError(
+                    f"initial shards ({self.shards}) must lie within the "
+                    f"autoscale band [{self.autoscale.min_shards}, "
+                    f"{self.autoscale.max_shards}]"
+                )
+
+    def app_names(self) -> tuple[str, ...] | None:
+        """Installed served-app names, in mix order (None = default KV)."""
+        if self.apps is None:
+            return None
+        return tuple(name for name, _ in self.apps)
+
+    def tenant_weights(self) -> dict[str, float] | None:
+        """The tenant mix as a name → weight dict (None without tenants)."""
+        if self.tenants is None:
+            return None
+        return dict(self.tenants)
+
+    def to_json(self) -> dict[str, Any]:
+        """Stamped plain-data form; round-trips via :meth:`from_json`."""
+        return {
+            "meta": {**stamp(SPEC_ARTIFACT), "kind": "serve"},
+            "shards": self.shards,
+            "backend": self.backend,
+            "policy": self.policy,
+            "admission": self.admission,
+            "queue_capacity": self.queue_capacity,
+            "servers_per_shard": self.servers_per_shard,
+            "budget": self.budget,
+            "batch": self.batch,
+            "dispatch_cycles": self.dispatch_cycles,
+            "apps": _pairs_to_json(self.apps),
+            "tenants": _pairs_to_json(self.tenants),
+            "plan": self.plan,
+            "fault_shard": self.fault_shard,
+            "autoscale": (
+                self.autoscale.to_json() if self.autoscale is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ServeSpec":
+        """Rebuild a spec from :meth:`to_json` output (stamp-checked)."""
+        check_stamp(data.get("meta", {}), SPEC_ARTIFACT, source="ServeSpec")
+        autoscale = data.get("autoscale")
+        return cls(
+            shards=int(data["shards"]),
+            backend=data["backend"],
+            policy=data["policy"],
+            admission=data["admission"],
+            queue_capacity=int(data["queue_capacity"]),
+            servers_per_shard=int(data["servers_per_shard"]),
+            budget=None if data["budget"] is None else int(data["budget"]),
+            batch=int(data.get("batch", 1)),
+            dispatch_cycles=float(data.get("dispatch_cycles", 0.0)),
+            apps=_pairs_from_json(data.get("apps")),
+            tenants=_pairs_from_json(data.get("tenants")),
+            plan=data.get("plan"),
+            fault_shard=int(data.get("fault_shard", 0)),
+            autoscale=(
+                AutoscaleSpec.from_json(autoscale)
+                if autoscale is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Declarative description of one serve benchmark run.
+
+    A :class:`ServeSpec` plus the offered load, observation windows and
+    slicing — everything ``repro serve bench`` used to take as ~15 flags.
+    Run it with ``Runtime.serve(spec)`` (returns the stamped
+    ``serve-bench`` artifact).
+
+    >>> bench = BenchSpec(serve=ServeSpec(shards=4), seconds=0.1)
+    >>> BenchSpec(serve=ServeSpec(shards=2), slices=4)
+    Traceback (most recent call last):
+        ...
+    repro.api.SpecError: slices (4) must not exceed shards (2)
+
+    Attributes:
+        serve: The cluster under test.
+        seconds: Offered-load duration in simulated seconds (a trace
+            overrides it with its own declared duration).
+        rate: Open-loop Poisson arrival rate in requests/s (the default
+            loop; ignored when ``clients`` selects the closed loop).
+        clients: Closed-loop request threads (None = open loop).
+        requests_per_client: Closed-loop per-thread request budget.
+        keydist: Key distribution (``uniform`` | ``zipf`` | ``seq``).
+        keyspace: Distinct keys for the synthetic distributions.
+        set_fraction: Fraction of requests that are ``set``.
+        seed: Base RNG seed for the synthetic load.
+        scenario: Catalog scenario name to replay (committed trace).
+        trace: Trace-file path to replay (exclusive with ``scenario``).
+        slices: Slice-parallel process count (1 = single process).
+        obs: Attach the windowed metric sampler.
+        obs_interval: Window width in simulated cycles (None = duration
+            split into the default window count; setting it implies
+            ``obs``).
+        contracts: Path to an SLO contracts JSON file to evaluate.
+    """
+
+    serve: ServeSpec = field(default_factory=ServeSpec)
+    seconds: float = 2.0
+    rate: float | None = 2_000.0
+    clients: int | None = None
+    requests_per_client: int | None = None
+    keydist: str = "uniform"
+    keyspace: int = 256
+    set_fraction: float = 1.0 / 3.0
+    seed: int = 0
+    scenario: str | None = None
+    trace: str | None = None
+    slices: int = 1
+    obs: bool = False
+    obs_interval: float | None = None
+    contracts: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.serve, ServeSpec):
+            raise SpecError("serve must be a ServeSpec")
+        from repro.serve.loadgen import KEYDIST_CHOICES
+
+        if self.keydist not in KEYDIST_CHOICES:
+            raise SpecError(f"keydist must be one of {KEYDIST_CHOICES}")
+        if self.seconds <= 0:
+            raise SpecError("seconds must be > 0")
+        if self.rate is not None and self.rate <= 0:
+            raise SpecError("rate must be > 0 (or None for the closed loop)")
+        if self.clients is not None and self.clients < 1:
+            raise SpecError("clients must be >= 1 (or None for the open loop)")
+        if self.requests_per_client is not None and self.clients is None:
+            raise SpecError("requests_per_client needs clients (closed loop)")
+        if self.keyspace < 1:
+            raise SpecError("keyspace must be >= 1")
+        if not 0.0 <= self.set_fraction <= 1.0:
+            raise SpecError("set_fraction must be in [0, 1]")
+        if self.scenario is not None and self.trace is not None:
+            raise SpecError("scenario and trace are exclusive — pick one")
+        if self.replays_trace() and self.clients is not None:
+            raise SpecError("trace replay is open-loop; drop clients")
+        if self.slices < 1:
+            raise SpecError("slices must be >= 1")
+        if self.slices > self.serve.shards:
+            raise SpecError(
+                f"slices ({self.slices}) must not exceed shards "
+                f"({self.serve.shards})"
+            )
+        if self.slices > 1:
+            if self.serve.policy != "hash":
+                raise SpecError(
+                    "slice-parallel serving requires policy='hash'"
+                )
+            if self.clients is not None:
+                raise SpecError(
+                    "slice-parallel serving is open-loop only; drop clients"
+                )
+            if self.serve.autoscale is not None:
+                raise SpecError(
+                    "autoscale needs the single-process runner; with a "
+                    "fixed slices > 1 the shard set cannot change mid-run"
+                )
+        if self.serve.autoscale is not None and self.clients is not None:
+            raise SpecError(
+                "autoscale forecasts open-loop arrival windows; the closed "
+                "loop has no offered-load signal to forecast"
+            )
+        if self.obs_interval is not None:
+            if self.obs_interval <= 0:
+                raise SpecError("obs_interval must be a positive cycle count")
+            object.__setattr__(self, "obs", True)
+
+    def replays_trace(self) -> bool:
+        """True when the load comes from a committed/explicit trace."""
+        return self.scenario is not None or self.trace is not None
+
+    def to_json(self) -> dict[str, Any]:
+        """Stamped plain-data form; round-trips via :meth:`from_json`."""
+        return {
+            "meta": {**stamp(SPEC_ARTIFACT), "kind": "bench"},
+            "serve": self.serve.to_json(),
+            "seconds": self.seconds,
+            "rate": self.rate,
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "keydist": self.keydist,
+            "keyspace": self.keyspace,
+            "set_fraction": self.set_fraction,
+            "seed": self.seed,
+            "scenario": self.scenario,
+            "trace": self.trace,
+            "slices": self.slices,
+            "obs": self.obs,
+            "obs_interval": self.obs_interval,
+            "contracts": self.contracts,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "BenchSpec":
+        """Rebuild a spec from :meth:`to_json` output (stamp-checked)."""
+        check_stamp(data.get("meta", {}), SPEC_ARTIFACT, source="BenchSpec")
+        return cls(
+            serve=ServeSpec.from_json(data["serve"]),
+            seconds=float(data["seconds"]),
+            rate=None if data["rate"] is None else float(data["rate"]),
+            clients=None if data["clients"] is None else int(data["clients"]),
+            requests_per_client=(
+                None
+                if data["requests_per_client"] is None
+                else int(data["requests_per_client"])
+            ),
+            keydist=data["keydist"],
+            keyspace=int(data["keyspace"]),
+            set_fraction=float(data["set_fraction"]),
+            seed=int(data["seed"]),
+            scenario=data.get("scenario"),
+            trace=data.get("trace"),
+            slices=int(data.get("slices", 1)),
+            obs=bool(data.get("obs", False)),
+            obs_interval=data.get("obs_interval"),
+            contracts=data.get("contracts"),
+        )
+
+    def replace(self, **changes: Any) -> "BenchSpec":
+        """A copy with ``changes`` applied (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
 
 
 class Runtime:
@@ -280,6 +764,36 @@ class Runtime:
             monitor=monitor,
             telemetry=capture,
             faults=injector,
+        )
+
+    @classmethod
+    def serve(
+        cls, spec: "ServeSpec | BenchSpec", **kwargs: Any
+    ) -> Any:
+        """The declarative serving entry point.
+
+        - A :class:`ServeSpec` builds and returns a live, started
+          :class:`repro.serve.bench.ServeCluster` (close it when done).
+        - A :class:`BenchSpec` runs the full benchmark — synthetic load
+          or trace replay, sliced or not, autoscaled or static — and
+          returns the stamped ``serve-bench`` artifact.
+
+        Keyword arguments are forwarded to
+        :func:`repro.serve.bench.build_cluster` /
+        :func:`repro.serve.bench.run_bench` (runner plumbing such as
+        ``machine``, ``telemetry`` or ``span_sink`` — everything
+        *declarative* belongs in the spec).
+        """
+        # Deferred import: repro.serve.bench imports this module.
+        from repro.serve.bench import build_cluster, run_bench
+
+        if isinstance(spec, BenchSpec):
+            return run_bench(spec, **kwargs)
+        if isinstance(spec, ServeSpec):
+            return build_cluster(spec, **kwargs)
+        raise SpecError(
+            f"Runtime.serve takes a ServeSpec or BenchSpec, got "
+            f"{type(spec).__name__}"
         )
 
     @staticmethod

@@ -1,0 +1,29 @@
+"""Elastic autoscaling control plane over :mod:`repro.serve`.
+
+The paper's §IV-A argmin scheduler adapts *worker counts* inside one
+enclave.  This package lifts the same wasted-cycle objective ``U`` one
+level up: a controller on the :mod:`repro.obs` window stream forecasts
+per-lane arrivals (EWMA), sweeps (shards × per-shard workers × batching
+degree) with :func:`repro.autoscale.optimizer.fleet_argmin`, and acts —
+spawning/retiring :class:`repro.serve.shard.EnclaveShard`\\ s at the
+modeled enclave-lifecycle price (:mod:`repro.sgx.lifecycle`), retuning
+the worker-budget arbiter's cap, and gating admission predictively so
+the router sheds *before* queues blow p99.
+
+Configure it with :class:`repro.api.AutoscaleSpec` on a
+:class:`repro.api.ServeSpec`; run the diurnal acceptance sweep with
+:func:`repro.autoscale.bench.run_autoscale_sweep` (``repro autoscale
+sweep`` on the CLI).
+"""
+
+from repro.autoscale.controller import AutoscaleController
+from repro.autoscale.forecast import EwmaForecaster
+from repro.autoscale.optimizer import FleetDemand, FleetPlan, fleet_argmin
+
+__all__ = [
+    "AutoscaleController",
+    "EwmaForecaster",
+    "FleetDemand",
+    "FleetPlan",
+    "fleet_argmin",
+]

@@ -1,0 +1,49 @@
+"""Per-lane EWMA arrival forecasting over the obs window stream.
+
+The controller feeds each closed window's per-lane ``submitted`` counts
+into an :class:`EwmaForecaster`; the smoothed level is the forecast for
+the *next* window.  EWMA is deliberately the whole model: the window
+stream is deterministic, the controller re-plans every window anyway,
+and a one-parameter forecaster keeps the control loop auditable (the
+``autoscale.decision`` event records the exact forecast it acted on).
+"""
+
+from __future__ import annotations
+
+
+class EwmaForecaster:
+    """Exponentially-weighted moving average per named lane.
+
+    Args:
+        alpha: Smoothing factor in ``(0, 1]``; 1 trusts only the latest
+            observation.
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._levels: dict[str, float] = {}
+
+    def observe(self, lane: str, value: float) -> float:
+        """Fold one observation into ``lane``; returns the new level.
+
+        The first observation seeds the level directly (no warm-up bias
+        toward zero).
+        """
+        previous = self._levels.get(lane)
+        level = (
+            float(value)
+            if previous is None
+            else self.alpha * float(value) + (1.0 - self.alpha) * previous
+        )
+        self._levels[lane] = level
+        return level
+
+    def forecast(self, lane: str, default: float = 0.0) -> float:
+        """The smoothed level for ``lane`` (``default`` if never seen)."""
+        return self._levels.get(lane, default)
+
+    def lanes(self) -> list[str]:
+        """Every lane observed so far, sorted."""
+        return sorted(self._levels)

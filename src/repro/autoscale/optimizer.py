@@ -1,0 +1,193 @@
+"""The fleet-level wasted-cycle argmin (§IV-A, one level up).
+
+The paper's scheduler probes worker counts inside one enclave and picks
+``argmin U_i`` where ``U = F·T_es + M·T``.  The fleet optimizer applies
+the same shape one level up: for a forecast arrival count it sweeps
+every candidate (shards × per-shard workers × batching degree)
+configuration and scores each with a wasted-cycle objective built from
+the same ingredients —
+
+- **fallback waste** (``F·T_es``): switchless-worker undersupply sends
+  ocalls down the switched path, one full enclave crossing each;
+- **provisioned idleness** (``M·T``): worker budget and server threads
+  beyond what the forecast needs spin/idle for the whole window;
+- **overload**: forecast arrivals beyond the fleet's service capacity
+  queue or shed — weighted above idleness because queueing is what
+  blows p99 (shedding capacity is cheaper to add than tail latency is
+  to claw back);
+- **scaling cost**: moving between fleet sizes is charged the modeled
+  enclave create/teardown price (:mod:`repro.sgx.lifecycle`), which is
+  exactly what damps flapping — a one-window blip never pays for an
+  enclave build.
+
+Everything here is pure arithmetic over the inputs: same demand in,
+same plan out, no RNG, no clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sgx.costmodel import SgxCostModel
+
+#: Relative weight of overloaded (queued/shed) work vs idle provisioned
+#: cycles.  Overload shows up as p99 inflation and shed requests; the
+#: acceptance gate holds p99 at equal-or-better, so the optimizer must
+#: prefer a little idleness over any overload.
+OVERLOAD_WEIGHT = 4.0
+
+#: Default per-request switchless-worker demand (cycles) before the
+#: controller has measured anything: one WAL-append ocall's worth of
+#: worker-side service.
+DEFAULT_OCALL_CYCLES = 1_500.0
+
+
+@dataclass(frozen=True)
+class FleetDemand:
+    """One control window's forecast demand and measured costs.
+
+    Attributes:
+        arrivals: Forecast request arrivals in the window.
+        window_cycles: Control-window width in cycles (the ``T`` of
+            ``M·T``).
+        service_cycles: Measured per-request in-enclave service cost.
+        ocall_cycles: Per-request switchless-worker demand.
+        dispatch_cycles: Untrusted dispatch cost charged per drain burst
+            (batching amortises it).
+        servers_per_shard: Server threads each shard runs.
+    """
+
+    arrivals: float
+    window_cycles: float
+    service_cycles: float
+    ocall_cycles: float = DEFAULT_OCALL_CYCLES
+    dispatch_cycles: float = 0.0
+    servers_per_shard: int = 2
+
+    def __post_init__(self) -> None:
+        if self.arrivals < 0:
+            raise ValueError("arrivals must be >= 0")
+        if self.window_cycles <= 0:
+            raise ValueError("window_cycles must be > 0")
+        if self.service_cycles <= 0:
+            raise ValueError("service_cycles must be > 0")
+        if self.ocall_cycles < 0 or self.dispatch_cycles < 0:
+            raise ValueError("cycle costs must be >= 0")
+        if self.servers_per_shard < 1:
+            raise ValueError("servers_per_shard must be >= 1")
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """The argmin configuration and its objective value."""
+
+    shards: int
+    workers: int
+    batch: int
+    u_cycles: float
+
+    def capacity_requests(self, demand: FleetDemand) -> float:
+        """Requests this plan can serve in one window of ``demand``."""
+        per_request = demand.service_cycles + demand.dispatch_cycles / self.batch
+        return (
+            self.shards
+            * demand.servers_per_shard
+            * demand.window_cycles
+            / per_request
+        )
+
+
+def fleet_objective(
+    demand: FleetDemand,
+    shards: int,
+    workers: int,
+    batch: int,
+    *,
+    live_shards: int,
+    creation_cycles: float,
+    destruction_cycles: float,
+    t_es: float | None = None,
+) -> float:
+    """Wasted cycles of running (``shards``, ``workers``, ``batch``).
+
+    See the module docstring for the four terms.  ``live_shards`` is the
+    current fleet size; the lifecycle terms charge the transition.
+    """
+    if shards < 1 or workers < 1 or batch < 1:
+        raise ValueError("shards, workers and batch must be >= 1")
+    if t_es is None:
+        t_es = SgxCostModel().t_es
+    window = demand.window_cycles
+    per_request = demand.service_cycles + demand.dispatch_cycles / batch
+    capacity = shards * demand.servers_per_shard * window / per_request
+    overload = max(0.0, demand.arrivals - capacity) * demand.service_cycles
+    server_idle = max(
+        0.0,
+        shards * demand.servers_per_shard * window
+        - demand.arrivals * per_request,
+    )
+    # Worker supply vs switchless demand, per shard: undersupply falls
+    # back to switched ocalls (one T_es each), oversupply spins.
+    ocall_demand = demand.arrivals * demand.ocall_cycles / shards
+    workers_needed = ocall_demand / window
+    worker_idle = max(0.0, workers - workers_needed) * window * shards
+    if workers < workers_needed and workers_needed > 0:
+        shortfall = (workers_needed - workers) / workers_needed
+        fallback = shortfall * demand.arrivals * t_es
+    else:
+        fallback = 0.0
+    dispatch = demand.arrivals * demand.dispatch_cycles / batch
+    scaling = creation_cycles * max(0, shards - live_shards) + (
+        destruction_cycles * max(0, live_shards - shards)
+    )
+    return (
+        OVERLOAD_WEIGHT * overload
+        + server_idle
+        + worker_idle
+        + fallback
+        + dispatch
+        + scaling
+    )
+
+
+def fleet_argmin(
+    demand: FleetDemand,
+    *,
+    live_shards: int,
+    min_shards: int,
+    max_shards: int,
+    worker_options: tuple[int, ...],
+    batch_options: tuple[int, ...],
+    creation_cycles: float,
+    destruction_cycles: float,
+    t_es: float | None = None,
+) -> FleetPlan:
+    """Sweep the full candidate grid; return the argmin plan.
+
+    Deterministic tie-breaking: candidates are enumerated in ascending
+    (shards, workers, batch) order and only a *strictly* smaller ``U``
+    displaces the incumbent — equal-cost plans resolve to the smallest
+    configuration.
+    """
+    if not min_shards <= live_shards or min_shards > max_shards:
+        raise ValueError("need min_shards <= max_shards and live >= min")
+    best: FleetPlan | None = None
+    for shards in range(min_shards, max_shards + 1):
+        for workers in worker_options:
+            for batch in batch_options:
+                u = fleet_objective(
+                    demand,
+                    shards,
+                    workers,
+                    batch,
+                    live_shards=live_shards,
+                    creation_cycles=creation_cycles,
+                    destruction_cycles=destruction_cycles,
+                    t_es=t_es,
+                )
+                if best is None or u < best.u_cycles:
+                    best = FleetPlan(
+                        shards=shards, workers=workers, batch=batch, u_cycles=u
+                    )
+    assert best is not None  # grid is never empty (validated options)
+    return best

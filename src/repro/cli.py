@@ -234,6 +234,8 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         return _diff_obs_baseline(args)
     if peek.get("meta", {}).get("artifact") == "scenario-bench":
         return _diff_scenario_baseline(args)
+    if peek.get("meta", {}).get("artifact") == "autoscale-sweep":
+        return _diff_autoscale_baseline(args)
 
     base = load_snapshot(args.baseline)
     if args.against is not None:
@@ -345,6 +347,117 @@ def _diff_scenario_baseline(args: argparse.Namespace) -> int:
         return 1
     print(f"scenario baseline gate: OK (matches {args.baseline})")
     return 0
+
+
+def _diff_autoscale_baseline(args: argparse.Namespace) -> int:
+    """Re-run an autoscale sweep baseline's arms and gate the outcome."""
+    from repro.autoscale.bench import (
+        compare_sweep_baseline,
+        load_sweep_baseline,
+        run_autoscale_sweep,
+        sweep_snapshot,
+    )
+
+    baseline = load_sweep_baseline(args.baseline)
+    if args.against is not None:
+        current = load_sweep_baseline(args.against)
+    else:
+        scenario = baseline.get("scenario", "diurnal-kv")
+        print(f"[autoscale baseline: re-running the {scenario!r} sweep]")
+        try:
+            current = sweep_snapshot(run_autoscale_sweep(scenario))
+        except (OSError, ValueError) as exc:
+            print(f"autoscale baseline gate: {exc}")
+            return 1
+    violations = compare_sweep_baseline(
+        current, baseline, threshold=args.threshold
+    )
+    arms = current.get("arms", {})
+    elastic = arms.get("autoscale", {})
+    print(
+        f"autoscale diff: {len(arms)} arm(s), elastic "
+        f"{elastic.get('cycles_per_request', 0) or 0:,.0f} cycles/request"
+    )
+    if violations:
+        print(f"autoscale baseline gate: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(f"autoscale baseline gate: OK (matches {args.baseline})")
+    return 0
+
+
+def _cmd_autoscale(args: argparse.Namespace) -> int:
+    """The elastic control plane's acceptance sweep (and its baseline)."""
+    from repro.autoscale.bench import (
+        compare_sweep_baseline,
+        load_sweep_baseline,
+        run_autoscale_sweep,
+        sweep_snapshot,
+        write_sweep_baseline,
+    )
+    from repro.telemetry.schema import SchemaMismatch
+
+    started = time.monotonic()
+    result = run_autoscale_sweep(args.scenario)
+    elapsed = time.monotonic() - started
+    print(f"autoscale sweep: scenario {result['scenario']!r}")
+    for name, arm in sorted(result["arms"].items()):
+        cpr = arm.get("cycles_per_request")
+        p99 = arm.get("p99_us")
+        extra = ""
+        if arm.get("autoscale"):
+            scale = arm["autoscale"]
+            extra = (
+                f" [{scale['spawns']} spawn(s), {scale['retires']} "
+                f"retire(s), final {scale['final_shards']} shard(s)]"
+            )
+        print(
+            f"  {name}: {arm['completed']} completed, "
+            f"p99 {p99:.1f} us, "
+            f"{cpr:,.0f} cycles/request{extra}"
+            if cpr is not None and p99 is not None
+            else f"  {name}: {arm['completed']} completed"
+        )
+    gate = result["gate"]
+    if gate["ok"]:
+        print("acceptance gate: OK (autoscale beats every static arm)")
+    else:
+        print(f"acceptance gate: {len(gate['violations'])} violation(s)")
+        for violation in gate["violations"]:
+            print(f"  - {violation}")
+    failures = 0 if gate["ok"] else 1
+    if args.out is not None:
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[sweep artifact written to {args.out}]")
+    if args.snapshot is not None:
+        path = write_sweep_baseline(sweep_snapshot(result), args.snapshot)
+        print(f"[sweep baseline snapshot written to {path}]")
+    if args.baseline is not None:
+        try:
+            baseline = load_sweep_baseline(args.baseline)
+        except (OSError, SchemaMismatch, ValueError) as exc:
+            raise SystemExit(f"--baseline: {exc}")
+        violations = compare_sweep_baseline(
+            sweep_snapshot(result), baseline, threshold=args.threshold
+        )
+        if violations:
+            print(f"baseline gate: {len(violations)} violation(s)")
+            for violation in violations:
+                print(f"  - {violation}")
+            failures += 1
+        else:
+            print(
+                f"baseline gate: OK (within {args.threshold:.0%} of "
+                f"{args.baseline})"
+            )
+    print(f"[autoscale sweep: {elapsed:.1f}s wall]")
+    return 1 if failures else 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -720,27 +833,98 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _serve_bench_spec(
+    args: argparse.Namespace,
+    *,
+    tenants: dict[str, float] | None,
+    app_mix: tuple[tuple[str, float], ...] | None,
+    obs_enabled: bool,
+) -> Any:
+    """The serve-bench flags folded into one validated ``BenchSpec``.
+
+    All spec-combination validation (slices vs shards, autoscale vs
+    fixed slices, trace vs closed loop, …) happens inside the spec
+    constructors — :class:`repro.api.SpecError` is the single error
+    path, surfaced as a one-line ``SystemExit``.
+    """
+    from repro.api import AutoscaleSpec, BenchSpec, ServeSpec, SpecError
+    from repro.telemetry.schema import SchemaMismatch
+
+    if getattr(args, "spec", None) is not None:
+        conflicting = [
+            flag
+            for flag, given in (
+                ("--scenario", getattr(args, "scenario", None) is not None),
+                ("--trace", getattr(args, "trace", None) is not None),
+                ("--autoscale", bool(getattr(args, "autoscale", False))),
+            )
+            if given
+        ]
+        if conflicting:
+            raise SystemExit(
+                f"--spec carries the full bench config; drop {conflicting}"
+            )
+        try:
+            with open(args.spec, encoding="utf-8") as fh:
+                spec = BenchSpec.from_json(json.load(fh))
+        except FileNotFoundError:
+            raise SystemExit(f"--spec: no such file: {args.spec}")
+        except (SchemaMismatch, SpecError, KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(f"--spec: {exc}")
+        if obs_enabled and not spec.obs:
+            spec = spec.replace(obs=True)
+        return spec
+    autoscale = None
+    if getattr(args, "autoscale", False):
+        try:
+            autoscale = AutoscaleSpec(
+                min_shards=args.min_shards, max_shards=args.max_shards
+            )
+        except SpecError as exc:
+            raise SystemExit(str(exc))
+    try:
+        serve = ServeSpec(
+            shards=args.shards,
+            backend=args.backend,
+            policy=args.policy,
+            admission=args.admission,
+            queue_capacity=args.queue_capacity,
+            servers_per_shard=args.servers_per_shard,
+            budget=args.budget,
+            apps=app_mix,
+            tenants=tuple(sorted(tenants.items())) if tenants else None,
+            plan=args.plan,
+            fault_shard=args.fault_shard,
+            autoscale=autoscale,
+        )
+        return BenchSpec(
+            serve=serve,
+            seconds=args.seconds,
+            rate=None if args.clients is not None else args.rate,
+            clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            keydist=args.keydist,
+            seed=args.seed,
+            scenario=getattr(args, "scenario", None),
+            trace=getattr(args, "trace", None),
+            slices=args.slices,
+            obs=obs_enabled,
+            obs_interval=args.obs_interval,
+        )
+    except SpecError as exc:
+        raise SystemExit(str(exc))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the sharded serving bench; optionally gate against a baseline."""
+    from repro.api import SpecError
     from repro.serve.bench import (
         compare_to_baseline,
         load_baseline,
-        run_serve_bench,
+        run_bench,
         write_result,
     )
 
-    if args.slices < 1:
-        raise SystemExit(f"--slices must be at least 1 (got {args.slices})")
-    if args.slices > args.shards:
-        raise SystemExit(
-            f"--slices {args.slices} exceeds the shard count "
-            f"({args.shards}); a slice needs at least one shard"
-        )
-    if args.obs_interval is not None and args.obs_interval <= 0:
-        raise SystemExit(
-            f"--obs-interval must be a positive cycle count "
-            f"(got {args.obs_interval:g})"
-        )
     obs_enabled = bool(
         args.obs
         or args.live
@@ -766,88 +950,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             obs_on_window = console.on_window
     tenants = _parse_tenants(args.tenants)
     app_mix = _parse_app_mix(args.apps)
-    trace, trace_file = _resolve_trace(args)
-    if trace is not None:
-        if args.clients is not None:
-            raise SystemExit("trace replay is open-loop; drop --clients")
-        if app_mix is not None:
-            installed = [name for name, _ in app_mix]
-            missing = [a for a in trace.apps if a not in installed]
-            if missing:
-                raise SystemExit(
-                    f"--apps: trace {trace.name!r} addresses "
-                    f"{', '.join(missing)} not in the installed app set "
-                    f"({', '.join(installed)})"
-                )
+    # Early, user-friendly validation of the trace flags (unknown
+    # scenario names, missing files); the loaded trace is reused below.
+    trace, _trace_file = _resolve_trace(args)
     contracts = None
     if args.contracts is not None:
         from repro.slo import load_contracts
 
         contracts = load_contracts(args.contracts)
     span_sink: list | None = [] if args.spans is not None else None
+    spec = _serve_bench_spec(
+        args, tenants=tenants, app_mix=app_mix, obs_enabled=obs_enabled
+    )
     started = time.monotonic()
-    if args.slices > 1 or args.audit:
-        # Slice-parallel path: shards partitioned across processes, merged
-        # deterministically (repro.serve.slices).  --audit rides this path
-        # even with one slice so the live checkers run in a child kernel.
-        from repro.serve.slices import run_slice_bench
+    try:
+        if args.slices > 1 or args.audit:
+            # Slice-parallel path: shards partitioned across processes,
+            # merged deterministically (repro.serve.slices).  --audit
+            # rides this path even with one slice so the live checkers
+            # run in a child kernel.
+            from repro.serve.slices import run_slice_bench
 
-        if args.clients is not None:
-            raise SystemExit("--slices/--audit require the open loop (no --clients)")
-        if args.spans is not None:
-            raise SystemExit("--spans is unavailable with --slices/--audit "
-                             "(span records stay in the slice processes)")
-        result = run_slice_bench(
-            args.shards,
-            args.slices,
-            seconds=args.seconds,
-            backend=args.backend,
-            rate=args.rate,
-            policy=args.policy,
-            admission=args.admission,
-            queue_capacity=args.queue_capacity,
-            servers_per_shard=args.servers_per_shard,
-            budget=args.budget,
-            plan=args.plan,
-            fault_shard=args.fault_shard,
-            keydist=args.keydist,
-            seed=args.seed,
-            tenants=tenants,
-            contracts=contracts,
-            audit=args.audit,
-            jobs=args.jobs,
-            obs=obs_enabled,
-            obs_interval=args.obs_interval,
-            apps=app_mix,
-            trace_path=trace_file,
-        )
-    else:
-        result = run_serve_bench(
-            shards=args.shards,
-            seconds=args.seconds,
-            backend=args.backend,
-            rate=args.rate,
-            clients=args.clients,
-            requests_per_client=args.requests_per_client,
-            policy=args.policy,
-            admission=args.admission,
-            queue_capacity=args.queue_capacity,
-            servers_per_shard=args.servers_per_shard,
-            budget=args.budget,
-            plan=args.plan,
-            fault_shard=args.fault_shard,
-            keydist=args.keydist,
-            seed=args.seed,
-            tenants=tenants,
-            contracts=contracts,
-            span_sink=span_sink,
-            telemetry=False,
-            obs=obs_enabled,
-            obs_interval=args.obs_interval,
-            obs_on_window=obs_on_window,
-            apps=app_mix,
-            trace=trace,
-        )
+            if args.spans is not None:
+                raise SystemExit(
+                    "--spans is unavailable with --slices/--audit "
+                    "(span records stay in the slice processes)"
+                )
+            if spec.clients is not None:
+                raise SystemExit(
+                    "--slices/--audit require the open loop (no --clients)"
+                )
+            result = run_slice_bench(
+                spec,
+                audit=args.audit,
+                jobs=args.jobs,
+                contracts=contracts,
+            )
+        else:
+            result = run_bench(
+                spec,
+                telemetry=False,
+                contracts=contracts,
+                span_sink=span_sink,
+                obs_on_window=obs_on_window,
+                trace=trace,
+            )
+    except SpecError as exc:
+        raise SystemExit(str(exc))
     if console is not None and obs_on_window is None and "obs" in result:
         _replay_live_console(console, result["obs"])
     if console is not None:
@@ -855,9 +1004,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     elapsed = time.monotonic() - started
     totals = result["totals"]
     latency = totals["latency_us"]
+    plan_name = result["params"].get("plan")
     print(
-        f"serve bench: {args.shards} shard(s), backend {result['params']['backend']}"
-        + (f", plan '{args.plan}'" if args.plan else "")
+        f"serve bench: {result['params']['shards']} shard(s), "
+        f"backend {result['params']['backend']}"
+        + (f", plan '{plan_name}'" if plan_name else "")
     )
     print(
         f"  throughput {totals['throughput_rps']:.0f} rps over "
@@ -874,6 +1025,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"  worker budget: cap {budget['cap']}, in use {budget['in_use']}, "
             f"{budget['clipped']} grant(s) clipped"
+        )
+    if result.get("autoscale") is not None:
+        scale = result["autoscale"]
+        print(
+            f"  autoscale: {scale['windows']} window(s), "
+            f"{scale['spawns']} spawn(s), {scale['retires']} retire(s), "
+            f"{scale['forecast_shed']} forecast-shed, "
+            f"final {scale['final_shards']} shard(s) @ cap {scale['final_cap']}"
+        )
+    fleet = result.get("fleet")
+    if fleet is not None and fleet.get("cycles_per_request") is not None:
+        print(
+            f"  fleet: {fleet['provisioned_cycles']:,.0f} provisioned "
+            f"cycle(s), {fleet['cycles_per_request']:,.0f} per completed "
+            f"request"
         )
     if totals["quarantines"] or totals["dead"]:
         print(
@@ -1023,8 +1189,9 @@ def _cmd_evidence(args: argparse.Namespace) -> int:
 
     # evidence build: one command runs the bench (with telemetry + live
     # audit), evaluates contracts, and packs every artifact with hashes.
+    from repro.api import BenchSpec, ServeSpec, SpecError
     from repro.regress import attach_auditor
-    from repro.serve.bench import compare_to_baseline, load_baseline, run_serve_bench
+    from repro.serve.bench import compare_to_baseline, load_baseline, run_bench
     from repro.slo import (
         Verdict,
         build_evidence_pack,
@@ -1044,32 +1211,40 @@ def _cmd_evidence(args: argparse.Namespace) -> int:
             f"--obs-interval must be a positive cycle count "
             f"(got {args.obs_interval:g})"
         )
+    try:
+        spec = BenchSpec(
+            serve=ServeSpec(
+                shards=args.shards,
+                backend=args.backend,
+                policy=args.policy,
+                admission=args.admission,
+                queue_capacity=args.queue_capacity,
+                servers_per_shard=args.servers_per_shard,
+                budget=args.budget,
+                plan=args.plan,
+                fault_shard=args.fault_shard,
+                tenants=tuple(sorted(tenants.items())) if tenants else None,
+            ),
+            seconds=args.seconds,
+            rate=args.rate,
+            keydist=args.keydist,
+            seed=args.seed,
+            obs=obs_enabled,
+            obs_interval=args.obs_interval,
+        )
+    except SpecError as exc:
+        raise SystemExit(str(exc))
     span_sink: list = []
     auditors: list[Any] = []
     started = time.monotonic()
     with TelemetrySession(
         on_attach=lambda capture: auditors.append(attach_auditor(capture))
     ) as session:
-        result = run_serve_bench(
-            shards=args.shards,
-            seconds=args.seconds,
-            backend=args.backend,
-            rate=args.rate,
-            policy=args.policy,
-            admission=args.admission,
-            queue_capacity=args.queue_capacity,
-            servers_per_shard=args.servers_per_shard,
-            budget=args.budget,
-            plan=args.plan,
-            fault_shard=args.fault_shard,
-            keydist=args.keydist,
-            seed=args.seed,
-            tenants=tenants,
+        result = run_bench(
+            spec,
             contracts=contracts,
             span_sink=span_sink,
             telemetry=session,
-            obs=obs_enabled,
-            obs_interval=args.obs_interval,
         )
     freq_hz = session.captures[0].freq_hz if session.captures else 1e9
     for auditor in auditors:
@@ -1557,6 +1732,35 @@ def main(argv: list[str] | None = None) -> int:
             "--obs; plain lines when stdout is not a TTY)"
         ),
     )
+    serve_bench.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help=(
+            "load the full bench config from a serve-spec JSON file "
+            "(BenchSpec.to_json; replaces the topology/load flags)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "run the elastic control plane (repro.autoscale): spawn/retire "
+            "shards, retune the worker cap and gate admission per obs window"
+        ),
+    )
+    serve_bench.add_argument(
+        "--min-shards",
+        type=int,
+        default=1,
+        help="autoscale floor on the fleet size (default 1)",
+    )
+    serve_bench.add_argument(
+        "--max-shards",
+        type=int,
+        default=8,
+        help="autoscale ceiling on the fleet size (default 8)",
+    )
 
     scenarios_parser = sub.add_parser(
         "scenarios", help="trace-driven scenario library (list/gen/replay)"
@@ -1623,6 +1827,46 @@ def main(argv: list[str] | None = None) -> int:
         help="write a scenario-bench baseline snapshot for 'repro diff'",
     )
     scen_replay.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="relative drift the baseline gate tolerates (default 0.1)",
+    )
+
+    autoscale_parser = sub.add_parser(
+        "autoscale", help="elastic control-plane acceptance sweep"
+    )
+    autoscale_sub = autoscale_parser.add_subparsers(
+        dest="autoscale_cmd", required=True
+    )
+    autoscale_sweep = autoscale_sub.add_parser(
+        "sweep",
+        help="run autoscale vs the static grid on a committed trace and gate",
+    )
+    autoscale_sweep.add_argument(
+        "--scenario",
+        default="diurnal-kv",
+        help="catalog scenario to sweep (default diurnal-kv)",
+    )
+    autoscale_sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the full sweep artifact as JSON",
+    )
+    autoscale_sweep.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="FILE",
+        help="write a sweep baseline snapshot for 'repro diff'",
+    )
+    autoscale_sweep.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="gate the sweep against a committed sweep baseline",
+    )
+    autoscale_sweep.add_argument(
         "--threshold",
         type=float,
         default=0.1,
@@ -1735,6 +1979,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenarios(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "autoscale":
+        return _cmd_autoscale(args)
     if args.command == "evidence":
         return _cmd_evidence(args)
     if args.command == "baseline":

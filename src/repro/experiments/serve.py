@@ -18,8 +18,9 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.analysis.report import format_table
+from repro.api import BenchSpec, ServeSpec
 from repro.parallel import CellSpec, ResultCache, cell, run_cells
-from repro.serve.bench import run_serve_bench
+from repro.serve.bench import run_bench
 
 SHARD_COUNTS = (1, 2, 4)
 
@@ -63,11 +64,12 @@ def cells(
 def run_cell(spec: CellSpec) -> dict[str, Any]:
     """Execute one cell of the grid; returns the flattened row."""
     kw = spec.kwargs
-    result = run_serve_bench(
-        shards=kw["shards"],
-        seconds=kw["seconds"],
-        rate=kw["rate"],
-        budget=kw["budget"],
+    result = run_bench(
+        BenchSpec(
+            serve=ServeSpec(shards=kw["shards"], budget=kw["budget"]),
+            seconds=kw["seconds"],
+            rate=kw["rate"],
+        )
     )
     totals = result["totals"]
     return {

@@ -89,28 +89,32 @@ def load_obs_baseline(path: str) -> dict[str, Any]:
 def run_obs_scenario(params: dict[str, Any]) -> dict[str, Any]:
     """Re-run the serve scenario a snapshot's ``params`` describe."""
     # Local import: repro.serve.bench imports repro.obs for the sampler.
-    from repro.serve.bench import run_serve_bench
+    from repro.api import BenchSpec, ServeSpec
+    from repro.serve.bench import run_bench
 
-    return run_serve_bench(
-        shards=params.get("shards", 2),
+    tenants = params.get("tenants")
+    spec = BenchSpec(
+        serve=ServeSpec(
+            shards=params.get("shards", 2),
+            backend=params.get("backend", "zc"),
+            policy=params.get("policy", "hash"),
+            admission=params.get("admission", "shed"),
+            queue_capacity=params.get("queue_capacity", 64),
+            servers_per_shard=params.get("servers_per_shard", 2),
+            budget=params.get("budget"),
+            plan=params.get("plan"),
+            tenants=tuple(sorted(tenants.items())) if tenants else None,
+        ),
         seconds=params.get("seconds", 0.05),
-        backend=params.get("backend", "zc"),
         rate=params.get("rate", 2_000.0),
-        policy=params.get("policy", "hash"),
-        admission=params.get("admission", "shed"),
-        queue_capacity=params.get("queue_capacity", 64),
-        servers_per_shard=params.get("servers_per_shard", 2),
-        budget=params.get("budget"),
-        plan=params.get("plan"),
         keydist=params.get("keydist", "uniform"),
         keyspace=params.get("keyspace", 256),
         set_fraction=params.get("set_fraction", 1.0 / 3.0),
         seed=params.get("seed", 0),
-        tenants=params.get("tenants"),
-        telemetry=False,
         obs=True,
         obs_interval=params.get("obs_interval"),
     )
+    return run_bench(spec, telemetry=False)
 
 
 def _anomaly_key(anomaly: dict[str, Any]) -> tuple[Any, ...]:

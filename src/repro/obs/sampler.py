@@ -131,6 +131,9 @@ class MetricSampler:
         self.shards = sorted(shards, key=lambda shard: shard.index)
         self.detector = detector
         self.on_window = on_window
+        #: Extra ``(index, records, anomalies)`` subscribers (autoscale
+        #: control loop etc.), invoked after :attr:`on_window`.
+        self._window_hooks: list[Callable[[int, list, list], None]] = []
         self.t0: float | None = None
         self.horizon: float | None = None
         #: Formatted ``serve.window`` records, bounded ring.
@@ -259,6 +262,16 @@ class MetricSampler:
                     bus.emit("obs.anomaly", **anomaly)
         if self.on_window is not None:
             self.on_window(index, records, fresh)
+        for hook in self._window_hooks:
+            hook(index, records, fresh)
+
+    def add_on_window(self, hook: Callable[[int, list, list], None]) -> None:
+        """Subscribe an extra per-window callback (multi-consumer hook).
+
+        Runs after :attr:`on_window` with the same ``(index, records,
+        anomalies)`` arguments; subscription order is invocation order.
+        """
+        self._window_hooks.append(hook)
 
     # ------------------------------------------------------------------
     # Event accounting

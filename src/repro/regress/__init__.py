@@ -30,6 +30,7 @@ from repro.regress.audit import (
     QuarantineRoutingChecker,
     RecoveryChecker,
     RouterConservationChecker,
+    ScalingSanityChecker,
     SpanConservationChecker,
     Violation,
     attach_auditor,
@@ -52,6 +53,7 @@ __all__ = [
     "QuarantineRoutingChecker",
     "RecoveryChecker",
     "RouterConservationChecker",
+    "ScalingSanityChecker",
     "SpanConservationChecker",
     "Violation",
     "attach_auditor",

@@ -34,6 +34,12 @@ asserts one paper-level invariant:
   exactly one ``serve.request.span`` per request id, boundaries stamped
   in monotonic order, and every boundary present on ok requests (the
   property that makes :mod:`repro.slo.trace` span trees sum exactly).
+- :class:`ScalingSanityChecker` — the :mod:`repro.autoscale` control
+  plane's contract: no ``autoscale.spawn`` while any shard is
+  quarantined, no routing to (or re-adding of) a retired shard, and
+  every request drained by ``serve.shard.retire`` conserved — it must
+  re-surface as a submit or a shed.  Vacuously green on runs without
+  ``autoscale.*``/``serve.shard.retire`` events.
 
 Checkers run in two modes: *live*, subscribed to a cell's
 :class:`~repro.telemetry.events.EventBus` via :func:`attach_auditor`
@@ -521,6 +527,95 @@ class SpanConservationChecker(Checker):
             )
 
 
+class ScalingSanityChecker(Checker):
+    """Autoscale layer: scaling actions are sane and conserve requests.
+
+    Three invariants over the ``autoscale.*`` / ``serve.shard.*`` event
+    streams:
+
+    1. **No scale-up under quarantine** — an ``autoscale.spawn`` while
+       any shard sits in quarantine is a violation: the quarantined
+       capacity may be re-admitted any moment, and the controller
+       promises to suppress spawns until the episode resolves.
+    2. **Retirement is terminal** — a ``serve.request.submit`` naming a
+       retired shard, or a ``serve.shard.add`` re-using a retired
+       index, would mean the router kept feeding an enclave the
+       autoscaler already tore down.
+    3. **Re-homing conservation** — every request id listed in a
+       ``serve.shard.retire`` event's ``drained_request_ids`` must
+       re-surface as exactly a submit (re-homed onto a surviving shard)
+       or a shed; :meth:`finish` flags any id that simply vanished.
+
+    Vacuously green on runs that never scale.
+    """
+
+    name = "scaling-sanity"
+
+    def __init__(self) -> None:
+        self._quarantined: set[int] = set()
+        self._retired: set[int] = set()
+        self._pending_rehome: set[Any] = set()
+        self._last_t = 0.0
+
+    def on_event(self, event: TelemetryEvent, auditor: "InvariantAuditor") -> None:
+        fields = event.fields
+        if event.name == "serve.shard.quarantine":
+            self._quarantined.add(fields.get("shard"))
+        elif event.name in ("serve.shard.readmit", "serve.shard.dead"):
+            self._quarantined.discard(fields.get("shard"))
+        elif event.name == "autoscale.spawn":
+            self._last_t = event.t_cycles
+            if self._quarantined:
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"shard {fields.get('shard')} spawned while shard(s) "
+                    f"{sorted(self._quarantined)} are quarantined",
+                )
+        elif event.name == "serve.shard.retire":
+            self._last_t = event.t_cycles
+            shard = fields.get("shard")
+            if shard in self._retired:
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"shard {shard} retired twice",
+                )
+            self._retired.add(shard)
+            self._pending_rehome.update(fields.get("drained_request_ids", ()))
+        elif event.name == "serve.shard.add":
+            shard = fields.get("shard")
+            if shard in self._retired:
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"retired shard {shard} re-added to the routing set",
+                )
+        elif event.name == "serve.request.submit":
+            shard = fields.get("shard")
+            if shard in self._retired:
+                auditor.report(
+                    self.name,
+                    event.t_cycles,
+                    f"request {fields.get('request_id')} enqueued on shard "
+                    f"{shard} after its retirement",
+                )
+            self._pending_rehome.discard(fields.get("request_id"))
+        elif event.name == "serve.request.shed":
+            self._pending_rehome.discard(fields.get("request_id"))
+
+    def finish(self, auditor: "InvariantAuditor", snapshot: "LedgerSnapshot | None") -> None:
+        if self._pending_rehome:
+            lost = sorted(str(rid) for rid in self._pending_rehome)
+            auditor.report(
+                self.name,
+                self._last_t,
+                f"{len(lost)} drained request(s) never re-homed or shed "
+                f"after shard retirement: {lost[:5]}"
+                + ("…" if len(lost) > 5 else ""),
+            )
+
+
 class ObsAnomalyChecker(Checker):
     """Observability: surface ``obs.anomaly`` events as diagnostics.
 
@@ -558,6 +653,7 @@ def default_checkers() -> list[Checker]:
         RouterConservationChecker(),
         QuarantineRoutingChecker(),
         SpanConservationChecker(),
+        ScalingSanityChecker(),
         ObsAnomalyChecker(),
     ]
 

@@ -118,6 +118,57 @@ class TraceReplayer:
 # ----------------------------------------------------------------------
 # High-level replay + the baseline gate
 # ----------------------------------------------------------------------
+def replay_spec(
+    name: str,
+    *,
+    root: str = ".",
+    trace_file: str | None = None,
+    slices: int = 1,
+    obs: bool = False,
+    **overrides: Any,
+) -> "Any":
+    """The :class:`repro.api.BenchSpec` describing a catalog replay.
+
+    Starts from the catalog's default cluster (:data:`REPLAY_DEFAULTS`),
+    applies keyword ``overrides`` (any :class:`~repro.api.ServeSpec` or
+    :class:`~repro.api.BenchSpec` field), and points the spec at the
+    committed trace (``scenario=name``) or an explicit ``trace_file``.
+    Unknown override names raise :class:`repro.api.SpecError` — one
+    validation path for every replay entry point.
+    """
+    import dataclasses as _dc
+
+    from repro.api import AutoscaleSpec, BenchSpec, ServeSpec, SpecError
+
+    get_scenario(name)  # validate the name early, with the clean error
+    serve_fields = {field.name for field in _dc.fields(ServeSpec)}
+    bench_fields = {
+        field.name for field in _dc.fields(BenchSpec)
+    } - {"serve", "scenario", "trace", "slices", "obs"}
+    kwargs: dict[str, Any] = {**REPLAY_DEFAULTS, **overrides}
+    serve_kwargs = {k: v for k, v in kwargs.items() if k in serve_fields}
+    bench_kwargs = {k: v for k, v in kwargs.items() if k in bench_fields}
+    unknown = sorted(set(kwargs) - serve_fields - bench_fields)
+    if unknown:
+        raise SpecError(
+            f"unknown replay override(s) {unknown}; valid names are "
+            "ServeSpec/BenchSpec fields"
+        )
+    autoscale = serve_kwargs.get("autoscale")
+    if isinstance(autoscale, dict):
+        serve_kwargs["autoscale"] = AutoscaleSpec(**autoscale)
+    if isinstance(serve_kwargs.get("tenants"), dict):
+        serve_kwargs["tenants"] = tuple(sorted(serve_kwargs["tenants"].items()))
+    return BenchSpec(
+        serve=ServeSpec(**serve_kwargs),
+        scenario=None if trace_file is not None else name,
+        trace=trace_file,
+        slices=slices,
+        obs=obs,
+        **bench_kwargs,
+    )
+
+
 def replay_scenario(
     name: str,
     *,
@@ -131,25 +182,27 @@ def replay_scenario(
 ) -> dict[str, Any]:
     """Replay catalog scenario ``name`` and return the stamped artifact.
 
-    Loads the committed trace (or ``trace_file`` when given), replays it
-    on the catalog's default cluster (:data:`REPLAY_DEFAULTS`, overridable
-    via keyword arguments), single-process by default or slice-parallel
-    with ``slices > 1`` (``audit=True`` additionally runs the unsliced
-    control and cross-checks shard-for-shard equivalence).
+    Builds the declarative :func:`replay_spec` (committed trace or
+    ``trace_file``, catalog defaults plus keyword ``overrides``) and
+    hands it to :func:`repro.serve.bench.run_bench` — single-process by
+    default or slice-parallel with ``slices > 1``.
     """
-    from repro.serve.bench import run_serve_bench
+    from repro.serve.bench import run_bench
 
-    get_scenario(name)  # validate the name early, with the clean error
-    path = trace_file if trace_file is not None else trace_path(name, root)
-    kwargs: dict[str, Any] = {**REPLAY_DEFAULTS, **overrides}
-    if slices > 1:
-        from repro.serve.slices import run_slice_bench
-
-        return run_slice_bench(
-            slices=slices, audit=audit, trace_path=path, **kwargs
-        )
-    trace = load_trace(path)
-    return run_serve_bench(trace=trace, obs=obs, raw_sink=raw_sink, **kwargs)
+    spec = replay_spec(
+        name,
+        root=root,
+        trace_file=trace_file,
+        slices=slices,
+        obs=obs,
+        **overrides,
+    )
+    return run_bench(
+        spec,
+        root=root,
+        audit=audit,
+        raw_sink=raw_sink if slices == 1 else None,
+    )
 
 
 def scenario_snapshot(result: dict[str, Any]) -> dict[str, Any]:
@@ -164,6 +217,10 @@ def scenario_snapshot(result: dict[str, Any]) -> dict[str, Any]:
     totals = result["totals"]
     return {
         "meta": stamp(SCENARIO_ARTIFACT),
+        # The full declarative serve config (schema-stamped), so the
+        # baseline records exactly what to re-run — not just the few
+        # shape parameters the gate compares.
+        "spec": result.get("spec"),
         "params": {
             key: params.get(key)
             for key in (
@@ -299,6 +356,14 @@ def run_scenario_from_baseline(
             f"baseline's ({str(params.get('trace_digest'))[:12]}…) — "
             "regenerate the baseline or restore the committed trace"
         )
+    spec_json = baseline.get("spec")
+    if spec_json is not None:
+        # Post-spec baselines carry the full declarative config: re-run
+        # exactly that, no field-by-field reconstruction.
+        from repro.api import BenchSpec
+        from repro.serve.bench import run_bench
+
+        return run_bench(BenchSpec.from_json(spec_json), root=root)
     overrides = {
         key: params[key]
         for key in (

@@ -25,8 +25,11 @@ one request stream on a shared machine?
   generation over the seeded key distributions, optionally tagged with a
   weighted tenant mix.
 - :mod:`repro.serve.bench` — the ``repro serve bench`` entry point:
-  builds a cluster, drives it, and emits a stamped result artifact with
-  per-tenant counters and (with contracts) SLO verdicts.
+  takes a declarative :class:`repro.api.BenchSpec`/:class:`repro.api
+  .ServeSpec` (``Runtime.serve(spec)``), builds a cluster, drives it,
+  and emits a stamped result artifact with per-tenant counters and
+  (with contracts) SLO verdicts.  The elastic control plane over it
+  lives in :mod:`repro.autoscale`.
 """
 
 from repro.serve.apps import (
@@ -36,7 +39,13 @@ from repro.serve.apps import (
     SessionServedApp,
     make_apps,
 )
-from repro.serve.bench import ServeCluster, build_serve, run_serve_bench
+from repro.serve.bench import (
+    ServeCluster,
+    build_cluster,
+    build_serve,
+    run_bench,
+    run_serve_bench,
+)
 from repro.serve.budget import WorkerBudgetArbiter
 from repro.serve.loadgen import KEYDIST_CHOICES, LoadGenerator, LoadSpec
 from repro.serve.router import (
@@ -65,7 +74,9 @@ __all__ = [
     "SessionServedApp",
     "TenantStats",
     "WorkerBudgetArbiter",
+    "build_cluster",
     "build_serve",
     "make_apps",
+    "run_bench",
     "run_serve_bench",
 ]

@@ -1,24 +1,35 @@
 """The ``repro serve bench`` entry point.
 
 Builds a sharded cluster on one shared kernel, drives it with a
-:class:`repro.serve.loadgen.LoadGenerator`, and folds the result into a
-stamped ``serve-bench`` artifact (written as ``BENCH_serve.json`` by the
-CLI) that the regression sentinel can gate against a committed baseline.
+:class:`repro.serve.loadgen.LoadGenerator` (or a committed trace
+replay), and folds the result into a stamped ``serve-bench`` artifact
+(written as ``BENCH_serve.json`` by the CLI) that the regression
+sentinel can gate against a committed baseline.
 
-Everything here is deterministic per seed: same parameters → identical
+The declarative surface is a :class:`repro.api.BenchSpec`:
+:func:`run_bench` takes the spec plus runner plumbing (sinks, slice
+hooks, a telemetry session) and nothing else.  :func:`build_cluster`
+does the same for a bare cluster from a :class:`repro.api.ServeSpec`.
+The historical keyword entry points (:func:`build_serve`,
+:func:`run_serve_bench`) survive as DeprecationWarning shims that
+construct the equivalent spec.
+
+Everything here is deterministic per seed: same spec → identical
 artifact, which is what lets CI compare against
 ``baselines/serve-quick.json`` with a tight threshold.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 import os
-from dataclasses import dataclass
-from typing import Any
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
-from repro.api import Runtime, ZcConfig, normalize_backend
+from repro.api import BenchSpec, Runtime, ServeSpec, SpecError, ZcConfig
 from repro.faults import FaultInjector, FaultPlan, active_fault_plan, get_plan
 from repro.serve.budget import WorkerBudgetArbiter
 from repro.serve.loadgen import LoadGenerator, LoadSpec
@@ -45,7 +56,27 @@ class ServeCluster:
     arbiter: WorkerBudgetArbiter | None = None
     capture: CellCapture | None = None
     injector: FaultInjector | None = None
+    #: The spec this cluster was built from (None for hand-wired ones).
+    spec: ServeSpec | None = None
+    #: Fleet ledger: one entry per shard ever provisioned, carrying its
+    #: lifetime and modeled enclave-lifecycle cost.  The bench's fleet
+    #: accounting (cycles-per-request) integrates over it.
+    lifecycle: list[dict[str, Any]] = field(default_factory=list)
+    _shard_factory: Callable[[int], EnclaveShard] | None = None
     _closed: bool = False
+
+    def new_shard(self, index: int) -> EnclaveShard:
+        """Create (but do not start or route) one more shard.
+
+        The autoscaler's spawn path: the shard shares the cluster kernel,
+        arbiter and app set, but the caller owns bring-up — run
+        :meth:`EnclaveShard.start_program` on a kernel thread, charge
+        :func:`repro.sgx.lifecycle.create_enclave`, then
+        :meth:`repro.serve.router.Router.add_shard`.
+        """
+        if self._shard_factory is None:
+            raise RuntimeError("cluster was not built from a spec")
+        return self._shard_factory(index)
 
     def close(self) -> None:
         """Tear the cluster down in ledger order.  Idempotent."""
@@ -68,58 +99,48 @@ class ServeCluster:
         self.close()
 
 
-def build_serve(
-    shards: int = 2,
-    backend: str = "zc",
+def build_cluster(
+    spec: ServeSpec,
     *,
     machine: MachineSpec | None = None,
-    policy: str = "hash",
-    admission: str = "shed",
-    queue_capacity: int = 64,
-    servers_per_shard: int = 2,
-    budget: int | None = None,
-    plan: FaultPlan | str | None = None,
-    fault_shard: int = 0,
-    tenant_weights: dict[str, float] | None = None,
     telemetry: TelemetrySession | bool | None = None,
     shard_ids: tuple[int, ...] | None = None,
-    apps: tuple[str, ...] | None = None,
+    plan: FaultPlan | str | None = None,
 ) -> ServeCluster:
-    """Wire a serving cluster: N enclave shards on one shared kernel.
+    """Wire the serving cluster a :class:`repro.api.ServeSpec` describes.
 
     Each shard is a full :class:`repro.api.Runtime` (own filesystem, own
     enclave, own backend worker pool) attached to the shared kernel.
-    With ``budget`` set, a :class:`WorkerBudgetArbiter` caps the fleet's
-    aggregate switchless workers.  A fault ``plan`` attaches its injector
-    to shard ``fault_shard``'s enclave (one injector per kernel).
+    With ``spec.budget`` set — or autoscaling on — a
+    :class:`WorkerBudgetArbiter` caps the fleet's aggregate switchless
+    workers.  A fault plan (``plan`` argument, else ``spec.plan``, else
+    the ambient plan) attaches its injector to shard
+    ``spec.fault_shard``'s enclave (one injector per kernel).
 
     ``shard_ids`` instantiates a *subset* of a larger cluster while
     keeping global shard indices (labels, rendezvous scores, per-shard
     stats) — the slice-parallel runner (:mod:`repro.serve.slices`) builds
-    one such cluster per process.  ``shards`` stays the global count; a
-    ``fault_shard`` outside the subset is simply not attached here (its
-    owning slice attaches it).
-
-    ``apps`` names the served apps every shard hosts, in order (see
-    :data:`repro.serve.apps.APP_CHOICES`); the first name is the default
-    and probe app.  None keeps the classic single-app KV shard.
+    one such cluster per process.  ``spec.shards`` stays the global
+    count; a ``fault_shard`` outside the subset is simply not attached
+    here (its owning slice attaches it).
     """
-    from repro.serve.apps import make_apps, validate_app_names
+    from repro.serve.apps import make_apps
 
-    app_names = validate_app_names(tuple(apps)) if apps is not None else None
-    if shards < 1:
-        raise ValueError("shards must be >= 1")
+    if not isinstance(spec, ServeSpec):
+        raise SpecError(f"build_cluster takes a ServeSpec, got {type(spec).__name__}")
+    app_names = spec.app_names()
+    shards = spec.shards
     if shard_ids is None:
         shard_ids = tuple(range(shards))
     else:
         shard_ids = tuple(shard_ids)
         if not shard_ids:
-            raise ValueError("shard_ids must name at least one shard")
+            raise SpecError("shard_ids must name at least one shard")
         if len(set(shard_ids)) != len(shard_ids):
-            raise ValueError("shard_ids must be unique")
+            raise SpecError("shard_ids must be unique")
         if any(not 0 <= index < shards for index in shard_ids):
-            raise ValueError(f"shard_ids {shard_ids} out of range for {shards} shards")
-    kind = normalize_backend(backend)
+            raise SpecError(f"shard_ids {shard_ids} out of range for {shards} shards")
+    kind = spec.backend
     kernel = Kernel(machine if machine is not None else server_machine())
 
     if telemetry is None or telemetry is True:
@@ -134,9 +155,16 @@ def build_serve(
         else None
     )
 
-    arbiter = WorkerBudgetArbiter(budget) if budget is not None else None
-    shard_objs: list[EnclaveShard] = []
-    for index in shard_ids:
+    if spec.budget is not None:
+        arbiter = WorkerBudgetArbiter(spec.budget)
+    elif spec.autoscale is not None:
+        # Autoscaling retunes the cap per control window; seed it at the
+        # widest candidate fleet so bring-up is not budget-starved.
+        arbiter = WorkerBudgetArbiter(shards * spec.autoscale.worker_options[-1])
+    else:
+        arbiter = None
+
+    def make_shard(index: int) -> EnclaveShard:
         config = ZcConfig(quantum_seconds=SERVE_QUANTUM_S) if kind == "zc" else None
         runtime = Runtime.create(
             backend=kind,
@@ -148,45 +176,43 @@ def build_serve(
             label=f"shard-{index}",
             name=f"shard-{index}",
         )
-        shard_objs.append(
-            EnclaveShard(
-                index,
-                runtime,
-                queue_capacity=queue_capacity,
-                servers=servers_per_shard,
-                apps=(
-                    make_apps(app_names, runtime)
-                    if app_names is not None
-                    else None
-                ),
-            )
+        return EnclaveShard(
+            index,
+            runtime,
+            queue_capacity=spec.queue_capacity,
+            servers=spec.servers_per_shard,
+            apps=make_apps(app_names, runtime) if app_names is not None else None,
+            batch=spec.batch,
+            dispatch_cycles=spec.dispatch_cycles,
         )
+
+    shard_objs = [make_shard(index) for index in shard_ids]
 
     router = Router(
         kernel,
         shard_objs,
-        policy=policy,
-        admission=admission,
-        tenant_weights=tenant_weights,
+        policy=spec.policy,
+        admission=spec.admission,
+        tenant_weights=spec.tenant_weights(),
     )
 
     resolved_plan: FaultPlan | None
     if plan is None:
-        resolved_plan = active_fault_plan()
+        resolved_plan = (
+            get_plan(spec.plan) if spec.plan is not None else active_fault_plan()
+        )
     elif isinstance(plan, str):
         resolved_plan = get_plan(plan)
     else:
         resolved_plan = plan
     injector = None
     if resolved_plan is not None:
-        if not 0 <= fault_shard < shards:
-            raise ValueError(f"fault_shard {fault_shard} out of range")
         # Lookup by global index, not list position: a subset cluster's
         # list positions do not match shard indices.
         by_index = {shard.index: shard for shard in shard_objs}
-        if fault_shard in by_index:
+        if spec.fault_shard in by_index:
             injector = FaultInjector(resolved_plan).attach(
-                kernel, by_index[fault_shard].enclave
+                kernel, by_index[spec.fault_shard].enclave
             )
 
     for shard in shard_objs:
@@ -194,96 +220,110 @@ def build_serve(
 
     return ServeCluster(
         kernel=kernel,
-        shards=shard_objs,
+        # The cluster's list is the ownership ledger (close() must reach
+        # every shard ever provisioned); the router's copy is the live
+        # routing set.  They MUST be distinct lists: the autoscaler
+        # appends a spawned shard to the cluster immediately but routes
+        # it only after bring-up, via Router.add_shard.
+        shards=list(shard_objs),
         router=router,
         arbiter=arbiter,
         capture=capture,
         injector=injector,
+        spec=spec,
+        # Initial shards are the provisioning floor both static and
+        # autoscaled runs pay; only *dynamic* spawns charge the enclave
+        # creation model (the autoscaler stamps those entries itself).
+        lifecycle=[
+            {
+                "shard": shard.index,
+                "servers": shard.n_servers,
+                "spawned_at": 0.0,
+                "retired_at": None,
+                "creation_cycles": 0.0,
+                "destruction_cycles": 0.0,
+            }
+            for shard in shard_objs
+        ],
+        _shard_factory=make_shard,
     )
 
 
-def run_serve_bench(
-    shards: int = 2,
-    seconds: float = 2.0,
-    backend: str = "zc",
+def run_bench(
+    spec: BenchSpec,
     *,
-    rate: float | None = 2_000.0,
-    clients: int | None = None,
-    requests_per_client: int | None = None,
-    policy: str = "hash",
-    admission: str = "shed",
-    queue_capacity: int = 64,
-    servers_per_shard: int = 2,
-    budget: int | None = None,
-    plan: FaultPlan | str | None = None,
-    fault_shard: int = 0,
-    keydist: str = "uniform",
-    keyspace: int = 256,
-    set_fraction: float = 1.0 / 3.0,
-    seed: int = 0,
-    tenants: dict[str, float] | None = None,
-    contracts: list | None = None,
-    span_sink: list | None = None,
     machine: MachineSpec | None = None,
     telemetry: TelemetrySession | bool | None = None,
+    root: str = ".",
+    audit: bool = False,
+    plan: FaultPlan | str | None = None,
+    contracts: list | None = None,
+    trace: Any = None,
+    span_sink: list | None = None,
     shard_ids: tuple[int, ...] | None = None,
     admit: Any = None,
     raw_sink: dict[str, Any] | None = None,
-    obs: bool = False,
-    obs_interval: float | None = None,
     obs_on_window: Any = None,
-    apps: tuple[tuple[str, float], ...] | None = None,
-    trace: Any = None,
 ) -> dict[str, Any]:
-    """Run one serving benchmark; returns the stamped result artifact.
+    """Run the benchmark a :class:`repro.api.BenchSpec` describes.
 
-    ``shard_ids``/``admit``/``raw_sink`` serve the slice-parallel runner
-    (:mod:`repro.serve.slices`): instantiate only the named global shard
-    indices, gate open-loop arrivals through the ``admit`` predicate, and
-    export raw latency samples (cycles) for a cross-slice percentile
-    merge.  Regular callers leave all three at their defaults.
+    Everything *declarative* — topology, load shape, windows, slices,
+    scenario — lives in the spec; the keyword arguments are runner
+    plumbing:
 
-    ``rate`` selects the open loop (Poisson arrivals for ``seconds`` of
-    simulated time); passing ``clients`` switches to the closed loop
-    (``clients`` threads bounded by ``requests_per_client`` and/or
-    ``seconds``).  Keep the offered request count in the thousands: a KV
-    request costs ~4 µs simulated, so an unbounded closed loop over
-    whole simulated seconds means millions of requests of host work.
+    - ``root`` resolves ``spec.scenario`` against the repo's committed
+      trace directory; ``trace`` (a
+      :class:`repro.scenarios.ScenarioTrace` or path) overrides the
+      spec's trace selection with an already-loaded one.
+    - ``plan`` overrides ``spec.plan`` with a live
+      :class:`repro.faults.FaultPlan` (or name); ``contracts`` overrides
+      ``spec.contracts`` with loaded contract objects.
+    - ``shard_ids``/``admit``/``raw_sink`` serve the slice-parallel
+      runner (:mod:`repro.serve.slices`): instantiate only the named
+      global shard indices, gate open-loop arrivals through the
+      ``admit`` predicate, and export raw latency samples (cycles) for a
+      cross-slice percentile merge.
+    - ``span_sink``, when a list, receives every completed request's
+      span record; ``obs_on_window`` is handed to the sampler (the live
+      console hook).
 
-    ``tenants`` (name → weight) tags the load with a weighted tenant mix
-    and switches the router to weighted-fair shedding; the artifact then
-    grows a ``per_tenant`` section.  ``contracts``
-    (:class:`repro.slo.contract.SloContract` list) evaluates per-tenant
-    SLOs into the artifact's ``slo`` section.  ``span_sink``, when a
-    list, receives every completed request's span record.
-
-    ``obs=True`` attaches a :class:`repro.obs.MetricSampler` for the
-    run: fixed windows of ``obs_interval`` simulated cycles (default:
-    the run duration split into ``repro.obs.sampler.DEFAULT_WINDOWS``)
-    land in the artifact's ``obs`` section together with the online
-    anomaly verdicts, and the kernel is driven to the exact window
-    horizon after the load drains — so every window closes on its grid
-    boundary regardless of when the last request completed, which is
-    what makes sliced and unsliced window streams identical.
-    ``obs_on_window`` is handed to the sampler (the live console hook).
-
-    ``apps`` is a weighted served-app mix as ``(name, weight)`` pairs:
-    every named app is installed on every shard and synthetic load draws
-    each request's target app with the given weights (a single pair just
-    installs that app without consuming RNG).  ``trace`` — a
-    :class:`repro.scenarios.ScenarioTrace` or a path to one — replaces
-    the synthetic load generator with the trace replay engine: the run
-    spans the trace's declared duration, installs the trace's app set
-    (or ``apps`` if given, which must cover it) and issues exactly the
-    trace's timestamped, tenant- and app-tagged arrivals.
+    With ``spec.slices > 1`` the run fans out to the slice-parallel
+    runner and returns its merged artifact.  With
+    ``spec.serve.autoscale`` set, the elastic control plane
+    (:mod:`repro.autoscale`) runs on the obs window stream — spawning
+    and retiring shards, retuning the worker-budget cap, and gating
+    admission on the per-lane arrival forecast — and the artifact grows
+    ``autoscale`` and window-driven ``fleet`` sections.
     """
+    if not isinstance(spec, BenchSpec):
+        raise SpecError(f"run_bench takes a BenchSpec, got {type(spec).__name__}")
+    if spec.slices > 1:
+        if shard_ids is not None or admit is not None:
+            raise SpecError("slice plumbing (shard_ids/admit) is per-cell only")
+        from repro.serve.slices import run_slice_bench
+
+        return run_slice_bench(spec, root=root, audit=audit)
+
+    serve = spec.serve
     if plan is None:
-        resolved_plan = active_fault_plan()
+        resolved_plan = (
+            get_plan(serve.plan) if serve.plan is not None else active_fault_plan()
+        )
     elif isinstance(plan, str):
         resolved_plan = get_plan(plan)
     else:
         resolved_plan = plan
-    app_mix = tuple(apps) if apps is not None else None
+
+    if trace is None and spec.scenario is not None:
+        from repro.scenarios.catalog import trace_path
+
+        trace = trace_path(spec.scenario, root)
+    elif trace is None and spec.trace is not None:
+        trace = spec.trace
+
+    app_mix = serve.apps
+    tenants = serve.tenant_weights()
+    seconds = spec.seconds
     if trace is not None:
         from repro.scenarios.trace import ScenarioTrace, load_trace
 
@@ -297,34 +337,36 @@ def run_serve_bench(
             installed_apps = tuple(name for name, _ in app_mix)
             missing = [a for a in trace.apps if a not in installed_apps]
             if missing:
-                raise ValueError(
+                raise SpecError(
                     f"trace {trace.name!r} addresses apps {missing} not in "
                     f"the installed app set {list(installed_apps)}"
                 )
-        if clients is not None:
-            raise ValueError("trace replay is open-loop; drop clients=")
+        if spec.clients is not None:
+            raise SpecError("trace replay is open-loop; drop clients")
         # The trace owns the timeline: arrivals stop at its declared
         # duration, and the obs window grid spans exactly that.
         seconds = trace.duration_s
-    elif app_mix is not None:
-        installed_apps = tuple(name for name, _ in app_mix)
     else:
-        installed_apps = None
-    cluster = build_serve(
-        shards=shards,
-        backend=backend,
+        installed_apps = serve.app_names()
+
+    overrides: dict[str, Any] = {}
+    if serve.apps is None and installed_apps is not None:
+        # A trace's app set installs on every shard without becoming a
+        # synthetic load mix.
+        overrides["apps"] = tuple((name, 1.0) for name in installed_apps)
+    if serve.tenants is None and tenants:
+        # Trace-declared tenant weights switch the router to
+        # weighted-fair shedding, exactly as spec-declared ones do.
+        overrides["tenants"] = tuple(sorted(tenants.items()))
+    build_spec = (
+        dataclasses.replace(serve, **overrides) if overrides else serve
+    )
+    cluster = build_cluster(
+        build_spec,
         machine=machine,
-        policy=policy,
-        admission=admission,
-        queue_capacity=queue_capacity,
-        servers_per_shard=servers_per_shard,
-        budget=budget,
-        plan=resolved_plan,
-        fault_shard=fault_shard,
-        tenant_weights=dict(tenants) if tenants else None,
         telemetry=telemetry,
         shard_ids=shard_ids,
-        apps=installed_apps,
+        plan=resolved_plan,
     )
     kernel = cluster.kernel
     # Sorted pairs: dict order is insertion order, and the artifact (and
@@ -337,49 +379,49 @@ def run_serve_bench(
     if trace is not None:
         from repro.scenarios.replay import TraceReplayer
 
-        generator: Any = TraceReplayer(
-            kernel, cluster.router, trace, admit=admit
-        )
-    elif clients is not None:
-        spec = LoadSpec(
-            clients=clients,
-            requests_per_client=requests_per_client,
+        generator: Any = TraceReplayer(kernel, cluster.router, trace, admit=admit)
+    elif spec.clients is not None:
+        load = LoadSpec(
+            clients=spec.clients,
+            requests_per_client=spec.requests_per_client,
             duration_s=seconds,
-            keydist=keydist,
-            keyspace=keyspace,
-            set_fraction=set_fraction,
-            seed=seed,
+            keydist=spec.keydist,
+            keyspace=spec.keyspace,
+            set_fraction=spec.set_fraction,
+            seed=spec.seed,
             tenants=tenant_mix,
             apps=load_mix,
         )
-        generator = LoadGenerator(kernel, cluster.router, spec, admit=admit)
+        generator = LoadGenerator(kernel, cluster.router, load, admit=admit)
     else:
-        spec = LoadSpec(
-            rate_rps=rate if rate is not None else 2_000.0,
+        load = LoadSpec(
+            rate_rps=spec.rate if spec.rate is not None else 2_000.0,
             duration_s=seconds,
-            keydist=keydist,
-            keyspace=keyspace,
-            set_fraction=set_fraction,
-            seed=seed,
+            keydist=spec.keydist,
+            keyspace=spec.keyspace,
+            set_fraction=spec.set_fraction,
+            seed=spec.seed,
             tenants=tenant_mix,
             apps=load_mix,
         )
-        generator = LoadGenerator(kernel, cluster.router, spec, admit=admit)
+        generator = LoadGenerator(kernel, cluster.router, load, admit=admit)
     start = kernel.now
     sampler = None
     detector = None
-    if obs:
+    controller = None
+    autoscale = serve.autoscale
+    if spec.obs or autoscale is not None:
         from repro.obs import AnomalyDetector, MetricSampler
         from repro.obs.sampler import DEFAULT_WINDOWS
 
         duration_cycles = kernel.cycles(seconds)
         interval = (
-            float(obs_interval)
-            if obs_interval is not None
+            float(spec.obs_interval)
+            if spec.obs_interval is not None
             else duration_cycles / DEFAULT_WINDOWS
         )
         if interval <= 0:
-            raise ValueError("obs_interval must be a positive cycle count")
+            raise SpecError("obs_interval must be a positive cycle count")
         # Round-up grid: the last window may extend past the load
         # deadline (arrivals stop strictly before it either way).
         n_windows = max(1, math.ceil(duration_cycles / interval - 1e-9))
@@ -392,6 +434,11 @@ def run_serve_bench(
             detector=detector,
             on_window=obs_on_window,
         ).install()
+    if autoscale is not None:
+        from repro.autoscale.controller import AutoscaleController
+
+        controller = AutoscaleController(cluster, autoscale, sampler)
+        controller.install()
     generator.run()
     end_of_load = kernel.now
     if sampler is not None:
@@ -405,9 +452,7 @@ def run_serve_bench(
             def _hold_until_horizon() -> Any:
                 yield Sleep(sampler.horizon - kernel.now)
 
-            kernel.join(
-                kernel.spawn(_hold_until_horizon(), name="obs-horizon")
-            )
+            kernel.join(kernel.spawn(_hold_until_horizon(), name="obs-horizon"))
         sampler.detach()
     elapsed_s = kernel.seconds(end_of_load - start)
     router = cluster.router
@@ -443,21 +488,26 @@ def run_serve_bench(
     }
     result: dict[str, Any] = {
         "meta": stamp("serve-bench"),
+        "spec": spec.to_json(),
         "params": {
-            "shards": shards,
-            "backend": normalize_backend(backend),
+            "shards": serve.shards,
+            "backend": serve.backend,
             "seconds": seconds,
-            "rate": None if clients is not None else (rate or 2_000.0),
-            "clients": clients,
-            "policy": policy,
-            "admission": admission,
-            "queue_capacity": queue_capacity,
-            "servers_per_shard": servers_per_shard,
-            "budget": budget,
-            "keydist": keydist,
-            "keyspace": keyspace,
-            "set_fraction": set_fraction,
-            "seed": seed,
+            "rate": (
+                None
+                if spec.clients is not None
+                else (spec.rate or 2_000.0)
+            ),
+            "clients": spec.clients,
+            "policy": serve.policy,
+            "admission": serve.admission,
+            "queue_capacity": serve.queue_capacity,
+            "servers_per_shard": serve.servers_per_shard,
+            "budget": serve.budget,
+            "keydist": spec.keydist,
+            "keyspace": spec.keyspace,
+            "set_fraction": spec.set_fraction,
+            "seed": spec.seed,
             "plan": resolved_plan.name if resolved_plan is not None else None,
             "tenants": dict(tenant_mix) if tenant_mix else None,
             "apps": (
@@ -501,7 +551,7 @@ def run_serve_bench(
                 ),
                 "apps": shard.app_stats(),
             }
-            for shard in cluster.shards
+            for shard in sorted(cluster.shards, key=lambda s: s.index)
         ],
         "budget": (
             {
@@ -512,6 +562,7 @@ def run_serve_bench(
             if cluster.arbiter is not None
             else None
         ),
+        "fleet": _fleet_section(cluster, kernel.now, router.completed),
     }
     # Host-side counter (not part of the simulated outcome): the obs
     # overhead bench divides it by wall time per arm.
@@ -524,7 +575,7 @@ def run_serve_bench(
     if shard_ids is not None:
         result["params"]["shard_ids"] = list(shard_ids)
         result["totals"]["skipped"] = generator.skipped
-    if sampler is not None:
+    if sampler is not None and spec.obs:
         result["params"]["obs_interval"] = sampler.interval
         result["obs"] = {
             "interval_cycles": sampler.interval,
@@ -536,6 +587,12 @@ def run_serve_bench(
             "spilled": dict(sorted(sampler.spilled.items())),
             "anomalies": list(sampler.anomalies),
         }
+    if controller is not None:
+        result["autoscale"] = controller.report()
+    if contracts is None and spec.contracts is not None:
+        from repro.slo import load_contracts
+
+        contracts = load_contracts(spec.contracts)
     if contracts:
         # Local import: repro.slo consumes serve artifacts; importing it
         # eagerly here would make the dependency circular.
@@ -554,7 +611,7 @@ def run_serve_bench(
             app: list(stats.latency.samples_cycles)
             for app, stats in sorted(router.apps.items())
         }
-        if sampler is not None:
+        if sampler is not None and spec.obs:
             raw_sink["obs"] = {
                 "interval_cycles": sampler.interval,
                 "windows": sampler.n_windows,
@@ -567,6 +624,186 @@ def run_serve_bench(
                               router, cluster.shards, kernel.now)
     cluster.close()
     return result
+
+
+def _fleet_section(
+    cluster: ServeCluster, end_cycles: float, completed: int
+) -> dict[str, Any]:
+    """Provisioned-fleet accounting over the cluster's lifecycle ledger.
+
+    ``cycles_per_request`` divides everything the run *provisioned* —
+    server-thread cycles, the integrated worker-budget cap, and the
+    modeled enclave create/teardown cost of dynamic scaling — by the
+    requests it completed.  This is the fleet-level wasted-cycle
+    objective the autoscaler optimizes: a static over-provisioned config
+    pays for idle shards all run long, an autoscaled one pays creation
+    cost for exactly the capacity the load curve demanded.
+    """
+    server_cycles = 0.0
+    creation = 0.0
+    destruction = 0.0
+    spawned = 0
+    retired = 0
+    for entry in cluster.lifecycle:
+        until = entry["retired_at"] if entry["retired_at"] is not None else end_cycles
+        server_cycles += entry["servers"] * max(0.0, min(until, end_cycles) - entry["spawned_at"])
+        creation += entry["creation_cycles"]
+        destruction += entry["destruction_cycles"]
+        if entry["creation_cycles"] > 0 or entry["spawned_at"] > 0:
+            spawned += 1
+        if entry["retired_at"] is not None:
+            retired += 1
+    budget_cycles = (
+        cluster.arbiter.cap_integral(end_cycles)
+        if cluster.arbiter is not None
+        else 0.0
+    )
+    total = server_cycles + budget_cycles + creation + destruction
+    return {
+        "shards_initial": len(cluster.lifecycle) - spawned,
+        "shards_spawned": spawned,
+        "shards_retired": retired,
+        "server_cycles": server_cycles,
+        "worker_budget_cycles": budget_cycles,
+        "creation_cycles": creation,
+        "destruction_cycles": destruction,
+        "provisioned_cycles": total,
+        "cycles_per_request": total / completed if completed else None,
+    }
+
+
+# ----------------------------------------------------------------------
+# Deprecated keyword entry points (pre-spec surface)
+# ----------------------------------------------------------------------
+def build_serve(
+    shards: int = 2,
+    backend: str = "zc",
+    *,
+    machine: MachineSpec | None = None,
+    policy: str = "hash",
+    admission: str = "shed",
+    queue_capacity: int = 64,
+    servers_per_shard: int = 2,
+    budget: int | None = None,
+    plan: FaultPlan | str | None = None,
+    fault_shard: int = 0,
+    tenant_weights: dict[str, float] | None = None,
+    telemetry: TelemetrySession | bool | None = None,
+    shard_ids: tuple[int, ...] | None = None,
+    apps: tuple[str, ...] | None = None,
+) -> ServeCluster:
+    """Deprecated: build a :class:`repro.api.ServeSpec` and use
+    ``Runtime.serve(spec)`` / :func:`build_cluster` instead."""
+    warnings.warn(
+        "build_serve(...) is deprecated; construct a repro.api.ServeSpec "
+        "and call Runtime.serve(spec) (or repro.serve.bench.build_cluster)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = ServeSpec(
+        shards=shards,
+        backend=backend,
+        policy=policy,
+        admission=admission,
+        queue_capacity=queue_capacity,
+        servers_per_shard=servers_per_shard,
+        budget=budget,
+        apps=tuple((name, 1.0) for name in apps) if apps is not None else None,
+        tenants=(
+            tuple(sorted(tenant_weights.items()))
+            if tenant_weights is not None
+            else None
+        ),
+        fault_shard=fault_shard,
+    )
+    return build_cluster(
+        spec,
+        machine=machine,
+        telemetry=telemetry,
+        shard_ids=shard_ids,
+        plan=plan,
+    )
+
+
+def run_serve_bench(
+    shards: int = 2,
+    seconds: float = 2.0,
+    backend: str = "zc",
+    *,
+    rate: float | None = 2_000.0,
+    clients: int | None = None,
+    requests_per_client: int | None = None,
+    policy: str = "hash",
+    admission: str = "shed",
+    queue_capacity: int = 64,
+    servers_per_shard: int = 2,
+    budget: int | None = None,
+    plan: FaultPlan | str | None = None,
+    fault_shard: int = 0,
+    keydist: str = "uniform",
+    keyspace: int = 256,
+    set_fraction: float = 1.0 / 3.0,
+    seed: int = 0,
+    tenants: dict[str, float] | None = None,
+    contracts: list | None = None,
+    span_sink: list | None = None,
+    machine: MachineSpec | None = None,
+    telemetry: TelemetrySession | bool | None = None,
+    shard_ids: tuple[int, ...] | None = None,
+    admit: Any = None,
+    raw_sink: dict[str, Any] | None = None,
+    obs: bool = False,
+    obs_interval: float | None = None,
+    obs_on_window: Any = None,
+    apps: tuple[tuple[str, float], ...] | None = None,
+    trace: Any = None,
+) -> dict[str, Any]:
+    """Deprecated: build a :class:`repro.api.BenchSpec` and use
+    ``Runtime.serve(spec)`` / :func:`run_bench` instead."""
+    warnings.warn(
+        "run_serve_bench(...) is deprecated; construct a repro.api.BenchSpec "
+        "and call Runtime.serve(spec) (or repro.serve.bench.run_bench)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    serve = ServeSpec(
+        shards=shards,
+        backend=backend,
+        policy=policy,
+        admission=admission,
+        queue_capacity=queue_capacity,
+        servers_per_shard=servers_per_shard,
+        budget=budget,
+        apps=tuple(apps) if apps is not None else None,
+        tenants=tuple(sorted(tenants.items())) if tenants is not None else None,
+        fault_shard=fault_shard,
+    )
+    spec = BenchSpec(
+        serve=serve,
+        seconds=seconds,
+        rate=None if clients is not None else (rate if rate is not None else 2_000.0),
+        clients=clients,
+        requests_per_client=requests_per_client,
+        keydist=keydist,
+        keyspace=keyspace,
+        set_fraction=set_fraction,
+        seed=seed,
+        obs=obs,
+        obs_interval=obs_interval,
+    )
+    return run_bench(
+        spec,
+        machine=machine,
+        telemetry=telemetry,
+        plan=plan,
+        contracts=contracts,
+        trace=trace,
+        span_sink=span_sink,
+        shard_ids=shard_ids,
+        admit=admit,
+        raw_sink=raw_sink,
+        obs_on_window=obs_on_window,
+    )
 
 
 def _obs_lanes(sampler: Any) -> list[str]:

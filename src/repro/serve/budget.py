@@ -43,6 +43,42 @@ class WorkerBudgetArbiter:
         self.grants: dict[Any, int] = {}
         #: Times a request was clipped below what was asked.
         self.clipped = 0
+        #: Cap trajectory as ``(since_cycles, cap)`` steps — the
+        #: autoscaler retunes the cap per control window, and the fleet
+        #: accounting integrates provisioned worker-cycles over it.
+        self._cap_history: list[tuple[float, int]] = [(0.0, cap)]
+
+    def set_cap(self, cap: int, *, at: float = 0.0) -> None:
+        """Retune the global cap (autoscaler surface).
+
+        Existing grants are not clawed back — each shard's next argmin
+        re-sweep passes through :meth:`grant` and lands under the new
+        cap within a quantum.  ``at`` (simulated cycles) stamps the step
+        for :meth:`cap_integral`.
+        """
+        if cap < 0:
+            raise ValueError("worker budget cap must be >= 0")
+        self.cap = cap
+        self._cap_history.append((at, cap))
+
+    def cap_integral(self, end: float) -> float:
+        """Provisioned worker-cycles: ∫ cap(t) dt over ``[0, end]``.
+
+        This is the *budgeted* fleet capacity the wasted-cycle objective
+        charges for, whether or not the shards spun workers up to it.
+        """
+        total = 0.0
+        for step, (since, cap) in enumerate(self._cap_history):
+            until = (
+                self._cap_history[step + 1][0]
+                if step + 1 < len(self._cap_history)
+                else end
+            )
+            if since >= end:
+                break
+            if until > since:
+                total += cap * (min(until, end) - since)
+        return total
 
     @property
     def in_use(self) -> int:

@@ -31,15 +31,18 @@ tagged with ``tenant``/``request_id`` (empty for shard-level events) and
 ``serve.request.submit`` / ``serve.request.complete`` /
 ``serve.request.shed`` / ``serve.request.span``,
 ``serve.shard.quarantine`` / ``serve.shard.readmit`` /
-``serve.shard.dead``.  The regression auditor's serving checkers consume
-exactly these.
+``serve.shard.dead``, plus the elastic-fleet pair
+``serve.shard.add`` / ``serve.shard.retire`` (the autoscaler's
+ScalingSanityChecker consumes the latter two together with the
+``autoscale.*`` stream).  The regression auditor's serving checkers
+consume exactly these.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.analysis.metrics import LatencyRecorder
 from repro.serve.shard import EnclaveShard
@@ -186,6 +189,11 @@ class Router:
         self._rr_next = 0
         self.quarantined: set[int] = set()
         self.dead: set[int] = set()
+        #: Shards retired by the autoscaler (permanently unroutable).
+        self.retired: set[int] = set()
+        #: Predictive-admission hook (autoscaler): ``tenant -> bool``;
+        #: False sheds the request up front with reason ``forecast``.
+        self.predictive_gate: "Callable[[str], bool] | None" = None
         self.latency = LatencyRecorder()
         #: Per-tenant terminal counters and latency (created on first use).
         self.tenants: dict[str, TenantStats] = {}
@@ -201,6 +209,11 @@ class Router:
         self.failed = 0
         #: Requests re-homed off a quarantined shard.
         self.rerouted = 0
+        #: Requests shed up front by the predictive-admission gate.
+        self.forecast_shed = 0
+        #: Lifetime mid-run shard additions / retirements.
+        self.shards_added = 0
+        self.shards_retired = 0
         #: Queued requests evicted by weighted-fair admission.
         self.preempted = 0
         #: Lifetime quarantine entries / re-admissions (the live sets
@@ -244,7 +257,15 @@ class Router:
         stats.submitted += 1
         app_stats = self._app(req.app)
         app_stats.submitted += 1
-        yield from self.submit(req)
+        if self.predictive_gate is not None and not self.predictive_gate(tenant):
+            # Shed *before* queueing: the forecast says admitting this
+            # request would blow the window's capacity (and p99).  Only
+            # fresh client arrivals are gated — re-routed/drained
+            # requests go through ``submit`` directly.
+            self.forecast_shed += 1
+            self._shed(req, reason="forecast")
+        else:
+            yield from self.submit(req)
         if not req.done.fired:
             yield Block(req.done)
         status, payload = req.done.value
@@ -383,7 +404,11 @@ class Router:
         """Shards currently routable, quarantining lost ones on sight."""
         healthy = []
         for shard in self.shards:
-            if shard.index in self.dead or shard.index in self.quarantined:
+            if (
+                shard.index in self.dead
+                or shard.index in self.quarantined
+                or shard.index in self.retired
+            ):
                 continue
             if not shard.available:
                 # Lazy detection: the injector flipped enclave.lost but no
@@ -478,6 +503,52 @@ class Router:
             request_id="",
         )
 
+    # ------------------------------------------------------------------
+    # Elastic fleet (autoscaler surface)
+    # ------------------------------------------------------------------
+    def add_shard(self, shard: EnclaveShard) -> None:
+        """Admit a freshly spawned shard into the routing set.
+
+        Rendezvous hashing makes this incremental: only keys whose
+        highest score moves to the new shard re-home; every other key
+        keeps its placement bit-for-bit (covered by
+        ``tests/serve/test_router.py``).
+        """
+        if any(existing.index == shard.index for existing in self.shards):
+            raise ValueError(f"shard index {shard.index} already routed")
+        shard.router = self
+        self.shards.append(shard)
+        self.shards_added += 1
+        self._emit("serve.shard.add", shard=shard.index, tenant="", request_id="")
+
+    def retire_shard(self, shard: EnclaveShard) -> list[Request]:
+        """Permanently remove ``shard`` from routing; re-home its queue.
+
+        Unlike quarantine there is no probe/readmit path — retirement is
+        the autoscaler scaling down.  Queued-but-unstarted requests are
+        drained and resubmitted to the surviving shards (conservation
+        across retire is audited by the ScalingSanityChecker via the
+        ``drained_request_ids`` event field).  Returns the drained
+        requests.
+        """
+        if shard.index in self.retired:
+            return []
+        shard.stop()
+        self.retired.add(shard.index)
+        self.shards_retired += 1
+        drained = shard.drain()
+        self._emit(
+            "serve.shard.retire",
+            shard=shard.index,
+            drained=len(drained),
+            drained_request_ids=[request.request_id for request in drained],
+            tenant="",
+            request_id="",
+        )
+        for queued in drained:
+            self._respawn_submit(queued)
+        return drained
+
     def _resolve_recovery(self, shard_index: int, outcome: str) -> float:
         """Close a quarantine episode; returns its duration in cycles."""
         started = self._quarantined_at.pop(shard_index, self.kernel.now)
@@ -499,10 +570,14 @@ class Router:
             "failed": self.failed,
             "rerouted": self.rerouted,
             "preempted": self.preempted,
+            "forecast_shed": self.forecast_shed,
             "quarantines": self.quarantines,
             "readmissions": self.readmissions,
+            "shards_added": self.shards_added,
+            "shards_retired": self.shards_retired,
             "quarantined": sorted(self.quarantined),
             "dead": sorted(self.dead),
+            "retired": sorted(self.retired),
         }
 
     def tenant_stats(self) -> dict[str, dict[str, Any]]:

@@ -23,7 +23,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from repro.sgx import EnclaveLostError
-from repro.sim.instructions import Block
+from repro.sim.instructions import Block, Compute
 from repro.sim.kernel import Program, SimThread
 
 if TYPE_CHECKING:
@@ -74,6 +74,12 @@ class EnclaveShard:
             (used by the default app set).
         apps: Served apps by routing name, in deterministic start order.
             None installs the classic single-app KV shard.
+        batch: Requests a server thread drains per dispatch burst.  The
+            dispatch cost (below) is charged once per burst, so larger
+            batches amortise it — the serving-layer analogue of the
+            paper's request batching.
+        dispatch_cycles: Untrusted cycles charged per dispatch burst
+            (0 models dispatch as free, the historical behaviour).
     """
 
     def __init__(
@@ -85,11 +91,17 @@ class EnclaveShard:
         servers: int = 2,
         wal_path: str = "/kv.wal",
         apps: "dict[str, ServedApp] | None" = None,
+        batch: int = 1,
+        dispatch_cycles: float = 0.0,
     ) -> None:
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
         if servers < 1:
             raise ValueError("servers must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        if dispatch_cycles < 0:
+            raise ValueError("dispatch_cycles must be >= 0")
         self.index = index
         self.runtime = runtime
         self.kernel = runtime.kernel
@@ -110,6 +122,8 @@ class EnclaveShard:
         self.client = kv.client if kv is not None else None
         self.capacity = queue_capacity
         self.n_servers = servers
+        self.batch = batch
+        self.dispatch_cycles = dispatch_cycles
         self.queue: deque["Request"] = deque()
         self.depth = self.kernel.gate(0, name=f"shard{index}.depth")
         self.server_threads: list[SimThread] = []
@@ -134,6 +148,24 @@ class EnclaveShard:
         self.kernel.join(
             self.kernel.spawn(starter(), name=f"shard{self.index}-start", kind="app")
         )
+        self.spawn_servers()
+
+    def start_program(self) -> Program:
+        """In-kernel variant of :meth:`start` for mid-run shard spawns.
+
+        :meth:`start` drives the kernel (``kernel.join``) and therefore
+        only works before ``kernel.run()``.  The autoscaler spawns shards
+        from *inside* the running kernel, where the app bring-up must be
+        a plain program: run the app starters inline, then spawn the
+        server threads.
+        """
+        for app in self.apps.values():
+            yield from app.start()
+        self.spawn_servers()
+        return None
+
+    def spawn_servers(self) -> None:
+        """Spawn the shard's daemon server threads (idempotent per call)."""
         for slot in range(self.n_servers):
             thread = self.kernel.spawn(
                 self._server_loop(),
@@ -227,17 +259,24 @@ class EnclaveShard:
                 # may race for one queued request).
                 yield Block(self.depth.wait_for(lambda depth: depth > 0))
                 continue
-            request = self.queue.popleft()
-            self.depth.set(len(self.queue))
-            request.dequeued_at = self.kernel.now
-            if self.enclave.lost and self.router is not None:
-                # Don't start new work on a lost enclave (we would park
-                # inside its recovery for the whole outage): hand the
-                # request back for re-routing.  Requests already inside
-                # the enclave when the fault fired do ride out recovery.
-                self.router.shard_lost(self, request)
-                continue
-            yield from self._handle(request)
+            if self.dispatch_cycles > 0:
+                # Charged once per burst: batching amortises dispatch.
+                yield Compute(self.dispatch_cycles, tag="serve-dispatch")
+            served = 0
+            while served < self.batch and self.queue and not self.stopping:
+                request = self.queue.popleft()
+                self.depth.set(len(self.queue))
+                request.dequeued_at = self.kernel.now
+                served += 1
+                if self.enclave.lost and self.router is not None:
+                    # Don't start new work on a lost enclave (we would
+                    # park inside its recovery for the whole outage):
+                    # hand the request back for re-routing.  Requests
+                    # already inside the enclave when the fault fired do
+                    # ride out recovery.
+                    self.router.shard_lost(self, request)
+                    continue
+                yield from self._handle(request)
 
     def _handle(self, request: "Request") -> Program:
         try:

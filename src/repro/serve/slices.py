@@ -39,31 +39,17 @@ registered cell kind (``serve-slice``).
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from typing import Any, Callable
 
 from repro.analysis.metrics import LatencyRecorder
+from repro.api import BenchSpec, ServeSpec, SpecError
 from repro.parallel.cells import CellSpec, cell
 from repro.parallel.runner import CellRunner
 from repro.serve.router import _rendezvous_score
 from repro.sim.machine import MachineSpec, server_machine
 from repro.telemetry.schema import stamp
-
-#: Serve-bench parameters forwarded verbatim to every slice's cell.
-_FORWARDED = (
-    "seconds",
-    "backend",
-    "rate",
-    "policy",
-    "admission",
-    "queue_capacity",
-    "servers_per_shard",
-    "keydist",
-    "keyspace",
-    "set_fraction",
-    "seed",
-    "obs",
-    "obs_interval",
-)
 
 
 def slice_shard_ids(shards: int, slices: int) -> list[tuple[int, ...]]:
@@ -123,29 +109,26 @@ def split_budget(budget: int | None, partitions: list[tuple[int, ...]], shards: 
 def run_cell(spec: CellSpec) -> dict[str, Any]:
     """Execute one slice; returns the slice row (registry: ``serve-slice``).
 
-    The row carries the full per-slice serve artifact plus the raw
-    latency samples the parent needs for the percentile merge, and — with
+    The cell carries its whole configuration as one serialized
+    :class:`repro.api.BenchSpec` (``spec_json``) plus the slice plumbing
+    (global shard count, owned shard ids, repo root, audit flag).  The
+    row carries the full per-slice serve artifact plus the raw latency
+    samples the parent needs for the percentile merge, and — with
     ``audit=True`` — the live invariant auditor's verdicts for this
     slice's kernel.
     """
     kw = spec.kwargs
-    from repro.serve.bench import run_serve_bench
+    from repro.serve.bench import run_bench
 
+    bench_spec = BenchSpec.from_json(kw["spec_json"])
     shard_ids = tuple(kw["shard_ids"])
     shards = kw["shards"]
     raw: dict[str, Any] = {}
-    bench_kwargs = {name: kw[name] for name in _FORWARDED if name in kw}
-    bench_kwargs.update(
-        shards=shards,
+    plumbing = dict(
         shard_ids=shard_ids,
         admit=make_admit(shard_ids, shards),
         raw_sink=raw,
-        budget=kw["budget"],
-        plan=kw["plan"],
-        fault_shard=kw["fault_shard"],
-        tenants=dict(kw["tenants"]) if kw["tenants"] else None,
-        apps=tuple(tuple(pair) for pair in kw["apps"]) if kw.get("apps") else None,
-        trace=kw.get("trace_path"),
+        root=kw.get("root", "."),
     )
     audit_cells: list[dict[str, Any]] = []
     if kw["audit"]:
@@ -156,7 +139,7 @@ def run_cell(spec: CellSpec) -> dict[str, Any]:
         with TelemetrySession(
             on_attach=lambda capture: auditors.append(attach_auditor(capture))
         ) as session:
-            result = run_serve_bench(telemetry=session, **bench_kwargs)
+            result = run_bench(bench_spec, telemetry=session, **plumbing)
         for auditor in auditors:
             auditor.finish()
             audit_cells.append(
@@ -167,7 +150,7 @@ def run_cell(spec: CellSpec) -> dict[str, Any]:
                 }
             )
     else:
-        result = run_serve_bench(telemetry=False, **bench_kwargs)
+        result = run_bench(bench_spec, telemetry=False, **plumbing)
     return {
         "slice": kw["slice_index"],
         "shard_ids": list(shard_ids),
@@ -181,85 +164,131 @@ def run_cell(spec: CellSpec) -> dict[str, Any]:
 # Orchestration (parent process)
 # ----------------------------------------------------------------------
 def slice_cells(
-    shards: int,
-    slices: int,
+    spec: BenchSpec,
     *,
-    seconds: float,
-    backend: str,
-    rate: float,
-    policy: str,
-    admission: str,
-    queue_capacity: int,
-    servers_per_shard: int,
-    budget: int | None,
-    plan: str | None,
-    fault_shard: int,
-    keydist: str,
-    keyspace: int,
-    set_fraction: float,
-    seed: int,
-    tenants: dict[str, float] | None,
-    audit: bool,
-    obs: bool = False,
-    obs_interval: float | None = None,
-    apps: tuple[tuple[str, float], ...] | None = None,
-    trace_path: str | None = None,
+    root: str = ".",
+    audit: bool = False,
 ) -> list[CellSpec]:
     """The sliced run as cell specs — one ``serve-slice`` cell per slice.
 
-    ``trace_path`` switches every slice from synthetic load to replaying
-    the named trace file; each slice loads the identical committed trace
-    and admits only the arrivals whose rendezvous owner it hosts, exactly
-    like the loadgen's identical-schedule guarantee.
+    Each cell receives a complete per-slice :class:`repro.api.BenchSpec`
+    (``slices=1``, worker budget apportioned by shard share, the fault
+    plan only in the slice owning the faulted shard) serialized through
+    :meth:`~repro.api.BenchSpec.to_json`, so the cell boundary speaks
+    exactly the declarative schema evidence packs record.  A scenario or
+    trace on the spec switches every slice from synthetic load to
+    replaying the identical committed trace, admitting only the arrivals
+    whose rendezvous owner it hosts — exactly like the loadgen's
+    identical-schedule guarantee.
     """
-    if policy != "hash":
-        raise ValueError("slice-parallel serving requires policy='hash'")
-    partitions = slice_shard_ids(shards, slices)
-    budgets = split_budget(budget, partitions, shards)
-    tenant_mix = tuple(sorted(tenants.items())) if tenants else None
+    serve = spec.serve
+    if serve.policy != "hash":
+        raise SpecError("slice-parallel serving requires policy='hash'")
+    partitions = slice_shard_ids(serve.shards, spec.slices)
+    budgets = split_budget(serve.budget, partitions, serve.shards)
     specs = []
     for index, shard_ids in enumerate(partitions):
+        slice_serve = dataclasses.replace(
+            serve,
+            budget=budgets[index],
+            # The fault plan attaches only in the slice owning the
+            # faulted shard; other slices run healthy.
+            plan=(
+                serve.plan
+                if serve.plan is not None and serve.fault_shard in shard_ids
+                else None
+            ),
+        )
+        slice_spec = dataclasses.replace(
+            spec,
+            serve=slice_serve,
+            slices=1,
+            # Contracts evaluate over the merged artifact in the parent,
+            # never over a single slice's partial view.
+            contracts=None,
+        )
         specs.append(
             cell(
                 "serve-slice",
                 index,
                 slice_index=index,
-                slices=slices,
-                shards=shards,
+                shards=serve.shards,
                 shard_ids=shard_ids,
-                seconds=seconds,
-                backend=backend,
-                rate=rate,
-                policy=policy,
-                admission=admission,
-                queue_capacity=queue_capacity,
-                servers_per_shard=servers_per_shard,
-                budget=budgets[index],
-                # The fault plan attaches only in the slice owning the
-                # faulted shard; other slices run healthy.
-                plan=plan if plan is not None and fault_shard in shard_ids else None,
-                fault_shard=fault_shard,
-                keydist=keydist,
-                keyspace=keyspace,
-                set_fraction=set_fraction,
-                seed=seed,
-                tenants=tenant_mix,
+                spec_json=slice_spec.to_json(),
+                root=root,
                 audit=audit,
-                obs=obs,
-                obs_interval=obs_interval,
-                apps=apps,
-                trace_path=trace_path,
             )
         )
     return specs
 
 
 def run_slice_bench(
+    spec: BenchSpec | int | None = None,
+    slices: int | None = None,
+    seconds: float = 2.0,
+    backend: str = "zc",
+    *,
+    machine: MachineSpec | None = None,
+    root: str = ".",
+    audit: bool = False,
+    jobs: int | str | None = None,
+    contracts: list | None = None,
+    **legacy: Any,
+) -> dict[str, Any]:
+    """Run the serve bench slice-parallel; returns one merged artifact.
+
+    Takes a :class:`repro.api.BenchSpec` with ``slices > 1`` (this is
+    what :func:`repro.serve.bench.run_bench` dispatches to).  The merged
+    artifact has the regular ``serve-bench`` stamp and shape (so
+    :func:`repro.serve.bench.compare_to_baseline` gates it as usual)
+    plus a ``slices`` section with per-slice provenance and — with
+    ``audit=True`` — an ``audit`` section aggregating every slice's live
+    invariant verdicts.
+
+    The pre-spec keyword signature ``run_slice_bench(shards, slices,
+    ...)`` still works but warns :class:`DeprecationWarning`.
+    """
+    if isinstance(spec, BenchSpec):
+        if slices is not None or legacy:
+            raise SpecError(
+                "run_slice_bench(spec) takes no extra bench keywords; put "
+                "them on the BenchSpec"
+            )
+        bench_spec = spec
+    else:
+        warnings.warn(
+            "run_slice_bench(shards, slices, ...) is deprecated; construct "
+            "a repro.api.BenchSpec with slices=N and call Runtime.serve(spec)"
+            " (or repro.serve.bench.run_bench)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        bench_spec = _legacy_slice_spec(
+            shards=spec if spec is not None else legacy.pop("shards"),
+            slices=slices if slices is not None else legacy.pop("slices"),
+            seconds=seconds,
+            backend=backend,
+            **legacy,
+        )
+    specs = slice_cells(bench_spec, root=root, audit=audit)
+    runner = CellRunner(jobs="auto" if jobs is None else jobs)
+    rows = [outcome.row for outcome in runner.run(specs)]
+    spec_machine = machine if machine is not None else server_machine()
+    if contracts is None and bench_spec.contracts is not None:
+        from repro.slo import load_contracts
+
+        contracts = load_contracts(bench_spec.contracts)
+    return merge_slice_results(
+        rows, spec_machine, contracts=contracts, spec=bench_spec
+    )
+
+
+def _legacy_slice_spec(
+    *,
     shards: int,
     slices: int,
     seconds: float = 2.0,
     backend: str = "zc",
-    *,
     rate: float = 2_000.0,
     policy: str = "hash",
     admission: str = "shed",
@@ -273,29 +302,15 @@ def run_slice_bench(
     set_fraction: float = 1.0 / 3.0,
     seed: int = 0,
     tenants: dict[str, float] | None = None,
-    contracts: list | None = None,
-    machine: MachineSpec | None = None,
-    audit: bool = False,
-    jobs: int | str | None = None,
     obs: bool = False,
     obs_interval: float | None = None,
     apps: tuple[tuple[str, float], ...] | None = None,
     trace_path: str | None = None,
-) -> dict[str, Any]:
-    """Run the serve bench slice-parallel; returns one merged artifact.
-
-    The merged artifact has the regular ``serve-bench`` stamp and shape
-    (so :func:`repro.serve.bench.compare_to_baseline` gates it as usual)
-    plus a ``slices`` section with per-slice provenance and — with
-    ``audit=True`` — an ``audit`` section aggregating every slice's live
-    invariant verdicts.
-    """
-    specs = slice_cells(
-        shards,
-        slices,
-        seconds=seconds,
+) -> BenchSpec:
+    """The old keyword surface folded into one :class:`BenchSpec`."""
+    serve = ServeSpec(
+        shards=shards,
         backend=backend,
-        rate=rate,
         policy=policy,
         admission=admission,
         queue_capacity=queue_capacity,
@@ -303,34 +318,38 @@ def run_slice_bench(
         budget=budget,
         plan=plan,
         fault_shard=fault_shard,
+        apps=tuple(tuple(pair) for pair in apps) if apps else None,
+        tenants=tuple(sorted(tenants.items())) if tenants else None,
+    )
+    return BenchSpec(
+        serve=serve,
+        seconds=seconds,
+        rate=rate,
         keydist=keydist,
         keyspace=keyspace,
         set_fraction=set_fraction,
         seed=seed,
-        tenants=tenants,
-        audit=audit,
+        slices=slices,
         obs=obs,
         obs_interval=obs_interval,
-        apps=apps,
-        trace_path=trace_path,
+        trace=trace_path,
     )
-    runner = CellRunner(jobs="auto" if jobs is None else jobs)
-    rows = [outcome.row for outcome in runner.run(specs)]
-    spec_machine = machine if machine is not None else server_machine()
-    return merge_slice_results(rows, spec_machine, contracts=contracts)
 
 
 def merge_slice_results(
     rows: list[dict[str, Any]],
     machine: MachineSpec,
     contracts: list | None = None,
+    spec: BenchSpec | None = None,
 ) -> dict[str, Any]:
     """Merge per-slice rows into one ``serve-bench`` artifact.
 
     Deterministic superposition in slice order: counters sum, latency
     samples pool (then percentiles recompute over the pooled set), the
     merged clock is the max of the slice clocks, and throughput is the
-    pooled completion count over that merged clock.
+    pooled completion count over that merged clock.  ``spec`` (the
+    parent's :class:`BenchSpec`, with the original ``slices`` count)
+    stamps the merged artifact's ``spec`` section.
     """
     rows = sorted(rows, key=lambda row: row["slice"])
     if not rows:
@@ -339,10 +358,12 @@ def merge_slice_results(
     base_params = dict(results[0]["params"])
 
     counters = ("submitted", "completed", "shed", "failed", "rerouted",
-                "preempted", "quarantines", "readmissions")
+                "preempted", "quarantines", "readmissions",
+                "forecast_shed", "shards_added", "shards_retired")
     totals: dict[str, Any] = {name: 0 for name in counters}
     quarantined: list[int] = []
     dead: list[int] = []
+    retired: list[int] = []
     recoveries: list[dict[str, Any]] = []
     elapsed_s = 0.0
     pooled = LatencyRecorder()
@@ -352,6 +373,7 @@ def merge_slice_results(
             totals[name] += slice_totals.get(name, 0)
         quarantined.extend(slice_totals.get("quarantined", []))
         dead.extend(slice_totals.get("dead", []))
+        retired.extend(slice_totals.get("retired", []))
         recoveries.extend(slice_totals.get("recoveries", []))
         elapsed_s = max(elapsed_s, slice_totals.get("elapsed_s", 0.0))
         pooled.record_many(row["raw"].get("latency_cycles", []))
@@ -369,6 +391,7 @@ def merge_slice_results(
         latency_us=_us(pooled.summary()),
         quarantined=sorted(quarantined),
         dead=sorted(dead),
+        retired=sorted(retired),
         recoveries=recoveries,
     )
 
@@ -454,6 +477,28 @@ def merge_slice_results(
         ),
     )
 
+    fleet_rows = [row["result"].get("fleet") for row in rows]
+    fleet_section: dict[str, Any] | None = None
+    if all(entry is not None for entry in fleet_rows):
+        fleet_section = {
+            name: sum(entry[name] for entry in fleet_rows)
+            for name in (
+                "shards_initial",
+                "shards_spawned",
+                "shards_retired",
+                "server_cycles",
+                "worker_budget_cycles",
+                "creation_cycles",
+                "destruction_cycles",
+                "provisioned_cycles",
+            )
+        }
+        fleet_section["cycles_per_request"] = (
+            fleet_section["provisioned_cycles"] / totals["completed"]
+            if totals["completed"]
+            else None
+        )
+
     merged: dict[str, Any] = {
         "meta": stamp("serve-bench"),
         "params": base_params,
@@ -463,6 +508,7 @@ def merge_slice_results(
         "spans": spans,
         "per_shard": per_shard,
         "budget": budget_section,
+        "fleet": fleet_section,
         "slices": [
             {
                 "slice": row["slice"],
@@ -474,6 +520,8 @@ def merge_slice_results(
             for row in rows
         ],
     }
+    if spec is not None:
+        merged["spec"] = spec.to_json()
     obs_raws = [row["raw"].get("obs") for row in rows]
     if all(raw is not None for raw in obs_raws):
         merged["obs"] = _merge_obs(obs_raws, per_shard, machine)

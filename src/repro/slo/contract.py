@@ -281,7 +281,7 @@ def evaluate_contracts(
 ) -> list[Verdict]:
     """Evaluate every contract against one serve-bench artifact.
 
-    ``result`` is the artifact :func:`repro.serve.bench.run_serve_bench`
+    ``result`` is the artifact :func:`repro.serve.bench.run_bench`
     returns (its ``per_tenant`` section carries the per-tenant counters
     and latency summary).  A hard contract whose tenant produced no
     traffic is itself a breach: an objective nobody measured is not met.

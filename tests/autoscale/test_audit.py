@@ -1,0 +1,143 @@
+"""Tests for the ScalingSanityChecker over scripted event streams.
+
+The checker audits the ``autoscale.*`` / ``serve.shard.*`` streams for
+the control loop's three promises: no scale-up under quarantine,
+retirement is terminal, and every drained request re-surfaces as a
+submit or a shed (re-homing conservation).
+"""
+
+from repro.regress import InvariantAuditor, ScalingSanityChecker
+from repro.telemetry.events import TelemetryEvent
+
+
+def feed(events):
+    auditor = InvariantAuditor(cell="t", checkers=[ScalingSanityChecker()])
+    auditor.feed(
+        [TelemetryEvent(t, name, dict(fields)) for t, name, fields in events]
+    )
+    return auditor.finish()
+
+
+class TestQuarantineSuppression:
+    def test_spawn_while_quarantined_is_flagged(self):
+        violations = feed(
+            [
+                (10.0, "serve.shard.quarantine", {"shard": 1}),
+                (20.0, "autoscale.spawn", {"shard": 4}),
+            ]
+        )
+        assert len(violations) == 1
+        assert violations[0].checker == "scaling-sanity"
+        assert "spawned while shard(s) [1] are quarantined" in violations[0].message
+
+    def test_spawn_after_readmission_is_clean(self):
+        assert feed(
+            [
+                (10.0, "serve.shard.quarantine", {"shard": 1}),
+                (20.0, "serve.shard.readmit", {"shard": 1}),
+                (30.0, "autoscale.spawn", {"shard": 4}),
+            ]
+        ) == []
+
+    def test_death_also_ends_the_quarantine_episode(self):
+        # A dead shard is out of the routing set for good; its capacity
+        # is no longer "in flux", so spawning is legitimate again.
+        assert feed(
+            [
+                (10.0, "serve.shard.quarantine", {"shard": 1}),
+                (20.0, "serve.shard.dead", {"shard": 1}),
+                (30.0, "autoscale.spawn", {"shard": 4}),
+            ]
+        ) == []
+
+
+class TestRetirementIsTerminal:
+    def test_double_retire_is_flagged(self):
+        violations = feed(
+            [
+                (10.0, "serve.shard.retire", {"shard": 2, "drained_request_ids": ()}),
+                (20.0, "serve.shard.retire", {"shard": 2, "drained_request_ids": ()}),
+            ]
+        )
+        assert [v for v in violations if "retired twice" in v.message]
+
+    def test_submit_on_a_retired_shard_is_flagged(self):
+        violations = feed(
+            [
+                (10.0, "serve.shard.retire", {"shard": 2, "drained_request_ids": ()}),
+                (20.0, "serve.request.submit", {"shard": 2, "request_id": "r9"}),
+            ]
+        )
+        assert len(violations) == 1
+        assert "r9" in violations[0].message
+        assert "after its retirement" in violations[0].message
+
+    def test_readding_a_retired_shard_is_flagged(self):
+        violations = feed(
+            [
+                (10.0, "serve.shard.retire", {"shard": 2, "drained_request_ids": ()}),
+                (20.0, "serve.shard.add", {"shard": 2}),
+            ]
+        )
+        assert [v for v in violations if "re-added" in v.message]
+
+    def test_adding_a_fresh_shard_is_clean(self):
+        assert feed(
+            [
+                (10.0, "serve.shard.retire", {"shard": 2, "drained_request_ids": ()}),
+                (20.0, "serve.shard.add", {"shard": 3}),
+            ]
+        ) == []
+
+
+class TestRehomingConservation:
+    RETIRE = (
+        10.0,
+        "serve.shard.retire",
+        {"shard": 2, "drained_request_ids": ("a", "b", "c")},
+    )
+
+    def test_every_drained_request_resurfacing_is_clean(self):
+        assert feed(
+            [
+                self.RETIRE,
+                (20.0, "serve.request.submit", {"shard": 0, "request_id": "a"}),
+                (21.0, "serve.request.submit", {"shard": 1, "request_id": "b"}),
+                (22.0, "serve.request.shed", {"request_id": "c"}),
+            ]
+        ) == []
+
+    def test_a_vanished_request_is_flagged_at_finish(self):
+        violations = feed(
+            [
+                self.RETIRE,
+                (20.0, "serve.request.submit", {"shard": 0, "request_id": "a"}),
+                (22.0, "serve.request.shed", {"request_id": "c"}),
+            ]
+        )
+        assert len(violations) == 1
+        assert "never re-homed or shed" in violations[0].message
+        assert "'b'" in violations[0].message
+
+    def test_the_report_lists_at_most_five_ids(self):
+        many = tuple(f"r{i}" for i in range(8))
+        violations = feed(
+            [
+                (
+                    10.0,
+                    "serve.shard.retire",
+                    {"shard": 2, "drained_request_ids": many},
+                )
+            ]
+        )
+        assert len(violations) == 1
+        assert "8 drained request(s)" in violations[0].message
+        assert violations[0].message.endswith("…")
+
+    def test_runs_that_never_scale_are_vacuously_green(self):
+        assert feed(
+            [
+                (10.0, "serve.request.submit", {"shard": 0, "request_id": "a"}),
+                (20.0, "serve.request.complete", {"request_id": "a"}),
+            ]
+        ) == []

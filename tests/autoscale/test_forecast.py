@@ -1,0 +1,50 @@
+"""Tests for the per-lane EWMA arrival forecaster."""
+
+import pytest
+
+from repro.autoscale.forecast import EwmaForecaster
+
+
+class TestEwmaForecaster:
+    def test_alpha_must_be_in_unit_interval(self):
+        for alpha in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError, match="alpha"):
+                EwmaForecaster(alpha)
+        EwmaForecaster(1.0)  # the boundary is inclusive on the right
+
+    def test_first_observation_seeds_the_level(self):
+        # No warm-up bias toward zero: the first sample IS the forecast.
+        forecaster = EwmaForecaster(alpha=0.2)
+        assert forecaster.observe("total", 400.0) == 400.0
+        assert forecaster.forecast("total") == 400.0
+
+    def test_smoothing_follows_the_ewma_recurrence(self):
+        forecaster = EwmaForecaster(alpha=0.5)
+        forecaster.observe("total", 100.0)
+        assert forecaster.observe("total", 200.0) == 150.0
+        assert forecaster.observe("total", 0.0) == 75.0
+
+    def test_alpha_one_trusts_only_the_latest_sample(self):
+        forecaster = EwmaForecaster(alpha=1.0)
+        forecaster.observe("total", 1_000.0)
+        forecaster.observe("total", 3.0)
+        assert forecaster.forecast("total") == 3.0
+
+    def test_lanes_are_independent(self):
+        forecaster = EwmaForecaster(alpha=0.5)
+        forecaster.observe("tenant:gold", 90.0)
+        forecaster.observe("tenant:bronze", 10.0)
+        forecaster.observe("tenant:gold", 30.0)
+        assert forecaster.forecast("tenant:gold") == 60.0
+        assert forecaster.forecast("tenant:bronze") == 10.0
+
+    def test_unseen_lane_returns_the_default(self):
+        forecaster = EwmaForecaster(alpha=0.5)
+        assert forecaster.forecast("tenant:new") == 0.0
+        assert forecaster.forecast("tenant:new", default=7.0) == 7.0
+
+    def test_lanes_listing_is_sorted(self):
+        forecaster = EwmaForecaster(alpha=0.5)
+        for lane in ("total", "tenant:bronze", "tenant:gold"):
+            forecaster.observe(lane, 1.0)
+        assert forecaster.lanes() == ["tenant:bronze", "tenant:gold", "total"]

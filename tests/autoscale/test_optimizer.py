@@ -1,0 +1,230 @@
+"""Tests for the fleet-level wasted-cycle argmin (§IV-A, one level up).
+
+Everything here is pure arithmetic: same demand in, same plan out.  The
+tests pin the properties the controller relies on — determinism,
+smallest-config tie-breaking, monotone response to arrivals, and the
+enclave-lifecycle cost damping flap-sized blips.
+"""
+
+import pytest
+
+from repro.autoscale.optimizer import (
+    DEFAULT_OCALL_CYCLES,
+    OVERLOAD_WEIGHT,
+    FleetDemand,
+    FleetPlan,
+    fleet_argmin,
+    fleet_objective,
+)
+
+#: A window wide enough that one window's overload pays for an enclave.
+WINDOW = 20_000_000.0
+
+#: Modeled lifecycle prices used throughout (shape, not calibration).
+CREATE = 1_000_000.0
+DESTROY = 200_000.0
+
+
+def demand(arrivals=100.0, **overrides):
+    kwargs = dict(
+        arrivals=arrivals,
+        window_cycles=WINDOW,
+        service_cycles=15_000.0,
+        ocall_cycles=DEFAULT_OCALL_CYCLES,
+    )
+    kwargs.update(overrides)
+    return FleetDemand(**kwargs)
+
+
+def argmin(arrivals, *, live=2, **overrides):
+    return fleet_argmin(
+        demand(arrivals, **overrides),
+        live_shards=live,
+        min_shards=1,
+        max_shards=6,
+        worker_options=(1, 2, 4),
+        batch_options=(1, 2, 4),
+        creation_cycles=CREATE,
+        destruction_cycles=DESTROY,
+        t_es=10_000.0,
+    )
+
+
+class TestFleetDemandValidation:
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            (dict(arrivals=-1.0), "arrivals must be >= 0"),
+            (dict(window_cycles=0.0), "window_cycles must be > 0"),
+            (dict(service_cycles=0.0), "service_cycles must be > 0"),
+            (dict(ocall_cycles=-1.0), "cycle costs must be >= 0"),
+            (dict(dispatch_cycles=-1.0), "cycle costs must be >= 0"),
+            (dict(servers_per_shard=0), "servers_per_shard must be >= 1"),
+        ],
+    )
+    def test_invalid_fields(self, overrides, message):
+        with pytest.raises(ValueError, match=message):
+            demand(**overrides)
+
+    def test_plan_capacity_scales_with_shards(self):
+        d = demand(100.0)
+        small = FleetPlan(shards=1, workers=2, batch=1, u_cycles=0.0)
+        large = FleetPlan(shards=4, workers=2, batch=1, u_cycles=0.0)
+        assert large.capacity_requests(d) == 4 * small.capacity_requests(d)
+
+
+class TestFleetObjective:
+    def test_rejects_degenerate_configurations(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            fleet_objective(
+                demand(10.0), 0, 1, 1,
+                live_shards=1, creation_cycles=CREATE, destruction_cycles=DESTROY,
+            )
+
+    def test_overload_outweighs_idleness(self):
+        # An overloaded fleet must score worse than the same demand on an
+        # amply-provisioned fleet: the gate holds p99, so the optimizer
+        # prefers idle cycles over queued ones.
+        d = demand(10_000.0)
+        starved = fleet_objective(
+            d, 1, 1, 1,
+            live_shards=1, creation_cycles=0.0, destruction_cycles=0.0,
+            t_es=10_000.0,
+        )
+        ample = fleet_objective(
+            d, 6, 1, 1,
+            live_shards=6, creation_cycles=0.0, destruction_cycles=0.0,
+            t_es=10_000.0,
+        )
+        assert starved > ample
+
+    def test_overload_term_carries_the_configured_weight(self):
+        # Isolate the overload term: zero worker demand, zero dispatch.
+        d = demand(10_000.0, ocall_cycles=0.0)
+        base = fleet_objective(
+            d, 1, 1, 1,
+            live_shards=1, creation_cycles=0.0, destruction_cycles=0.0,
+            t_es=10_000.0,
+        )
+        capacity = 1 * d.servers_per_shard * WINDOW / d.service_cycles
+        overload = (10_000.0 - capacity) * d.service_cycles
+        worker_idle = 1 * WINDOW  # one worker, zero switchless demand
+        assert base == pytest.approx(OVERLOAD_WEIGHT * overload + worker_idle)
+
+    def test_scaling_is_charged_on_the_transition(self):
+        d = demand(100.0)
+        hold = fleet_objective(
+            d, 2, 1, 1,
+            live_shards=2, creation_cycles=CREATE, destruction_cycles=DESTROY,
+        )
+        grow = fleet_objective(
+            d, 4, 1, 1,
+            live_shards=2, creation_cycles=CREATE, destruction_cycles=DESTROY,
+        )
+        shrink = fleet_objective(
+            d, 1, 1, 1,
+            live_shards=2, creation_cycles=CREATE, destruction_cycles=DESTROY,
+        )
+        base_grow = fleet_objective(
+            d, 4, 1, 1,
+            live_shards=4, creation_cycles=CREATE, destruction_cycles=DESTROY,
+        )
+        base_shrink = fleet_objective(
+            d, 1, 1, 1,
+            live_shards=1, creation_cycles=CREATE, destruction_cycles=DESTROY,
+        )
+        assert grow == pytest.approx(base_grow + 2 * CREATE)
+        assert shrink == pytest.approx(base_shrink + 1 * DESTROY)
+        assert hold == fleet_objective(
+            d, 2, 1, 1,
+            live_shards=2, creation_cycles=0.0, destruction_cycles=0.0,
+        )
+
+    def test_batching_amortises_dispatch(self):
+        # Under slack capacity the idle and dispatch terms cancel exactly
+        # (every dispatched cycle is one the servers did not idle), so
+        # batching pays off precisely where it matters: when dispatch
+        # overhead eats into a saturated fleet's capacity.
+        d = demand(20_000.0, dispatch_cycles=500.0)
+        unbatched = fleet_objective(
+            d, 6, 1, 1,
+            live_shards=6, creation_cycles=0.0, destruction_cycles=0.0,
+        )
+        batched = fleet_objective(
+            d, 6, 1, 4,
+            live_shards=6, creation_cycles=0.0, destruction_cycles=0.0,
+        )
+        assert batched < unbatched
+
+
+class TestFleetArgmin:
+    def test_band_validation(self):
+        with pytest.raises(ValueError, match="min_shards <= max_shards"):
+            fleet_argmin(
+                demand(10.0),
+                live_shards=0,
+                min_shards=1,
+                max_shards=6,
+                worker_options=(1,),
+                batch_options=(1,),
+                creation_cycles=CREATE,
+                destruction_cycles=DESTROY,
+            )
+
+    def test_deterministic(self):
+        assert argmin(5_000.0) == argmin(5_000.0)
+
+    def test_equal_cost_resolves_to_the_smallest_configuration(self):
+        # Degenerate demand where every candidate scores identically:
+        # zero window work of any kind except fixed per-candidate terms
+        # is impossible, so instead force ties by making every term zero.
+        d = demand(0.0, ocall_cycles=0.0)
+        plan = fleet_argmin(
+            d,
+            live_shards=1,
+            min_shards=1,
+            max_shards=3,
+            worker_options=(1, 2),
+            batch_options=(1, 2),
+            creation_cycles=0.0,
+            destruction_cycles=0.0,
+        )
+        # server_idle still grows with shards and worker_idle with
+        # workers, but batch is genuinely tied — the ascending sweep with
+        # strict-< replacement keeps the smallest batch.
+        assert (plan.shards, plan.workers, plan.batch) == (1, 1, 1)
+
+    def test_zero_arrivals_shrinks_to_the_floor(self):
+        plan = argmin(0.0, live=4)
+        assert plan.shards == 1
+        assert plan.workers == 1
+
+    def test_heavy_arrivals_grow_the_fleet(self):
+        quiet = argmin(100.0)
+        storm = argmin(20_000.0)
+        assert storm.shards > quiet.shards
+        assert storm.shards == 6  # saturating demand hits the ceiling
+
+    def test_more_arrivals_never_mean_fewer_shards(self):
+        sizes = [argmin(arrivals).shards for arrivals in
+                 (0.0, 500.0, 2_000.0, 8_000.0, 20_000.0)]
+        assert sizes == sorted(sizes)
+
+    def test_lifecycle_cost_damps_a_blip(self):
+        # The same one-window spike: cheap enclaves scale up, an enclave
+        # whose build costs more than the window's overload does not.
+        spike = 8_000.0
+        cheap = argmin(spike, live=2)
+        expensive = fleet_argmin(
+            demand(spike),
+            live_shards=2,
+            min_shards=1,
+            max_shards=6,
+            worker_options=(1, 2, 4),
+            batch_options=(1, 2, 4),
+            creation_cycles=1e12,
+            destruction_cycles=DESTROY,
+            t_es=10_000.0,
+        )
+        assert cheap.shards > 2
+        assert expensive.shards <= 2

@@ -1,7 +1,8 @@
 """Tests for the online anomaly detector (EWMA bands + CUSUM)."""
 
+from repro.api import ServeSpec
 from repro.obs import AnomalyDetector, MetricSampler
-from repro.serve import LoadGenerator, LoadSpec, build_serve
+from repro.serve import LoadGenerator, LoadSpec, build_cluster
 
 
 def _record(window, value, lane="total", metric="throughput_rps"):
@@ -94,8 +95,9 @@ class TestFlashCrowd:
         # Integration form: one cluster, one sampler, two sequential
         # seeded open-loop phases (trickle then crowd).  The CUSUM
         # changepoint must land on the window containing the rate shift.
-        with build_serve(
-            shards=2, budget=8, servers_per_shard=1, telemetry=False
+        with build_cluster(
+            ServeSpec(shards=2, budget=8, servers_per_shard=1),
+            telemetry=False,
         ) as cluster:
             kernel = cluster.kernel
             interval = kernel.cycles(0.004)

@@ -11,23 +11,22 @@ from repro.obs import (
     run_obs_scenario,
     write_obs_snapshot,
 )
-from repro.serve.bench import run_serve_bench
+from repro.api import BenchSpec, ServeSpec
+from repro.serve.bench import run_bench
 from repro.telemetry.schema import SchemaMismatch
 
-SCENARIO = dict(
-    shards=2,
+SCENARIO = BenchSpec(
+    serve=ServeSpec(shards=2, backend="intel"),
     seconds=0.02,
     rate=2_000.0,
     seed=7,
-    backend="intel",
-    telemetry=False,
     obs=True,
 )
 
 
 @pytest.fixture(scope="module")
 def snapshot():
-    return obs_snapshot(run_serve_bench(**SCENARIO))
+    return obs_snapshot(run_bench(SCENARIO, telemetry=False))
 
 
 class TestSnapshot:

@@ -11,24 +11,26 @@ from repro.obs import (
     write_html_report,
     write_windows_jsonl,
 )
-from repro.serve.bench import run_serve_bench
+from repro.api import BenchSpec, ServeSpec
+from repro.serve.bench import run_bench
 from repro.telemetry.schema import SchemaMismatch
 
-SCENARIO = dict(
-    shards=2,
+SCENARIO = BenchSpec(
+    serve=ServeSpec(
+        shards=2,
+        backend="intel",
+        tenants=(("bronze", 1.0), ("gold", 2.0)),
+    ),
     seconds=0.02,
     rate=2_000.0,
     seed=3,
-    backend="intel",
-    tenants={"gold": 2.0, "bronze": 1.0},
-    telemetry=False,
     obs=True,
 )
 
 
 @pytest.fixture(scope="module")
 def obs():
-    return run_serve_bench(**SCENARIO)["obs"]
+    return run_bench(SCENARIO, telemetry=False)["obs"]
 
 
 class TestJsonl:

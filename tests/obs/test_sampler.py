@@ -4,22 +4,30 @@ import json
 
 import pytest
 
+from repro.api import BenchSpec, ServeSpec, SpecError
 from repro.obs import MetricSampler, merge_raw_windows
 from repro.obs.sampler import merge_spilled, shard_lane, tenant_lane
-from repro.serve.bench import run_serve_bench
+from repro.serve.bench import run_bench
 from repro.serve.slices import run_slice_bench
 from repro.sim import Kernel, server_machine
+
 
 # Light but non-trivial: the simulated machine stays contention-free so
 # scheduler-local behavior is layout-invariant (same hedge as the slice
 # equivalence tests), and the tenant mix exercises tenant lanes.
-IDENTITY = dict(
-    seconds=0.04,
-    rate=3_000.0,
-    seed=11,
-    backend="intel",
-    tenants={"alpha": 3.0, "beta": 1.0},
-)
+def identity(shards, slices=1, *, obs=True):
+    return BenchSpec(
+        serve=ServeSpec(
+            shards=shards,
+            backend="intel",
+            tenants=(("alpha", 3.0), ("beta", 1.0)),
+        ),
+        seconds=0.04,
+        rate=3_000.0,
+        seed=11,
+        slices=slices,
+        obs=obs,
+    )
 
 
 def _stream(result):
@@ -107,14 +115,15 @@ class TestWindowing:
 
 class TestBenchIntegration:
     def test_windowed_totals_conserve_router_counts(self):
-        result = run_serve_bench(
-            shards=2,
-            seconds=0.03,
-            rate=3_000.0,
-            seed=0,
-            budget=8,
+        result = run_bench(
+            BenchSpec(
+                serve=ServeSpec(shards=2, budget=8),
+                seconds=0.03,
+                rate=3_000.0,
+                seed=0,
+                obs=True,
+            ),
             telemetry=False,
-            obs=True,
         )
         totals = {"completed": 0, "shed": 0, "submitted": 0}
         for record in result["obs"]["records"]:
@@ -127,28 +136,31 @@ class TestBenchIntegration:
         assert result["obs"]["spilled"] == {}
 
     def test_obs_interval_validation(self):
-        with pytest.raises(ValueError, match="obs_interval"):
-            run_serve_bench(
-                shards=2, seconds=0.01, telemetry=False, obs=True, obs_interval=-1.0
+        with pytest.raises(SpecError, match="obs_interval"):
+            BenchSpec(
+                serve=ServeSpec(shards=2),
+                seconds=0.01,
+                obs=True,
+                obs_interval=-1.0,
             )
 
     def test_rerun_is_bit_identical(self):
-        first = run_serve_bench(shards=4, telemetry=False, obs=True, **IDENTITY)
-        second = run_serve_bench(shards=4, telemetry=False, obs=True, **IDENTITY)
+        first = run_bench(identity(4), telemetry=False)
+        second = run_bench(identity(4), telemetry=False)
         assert _stream(first) == _stream(second)
 
     def test_sliced_stream_is_bit_identical_to_unsliced(self):
         # The acceptance bar: same seed ⇒ the merged --slices N window
         # stream (records AND anomaly verdicts) is byte-identical to the
         # unsliced run's.
-        unsliced = run_serve_bench(shards=4, telemetry=False, obs=True, **IDENTITY)
-        sliced = run_slice_bench(4, 2, jobs=1, obs=True, **IDENTITY)
+        unsliced = run_bench(identity(4), telemetry=False)
+        sliced = run_slice_bench(identity(4, 2), jobs=1)
         assert unsliced["obs"]["lanes"] == sliced["obs"]["lanes"]
         assert _stream(unsliced) == _stream(sliced)
 
     def test_sampler_does_not_perturb_the_simulation(self):
-        plain = run_serve_bench(shards=2, telemetry=False, **IDENTITY)
-        attached = run_serve_bench(shards=2, telemetry=False, obs=True, **IDENTITY)
+        plain = run_bench(identity(2, obs=False), telemetry=False)
+        attached = run_bench(identity(2), telemetry=False)
         assert attached["totals"]["completed"] == plain["totals"]["completed"]
         assert attached["totals"]["latency_us"] == plain["totals"]["latency_us"]
         assert attached["per_shard"] == plain["per_shard"]

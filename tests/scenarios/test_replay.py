@@ -14,16 +14,34 @@ from repro.scenarios.replay import (
     compare_scenario_baseline,
     scenario_snapshot,
 )
+from repro.api import BenchSpec, ServeSpec
 from repro.scenarios.trace import write_trace
-from repro.serve.bench import run_serve_bench
-from repro.serve.slices import run_slice_bench
+from repro.serve.bench import run_bench
 
-LIGHT = dict(
+LIGHT = ServeSpec(
     shards=2,
     backend="zc",
     queue_capacity=64,
     servers_per_shard=2,
 )
+
+
+def light_spec(*, trace=None, slices=1, clients=None, apps=None):
+    serve = LIGHT if apps is None else ServeSpec(
+        shards=2,
+        backend="zc",
+        queue_capacity=64,
+        servers_per_shard=2,
+        apps=apps,
+    )
+    return BenchSpec(
+        serve=serve,
+        rate=None if clients else 2_000.0,
+        seconds=0.06,
+        clients=clients,
+        trace=trace,
+        slices=slices,
+    )
 
 
 def _light_trace():
@@ -54,22 +72,22 @@ def outcome_keys(entry):
 class TestReplayBasics:
     def test_replay_issues_exactly_the_trace(self):
         trace = _light_trace()
-        result = run_serve_bench(trace=trace, **LIGHT)
+        result = run_bench(light_spec(), trace=trace)
         assert result["totals"]["issued"] == len(trace.events)
         assert result["totals"]["completed"] + result["totals"]["shed"] + \
             result["totals"]["failed"] == len(trace.events)
 
     def test_replay_is_deterministic(self):
         trace = _light_trace()
-        one = run_serve_bench(trace=trace, **LIGHT)
-        two = run_serve_bench(trace=trace, **LIGHT)
+        one = run_bench(light_spec(), trace=trace)
+        two = run_bench(light_spec(), trace=trace)
         assert one["totals"] == two["totals"]
         assert one["per_shard"] == two["per_shard"]
         assert one["per_app"] == two["per_app"]
 
     def test_replay_records_trace_provenance(self):
         trace = _light_trace()
-        result = run_serve_bench(trace=trace, **LIGHT)
+        result = run_bench(light_spec(), trace=trace)
         params = result["params"]
         assert params["scenario"] == "replay-light"
         assert params["trace_digest"] == trace.digest
@@ -79,7 +97,7 @@ class TestReplayBasics:
 
     def test_tenant_and_app_tags_flow_through(self):
         trace = _light_trace()
-        result = run_serve_bench(trace=trace, **LIGHT)
+        result = run_bench(light_spec(), trace=trace)
         assert set(result["per_app"]) == {"kv", "session"}
         assert set(result["per_tenant"]) == {"gold", "bronze"}
         by_app = {
@@ -91,21 +109,19 @@ class TestReplayBasics:
 
     def test_trace_replay_rejects_the_closed_loop(self):
         with pytest.raises(ValueError, match="open-loop"):
-            run_serve_bench(trace=_light_trace(), clients=4, **LIGHT)
+            run_bench(light_spec(clients=4), trace=_light_trace())
 
     def test_installed_apps_must_cover_the_trace(self):
         with pytest.raises(ValueError, match="not in"):
-            run_serve_bench(
-                trace=_light_trace(), apps=(("kv", 1.0),), **LIGHT
-            )
+            run_bench(light_spec(apps=(("kv", 1.0),)), trace=_light_trace())
 
 
 class TestSliceEquivalence:
     def test_sliced_replay_matches_unsliced_per_shard(self, tmp_path):
         trace = _light_trace()
         path = write_trace(trace, str(tmp_path / "t.jsonl"))
-        unsliced = run_serve_bench(trace=trace, **LIGHT)
-        sliced = run_slice_bench(slices=2, trace_path=path, **LIGHT)
+        unsliced = run_bench(light_spec(), trace=trace)
+        sliced = run_bench(light_spec(trace=path, slices=2))
         assert [outcome_keys(e) for e in sliced["per_shard"]] == [
             outcome_keys(e) for e in unsliced["per_shard"]
         ]
@@ -116,7 +132,7 @@ class TestSliceEquivalence:
     def test_slice_partition_is_exhaustive_and_disjoint(self, tmp_path):
         trace = _light_trace()
         path = write_trace(trace, str(tmp_path / "t.jsonl"))
-        sliced = run_slice_bench(slices=2, trace_path=path, **LIGHT)
+        sliced = run_bench(light_spec(trace=path, slices=2))
         # Each slice walks all arrivals and admits only its own: the two
         # slices' admitted counts sum to the trace length.
         admitted = [
@@ -129,8 +145,8 @@ class TestSliceEquivalence:
     def test_sliced_replay_merges_per_app_sections(self, tmp_path):
         trace = _light_trace()
         path = write_trace(trace, str(tmp_path / "t.jsonl"))
-        unsliced = run_serve_bench(trace=trace, **LIGHT)
-        sliced = run_slice_bench(slices=2, trace_path=path, **LIGHT)
+        unsliced = run_bench(light_spec(), trace=trace)
+        sliced = run_bench(light_spec(trace=path, slices=2))
         for app in ("kv", "session"):
             for name in ("submitted", "completed", "shed", "failed"):
                 assert (
@@ -141,7 +157,7 @@ class TestSliceEquivalence:
 
 class TestSnapshotGate:
     def _result(self):
-        return run_serve_bench(trace=_light_trace(), **LIGHT)
+        return run_bench(light_spec(), trace=_light_trace())
 
     def test_snapshot_round_trips_through_the_gate(self):
         result = self._result()

@@ -13,7 +13,8 @@ from repro.serve.apps import (
     make_apps,
     validate_app_names,
 )
-from repro.serve.bench import run_serve_bench
+from repro.api import BenchSpec, ServeSpec
+from repro.serve.bench import run_bench
 from repro.serve.shard import EnclaveShard, ServedApp
 
 
@@ -73,8 +74,8 @@ class TestShardIntegration:
             assert shard.default_app == "session"
 
     def test_unknown_app_in_request_fails_the_request(self):
-        result = run_serve_bench(
-            shards=1, seconds=0.02, rate=1_000.0, backend="zc"
+        result = run_bench(
+            BenchSpec(serve=ServeSpec(shards=1), seconds=0.02, rate=1_000.0)
         )
         # Sanity: the single-app path stays all-kv and healthy.
         assert set(result["per_app"]) == {"kv"}
@@ -83,13 +84,16 @@ class TestShardIntegration:
 
 class TestMultiAppBench:
     def test_mixed_run_reports_all_three_apps(self):
-        result = run_serve_bench(
-            shards=2,
-            seconds=0.05,
-            rate=3_000.0,
-            backend="zc",
-            apps=(("kv", 2.0), ("session", 1.0), ("crypto", 0.5)),
-            seed=7,
+        result = run_bench(
+            BenchSpec(
+                serve=ServeSpec(
+                    shards=2,
+                    apps=(("kv", 2.0), ("session", 1.0), ("crypto", 0.5)),
+                ),
+                seconds=0.05,
+                rate=3_000.0,
+                seed=7,
+            )
         )
         assert set(result["per_app"]) == {"kv", "session", "crypto"}
         total = sum(r["submitted"] for r in result["per_app"].values())
@@ -102,21 +106,22 @@ class TestMultiAppBench:
     def test_single_app_mix_matches_appless_run(self):
         # A one-pair mix installs the app without consuming RNG, so the
         # seeded stream is byte-identical to the classic kv-only run.
-        plain = run_serve_bench(shards=2, seconds=0.04, rate=2_000.0, seed=3)
-        mixed = run_serve_bench(
-            shards=2, seconds=0.04, rate=2_000.0, seed=3, apps=(("kv", 1.0),)
+        base = BenchSpec(serve=ServeSpec(shards=2), seconds=0.04, rate=2_000.0, seed=3)
+        plain = run_bench(base)
+        mixed = run_bench(
+            base.replace(serve=ServeSpec(shards=2, apps=(("kv", 1.0),)))
         )
         assert plain["totals"]["submitted"] == mixed["totals"]["submitted"]
         assert plain["per_shard"] == mixed["per_shard"]
 
     def test_crypto_counters_advance_under_load(self):
-        result = run_serve_bench(
-            shards=1,
-            seconds=0.05,
-            rate=2_000.0,
-            backend="zc",
-            apps=(("crypto", 1.0),),
-            seed=5,
+        result = run_bench(
+            BenchSpec(
+                serve=ServeSpec(shards=1, apps=(("crypto", 1.0),)),
+                seconds=0.05,
+                rate=2_000.0,
+                seed=5,
+            )
         )
         stats = result["per_shard"][0]["apps"]["crypto"]
         assert stats["encrypts"] + stats["decrypts"] > 0

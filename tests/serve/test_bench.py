@@ -4,30 +4,34 @@ import copy
 
 import pytest
 
+from repro.api import BenchSpec, ServeSpec
 from repro.faults import FaultPlan, FaultSpec
 from repro.regress import attach_auditor
 from repro.serve.bench import (
     compare_to_baseline,
     load_baseline,
-    run_serve_bench,
+    run_bench,
     write_result,
 )
 from repro.telemetry import TelemetrySession
 
-#: Closed-loop saturation parameters: offered load scales with the shard
+#: Small open-loop spec most artifact tests share.
+OPEN_LOOP = BenchSpec(
+    serve=ServeSpec(shards=2, budget=4), seconds=0.01, rate=2_000.0
+)
+
+
+#: Closed-loop saturation spec: offered load scales with the shard
 #: count, so throughput measures capacity, not the generator.
-def saturating(shards, **overrides):
-    params = dict(
-        shards=shards,
+def saturating(shards, *, plan=None, telemetry=False):
+    spec = BenchSpec(
+        serve=ServeSpec(shards=shards, policy="round-robin", budget=8),
         seconds=0.005,
+        rate=None,
         clients=2 * shards,
         requests_per_client=400,
-        policy="round-robin",
-        budget=8,
-        telemetry=False,
     )
-    params.update(overrides)
-    return run_serve_bench(**params)
+    return run_bench(spec, plan=plan, telemetry=telemetry)
 
 
 ONE_LOST = FaultPlan(
@@ -46,18 +50,12 @@ EARLY_LOST = FaultPlan(
 
 class TestArtifact:
     def test_deterministic(self):
-        first = run_serve_bench(
-            shards=2, seconds=0.01, rate=2_000.0, budget=4, telemetry=False
-        )
-        second = run_serve_bench(
-            shards=2, seconds=0.01, rate=2_000.0, budget=4, telemetry=False
-        )
+        first = run_bench(OPEN_LOOP, telemetry=False)
+        second = run_bench(OPEN_LOOP, telemetry=False)
         assert first == second
 
     def test_shape_and_conservation(self):
-        result = run_serve_bench(
-            shards=2, seconds=0.01, rate=2_000.0, budget=4, telemetry=False
-        )
+        result = run_bench(OPEN_LOOP, telemetry=False)
         assert result["meta"]["artifact"] == "serve-bench"
         totals = result["totals"]
         accounted = totals["completed"] + totals["shed"] + totals["failed"]
@@ -70,18 +68,24 @@ class TestArtifact:
         # The zc shards serve their WAL appends switchlessly.
         assert sum(s["switchless_ocalls"] for s in result["per_shard"]) > 0
 
+    def test_artifact_embeds_the_spec(self):
+        result = run_bench(OPEN_LOOP, telemetry=False)
+        assert BenchSpec.from_json(result["spec"]) == OPEN_LOOP
+
     def test_baseline_round_trip(self, tmp_path):
-        result = run_serve_bench(
-            shards=1, seconds=0.005, rate=2_000.0, budget=4, telemetry=False
+        spec = OPEN_LOOP.replace(
+            serve=ServeSpec(shards=1, budget=4), seconds=0.005
         )
+        result = run_bench(spec, telemetry=False)
         path = write_result(result, str(tmp_path / "serve.json"))
         baseline = load_baseline(path)
         assert compare_to_baseline(result, baseline) == []
 
     def test_gate_catches_regressions(self, tmp_path):
-        result = run_serve_bench(
-            shards=1, seconds=0.005, rate=2_000.0, budget=4, telemetry=False
+        spec = OPEN_LOOP.replace(
+            serve=ServeSpec(shards=1, budget=4), seconds=0.005
         )
+        result = run_bench(spec, telemetry=False)
         path = write_result(result, str(tmp_path / "serve.json"))
         baseline = load_baseline(path)
         worse = copy.deepcopy(result)
@@ -109,17 +113,17 @@ class TestPrometheusExport:
     def test_serve_metrics_reach_the_session_registry(self):
         from repro.telemetry.exporters import render_prometheus
 
+        spec = OPEN_LOOP.replace(
+            serve=ServeSpec(
+                shards=2,
+                budget=4,
+                tenants=(("bronze", 1.0), ("gold", 3.0)),
+            )
+        )
         captures = []
         session = TelemetrySession(on_attach=captures.append)
         with session:
-            run_serve_bench(
-                shards=2,
-                seconds=0.01,
-                rate=2_000.0,
-                budget=4,
-                tenants={"gold": 3.0, "bronze": 1.0},
-                telemetry=session,
-            )
+            run_bench(spec, telemetry=session)
         assert captures, "the serve kernel was not captured"
         text = render_prometheus(captures[0].registry)
         # Request counters, one family for the router and one per tenant.
@@ -137,20 +141,19 @@ class TestPrometheusExport:
 
 
 class TestFaultTolerance:
-    FAULT_PARAMS = dict(
-        shards=4,
+    FAULT_SPEC = BenchSpec(
+        serve=ServeSpec(shards=4, policy="round-robin", budget=8),
         seconds=0.02,
+        rate=None,
         clients=8,
         requests_per_client=1_000,
-        policy="round-robin",
-        budget=8,
     )
 
     def test_losing_one_shard_degrades_at_most_proportionally(self):
-        healthy = run_serve_bench(**self.FAULT_PARAMS, telemetry=False)["totals"]
-        faulty = run_serve_bench(
-            **self.FAULT_PARAMS, plan=ONE_LOST, telemetry=False
-        )["totals"]
+        healthy = run_bench(self.FAULT_SPEC, telemetry=False)["totals"]
+        faulty = run_bench(self.FAULT_SPEC, plan=ONE_LOST, telemetry=False)[
+            "totals"
+        ]
         # Every request still completes: the router re-homes, nothing is lost.
         assert faulty["completed"] == healthy["completed"] == 8_000
         assert faulty["failed"] == 0
@@ -163,21 +166,19 @@ class TestFaultTolerance:
         assert faulty["dead"] == []
 
     def test_fault_run_passes_the_invariant_audit(self):
+        spec = BenchSpec(
+            serve=ServeSpec(shards=2, policy="round-robin", budget=4),
+            seconds=0.01,
+            rate=None,
+            clients=4,
+            requests_per_client=200,
+        )
         auditors = []
         session = TelemetrySession(
             on_attach=lambda capture: auditors.append(attach_auditor(capture))
         )
         with session:
-            result = run_serve_bench(
-                shards=2,
-                seconds=0.01,
-                clients=4,
-                requests_per_client=200,
-                policy="round-robin",
-                budget=4,
-                plan=EARLY_LOST,
-                telemetry=session,
-            )
+            result = run_bench(spec, plan=EARLY_LOST, telemetry=session)
         assert result["totals"]["quarantines"] >= 1
         assert auditors, "the serve kernel was not captured"
         for auditor in auditors:

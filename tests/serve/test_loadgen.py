@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.serve import LoadGenerator, LoadSpec, build_serve
+from repro.api import ServeSpec
+from repro.serve import LoadGenerator, LoadSpec, build_cluster
 
-QUICK = dict(shards=2, budget=4, servers_per_shard=1, telemetry=False)
+QUICK = ServeSpec(shards=2, budget=4, servers_per_shard=1)
 
 
 class TestLoadSpec:
@@ -23,7 +24,7 @@ class TestLoadSpec:
 
 class TestClosedLoop:
     def test_issues_exactly_the_request_budget(self):
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             spec = LoadSpec(clients=3, requests_per_client=20)
             generator = LoadGenerator(cluster.kernel, cluster.router, spec)
             generator.run()
@@ -32,7 +33,7 @@ class TestClosedLoop:
             assert cluster.router.completed == 60
 
     def test_deadline_bounds_the_run(self):
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             spec = LoadSpec(
                 clients=2, requests_per_client=None, duration_s=0.001
             )
@@ -44,7 +45,7 @@ class TestClosedLoop:
 
 class TestOpenLoop:
     def test_total_requests_bound(self):
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             spec = LoadSpec(rate_rps=100_000.0, total_requests=40)
             generator = LoadGenerator(cluster.kernel, cluster.router, spec)
             generator.run()
@@ -54,7 +55,7 @@ class TestOpenLoop:
     def test_same_seed_same_schedule(self):
         counts = []
         for _ in range(2):
-            with build_serve(**QUICK) as cluster:
+            with build_cluster(QUICK, telemetry=False) as cluster:
                 spec = LoadSpec(rate_rps=50_000.0, duration_s=0.002, seed=3)
                 generator = LoadGenerator(cluster.kernel, cluster.router, spec)
                 generator.run()
@@ -66,7 +67,7 @@ class TestOpenLoop:
     def test_different_seeds_differ(self):
         issued = []
         for seed in (0, 1):
-            with build_serve(**QUICK) as cluster:
+            with build_cluster(QUICK, telemetry=False) as cluster:
                 spec = LoadSpec(rate_rps=50_000.0, duration_s=0.002, seed=seed)
                 generator = LoadGenerator(cluster.kernel, cluster.router, spec)
                 generator.run()
@@ -78,14 +79,14 @@ class TestOpenLoop:
 
 class TestMix:
     def test_sets_reach_the_wal(self):
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             spec = LoadSpec(clients=2, requests_per_client=30, set_fraction=1.0)
             LoadGenerator(cluster.kernel, cluster.router, spec).run()
             mutations = sum(shard.server.mutations for shard in cluster.shards)
             assert mutations == 60
 
     def test_get_only_mix_mutates_nothing(self):
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             spec = LoadSpec(clients=2, requests_per_client=30, set_fraction=0.0)
             LoadGenerator(cluster.kernel, cluster.router, spec).run()
             assert sum(shard.server.mutations for shard in cluster.shards) == 0
@@ -105,7 +106,7 @@ class TestEdgeCases:
             LoadSpec(rate_rps=100.0, duration_s=0.001, tenants=(("t", -2.0),))
 
     def test_single_request_closed_loop(self):
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             spec = LoadSpec(clients=1, requests_per_client=1)
             generator = LoadGenerator(cluster.kernel, cluster.router, spec)
             generator.run()
@@ -113,7 +114,7 @@ class TestEdgeCases:
             assert cluster.router.completed == 1
 
     def test_single_request_open_loop(self):
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             spec = LoadSpec(rate_rps=10_000.0, total_requests=1)
             generator = LoadGenerator(cluster.kernel, cluster.router, spec)
             generator.run()
@@ -137,7 +138,7 @@ class TestEdgeCases:
                 return gaps.pop(0) if gaps else 1.0
 
         monkeypatch.setattr(loadgen_mod.random, "Random", Scripted)
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             spec = LoadSpec(rate_rps=500.0, duration_s=0.004, seed=0)
             generator = LoadGenerator(cluster.kernel, cluster.router, spec)
             generator.run()
@@ -151,7 +152,7 @@ class TestEdgeCases:
         # ever counted past the horizon (the last window's edge).
         from repro.obs import MetricSampler
 
-        with build_serve(**QUICK) as cluster:
+        with build_cluster(QUICK, telemetry=False) as cluster:
             kernel = cluster.kernel
             interval = kernel.cycles(0.001)
             sampler = MetricSampler(

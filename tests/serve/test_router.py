@@ -67,6 +67,9 @@ class FakeShard:
         drained, self.queue = self.queue, []
         return drained
 
+    def stop(self):
+        self.stopping = True
+
     def probe(self):
         result = yield from self.client.size()
         return result
@@ -239,6 +242,7 @@ class TestQuarantine:
         assert stats["submitted"] == 0
         assert stats["quarantined"] == []
         assert stats["dead"] == []
+        assert stats["retired"] == []
         assert set(stats) >= {
             "completed",
             "shed",
@@ -246,4 +250,112 @@ class TestQuarantine:
             "rerouted",
             "quarantines",
             "readmissions",
+            "forecast_shed",
+            "shards_added",
+            "shards_retired",
         }
+
+
+class TestElasticFleet:
+    """Shard add/retire mid-run: the autoscaler's routing surface."""
+
+    def test_add_shard_rehomes_only_the_migrating_keys(self):
+        # Rendezvous property under growth: adding shard N changes a
+        # key's placement only when shard N now holds the key's highest
+        # score — every other key keeps its old shard bit-for-bit.
+        kernel = Kernel(paper_machine())
+        router, shards = make_router(kernel, n_shards=3, capacity=1_000)
+        keys = [f"key-{i}".encode() for i in range(256)]
+        before = {key: router._pick(key).index for key in keys}
+        router.add_shard(FakeShard(kernel, 3, capacity=1_000))
+        after = {key: router._pick(key).index for key in keys}
+        moved = [key for key in keys if after[key] != before[key]]
+        assert moved, "growing the fleet migrated no keys at all"
+        assert all(after[key] == 3 for key in moved)
+        for key in keys:
+            expected = max(
+                range(4), key=lambda s: _rendezvous_score(key, s)
+            )
+            assert after[key] == expected
+
+    def test_mid_run_add_conserves_in_flight_requests(self):
+        # Conservation across a mid-run scale-up: requests queued before
+        # the add complete exactly where they already sit; requests
+        # submitted after follow the grown rendezvous map; every request
+        # reaches a terminal state.
+        kernel = Kernel(paper_machine())
+        router, shards = make_router(kernel, n_shards=2, capacity=1_000)
+        keys = [f"key-{i}".encode() for i in range(48)]
+        first_wave = [submit_one(kernel, router, key=key) for key in keys]
+        pre_add = {
+            request.key: request.shard
+            for shard in shards
+            for request in shard.queue
+        }
+        assert len(pre_add) == len(keys)
+
+        grown = FakeShard(kernel, 2, capacity=1_000)
+        router.add_shard(grown)
+        assert router.stats()["shards_added"] == 1
+        # The add moves no queued work: the new shard starts empty and
+        # the in-flight requests keep their pre-add placement.
+        assert grown.queue == []
+        assert {
+            request.key: request.shard
+            for shard in shards
+            for request in shard.queue
+        } == pre_add
+
+        second_wave = [submit_one(kernel, router, key=key) for key in keys]
+        owner = {
+            key: max(range(3), key=lambda s: _rendezvous_score(key, s))
+            for key in keys
+        }
+        for shard in (*shards, grown):
+            for request in shard.queue:
+                if request.key in owner and request.shard != pre_add.get(
+                    request.key
+                ):
+                    assert request.shard == owner[request.key]
+        # Keys whose 3-shard owner is the new shard actually land there.
+        migrated = [key for key in keys if owner[key] == 2]
+        assert migrated
+        assert {request.key for request in grown.queue} == set(migrated)
+
+        for shard in (*shards, grown):
+            for request in shard.drain():
+                request.complete(b"v")
+        kernel.run()
+        threads = first_wave + second_wave
+        assert all(t.result == ("ok", b"v") for t in threads)
+        assert router.submitted == router.completed == 2 * len(keys)
+
+    def test_add_shard_rejects_a_duplicate_index(self):
+        kernel = Kernel(paper_machine())
+        router, shards = make_router(kernel, n_shards=2)
+        with pytest.raises(ValueError, match="already routed"):
+            router.add_shard(FakeShard(kernel, 1))
+
+    def test_retire_drains_and_rehomes_the_queue(self):
+        kernel = Kernel(paper_machine())
+        router, shards = make_router(kernel, n_shards=3, capacity=1_000)
+        victim = shards[2]
+        queued = [Request(kernel, "get", f"q{i}".encode()) for i in range(4)]
+        for request in queued:
+            assert victim.try_enqueue(request)
+
+        drained = router.retire_shard(victim)
+        assert [r.request_id for r in drained] == [
+            r.request_id for r in queued
+        ]
+        assert victim.stopping
+        assert router.retired == {2}
+        kernel.run()  # drive the re-submit daemons
+        assert router.rerouted == 4
+        survivors = shards[0].queue + shards[1].queue
+        assert {r.key for r in survivors} == {r.key for r in queued}
+        assert all(r.shard in (0, 1) for r in survivors)
+        # Retire is terminal and idempotent: no re-pick, no double drain.
+        assert router.retire_shard(victim) == []
+        assert router.stats()["shards_retired"] == 1
+        assert all(router._pick(b"k").index != 2 for _ in range(8))

@@ -12,7 +12,8 @@ import json
 
 import pytest
 
-from repro.serve.bench import run_serve_bench
+from repro.api import BenchSpec, ServeSpec, SpecError
+from repro.serve.bench import run_bench
 from repro.serve.router import _rendezvous_score
 from repro.serve.slices import (
     make_admit,
@@ -23,7 +24,22 @@ from repro.serve.slices import (
     split_budget,
 )
 
-LIGHT = dict(seconds=0.04, rate=3_000.0, seed=11)
+
+def light(shards, slices=1, *, tenants=None, budget=None, plan=None, fault_shard=0):
+    """The light-load spec the equivalence tests share."""
+    return BenchSpec(
+        serve=ServeSpec(
+            shards=shards,
+            tenants=tenants,
+            budget=budget,
+            plan=plan,
+            fault_shard=fault_shard,
+        ),
+        seconds=0.04,
+        rate=3_000.0,
+        seed=11,
+        slices=slices,
+    )
 
 
 def outcome_keys(entry):
@@ -82,8 +98,8 @@ class TestPartition:
 
 class TestEquivalence:
     def test_sliced_matches_unsliced_per_shard(self):
-        base = run_serve_bench(shards=4, telemetry=False, **LIGHT)
-        sliced = run_slice_bench(4, 2, jobs=1, **LIGHT)
+        base = run_bench(light(4), telemetry=False)
+        sliced = run_slice_bench(light(4, 2), jobs=1)
         assert [outcome_keys(e) for e in base["per_shard"]] == [
             outcome_keys(e) for e in sliced["per_shard"]
         ]
@@ -91,10 +107,10 @@ class TestEquivalence:
             assert base["totals"][field] == sliced["totals"][field]
 
     def test_tenant_streams_survive_slicing(self):
-        tenants = {"gold": 3.0, "bronze": 1.0}
-        base = run_serve_bench(shards=4, tenants=tenants, telemetry=False, **LIGHT)
-        sliced = run_slice_bench(4, 2, tenants=tenants, jobs=1, **LIGHT)
-        for tenant in tenants:
+        tenants = (("bronze", 1.0), ("gold", 3.0))
+        base = run_bench(light(4, tenants=tenants), telemetry=False)
+        sliced = run_slice_bench(light(4, 2, tenants=tenants), jobs=1)
+        for tenant, _ in tenants:
             for field in ("submitted", "completed", "shed", "failed"):
                 assert (
                     base["per_tenant"][tenant][field]
@@ -102,7 +118,7 @@ class TestEquivalence:
                 ), (tenant, field)
 
     def test_merge_conserves_counts(self):
-        sliced = run_slice_bench(5, 3, jobs=1, **LIGHT)
+        sliced = run_slice_bench(light(5, 3), jobs=1)
         assert sliced["totals"]["completed"] == sum(
             entry["completed"] for entry in sliced["slices"]
         )
@@ -111,14 +127,24 @@ class TestEquivalence:
         assert sorted(owned) == list(range(5))
 
     def test_fork_pool_matches_serial(self):
-        serial = run_slice_bench(4, 2, jobs=1, **LIGHT)
-        pooled = run_slice_bench(4, 2, jobs=2, **LIGHT)
+        serial = run_slice_bench(light(4, 2), jobs=1)
+        pooled = run_slice_bench(light(4, 2), jobs=2)
         assert json.dumps(serial, sort_keys=True) == json.dumps(
             pooled, sort_keys=True
         )
 
+    def test_run_bench_dispatches_sliced_specs(self):
+        # Runtime.serve / run_bench on a slices>1 spec IS the slice
+        # runner: one entry point, identical artifact.
+        direct = run_slice_bench(light(4, 2), jobs=1)
+        dispatched = run_bench(light(4, 2))
+        assert json.dumps(direct, sort_keys=True) == json.dumps(
+            dispatched, sort_keys=True
+        )
+
     def test_artifact_shape_and_provenance(self):
-        sliced = run_slice_bench(4, 2, jobs=1, **LIGHT)
+        spec = light(4, 2)
+        sliced = run_slice_bench(spec, jobs=1)
         assert sliced["meta"]["artifact"] == "serve-bench"
         assert sliced["params"]["slices"] == 2
         assert sliced["params"]["slice_shards"] == [[0, 2], [1, 3]]
@@ -126,11 +152,13 @@ class TestEquivalence:
         assert sliced["totals"]["latency_us"]["count"] == float(
             sliced["totals"]["completed"]
         )
+        # The merged artifact records the *original* sliced spec.
+        assert BenchSpec.from_json(sliced["spec"]) == spec
 
 
 class TestAudit:
     def test_audit_section_aggregates_slice_verdicts(self):
-        sliced = run_slice_bench(4, 2, jobs=1, audit=True, **LIGHT)
+        sliced = run_slice_bench(light(4, 2), jobs=1, audit=True)
         assert sliced["audit"]["ok"] is True
         assert len(sliced["audit"]["cells"]) == 2
         assert sliced["audit"]["violations"] == 0
@@ -138,8 +166,17 @@ class TestAudit:
 
 class TestValidation:
     def test_requires_hash_policy(self):
-        with pytest.raises(ValueError, match="hash"):
-            run_slice_bench(4, 2, policy="rr", jobs=1, **LIGHT)
+        with pytest.raises(SpecError, match="hash"):
+            BenchSpec(
+                serve=ServeSpec(shards=4, policy="round-robin"),
+                seconds=0.04,
+                rate=3_000.0,
+                slices=2,
+            )
+
+    def test_spec_and_legacy_kwargs_are_exclusive(self):
+        with pytest.raises(SpecError, match="extra bench keywords"):
+            run_slice_bench(light(4, 2), seed=11)
 
     def test_merge_rejects_empty(self):
         from repro.sim import server_machine
@@ -147,15 +184,16 @@ class TestValidation:
         with pytest.raises(ValueError, match="nothing to merge"):
             merge_slice_results([], server_machine())
 
+    def test_legacy_keyword_path_warns_but_still_runs(self):
+        with pytest.deprecated_call():
+            sliced = run_slice_bench(
+                4, 2, seconds=0.04, rate=3_000.0, seed=11, jobs=1
+            )
+        assert sliced["params"]["slices"] == 2
+
     def test_fault_plan_attaches_only_in_owning_slice(self):
         sliced = run_slice_bench(
-            4,
-            2,
-            plan="enclave-lost",
-            fault_shard=1,
-            budget=8,
-            jobs=1,
-            **LIGHT,
+            light(4, 2, plan="enclave-lost", fault_shard=1, budget=8), jobs=1
         )
         assert sliced["params"]["plan"] == "enclave-lost"
         # Shard 1 lives in slice 1; its quarantine shows up post-merge.

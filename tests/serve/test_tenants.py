@@ -8,10 +8,11 @@ re-homing preserves per-tenant queue conservation.
 
 import pytest
 
+from repro.api import BenchSpec, ServeSpec
 from repro.faults import FaultPlan, FaultSpec
 from repro.regress import attach_auditor
 from repro.serve import Router
-from repro.serve.bench import run_serve_bench
+from repro.serve.bench import run_bench
 from repro.telemetry import TelemetrySession
 from repro.sim import Kernel, paper_machine
 
@@ -178,16 +179,21 @@ def per_tenant_conserved(result):
 
 class TestBlockModeFairness:
     def test_skewed_mix_blocks_instead_of_shedding(self):
-        result = run_serve_bench(
-            shards=1,
-            seconds=0.01,
-            clients=6,
-            requests_per_client=100,
-            policy="round-robin",
-            admission="block",
-            queue_capacity=2,
-            budget=4,
-            tenants=SKEWED_MIX,
+        result = run_bench(
+            BenchSpec(
+                serve=ServeSpec(
+                    shards=1,
+                    policy="round-robin",
+                    admission="block",
+                    queue_capacity=2,
+                    budget=4,
+                    tenants=tuple(sorted(SKEWED_MIX.items())),
+                ),
+                seconds=0.01,
+                rate=None,
+                clients=6,
+                requests_per_client=100,
+            ),
             telemetry=False,
         )
         per_tenant_conserved(result)
@@ -201,12 +207,16 @@ class TestBlockModeFairness:
             assert record["shed_rate"] == 0.0
 
     def test_weighted_mix_reaches_every_tenant(self):
-        result = run_serve_bench(
-            shards=2,
-            seconds=0.02,
-            rate=4_000.0,
-            budget=4,
-            tenants=SKEWED_MIX,
+        result = run_bench(
+            BenchSpec(
+                serve=ServeSpec(
+                    shards=2,
+                    budget=4,
+                    tenants=tuple(sorted(SKEWED_MIX.items())),
+                ),
+                seconds=0.02,
+                rate=4_000.0,
+            ),
             telemetry=False,
         )
         per_tenant_conserved(result)
@@ -265,15 +275,20 @@ class TestQuarantineRehoming:
             on_attach=lambda capture: auditors.append(attach_auditor(capture))
         )
         with session:
-            result = run_serve_bench(
-                shards=2,
-                seconds=0.01,
-                clients=4,
-                requests_per_client=200,
-                policy="round-robin",
-                budget=4,
+            result = run_bench(
+                BenchSpec(
+                    serve=ServeSpec(
+                        shards=2,
+                        policy="round-robin",
+                        budget=4,
+                        tenants=(("bronze", 1.0), ("gold", 3.0)),
+                    ),
+                    seconds=0.01,
+                    rate=None,
+                    clients=4,
+                    requests_per_client=200,
+                ),
                 plan=EARLY_LOST,
-                tenants={"gold": 3.0, "bronze": 1.0},
                 telemetry=session,
             )
         totals = result["totals"]
@@ -290,14 +305,18 @@ class TestQuarantineRehoming:
     def test_recovery_episodes_reported_per_tenant_run(self):
         # Open loop: the run outlives the recovery backoff, so the
         # episode resolves inside the artifact window.
-        result = run_serve_bench(
-            shards=2,
-            seconds=0.02,
-            rate=4_000.0,
-            policy="round-robin",
-            budget=4,
+        result = run_bench(
+            BenchSpec(
+                serve=ServeSpec(
+                    shards=2,
+                    policy="round-robin",
+                    budget=4,
+                    tenants=(("bronze", 1.0), ("gold", 3.0)),
+                ),
+                seconds=0.02,
+                rate=4_000.0,
+            ),
             plan=EARLY_LOST,
-            tenants={"gold": 3.0, "bronze": 1.0},
             telemetry=False,
         )
         episodes = result["totals"]["recoveries"]

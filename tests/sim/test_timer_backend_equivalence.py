@@ -52,7 +52,8 @@ def test_sleep_heavy_workload_identical():
 
 
 def _serve_artifact(monkeypatch, backend):
-    from repro.serve.bench import run_serve_bench
+    from repro.api import BenchSpec, ServeSpec
+    from repro.serve.bench import run_bench
 
     original = make_timer_queue
     monkeypatch.setattr(
@@ -60,12 +61,16 @@ def _serve_artifact(monkeypatch, backend):
         "make_timer_queue",
         lambda _requested, timeslice: original(backend, timeslice),
     )
-    result = run_serve_bench(
-        shards=3,
-        seconds=0.03,
-        rate=5_000.0,
-        budget=6,
-        tenants={"gold": 3.0, "bronze": 1.0},
+    result = run_bench(
+        BenchSpec(
+            serve=ServeSpec(
+                shards=3,
+                budget=6,
+                tenants=(("bronze", 1.0), ("gold", 3.0)),
+            ),
+            seconds=0.03,
+            rate=5_000.0,
+        ),
         telemetry=False,
     )
     return json.dumps(result, sort_keys=True)

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.serve.bench import build_serve
+from repro.api import ServeSpec
+from repro.serve.bench import build_cluster
 from repro.serve.loadgen import LoadGenerator, LoadSpec
 from repro.slo import (
     build_span_tree,
@@ -119,8 +120,9 @@ class TestLiveReconciliation:
     """Acceptance demo: span trees sum to the cycle-attribution ledger."""
 
     def test_bench_spans_reconcile_with_latency_ledger(self):
-        cluster = build_serve(
-            shards=2, policy="round-robin", budget=4, telemetry=False
+        cluster = build_cluster(
+            ServeSpec(shards=2, policy="round-robin", budget=4),
+            telemetry=False,
         )
         try:
             spec = LoadSpec(

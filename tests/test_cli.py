@@ -172,11 +172,11 @@ class TestServeObsFlags:
     ]
 
     def test_slices_exceeding_shards_rejected(self):
-        with pytest.raises(SystemExit, match="exceeds the shard count"):
+        with pytest.raises(SystemExit, match="must not exceed shards"):
             main([*self.QUICK, "--slices", "4"])
 
     def test_nonpositive_slices_rejected(self):
-        with pytest.raises(SystemExit, match="at least 1"):
+        with pytest.raises(SystemExit, match="slices must be >= 1"):
             main([*self.QUICK, "--slices", "0"])
 
     def test_nonpositive_obs_interval_rejected(self):
